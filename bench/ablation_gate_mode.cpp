@@ -1,0 +1,90 @@
+// Ablation: CQF vs synthesized full-cycle 802.1Qbv gate program.
+//
+// Paper guideline (2) sizes the gate tables at "the number of time slots
+// within a scheduling cycle" in the general case, but the evaluation uses
+// CQF, whose static 2-entry program is what makes the customized gate
+// tables tiny (36 Kb on the ring vs 144 Kb commercial). This bench
+// quantifies the trade: same workload through (a) CQF and (b) a
+// synthesized per-slot Qbv program, comparing delivered QoS and the gate
+// table BRAM each one needs.
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "resource/bram.hpp"
+#include "sched/cqf_analysis.hpp"
+#include "tables/gcl.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+netsim::ScenarioResult run(netsim::ScenarioConfig::GateMode mode, std::size_t flows,
+                           std::int64_t gate_entries) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(6);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.resource.classification_table_size = 1100;
+  cfg.options.resource.unicast_table_size = 1100;
+  cfg.options.resource.meter_table_size = 1100;
+  cfg.options.resource.gate_table_size = gate_entries;
+  // Qbv requires slot | period: 62.5 us gives 160 slots per 10 ms cycle.
+  cfg.options.runtime.slot_size = Duration(62'500);
+  cfg.gate_mode = mode;
+  cfg.options.seed = 27;
+  traffic::TsWorkloadParams params;
+  params.flow_count = flows;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3],
+                                     params);
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 100_ms;
+  return netsim::run_scenario(std::move(cfg));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CQF (2-entry) vs synthesized Qbv (per-slot) gates ===\n");
+  std::printf("(ring, 4 hops, slot 62.5us, 10ms period => 160 slots/cycle)\n\n");
+
+  TextTable table;
+  table.set_header({"TS flows", "mode", "gate entries", "gate tbl/port (2x)", "TS avg",
+                    "TS jitter", "TS max", "loss", "misses"});
+  for (const std::size_t flows : {64u, 256u, 1024u}) {
+    for (const auto mode : {netsim::ScenarioConfig::GateMode::kCqf,
+                            netsim::ScenarioConfig::GateMode::kQbv}) {
+      const bool qbv = mode == netsim::ScenarioConfig::GateMode::kQbv;
+      const netsim::ScenarioResult r = run(mode, flows, qbv ? 160 : 2);
+      const std::int64_t entries = qbv ? r.qbv_gate_entries : 2;
+      // BRAM for the two per-port gate tables at this size.
+      const double gate_kb =
+          2.0 * resource::allocate_instance(entries, tables::kGateEntryBits)
+                    .cost.kilobits();
+      table.add_row({std::to_string(flows), qbv ? "Qbv" : "CQF",
+                     std::to_string(entries), format_trimmed(gate_kb, 3) + "Kb",
+                     format_double(r.ts.avg_latency_us(), 1) + "us",
+                     format_double(r.ts.jitter_us(), 2) + "us",
+                     format_double(r.ts.latency_us.max(), 1) + "us",
+                     format_percent(r.ts.loss_rate()),
+                     std::to_string(r.ts.deadline_misses)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: both modes deliver zero loss and meet every deadline.\n"
+      "CQF holds the two-sided Eq.(1) latency bound (avg ~= 4 x 62.5us) with a\n"
+      "constant 2-entry program regardless of load. The synthesized Qbv\n"
+      "program must provision for up to cycle/slot = 160 entries (guideline\n"
+      "2's sizing, the set_gate_tbl argument) even though greedy ITP happens\n"
+      "to cluster this workload's windows into a few merged entries; and\n"
+      "because one shared TS queue serves every window, packets may leave in\n"
+      "their arrival slot — only the UPPER latency bound holds (avg drops to\n"
+      "microseconds, spread widens at low loads). CQF's two-queue ping-pong\n"
+      "is what buys the paper both tiny gate tables and two-sided bounds.\n");
+  return 0;
+}

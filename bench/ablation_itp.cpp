@@ -1,0 +1,65 @@
+// Ablation: Injection Time Planning on/off.
+//
+// The queue-depth resource parameter (12 in the paper, from [24]) only
+// works because ITP spreads each period's 1024 injections across the
+// ~153 CQF slots. This bench quantifies that: with ITP the peak per-slot
+// queue load stays in single digits and nothing is lost; with naive
+// synchronized injection the whole period's load lands in one slot,
+// overflowing any reasonable queue depth.
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "sched/itp.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+netsim::ScenarioResult run(std::size_t flows, bool use_itp) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(6);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.resource.classification_table_size = 1040;
+  cfg.options.resource.unicast_table_size = 1040;
+  cfg.options.resource.meter_table_size = 1040;
+  cfg.options.seed = 9;
+  cfg.use_itp = use_itp;
+  traffic::TsWorkloadParams params;
+  params.flow_count = flows;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3],
+                                     params);
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 100_ms;
+  return netsim::run_scenario(std::move(cfg));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: ITP injection planning vs naive period-start injection ===\n");
+  std::printf("(ring, 4 hops, queue depth 12, 96 buffers/port, slot 65us)\n\n");
+
+  TextTable table;
+  table.set_header({"TS flows", "mode", "planned peak", "measured peak", "TS loss",
+                    "queue drops", "buffer drops"});
+  for (const std::size_t flows : {128u, 512u, 1024u}) {
+    for (const bool itp : {true, false}) {
+      const netsim::ScenarioResult r = run(flows, itp);
+      table.add_row({std::to_string(flows), itp ? "ITP" : "naive",
+                     std::to_string(r.plan.max_queue_load),
+                     std::to_string(r.peak_ts_queue), format_percent(r.ts.loss_rate()),
+                     std::to_string(r.queue_full_drops), std::to_string(r.buffer_drops)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: ITP keeps the measured peak at ~flows/153 with zero\n"
+              "loss; naive injection pins the peak at the queue depth and drops the\n"
+              "overflow — the ablation behind the paper's queue_depth=12 choice.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: per-flow table entries vs path aggregation.
+//
+// Guideline (1) sizes the shared tables at one entry per flow "in the
+// worst case" and notes that "for optimal configurations, some table
+// entries could be aggregated according to the transmission path". This
+// bench quantifies that optimization on the ring scenario: 1024 TS flows
+// between one talker/listener pair collapse onto a single
+// (src, dst, priority) aggregate, shrinking the switch/classification/
+// meter tables from 1024 entries to 1 — and pushing the ring switch's
+// total BRAM reduction beyond the paper's 80.53 %.
+#include <cstdio>
+
+#include "builder/planner.hpp"
+#include "builder/presets.hpp"
+#include "builder/switch_builder.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+struct Outcome {
+  sw::SwitchResourceConfig config;
+  netsim::ScenarioResult result;
+};
+
+Outcome run(bool aggregate) {
+  topo::BuiltTopology built = topo::make_ring(6);
+  traffic::TsWorkloadParams params;  // 1024 flows, 64 B, 10 ms
+  std::vector<traffic::FlowSpec> flows =
+      traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[3], params);
+  if (aggregate) (void)traffic::aggregate_flows_by_path(flows);
+
+  builder::PlannerInput input;
+  input.topology = &built.topology;
+  input.flows = flows;
+  const builder::PlannerOutput plan = builder::ParameterPlanner::plan(input);
+
+  netsim::ScenarioConfig cfg;
+  cfg.built = std::move(built);
+  cfg.options.resource = plan.config;
+  cfg.options.seed = 31;
+  cfg.flows = std::move(flows);
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 100_ms;
+  return Outcome{plan.config, netsim::run_scenario(std::move(cfg))};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: per-flow table entries vs path aggregation ===\n");
+  std::printf("(ring, 4 hops, 1024 TS flows from one talker; planner-derived configs)\n\n");
+
+  builder::SwitchBuilder commercial;
+  commercial.with_resources(builder::bcm53154_reference());
+  const resource::ResourceReport base = commercial.report();
+
+  TextTable table;
+  table.set_header({"mode", "switch tbl", "class tbl", "meter tbl", "total BRAM",
+                    "vs COTS", "TS loss", "TS avg", "TS jitter"});
+  for (const bool aggregate : {false, true}) {
+    const Outcome o = run(aggregate);
+    builder::SwitchBuilder bld;
+    bld.with_resources(o.config);
+    const resource::ResourceReport report = bld.report();
+    table.add_row({aggregate ? "aggregated" : "per-flow",
+                   std::to_string(o.config.unicast_table_size),
+                   std::to_string(o.config.classification_table_size),
+                   std::to_string(o.config.meter_table_size),
+                   format_trimmed(report.total().kilobits(), 3) + "Kb",
+                   "-" + format_percent(report.reduction_vs(base)),
+                   format_percent(o.result.ts.loss_rate()),
+                   format_double(o.result.ts.avg_latency_us(), 1) + "us",
+                   format_double(o.result.ts.jitter_us(), 2) + "us"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: identical QoS (zero loss, same latency/jitter) while the\n"
+      "aggregated tables collapse to one entry per path, shaving another few\n"
+      "hundred Kb off the paper's ring configuration. The trade: aggregated\n"
+      "flows can no longer be metered or re-routed individually.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: guard band vs 802.1Qbu frame preemption.
+//
+// Both mechanisms protect TS slots from in-flight best-effort frames:
+// the guard band HOLDS a frame that cannot finish before the boundary
+// (wasting the tail of every slot), preemption CUTS it at a 64 B fragment
+// boundary when the TS gate opens (paying ~24 B per extra fragment).
+// This bench runs the ring under heavy 1500 B BE load with each
+// combination and reports TS protection and BE goodput.
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+netsim::ScenarioResult run(bool guard, bool preemption) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(6);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.resource.classification_table_size = 300;
+  cfg.options.resource.unicast_table_size = 300;
+  cfg.options.resource.meter_table_size = 300;
+  cfg.options.runtime.guard_band = guard;
+  cfg.options.runtime.preemption = preemption;
+  cfg.options.seed = 41;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 256;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3],
+                                     params);
+  // Saturating 1500 B best-effort cross traffic on the same path.
+  const topo::NodeId bg_host = cfg.built.topology.add_host("bg");
+  cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
+  cfg.flows.push_back(traffic::make_be_flow(9001, bg_host, cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(700), 1500));
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 100_ms;
+  return netsim::run_scenario(std::move(cfg));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: guard band vs frame preemption (802.1Qbu) ===\n");
+  std::printf("(ring, 4 hops, 256 TS flows + 700 Mbps of 1500B BE cross traffic)\n\n");
+
+  TextTable table;
+  table.set_header({"guard band", "preemption", "TS avg", "TS jitter", "TS max",
+                    "TS loss", "BE goodput", "BE avg latency"});
+  for (const auto& [guard, preempt] : {std::pair{true, false},
+                                       std::pair{false, true},
+                                       std::pair{true, true},
+                                       std::pair{false, false}}) {
+    const netsim::ScenarioResult r = run(guard, preempt);
+    const double be_mbps =
+        static_cast<double>(r.be.received) * 1520.0 * 8.0 / 0.1 / 1e6;
+    table.add_row({guard ? "on" : "off", preempt ? "on" : "off",
+                   format_double(r.ts.avg_latency_us(), 1) + "us",
+                   format_double(r.ts.jitter_us(), 2) + "us",
+                   format_double(r.ts.latency_us.max(), 1) + "us",
+                   format_percent(r.ts.loss_rate()),
+                   format_double(be_mbps, 1) + "Mbps",
+                   format_double(r.be.avg_latency_us(), 1) + "us"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: all three protection configs keep TS max latency inside\n"
+      "the CQF envelope; with NEITHER mechanism, in-flight 1500 B frames leak\n"
+      "into TS slots and the TS max latency/jitter visibly degrade. At this\n"
+      "load the link has headroom, so BE goodput matches its offered rate in\n"
+      "every config; the cost of each protection shows in BE latency (guard\n"
+      "holds near boundaries; preemption fragments at ~24 B per cut).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: time-synchronization quality and the guard band.
+//
+// CQF correctness rests on neighbouring switches agreeing on slot
+// boundaries. This bench sweeps the oscillator drift magnitude (which the
+// gPTP servo must absorb) and toggles the egress guard band, reporting TS
+// latency/jitter/loss and the residual sync error — showing why the
+// paper's <50 ns prototype precision (and length-aware guarding) matter.
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+netsim::ScenarioResult run(double drift_ppm, bool gptp, bool guard,
+                           Duration traffic = 100_ms) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(6);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.resource.classification_table_size = 600;
+  cfg.options.resource.unicast_table_size = 600;
+  cfg.options.resource.meter_table_size = 600;
+  cfg.options.enable_gptp = gptp;
+  cfg.options.free_run_drift = !gptp;  // no protocol, but oscillators drift
+  cfg.options.max_drift_ppm = drift_ppm;
+  cfg.options.runtime.guard_band = guard;
+  cfg.options.seed = 13;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 256;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3],
+                                     params);
+  // Background traffic stresses the guard band: a 1500 B BE frame started
+  // late would leak into the next slot.
+  const topo::NodeId bg_host = cfg.built.topology.add_host("bg");
+  cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
+  cfg.flows.push_back(traffic::make_be_flow(9001, bg_host, cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(300), 1500));
+  cfg.warmup = 200_ms;
+  cfg.traffic_duration = traffic;
+  return netsim::run_scenario(std::move(cfg));
+}
+
+void add(TextTable& t, const std::string& label, double drift, bool gptp, bool guard) {
+  const netsim::ScenarioResult r = run(drift, gptp, guard);
+  t.add_row({label, (gptp ? std::to_string(r.max_sync_error.ns())
+                          : std::to_string(r.max_sync_error.us())) + (gptp ? "ns" : "us (free-run)"),
+             format_double(r.ts.avg_latency_us(), 1) + "us",
+             format_double(r.ts.jitter_us(), 2) + "us",
+             format_double(r.ts.latency_us.max(), 1) + "us",
+             format_percent(r.ts.loss_rate())});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: sync precision and guard band ===\n");
+  std::printf("(ring, 4 hops, 256 TS flows + 300 Mbps of 1500B BE background)\n\n");
+
+  std::printf("--- oscillator drift sweep (gPTP on, guard band on) ---\n");
+  TextTable drift;
+  drift.set_header({"max drift", "sync error", "TS avg", "TS jitter", "TS max", "TS loss"});
+  for (const double ppm : {0.0, 20.0, 50.0, 100.0}) {
+    add(drift, format_trimmed(ppm, 1) + "ppm", ppm, /*gptp=*/true, /*guard=*/true);
+  }
+  // No synchronization at all: every switch free-runs on its own drifting
+  // oscillator; slot grids diverge and CQF breaks down over time.
+  add(drift, "20ppm, no gPTP", 20.0, /*gptp=*/false, /*guard=*/true);
+  std::printf("%s\n", drift.render().c_str());
+
+  std::printf("--- free-running divergence over time (no gPTP, 20 ppm) ---\n");
+  TextTable freerun;
+  freerun.set_header({"run length", "clock divergence", "TS avg", "TS jitter", "TS max",
+                      "TS loss"});
+  for (const std::int64_t secs_tenths : {1LL, 10LL, 30LL}) {
+    const netsim::ScenarioResult r =
+        run(20.0, /*gptp=*/false, /*guard=*/true, Duration(secs_tenths * 100'000'000));
+    freerun.add_row({format_trimmed(static_cast<double>(secs_tenths) / 10.0, 1) + "s",
+                     format_double(r.max_sync_error.us(), 2) + "us",
+                     format_double(r.ts.avg_latency_us(), 1) + "us",
+                     format_double(r.ts.jitter_us(), 2) + "us",
+                     format_double(r.ts.latency_us.max(), 1) + "us",
+                     format_percent(r.ts.loss_rate())});
+  }
+  std::printf("%s\n", freerun.render().c_str());
+
+  std::printf("--- guard band on/off (gPTP on, 20 ppm) ---\n");
+  TextTable guard;
+  guard.set_header({"guard band", "sync error", "TS avg", "TS jitter", "TS max", "TS loss"});
+  add(guard, "on", 20.0, true, true);
+  add(guard, "off", 20.0, true, false);
+  std::printf("%s\n", guard.render().c_str());
+
+  std::printf("Expected shape: with gPTP the sync error stays in tens of ns across the\n"
+              "drift sweep and TS metrics are unaffected; without synchronization the\n"
+              "slot grids drift apart and TS packets miss/straddle slots. Disabling\n"
+              "the guard band lets in-flight 1500B BE frames leak into TS slots,\n"
+              "inflating max latency and jitter.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks: switch dataplane hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "event/simulator.hpp"
+#include "net/packet.hpp"
+#include "switch/tsn_switch.hpp"
+#include "tables/classification_table.hpp"
+
+namespace {
+
+using namespace tsn;
+
+sw::SwitchResourceConfig bench_res() {
+  sw::SwitchResourceConfig res;
+  res.unicast_table_size = 1024;
+  res.classification_table_size = 1024;
+  res.meter_table_size = 1024;
+  res.queue_depth = 64;
+  res.buffers_per_port = 512;
+  return res;
+}
+
+net::Packet bench_packet() {
+  net::Packet p = net::packet_with_frame_size(64);
+  p.src = MacAddress::from_u64(0x020000000001ULL);
+  p.dst = MacAddress::from_u64(0x020000000002ULL);
+  p.vlan = net::VlanTag{7, false, 100};
+  return p;
+}
+
+/// Full pipeline: receive -> classify -> lookup -> enqueue -> schedule ->
+/// transmit, one packet at a time through a 2-port switch.
+void BM_SwitchPipelinePacket(benchmark::State& state) {
+  event::Simulator sim;
+  sw::SwitchRuntimeConfig rt;
+  rt.enable_cqf = false;
+  sw::TsnSwitch dev(sim, "bench", bench_res(), rt, 2);
+  const net::Packet p = bench_packet();
+  (void)dev.add_unicast(p.dst, p.vlan.vid, 1);
+  (void)dev.add_class_entry(tables::ClassificationKey::from_packet(p),
+                            {tables::kNoMeter, 7});
+  dev.set_tx_callback([](tables::PortIndex, const net::Packet&) {});
+  dev.start();
+  for (auto _ : state) {
+    dev.receive(0, p);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SwitchPipelinePacket);
+
+/// Sustained batch: 64 packets in flight through the event queue.
+void BM_SwitchPipelineBatch64(benchmark::State& state) {
+  event::Simulator sim;
+  sw::SwitchRuntimeConfig rt;
+  rt.enable_cqf = false;
+  sw::TsnSwitch dev(sim, "bench", bench_res(), rt, 2);
+  const net::Packet p = bench_packet();
+  (void)dev.add_unicast(p.dst, p.vlan.vid, 1);
+  (void)dev.add_class_entry(tables::ClassificationKey::from_packet(p),
+                            {tables::kNoMeter, 7});
+  dev.set_tx_callback([](tables::PortIndex, const net::Packet&) {});
+  dev.start();
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) dev.receive(0, p);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SwitchPipelineBatch64);
+
+/// CQF path: packets buffered across a gate boundary.
+void BM_SwitchCqfSlot(benchmark::State& state) {
+  event::Simulator sim;
+  sw::SwitchRuntimeConfig rt;  // CQF on
+  sw::TsnSwitch dev(sim, "bench", bench_res(), rt, 2);
+  const net::Packet p = bench_packet();
+  (void)dev.add_unicast(p.dst, p.vlan.vid, 1);
+  (void)dev.add_class_entry(tables::ClassificationKey::from_packet(p),
+                            {tables::kNoMeter, 7});
+  dev.set_tx_callback([](tables::PortIndex, const net::Packet&) {});
+  dev.start();
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) dev.receive(0, p);
+    // Run past the next slot boundary so the batch drains.
+    (void)sim.run_until(next_slot_boundary(sim.now(), rt.slot_size) + rt.slot_size);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_SwitchCqfSlot);
+
+/// Frame parse path (byte-accurate parser of the Packet Switch template).
+void BM_FrameParse(benchmark::State& state) {
+  const auto bytes = net::to_frame(bench_packet()).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::PacketSwitch::parse(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_FrameSerialize(benchmark::State& state) {
+  const net::EthernetFrame frame = net::to_frame(bench_packet());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.serialize());
+  }
+}
+BENCHMARK(BM_FrameSerialize);
+
+}  // namespace

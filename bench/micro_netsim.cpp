@@ -1,0 +1,55 @@
+// Microbenchmarks: full-network simulation throughput — how much
+// simulated TSN traffic one host core pushes per second.
+#include <benchmark/benchmark.h>
+
+#include "builder/presets.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace tsn;
+using namespace tsn::literals;
+
+/// One complete ring scenario: gPTP warm-up + N TS flows for 50 ms.
+void BM_RingScenario(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    netsim::ScenarioConfig cfg;
+    cfg.built = topo::make_ring(6);
+    cfg.options.resource = builder::paper_customized(1);
+    cfg.options.resource.classification_table_size =
+        static_cast<std::int64_t>(flows) + 8;
+    cfg.options.resource.unicast_table_size = static_cast<std::int64_t>(flows) + 8;
+    cfg.options.seed = 3;
+    traffic::TsWorkloadParams params;
+    params.flow_count = flows;
+    cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3],
+                                       params);
+    cfg.warmup = 100_ms;
+    cfg.traffic_duration = 50_ms;
+    const netsim::ScenarioResult r = netsim::run_scenario(std::move(cfg));
+    packets += r.ts.received;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.counters["pkts/run"] =
+      static_cast<double>(packets) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RingScenario)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// gPTP-only network (no traffic): the cost of keeping 12 devices synced.
+void BM_GptpOnlySecond(benchmark::State& state) {
+  for (auto _ : state) {
+    event::Simulator sim;
+    const topo::BuiltTopology ring = topo::make_ring(6);
+    netsim::NetworkOptions opts;
+    netsim::Network net(sim, ring.topology, opts);
+    net.start_network();
+    benchmark::DoNotOptimize(sim.run_until(TimePoint(0) + 1_s));
+  }
+}
+BENCHMARK(BM_GptpOnlySecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace

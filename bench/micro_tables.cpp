@@ -1,0 +1,94 @@
+// Microbenchmarks: lookup structures and the BRAM allocator.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "resource/bram.hpp"
+#include "tables/classification_table.hpp"
+#include "tables/gcl.hpp"
+#include "tables/switch_table.hpp"
+#include "tables/token_bucket.hpp"
+
+namespace {
+
+using namespace tsn;
+using namespace tsn::literals;
+
+void BM_UnicastLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  tables::UnicastTable table(entries);
+  std::vector<tables::UnicastKey> keys;
+  keys.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const tables::UnicastKey key{MacAddress::from_u64(0x020000000000ULL + i),
+                                 static_cast<VlanId>(1 + i % 4094)};
+    keys.push_back(key);
+    (void)table.insert(key, static_cast<tables::PortIndex>(i % 4));
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(keys[rng.index(keys.size())]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnicastLookup)->Arg(1024)->Arg(16384);
+
+void BM_ClassificationLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  tables::ClassificationTable table(entries);
+  std::vector<tables::ClassificationKey> keys;
+  keys.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const tables::ClassificationKey key{MacAddress::from_u64(i), MacAddress::from_u64(i + 1),
+                                        static_cast<VlanId>(1 + i % 4094), 7};
+    keys.push_back(key);
+    (void)table.insert(key, {tables::kNoMeter, 7});
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(keys[rng.index(keys.size())]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassificationLookup)->Arg(1024);
+
+void BM_TokenBucketOffer(benchmark::State& state) {
+  tables::TokenBucket bucket(DataRate::megabits_per_sec(100), 1'000'000);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(bucket.offer(TimePoint(t), 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TokenBucketOffer);
+
+void BM_GclPositionLookup(benchmark::State& state) {
+  tables::GateControlList gcl(154);
+  for (int i = 0; i < 154; ++i) {
+    (void)gcl.add_entry({static_cast<tables::GateBitmap>(i), 65_us});
+  }
+  Rng rng(3);
+  const std::int64_t cycle_ns = gcl.cycle_time().ns();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcl.position_at(Duration(static_cast<std::int64_t>(rng.uniform(
+            0, static_cast<std::uint64_t>(cycle_ns - 1))))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GclPositionLookup);
+
+void BM_BramAllocateTable(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto depth = static_cast<std::int64_t>(rng.uniform(1, 65536));
+    const auto width = static_cast<std::int64_t>(rng.uniform(1, 144));
+    benchmark::DoNotOptimize(resource::allocate_table(depth, width));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BramAllocateTable);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Resource-scaling sweep: how the customized switch's BRAM grows with the
+// application size (flow count) and topology degree (enabled TSN ports).
+//
+// The paper evaluates three fixed scenarios; this sweep exposes the whole
+// customization surface the Table II APIs span — the practical answer to
+// "when does my application stop fitting a Zynq-7020?".
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "builder/switch_builder.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "resource/bram.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+/// Customized configuration per the §III.C guidelines for `flows` TS flows
+/// (10 ms period, 65 us CQF slots) on `ports` enabled TSN ports.
+sw::SwitchResourceConfig scaled_config(std::int64_t flows, std::int64_t ports) {
+  sw::SwitchResourceConfig c = builder::paper_customized(ports);
+  c.unicast_table_size = flows;
+  c.classification_table_size = flows;
+  c.meter_table_size = flows;
+  const std::int64_t slots_per_period = milliseconds(10) / 65_us;  // 153
+  c.queue_depth = std::max<std::int64_t>(8, ceil_div(flows, slots_per_period));
+  c.buffers_per_port = c.queue_depth * c.queues_per_port;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sweep: customized BRAM vs flow count and enabled TSN ports ===\n");
+  std::printf("(guidelines 1-5; 10ms period, 65us slots; BCM53154 = 10818Kb, "
+              "Zynq-7020 = 5040Kb)\n\n");
+
+  TextTable table;
+  table.set_header({"TS flows", "1 port", "2 ports", "3 ports", "4 ports",
+                    "queue depth", "fits Zynq-7020?"});
+  builder::SwitchBuilder commercial;
+  commercial.with_resources(builder::bcm53154_reference());
+  const double baseline = commercial.report().total().kilobits();
+
+  for (const std::int64_t flows : {128LL, 512LL, 1024LL, 4096LL, 16384LL}) {
+    std::vector<std::string> row = {std::to_string(flows)};
+    double ring_total = 0;
+    std::int64_t depth = 0;
+    for (std::int64_t ports = 1; ports <= 4; ++ports) {
+      const sw::SwitchResourceConfig c = scaled_config(flows, ports);
+      depth = c.queue_depth;
+      builder::SwitchBuilder bld;
+      bld.with_resources(c);
+      const double kb = bld.report().total().kilobits();
+      if (ports == 1) ring_total = kb;
+      row.push_back(format_trimmed(kb, 0) + "Kb (" +
+                    format_percent(1.0 - kb / baseline, 1) + " saved)");
+    }
+    row.push_back(std::to_string(depth));
+    row.push_back(ring_total <= 5040.0 ? "yes (1 port)" : "no");
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: per-port resources (gates, CBS, queues, buffers) scale\n"
+      "linearly with enabled ports; shared tables scale with flows; queue depth\n"
+      "(and with it the dominant buffer pool) only grows once flows exceed the\n"
+      "slots-per-period budget (153), which is why the paper's 1024-flow\n"
+      "workloads all fit the same depth-12 provisioning.\n");
+  return 0;
+}

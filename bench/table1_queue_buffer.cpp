@@ -1,0 +1,85 @@
+// Reproduces paper Table I + the motivation experiment (§II.A):
+// two queue/buffer configurations for a 3-switch linear network carrying
+// 1024 TS flows (64 B, 10 ms period). Case 2 saves 540 Kb of BRAM while
+// the measured TS latency/jitter/loss stay identical — proving the Case 1
+// provisioning exceeded the traffic-dependent threshold.
+#include <cstdio>
+
+#include "builder/presets.hpp"
+#include "builder/switch_builder.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+double queues_and_buffers_kb(const sw::SwitchResourceConfig& config) {
+  builder::SwitchBuilder bld;
+  bld.with_resources(config);
+  double kb = 0;
+  for (const auto& row : bld.report().components()) {
+    if (row.name == "Queues" || row.name == "Buffers") {
+      kb += row.allocation.cost.kilobits();
+    }
+  }
+  return kb;
+}
+
+netsim::ScenarioResult run_case(const sw::SwitchResourceConfig& config) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_linear(3);
+  cfg.options.resource = config;
+  cfg.options.resource.classification_table_size = 1040;
+  cfg.options.resource.unicast_table_size = 1040;
+  cfg.options.resource.meter_table_size = 1040;
+  cfg.options.seed = 21;
+  traffic::TsWorkloadParams params;  // 1024 flows, 64 B, 10 ms — the paper's workload
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2],
+                                     params);
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 200_ms;
+  return netsim::run_scenario(std::move(cfg));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: configuration of queue and packet buffer ===\n\n");
+
+  const sw::SwitchResourceConfig case1 = builder::table1_case1();
+  const sw::SwitchResourceConfig case2 = builder::table1_case2();
+
+  TextTable table;
+  table.set_header({"", "Queue Num Per-Port", "Pkt Num Per-Queue", "Packet Buffer Num",
+                    "Total BRAMs"});
+  table.add_row({"Case 1", std::to_string(case1.queues_per_port),
+                 std::to_string(case1.queue_depth), std::to_string(case1.buffers_per_port),
+                 format_trimmed(queues_and_buffers_kb(case1), 3) + "Kb"});
+  table.add_row({"Case 2", std::to_string(case2.queues_per_port),
+                 std::to_string(case2.queue_depth), std::to_string(case2.buffers_per_port),
+                 format_trimmed(queues_and_buffers_kb(case2), 3) + "Kb"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper reference: Case 1 = 2304Kb, Case 2 = 1764Kb (saving 540Kb)\n\n");
+
+  std::printf("--- QoS under both configurations (1024 TS flows, 64B, 10ms) ---\n");
+  TextTable qos;
+  qos.set_header({"", "TS received", "loss", "avg latency", "jitter", "peak TS queue",
+                  "peak buffers"});
+  for (const auto& [label, config] :
+       {std::pair{"Case 1", case1}, std::pair{"Case 2", case2}}) {
+    const netsim::ScenarioResult r = run_case(config);
+    qos.add_row({label, std::to_string(r.ts.received), format_percent(r.ts.loss_rate()),
+                 format_double(r.ts.avg_latency_us(), 1) + "us",
+                 format_double(r.ts.jitter_us(), 2) + "us", std::to_string(r.peak_ts_queue),
+                 std::to_string(r.peak_buffer_in_use)});
+  }
+  std::printf("%s\n", qos.render().c_str());
+  std::printf("Expected shape: identical latency/jitter, zero loss in both cases —\n"
+              "Case 1's extra 540Kb of BRAM buys nothing for this workload.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// FRER failover demo (802.1CB, the TSN "flow integrity" standard family
+// cited in the paper's introduction): TS streams replicated over the two
+// directions of a bidirectional ring survive a mid-run link failure with
+// zero loss, while unprotected streams lose every packet after the cut.
+//
+//   $ ./frer_failover
+#include <cstdio>
+
+#include "common/string_util.hpp"
+#include "event/simulator.hpp"
+#include "netsim/network.hpp"
+#include "sched/itp.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+using namespace tsn;
+using namespace tsn::literals;
+
+namespace {
+
+struct Outcome {
+  analysis::ClassSummary ts;
+  std::uint64_t duplicates_eliminated = 0;
+  std::uint64_t link_drops = 0;
+};
+
+Outcome run(bool frer) {
+  event::Simulator sim;
+  topo::BuiltTopology built = topo::make_ring_bidirectional(6);
+
+  netsim::NetworkOptions opts;
+  opts.seed = 99;
+  opts.resource.classification_table_size = 300;
+  opts.resource.unicast_table_size = 300;
+
+  traffic::TsWorkloadParams params;
+  params.flow_count = 128;
+  std::vector<traffic::FlowSpec> flows =
+      traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], params);
+  sched::ItpPlanner planner(built.topology, opts.runtime.slot_size);
+  planner.plan(flows).apply(flows);
+
+  netsim::Network net(sim, built.topology, opts);
+  std::int64_t failures = 0;
+  if (frer) {
+    for (const traffic::FlowSpec& f : flows) {
+      failures += net.provision_frer(f, static_cast<VlanId>(2000 + f.id));
+    }
+  } else {
+    failures = net.provision(flows);
+  }
+  if (failures != 0) std::fprintf(stderr, "provisioning failures: %lld\n",
+                                  static_cast<long long>(failures));
+
+  net.start_network();
+  (void)sim.run_until(TimePoint(0) + 150_ms);
+  net.start_traffic(TimePoint(0) + 151_ms);
+
+  // 100 ms healthy, then cut the first inter-switch link of the primary
+  // (clockwise) path, then 100 ms degraded.
+  (void)sim.run_until(TimePoint(0) + 250_ms);
+  const auto hops = *built.topology.route(built.host_nodes[0], built.host_nodes[2]);
+  for (const topo::Hop& hop : hops) {
+    const topo::Link& l = built.topology.link(hop.link);
+    if (built.topology.node(l.node_a).kind == topo::NodeKind::kSwitch &&
+        built.topology.node(l.node_b).kind == topo::NodeKind::kSwitch) {
+      std::printf("  [t=100ms of traffic] cutting ring link %s <-> %s\n",
+                  built.topology.node(l.node_a).name.c_str(),
+                  built.topology.node(l.node_b).name.c_str());
+      net.set_link_state(hop.link, false);
+      break;
+    }
+  }
+  (void)sim.run_until(TimePoint(0) + 350_ms);
+  net.stop_traffic();
+  (void)sim.run_until(sim.now() + 20_ms);
+
+  Outcome out;
+  out.ts = net.analyzer().summary(net::TrafficClass::kTimeSensitive);
+  out.duplicates_eliminated = net.nic_at(built.host_nodes[2]).frer_discarded();
+  out.link_drops = net.link_drops();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FRER failover: 128 TS streams, bidirectional 6-switch ring ==\n\n");
+
+  std::printf("--- without replication ---\n");
+  const Outcome plain = run(false);
+  std::printf("  delivered %llu / %llu (loss %s), frames eaten by the dead link: %llu\n\n",
+              static_cast<unsigned long long>(plain.ts.received),
+              static_cast<unsigned long long>(plain.ts.injected),
+              format_percent(plain.ts.loss_rate()).c_str(),
+              static_cast<unsigned long long>(plain.link_drops));
+
+  std::printf("--- with 802.1CB replication + sequence recovery ---\n");
+  const Outcome frer = run(true);
+  std::printf("  delivered %llu / %llu (loss %s), duplicates eliminated: %llu,\n"
+              "  frames eaten by the dead link: %llu\n",
+              static_cast<unsigned long long>(frer.ts.received),
+              static_cast<unsigned long long>(frer.ts.injected),
+              format_percent(frer.ts.loss_rate()).c_str(),
+              static_cast<unsigned long long>(frer.duplicates_eliminated),
+              static_cast<unsigned long long>(frer.link_drops));
+  std::printf("  avg latency %.1fus, jitter %.2fus\n\n", frer.ts.avg_latency_us(),
+              frer.ts.jitter_us());
+  std::printf("Expected shape: ~50%% loss without FRER (everything after the cut);\n"
+              "zero loss with FRER — the disjoint member carries on seamlessly.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace tsn::analysis {
+
+void Analyzer::record_injection(net::FlowId id, net::TrafficClass traffic_class) {
+  FlowRecord& rec = flows_[id];
+  rec.traffic_class = traffic_class;
+  ++rec.injected;
+}
+
+void Analyzer::record_delivery(const net::Packet& packet, TimePoint now) {
+  FlowRecord& rec = flows_[packet.meta.flow_id];
+  rec.traffic_class = packet.meta.traffic_class;
+  ++rec.received;
+  const Duration latency = now - packet.meta.injected_at;
+  rec.latency_us.add(latency.us());
+  if (packet.meta.deadline.ns() > 0 && latency > packet.meta.deadline) {
+    ++rec.deadline_misses;
+  }
+}
+
+const FlowRecord& Analyzer::flow(net::FlowId id) const {
+  const auto it = flows_.find(id);
+  require(it != flows_.end(), "Analyzer::flow: unknown flow");
+  return it->second;
+}
+
+ClassSummary Analyzer::summary(net::TrafficClass traffic_class) const {
+  ClassSummary out;
+  for (const auto& [id, rec] : flows_) {
+    if (rec.traffic_class != traffic_class) continue;
+    out.injected += rec.injected;
+    out.received += rec.received;
+    out.deadline_misses += rec.deadline_misses;
+    out.latency_us.merge(rec.latency_us.summary());
+  }
+  return out;
+}
+
+std::string Analyzer::report() const {
+  std::string out;
+  for (const net::TrafficClass c :
+       {net::TrafficClass::kTimeSensitive, net::TrafficClass::kRateConstrained,
+        net::TrafficClass::kBestEffort}) {
+    const ClassSummary s = summary(c);
+    if (s.injected == 0 && s.received == 0) continue;
+    out += net::to_string(c) + ": injected=" + std::to_string(s.injected) +
+           " received=" + std::to_string(s.received) +
+           " loss=" + format_percent(s.loss_rate()) +
+           " avg=" + format_double(s.avg_latency_us(), 2) + "us" +
+           " jitter=" + format_double(s.jitter_us(), 2) + "us" +
+           " min=" + format_double(s.latency_us.min(), 2) + "us" +
+           " max=" + format_double(s.latency_us.max(), 2) + "us" +
+           " deadline_misses=" + std::to_string(s.deadline_misses) + "\n";
+  }
+  return out;
+}
+
+std::vector<net::FlowId> Analyzer::flow_ids() const {
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, rec] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string Analyzer::to_csv() const {
+  std::string out =
+      "flow,class,injected,received,deadline_misses,avg_us,stddev_us,min_us,max_us,"
+      "p99_us\n";
+  for (const net::FlowId id : flow_ids()) {
+    const FlowRecord& rec = flows_.at(id);
+    out += std::to_string(id) + "," + net::to_string(rec.traffic_class) + "," +
+           std::to_string(rec.injected) + "," + std::to_string(rec.received) + "," +
+           std::to_string(rec.deadline_misses) + ",";
+    if (rec.latency_us.count() > 0) {
+      out += format_double(rec.latency_us.mean(), 3) + "," +
+             format_double(rec.latency_us.stddev(), 3) + "," +
+             format_double(rec.latency_us.min(), 3) + "," +
+             format_double(rec.latency_us.max(), 3) + "," +
+             format_double(rec.latency_us.percentile(99.0), 3);
+    } else {
+      out += ",,,,";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tsn::analysis

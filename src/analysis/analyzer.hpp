@@ -1,0 +1,71 @@
+// The TSN analyzer: receives delivered packets, matches them with the
+// talker's injection records, and reports latency, jitter (stddev of
+// latency), packet loss, and deadline misses per flow and per traffic
+// class — the metrics of the paper's Figs. 2 and 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace tsn::analysis {
+
+struct FlowRecord {
+  net::TrafficClass traffic_class = net::TrafficClass::kBestEffort;
+  std::uint64_t injected = 0;
+  std::uint64_t received = 0;
+  std::uint64_t deadline_misses = 0;
+  SampleStats latency_us;  // microseconds
+};
+
+/// Aggregate over one traffic class.
+struct ClassSummary {
+  std::uint64_t injected = 0;
+  std::uint64_t received = 0;
+  std::uint64_t deadline_misses = 0;
+  StreamingStats latency_us;
+
+  [[nodiscard]] std::uint64_t lost() const { return injected - received; }
+  [[nodiscard]] double loss_rate() const {
+    return injected ? static_cast<double>(lost()) / static_cast<double>(injected) : 0.0;
+  }
+  [[nodiscard]] double avg_latency_us() const { return latency_us.mean(); }
+  [[nodiscard]] double jitter_us() const { return latency_us.stddev(); }
+};
+
+class Analyzer {
+ public:
+  /// Talker-side record: flow `id` injected one packet.
+  void record_injection(net::FlowId id, net::TrafficClass traffic_class);
+
+  /// Listener-side record: a packet arrived at its destination at `now`.
+  void record_delivery(const net::Packet& packet, TimePoint now);
+
+  [[nodiscard]] bool has_flow(net::FlowId id) const { return flows_.contains(id); }
+  [[nodiscard]] const FlowRecord& flow(net::FlowId id) const;
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  /// All recorded flow ids, sorted.
+  [[nodiscard]] std::vector<net::FlowId> flow_ids() const;
+
+  [[nodiscard]] ClassSummary summary(net::TrafficClass traffic_class) const;
+
+  /// Human-readable one-line summary per class ("TS: n=..., avg=..us ...").
+  [[nodiscard]] std::string report() const;
+
+  /// Per-flow results as CSV (header + one row per flow, sorted by id):
+  /// flow,class,injected,received,deadline_misses,avg_us,stddev_us,min_us,
+  /// max_us,p99_us. For offline plotting of the latency distributions.
+  [[nodiscard]] std::string to_csv() const;
+
+  void reset() { flows_.clear(); }
+
+ private:
+  std::unordered_map<net::FlowId, FlowRecord> flows_;
+};
+
+}  // namespace tsn::analysis

@@ -1,0 +1,78 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace tsn::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  require(bins > 0, "Histogram: need at least one bin");
+  require(hi > lo, "Histogram: hi must exceed lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  bins_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[idx];
+}
+
+std::uint64_t Histogram::bin(std::size_t i) const {
+  require(i < bins_.size(), "Histogram::bin: index out of range");
+  return bins_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  require(i < bins_.size(), "Histogram::bin_lo: index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = underflow_ + overflow_;
+  for (const std::uint64_t b : bins_) sum += b;
+  return sum;
+}
+
+std::string Histogram::render_ascii(std::size_t max_width) const {
+  std::size_t first = bins_.size();
+  std::size_t last = 0;
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] > 0) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+      peak = std::max(peak, bins_[i]);
+    }
+  }
+  std::string out;
+  if (underflow_ > 0) out += "  < range: " + std::to_string(underflow_) + "\n";
+  if (peak > 0) {
+    for (std::size_t i = first; i <= last; ++i) {
+      const auto width = static_cast<std::size_t>(
+          static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+          static_cast<double>(max_width));
+      out += "  [" + format_trimmed(bin_lo(i), 2) + ", " + format_trimmed(bin_hi(i), 2) +
+             ") " + std::to_string(bins_[i]) + "\t|" + std::string(width, '#') + "\n";
+    }
+  }
+  if (overflow_ > 0) out += "  > range: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+}
+
+}  // namespace tsn::analysis

@@ -1,0 +1,45 @@
+// Fixed-range histogram for latency distributions.
+//
+// The paper plots latency as averages with error bars; the histogram
+// makes the underlying distribution visible (e.g. the uniform phase sweep
+// inside a CQF slot) in bench output and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsn::analysis {
+
+class Histogram {
+ public:
+  /// `bins` equal-width buckets over [lo, hi); values outside land in the
+  /// underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Renders rows of "[lo, hi) count |#####|", scaled to `max_width`
+  /// characters for the fullest bin. Empty leading/trailing bins are
+  /// trimmed.
+  [[nodiscard]] std::string render_ascii(std::size_t max_width = 50) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace tsn::analysis

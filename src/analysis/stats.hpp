@@ -1,0 +1,63 @@
+// Streaming statistics (Welford) plus an optional sample store for
+// percentiles. Used for latency/jitter reporting — the paper describes
+// jitter as the standard deviation of latency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsn::analysis {
+
+class StreamingStats {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance / stddev (we observe the entire run).
+  [[nodiscard]] double variance() const { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  void merge(const StreamingStats& other);
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// StreamingStats that additionally retains every sample so percentiles
+/// can be queried after the run.
+class SampleStats {
+ public:
+  void add(double value) {
+    streaming_.add(value);
+    samples_.push_back(value);
+  }
+
+  [[nodiscard]] const StreamingStats& summary() const { return streaming_; }
+  [[nodiscard]] std::size_t count() const { return streaming_.count(); }
+  [[nodiscard]] double mean() const { return streaming_.mean(); }
+  [[nodiscard]] double stddev() const { return streaming_.stddev(); }
+  [[nodiscard]] double min() const { return streaming_.min(); }
+  [[nodiscard]] double max() const { return streaming_.max(); }
+
+  /// Percentile in [0, 100] by nearest-rank on a sorted copy.
+  [[nodiscard]] double percentile(double p) const;
+
+  void reset() {
+    streaming_.reset();
+    samples_.clear();
+  }
+
+ private:
+  StreamingStats streaming_;
+  std::vector<double> samples_;
+};
+
+}  // namespace tsn::analysis

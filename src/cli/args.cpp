@@ -1,0 +1,102 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+
+namespace tsn::cli {
+
+void ArgParser::add_option(std::string name, std::string help, std::string default_value) {
+  values_[name] = default_value;
+  options_.emplace_back(std::move(name), Option{std::move(help), std::move(default_value), false});
+}
+
+void ArgParser::add_flag(std::string name, std::string help) {
+  values_[name] = "false";
+  options_.emplace_back(std::move(name), Option{std::move(help), "false", true});
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& [n, opt] : options_) {
+    if (n == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      error_ = "expected --option, got '" + arg + "'";
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const Option* opt = find(arg);
+    if (opt == nullptr) {
+      error_ = "unknown option --" + arg;
+      return false;
+    }
+    if (opt->is_flag) {
+      if (has_inline) {
+        error_ = "--" + arg + " takes no value";
+        return false;
+      }
+      values_[arg] = "true";
+    } else if (has_inline) {
+      values_[arg] = value;
+    } else {
+      if (i + 1 >= args.size()) {
+        error_ = "--" + arg + " needs a value";
+        return false;
+      }
+      values_[arg] = args[++i];
+    }
+    set_[arg] = true;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::string() : it->second;
+}
+
+std::optional<std::int64_t> ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+bool ArgParser::get_bool(const std::string& name) const { return get(name) == "true"; }
+
+std::string ArgParser::usage() const {
+  std::string out;
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (!opt.is_flag) {
+      out += " <value>";
+      if (!opt.default_value.empty()) out += " (default: " + opt.default_value + ")";
+    }
+    out += "\n      " + opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace tsn::cli

@@ -1,0 +1,50 @@
+// Minimal command-line argument parser for the tsnb tool.
+//
+// Supports "--flag value", "--flag=value" and boolean "--flag" forms,
+// with typed accessors, defaults, and an auto-generated usage string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsn::cli {
+
+class ArgParser {
+ public:
+  /// Declares an option (without the leading "--"). Declared options are
+  /// listed in usage(); parse() rejects undeclared ones.
+  void add_option(std::string name, std::string help, std::string default_value = "");
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv after the subcommand. Returns false (with a message in
+  /// error()) on unknown options or missing values.
+  [[nodiscard]] bool parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& name) const;
+  [[nodiscard]] std::optional<double> get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const { return set_.contains(name); }
+
+  [[nodiscard]] std::string usage() const;
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::vector<std::pair<std::string, Option>> options_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> set_;
+  std::string error_;
+
+  [[nodiscard]] const Option* find(const std::string& name) const;
+};
+
+}  // namespace tsn::cli

@@ -1,0 +1,323 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "builder/config_io.hpp"
+#include "builder/planner.hpp"
+#include "builder/presets.hpp"
+#include "builder/switch_builder.hpp"
+#include "cli/args.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "netsim/network.hpp"
+#include "netsim/scenario.hpp"
+#include "sched/itp.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::cli {
+namespace {
+
+struct ScenarioSpec {
+  topo::BuiltTopology built;
+  std::vector<traffic::FlowSpec> flows;
+  Duration slot{};
+  bool aggregated = false;
+};
+
+void add_scenario_options(ArgParser& parser) {
+  parser.add_option("topology", "ring | linear | star", "ring");
+  parser.add_option("switches", "switch count (ring/linear) or star leaves", "6");
+  parser.add_option("flows", "number of periodic TS flows", "1024");
+  parser.add_option("frame", "TS frame size in bytes", "64");
+  parser.add_option("period-ms", "TS flow period in milliseconds", "10");
+  parser.add_option("slot-us", "CQF slot size in microseconds", "65");
+  parser.add_option("hops", "switches each TS flow traverses", "4");
+  parser.add_option("background-mbps", "RC + BE background rate (each)", "0");
+  parser.add_flag("aggregate", "collapse same-path flows onto one table entry");
+}
+
+ScenarioSpec build_scenario(const ArgParser& parser) {
+  ScenarioSpec spec;
+  const std::string topology = parser.get("topology");
+  const auto switches = parser.get_int("switches");
+  require(switches.has_value() && *switches >= 1, "invalid --switches");
+  if (topology == "ring") {
+    spec.built = topo::make_ring(static_cast<std::size_t>(*switches));
+  } else if (topology == "linear") {
+    spec.built = topo::make_linear(static_cast<std::size_t>(*switches));
+  } else if (topology == "star") {
+    spec.built = topo::make_star(static_cast<std::size_t>(*switches));
+  } else {
+    throw Error("unknown --topology '" + topology + "' (ring|linear|star)");
+  }
+
+  const auto flows = parser.get_int("flows");
+  const auto frame = parser.get_int("frame");
+  const auto period = parser.get_int("period-ms");
+  const auto slot_us = parser.get_double("slot-us");
+  const auto hops = parser.get_int("hops");
+  require(flows.has_value() && *flows >= 1, "invalid --flows");
+  require(frame.has_value(), "invalid --frame");
+  require(period.has_value() && *period >= 1, "invalid --period-ms");
+  require(slot_us.has_value() && *slot_us > 0, "invalid --slot-us");
+  require(hops.has_value() && *hops >= 1 &&
+              *hops <= static_cast<std::int64_t>(spec.built.switch_nodes.size()),
+          "invalid --hops for this topology");
+  spec.slot = Duration(static_cast<std::int64_t>(*slot_us * 1000.0));
+
+  traffic::TsWorkloadParams params;
+  params.flow_count = static_cast<std::size_t>(*flows);
+  params.frame_bytes = *frame;
+  params.period = milliseconds(*period);
+  const topo::NodeId src = spec.built.host_nodes.front();
+  const topo::NodeId dst = spec.built.host_nodes[static_cast<std::size_t>(*hops - 1)];
+  require(src != dst, "--hops 1 is not supported from the CLI (shared switch)");
+  spec.flows = traffic::make_ts_flows(src, dst, params);
+
+  const auto bg = parser.get_int("background-mbps").value_or(0);
+  if (bg > 0) {
+    const topo::NodeId bg_host = spec.built.topology.add_host("bg");
+    spec.built.topology.connect(spec.built.switch_nodes[0], bg_host, Duration(50));
+    spec.flows.push_back(
+        traffic::make_rc_flow(900'000, bg_host, dst, DataRate::megabits_per_sec(bg)));
+    spec.flows.push_back(
+        traffic::make_be_flow(900'001, bg_host, dst, DataRate::megabits_per_sec(bg)));
+  }
+  if (parser.get_bool("aggregate")) {
+    (void)traffic::aggregate_flows_by_path(spec.flows);
+    spec.aggregated = true;
+  }
+  return spec;
+}
+
+builder::PlannerOutput plan_for(const ScenarioSpec& spec) {
+  builder::PlannerInput input;
+  input.topology = &spec.built.topology;
+  input.flows = spec.flows;
+  input.slot = spec.slot;
+  return builder::ParameterPlanner::plan(input);
+}
+
+std::string baseline_comparison(const sw::SwitchResourceConfig& config) {
+  builder::SwitchBuilder bld;
+  bld.with_resources(config);
+  builder::SwitchBuilder commercial;
+  commercial.with_resources(builder::bcm53154_reference());
+  return bld.report().render(commercial.report());
+}
+
+int cmd_plan(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  add_scenario_options(parser);
+  parser.add_option("save", "write the planned configuration to this file", "");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb plan [options]\n" + parser.usage();
+    return 2;
+  }
+  const ScenarioSpec spec = build_scenario(parser);
+  const builder::PlannerOutput plan = plan_for(spec);
+  out += "planner rationale:\n" + plan.rationale + "\n";
+  out += "resource report (vs BCM53154 commercial baseline):\n";
+  out += baseline_comparison(plan.config);
+  const std::string save_path = parser.get("save");
+  if (!save_path.empty()) {
+    builder::save_config(plan.config, save_path);
+    out += "\nconfiguration written to " + save_path + "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  add_scenario_options(parser);
+  parser.add_option("duration-ms", "traffic duration in milliseconds", "200");
+  parser.add_option("seed", "simulation seed", "7");
+  parser.add_option("csv", "write per-flow results to this CSV file", "");
+  parser.add_option("config", "use this saved resource configuration instead of planning",
+                    "");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb simulate [options]\n" + parser.usage();
+    return 2;
+  }
+  ScenarioSpec spec = build_scenario(parser);
+  builder::PlannerOutput plan;
+  const std::string config_path = parser.get("config");
+  if (config_path.empty()) {
+    plan = plan_for(spec);
+  } else {
+    plan.config = builder::load_config(config_path);
+    plan.rationale = "loaded from " + config_path + "\n";
+  }
+
+  netsim::ScenarioConfig cfg;
+  cfg.built = std::move(spec.built);
+  cfg.options.resource = plan.config;
+  cfg.options.runtime.slot_size = spec.slot;
+  cfg.options.seed = static_cast<std::uint64_t>(parser.get_int("seed").value_or(7));
+  cfg.flows = std::move(spec.flows);
+  cfg.warmup = milliseconds(200);
+  cfg.traffic_duration = milliseconds(parser.get_int("duration-ms").value_or(200));
+  const std::string csv_path = parser.get("csv");
+  cfg.export_flow_csv = !csv_path.empty();
+  const netsim::ScenarioResult r = netsim::run_scenario(std::move(cfg));
+
+  if (!csv_path.empty()) {
+    std::FILE* file = std::fopen(csv_path.c_str(), "w");
+    require(file != nullptr, "cannot open --csv file '" + csv_path + "'");
+    std::fputs(r.flow_csv.c_str(), file);
+    std::fclose(file);
+    out += "per-flow results written to " + csv_path + "\n";
+  }
+
+  out += "planned config: queue depth " + std::to_string(plan.config.queue_depth) +
+         ", buffers/port " + std::to_string(plan.config.buffers_per_port) +
+         ", enabled ports " + std::to_string(plan.config.port_count) + "\n\n";
+  auto line = [&out](const char* label, const analysis::ClassSummary& s) {
+    if (s.injected == 0) return;
+    out += std::string(label) + ": received " + std::to_string(s.received) + ", loss " +
+           format_percent(s.loss_rate()) + ", avg " +
+           format_double(s.avg_latency_us(), 1) + "us, jitter " +
+           format_double(s.jitter_us(), 2) + "us, deadline misses " +
+           std::to_string(s.deadline_misses) + "\n";
+  };
+  line("TS", r.ts);
+  line("RC", r.rc);
+  line("BE", r.be);
+  out += "switch drops " + std::to_string(r.switch_drops) + ", peak TS queue " +
+         std::to_string(r.peak_ts_queue) + "/" + std::to_string(plan.config.queue_depth) +
+         ", peak buffers " + std::to_string(r.peak_buffer_in_use) + "/" +
+         std::to_string(plan.config.buffers_per_port) + ", max sync error " +
+         std::to_string(r.max_sync_error.ns()) + "ns\n";
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  parser.add_option("scenario", "commercial | star | linear | ring", "ring");
+  parser.add_option("config", "price a saved configuration file instead of a preset", "");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb report [options]\n" + parser.usage();
+    return 2;
+  }
+  const std::string config_path = parser.get("config");
+  if (!config_path.empty()) {
+    out += baseline_comparison(builder::load_config(config_path));
+    return 0;
+  }
+  const std::string scenario = parser.get("scenario");
+  sw::SwitchResourceConfig config;
+  if (scenario == "commercial") {
+    config = builder::bcm53154_reference();
+  } else if (scenario == "star") {
+    config = builder::paper_customized(3);
+  } else if (scenario == "linear") {
+    config = builder::paper_customized(2);
+  } else if (scenario == "ring") {
+    config = builder::paper_customized(1);
+  } else {
+    throw Error("unknown --scenario '" + scenario + "'");
+  }
+  out += baseline_comparison(config);
+  return 0;
+}
+
+int cmd_frer(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  parser.add_option("switches", "bidirectional ring size", "6");
+  parser.add_option("flows", "replicated TS streams", "128");
+  parser.add_option("duration-ms", "traffic before and after the link cut", "100");
+  parser.add_option("seed", "simulation seed", "99");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb frer [options]\n" + parser.usage();
+    return 2;
+  }
+  const auto switches = parser.get_int("switches").value_or(6);
+  const auto flow_count = parser.get_int("flows").value_or(128);
+  const Duration window = milliseconds(parser.get_int("duration-ms").value_or(100));
+  require(switches >= 3 && flow_count >= 1, "invalid --switches / --flows");
+
+  event::Simulator sim;
+  topo::BuiltTopology built =
+      topo::make_ring_bidirectional(static_cast<std::size_t>(switches));
+  netsim::NetworkOptions opts;
+  opts.seed = static_cast<std::uint64_t>(parser.get_int("seed").value_or(99));
+  opts.resource.classification_table_size = 2 * flow_count + 8;
+  opts.resource.unicast_table_size = 2 * flow_count + 8;
+  traffic::TsWorkloadParams params;
+  params.flow_count = static_cast<std::size_t>(flow_count);
+  std::vector<traffic::FlowSpec> flows =
+      traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], params);
+  sched::ItpPlanner planner(built.topology, opts.runtime.slot_size);
+  planner.plan(flows).apply(flows);
+
+  netsim::Network net(sim, built.topology, opts);
+  std::int64_t failures = 0;
+  for (const traffic::FlowSpec& f : flows) {
+    failures += net.provision_frer(f, static_cast<VlanId>(2000 + f.id));
+  }
+  require(failures == 0, "FRER provisioning failed");
+  net.start_network();
+  (void)sim.run_until(TimePoint(0) + milliseconds(150));
+  net.start_traffic(TimePoint(0) + milliseconds(151));
+  (void)sim.run_until(TimePoint(0) + milliseconds(152) + window);
+
+  const auto hops = *built.topology.route(built.host_nodes[0], built.host_nodes[2]);
+  for (const topo::Hop& hop : hops) {
+    const topo::Link& l = built.topology.link(hop.link);
+    if (built.topology.node(l.node_a).kind == topo::NodeKind::kSwitch &&
+        built.topology.node(l.node_b).kind == topo::NodeKind::kSwitch) {
+      net.set_link_state(hop.link, false);
+      out += "cut ring link " + built.topology.node(l.node_a).name + " <-> " +
+             built.topology.node(l.node_b).name + " mid-run\n";
+      break;
+    }
+  }
+  (void)sim.run_until(sim.now() + window);
+  net.stop_traffic();
+  (void)sim.run_until(sim.now() + milliseconds(20));
+
+  const auto ts = net.analyzer().summary(net::TrafficClass::kTimeSensitive);
+  out += "TS: injected " + std::to_string(ts.injected) + ", delivered " +
+         std::to_string(ts.received) + ", loss " + format_percent(ts.loss_rate()) +
+         ", duplicates eliminated " +
+         std::to_string(net.nic_at(built.host_nodes[2]).frer_discarded()) +
+         ", frames eaten by the dead link " + std::to_string(net.link_drops()) + "\n";
+  return 0;
+}
+
+const char kTopUsage[] =
+    "tsnb — TSN-Builder command line\n"
+    "\n"
+    "subcommands:\n"
+    "  plan      derive resource parameters for an application (guidelines 1-5)\n"
+    "  simulate  plan (or --config), then verify by discrete-event simulation\n"
+    "  report    print a preset's or saved config's Table III-style report\n"
+    "  frer      802.1CB replication + mid-run link-cut failover demo\n"
+    "  help      this message\n"
+    "\n"
+    "run 'tsnb <subcommand> --help' equivalent: invalid options print usage.\n";
+
+}  // namespace
+
+int run_tsnb(const std::vector<std::string>& args, std::string& out) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out = kTopUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (args[0] == "plan") return cmd_plan(rest, out);
+    if (args[0] == "simulate") return cmd_simulate(rest, out);
+    if (args[0] == "report") return cmd_report(rest, out);
+    if (args[0] == "frer") return cmd_frer(rest, out);
+    out = "unknown subcommand '" + args[0] + "'\n\n" + kTopUsage;
+    return 2;
+  } catch (const Error& e) {
+    out += std::string("error: ") + e.what() + "\n";
+    return 1;
+  }
+}
+
+}  // namespace tsn::cli

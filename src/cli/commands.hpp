@@ -1,0 +1,19 @@
+// tsnb subcommands: plan / simulate / report.
+//
+// The CLI is the "rapid customization" workflow without writing C++:
+// describe the application (topology, flows, slot) on the command line,
+// get the planned resource parameters, the Table III-style BRAM report,
+// and a simulated verification run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsn::cli {
+
+/// Entry point used by the tsnb binary and by tests.
+/// argv-style: args[0] is the subcommand ("plan", "simulate", "report",
+/// "help"). Output goes to `out` so tests can capture it.
+int run_tsnb(const std::vector<std::string>& args, std::string& out);
+
+}  // namespace tsn::cli

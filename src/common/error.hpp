@@ -1,0 +1,27 @@
+// Error handling policy (C++ Core Guidelines E.2/E.3):
+//  * configuration / construction errors throw tsn::Error — they are
+//    programming or provisioning mistakes the caller must fix;
+//  * dataplane events that the hardware would count (queue-full drop,
+//    meter-red drop, buffer exhaustion) are NOT errors: they increment
+//    counters and the packet is dropped, exactly as on the FPGA.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tsn {
+
+/// Base exception for all configuration and usage errors in TSN-Builder.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws tsn::Error with `message` when `condition` is false.
+/// Used to validate API arguments and invariants at configuration time.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace tsn

@@ -1,0 +1,19 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace tsn {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  const auto idx = static_cast<std::size_t>(level);
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[idx],
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace tsn

@@ -1,0 +1,44 @@
+#include "common/mac_address.hpp"
+
+#include <cctype>
+
+namespace tsn {
+namespace {
+
+std::optional<int> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx" (17 chars).
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t base = i * 3;
+    const auto hi = hex_digit(text[base]);
+    const auto lo = hex_digit(text[base + 1]);
+    if (!hi || !lo) return std::nullopt;
+    if (i < 5 && text[base + 2] != ':') return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i != 0) out.push_back(':');
+    out.push_back(kHex[octets_[i] >> 4]);
+    out.push_back(kHex[octets_[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace tsn

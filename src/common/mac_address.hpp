@@ -1,0 +1,83 @@
+// IEEE 802 MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tsn {
+
+/// 48-bit IEEE 802 MAC address. Stored in network (transmission) byte order.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Builds an address from the low 48 bits of `value` (big-endian layout:
+  /// bits 47..40 become the first octet). Convenient for tests and for
+  /// assigning dense addresses to simulated hosts.
+  [[nodiscard]] static constexpr MacAddress from_u64(std::uint64_t value) {
+    std::array<std::uint8_t, 6> o{};
+    for (int i = 5; i >= 0; --i) {
+      o[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xFF);
+      value >>= 8;
+    }
+    return MacAddress(o);
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on
+  /// malformed input.
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (const std::uint8_t o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+  /// Group (multicast/broadcast) addresses have the I/G bit of the first
+  /// octet set. TSN-Builder splits multicast flows into unicast flows, but
+  /// the Packet Switch template still distinguishes them (paper Fig. 4).
+  [[nodiscard]] constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    for (const std::uint8_t o : octets_) {
+      if (o != 0xFF) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// VLAN identifier (12 bits, 1..4094 usable; 0 means priority-tagged).
+using VlanId = std::uint16_t;
+inline constexpr VlanId kMaxVlanId = 4095;
+
+/// 802.1Q Priority Code Point (3 bits, 0 lowest .. 7 highest).
+using Priority = std::uint8_t;
+inline constexpr Priority kMaxPriority = 7;
+inline constexpr std::size_t kPriorityLevels = 8;
+
+}  // namespace tsn
+
+template <>
+struct std::hash<tsn::MacAddress> {
+  std::size_t operator()(const tsn::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

@@ -1,0 +1,47 @@
+// Small integer math helpers used across the planner and resource model.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace tsn {
+
+/// Ceiling division for positive integers.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  return (num + den - 1) / den;
+}
+
+/// Rounds `v` up to the next multiple of `m` (m > 0).
+[[nodiscard]] constexpr std::int64_t round_up(std::int64_t v, std::int64_t m) {
+  return ceil_div(v, m) * m;
+}
+
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Smallest power of two >= v (v >= 1).
+[[nodiscard]] constexpr std::uint64_t next_power_of_two(std::uint64_t v) {
+  if (v <= 1) return 1;
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Least common multiple of a set of durations. The TSN "scheduling cycle"
+/// is the LCM of all flow periods (paper §III.C guideline 2).
+[[nodiscard]] inline Duration lcm_of_periods(std::span<const Duration> periods) {
+  require(!periods.empty(), "lcm_of_periods: empty period set");
+  std::int64_t acc = 1;
+  for (const Duration p : periods) {
+    require(p.ns() > 0, "lcm_of_periods: periods must be positive");
+    acc = std::lcm(acc, p.ns());
+  }
+  return Duration(acc);
+}
+
+}  // namespace tsn

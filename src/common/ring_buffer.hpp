@@ -1,0 +1,69 @@
+// Fixed-capacity ring buffer.
+//
+// Models a hardware FIFO: capacity is set once (the "queue depth" resource
+// parameter) and push fails — it does not grow — when full, mirroring the
+// tail-drop behaviour of the FPGA metadata queues.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tsn {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    require(capacity > 0, "RingBuffer: capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+  /// Appends `value`; returns false (and leaves the buffer unchanged)
+  /// when full. This is the hardware tail-drop path.
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Oldest element. Precondition: !empty().
+  [[nodiscard]] const T& front() const {
+    require(!empty(), "RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
+
+  /// Removes and returns the oldest element. Precondition: !empty().
+  T pop() {
+    require(!empty(), "RingBuffer::pop on empty buffer");
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return out;
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    require(i < size_, "RingBuffer::at out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tsn

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and trivially
+// seedable so every experiment in this repository is reproducible from a
+// single seed. std::mt19937 would also work but its state is bulky and its
+// seeding across standard libraries is a portability hazard.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tsn {
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection-free Lemire
+  /// reduction; the tiny modulo bias is irrelevant at 64-bit width.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    require(lo <= hi, "Rng::uniform: empty range");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full 64-bit range
+    __extension__ using U128 = unsigned __int128;
+    const U128 wide = static_cast<U128>((*this)()) * static_cast<U128>(span);
+    return lo + static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// Poisson inter-arrival times of best-effort background traffic.
+  [[nodiscard]] double exponential(double mean) {
+    require(mean > 0.0, "Rng::exponential: mean must be positive");
+    // 1 - uniform01() is in (0, 1], so the log argument never hits zero.
+    return -mean * std::log(1.0 - uniform01());
+  }
+
+  /// Picks an index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    require(n > 0, "Rng::index: n must be positive");
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tsn

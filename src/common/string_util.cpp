@@ -1,0 +1,70 @@
+#include "common/string_util.hpp"
+
+#include <cstdio>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace tsn {
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_trimmed(double value, int max_decimals) {
+  std::string s = format_double(value, max_decimals);
+  if (s.find('.') == std::string::npos) return s;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_string(Duration d) {
+  const std::int64_t ns = d.ns();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000'000 && abs_ns % 1'000'000 == 0) {
+    return format_trimmed(d.sec(), 3) + "s";
+  }
+  if (abs_ns >= 1'000'000 && abs_ns % 1'000 == 0) {
+    return format_trimmed(d.ms(), 3) + "ms";
+  }
+  if (abs_ns >= 1'000) {
+    return format_trimmed(d.us(), 3) + "us";
+  }
+  return std::to_string(ns) + "ns";
+}
+
+std::string to_string(TimePoint t) { return to_string(t - TimePoint(0)); }
+
+std::string to_string(BitCount b) {
+  const double kb = b.kilobits();
+  if (kb >= 1.0) return format_trimmed(kb, 3) + "Kb";
+  return std::to_string(b.bits()) + "b";
+}
+
+std::string to_string(DataRate r) {
+  if (r.bps() >= 1'000'000'000 && r.bps() % 1'000'000'000 == 0) {
+    return std::to_string(r.bps() / 1'000'000'000) + "Gbps";
+  }
+  if (r.bps() >= 1'000'000) {
+    return format_trimmed(static_cast<double>(r.bps()) / 1e6, 3) + "Mbps";
+  }
+  return std::to_string(r.bps()) + "bps";
+}
+
+}  // namespace tsn

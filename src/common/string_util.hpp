@@ -1,0 +1,21 @@
+// Formatting helpers shared by the resource report and bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsn {
+
+/// Formats a double with `decimals` fractional digits ("16.875").
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Formats a double, trimming trailing zeros ("16.875", "72", "46.59").
+[[nodiscard]] std::string format_trimmed(double value, int max_decimals = 3);
+
+/// "46.59%"-style percentage with two decimals.
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 2);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace tsn

@@ -1,0 +1,73 @@
+#include "common/text_table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tsn {
+namespace {
+
+void append_row(std::string& out, const std::vector<std::string>& cells,
+                const std::vector<std::size_t>& widths) {
+  out += "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    out += " ";
+    out += cell;
+    out.append(widths[c] - cell.size(), ' ');
+    out += " |";
+  }
+  out += "\n";
+}
+
+void append_rule(std::string& out, const std::vector<std::size_t>& widths) {
+  out += "|";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  require(rows_.empty(), "TextTable: set_header must precede add_row");
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  if (!header_.empty()) {
+    append_row(out, header_, widths);
+    append_rule(out, widths);
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end()) {
+      append_rule(out, widths);
+    }
+    append_row(out, rows_[r], widths);
+  }
+  return out;
+}
+
+}  // namespace tsn

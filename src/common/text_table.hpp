@@ -1,0 +1,35 @@
+// Plain-text table renderer used to print paper-style tables
+// (Table I / Table III) from the bench harnesses and ResourceReport.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsn {
+
+/// Accumulates rows of cells and renders them with aligned columns:
+///
+///   | Resource Type | Parameters | BRAMs  |
+///   |---------------|------------|--------|
+///   | Switch Tbl    | 16K, 0     | 1152Kb |
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> cells);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row (used to separate
+  /// a totals row, as the paper tables do).
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+}  // namespace tsn

@@ -1,0 +1,108 @@
+// Data-size and data-rate units.
+//
+// Resource accounting in the paper is in Kb (1 Kb = 1024 bits) of on-chip
+// BRAM; link speeds are bits/second. Strong types keep bit/byte and
+// rate/size confusion out of the dataplane and the resource model.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace tsn {
+
+/// A quantity of memory or payload measured in bits.
+class BitCount {
+ public:
+  constexpr BitCount() = default;
+  constexpr explicit BitCount(std::int64_t bits) : bits_(bits) {}
+
+  [[nodiscard]] static constexpr BitCount from_bytes(std::int64_t bytes) {
+    return BitCount(bytes * 8);
+  }
+  [[nodiscard]] static constexpr BitCount from_kilobits(std::int64_t kb) {
+    return BitCount(kb * 1024);
+  }
+
+  [[nodiscard]] constexpr std::int64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr std::int64_t bytes() const { return bits_ / 8; }
+  /// Kb as the paper reports it (1 Kb = 1024 bits); may be fractional
+  /// (the per-buffer cost is 16.875 Kb).
+  [[nodiscard]] constexpr double kilobits() const {
+    return static_cast<double>(bits_) / 1024.0;
+  }
+
+  constexpr auto operator<=>(const BitCount&) const = default;
+
+  constexpr BitCount& operator+=(BitCount o) { bits_ += o.bits_; return *this; }
+  constexpr BitCount& operator-=(BitCount o) { bits_ -= o.bits_; return *this; }
+
+  friend constexpr BitCount operator+(BitCount a, BitCount b) { return BitCount(a.bits_ + b.bits_); }
+  friend constexpr BitCount operator-(BitCount a, BitCount b) { return BitCount(a.bits_ - b.bits_); }
+  friend constexpr BitCount operator*(BitCount a, std::int64_t k) { return BitCount(a.bits_ * k); }
+  friend constexpr BitCount operator*(std::int64_t k, BitCount a) { return a * k; }
+
+ private:
+  std::int64_t bits_ = 0;
+};
+
+namespace literals {
+constexpr BitCount operator""_bits(unsigned long long n) { return BitCount(static_cast<std::int64_t>(n)); }
+constexpr BitCount operator""_bytes(unsigned long long n) { return BitCount::from_bytes(static_cast<std::int64_t>(n)); }
+constexpr BitCount operator""_Kb(unsigned long long n) { return BitCount::from_kilobits(static_cast<std::int64_t>(n)); }
+}  // namespace literals
+
+/// A transmission or policing rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(std::int64_t bps) : bps_(bps) {}
+
+  [[nodiscard]] static constexpr DataRate bits_per_sec(std::int64_t bps) { return DataRate(bps); }
+  [[nodiscard]] static constexpr DataRate kilobits_per_sec(std::int64_t kbps) { return DataRate(kbps * 1'000); }
+  [[nodiscard]] static constexpr DataRate megabits_per_sec(std::int64_t mbps) { return DataRate(mbps * 1'000'000); }
+  [[nodiscard]] static constexpr DataRate gigabits_per_sec(std::int64_t gbps) { return DataRate(gbps * 1'000'000'000); }
+
+  [[nodiscard]] constexpr std::int64_t bps() const { return bps_; }
+  [[nodiscard]] constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  /// Time to serialize `size` at this rate, rounded up to whole ns.
+  /// 64 B at 1 Gbps -> exactly 512 ns.
+  [[nodiscard]] constexpr Duration transmission_time(BitCount size) const {
+    const std::int64_t num = size.bits() * 1'000'000'000;
+    return Duration((num + bps_ - 1) / bps_);
+  }
+
+  /// Number of bits that pass in `d` (floor).
+  [[nodiscard]] constexpr BitCount bits_in(Duration d) const {
+    // bps * ns / 1e9 without overflow for rates <= ~9.2 Tbps and d <= ~1e6 s:
+    // split ns into seconds and remainder.
+    const std::int64_t s = d.ns() / 1'000'000'000;
+    const std::int64_t rem = d.ns() % 1'000'000'000;
+    return BitCount(bps_ * s + bps_ * rem / 1'000'000'000);
+  }
+
+  [[nodiscard]] constexpr DataRate scaled_percent(std::int64_t pct) const {
+    return DataRate(bps_ * pct / 100);
+  }
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Ethernet physical-layer overheads that occupy the wire in addition to the
+/// frame itself (IEEE 802.3): 7 B preamble + 1 B SFD, and the minimum
+/// inter-frame gap of 12 B.
+inline constexpr BitCount kEthernetPreambleSfd = BitCount::from_bytes(8);
+inline constexpr BitCount kEthernetInterFrameGap = BitCount::from_bytes(12);
+inline constexpr std::int64_t kEthernetMinFrameBytes = 64;    // incl. FCS
+inline constexpr std::int64_t kEthernetMaxFrameBytes = 1518;  // untagged, incl. FCS
+
+[[nodiscard]] std::string to_string(BitCount b);
+[[nodiscard]] std::string to_string(DataRate r);
+
+}  // namespace tsn

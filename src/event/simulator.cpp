@@ -1,0 +1,100 @@
+#include "event/simulator.hpp"
+
+#include <utility>
+
+namespace tsn::event {
+
+EventId Simulator::schedule_at(TimePoint at, Callback callback) {
+  require(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
+  require(static_cast<bool>(callback), "Simulator::schedule_at: null callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return EventId{id};
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void Simulator::skim_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+void Simulator::execute_top() {
+  const Entry top = heap_.top();
+  heap_.pop();
+  now_ = top.at;
+  // Move the callback out before invoking: the callback may schedule or
+  // cancel other events (rehashing callbacks_), or even schedule at the
+  // same timestamp.
+  auto node = callbacks_.extract(top.id);
+  ++executed_;
+  node.mapped()();
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t count = 0;
+  while (count < limit) {
+    skim_cancelled();
+    if (heap_.empty()) break;
+    execute_top();
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t Simulator::run_until(TimePoint until) {
+  require(until >= now_, "Simulator::run_until: target time is in the past");
+  std::uint64_t count = 0;
+  while (true) {
+    skim_cancelled();
+    if (heap_.empty() || heap_.top().at > until) break;
+    execute_top();
+    ++count;
+  }
+  now_ = until;
+  return count;
+}
+
+bool Simulator::step() {
+  skim_cancelled();
+  if (heap_.empty()) return false;
+  execute_top();
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, TimePoint first, Duration period,
+                           std::function<void()> callback)
+    : sim_(sim), period_(period), callback_(std::move(callback)) {
+  require(period_.ns() > 0, "PeriodicTask: period must be positive");
+  require(static_cast<bool>(callback_), "PeriodicTask: null callback");
+  arm(first);
+}
+
+void PeriodicTask::arm(TimePoint at) {
+  pending_ = sim_.schedule_at(at, [this, at] {
+    // Re-arm first so the callback may stop() the task.
+    arm(at + period_);
+    callback_();
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventId{};
+}
+
+}  // namespace tsn::event

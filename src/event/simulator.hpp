@@ -1,0 +1,117 @@
+// Discrete-event simulation kernel.
+//
+// The whole network — switch pipelines, link serialization, gPTP message
+// exchange, gate updates, traffic injection — is driven by one Simulator.
+// Events at equal timestamps execute in scheduling order (a monotonically
+// increasing sequence number breaks ties), so runs are bit-for-bit
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace tsn::event {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  auto operator<=>(const EventId&) const = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Only advances inside run()/run_until()/step().
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `at` (must not be in the past).
+  EventId schedule_at(TimePoint at, Callback callback);
+
+  /// Schedules `callback` after `delay` (delay >= 0).
+  EventId schedule_in(Duration delay, Callback callback) {
+    return schedule_at(now_ + delay, std::move(callback));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs until the event queue is empty or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs all events with time <= `until`, then sets now() == until.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(TimePoint until);
+
+  /// Executes the single earliest pending event. Returns false if none.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] bool idle() const { return pending_events() == 0; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    // Ordered for a min-heap via std::greater.
+    [[nodiscard]] bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the heap top.
+  void skim_cancelled();
+  void execute_top();
+
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeats a callback with a fixed period, starting at `first`.
+/// Owns its scheduling; destroy (or stop()) to end the repetition.
+class PeriodicTask {
+ public:
+  /// `callback` runs at first, first+period, first+2*period, ...
+  PeriodicTask(Simulator& sim, TimePoint first, Duration period,
+               std::function<void()> callback);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(TimePoint at);
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> callback_;
+  EventId pending_{};
+  bool running_ = true;
+};
+
+}  // namespace tsn::event

@@ -1,0 +1,64 @@
+#include "frer/sequence_recovery.hpp"
+
+#include <algorithm>
+
+namespace tsn::frer {
+
+SequenceRecovery::SequenceRecovery(std::size_t history_length) {
+  require(history_length >= 1, "SequenceRecovery: history length must be >= 1");
+  seen_.assign(history_length, false);
+}
+
+bool SequenceRecovery::accept(std::uint64_t sequence) {
+  const std::uint64_t window = seen_.size();
+  if (!started_) {
+    started_ = true;
+    highest_ = sequence;
+    std::fill(seen_.begin(), seen_.end(), false);
+    seen_[sequence % window] = true;
+    ++passed_;
+    return true;
+  }
+
+  if (sequence > highest_) {
+    // Advancing the window: clear the slots the window slides past.
+    const std::uint64_t advance = sequence - highest_;
+    if (advance >= window) {
+      std::fill(seen_.begin(), seen_.end(), false);
+    } else {
+      for (std::uint64_t s = highest_ + 1; s <= sequence; ++s) {
+        seen_[s % window] = false;
+      }
+    }
+    highest_ = sequence;
+    seen_[sequence % window] = true;
+    ++passed_;
+    return true;
+  }
+
+  // At or behind the highest: inside the window it may be a late first
+  // copy; behind the window it is rogue.
+  if (highest_ - sequence >= window) {
+    ++discarded_;
+    ++rogue_;
+    return false;
+  }
+  if (seen_[sequence % window]) {
+    ++discarded_;  // duplicate from the other path
+    return false;
+  }
+  seen_[sequence % window] = true;
+  ++passed_;  // late first copy (reordered across paths)
+  return true;
+}
+
+void SequenceRecovery::reset() {
+  std::fill(seen_.begin(), seen_.end(), false);
+  started_ = false;
+  highest_ = 0;
+  passed_ = 0;
+  discarded_ = 0;
+  rogue_ = 0;
+}
+
+}  // namespace tsn::frer

@@ -1,0 +1,47 @@
+// 802.1CB FRER sequence recovery — the "flow integrity" member of the TSN
+// standard family the paper's introduction lists.
+//
+// A replicated stream reaches the listener over two (or more) disjoint
+// paths; the sequence recovery function passes the first copy of each
+// sequence number and discards the rest. This implementation follows the
+// standard's vector recovery algorithm: a sliding window of
+// `history_length` sequence numbers around the highest accepted number,
+// with counters for passed / discarded / rogue packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tsn::frer {
+
+class SequenceRecovery {
+ public:
+  /// `history_length` — how many sequence numbers around the latest one
+  /// are tracked (the standard's frerSeqRcvyHistoryLength, default 64).
+  explicit SequenceRecovery(std::size_t history_length = 64);
+
+  /// Offers a received sequence number. True = first copy, deliver;
+  /// false = duplicate or outside the window (discard).
+  [[nodiscard]] bool accept(std::uint64_t sequence);
+
+  [[nodiscard]] std::uint64_t passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+  /// Packets so far behind the window that they are treated as rogue
+  /// (counted inside discarded() as well).
+  [[nodiscard]] std::uint64_t rogue() const { return rogue_; }
+  [[nodiscard]] std::size_t history_length() const { return seen_.size(); }
+
+  void reset();
+
+ private:
+  std::vector<bool> seen_;  // ring indexed by sequence % history
+  std::uint64_t highest_ = 0;
+  bool started_ = false;
+  std::uint64_t passed_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t rogue_ = 0;
+};
+
+}  // namespace tsn::frer

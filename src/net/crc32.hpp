@@ -1,0 +1,22 @@
+// IEEE 802.3 CRC-32 (the Ethernet FCS).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tsn::net {
+
+/// CRC-32 as used by the Ethernet FCS: polynomial 0x04C11DB7 (reflected
+/// 0xEDB88320), initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF, reflected
+/// input and output.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: feed successive chunks with the previous return value
+/// (start from crc32_init()) then finalize.
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data);
+[[nodiscard]] constexpr std::uint32_t crc32_finalize(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tsn::net

@@ -1,0 +1,97 @@
+#include "net/ethernet.hpp"
+
+#include <algorithm>
+
+#include "net/crc32.hpp"
+
+namespace tsn::net {
+namespace {
+
+constexpr std::int64_t kHeaderBytes = 14;  // dst + src + ethertype
+constexpr std::int64_t kVlanTagBytes = 4;
+constexpr std::int64_t kFcsBytes = 4;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+}  // namespace
+
+std::int64_t EthernetFrame::frame_bytes() const {
+  std::int64_t len = kHeaderBytes + static_cast<std::int64_t>(payload.size()) + kFcsBytes;
+  if (vlan) len += kVlanTagBytes;
+  // 802.3 minimum frame size: pad the payload. (Tagged frames may be 68 B;
+  // we follow the common practice of padding to 64 B total either way.)
+  return std::max<std::int64_t>(len, kEthernetMinFrameBytes);
+}
+
+std::vector<std::uint8_t> EthernetFrame::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(frame_bytes()));
+  out.insert(out.end(), dst.octets().begin(), dst.octets().end());
+  out.insert(out.end(), src.octets().begin(), src.octets().end());
+  if (vlan) {
+    put_u16(out, kEtherTypeVlan);
+    put_u16(out, vlan->tci());
+  }
+  put_u16(out, ethertype);
+  out.insert(out.end(), payload.begin(), payload.end());
+  // Pad to minimum size (before FCS).
+  const auto target = static_cast<std::size_t>(frame_bytes() - kFcsBytes);
+  if (out.size() < target) out.resize(target, 0);
+  const std::uint32_t fcs = crc32(out);
+  // FCS is transmitted least-significant byte first.
+  out.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 24) & 0xFF));
+  return out;
+}
+
+std::optional<ParseResult> parse_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < static_cast<std::size_t>(kEthernetMinFrameBytes)) return std::nullopt;
+
+  ParseResult result;
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(bytes.begin(), 6, mac.begin());
+  result.frame.dst = MacAddress(mac);
+  std::copy_n(bytes.begin() + 6, 6, mac.begin());
+  result.frame.src = MacAddress(mac);
+
+  std::size_t offset = 12;
+  std::uint16_t ethertype = get_u16(bytes, offset);
+  offset += 2;
+  if (ethertype == kEtherTypeVlan) {
+    if (bytes.size() < offset + 4) return std::nullopt;
+    result.frame.vlan = VlanTag::from_tci(get_u16(bytes, offset));
+    offset += 2;
+    ethertype = get_u16(bytes, offset);
+    offset += 2;
+  }
+  result.frame.ethertype = ethertype;
+
+  if (bytes.size() < offset + static_cast<std::size_t>(kFcsBytes)) return std::nullopt;
+  const std::size_t payload_len = bytes.size() - offset - kFcsBytes;
+  result.frame.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                              bytes.begin() + static_cast<std::ptrdiff_t>(offset + payload_len));
+
+  const std::uint32_t computed = crc32(bytes.first(bytes.size() - kFcsBytes));
+  const std::size_t f = bytes.size() - kFcsBytes;
+  const std::uint32_t stored = static_cast<std::uint32_t>(bytes[f]) |
+                               (static_cast<std::uint32_t>(bytes[f + 1]) << 8) |
+                               (static_cast<std::uint32_t>(bytes[f + 2]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[f + 3]) << 24);
+  result.fcs_ok = computed == stored;
+  return result;
+}
+
+BitCount wire_bits(std::int64_t frame_bytes) {
+  return BitCount::from_bytes(frame_bytes) + kEthernetPreambleSfd + kEthernetInterFrameGap;
+}
+
+}  // namespace tsn::net

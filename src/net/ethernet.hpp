@@ -1,0 +1,74 @@
+// Byte-level IEEE 802.3 / 802.1Q Ethernet frame model.
+//
+// The switch dataplane operates on the lighter tsn::net::Packet, but the
+// parser submodule of the Packet Switch template (paper Fig. 5) is exercised
+// against real frame bytes produced and consumed here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "common/units.hpp"
+
+namespace tsn::net {
+
+/// 802.1Q tag contents (TPID 0x8100 implied).
+struct VlanTag {
+  Priority pcp = 0;   // Priority Code Point, 3 bits
+  bool dei = false;   // Drop Eligible Indicator
+  VlanId vid = 0;     // VLAN identifier, 12 bits
+
+  [[nodiscard]] std::uint16_t tci() const {
+    return static_cast<std::uint16_t>((pcp << 13) | (dei ? 0x1000 : 0) | (vid & 0x0FFF));
+  }
+  [[nodiscard]] static VlanTag from_tci(std::uint16_t tci) {
+    return VlanTag{static_cast<Priority>((tci >> 13) & 0x7), (tci & 0x1000) != 0,
+                   static_cast<VlanId>(tci & 0x0FFF)};
+  }
+  auto operator<=>(const VlanTag&) const = default;
+};
+
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeGptp = 0x88F7;  // IEEE 802.1AS / PTP
+inline constexpr std::uint16_t kEtherTypeTsnData = 0xB62C;  // experimental payload
+
+/// A complete Ethernet frame. `payload` excludes headers and FCS.
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::optional<VlanTag> vlan;
+  std::uint16_t ethertype = kEtherTypeTsnData;
+  std::vector<std::uint8_t> payload;
+
+  /// Frame length on the wire excluding preamble/IFG but including the
+  /// 4-byte FCS and any padding needed to reach the 64-byte minimum.
+  [[nodiscard]] std::int64_t frame_bytes() const;
+
+  /// Serializes to bytes including padding and a correct FCS.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  bool operator==(const EthernetFrame&) const = default;
+};
+
+/// Result of parsing raw bytes back into a frame.
+struct ParseResult {
+  EthernetFrame frame;
+  bool fcs_ok = false;
+};
+
+/// Parses a serialized frame (as produced by serialize(), i.e. including
+/// FCS). Returns nullopt for frames shorter than the minimal header or
+/// truncated tags. A bad FCS parses but reports fcs_ok == false — real
+/// switches count those frames rather than crash.
+[[nodiscard]] std::optional<ParseResult> parse_frame(std::span<const std::uint8_t> bytes);
+
+/// Total wire occupancy (preamble + SFD + frame + IFG) in bits; this is
+/// what the link model charges per transmission.
+[[nodiscard]] BitCount wire_bits(std::int64_t frame_bytes);
+
+}  // namespace tsn::net

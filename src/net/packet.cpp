@@ -1,0 +1,47 @@
+#include "net/packet.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::net {
+
+std::string to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kTimeSensitive: return "TS";
+    case TrafficClass::kRateConstrained: return "RC";
+    case TrafficClass::kBestEffort: return "BE";
+  }
+  return "?";
+}
+
+Packet packet_with_frame_size(std::int64_t total_frame_bytes) {
+  require(total_frame_bytes >= kEthernetMinFrameBytes &&
+              total_frame_bytes <= kEthernetMaxFrameBytes + 4,
+          "packet_with_frame_size: frame size out of [64, 1522]");
+  Packet p;
+  // frame = 14 header + 4 vlan + payload + 4 fcs.
+  p.payload_bytes = total_frame_bytes - 22;
+  if (p.payload_bytes < 42) p.payload_bytes = 42;  // min-padded frame
+  return p;
+}
+
+EthernetFrame to_frame(const Packet& p) {
+  EthernetFrame f;
+  f.dst = p.dst;
+  f.src = p.src;
+  f.vlan = p.vlan;
+  f.ethertype = p.ethertype;
+  f.payload.assign(static_cast<std::size_t>(p.payload_bytes), 0);
+  return f;
+}
+
+Packet from_frame(const EthernetFrame& f) {
+  Packet p;
+  p.dst = f.dst;
+  p.src = f.src;
+  p.vlan = f.vlan.value_or(VlanTag{});
+  p.ethertype = f.ethertype;
+  p.payload_bytes = static_cast<std::int64_t>(f.payload.size());
+  return p;
+}
+
+}  // namespace tsn::net

@@ -1,0 +1,70 @@
+// The simulation packet: the unit the switch dataplane operates on.
+//
+// Header fields are kept unpacked (parsing happened at the ingress parser),
+// and the payload is represented by its length only — the paper's switches
+// never inspect payload bytes, so carrying them through every hop would
+// only slow the simulation down. Byte-accurate frames are available via
+// to_frame()/from_frame() for parser-path tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/mac_address.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "net/ethernet.hpp"
+
+namespace tsn::net {
+
+/// TSN traffic classes (paper §II.A): Time-Sensitive (highest priority),
+/// Rate-Constrained (medium), Best-Effort (lowest).
+enum class TrafficClass : std::uint8_t { kTimeSensitive, kRateConstrained, kBestEffort };
+
+[[nodiscard]] std::string to_string(TrafficClass c);
+
+using FlowId = std::uint32_t;
+inline constexpr FlowId kInvalidFlowId = 0xFFFFFFFFu;
+
+/// Measurement metadata stamped by the traffic generator (TSNNic) and read
+/// by the analyzer. A real tester carries this inside the payload; we keep
+/// it beside the packet for convenience — the switches never read it.
+struct PacketMeta {
+  FlowId flow_id = kInvalidFlowId;
+  std::uint64_t sequence = 0;
+  TimePoint injected_at{};      // talker timestamp
+  Duration deadline{};          // TS flows: relative end-to-end deadline
+  TrafficClass traffic_class = TrafficClass::kBestEffort;
+};
+
+struct Packet {
+  MacAddress dst;
+  MacAddress src;
+  VlanTag vlan;                        // the evaluation always VLAN-tags
+  std::uint16_t ethertype = kEtherTypeTsnData;
+  std::int64_t payload_bytes = 46;     // Ethernet payload length
+  PacketMeta meta;
+
+  /// Wire frame length incl. tag + FCS, min-padded (>= 64 B).
+  [[nodiscard]] std::int64_t frame_bytes() const {
+    const std::int64_t len = 14 + 4 + payload_bytes + 4;
+    return len < kEthernetMinFrameBytes ? kEthernetMinFrameBytes : len;
+  }
+
+  /// Bits occupied on the link per transmission (preamble + frame + IFG).
+  [[nodiscard]] BitCount wire_bits() const { return net::wire_bits(frame_bytes()); }
+};
+
+/// Returns a Packet whose payload length makes frame_bytes() == total
+/// (total in [64, 1518]). The paper sweeps "packet size" as the full frame
+/// size {64, 128, ..., 1500} B.
+[[nodiscard]] Packet packet_with_frame_size(std::int64_t total_frame_bytes);
+
+/// Converts to a byte-accurate frame (payload zero-filled to length).
+[[nodiscard]] EthernetFrame to_frame(const Packet& p);
+
+/// Extracts the dataplane view from a parsed frame. Untagged frames map to
+/// vlan {pcp=0, vid=0}. Measurement metadata is default-initialized.
+[[nodiscard]] Packet from_frame(const EthernetFrame& f);
+
+}  // namespace tsn::net

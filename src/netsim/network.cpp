@@ -1,0 +1,342 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/math_util.hpp"
+
+namespace tsn::netsim {
+
+Network::Network(event::Simulator& sim, const topo::Topology& topology,
+                 NetworkOptions options)
+    : sim_(sim), topology_(&topology), options_(std::move(options)), rng_(options_.seed) {
+  options_.resource.validate();
+  options_.runtime.validate();
+  build_devices();
+  build_links();
+  if (options_.enable_gptp || options_.free_run_drift) build_gptp();
+}
+
+void Network::build_devices() {
+  for (const topo::Node& node : topology_->nodes()) {
+    if (node.kind == topo::NodeKind::kSwitch) {
+      const std::int64_t ports = std::max<std::int64_t>(1, node.port_count);
+      switches_.emplace(node.id, std::make_unique<sw::TsnSwitch>(
+                                     sim_, node.name, options_.resource, options_.runtime,
+                                     ports));
+    } else {
+      nics_.emplace(node.id, std::make_unique<TsnNic>(sim_, node.id,
+                                                      options_.runtime.link_rate, analyzer_,
+                                                      options_.seed ^ (node.id * 0x9E37ULL)));
+    }
+  }
+}
+
+void Network::build_links() {
+  for (const topo::Node& node : topology_->nodes()) {
+    endpoints_[node.id].resize(node.port_count);
+  }
+  link_up_.assign(topology_->link_count(), true);
+  for (const topo::Link& link : topology_->links()) {
+    endpoints_[link.node_a][link.port_a] =
+        Endpoint{link.node_b, link.port_b, link.propagation, link.id};
+    endpoints_[link.node_b][link.port_b] =
+        Endpoint{link.node_a, link.port_a, link.propagation, link.id};
+  }
+
+  for (auto& [node, sw_ptr] : switches_) {
+    sw::TsnSwitch* device = sw_ptr.get();
+    const topo::NodeId id = node;
+    device->set_tx_callback([this, id](tables::PortIndex port, const net::Packet& packet) {
+      deliver(id, port, packet);
+    });
+  }
+  for (auto& [node, nic_ptr] : nics_) {
+    TsnNic* nic = nic_ptr.get();
+    const topo::NodeId id = node;
+    nic->set_tx_callback([this, id](const net::Packet& packet) { deliver(id, 0, packet); });
+  }
+}
+
+void Network::deliver(topo::NodeId from, std::uint8_t port, const net::Packet& packet) {
+  const auto it = endpoints_.find(from);
+  require(it != endpoints_.end() && port < it->second.size(), "deliver: unknown endpoint");
+  const Endpoint& ep = it->second[port];
+  if (ep.peer == topo::kInvalidNode) return;  // unconnected port
+  const bool up = link_up_[ep.link];
+  if (trace_ != nullptr) {
+    trace_->record(TraceEntry{sim_.now(), from, port, ep.peer, packet.meta.flow_id,
+                              packet.meta.sequence,
+                              static_cast<std::int32_t>(packet.frame_bytes()), !up});
+  }
+  if (!up) {
+    ++link_drops_;  // failure injection: transmission onto a dead link
+    return;
+  }
+  sim_.schedule_in(ep.propagation, [this, ep, packet] {
+    if (const auto sw_it = switches_.find(ep.peer); sw_it != switches_.end()) {
+      sw_it->second->receive(ep.peer_port, packet);
+      return;
+    }
+    if (const auto nic_it = nics_.find(ep.peer); nic_it != nics_.end()) {
+      nic_it->second->receive(packet);
+    }
+  });
+}
+
+void Network::build_gptp() {
+  gptp_ = std::make_unique<timesync::GptpDomain>(sim_, options_.seed ^ 0xC1CADAULL);
+
+  // One gPTP node per device; the first switch is the grandmaster.
+  const std::vector<topo::NodeId> switch_nodes = topology_->switches();
+  require(!switch_nodes.empty(), "build_gptp: topology has no switches");
+
+  auto drift = [this]() {
+    return rng_.uniform_real(-options_.max_drift_ppm, options_.max_drift_ppm);
+  };
+  for (const topo::Node& node : topology_->nodes()) {
+    timesync::GptpNode& gn = gptp_->add_node(node.name, drift());
+    gptp_index_.emplace(node.id, gn.index());
+  }
+
+  // Spanning tree by BFS from the grandmaster over the physical links
+  // (link direction restricts forwarding, not PTP).
+  std::vector<bool> visited(topology_->node_count(), false);
+  std::deque<topo::NodeId> frontier{switch_nodes.front()};
+  visited[switch_nodes.front()] = true;
+  while (!frontier.empty()) {
+    const topo::NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const topo::Link& link : topology_->links()) {
+      topo::NodeId other = topo::kInvalidNode;
+      if (link.node_a == cur) other = link.node_b;
+      if (link.node_b == cur) other = link.node_a;
+      if (other == topo::kInvalidNode || visited[other]) continue;
+      visited[other] = true;
+      gptp_->connect(gptp_->node(gptp_index_.at(cur)), gptp_->node(gptp_index_.at(other)),
+                     link.propagation);
+      frontier.push_back(other);
+    }
+  }
+
+  // Attach the disciplined clocks to the dataplane devices.
+  for (auto& [node, sw_ptr] : switches_) {
+    sw_ptr->use_clock(gptp_->node(gptp_index_.at(node)).clock());
+  }
+  for (auto& [node, nic_ptr] : nics_) {
+    nic_ptr->use_clock(gptp_->node(gptp_index_.at(node)).clock());
+  }
+}
+
+std::int64_t Network::provision(const std::vector<traffic::FlowSpec>& flows) {
+  std::int64_t failures = 0;
+  // Aggregated CBS reservations: (switch, port, queue) -> bps.
+  std::map<std::tuple<topo::NodeId, std::uint8_t, tables::QueueId>, std::int64_t> cbs_bps;
+
+  for (const traffic::FlowSpec& flow : flows) {
+    flow.validate();
+    const auto route = topology_->route(flow.src_host, flow.dst_host);
+    if (!route) {
+      log_warn("provision: no route for flow ", flow.id);
+      ++failures;
+      continue;
+    }
+
+    const MacAddress src_mac = traffic::host_mac(flow.src_host);
+    const MacAddress dst_mac = traffic::host_mac(flow.dst_host);
+
+    for (const topo::Hop& hop : *route) {
+      if (topology_->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+      sw::TsnSwitch& device = switch_at(hop.node);
+
+      if (!device.add_unicast(dst_mac, flow.vid, hop.out_port)) ++failures;
+
+      tables::MeterId meter = tables::kNoMeter;
+      if (flow.type == net::TrafficClass::kRateConstrained) {
+        // Police at the reserved rate with headroom; burst of 2 frames.
+        const DataRate police(static_cast<std::int64_t>(
+            static_cast<double>(flow.rate.bps()) * (1.0 + options_.cbs_headroom)));
+        meter = device.install_meter(std::min(police, options_.runtime.link_rate),
+                                     2 * flow.frame_bytes);
+        if (meter == tables::kNoMeter) ++failures;
+        cbs_bps[{hop.node, hop.out_port, flow.priority}] += flow.rate.bps();
+      }
+
+      const tables::ClassificationKey key{src_mac, dst_mac, flow.vid, flow.priority};
+      // Tight 802.1Qci per-stream filter: the provisioned frame size is
+      // the stream's max SDU; anything larger is a misbehaving talker.
+      const tables::ClassificationResult result{
+          meter, flow.priority, static_cast<std::int32_t>(flow.frame_bytes)};
+      if (!device.add_class_entry(key, result)) {
+        ++failures;
+      }
+    }
+
+    // Register on the source NIC.
+    nic_at(flow.src_host).add_flow(flow);
+  }
+
+  // Bind credit-based shapers for the aggregated RC reservations.
+  for (const auto& [where, bps] : cbs_bps) {
+    const auto& [node, port, queue] = where;
+    const DataRate idle(std::min<std::int64_t>(
+        options_.runtime.link_rate.bps(),
+        static_cast<std::int64_t>(static_cast<double>(bps) *
+                                  (1.0 + options_.cbs_headroom))));
+    if (!switch_at(node).bind_shaper(
+            port, queue, tables::CbsConfig::for_reservation(idle, options_.runtime.link_rate))) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+std::int64_t Network::provision_route(const traffic::FlowSpec& flow,
+                                       const std::vector<topo::Hop>& hops) {
+  std::int64_t failures = 0;
+  const MacAddress src_mac = traffic::host_mac(flow.src_host);
+  const MacAddress dst_mac = traffic::host_mac(flow.dst_host);
+  for (const topo::Hop& hop : hops) {
+    if (topology_->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+    sw::TsnSwitch& device = switch_at(hop.node);
+    if (!device.add_unicast(dst_mac, flow.vid, hop.out_port)) ++failures;
+    const tables::ClassificationKey key{src_mac, dst_mac, flow.vid, flow.priority};
+    if (!device.add_class_entry(key,
+                                tables::ClassificationResult{tables::kNoMeter, flow.priority})) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+std::int64_t Network::provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid) {
+  flow.validate();
+  require(flow.type == net::TrafficClass::kTimeSensitive,
+          "provision_frer: replication is for TS streams");
+  const auto primary = topology_->route(flow.src_host, flow.dst_host);
+  require(primary.has_value(), "provision_frer: no route for the primary member");
+  std::vector<topo::LinkId> used;
+  for (const topo::Hop& hop : *primary) {
+    // Only switch-to-switch links must be disjoint; the shared host
+    // attachment links are unavoidable.
+    const topo::Link& l = topology_->link(hop.link);
+    if (topology_->node(l.node_a).kind == topo::NodeKind::kSwitch &&
+        topology_->node(l.node_b).kind == topo::NodeKind::kSwitch) {
+      used.push_back(hop.link);
+    }
+  }
+  const auto secondary = topology_->route_avoiding(flow.src_host, flow.dst_host, used);
+  require(secondary.has_value(),
+          "provision_frer: no link-disjoint secondary path in this topology");
+
+  std::int64_t failures = provision_route(flow, *primary);
+  traffic::FlowSpec member = flow;
+  member.vid = secondary_vid;
+  failures += provision_route(member, *secondary);
+
+  nic_at(flow.src_host).add_replicated_flow(flow, secondary_vid);
+  nic_at(flow.dst_host).enable_frer_elimination(flow.id);
+  return failures;
+}
+
+void Network::set_link_state(topo::LinkId link, bool up) {
+  require(link < link_up_.size(), "set_link_state: unknown link");
+  link_up_[link] = up;
+}
+
+void Network::start_network() {
+  require(!network_started_, "Network::start_network: already started");
+  network_started_ = true;
+  // Under free_run_drift the domain exists (drifting clocks are attached)
+  // but the synchronization protocol never runs.
+  if (gptp_ && options_.enable_gptp) {
+    gptp_->start(options_.gptp);
+    // Track the worst-case error over the whole run, not just the final
+    // instant. The probe arms after the 802.1AS startup window (~12 sync
+    // exchanges: rate-ratio EWMA locked) so servo convergence transients
+    // are not charged against the steady-state precision figure.
+    sync_probe_ = std::make_unique<event::PeriodicTask>(
+        sim_, sim_.now() + options_.gptp.sync_interval * 12, milliseconds(10), [this] {
+          const Duration e = gptp_->max_abs_sync_error();
+          if (e > worst_sync_error_) worst_sync_error_ = e;
+        });
+  }
+  for (auto& [node, sw_ptr] : switches_) sw_ptr->start();
+}
+
+void Network::start_traffic(TimePoint synced_start, Duration margin, Duration grid) {
+  require(network_started_, "Network::start_traffic: start the network first");
+  // Align to the gate grid so ITP offsets land in the planned slots.
+  const Duration slot = grid.ns() > 0 ? grid : options_.runtime.slot_size;
+  const TimePoint aligned = next_slot_boundary(synced_start, slot);
+  for (auto& [node, nic_ptr] : nics_) nic_ptr->start_traffic(aligned, margin);
+}
+
+void Network::stop_traffic() {
+  for (auto& [node, nic_ptr] : nics_) nic_ptr->stop_traffic();
+}
+
+sw::TsnSwitch& Network::switch_at(topo::NodeId node) {
+  const auto it = switches_.find(node);
+  require(it != switches_.end(), "switch_at: node is not a switch");
+  return *it->second;
+}
+
+TsnNic& Network::nic_at(topo::NodeId node) {
+  const auto it = nics_.find(node);
+  require(it != nics_.end(), "nic_at: node is not a host");
+  return *it->second;
+}
+
+std::uint64_t Network::total_switch_drops() const {
+  std::uint64_t sum = 0;
+  for (const auto& [node, sw_ptr] : switches_) sum += sw_ptr->counters().total_drops();
+  return sum;
+}
+
+std::uint64_t Network::drops_by(sw::DropReason reason) const {
+  std::uint64_t sum = 0;
+  for (const auto& [node, sw_ptr] : switches_) {
+    sum += sw_ptr->counters().drops[static_cast<std::size_t>(reason)];
+  }
+  return sum;
+}
+
+std::int64_t Network::peak_ts_queue_occupancy() const {
+  std::int64_t peak = 0;
+  for (const auto& [node, sw_ptr] : switches_) {
+    for (std::int64_t p = 0; p < sw_ptr->port_count(); ++p) {
+      auto& sched = sw_ptr->scheduler(static_cast<tables::PortIndex>(p));
+      for (const std::uint8_t q :
+           {options_.runtime.cqf_queue_a, options_.runtime.cqf_queue_b}) {
+        if (q < sched.queue_count()) {
+          peak = std::max(peak, static_cast<std::int64_t>(sched.queue(q).peak_occupancy()));
+        }
+      }
+    }
+  }
+  return peak;
+}
+
+std::int64_t Network::peak_buffer_in_use() const {
+  std::int64_t peak = 0;
+  for (const auto& [node, sw_ptr] : switches_) {
+    for (std::int64_t p = 0; p < sw_ptr->port_count(); ++p) {
+      auto& sched = sw_ptr->scheduler(static_cast<tables::PortIndex>(p));
+      peak = std::max(peak, sched.pool().peak_in_use());
+    }
+  }
+  return peak;
+}
+
+Duration Network::max_sync_error() const {
+  if (!gptp_) return Duration::zero();
+  const Duration now_err = gptp_->max_abs_sync_error();
+  return now_err > worst_sync_error_ ? now_err : worst_sync_error_;
+}
+
+}  // namespace tsn::netsim

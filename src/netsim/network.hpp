@@ -1,0 +1,142 @@
+// Network assembly: instantiates a TsnSwitch per topology switch node and
+// a TsnNic per host node, wires the links, builds the gPTP domain over the
+// physical topology, and provisions flows end-to-end (forwarding entries,
+// classification, meters, CBS shapers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "event/simulator.hpp"
+#include "netsim/nic.hpp"
+#include "netsim/trace.hpp"
+#include "switch/tsn_switch.hpp"
+#include "timesync/gptp.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::netsim {
+
+struct NetworkOptions {
+  sw::SwitchResourceConfig resource;
+  sw::SwitchRuntimeConfig runtime;
+
+  bool enable_gptp = true;
+  /// With enable_gptp == false: true leaves every device free-running on
+  /// its own drifting oscillator (the "no synchronization" ablation);
+  /// false falls back to perfect clocks (unit-test determinism).
+  bool free_run_drift = false;
+  /// Per-device oscillator error drawn uniformly from [-max, +max] ppm.
+  double max_drift_ppm = 20.0;
+  timesync::GptpConfig gptp = timesync::fast_startup_profile();
+
+  /// CBS headroom: idleSlope = min(link, rate * (1 + headroom)).
+  double cbs_headroom = 0.10;
+
+  std::uint64_t seed = 7;
+};
+
+class Network {
+ public:
+  Network(event::Simulator& sim, const topo::Topology& topology, NetworkOptions options);
+
+  /// Installs tables/meters/shapers for `flows` on every switch along each
+  /// flow's route and registers the flows on their source NICs. Returns
+  /// the number of provisioning failures (table/meter/shaper capacity
+  /// exceeded) — 0 when the resource configuration fits the workload.
+  std::int64_t provision(const std::vector<traffic::FlowSpec>& flows);
+
+  /// FRER (802.1CB): provisions `flow` over its shortest route under
+  /// flow.vid and over a link-disjoint secondary route under
+  /// `secondary_vid`, registers replication at the talker NIC and
+  /// sequence recovery at the listener NIC. Throws when no link-disjoint
+  /// secondary path exists. Returns provisioning failures.
+  std::int64_t provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid);
+
+  /// Failure injection: takes a link administratively down (or back up).
+  /// Frames already in flight still arrive; frames transmitted onto a
+  /// down link are blackholed and counted in link_drops().
+  void set_link_state(topo::LinkId link, bool up);
+  [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
+
+  /// Attaches a link trace (the simulator's port mirror). `trace` must
+  /// outlive the network; pass nullptr to detach.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Arms gate engines (CQF program, cycle base = synchronized time 0) and
+  /// the gPTP machinery. Call once, then run the simulator for a warm-up
+  /// period before starting traffic.
+  void start_network();
+
+  /// Starts injection on every NIC. `synced_start` is in network
+  /// (grandmaster) time and is rounded UP to the next `grid` boundary
+  /// (default: the CQF slot) so ITP offsets line up with the gate
+  /// programs; a synthesized Qbv program aligns to its full cycle.
+  void start_traffic(TimePoint synced_start, Duration margin = microseconds(2),
+                     Duration grid = Duration::zero());
+
+  void stop_traffic();
+
+  // --- access ----------------------------------------------------------
+  [[nodiscard]] analysis::Analyzer& analyzer() { return analyzer_; }
+  [[nodiscard]] const analysis::Analyzer& analyzer() const { return analyzer_; }
+  [[nodiscard]] sw::TsnSwitch& switch_at(topo::NodeId node);
+  [[nodiscard]] TsnNic& nic_at(topo::NodeId node);
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+  [[nodiscard]] timesync::GptpDomain* gptp() { return gptp_ ? gptp_.get() : nullptr; }
+
+  // --- aggregate statistics ---------------------------------------------
+  [[nodiscard]] std::uint64_t total_switch_drops() const;
+  [[nodiscard]] std::uint64_t drops_by(sw::DropReason reason) const;
+  /// Peak occupancy over all CQF (TS) queues in the network.
+  [[nodiscard]] std::int64_t peak_ts_queue_occupancy() const;
+  /// Peak buffers concurrently in use in any port pool.
+  [[nodiscard]] std::int64_t peak_buffer_in_use() const;
+  /// Worst |sync error| observed by the periodic probe since the network
+  /// started (sampled every 10 ms), not just the instantaneous value —
+  /// transients during servo convergence count.
+  [[nodiscard]] Duration max_sync_error() const;
+
+ private:
+  struct Endpoint {
+    topo::NodeId peer = topo::kInvalidNode;
+    std::uint8_t peer_port = 0;
+    Duration propagation{};
+    topo::LinkId link = 0;
+  };
+
+  void build_devices();
+  void build_links();
+  void build_gptp();
+  void deliver(topo::NodeId from, std::uint8_t port, const net::Packet& packet);
+  /// Installs unicast + classification entries for `flow` along `hops`.
+  std::int64_t provision_route(const traffic::FlowSpec& flow,
+                               const std::vector<topo::Hop>& hops);
+
+  event::Simulator& sim_;
+  const topo::Topology* topology_;
+  NetworkOptions options_;
+  Rng rng_;
+
+  analysis::Analyzer analyzer_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<sw::TsnSwitch>> switches_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<TsnNic>> nics_;
+  // endpoint_[node][port]
+  std::unordered_map<topo::NodeId, std::vector<Endpoint>> endpoints_;
+
+  std::vector<bool> link_up_;
+  std::uint64_t link_drops_ = 0;
+  TraceRecorder* trace_ = nullptr;
+
+  std::unique_ptr<timesync::GptpDomain> gptp_;
+  std::unordered_map<topo::NodeId, std::size_t> gptp_index_;
+  std::unique_ptr<event::PeriodicTask> sync_probe_;
+  Duration worst_sync_error_{};
+
+  bool network_started_ = false;
+};
+
+}  // namespace tsn::netsim

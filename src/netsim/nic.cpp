@@ -1,0 +1,145 @@
+#include "netsim/nic.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::netsim {
+
+TsnNic::TsnNic(event::Simulator& sim, topo::NodeId node, DataRate link_rate,
+               analysis::Analyzer& analyzer, std::uint64_t seed)
+    : sim_(sim), node_(node), link_rate_(link_rate), analyzer_(&analyzer), rng_(seed) {}
+
+void TsnNic::add_flow(const traffic::FlowSpec& flow) {
+  require(!started_, "TsnNic::add_flow: traffic already started");
+  require(flow.src_host == node_, "TsnNic::add_flow: flow is not sourced at this host");
+  flow.validate();
+  flows_.push_back(flow);
+  secondary_vid_.push_back(std::nullopt);
+  sequence_.push_back(0);
+}
+
+void TsnNic::add_replicated_flow(const traffic::FlowSpec& flow, VlanId secondary_vid) {
+  require(secondary_vid >= 1 && secondary_vid <= 4094 && secondary_vid != flow.vid,
+          "add_replicated_flow: secondary VID invalid or equal to the primary");
+  add_flow(flow);
+  secondary_vid_.back() = secondary_vid;
+}
+
+void TsnNic::enable_frer_elimination(net::FlowId flow, std::size_t history_length) {
+  recovery_.emplace(flow, frer::SequenceRecovery(history_length));
+}
+
+std::uint64_t TsnNic::frer_discarded() const {
+  std::uint64_t sum = 0;
+  for (const auto& [flow, rec] : recovery_) sum += rec.discarded();
+  return sum;
+}
+
+TimePoint TsnNic::to_true(TimePoint synced_target) const {
+  TimePoint due = clock_ ? clock_->true_for_synced(synced_target) : synced_target;
+  return due < sim_.now() ? sim_.now() : due;
+}
+
+void TsnNic::start_traffic(TimePoint traffic_start_synced, Duration margin) {
+  require(!started_, "TsnNic::start_traffic: already started");
+  started_ = true;
+  traffic_start_ = traffic_start_synced;
+  margin_ = margin;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    switch (flows_[i].type) {
+      case net::TrafficClass::kTimeSensitive:
+        schedule_ts(i, 0);
+        break;
+      case net::TrafficClass::kRateConstrained:
+        schedule_paced(i, to_true(traffic_start_synced));
+        break;
+      case net::TrafficClass::kBestEffort:
+        schedule_poisson(i);
+        break;
+    }
+  }
+}
+
+void TsnNic::schedule_ts(std::size_t flow_index, std::uint64_t occurrence) {
+  const traffic::FlowSpec& f = flows_[flow_index];
+  // Target in *synchronized* (network) time; each occurrence re-maps
+  // through the disciplined clock so injections track the slot grid even
+  // as the servo trims the clock.
+  const TimePoint target = traffic_start_ + f.injection_offset + margin_ +
+                           f.period * static_cast<std::int64_t>(occurrence);
+  sim_.schedule_at(to_true(target), [this, flow_index, occurrence] {
+    if (stopped_) return;
+    inject(flow_index);
+    schedule_ts(flow_index, occurrence + 1);
+  });
+}
+
+void TsnNic::schedule_paced(std::size_t flow_index, TimePoint first_true) {
+  const traffic::FlowSpec& f = flows_[flow_index];
+  const Duration gap(static_cast<std::int64_t>(
+      static_cast<double>(net::wire_bits(f.frame_bytes).bits()) /
+      static_cast<double>(f.rate.bps()) * 1e9));
+  const TimePoint due = first_true < sim_.now() ? sim_.now() : first_true;
+  sim_.schedule_at(due, [this, flow_index, due, gap] {
+    if (stopped_) return;
+    inject(flow_index);
+    schedule_paced(flow_index, due + gap);
+  });
+}
+
+void TsnNic::schedule_poisson(std::size_t flow_index) {
+  const traffic::FlowSpec& f = flows_[flow_index];
+  const double mean_gap_ns = static_cast<double>(net::wire_bits(f.frame_bytes).bits()) /
+                             static_cast<double>(f.rate.bps()) * 1e9;
+  const Duration gap(static_cast<std::int64_t>(rng_.exponential(mean_gap_ns)) + 1);
+  sim_.schedule_in(gap, [this, flow_index] {
+    if (stopped_) return;
+    inject(flow_index);
+    schedule_poisson(flow_index);
+  });
+}
+
+void TsnNic::inject(std::size_t flow_index) {
+  const traffic::FlowSpec& f = flows_[flow_index];
+  net::Packet p = traffic::make_flow_packet(f);
+  p.meta = f.meta_for(sequence_[flow_index]++, sim_.now());
+  analyzer_->record_injection(f.id, f.type);
+  ++injected_;
+  if (secondary_vid_[flow_index]) {
+    // FRER replication: the member copy differs only in its VID (the
+    // stream identification the disjoint route is provisioned under).
+    net::Packet copy = p;
+    copy.vlan.vid = *secondary_vid_[flow_index];
+    enqueue_tx(std::move(copy));
+  }
+  enqueue_tx(std::move(p));
+}
+
+void TsnNic::enqueue_tx(net::Packet packet) {
+  tx_fifo_.push_back(std::move(packet));
+  kick_tx();
+}
+
+void TsnNic::kick_tx() {
+  if (tx_busy_ || tx_fifo_.empty()) return;
+  tx_busy_ = true;
+  const net::Packet packet = tx_fifo_.front();
+  tx_fifo_.pop_front();
+  const Duration wire = link_rate_.transmission_time(packet.wire_bits());
+  sim_.schedule_in(wire, [this, packet] {
+    tx_busy_ = false;
+    if (tx_cb_) tx_cb_(packet);
+    kick_tx();
+  });
+}
+
+void TsnNic::receive(const net::Packet& packet) {
+  // FRER sequence recovery: only the first copy of a sequence number
+  // passes to the analyzer.
+  if (const auto it = recovery_.find(packet.meta.flow_id); it != recovery_.end()) {
+    if (!it->second.accept(packet.meta.sequence)) return;
+  }
+  ++received_;
+  analyzer_->record_delivery(packet, sim_.now());
+}
+
+}  // namespace tsn::netsim

@@ -1,0 +1,118 @@
+// TSNNic — the network tester endpoint (paper §IV.A): a host NIC that
+// injects user-defined TS/RC/BE flows and, on the listener side, hands
+// delivered packets to the analyzer.
+//
+//  * TS flows inject periodically at ITP-planned offsets, scheduled on the
+//    host's gPTP-disciplined clock so injections align with the network's
+//    CQF slot grid.
+//  * RC flows are token-paced at their reserved rate.
+//  * BE flows emit with exponential (Poisson) gaps at their mean rate.
+//
+// Egress is a serializing FIFO at link rate — one frame at a time on the
+// wire, like any real NIC.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include <map>
+#include <optional>
+
+#include "analysis/analyzer.hpp"
+#include "frer/sequence_recovery.hpp"
+#include "common/rng.hpp"
+#include "event/simulator.hpp"
+#include "net/packet.hpp"
+#include "timesync/clock.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::netsim {
+
+class TsnNic {
+ public:
+  /// Invoked at the end of a frame's serialization; the network layer adds
+  /// propagation delay and delivers to the attached switch port.
+  using TxCallback = std::function<void(const net::Packet&)>;
+
+  TsnNic(event::Simulator& sim, topo::NodeId node, DataRate link_rate,
+         analysis::Analyzer& analyzer, std::uint64_t seed);
+
+  [[nodiscard]] topo::NodeId node() const { return node_; }
+  [[nodiscard]] MacAddress mac() const { return traffic::host_mac(node_); }
+
+  void set_tx_callback(TxCallback cb) { tx_cb_ = std::move(cb); }
+
+  /// Uses a gPTP-disciplined clock for injection timing (must outlive the
+  /// NIC). Without one, injections run on true simulation time.
+  void use_clock(const timesync::LocalClock& clock) { clock_ = &clock; }
+
+  /// Registers a flow sourced at this host. Call before start_traffic.
+  void add_flow(const traffic::FlowSpec& flow);
+
+  /// Registers an 802.1CB-replicated flow: every injection emits two
+  /// copies sharing the flow id and sequence number — the primary tagged
+  /// with flow.vid, the secondary with `secondary_vid` (provisioned over
+  /// a link-disjoint route). The analyzer counts one logical injection.
+  void add_replicated_flow(const traffic::FlowSpec& flow, VlanId secondary_vid);
+
+  /// Enables FRER sequence recovery for `flow` at this listener: the
+  /// first copy of each sequence number is delivered, duplicates are
+  /// eliminated before they reach the analyzer.
+  void enable_frer_elimination(net::FlowId flow, std::size_t history_length = 64);
+
+  /// Total duplicates eliminated by sequence recovery at this NIC.
+  [[nodiscard]] std::uint64_t frer_discarded() const;
+
+  /// Starts the injection machinery. TS flow k injects at synchronized
+  /// times `traffic_start + injection_offset + margin + n*period`.
+  /// `margin` places the injection safely inside its CQF slot.
+  void start_traffic(TimePoint traffic_start_synced, Duration margin);
+
+  /// Stops starting new injections (in-flight frames still drain).
+  void stop_traffic() { stopped_ = true; }
+
+  /// A frame addressed to this host has fully arrived.
+  void receive(const net::Packet& packet);
+
+  [[nodiscard]] std::uint64_t injected_packets() const { return injected_; }
+  [[nodiscard]] std::uint64_t received_packets() const { return received_; }
+
+ private:
+  [[nodiscard]] TimePoint to_true(TimePoint synced_target) const;
+  void schedule_ts(std::size_t flow_index, std::uint64_t occurrence);
+  void schedule_paced(std::size_t flow_index, TimePoint first_true);
+  void schedule_poisson(std::size_t flow_index);
+
+  void inject(std::size_t flow_index);
+  void enqueue_tx(net::Packet packet);
+  void kick_tx();
+
+  event::Simulator& sim_;
+  topo::NodeId node_;
+  DataRate link_rate_;
+  analysis::Analyzer* analyzer_;
+  Rng rng_;
+
+  const timesync::LocalClock* clock_ = nullptr;
+  TxCallback tx_cb_;
+
+  std::vector<traffic::FlowSpec> flows_;
+  std::vector<std::optional<VlanId>> secondary_vid_;
+  std::vector<std::uint64_t> sequence_;
+  std::map<net::FlowId, frer::SequenceRecovery> recovery_;
+  TimePoint traffic_start_{};
+  Duration margin_{};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::deque<net::Packet> tx_fifo_;
+  bool tx_busy_ = false;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace tsn::netsim

@@ -1,0 +1,77 @@
+// Scenario runner: one self-contained experiment — build the network,
+// plan injections (ITP), warm up gPTP, run traffic, drain, and collect
+// the metrics the paper reports. All Fig. 2 / Fig. 7 benches, the
+// examples, and the integration tests drive this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "netsim/network.hpp"
+#include "sched/itp.hpp"
+#include "sched/qbv.hpp"
+#include "topo/builders.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::netsim {
+
+struct ScenarioConfig {
+  topo::BuiltTopology built;
+  NetworkOptions options;
+  std::vector<traffic::FlowSpec> flows;
+
+  /// gPTP convergence time before traffic starts.
+  Duration warmup = milliseconds(200);
+  /// Measured traffic window.
+  Duration traffic_duration = milliseconds(300);
+  /// Extra time for in-flight packets to land after injection stops.
+  Duration drain = milliseconds(5);
+  /// Injection placement inside the planned slot.
+  Duration injection_margin = microseconds(2);
+  /// Plan injection offsets with ITP (false = all flows inject at period
+  /// start — the ablation baseline).
+  bool use_itp = true;
+
+  /// Gate control flavour: CQF (2-entry ping-pong, the paper's
+  /// evaluation) or a synthesized full-cycle 802.1Qbv program
+  /// (guideline 2's general case). Qbv requires every TS period to be a
+  /// multiple of the slot and a gate_table_size large enough for the
+  /// synthesized program (see ScenarioResult::qbv_gate_entries).
+  enum class GateMode { kCqf, kQbv };
+  GateMode gate_mode = GateMode::kCqf;
+
+  /// Also export the per-flow analyzer results as CSV into
+  /// ScenarioResult::flow_csv (off by default; large for big flow sets).
+  bool export_flow_csv = false;
+};
+
+struct ScenarioResult {
+  analysis::ClassSummary ts;
+  analysis::ClassSummary rc;
+  analysis::ClassSummary be;
+
+  std::uint64_t provisioning_failures = 0;
+  std::uint64_t switch_drops = 0;
+  std::uint64_t ts_gate_drops = 0;     // ingress-gate-closed drops
+  std::uint64_t queue_full_drops = 0;
+  std::uint64_t buffer_drops = 0;
+  std::int64_t peak_ts_queue = 0;
+  std::int64_t peak_buffer_in_use = 0;
+  Duration max_sync_error{};
+  sched::ItpPlan plan;
+  /// Entries of the largest synthesized Qbv gate program (0 under CQF).
+  std::int64_t qbv_gate_entries = 0;
+
+  /// ASCII histogram of per-packet TS latency (20 bins over the observed
+  /// range), for quick distribution inspection in bench/example output.
+  std::string ts_latency_histogram;
+
+  /// Per-flow CSV (when ScenarioConfig::export_flow_csv is set).
+  std::string flow_csv;
+};
+
+/// Runs the scenario to completion on a fresh simulator.
+[[nodiscard]] ScenarioResult run_scenario(ScenarioConfig config);
+
+}  // namespace tsn::netsim

@@ -1,0 +1,66 @@
+#include "netsim/trace.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace tsn::netsim {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  require(capacity > 0, "TraceRecorder: capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+void TraceRecorder::record(TraceEntry entry) {
+  ++total_;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+    return;
+  }
+  entries_[head_] = entry;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEntry> TraceRecorder::entries() const {
+  std::vector<TraceEntry> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.push_back(entries_[(head_ + i) % entries_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEntry> TraceRecorder::path_of(net::FlowId flow,
+                                               std::uint64_t sequence) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& e : entries()) {
+    if (e.flow == flow && e.sequence == sequence) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::render(const topo::Topology& topology, std::size_t limit) const {
+  const std::vector<TraceEntry> all = entries();
+  const std::size_t start = all.size() > limit ? all.size() - limit : 0;
+  std::string out;
+  for (std::size_t i = start; i < all.size(); ++i) {
+    const TraceEntry& e = all[i];
+    out += to_string(e.at) + "  " + topology.node(e.from).name + ":" +
+           std::to_string(e.from_port) + " -> " + topology.node(e.to).name + "  flow " +
+           std::to_string(e.flow) + " seq " + std::to_string(e.sequence) + "  " +
+           std::to_string(e.frame_bytes) + "B";
+    if (e.link_down) out += "  [LINK DOWN]";
+    out += "\n";
+  }
+  if (dropped_entries() > 0) {
+    out += "(" + std::to_string(dropped_entries()) + " older entries overwritten)\n";
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  entries_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace tsn::netsim

@@ -1,0 +1,66 @@
+// Link-level packet trace — the simulator's "port mirror".
+//
+// When attached to a Network, every frame handed to a link is recorded
+// (timestamp, link endpoints, flow id, sequence, frame size), in a
+// bounded ring so long runs cannot exhaust memory. Traces reconstruct a
+// packet's path hop by hop — the first thing one needs when a TS stream
+// misses its slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::netsim {
+
+struct TraceEntry {
+  TimePoint at{};              // transmission end (hand-off to the link)
+  topo::NodeId from = topo::kInvalidNode;
+  std::uint8_t from_port = 0;
+  topo::NodeId to = topo::kInvalidNode;
+  net::FlowId flow = net::kInvalidFlowId;
+  std::uint64_t sequence = 0;
+  std::int32_t frame_bytes = 0;
+  bool link_down = false;  // frame was blackholed by failure injection
+};
+
+class TraceRecorder {
+ public:
+  /// Keeps the most recent `capacity` entries.
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  void record(TraceEntry entry);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped_entries() const {
+    return total_ - static_cast<std::uint64_t>(entries_.size());
+  }
+
+  /// Entries oldest-first.
+  [[nodiscard]] std::vector<TraceEntry> entries() const;
+
+  /// The recorded hop sequence of one packet (flow, sequence),
+  /// oldest-first — its path through the network.
+  [[nodiscard]] std::vector<TraceEntry> path_of(net::FlowId flow,
+                                                std::uint64_t sequence) const;
+
+  /// Human-readable dump, `limit` most recent entries. Node names are
+  /// resolved through `topology`.
+  [[nodiscard]] std::string render(const topo::Topology& topology,
+                                   std::size_t limit = 32) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEntry> entries_;  // ring
+  std::size_t head_ = 0;             // index of the oldest entry
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tsn::netsim

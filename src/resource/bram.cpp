@@ -1,0 +1,108 @@
+#include "resource/bram.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+
+namespace tsn::resource {
+namespace {
+
+constexpr std::array<BramShape, 13> kShapes = {{
+    // RAMB18E1 (18 Kb), TDP up to x18, SDP x36.
+    {BramPrimitive::kRamb18, 16384, 1},
+    {BramPrimitive::kRamb18, 8192, 2},
+    {BramPrimitive::kRamb18, 4096, 4},
+    {BramPrimitive::kRamb18, 2048, 9},
+    {BramPrimitive::kRamb18, 1024, 18},
+    {BramPrimitive::kRamb18, 512, 36},
+    // RAMB36E1 (36 Kb), TDP up to x36, SDP x72.
+    {BramPrimitive::kRamb36, 32768, 1},
+    {BramPrimitive::kRamb36, 16384, 2},
+    {BramPrimitive::kRamb36, 8192, 4},
+    {BramPrimitive::kRamb36, 4096, 9},
+    {BramPrimitive::kRamb36, 2048, 18},
+    {BramPrimitive::kRamb36, 1024, 36},
+    {BramPrimitive::kRamb36, 512, 72},
+}};
+
+Allocation tile_with(const BramShape& shape, std::int64_t depth, std::int64_t width) {
+  Allocation a;
+  a.shape = shape;
+  a.tiles_wide = ceil_div(width, shape.width);
+  a.tiles_deep = ceil_div(depth, shape.depth);
+  const std::int64_t count = a.tiles_wide * a.tiles_deep;
+  if (shape.primitive == BramPrimitive::kRamb18) {
+    a.ramb18 = count;
+  } else {
+    a.ramb36 = count;
+  }
+  a.cost = count * primitive_capacity(shape.primitive);
+  return a;
+}
+
+}  // namespace
+
+std::string BramShape::to_string() const {
+  const char* prim = primitive == BramPrimitive::kRamb18 ? "RAMB18" : "RAMB36";
+  return std::string(prim) + "(" + std::to_string(depth) + "x" + std::to_string(width) + ")";
+}
+
+std::span<const BramShape> legal_shapes() { return kShapes; }
+
+Allocation allocate_table(std::int64_t depth, std::int64_t width) {
+  require(depth > 0 && width > 0, "allocate_table: depth and width must be positive");
+  bool found = false;
+  Allocation best;
+  for (const BramShape& shape : kShapes) {
+    const Allocation candidate = tile_with(shape, depth, width);
+    const bool better =
+        !found || candidate.cost < best.cost ||
+        (candidate.cost == best.cost &&
+         candidate.ramb18 + candidate.ramb36 < best.ramb18 + best.ramb36);
+    if (better) {
+      best = candidate;
+      found = true;
+    }
+  }
+  return best;
+}
+
+Allocation allocate_instance(std::int64_t depth, std::int64_t width) {
+  require(depth > 0 && width > 0, "allocate_instance: depth and width must be positive");
+  const std::int64_t bits = depth * width;
+  if (bits <= primitive_capacity(BramPrimitive::kRamb18).bits()) {
+    Allocation a;
+    a.ramb18 = 1;
+    a.cost = primitive_capacity(BramPrimitive::kRamb18);
+    // Report the narrowest RAMB18 shape that covers the folded contents.
+    a.shape = BramShape{BramPrimitive::kRamb18, 1024, 18};
+    a.tiles_wide = 1;
+    a.tiles_deep = 1;
+    return a;
+  }
+  return allocate_table(depth, width);
+}
+
+Allocation allocate_raw_pool(std::int64_t words, std::int64_t width) {
+  require(words > 0 && width > 0, "allocate_raw_pool: words and width must be positive");
+  Allocation a;
+  a.cost = BitCount(words * width);
+  a.ramb36 = ceil_div(a.cost.bits(), primitive_capacity(BramPrimitive::kRamb36).bits());
+  a.shape = BramShape{BramPrimitive::kRamb36, 512, 72};
+  a.tiles_wide = ceil_div(width, 72);
+  a.tiles_deep = ceil_div(words, 512);
+  return a;
+}
+
+Allocation allocate_packet_buffers(std::int64_t buffer_count, std::int64_t buffer_bytes) {
+  require(buffer_count > 0 && buffer_bytes > 0,
+          "allocate_packet_buffers: counts must be positive");
+  const std::int64_t words_per_buffer = ceil_div(buffer_bytes * 8, kBufferWordDataBits);
+  return allocate_raw_pool(buffer_count * words_per_buffer, kBufferWordBits);
+}
+
+DevicePart zynq7020() { return DevicePart{"xc7z020", 140}; }
+
+}  // namespace tsn::resource

@@ -1,0 +1,98 @@
+// Xilinx 7-series block RAM model.
+//
+// The paper reports on-chip memory in "BRAMs" (Kb). Its accounting — which
+// this model reproduces exactly for every row of Tables I and III — uses
+// three policies:
+//
+//  1. Best-fit tiling for the large shared tables (switch / classification /
+//     meter): choose the legal RAMB18/RAMB36 aspect ratio minimizing total
+//     Kb for a depth x width memory.
+//  2. One primitive minimum for small per-port / per-queue memories (gate
+//     tables, CBS tables, metadata FIFOs): anything that fits in 18 Kb
+//     costs one RAMB18, since the hardware cannot allocate less than one
+//     block per physically independent memory.
+//  3. Raw word-granular accounting for the packet buffer pool: the FAST
+//     datapath word is 128 data bits + 7 sideband bits = 135 b, so one
+//     2048 B buffer costs 128 words x 135 b = 16.875 Kb.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tsn::resource {
+
+enum class BramPrimitive : std::uint8_t { kRamb18, kRamb36 };
+
+[[nodiscard]] constexpr BitCount primitive_capacity(BramPrimitive p) {
+  return BitCount::from_kilobits(p == BramPrimitive::kRamb18 ? 18 : 36);
+}
+
+/// One legal (depth x width) configuration of a BRAM primitive.
+struct BramShape {
+  BramPrimitive primitive = BramPrimitive::kRamb18;
+  std::int64_t depth = 0;
+  std::int64_t width = 0;
+
+  [[nodiscard]] BitCount capacity() const { return primitive_capacity(primitive); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// All legal RAMB18E1 / RAMB36E1 port aspect ratios (UG473), widest mode is
+/// simple-dual-port (x36 / x72).
+[[nodiscard]] std::span<const BramShape> legal_shapes();
+
+/// Result of mapping a logical memory onto BRAM primitives.
+struct Allocation {
+  std::int64_t ramb18 = 0;
+  std::int64_t ramb36 = 0;
+  BitCount cost;              // what the report charges (block Kb, or raw bits for pools)
+  BramShape shape;            // chosen shape (block policies only)
+  std::int64_t tiles_wide = 0;
+  std::int64_t tiles_deep = 0;
+
+  /// Equivalent RAMB18 count (a RAMB36 splits into two RAMB18).
+  [[nodiscard]] std::int64_t ramb18_equivalent() const { return ramb18 + 2 * ramb36; }
+};
+
+/// Policy 1: best-fit tiling of a `depth x width` table over legal shapes.
+/// Minimizes total Kb; ties broken toward fewer primitives.
+[[nodiscard]] Allocation allocate_table(std::int64_t depth, std::int64_t width);
+
+/// Policy 2: a small independent memory (per-port table, per-queue FIFO).
+/// Costs one RAMB18 when depth*width fits in 18 Kb (content folding),
+/// otherwise falls back to best-fit tiling.
+[[nodiscard]] Allocation allocate_instance(std::int64_t depth, std::int64_t width);
+
+/// Policy 3: raw word pool of `words` entries of `width` bits; cost is the
+/// exact bit volume (the paper's packet-buffer accounting). The primitive
+/// counts are informational (ceil over RAMB36 capacity).
+[[nodiscard]] Allocation allocate_raw_pool(std::int64_t words, std::int64_t width);
+
+/// FAST datapath word layout used by the packet buffer pool.
+inline constexpr std::int64_t kBufferWordDataBits = 128;
+inline constexpr std::int64_t kBufferWordSidebandBits = 7;
+inline constexpr std::int64_t kBufferWordBits = kBufferWordDataBits + kBufferWordSidebandBits;
+
+/// Cost of one packet buffer of `buffer_bytes` payload capacity:
+/// ceil(buffer_bytes*8 / 128) words x 135 b. 2048 B -> 16.875 Kb.
+[[nodiscard]] Allocation allocate_packet_buffers(std::int64_t buffer_count,
+                                                 std::int64_t buffer_bytes);
+
+/// An FPGA part's BRAM inventory, for utilization reporting.
+struct DevicePart {
+  std::string name;
+  std::int64_t ramb36_total = 0;
+
+  [[nodiscard]] std::int64_t ramb18_total() const { return 2 * ramb36_total; }
+  [[nodiscard]] BitCount total_bram() const {
+    return BitCount::from_kilobits(36 * ramb36_total);
+  }
+};
+
+/// Xilinx Zynq-7020 (the paper's prototyping SoC): 140 RAMB36 = 4.9 Mb.
+[[nodiscard]] DevicePart zynq7020();
+
+}  // namespace tsn::resource

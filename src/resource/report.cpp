@@ -1,0 +1,49 @@
+#include "resource/report.hpp"
+
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+
+namespace tsn::resource {
+
+BitCount ResourceReport::total() const {
+  BitCount sum;
+  for (const ComponentUsage& c : components_) sum += c.allocation.cost;
+  return sum;
+}
+
+std::int64_t ResourceReport::total_ramb18_equivalent() const {
+  std::int64_t sum = 0;
+  for (const ComponentUsage& c : components_) sum += c.allocation.ramb18_equivalent();
+  return sum;
+}
+
+double ResourceReport::reduction_vs(const ResourceReport& baseline) const {
+  const double base = static_cast<double>(baseline.total().bits());
+  if (base <= 0.0) return 0.0;
+  return 1.0 - static_cast<double>(total().bits()) / base;
+}
+
+double ResourceReport::utilization_on(const DevicePart& part) const {
+  const double capacity = static_cast<double>(part.total_bram().bits());
+  if (capacity <= 0.0) return 0.0;
+  return static_cast<double>(total().bits()) / capacity;
+}
+
+std::string ResourceReport::render(const std::optional<ResourceReport>& baseline) const {
+  TextTable table;
+  table.set_header({"Resource Type", "Bit/Byte Width", "Parameters", "BRAMs"});
+  for (const ComponentUsage& c : components_) {
+    table.add_row({c.name, std::to_string(c.entry_width_bits) + "b", c.parameters,
+                   format_trimmed(c.allocation.cost.kilobits(), 3) + "Kb"});
+  }
+  table.add_separator();
+  std::string total_cell = format_trimmed(total().kilobits(), 3) + "Kb";
+  if (baseline) {
+    const double red = reduction_vs(*baseline);
+    total_cell += " (-" + format_percent(red) + ")";
+  }
+  table.add_row({"Total", "", "", total_cell});
+  return table.render();
+}
+
+}  // namespace tsn::resource

@@ -1,0 +1,46 @@
+// Resource report: the per-component BRAM usage summary TSN-Builder emits
+// at synthesis time (the data behind the paper's Tables I and III).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "resource/bram.hpp"
+
+namespace tsn::resource {
+
+/// One row of the report: a resource type and its BRAM allocation.
+struct ComponentUsage {
+  std::string name;        // e.g. "Switch Tbl"
+  std::string parameters;  // e.g. "16K, 0" — the API arguments
+  std::int64_t entry_width_bits = 0;
+  Allocation allocation;
+};
+
+class ResourceReport {
+ public:
+  void add(ComponentUsage usage) { components_.push_back(std::move(usage)); }
+
+  [[nodiscard]] const std::vector<ComponentUsage>& components() const { return components_; }
+
+  [[nodiscard]] BitCount total() const;
+  [[nodiscard]] std::int64_t total_ramb18_equivalent() const;
+
+  /// Fraction saved relative to `baseline` (0.8053 for the ring scenario).
+  [[nodiscard]] double reduction_vs(const ResourceReport& baseline) const;
+
+  /// Utilization of a device's BRAM inventory, in [0, 1+).
+  [[nodiscard]] double utilization_on(const DevicePart& part) const;
+
+  /// Renders a Table III-style text table. When `baseline` is given, the
+  /// total row is annotated with the percentage reduction.
+  [[nodiscard]] std::string render(
+      const std::optional<ResourceReport>& baseline = std::nullopt) const;
+
+ private:
+  std::vector<ComponentUsage> components_;
+};
+
+}  // namespace tsn::resource

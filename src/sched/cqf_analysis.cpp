@@ -1,0 +1,64 @@
+#include "sched/cqf_analysis.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace tsn::sched {
+
+std::int64_t hop_count(const topo::Topology& topology, const traffic::FlowSpec& flow) {
+  const auto hops = topology.route(flow.src_host, flow.dst_host);
+  require(hops.has_value(), "hop_count: flow has no route");
+  std::int64_t switches = 0;
+  for (const topo::Hop& h : *hops) {
+    if (topology.node(h.node).kind == topo::NodeKind::kSwitch) ++switches;
+  }
+  return switches;
+}
+
+bool deadlines_met(const topo::Topology& topology,
+                   const std::vector<traffic::FlowSpec>& flows, Duration slot) {
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    const std::int64_t hops = hop_count(topology, f);
+    if (cqf_bounds(hops, slot).max > f.deadline) return false;
+  }
+  return true;
+}
+
+std::optional<Duration> max_feasible_slot(const topo::Topology& topology,
+                                          const std::vector<traffic::FlowSpec>& flows,
+                                          Duration granularity) {
+  require(granularity.ns() > 0, "max_feasible_slot: granularity must be positive");
+  // Tightest constraint: slot <= deadline / (hops + 1) over all TS flows.
+  Duration best = Duration::max();
+  bool any = false;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    any = true;
+    const std::int64_t hops = hop_count(topology, f);
+    const Duration limit(f.deadline.ns() / (hops + 1));
+    best = std::min(best, limit);
+  }
+  if (!any) return std::nullopt;
+  const std::int64_t steps = best.ns() / granularity.ns();
+  if (steps <= 0) return std::nullopt;
+  return Duration(steps * granularity.ns());
+}
+
+Duration scheduling_cycle(const std::vector<traffic::FlowSpec>& flows) {
+  std::vector<Duration> periods;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type == net::TrafficClass::kTimeSensitive) periods.push_back(f.period);
+  }
+  require(!periods.empty(), "scheduling_cycle: no TS flows");
+  return lcm_of_periods(periods);
+}
+
+std::int64_t gate_entries_for_cqf() { return 2; }
+
+std::int64_t gate_entries_for_full_cycle(Duration cycle, Duration slot) {
+  require(slot.ns() > 0, "gate_entries_for_full_cycle: slot must be positive");
+  return ceil_div(cycle.ns(), slot.ns());
+}
+
+}  // namespace tsn::sched

@@ -1,0 +1,52 @@
+// CQF latency analysis (paper Eq. 1):
+//   L_max = (hop + 1) * slot,   L_min = (hop - 1) * slot.
+//
+// Utility functions connecting slot size, hop count, deadlines and the
+// scheduling cycle — used by the parameter planner and checked against
+// measured latencies in the integration tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::sched {
+
+struct CqfLatencyBound {
+  Duration min{};
+  Duration max{};
+};
+
+/// Eq. (1) for a path through `hops` switches.
+[[nodiscard]] constexpr CqfLatencyBound cqf_bounds(std::int64_t hops, Duration slot) {
+  return CqfLatencyBound{Duration((hops - 1) * slot.ns()), Duration((hops + 1) * slot.ns())};
+}
+
+/// Number of switches a flow traverses, from the topology route.
+[[nodiscard]] std::int64_t hop_count(const topo::Topology& topology,
+                                     const traffic::FlowSpec& flow);
+
+/// True when every TS flow meets its deadline under the worst-case CQF
+/// bound: (hops + 1) * slot <= deadline.
+[[nodiscard]] bool deadlines_met(const topo::Topology& topology,
+                                 const std::vector<traffic::FlowSpec>& flows, Duration slot);
+
+/// Largest slot size (multiple of `granularity`) for which all TS
+/// deadlines hold; nullopt when even the granularity slot is too big.
+[[nodiscard]] std::optional<Duration> max_feasible_slot(
+    const topo::Topology& topology, const std::vector<traffic::FlowSpec>& flows,
+    Duration granularity = microseconds(5));
+
+/// The 802.1Qbv scheduling cycle: LCM of all TS flow periods.
+[[nodiscard]] Duration scheduling_cycle(const std::vector<traffic::FlowSpec>& flows);
+
+/// Gate-table entries needed for a CQF program (always 2) vs. a general
+/// per-slot program over the scheduling cycle (cycle / slot) — the
+/// quantity behind paper guideline (2).
+[[nodiscard]] std::int64_t gate_entries_for_cqf();
+[[nodiscard]] std::int64_t gate_entries_for_full_cycle(Duration cycle, Duration slot);
+
+}  // namespace tsn::sched

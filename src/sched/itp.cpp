@@ -1,0 +1,133 @@
+#include "sched/itp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace tsn::sched {
+
+void ItpPlan::apply(std::vector<traffic::FlowSpec>& flows) const {
+  for (traffic::FlowSpec& f : flows) {
+    const auto it = injection_slot.find(f.id);
+    if (it == injection_slot.end()) continue;
+    f.injection_offset = Duration(it->second * slot.ns());
+  }
+}
+
+ItpPlanner::ItpPlanner(const topo::Topology& topology, Duration slot)
+    : topology_(&topology), slot_(slot) {
+  require(slot.ns() > 0, "ItpPlanner: slot must be positive");
+}
+
+ItpPlan ItpPlanner::plan(const std::vector<traffic::FlowSpec>& flows) const {
+  return plan_impl(flows, /*naive=*/false);
+}
+
+ItpPlan ItpPlanner::plan_naive(const std::vector<traffic::FlowSpec>& flows) const {
+  return plan_impl(flows, /*naive=*/true);
+}
+
+ItpPlan ItpPlanner::plan_impl(const std::vector<traffic::FlowSpec>& flows, bool naive) const {
+  ItpPlan result;
+  result.slot = slot_;
+
+  // Collect TS flows and their routes.
+  struct Entry {
+    const traffic::FlowSpec* flow;
+    std::vector<topo::Hop> hops;
+  };
+  std::vector<Entry> entries;
+  std::vector<Duration> periods;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    auto hops = topology_->route(f.src_host, f.dst_host);
+    require(hops.has_value(), "ItpPlanner: TS flow has no route");
+    entries.push_back(Entry{&f, std::move(*hops)});
+    periods.push_back(f.period);
+  }
+  if (entries.empty()) {
+    result.hyperperiod = slot_;
+    result.slots_per_hyperperiod = 1;
+    return result;
+  }
+
+  result.hyperperiod = lcm_of_periods(periods);
+  // Accounting granularity: the absolute slot grid over one hyperperiod.
+  // Periods need not divide the slot; ceil keeps the ring covering.
+  result.slots_per_hyperperiod = ceil_div(result.hyperperiod.ns(), slot_.ns());
+  const std::int64_t ring = result.slots_per_hyperperiod;
+
+  // Longest paths first: they touch the most cells and are hardest to place.
+  std::vector<std::size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&entries](std::size_t a, std::size_t b) {
+    return entries[a].hops.size() > entries[b].hops.size();
+  });
+
+  // load[link][slot] over the hyperperiod ring.
+  std::vector<std::vector<std::int64_t>> load(
+      topology_->link_count(), std::vector<std::int64_t>(static_cast<std::size_t>(ring), 0));
+
+  auto cells_for = [&](const Entry& e, std::int64_t offset_slot,
+                       std::vector<std::pair<std::size_t, std::int64_t>>& out) {
+    out.clear();
+    const std::int64_t occurrences = result.hyperperiod / e.flow->period;
+    for (std::int64_t k = 0; k < occurrences; ++k) {
+      const std::int64_t inject_ns = k * e.flow->period.ns() + offset_slot * slot_.ns();
+      const std::int64_t base_slot = inject_ns / slot_.ns();
+      for (std::size_t j = 0; j < e.hops.size(); ++j) {
+        const std::int64_t s = (base_slot + static_cast<std::int64_t>(j)) % ring;
+        out.emplace_back(e.hops[j].link, s);
+      }
+    }
+  };
+
+  std::vector<std::pair<std::size_t, std::int64_t>> cells;
+  std::int64_t global_peak = 0;
+  for (const std::size_t idx : order) {
+    const Entry& e = entries[idx];
+    const std::int64_t period_slots = std::max<std::int64_t>(1, e.flow->period / slot_);
+
+    std::int64_t best_offset = 0;
+    std::int64_t best_peak = INT64_MAX;
+    std::int64_t best_sum = INT64_MAX;
+    const std::int64_t candidates = naive ? 1 : period_slots;
+    for (std::int64_t s = 0; s < candidates; ++s) {
+      cells_for(e, s, cells);
+      std::int64_t peak = 0;
+      std::int64_t sum = 0;
+      for (const auto& [link, slot_idx] : cells) {
+        const std::int64_t v = load[link][static_cast<std::size_t>(slot_idx)] + 1;
+        peak = std::max(peak, v);
+        sum += v;
+      }
+      if (peak < best_peak || (peak == best_peak && sum < best_sum)) {
+        best_peak = peak;
+        best_sum = sum;
+        best_offset = s;
+      }
+    }
+
+    cells_for(e, best_offset, cells);
+    for (const auto& [link, slot_idx] : cells) {
+      const std::int64_t v = ++load[link][static_cast<std::size_t>(slot_idx)];
+      global_peak = std::max(global_peak, v);
+    }
+    result.injection_slot.emplace(e.flow->id, best_offset);
+  }
+  result.max_queue_load = global_peak;
+
+  // Wire feasibility: the peak slot's frames must serialize within a slot.
+  Duration worst_drain{};
+  for (const Entry& e : entries) {
+    const Duration wire = DataRate::gigabits_per_sec(1).transmission_time(
+        net::wire_bits(e.flow->frame_bytes));
+    worst_drain = std::max(worst_drain, wire * global_peak);
+  }
+  result.wire_feasible = worst_drain <= slot_;
+  return result;
+}
+
+}  // namespace tsn::sched

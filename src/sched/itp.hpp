@@ -1,0 +1,75 @@
+// Injection Time Planning (ITP) — the flow-scheduling mechanism of the
+// authors' companion paper [24] (INFOCOM 2020), which the evaluation's
+// queue-depth parameter (12) comes from.
+//
+// Under CQF, every packet received in slot t leaves in slot t+1, so a flow
+// injected in absolute slot t occupies the filling queue of the j-th
+// switch on its path during slot t+j. If all talkers injected at period
+// start, every flow of the period would land in the SAME slot and the TS
+// queue would need depth ~ flow-count. ITP spreads injections across the
+// slots of each period so the worst per-(link, slot) load — and hence the
+// required queue depth and buffer count — collapses to ~flows/slots.
+//
+// The planner is a greedy first-fit load balancer: flows (longest path
+// first) pick the injection slot minimizing the peak load over the cells
+// they touch. Plans report the achieved peak, which becomes the
+// `queue_depth` resource parameter (paper §III.C guideline 4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::sched {
+
+struct ItpPlan {
+  Duration slot{};
+  Duration hyperperiod{};
+  std::int64_t slots_per_hyperperiod = 0;
+
+  /// Injection slot (within the flow's period) per TS flow.
+  std::unordered_map<net::FlowId, std::int64_t> injection_slot;
+
+  /// Peak packets in any (egress link, slot) cell — the queue depth the
+  /// TS queues must provision.
+  std::int64_t max_queue_load = 0;
+
+  /// True when the peak per-slot load also fits the wire: peak frames can
+  /// all be serialized within one slot.
+  bool wire_feasible = true;
+
+  [[nodiscard]] std::int64_t recommended_queue_depth() const { return max_queue_load; }
+
+  /// Writes each flow's injection_offset (= slot index x slot size).
+  void apply(std::vector<traffic::FlowSpec>& flows) const;
+};
+
+class ItpPlanner {
+ public:
+  ItpPlanner(const topo::Topology& topology, Duration slot);
+
+  /// Plans injection offsets for the TS flows in `flows` (other classes
+  /// are ignored). Throws when a TS flow has no route.
+  [[nodiscard]] ItpPlan plan(const std::vector<traffic::FlowSpec>& flows) const;
+
+  /// The no-ITP baseline: every flow injects at its period start. Used by
+  /// the ablation bench to show why ITP is load-bearing.
+  [[nodiscard]] ItpPlan plan_naive(const std::vector<traffic::FlowSpec>& flows) const;
+
+ private:
+  struct Occurrence {
+    std::size_t cell = 0;  // (link, slot) accounting cell
+  };
+
+  [[nodiscard]] ItpPlan plan_impl(const std::vector<traffic::FlowSpec>& flows,
+                                  bool naive) const;
+
+  const topo::Topology* topology_;
+  Duration slot_;
+};
+
+}  // namespace tsn::sched

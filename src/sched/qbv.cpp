@@ -1,0 +1,89 @@
+#include "sched/qbv.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace tsn::sched {
+
+QbvSynthesizer::QbvSynthesizer(const topo::Topology& topology, Duration slot,
+                               std::uint8_t ts_queue)
+    : topology_(&topology), slot_(slot), ts_queue_(ts_queue) {
+  require(slot.ns() > 0, "QbvSynthesizer: slot must be positive");
+  require(ts_queue < 8, "QbvSynthesizer: TS queue must be in [0, 8)");
+}
+
+QbvProgram QbvSynthesizer::synthesize(const std::vector<traffic::FlowSpec>& flows) const {
+  QbvProgram program;
+  program.slot = slot_;
+
+  std::vector<Duration> periods;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    require(f.period % slot_ == Duration::zero(),
+            "QbvSynthesizer: every TS period must be a multiple of the slot");
+    periods.push_back(f.period);
+  }
+  require(!periods.empty(), "QbvSynthesizer: no TS flows to schedule");
+  program.cycle = lcm_of_periods(periods);
+  program.slots_per_cycle = program.cycle / slot_;
+  const std::int64_t S = program.slots_per_cycle;
+
+  // Mark departure slots per (node, port): a packet injected in absolute
+  // slot t departs the j-th switch on its path during slot t + j + 1.
+  std::map<std::pair<topo::NodeId, std::uint8_t>, std::vector<bool>> windows;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    const auto route = topology_->route(f.src_host, f.dst_host);
+    require(route.has_value(), "QbvSynthesizer: TS flow has no route");
+
+    const std::int64_t inject_slot = f.injection_offset / slot_;
+    const std::int64_t occurrences = program.cycle / f.period;
+    const std::int64_t period_slots = f.period / slot_;
+    for (std::int64_t k = 0; k < occurrences; ++k) {
+      const std::int64_t t = inject_slot + k * period_slots;
+      std::int64_t j = 0;
+      for (const topo::Hop& hop : *route) {
+        if (topology_->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+        auto& bits = windows[{hop.node, hop.out_port}];
+        if (bits.empty()) bits.assign(static_cast<std::size_t>(S), false);
+        bits[static_cast<std::size_t>((t + j + 1) % S)] = true;
+        ++j;
+      }
+    }
+  }
+
+  // Emit the cyclic programs: TS-only gates in window slots, the
+  // complement everywhere else; adjacent equal slots merge into one entry.
+  const auto ts_bit = static_cast<tables::GateBitmap>(1u << ts_queue_);
+  const auto background = static_cast<tables::GateBitmap>(~ts_bit);
+  for (const auto& [where, bits] : windows) {
+    std::vector<tables::GateEntry> entries;
+    for (std::int64_t s = 0; s < S; ++s) {
+      const tables::GateBitmap gates = bits[static_cast<std::size_t>(s)] ? ts_bit : background;
+      if (!entries.empty() && entries.back().gate_states == gates) {
+        entries.back().interval += slot_;
+      } else {
+        entries.push_back(tables::GateEntry{gates, slot_});
+      }
+    }
+    // Note: the first and last entries are NOT merged across the cycle
+    // wrap even when equal — entry 0 is anchored at the cycle base, and
+    // folding the tail into it would rotate every window.
+
+    QbvPortProgram port{tables::GateControlList(std::max<std::size_t>(1, entries.size())),
+                        tables::GateControlList(std::max<std::size_t>(1, entries.size()))};
+    require(port.ingress.add_entry({tables::kAllGatesOpen, program.cycle}),
+            "QbvSynthesizer: internal ingress program error");
+    for (const tables::GateEntry& e : entries) {
+      require(port.egress.add_entry(e), "QbvSynthesizer: internal egress program error");
+    }
+    program.max_entries =
+        std::max(program.max_entries, static_cast<std::int64_t>(entries.size()));
+    program.ports.emplace(where, std::move(port));
+  }
+  return program;
+}
+
+}  // namespace tsn::sched

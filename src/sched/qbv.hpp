@@ -1,0 +1,67 @@
+// 802.1Qbv gate-program synthesis — the general (non-CQF) case of the
+// paper's guideline (2): "the number of entries for each [gate] table
+// equals the number of time slots within a scheduling cycle".
+//
+// Given ITP-planned TS flows, the synthesizer computes, for every egress
+// port on a TS route, the slots in which scheduled departures occur and
+// emits a cyclic gate program that opens the TS queue exactly in those
+// windows (all other queues are closed during them, giving the same
+// isolation the CQF slots provide). Consecutive slots with identical gate
+// states are merged, so the synthesized entry count is also a measure of
+// how irregular the schedule is — `required_gate_entries()` is what
+// set_gate_tbl() must provision.
+//
+// This module exists to quantify the resource cost of running a full
+// per-slot Qbv program instead of CQF's 2-entry ping-pong
+// (bench/ablation_gate_mode): same QoS, vastly different gate tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sched/itp.hpp"
+#include "tables/gcl.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::sched {
+
+struct QbvPortProgram {
+  tables::GateControlList ingress;  // all-open, one entry spanning the cycle
+  tables::GateControlList egress;   // TS windows + protected background slots
+};
+
+struct QbvProgram {
+  Duration slot{};
+  Duration cycle{};                       // scheduling cycle (LCM of periods)
+  std::int64_t slots_per_cycle = 0;
+  std::int64_t max_entries = 0;           // largest synthesized egress GCL
+  /// Programs keyed by (switch node, egress port).
+  std::map<std::pair<topo::NodeId, std::uint8_t>, QbvPortProgram> ports;
+
+  /// Gate table size set_gate_tbl() must provision for this program.
+  [[nodiscard]] std::int64_t required_gate_entries() const { return max_entries; }
+};
+
+class QbvSynthesizer {
+ public:
+  /// `ts_queue` — the queue the TS windows open (classification targets
+  /// it directly; no CQF redirection in Qbv mode).
+  QbvSynthesizer(const topo::Topology& topology, Duration slot,
+                 std::uint8_t ts_queue = traffic::kTsPriority);
+
+  /// Synthesizes the per-port programs for the TS flows in `flows`
+  /// (injection offsets must already be ITP-applied). Requirements:
+  /// every TS period must be a multiple of the slot (so windows repeat
+  /// within the cycle) and every TS flow must be routable.
+  [[nodiscard]] QbvProgram synthesize(const std::vector<traffic::FlowSpec>& flows) const;
+
+ private:
+  const topo::Topology* topology_;
+  Duration slot_;
+  std::uint8_t ts_queue_;
+};
+
+}  // namespace tsn::sched

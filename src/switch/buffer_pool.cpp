@@ -1,0 +1,43 @@
+#include "switch/buffer_pool.hpp"
+
+namespace tsn::sw {
+
+BufferPool::BufferPool(std::int64_t count, std::int64_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes) {
+  require(count > 0, "BufferPool: count must be positive");
+  require(buffer_bytes >= 64, "BufferPool: buffers must hold a minimum frame");
+  slots_.resize(static_cast<std::size_t>(count));
+  free_list_.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = count - 1; i >= 0; --i) {
+    free_list_.push_back(static_cast<BufferHandle>(i));
+  }
+}
+
+BufferHandle BufferPool::store(const net::Packet& packet) {
+  if (free_list_.empty()) return kInvalidBuffer;
+  if (packet.frame_bytes() > buffer_bytes_) return kInvalidBuffer;
+  const BufferHandle h = free_list_.back();
+  free_list_.pop_back();
+  Slot& slot = slots_[h];
+  slot.packet = packet;
+  slot.live = true;
+  ++in_use_;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  return h;
+}
+
+const net::Packet& BufferPool::packet(BufferHandle handle) const {
+  require(handle < slots_.size() && slots_[handle].live,
+          "BufferPool::packet: stale or invalid handle");
+  return slots_[handle].packet;
+}
+
+void BufferPool::release(BufferHandle handle) {
+  require(handle < slots_.size() && slots_[handle].live,
+          "BufferPool::release: stale or invalid handle");
+  slots_[handle].live = false;
+  free_list_.push_back(handle);
+  --in_use_;
+}
+
+}  // namespace tsn::sw

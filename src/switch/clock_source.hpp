@@ -1,0 +1,48 @@
+// Clock abstraction consumed by Gate Ctrl.
+//
+// A switch schedules its gate updates on its own *synchronized* clock.
+// With gPTP enabled the source wraps the node's disciplined LocalClock;
+// without it, an identity source makes gate boundaries exact (useful for
+// unit tests and for isolating sync error in ablations).
+#pragma once
+
+#include "common/time.hpp"
+#include "timesync/clock.hpp"
+
+namespace tsn::sw {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// The device's synchronized time at true instant `true_now`.
+  [[nodiscard]] virtual TimePoint synced(TimePoint true_now) const = 0;
+
+  /// True instant at which the synchronized time will read `target`.
+  [[nodiscard]] virtual TimePoint true_for_synced(TimePoint target) const = 0;
+};
+
+/// Perfect clock: synchronized time == true time.
+class IdentityClock final : public ClockSource {
+ public:
+  [[nodiscard]] TimePoint synced(TimePoint true_now) const override { return true_now; }
+  [[nodiscard]] TimePoint true_for_synced(TimePoint target) const override { return target; }
+};
+
+/// Adapts a gPTP-disciplined LocalClock. The clock must outlive the source.
+class DisciplinedClock final : public ClockSource {
+ public:
+  explicit DisciplinedClock(const timesync::LocalClock& clock) : clock_(&clock) {}
+
+  [[nodiscard]] TimePoint synced(TimePoint true_now) const override {
+    return clock_->synced(true_now);
+  }
+  [[nodiscard]] TimePoint true_for_synced(TimePoint target) const override {
+    return clock_->true_for_synced(target);
+  }
+
+ private:
+  const timesync::LocalClock* clock_;
+};
+
+}  // namespace tsn::sw

@@ -1,0 +1,31 @@
+#include "switch/config.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::sw {
+
+void SwitchResourceConfig::validate() const {
+  require(unicast_table_size > 0, "config: unicast table size must be positive");
+  require(multicast_table_size >= 0, "config: multicast table size must be >= 0");
+  require(classification_table_size > 0, "config: classification table size must be positive");
+  require(meter_table_size > 0, "config: meter table size must be positive");
+  require(gate_table_size > 0, "config: gate table size must be positive");
+  require(cbs_map_size > 0, "config: CBS map size must be positive");
+  require(cbs_table_size > 0, "config: CBS table size must be positive");
+  require(queue_depth > 0, "config: queue depth must be positive");
+  require(queues_per_port > 0 && queues_per_port <= 8,
+          "config: queues per port must be in [1, 8]");
+  require(buffers_per_port > 0, "config: buffers per port must be positive");
+  require(buffer_bytes >= 64, "config: buffer must hold at least a minimum frame");
+  require(port_count > 0, "config: port count must be positive");
+}
+
+void SwitchRuntimeConfig::validate() const {
+  require(link_rate.bps() > 0, "runtime config: link rate must be positive");
+  require(processing_delay.ns() >= 0, "runtime config: processing delay must be >= 0");
+  require(slot_size.ns() > 0, "runtime config: slot size must be positive");
+  require(cqf_queue_a < 8 && cqf_queue_b < 8 && cqf_queue_a != cqf_queue_b,
+          "runtime config: CQF needs two distinct queues in [0,8)");
+}
+
+}  // namespace tsn::sw

@@ -1,0 +1,80 @@
+// Switch configuration structures.
+//
+// SwitchResourceConfig carries exactly the parameters of the paper's
+// Table II customization APIs — the memory-determining knobs. The
+// TSN-Builder customization layer (src/builder) populates it; the switch
+// dataplane consumes it; the resource model prices it.
+//
+// SwitchRuntimeConfig carries behavioural knobs that do not consume BRAM
+// (link rate, pipeline latency, the CQF queue pair and slot size).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace tsn::sw {
+
+struct SwitchResourceConfig {
+  // set_switch_tbl(unicast_size, multicast_size)
+  std::int64_t unicast_table_size = 1024;
+  std::int64_t multicast_table_size = 0;  // 0 = not instantiated (paper: "1024, 0")
+
+  // set_class_tbl(class_size)
+  std::int64_t classification_table_size = 1024;
+
+  // set_meter_tbl(meter_size)
+  std::int64_t meter_table_size = 1024;
+
+  // set_gate_tbl(gate_size, queue_num, port_num)
+  std::int64_t gate_table_size = 2;  // GCL entries per direction per port
+
+  // set_cbs_tbl(cbs_map_size, cbs_size, port_num)
+  std::int64_t cbs_map_size = 3;
+  std::int64_t cbs_table_size = 3;
+
+  // set_queues(queue_depth, queue_num, port_num)
+  std::int64_t queue_depth = 12;     // metadata entries per queue
+  std::int64_t queues_per_port = 8;
+
+  // set_buffers(buffer_num, port_num)
+  std::int64_t buffers_per_port = 96;
+  std::int64_t buffer_bytes = 2048;  // one MTU packet per buffer
+
+  // Shared port_num of the per-port APIs: the enabled TSN ports.
+  std::int64_t port_count = 1;
+
+  /// Throws tsn::Error when any parameter is out of its hardware range.
+  void validate() const;
+};
+
+struct SwitchRuntimeConfig {
+  DataRate link_rate = DataRate::gigabits_per_sec(1);
+  /// Fixed ingress pipeline latency (parse + classify + lookup); the
+  /// FPGA prototype's pipeline depth at 125 MHz is sub-microsecond.
+  Duration processing_delay = Duration(680);
+  /// CQF slot size (65 us in the paper's evaluation).
+  Duration slot_size = microseconds(65);
+  /// The two TS queues that alternate under CQF.
+  std::uint8_t cqf_queue_a = 7;
+  std::uint8_t cqf_queue_b = 6;
+  /// Enable CQF gate programs on all ports at start-up.
+  bool enable_cqf = true;
+  /// Length-aware guard band: never start a frame that cannot finish
+  /// before the next gate boundary (802.1Qbv Annex Q style). Protects TS
+  /// slots from interference by in-flight best-effort frames.
+  bool guard_band = true;
+  /// 802.1Qbu/802.3br frame preemption: frames from express queues may
+  /// interrupt an in-flight preemptable frame at a 64 B fragment
+  /// boundary; the remainder resumes afterwards (with per-fragment
+  /// preamble/IFG/mCRC overhead). An alternative to the guard band for
+  /// protecting TS windows.
+  bool preemption = false;
+  /// Queues served by the express MAC (default: the CQF pair).
+  std::uint8_t express_queues = 0b1100'0000;
+
+  void validate() const;
+};
+
+}  // namespace tsn::sw

@@ -1,0 +1,54 @@
+// Dataplane counters. Drops are normal hardware behaviour, not C++ errors
+// (see common/error.hpp) — every drop reason has its own counter, exactly
+// like the MIB counters of a real switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tsn::sw {
+
+enum class DropReason : std::uint8_t {
+  kClassificationMiss,  // no classification entry (unprovisioned flow)
+  kMeterViolation,      // token bucket marked the packet red
+  kMaxSduExceeded,      // 802.1Qci per-stream filter: frame over max SDU
+  kLookupMiss,          // no unicast/multicast forwarding entry
+  kIngressGateClosed,   // 802.1Qci-style in-gate closed for the queue
+  kQueueFull,           // metadata queue at configured depth
+  kBufferExhausted,     // no free packet buffer in the port's pool
+  kCount
+};
+
+[[nodiscard]] inline std::string to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kClassificationMiss: return "classification_miss";
+    case DropReason::kMeterViolation: return "meter_violation";
+    case DropReason::kMaxSduExceeded: return "max_sdu_exceeded";
+    case DropReason::kLookupMiss: return "lookup_miss";
+    case DropReason::kIngressGateClosed: return "ingress_gate_closed";
+    case DropReason::kQueueFull: return "queue_full";
+    case DropReason::kBufferExhausted: return "buffer_exhausted";
+    case DropReason::kCount: break;
+  }
+  return "?";
+}
+
+struct SwitchCounters {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t drops[static_cast<std::size_t>(DropReason::kCount)] = {};
+  std::uint64_t guard_band_holds = 0;  // frames delayed by the length-aware guard
+  std::uint64_t preemptions = 0;       // frames interrupted by an express frame
+
+  void drop(DropReason r) { ++drops[static_cast<std::size_t>(r)]; }
+
+  [[nodiscard]] std::uint64_t total_drops() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t d : drops) sum += d;
+    return sum;
+  }
+};
+
+}  // namespace tsn::sw

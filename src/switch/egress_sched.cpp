@@ -1,0 +1,290 @@
+#include "switch/egress_sched.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tsn::sw {
+
+EgressScheduler::EgressScheduler(event::Simulator& sim, GateCtrl& gates,
+                                 const SwitchResourceConfig& res,
+                                 const SwitchRuntimeConfig& rt, SwitchCounters& counters)
+    : sim_(sim),
+      gates_(gates),
+      rt_(rt),
+      counters_(counters),
+      pool_(res.buffers_per_port, res.buffer_bytes),
+      cbs_map_(static_cast<std::size_t>(res.cbs_map_size)),
+      cbs_table_(static_cast<std::size_t>(res.cbs_table_size)) {
+  queues_.reserve(static_cast<std::size_t>(res.queues_per_port));
+  for (std::int64_t q = 0; q < res.queues_per_port; ++q) {
+    queues_.emplace_back(res.queue_depth);
+  }
+  shaper_of_queue_.resize(queues_.size());
+}
+
+bool EgressScheduler::bind_shaper(tables::QueueId queue, tables::CbsConfig config) {
+  require(queue < queues_.size(), "bind_shaper: queue id beyond synthesized queues");
+  const tables::CbsIndex idx = cbs_table_.install(config);
+  if (idx == tables::kNoCbs) return false;
+  if (!cbs_map_.bind(queue, idx)) return false;
+  // Mirror the table contents into runtime credit state.
+  if (shapers_.size() <= idx) shapers_.resize(idx + 1u);
+  shapers_[idx] = ShaperRuntime{config, 0.0, sim_.now(), ShaperMode::kIdle};
+  shaper_of_queue_[queue] = idx;
+  return true;
+}
+
+const MetadataQueue& EgressScheduler::queue(tables::QueueId q) const {
+  require(q < queues_.size(), "EgressScheduler::queue: id out of range");
+  return queues_[q];
+}
+
+std::optional<double> EgressScheduler::credit_bits(tables::QueueId q) const {
+  if (q >= queues_.size() || !shaper_of_queue_[q]) return std::nullopt;
+  return shapers_[*shaper_of_queue_[q]].credit_bits;
+}
+
+void EgressScheduler::ingress_enqueue(const net::Packet& packet, tables::QueueId q) {
+  require(q < queues_.size(), "ingress_enqueue: queue id beyond synthesized queues");
+  const BufferHandle handle = pool_.store(packet);
+  if (handle == kInvalidBuffer) {
+    counters_.drop(DropReason::kBufferExhausted);
+    return;
+  }
+  const QueueMetadata md{handle, static_cast<std::int32_t>(packet.frame_bytes()), sim_.now()};
+  if (!queues_[q].enqueue(md)) {
+    pool_.release(handle);
+    counters_.drop(DropReason::kQueueFull);
+    return;
+  }
+  sync_shaper_mode(q, sim_.now());
+  try_transmit();
+}
+
+void EgressScheduler::advance_shaper(ShaperRuntime& s, TimePoint now) const {
+  const Duration elapsed = now - s.last_update;
+  s.last_update = now;
+  if (elapsed.ns() <= 0) return;
+  const double sec = elapsed.sec();
+  switch (s.mode) {
+    case ShaperMode::kTransmitting:
+      s.credit_bits += static_cast<double>(s.cfg.send_slope.bps()) * sec;
+      break;
+    case ShaperMode::kWaiting:
+      s.credit_bits += static_cast<double>(s.cfg.idle_slope.bps()) * sec;
+      if (s.cfg.hi_credit_bits > 0) {
+        s.credit_bits = std::min(s.credit_bits, static_cast<double>(s.cfg.hi_credit_bits));
+      }
+      break;
+    case ShaperMode::kIdle:
+      // 802.1Qav: with the queue empty, positive credit is discarded and
+      // negative credit recovers at idleSlope toward zero.
+      if (s.credit_bits < 0.0) {
+        s.credit_bits = std::min(
+            0.0, s.credit_bits + static_cast<double>(s.cfg.idle_slope.bps()) * sec);
+      } else {
+        s.credit_bits = 0.0;
+      }
+      break;
+  }
+  if (s.cfg.lo_credit_bits < 0) {
+    s.credit_bits = std::max(s.credit_bits, static_cast<double>(s.cfg.lo_credit_bits));
+  }
+}
+
+void EgressScheduler::advance_all_shapers(TimePoint now) {
+  for (ShaperRuntime& s : shapers_) advance_shaper(s, now);
+}
+
+void EgressScheduler::sync_shaper_mode(tables::QueueId q, TimePoint now) {
+  if (!shaper_of_queue_[q]) return;
+  ShaperRuntime& s = shapers_[*shaper_of_queue_[q]];
+  advance_shaper(s, now);
+  if (tx_ && tx_->queue == q) {
+    s.mode = ShaperMode::kTransmitting;
+  } else if (!queues_[q].empty()) {
+    s.mode = ShaperMode::kWaiting;
+  } else {
+    s.mode = ShaperMode::kIdle;
+  }
+}
+
+std::optional<tables::QueueId> EgressScheduler::select_queue(bool express_only,
+                                                             bool& credit_blocked,
+                                                             TimePoint now) {
+  for (int qi = static_cast<int>(queues_.size()) - 1; qi >= 0; --qi) {
+    const auto q = static_cast<tables::QueueId>(qi);
+    if (express_only && !is_express(q)) continue;
+    const MetadataQueue& queue = queues_[q];
+    const bool resumable = suspended_ && suspended_->queue == q;
+    if (queue.empty() && !resumable) continue;
+    if (!gates_.out_open(q)) continue;
+    if (shaper_of_queue_[q] && shapers_[*shaper_of_queue_[q]].credit_bits < 0.0) {
+      credit_blocked = true;
+      continue;
+    }
+    if (rt_.guard_band && gates_.programmed()) {
+      const TimePoint boundary = gates_.next_update_true();
+      if (boundary != TimePoint::max()) {
+        const std::int64_t wire_bytes = resumable
+                                            ? suspended_->wire_bytes_remaining
+                                            : frame_wire_bytes(queue.head().frame_bytes);
+        const Duration wire = wire_time_bytes(wire_bytes);
+        const Duration remaining = boundary - now;
+        // Hold frames that cannot finish before the boundary — unless the
+        // frame could never fit in a full window (livelock escape).
+        if (wire > remaining && wire <= gates_.max_egress_interval()) {
+          ++counters_.guard_band_holds;
+          continue;
+        }
+      }
+    }
+    return q;
+  }
+  return std::nullopt;
+}
+
+bool EgressScheduler::express_frame_eligible(TimePoint now) {
+  bool credit_blocked = false;
+  return select_queue(/*express_only=*/true, credit_blocked, now).has_value();
+}
+
+void EgressScheduler::maybe_preempt(TimePoint now) {
+  if (!rt_.preemption || !tx_ || is_express(tx_->queue)) return;
+  if (!express_frame_eligible(now)) return;
+
+  // Legal preemption point: at least one minimum fragment already on the
+  // wire and at least one minimum fragment left (802.3br).
+  const std::int64_t sent_bytes = rt_.link_rate.bits_in(now - tx_->started).bits() / 8;
+  const std::int64_t remaining = tx_->segment_wire_bytes - sent_bytes;
+  if (remaining < kMinFragmentWireBytes) return;  // almost done; let it finish
+  if (sent_bytes < kMinFragmentWireBytes) {
+    // Too early: re-check exactly when the first fragment becomes legal.
+    if (!preempt_check_.valid()) {
+      const Duration until =
+          wire_time_bytes(kMinFragmentWireBytes - sent_bytes);
+      preempt_check_ = sim_.schedule_in(until, [this] {
+        preempt_check_ = event::EventId{};
+        maybe_preempt(sim_.now());
+      });
+    }
+    return;
+  }
+
+  // Cut the frame here: the current fragment ends now, the remainder
+  // (plus per-fragment resume overhead) waits for the express burst.
+  sim_.cancel(tx_->done);
+  ++counters_.preemptions;
+  suspended_ = Suspended{tx_->queue, tx_->md, remaining + kFragmentResumeOverheadBytes};
+  const tables::QueueId q = tx_->queue;
+  tx_.reset();
+  sync_shaper_mode(q, now);
+  try_transmit();
+}
+
+void EgressScheduler::try_transmit() {
+  const TimePoint now = sim_.now();
+  if (tx_) {
+    maybe_preempt(now);
+    return;
+  }
+  advance_all_shapers(now);
+
+  if (credit_wakeup_.valid()) {
+    sim_.cancel(credit_wakeup_);
+    credit_wakeup_ = event::EventId{};
+  }
+
+  bool credit_blocked = false;
+  // A preempted frame resumes before any NEW preemptable frame starts
+  // (the pMAC is mid-frame), but an eligible express frame goes first.
+  if (suspended_) {
+    const auto express = select_queue(/*express_only=*/true, credit_blocked, now);
+    if (express) {
+      start_frame(*express);
+      return;
+    }
+    // Resumption looks only at the suspended queue's own gate and the
+    // guard band — priorities of other preemptable queues are irrelevant
+    // while their MAC has a frame in flight.
+    const tables::QueueId q = suspended_->queue;
+    bool resume_ok = gates_.out_open(q);
+    if (resume_ok && rt_.guard_band && gates_.programmed()) {
+      const TimePoint boundary = gates_.next_update_true();
+      if (boundary != TimePoint::max()) {
+        const Duration wire = wire_time_bytes(suspended_->wire_bytes_remaining);
+        if (wire > boundary - now && wire <= gates_.max_egress_interval()) {
+          ++counters_.guard_band_holds;
+          resume_ok = false;  // a gate event re-kicks the scheduler
+        }
+      }
+    }
+    if (resume_ok) {
+      const Suspended s = *suspended_;
+      suspended_.reset();
+      start_segment(s.queue, s.md, s.wire_bytes_remaining, /*final_segment=*/true);
+    }
+    return;
+  }
+
+  const auto pick = select_queue(/*express_only=*/false, credit_blocked, now);
+  if (pick) {
+    start_frame(*pick);
+    return;
+  }
+  if (credit_blocked) arm_credit_wakeup();
+}
+
+void EgressScheduler::start_frame(tables::QueueId q) {
+  QueueMetadata md = queues_[q].dequeue();
+  const std::int64_t wire_bytes = frame_wire_bytes(md.frame_bytes);
+  start_segment(q, md, wire_bytes, /*final_segment=*/true);
+}
+
+void EgressScheduler::start_segment(tables::QueueId q, QueueMetadata md,
+                                    std::int64_t wire_bytes, bool final_segment) {
+  tx_ = ActiveTx{q, md, sim_.now(), wire_bytes, final_segment, event::EventId{}};
+  sync_shaper_mode(q, sim_.now());
+  tx_->done = sim_.schedule_in(wire_time_bytes(wire_bytes), [this] { finish_segment(); });
+}
+
+void EgressScheduler::finish_segment() {
+  require(tx_.has_value(), "finish_segment: no transmission in flight");
+  const ActiveTx done = *tx_;
+  tx_.reset();
+  if (preempt_check_.valid()) {
+    sim_.cancel(preempt_check_);
+    preempt_check_ = event::EventId{};
+  }
+  // Copy out before releasing the buffer.
+  const net::Packet packet = pool_.packet(done.md.buffer);
+  pool_.release(done.md.buffer);
+  ++counters_.tx_packets;
+  counters_.tx_bytes += static_cast<std::uint64_t>(done.md.frame_bytes);
+  sync_shaper_mode(done.queue, sim_.now());
+  if (tx_cb_) tx_cb_(packet);
+  try_transmit();
+}
+
+void EgressScheduler::arm_credit_wakeup() {
+  // Earliest instant any gate-open, non-empty, credit-blocked shaper
+  // recovers to zero.
+  Duration soonest = Duration::max();
+  for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+    const auto q = static_cast<tables::QueueId>(qi);
+    if (queues_[q].empty() || !gates_.out_open(q) || !shaper_of_queue_[q]) continue;
+    const ShaperRuntime& s = shapers_[*shaper_of_queue_[q]];
+    if (s.credit_bits >= 0.0) continue;
+    const double sec = -s.credit_bits / static_cast<double>(s.cfg.idle_slope.bps());
+    const Duration d(static_cast<std::int64_t>(sec * 1e9) + 1);
+    soonest = std::min(soonest, d);
+  }
+  if (soonest == Duration::max()) return;
+  credit_wakeup_ = sim_.schedule_in(soonest, [this] {
+    credit_wakeup_ = event::EventId{};
+    try_transmit();
+  });
+}
+
+}  // namespace tsn::sw

@@ -1,0 +1,155 @@
+// Egress Sched template (paper Fig. 5): a strict-priority scheduler over
+// the port's queues plus credit-based shapers (802.1Qav) on the RC queues.
+//
+// Transmission selection runs whenever something changes (enqueue, transmit
+// completion, gate flip, credit recovery):
+//   * only queues whose egress gate is open participate;
+//   * a queue bound to a shaper is eligible only with credit >= 0;
+//   * among eligible queues, strict priority (7 highest) wins;
+//   * with the guard band enabled, a frame that cannot finish before the
+//     next gate boundary is held (length-aware scheduling), which keeps
+//     in-flight best-effort frames from leaking into the next CQF slot;
+//   * with 802.1Qbu frame preemption enabled, an eligible express frame
+//     interrupts an in-flight preemptable frame at a legal 64 B fragment
+//     boundary; the remainder resumes afterwards, paying per-fragment
+//     preamble/IFG/mCRC overhead (802.3br interspersing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "event/simulator.hpp"
+#include "net/packet.hpp"
+#include "switch/buffer_pool.hpp"
+#include "switch/config.hpp"
+#include "switch/counters.hpp"
+#include "switch/gate_ctrl.hpp"
+#include "switch/queue.hpp"
+#include "tables/cbs_table.hpp"
+
+namespace tsn::sw {
+
+/// Non-final and final fragments must carry at least 64 B of frame data
+/// (802.3br minimum fragment size), plus 8 B preamble and 12 B IFG on the
+/// wire around every fragment.
+inline constexpr std::int64_t kMinFragmentWireBytes = 64 + 8 + 12;
+/// Extra wire bytes per resumed fragment: preamble (8) + IFG (12) + mCRC (4).
+inline constexpr std::int64_t kFragmentResumeOverheadBytes = 24;
+
+class EgressScheduler {
+ public:
+  /// Invoked at the end of a frame's serialization with the transmitted
+  /// packet (the link adds propagation delay before the peer receives it).
+  using TxCallback = std::function<void(const net::Packet&)>;
+
+  EgressScheduler(event::Simulator& sim, GateCtrl& gates,
+                  const SwitchResourceConfig& res, const SwitchRuntimeConfig& rt,
+                  SwitchCounters& counters);
+
+  // --- control plane -------------------------------------------------
+  /// Binds `queue` to a new credit-based shaper. Consumes one CBS MAP and
+  /// one CBS table entry; false when either table is full.
+  [[nodiscard]] bool bind_shaper(tables::QueueId queue, tables::CbsConfig config);
+
+  void set_tx_callback(TxCallback cb) { tx_cb_ = std::move(cb); }
+
+  // --- dataplane ------------------------------------------------------
+  /// Admits a packet into `queue`: allocates a buffer, pushes metadata,
+  /// and kicks the scheduler. Drops (pool exhausted / queue full) are
+  /// counted, not raised.
+  void ingress_enqueue(const net::Packet& packet, tables::QueueId queue);
+
+  /// Re-evaluates transmission opportunities (called on gate changes).
+  void kick() { try_transmit(); }
+
+  // --- introspection ---------------------------------------------------
+  [[nodiscard]] std::size_t queue_count() const { return queues_.size(); }
+  [[nodiscard]] const MetadataQueue& queue(tables::QueueId q) const;
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  [[nodiscard]] bool transmitting() const { return tx_.has_value(); }
+  [[nodiscard]] bool has_suspended_frame() const { return suspended_.has_value(); }
+  /// Credit (bits) of the shaper bound to `queue`; nullopt if unshaped.
+  [[nodiscard]] std::optional<double> credit_bits(tables::QueueId q) const;
+
+ private:
+  enum class ShaperMode : std::uint8_t { kIdle, kWaiting, kTransmitting };
+
+  struct ShaperRuntime {
+    tables::CbsConfig cfg;
+    double credit_bits = 0.0;
+    TimePoint last_update{};
+    ShaperMode mode = ShaperMode::kIdle;
+  };
+
+  /// One transmission segment in flight (a whole frame, or one fragment
+  /// of a preempted frame).
+  struct ActiveTx {
+    tables::QueueId queue = 0;
+    QueueMetadata md;
+    TimePoint started{};
+    std::int64_t segment_wire_bytes = 0;  // this segment, incl. overheads
+    bool final_segment = true;            // completes the frame
+    event::EventId done{};
+  };
+
+  /// Remainder of a preempted frame awaiting resumption.
+  struct Suspended {
+    tables::QueueId queue = 0;
+    QueueMetadata md;
+    std::int64_t wire_bytes_remaining = 0;  // incl. resume overhead
+  };
+
+  void try_transmit();
+  /// Candidate selection over [lo, hi] priority range; returns the chosen
+  /// queue or nullopt (setting credit_blocked when that was the obstacle).
+  [[nodiscard]] std::optional<tables::QueueId> select_queue(bool express_only,
+                                                            bool& credit_blocked,
+                                                            TimePoint now);
+  [[nodiscard]] bool express_frame_eligible(TimePoint now);
+  void maybe_preempt(TimePoint now);
+  void start_frame(tables::QueueId q);
+  void start_segment(tables::QueueId q, QueueMetadata md, std::int64_t wire_bytes,
+                     bool final_segment);
+  void finish_segment();
+
+  void advance_shaper(ShaperRuntime& s, TimePoint now) const;
+  void advance_all_shapers(TimePoint now);
+  /// Recomputes a shaper's mode from the transmit state and queue depth.
+  void sync_shaper_mode(tables::QueueId q, TimePoint now);
+  void arm_credit_wakeup();
+
+  [[nodiscard]] bool is_express(tables::QueueId q) const {
+    return (rt_.express_queues >> q) & 1u;
+  }
+  [[nodiscard]] Duration wire_time_bytes(std::int64_t wire_bytes) const {
+    return rt_.link_rate.transmission_time(BitCount::from_bytes(wire_bytes));
+  }
+  [[nodiscard]] std::int64_t frame_wire_bytes(std::int64_t frame_bytes) const {
+    return net::wire_bits(frame_bytes).bits() / 8;
+  }
+
+  event::Simulator& sim_;
+  GateCtrl& gates_;
+  const SwitchRuntimeConfig rt_;
+  SwitchCounters& counters_;
+
+  std::vector<MetadataQueue> queues_;
+  BufferPool pool_;
+
+  tables::CbsMapTable cbs_map_;
+  tables::CbsTable cbs_table_;
+  std::vector<std::optional<std::size_t>> shaper_of_queue_;
+  std::vector<ShaperRuntime> shapers_;
+
+  TxCallback tx_cb_;
+  std::optional<ActiveTx> tx_;
+  std::optional<Suspended> suspended_;
+  event::EventId credit_wakeup_{};
+  event::EventId preempt_check_{};
+};
+
+}  // namespace tsn::sw

@@ -1,0 +1,102 @@
+#include "switch/gate_ctrl.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tsn::sw {
+
+GateCtrl::GateCtrl(event::Simulator& sim, const ClockSource& clock,
+                   std::int64_t gate_table_size)
+    : sim_(sim), clock_(&clock), gate_table_size_(gate_table_size) {
+  require(gate_table_size > 0, "GateCtrl: gate table size must be positive");
+}
+
+void GateCtrl::program(const tables::GateControlList& ingress,
+                       const tables::GateControlList& egress,
+                       TimePoint cycle_base_synced) {
+  require(!running_, "GateCtrl::program: stop before reprogramming");
+  require(!ingress.empty() && !egress.empty(), "GateCtrl::program: empty GCL");
+  require(ingress.size() <= static_cast<std::size_t>(gate_table_size_) &&
+              egress.size() <= static_cast<std::size_t>(gate_table_size_),
+          "GateCtrl::program: GCL exceeds the synthesized gate table size");
+  require(ingress.cycle_time() == egress.cycle_time(),
+          "GateCtrl::program: ingress/egress cycle times must match");
+  in_gcl_ = ingress;
+  out_gcl_ = egress;
+  cycle_base_synced_ = cycle_base_synced;
+  max_egress_interval_ = Duration::zero();
+  for (std::size_t i = 0; i < egress.size(); ++i) {
+    max_egress_interval_ = std::max(max_egress_interval_, egress.entry(i).interval);
+  }
+}
+
+void GateCtrl::start() {
+  if (!programmed() || running_) return;
+  running_ = true;
+
+  // Establish the current entry of each program from the synchronized time
+  // and schedule the first boundary.
+  const TimePoint synced_now = clock_->synced(sim_.now());
+  auto init = [&](Walker& walker, const tables::GateControlList& gcl,
+                  tables::GateBitmap& gates) {
+    walker.gcl = &gcl;
+    const Duration offset = synced_now - cycle_base_synced_;
+    const auto pos = gcl.position_at(offset);
+    walker.index = pos.index;
+    walker.next_boundary_synced = synced_now + pos.remaining;
+    gates = gcl.entry(pos.index).gate_states;
+  };
+  init(in_walker_, *in_gcl_, in_gates_);
+  init(out_walker_, *out_gcl_, out_gates_);
+
+  arm(in_walker_, in_gates_);
+  arm(out_walker_, out_gates_);
+  if (on_change_) on_change_();
+}
+
+void GateCtrl::set_clock(const ClockSource& clock) {
+  require(!running_, "GateCtrl::set_clock: stop the gate engine first");
+  clock_ = &clock;
+}
+
+void GateCtrl::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(in_event_);
+  sim_.cancel(out_event_);
+  in_gates_ = tables::kAllGatesOpen;
+  out_gates_ = tables::kAllGatesOpen;
+}
+
+void GateCtrl::arm(Walker& walker, tables::GateBitmap& gates) {
+  // Map the synchronized boundary onto true time through the disciplined
+  // clock. A servo step can momentarily place the boundary in the past;
+  // clamp to "now" so the program never stalls.
+  TimePoint due = clock_->true_for_synced(walker.next_boundary_synced);
+  if (due < sim_.now()) due = sim_.now();
+  event::EventId& slot = (&walker == &in_walker_) ? in_event_ : out_event_;
+  slot = sim_.schedule_at(due, [this, &walker, &gates] {
+    if (!running_) return;
+    apply_next(walker, gates);
+    arm(walker, gates);
+    if (on_change_) on_change_();
+  });
+}
+
+void GateCtrl::apply_next(Walker& walker, tables::GateBitmap& gates) {
+  const tables::GateControlList& gcl = *walker.gcl;
+  walker.index = (walker.index + 1) % gcl.size();
+  gates = gcl.entry(walker.index).gate_states;
+  walker.next_boundary_synced += gcl.entry(walker.index).interval;
+  ++updates_applied_;
+}
+
+TimePoint GateCtrl::next_update_true() const {
+  if (!running_ || !programmed()) return TimePoint::max();
+  const TimePoint a = clock_->true_for_synced(in_walker_.next_boundary_synced);
+  const TimePoint b = clock_->true_for_synced(out_walker_.next_boundary_synced);
+  return std::min(a, b);
+}
+
+}  // namespace tsn::sw

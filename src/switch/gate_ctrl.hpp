@@ -1,0 +1,96 @@
+// Gate Ctrl template (paper Fig. 3/5): augments queue management with the
+// 802.1Qbv gate mechanism. Each port carries an ingress GCL and an egress
+// GCL; an update submodule walks the cyclic programs and flips the gate
+// bitmaps at entry boundaries.
+//
+// Boundaries are defined on the device's SYNCHRONIZED clock: the update
+// events are scheduled at the true instants where the disciplined clock
+// crosses each boundary, so residual gPTP error skews gates between
+// neighbouring switches exactly as on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/time.hpp"
+#include "event/simulator.hpp"
+#include "switch/clock_source.hpp"
+#include "tables/classification_table.hpp"
+#include "tables/gcl.hpp"
+
+namespace tsn::sw {
+
+class GateCtrl {
+ public:
+  /// `gate_table_size` bounds the capacity of each direction's GCL.
+  GateCtrl(event::Simulator& sim, const ClockSource& clock, std::int64_t gate_table_size);
+
+  /// Installs the cyclic programs. `cycle_base_synced` is the synchronized
+  /// time at which entry 0 of both lists begins. Both lists must fit the
+  /// configured gate table size and have equal cycle times.
+  void program(const tables::GateControlList& ingress, const tables::GateControlList& egress,
+               TimePoint cycle_base_synced);
+
+  /// Arms the update events. Without a program all gates stay open.
+  void start();
+  void stop();
+
+  /// Swaps the clock the gate engine reads (e.g. after gPTP is attached).
+  /// Only valid while stopped; `clock` must outlive this object.
+  void set_clock(const ClockSource& clock);
+
+  [[nodiscard]] bool programmed() const { return in_gcl_.has_value(); }
+
+  [[nodiscard]] tables::GateBitmap in_gates() const { return in_gates_; }
+  [[nodiscard]] tables::GateBitmap out_gates() const { return out_gates_; }
+  [[nodiscard]] bool in_open(tables::QueueId q) const { return (in_gates_ >> q) & 1u; }
+  [[nodiscard]] bool out_open(tables::QueueId q) const { return (out_gates_ >> q) & 1u; }
+
+  /// True instant of the next gate update, or TimePoint::max() when no
+  /// program is running. The egress scheduler's guard band measures the
+  /// remaining transmission window against this.
+  [[nodiscard]] TimePoint next_update_true() const;
+
+  /// Longest entry interval in the egress program (the guard band's
+  /// livelock escape: frames longer than this may start regardless).
+  [[nodiscard]] Duration max_egress_interval() const { return max_egress_interval_; }
+
+  /// Invoked after every gate-state change (the scheduler re-evaluates
+  /// transmission opportunities).
+  void set_on_change(std::function<void()> callback) { on_change_ = std::move(callback); }
+
+  [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
+
+ private:
+  struct Walker {
+    const tables::GateControlList* gcl = nullptr;
+    std::size_t index = 0;              // entry currently active
+    TimePoint next_boundary_synced{};   // synced time the next entry starts
+  };
+
+  void arm(Walker& walker, tables::GateBitmap& gates);
+  void apply_next(Walker& walker, tables::GateBitmap& gates);
+
+  event::Simulator& sim_;
+  const ClockSource* clock_;
+  std::int64_t gate_table_size_;
+
+  std::optional<tables::GateControlList> in_gcl_;
+  std::optional<tables::GateControlList> out_gcl_;
+  TimePoint cycle_base_synced_{};
+  Duration max_egress_interval_{};
+
+  Walker in_walker_;
+  Walker out_walker_;
+  event::EventId in_event_{};
+  event::EventId out_event_{};
+  bool running_ = false;
+
+  tables::GateBitmap in_gates_ = tables::kAllGatesOpen;
+  tables::GateBitmap out_gates_ = tables::kAllGatesOpen;
+  std::function<void()> on_change_;
+  std::uint64_t updates_applied_ = 0;
+};
+
+}  // namespace tsn::sw

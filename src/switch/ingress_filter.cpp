@@ -1,0 +1,34 @@
+#include "switch/ingress_filter.hpp"
+
+namespace tsn::sw {
+
+IngressFilter::IngressFilter(std::int64_t class_size, std::int64_t meter_size)
+    : class_table_(static_cast<std::size_t>(class_size)),
+      meter_table_(static_cast<std::size_t>(meter_size)) {}
+
+bool IngressFilter::add_class_entry(const tables::ClassificationKey& key,
+                                    tables::ClassificationResult result) {
+  return class_table_.insert(key, result);
+}
+
+tables::MeterId IngressFilter::install_meter(DataRate rate, std::int64_t burst_bytes) {
+  return meter_table_.install(rate, burst_bytes);
+}
+
+IngressFilter::Verdict IngressFilter::process(const net::Packet& packet, TimePoint now) {
+  const auto result = class_table_.lookup(tables::ClassificationKey::from_packet(packet));
+  if (!result) {
+    return Verdict{Verdict::Action::kClassificationMiss, 0};
+  }
+  // 802.1Qci per-stream filtering precedes metering: oversized frames are
+  // discarded without consuming tokens.
+  if (result->max_sdu_bytes > 0 && packet.frame_bytes() > result->max_sdu_bytes) {
+    return Verdict{Verdict::Action::kMaxSduDrop, result->queue};
+  }
+  if (!meter_table_.offer(result->meter, now, packet.frame_bytes())) {
+    return Verdict{Verdict::Action::kMeterDrop, result->queue};
+  }
+  return Verdict{Verdict::Action::kAccept, result->queue};
+}
+
+}  // namespace tsn::sw

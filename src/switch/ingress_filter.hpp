@@ -1,0 +1,53 @@
+// Ingress Filter template (paper Fig. 5): classifier + meters.
+//
+// The classifier maps (Src MAC, Dst MAC, VID, PRI) onto (Meter ID,
+// Queue ID); the meter polices the flow with a token bucket (802.1Qci
+// flow metering). TS flows are provisioned with kNoMeter — their rate is
+// guaranteed by scheduling, not policing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "tables/classification_table.hpp"
+#include "tables/token_bucket.hpp"
+
+namespace tsn::sw {
+
+class IngressFilter {
+ public:
+  IngressFilter(std::int64_t class_size, std::int64_t meter_size);
+
+  /// Provisions a classification entry. False when the table is full.
+  [[nodiscard]] bool add_class_entry(const tables::ClassificationKey& key,
+                                     tables::ClassificationResult result);
+
+  /// Installs a meter; kNoMeter when the meter table is full.
+  [[nodiscard]] tables::MeterId install_meter(DataRate rate, std::int64_t burst_bytes);
+
+  /// Outcome of running the ingress pipeline stage on one packet.
+  struct Verdict {
+    enum class Action : std::uint8_t {
+      kAccept,
+      kClassificationMiss,
+      kMaxSduDrop,  // 802.1Qci: frame larger than the stream's max SDU
+      kMeterDrop,
+    };
+    Action action = Action::kClassificationMiss;
+    tables::QueueId queue = 0;
+  };
+
+  /// Classifies and polices `packet` arriving at `now`.
+  [[nodiscard]] Verdict process(const net::Packet& packet, TimePoint now);
+
+  [[nodiscard]] const tables::ClassificationTable& classification() const { return class_table_; }
+  [[nodiscard]] tables::MeterTable& meters() { return meter_table_; }
+
+ private:
+  tables::ClassificationTable class_table_;
+  tables::MeterTable meter_table_;
+};
+
+}  // namespace tsn::sw

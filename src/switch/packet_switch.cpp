@@ -1,0 +1,45 @@
+#include "switch/packet_switch.hpp"
+
+#include "common/error.hpp"
+#include "net/ethernet.hpp"
+
+namespace tsn::sw {
+
+PacketSwitch::PacketSwitch(std::int64_t unicast_size, std::int64_t multicast_size)
+    : unicast_(static_cast<std::size_t>(unicast_size)) {
+  require(unicast_size > 0, "PacketSwitch: unicast table size must be positive");
+  require(multicast_size >= 0, "PacketSwitch: multicast table size must be >= 0");
+  if (multicast_size > 0) {
+    multicast_.emplace(static_cast<std::size_t>(multicast_size));
+  }
+}
+
+bool PacketSwitch::add_unicast(const MacAddress& dst, VlanId vid, tables::PortIndex out_port) {
+  return unicast_.insert(tables::UnicastKey{dst, vid}, out_port);
+}
+
+bool PacketSwitch::add_multicast(std::uint16_t group, std::uint32_t port_bitmap) {
+  if (!multicast_) return false;
+  return multicast_->insert(group, port_bitmap);
+}
+
+std::vector<tables::PortIndex> PacketSwitch::lookup(const net::Packet& packet) const {
+  if (packet.dst.is_multicast()) {
+    if (!multicast_) return {};
+    const auto group = static_cast<std::uint16_t>(packet.dst.to_u64() & 0xFFFF);
+    const auto bitmap = multicast_->lookup(group);
+    if (!bitmap) return {};
+    return tables::ports_from_bitmap(*bitmap);
+  }
+  const auto port = unicast_.lookup(tables::UnicastKey{packet.dst, packet.vlan.vid});
+  if (!port) return {};
+  return {*port};
+}
+
+std::optional<net::Packet> PacketSwitch::parse(std::span<const std::uint8_t> bytes) {
+  const auto parsed = net::parse_frame(bytes);
+  if (!parsed || !parsed->fcs_ok) return std::nullopt;
+  return net::from_frame(parsed->frame);
+}
+
+}  // namespace tsn::sw

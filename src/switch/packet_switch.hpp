@@ -1,0 +1,45 @@
+// Packet Switch template (paper Fig. 5): a parser submodule plus a lookup
+// submodule executing the unicast/multicast forwarding decision.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "tables/switch_table.hpp"
+
+namespace tsn::sw {
+
+class PacketSwitch {
+ public:
+  /// `unicast_size` entries; `multicast_size` may be 0 (table absent —
+  /// the paper's customized switches split multicast into unicast flows).
+  PacketSwitch(std::int64_t unicast_size, std::int64_t multicast_size);
+
+  /// Provisions a unicast forwarding entry. False when the table is full.
+  [[nodiscard]] bool add_unicast(const MacAddress& dst, VlanId vid, tables::PortIndex out_port);
+
+  /// Provisions a multicast group. False when absent/full.
+  [[nodiscard]] bool add_multicast(std::uint16_t group, std::uint32_t port_bitmap);
+
+  /// Forwarding decision. Unicast DA -> at most one port; multicast DA ->
+  /// the group's member set (group id = low 16 bits of the DA, the common
+  /// ASIC convention); miss -> empty (counted as a lookup-miss drop).
+  [[nodiscard]] std::vector<tables::PortIndex> lookup(const net::Packet& packet) const;
+
+  /// Parser submodule: byte-accurate frame -> dataplane packet view.
+  /// Returns nullopt on malformed/truncated frames or bad FCS.
+  [[nodiscard]] static std::optional<net::Packet> parse(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::size_t unicast_size() const { return unicast_.size(); }
+  [[nodiscard]] std::size_t unicast_capacity() const { return unicast_.capacity(); }
+  [[nodiscard]] bool has_multicast_table() const { return multicast_.has_value(); }
+
+ private:
+  tables::UnicastTable unicast_;
+  std::optional<tables::MulticastTable> multicast_;
+};
+
+}  // namespace tsn::sw

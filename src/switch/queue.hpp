@@ -1,0 +1,57 @@
+// Per-queue metadata FIFO.
+//
+// The hardware queue stores a 32 b metadata word per packet (paper: "queue
+// stores packet descriptor ... while buffer stores packet payload"). The
+// configured depth is the `queue_depth` resource parameter — a full queue
+// tail-drops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.hpp"
+#include "common/time.hpp"
+#include "switch/buffer_pool.hpp"
+
+namespace tsn::sw {
+
+/// 32-bit hardware metadata word (buffer id + length + flags).
+inline constexpr std::int64_t kQueueMetadataBits = 32;
+
+struct QueueMetadata {
+  BufferHandle buffer = kInvalidBuffer;
+  std::int32_t frame_bytes = 0;
+  TimePoint enqueued_at{};
+};
+
+class MetadataQueue {
+ public:
+  explicit MetadataQueue(std::int64_t depth)
+      : fifo_(static_cast<std::size_t>(depth)) {}
+
+  [[nodiscard]] std::size_t depth() const { return fifo_.capacity(); }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] bool full() const { return fifo_.full(); }
+
+  /// Tail-drop semantics: false when the queue is at depth.
+  [[nodiscard]] bool enqueue(QueueMetadata md) {
+    if (!fifo_.push(md)) return false;
+    if (fifo_.size() > peak_occupancy_) peak_occupancy_ = fifo_.size();
+    return true;
+  }
+
+  [[nodiscard]] const QueueMetadata& head() const { return fifo_.front(); }
+  QueueMetadata dequeue() { return fifo_.pop(); }
+
+  /// High-water mark — the measured counterpart of the provisioned depth
+  /// (what the ITP planner's worst-case analysis predicts).
+  [[nodiscard]] std::size_t peak_occupancy() const { return peak_occupancy_; }
+
+  void clear() { fifo_.clear(); }
+
+ private:
+  RingBuffer<QueueMetadata> fifo_;
+  std::size_t peak_occupancy_ = 0;
+};
+
+}  // namespace tsn::sw

@@ -1,0 +1,173 @@
+#include "switch/tsn_switch.hpp"
+
+#include "common/error.hpp"
+#include "tables/gcl.hpp"
+
+namespace tsn::sw {
+
+TsnSwitch::TsnSwitch(event::Simulator& sim, std::string name, SwitchResourceConfig res,
+                     SwitchRuntimeConfig rt, std::int64_t physical_ports)
+    : sim_(sim),
+      name_(std::move(name)),
+      res_(res),
+      rt_(rt),
+      clock_(&identity_clock_),
+      filter_(res.classification_table_size, res.meter_table_size),
+      switch_(res.unicast_table_size, res.multicast_table_size) {
+  res_.validate();
+  rt_.validate();
+  require(physical_ports > 0 && physical_ports <= 32,
+          "TsnSwitch: physical ports must be in [1, 32]");
+
+  ports_.reserve(static_cast<std::size_t>(physical_ports));
+  for (std::int64_t p = 0; p < physical_ports; ++p) {
+    Port port;
+    port.gate_ctrl = std::make_unique<GateCtrl>(sim_, *clock_, res_.gate_table_size);
+    port.scheduler =
+        std::make_unique<EgressScheduler>(sim_, *port.gate_ctrl, res_, rt_, counters_);
+    ports_.push_back(std::move(port));
+  }
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    Port& port = ports_[p];
+    GateCtrl* gc = port.gate_ctrl.get();
+    EgressScheduler* sched = port.scheduler.get();
+    gc->set_on_change([sched] { sched->kick(); });
+    const auto port_index = static_cast<tables::PortIndex>(p);
+    sched->set_tx_callback([this, port_index](const net::Packet& packet) {
+      if (tx_cb_) tx_cb_(port_index, packet);
+    });
+  }
+}
+
+void TsnSwitch::use_clock(const timesync::LocalClock& clock) {
+  require(!started_, "TsnSwitch::use_clock: switch already started");
+  disciplined_ = std::make_unique<DisciplinedClock>(clock);
+  clock_ = disciplined_.get();
+  for (Port& port : ports_) port.gate_ctrl->set_clock(*clock_);
+}
+
+bool TsnSwitch::add_unicast(const MacAddress& dst, VlanId vid, tables::PortIndex out_port) {
+  require(out_port < ports_.size(), "add_unicast: out port beyond wired ports");
+  return switch_.add_unicast(dst, vid, out_port);
+}
+
+bool TsnSwitch::add_multicast(std::uint16_t group, std::uint32_t port_bitmap) {
+  return switch_.add_multicast(group, port_bitmap);
+}
+
+bool TsnSwitch::add_class_entry(const tables::ClassificationKey& key,
+                                tables::ClassificationResult result) {
+  require(result.queue < res_.queues_per_port,
+          "add_class_entry: queue id beyond synthesized queues");
+  return filter_.add_class_entry(key, result);
+}
+
+tables::MeterId TsnSwitch::install_meter(DataRate rate, std::int64_t burst_bytes) {
+  return filter_.install_meter(rate, burst_bytes);
+}
+
+bool TsnSwitch::bind_shaper(tables::PortIndex port, tables::QueueId queue,
+                            tables::CbsConfig config) {
+  require(port < ports_.size(), "bind_shaper: port beyond wired ports");
+  return ports_[port].scheduler->bind_shaper(queue, config);
+}
+
+void TsnSwitch::program_gates(tables::PortIndex port, const tables::GateControlList& ingress,
+                              const tables::GateControlList& egress,
+                              TimePoint cycle_base_synced) {
+  require(port < ports_.size(), "program_gates: port beyond wired ports");
+  ports_[port].gate_ctrl->program(ingress, egress, cycle_base_synced);
+}
+
+void TsnSwitch::program_cqf(TimePoint base_synced) {
+  const tables::CqfGclPair pair =
+      tables::make_cqf_gcl(rt_.slot_size, rt_.cqf_queue_a, rt_.cqf_queue_b,
+                           tables::kAllGatesOpen,
+                           static_cast<std::size_t>(res_.gate_table_size));
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    program_gates(static_cast<tables::PortIndex>(p), pair.ingress, pair.egress, base_synced);
+  }
+}
+
+void TsnSwitch::start() {
+  if (started_) return;
+  started_ = true;
+  if (rt_.enable_cqf) {
+    bool any_programmed = false;
+    for (const Port& port : ports_) any_programmed |= port.gate_ctrl->programmed();
+    if (!any_programmed) program_cqf(TimePoint(0));
+  }
+  for (Port& port : ports_) port.gate_ctrl->start();
+}
+
+void TsnSwitch::receive(tables::PortIndex in_port, const net::Packet& packet) {
+  require(in_port < ports_.size(), "receive: port beyond wired ports");
+  ++counters_.rx_packets;
+  counters_.rx_bytes += static_cast<std::uint64_t>(packet.frame_bytes());
+
+  const IngressFilter::Verdict verdict = filter_.process(packet, sim_.now());
+  switch (verdict.action) {
+    case IngressFilter::Verdict::Action::kClassificationMiss:
+      counters_.drop(DropReason::kClassificationMiss);
+      return;
+    case IngressFilter::Verdict::Action::kMaxSduDrop:
+      counters_.drop(DropReason::kMaxSduExceeded);
+      return;
+    case IngressFilter::Verdict::Action::kMeterDrop:
+      counters_.drop(DropReason::kMeterViolation);
+      return;
+    case IngressFilter::Verdict::Action::kAccept:
+      break;
+  }
+
+  const std::vector<tables::PortIndex> out_ports = switch_.lookup(packet);
+  if (out_ports.empty()) {
+    counters_.drop(DropReason::kLookupMiss);
+    return;
+  }
+
+  // The ingress pipeline (parse, classify, lookup) takes a fixed number of
+  // cycles before the packet reaches the queueing stage.
+  const tables::QueueId queue = verdict.queue;
+  sim_.schedule_in(rt_.processing_delay, [this, packet, out_ports, queue] {
+    for (const tables::PortIndex p : out_ports) {
+      deliver_to_port(p, packet, queue);
+    }
+  });
+}
+
+void TsnSwitch::deliver_to_port(tables::PortIndex port, const net::Packet& packet,
+                                tables::QueueId queue) {
+  if (port >= ports_.size()) return;  // stale forwarding entry
+  Port& pt = ports_[port];
+  tables::QueueId target = queue;
+  const std::uint8_t a = rt_.cqf_queue_a;
+  const std::uint8_t b = rt_.cqf_queue_b;
+  if (rt_.enable_cqf && (queue == a || queue == b) && pt.gate_ctrl->programmed()) {
+    // CQF: a TS packet joins whichever of the queue pair is filling.
+    if (pt.gate_ctrl->in_open(a)) {
+      target = a;
+    } else if (pt.gate_ctrl->in_open(b)) {
+      target = b;
+    } else {
+      counters_.drop(DropReason::kIngressGateClosed);
+      return;
+    }
+  } else if (!pt.gate_ctrl->in_open(target)) {
+    counters_.drop(DropReason::kIngressGateClosed);
+    return;
+  }
+  pt.scheduler->ingress_enqueue(packet, target);
+}
+
+EgressScheduler& TsnSwitch::scheduler(tables::PortIndex port) {
+  require(port < ports_.size(), "scheduler: port beyond wired ports");
+  return *ports_[port].scheduler;
+}
+
+GateCtrl& TsnSwitch::gates(tables::PortIndex port) {
+  require(port < ports_.size(), "gates: port beyond wired ports");
+  return *ports_[port].gate_ctrl;
+}
+
+}  // namespace tsn::sw

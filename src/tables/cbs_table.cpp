@@ -1,0 +1,35 @@
+#include "tables/cbs_table.hpp"
+
+namespace tsn::tables {
+
+bool CbsMapTable::bind(QueueId queue, CbsIndex cbs) {
+  for (Entry& e : entries_) {
+    if (e.queue == queue) {
+      e.cbs = cbs;
+      return true;
+    }
+  }
+  if (entries_.size() >= capacity_) return false;
+  entries_.push_back(Entry{queue, cbs});
+  return true;
+}
+
+CbsIndex CbsMapTable::shaper_for(QueueId queue) const {
+  for (const Entry& e : entries_) {
+    if (e.queue == queue) return e.cbs;
+  }
+  return kNoCbs;
+}
+
+CbsIndex CbsTable::install(CbsConfig config) {
+  if (configs_.size() >= capacity_) return kNoCbs;
+  configs_.push_back(config);
+  return static_cast<CbsIndex>(configs_.size() - 1);
+}
+
+const CbsConfig& CbsTable::config(CbsIndex i) const {
+  require(i < configs_.size(), "CbsTable::config: index out of range");
+  return configs_[i];
+}
+
+}  // namespace tsn::tables

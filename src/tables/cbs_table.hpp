@@ -1,0 +1,94 @@
+// Credit-Based Shaper tables of the Egress Sched template (IEEE 802.1Qav,
+// paper Fig. 4):
+//  * CBS MAP table: egress queue -> shaper index
+//  * CBS table:     per-shaper idleSlope / sendSlope configuration
+//
+// The paper charges both tables together at 72 b/entry; we split that as
+// 16 b (map) + 56 b (shaper config).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "tables/classification_table.hpp"
+
+namespace tsn::tables {
+
+inline constexpr std::int64_t kCbsMapEntryBits = 16;
+inline constexpr std::int64_t kCbsEntryBits = 56;
+inline constexpr std::int64_t kCbsCombinedEntryBits = kCbsMapEntryBits + kCbsEntryBits;
+
+using CbsIndex = std::uint16_t;
+inline constexpr CbsIndex kNoCbs = 0xFFFF;
+
+/// Static configuration of one credit-based shaper. Credits evolve at
+/// idleSlope while waiting/blocked and at sendSlope (negative) while
+/// transmitting; transmission is allowed only when credit >= 0.
+struct CbsConfig {
+  DataRate idle_slope;        // reserved bandwidth for the RC queue
+  DataRate send_slope;        // drain rate while transmitting (port rate - idleSlope)
+  std::int64_t hi_credit_bits = 0;  // 0 = unbounded above (credit capped at 0 when idle-empty)
+  std::int64_t lo_credit_bits = 0;  // 0 = unbounded below
+
+  /// Standard derivation: sendSlope = idleSlope - portRate.
+  [[nodiscard]] static CbsConfig for_reservation(DataRate idle_slope, DataRate port_rate) {
+    require(idle_slope.bps() > 0 && idle_slope.bps() <= port_rate.bps(),
+            "CbsConfig: idleSlope must be in (0, portRate]");
+    return CbsConfig{idle_slope, DataRate(idle_slope.bps() - port_rate.bps()), 0, 0};
+  }
+};
+
+/// CBS MAP table: which shaper (if any) gates each egress queue.
+class CbsMapTable {
+ public:
+  explicit CbsMapTable(std::size_t capacity) : capacity_(capacity) {
+    require(capacity > 0, "CbsMapTable: capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Binds `queue` to shaper `cbs`. Returns false when full.
+  [[nodiscard]] bool bind(QueueId queue, CbsIndex cbs);
+
+  /// Shaper for `queue`, or kNoCbs when the queue is unshaped.
+  [[nodiscard]] CbsIndex shaper_for(QueueId queue) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    QueueId queue;
+    CbsIndex cbs;
+  };
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+/// CBS table: fixed-capacity array of shaper configurations.
+class CbsTable {
+ public:
+  explicit CbsTable(std::size_t capacity) : capacity_(capacity) {
+    require(capacity > 0, "CbsTable: capacity must be positive");
+    configs_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return configs_.size(); }
+
+  /// Installs a shaper config; returns its index or kNoCbs when full.
+  [[nodiscard]] CbsIndex install(CbsConfig config);
+
+  [[nodiscard]] const CbsConfig& config(CbsIndex i) const;
+
+  void clear() { configs_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<CbsConfig> configs_;
+};
+
+}  // namespace tsn::tables

@@ -1,0 +1,15 @@
+#include "tables/classification_table.hpp"
+
+namespace tsn::tables {
+
+std::size_t ClassificationKeyHash::operator()(const ClassificationKey& k) const noexcept {
+  // Mix the two MACs and the tag fields; 64-bit finalizer from SplitMix64.
+  std::uint64_t h = k.src.to_u64() * 0x9E3779B97F4A7C15ULL;
+  h ^= k.dst.to_u64() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= (static_cast<std::uint64_t>(k.vid) << 3) | k.pri;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::size_t>(h ^ (h >> 31));
+}
+
+}  // namespace tsn::tables

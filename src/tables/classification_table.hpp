@@ -1,0 +1,69 @@
+// Ingress Filter classification table (paper Fig. 4):
+//   (Src MAC, Dst MAC, VID, PRI) -> (Meter ID, Queue ID)
+//
+// Entry width: 48 + 48 + 12 + 3 key bits + meter/queue result fields,
+// charged as 117 b per the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/mac_address.hpp"
+#include "net/packet.hpp"
+#include "tables/exact_match_table.hpp"
+
+namespace tsn::tables {
+
+inline constexpr std::int64_t kClassificationEntryBits = 117;
+
+using MeterId = std::uint16_t;
+using QueueId = std::uint8_t;
+inline constexpr MeterId kNoMeter = 0xFFFF;  // TS flows are not rate-policed
+
+struct ClassificationKey {
+  MacAddress src;
+  MacAddress dst;
+  VlanId vid = 0;
+  Priority pri = 0;
+
+  bool operator==(const ClassificationKey&) const = default;
+
+  [[nodiscard]] static ClassificationKey from_packet(const net::Packet& p) {
+    return ClassificationKey{p.src, p.dst, p.vlan.vid, p.vlan.pcp};
+  }
+};
+
+struct ClassificationKeyHash {
+  std::size_t operator()(const ClassificationKey& k) const noexcept;
+};
+
+/// Classification result: which meter polices the flow, which egress
+/// queue it joins, and the stream's maximum SDU size (802.1Qci per-stream
+/// filtering; 0 = no limit).
+struct ClassificationResult {
+  MeterId meter = kNoMeter;
+  QueueId queue = 0;
+  std::int32_t max_sdu_bytes = 0;
+  bool operator==(const ClassificationResult&) const = default;
+};
+
+class ClassificationTable {
+ public:
+  explicit ClassificationTable(std::size_t capacity) : table_(capacity) {}
+
+  [[nodiscard]] bool insert(const ClassificationKey& key, ClassificationResult result) {
+    return table_.insert(key, result);
+  }
+  [[nodiscard]] std::optional<ClassificationResult> lookup(const ClassificationKey& key) const {
+    return table_.lookup(key);
+  }
+  [[nodiscard]] std::size_t capacity() const { return table_.capacity(); }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
+
+ private:
+  ExactMatchTable<ClassificationKey, ClassificationResult, ClassificationKeyHash> table_;
+};
+
+}  // namespace tsn::tables

@@ -1,0 +1,62 @@
+// Capacity-bounded exact-match table.
+//
+// Models an on-chip lookup table: the entry count is a synthesis-time
+// resource parameter (paper API set_switch_tbl etc.), so insertion beyond
+// capacity FAILS instead of growing — exactly the failure mode a
+// mis-provisioned COTS switch hits when an application needs more flows
+// than the chip's fixed partitioning provides.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace tsn::tables {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ExactMatchTable {
+ public:
+  explicit ExactMatchTable(std::size_t capacity) : capacity_(capacity) {
+    require(capacity > 0, "ExactMatchTable: capacity must be positive");
+    map_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool full() const { return map_.size() >= capacity_; }
+
+  /// Inserts or updates. Returns false (table unchanged) when inserting a
+  /// new key into a full table.
+  [[nodiscard]] bool insert(const Key& key, Value value) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second = std::move(value);
+      return true;
+    }
+    if (full()) return false;
+    map_.emplace(key, std::move(value));
+    return true;
+  }
+
+  /// Lookup; nullopt on miss (the dataplane treats a miss as "flood or
+  /// drop" per its own policy).
+  [[nodiscard]] std::optional<Value> lookup(const Key& key) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const { return map_.contains(key); }
+
+  bool erase(const Key& key) { return map_.erase(key) > 0; }
+
+  void clear() { map_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<Key, Value, Hash> map_;
+};
+
+}  // namespace tsn::tables

@@ -1,0 +1,70 @@
+#include "tables/gcl.hpp"
+
+namespace tsn::tables {
+
+GateControlList::GateControlList(std::size_t capacity) : capacity_(capacity) {
+  require(capacity > 0, "GateControlList: capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+bool GateControlList::add_entry(GateEntry entry) {
+  require(entry.interval.ns() > 0, "GateControlList: entry interval must be positive");
+  if (entries_.size() >= capacity_) return false;
+  entries_.push_back(entry);
+  return true;
+}
+
+const GateEntry& GateControlList::entry(std::size_t i) const {
+  require(i < entries_.size(), "GateControlList::entry: index out of range");
+  return entries_[i];
+}
+
+Duration GateControlList::cycle_time() const {
+  Duration total{};
+  for (const GateEntry& e : entries_) total += e.interval;
+  return total;
+}
+
+GateControlList::Position GateControlList::position_at(Duration offset_in_cycle) const {
+  require(!entries_.empty(), "GateControlList::position_at: empty program");
+  const Duration cycle = cycle_time();
+  Duration off = offset_in_cycle % cycle;
+  if (off < Duration::zero()) off += cycle;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (off < entries_[i].interval) {
+      return Position{i, entries_[i].interval - off};
+    }
+    off -= entries_[i].interval;
+  }
+  // Unreachable: off < cycle by construction.
+  return Position{entries_.size() - 1, Duration::zero()};
+}
+
+GateBitmap GateControlList::gates_at(Duration offset_in_cycle) const {
+  if (entries_.empty()) return kAllGatesOpen;
+  return entries_[position_at(offset_in_cycle).index].gate_states;
+}
+
+CqfGclPair make_cqf_gcl(Duration slot, std::uint8_t queue_a, std::uint8_t queue_b,
+                        GateBitmap others, std::size_t capacity) {
+  require(slot.ns() > 0, "make_cqf_gcl: slot must be positive");
+  require(queue_a < 8 && queue_b < 8 && queue_a != queue_b,
+          "make_cqf_gcl: need two distinct queues in [0,8)");
+  const GateBitmap bit_a = static_cast<GateBitmap>(1u << queue_a);
+  const GateBitmap bit_b = static_cast<GateBitmap>(1u << queue_b);
+  const GateBitmap base = static_cast<GateBitmap>(others & ~(bit_a | bit_b));
+
+  CqfGclPair pair{GateControlList(capacity), GateControlList(capacity)};
+  // Even slot: A fills (ingress open), B drains (egress open).
+  require(pair.ingress.add_entry({static_cast<GateBitmap>(base | bit_a), slot}),
+          "make_cqf_gcl: gate table too small for CQF (need 2 entries)");
+  require(pair.ingress.add_entry({static_cast<GateBitmap>(base | bit_b), slot}),
+          "make_cqf_gcl: gate table too small for CQF (need 2 entries)");
+  require(pair.egress.add_entry({static_cast<GateBitmap>(base | bit_b), slot}),
+          "make_cqf_gcl: gate table too small for CQF (need 2 entries)");
+  require(pair.egress.add_entry({static_cast<GateBitmap>(base | bit_a), slot}),
+          "make_cqf_gcl: gate table too small for CQF (need 2 entries)");
+  return pair;
+}
+
+}  // namespace tsn::tables

@@ -1,0 +1,82 @@
+// Gate Control List storage (IEEE 802.1Qbv, paper Fig. 4 In/Out Gate
+// tables).
+//
+// A GCL is a fixed-capacity cyclic program: entry i holds a gate-state
+// bitmap (bit q == 1 means queue q's gate is OPEN) for a time interval.
+// The capacity is the `gate_size` resource parameter; with CQF the whole
+// program is 2 entries (paper §IV.B), which is exactly why the customized
+// gate tables are so small.
+//
+// Entry width: 8 b gate bitmap + 9 b interval field = 17 b (paper width).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace tsn::tables {
+
+inline constexpr std::int64_t kGateEntryBits = 17;
+
+using GateBitmap = std::uint8_t;  // one bit per queue, up to 8 queues
+inline constexpr GateBitmap kAllGatesOpen = 0xFF;
+
+struct GateEntry {
+  GateBitmap gate_states = kAllGatesOpen;
+  Duration interval{};
+  bool operator==(const GateEntry&) const = default;
+};
+
+class GateControlList {
+ public:
+  /// `capacity` — the synthesized gate table size (entries).
+  explicit GateControlList(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Appends a program entry; returns false when the table is full.
+  [[nodiscard]] bool add_entry(GateEntry entry);
+
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const GateEntry& entry(std::size_t i) const;
+
+  /// Total program duration (sum of entry intervals).
+  [[nodiscard]] Duration cycle_time() const;
+
+  /// Position within the cyclic program at `offset` past the cycle base.
+  struct Position {
+    std::size_t index = 0;        // active entry
+    Duration remaining{};         // time until the next entry takes over
+  };
+  [[nodiscard]] Position position_at(Duration offset_in_cycle) const;
+
+  /// Gate bitmap active at `offset` past the cycle base. An empty GCL
+  /// leaves all gates open (802.1Qbv default when no program is running).
+  [[nodiscard]] GateBitmap gates_at(Duration offset_in_cycle) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<GateEntry> entries_;
+};
+
+/// Builds the 2-entry CQF gate program (802.1Qch). The two TS queues
+/// `queue_a` and `queue_b` alternate every `slot`:
+///  * ingress list: A open on even slots, B on odd slots;
+///  * egress list: the mirror image (B drains while A fills).
+/// Gates of all queues outside {A, B} follow `others`: non-TS queues keep
+/// their gates permanently open (strict priority + CBS arbitrate them).
+struct CqfGclPair {
+  GateControlList ingress;
+  GateControlList egress;
+};
+[[nodiscard]] CqfGclPair make_cqf_gcl(Duration slot, std::uint8_t queue_a,
+                                      std::uint8_t queue_b,
+                                      GateBitmap others = kAllGatesOpen,
+                                      std::size_t capacity = 2);
+
+}  // namespace tsn::tables

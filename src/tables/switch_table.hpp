@@ -1,0 +1,49 @@
+// Forwarding tables of the Packet Switch template (paper Fig. 4):
+//  * unicast table:   (Dst MAC, VID) -> outport
+//  * multicast table: MC ID -> set of outports
+//
+// Entry width (unicast): 48 b MAC + 12 b VID + port field, padded to the
+// 72 b the paper charges per entry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "tables/exact_match_table.hpp"
+
+namespace tsn::tables {
+
+using PortIndex = std::uint8_t;
+inline constexpr std::int64_t kUnicastEntryBits = 72;
+inline constexpr std::int64_t kMulticastEntryBits = 72;
+
+struct UnicastKey {
+  MacAddress dst;
+  VlanId vid = 0;
+  bool operator==(const UnicastKey&) const = default;
+};
+
+struct UnicastKeyHash {
+  std::size_t operator()(const UnicastKey& k) const noexcept {
+    // 48-bit MAC and 12-bit VID pack losslessly into 60 bits.
+    return std::hash<std::uint64_t>{}(k.dst.to_u64() ^ (static_cast<std::uint64_t>(k.vid) << 48));
+  }
+};
+
+using UnicastTable = ExactMatchTable<UnicastKey, PortIndex, UnicastKeyHash>;
+
+/// Multicast group id -> member port bitmap (bit i == port i).
+using MulticastTable = ExactMatchTable<std::uint16_t, std::uint32_t>;
+
+/// Expands a port bitmap into port indices.
+[[nodiscard]] inline std::vector<PortIndex> ports_from_bitmap(std::uint32_t bitmap) {
+  std::vector<PortIndex> ports;
+  for (PortIndex p = 0; p < 32; ++p) {
+    if (bitmap & (1u << p)) ports.push_back(p);
+  }
+  return ports;
+}
+
+}  // namespace tsn::tables

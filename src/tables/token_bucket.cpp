@@ -1,0 +1,63 @@
+#include "tables/token_bucket.hpp"
+
+namespace tsn::tables {
+
+TokenBucket::TokenBucket(DataRate rate, std::int64_t burst_bytes)
+    : rate_(rate), burst_bytes_(burst_bytes), tokens_bytes_(burst_bytes) {
+  require(rate.bps() > 0, "TokenBucket: rate must be positive");
+  require(burst_bytes > 0, "TokenBucket: burst must be positive");
+}
+
+void TokenBucket::refill(TimePoint now) {
+  if (now <= last_refill_) return;
+  const Duration elapsed = now - last_refill_;
+  last_refill_ = now;
+  const std::int64_t new_bits = rate_.bits_in(elapsed).bits() + remainder_bits_;
+  tokens_bytes_ += new_bits / 8;
+  remainder_bits_ = new_bits % 8;
+  if (tokens_bytes_ >= burst_bytes_) {
+    tokens_bytes_ = burst_bytes_;
+    remainder_bits_ = 0;
+  }
+}
+
+bool TokenBucket::offer(TimePoint now, std::int64_t bytes) {
+  refill(now);
+  if (bytes > tokens_bytes_) return false;
+  tokens_bytes_ -= bytes;
+  return true;
+}
+
+std::int64_t TokenBucket::tokens_at(TimePoint now) {
+  refill(now);
+  return tokens_bytes_;
+}
+
+void TokenBucket::reset(TimePoint now) {
+  tokens_bytes_ = burst_bytes_;
+  remainder_bits_ = 0;
+  last_refill_ = now;
+}
+
+MeterTable::MeterTable(std::size_t capacity) : capacity_(capacity) {
+  require(capacity > 0, "MeterTable: capacity must be positive");
+  meters_.reserve(capacity);
+}
+
+MeterId MeterTable::install(DataRate rate, std::int64_t burst_bytes) {
+  if (meters_.size() >= capacity_) return kNoMeter;
+  meters_.emplace_back(rate, burst_bytes);
+  return static_cast<MeterId>(meters_.size() - 1);
+}
+
+bool MeterTable::offer(MeterId id, TimePoint now, std::int64_t bytes) {
+  if (id == kNoMeter || id >= meters_.size()) return true;
+  return meters_[id].offer(now, bytes);
+}
+
+TokenBucket& MeterTable::meter(MeterId id) {
+  require(id < meters_.size(), "MeterTable::meter: id out of range");
+  return meters_[id];
+}
+
+}  // namespace tsn::tables

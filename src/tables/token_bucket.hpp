@@ -1,0 +1,75 @@
+// Token-bucket meters — the policing elements of the Ingress Filter
+// template (paper Fig. 5: "the CBS is implemented based on a token bucket";
+// the ingress meters regulate each flow with its current rate).
+//
+// Entry width: rate + bucket state fields, charged as 68 b per the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "tables/classification_table.hpp"
+
+namespace tsn::tables {
+
+inline constexpr std::int64_t kMeterEntryBits = 68;
+
+/// Single-rate two-color token bucket. Tokens are bytes; refill is lazy
+/// (computed from the elapsed time on each offer), which is both exact and
+/// event-friendly.
+class TokenBucket {
+ public:
+  /// `rate` — committed information rate; `burst_bytes` — bucket capacity.
+  TokenBucket(DataRate rate, std::int64_t burst_bytes);
+
+  /// Offers a packet of `bytes` at time `now`. Green -> tokens consumed,
+  /// returns true. Red -> state unchanged, returns false (caller drops).
+  [[nodiscard]] bool offer(TimePoint now, std::int64_t bytes);
+
+  [[nodiscard]] DataRate rate() const { return rate_; }
+  [[nodiscard]] std::int64_t burst_bytes() const { return burst_bytes_; }
+  /// Tokens available at `now` (refills as a side effect).
+  [[nodiscard]] std::int64_t tokens_at(TimePoint now);
+
+  void reset(TimePoint now);
+
+ private:
+  void refill(TimePoint now);
+
+  DataRate rate_;
+  std::int64_t burst_bytes_;
+  // Token state: whole bytes plus a sub-byte remainder (in bits) to keep
+  // long-run throughput exact regardless of event spacing.
+  std::int64_t tokens_bytes_;
+  std::int64_t remainder_bits_ = 0;
+  TimePoint last_refill_{};
+};
+
+/// The meter table: a fixed-capacity array of token buckets indexed by the
+/// Meter ID produced by the classification table.
+class MeterTable {
+ public:
+  explicit MeterTable(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return meters_.size(); }
+
+  /// Installs a meter; returns its id, or kNoMeter when the table is full.
+  [[nodiscard]] MeterId install(DataRate rate, std::int64_t burst_bytes);
+
+  /// Polices a packet. Unknown/kNoMeter ids pass (TS flows are unmetered).
+  [[nodiscard]] bool offer(MeterId id, TimePoint now, std::int64_t bytes);
+
+  [[nodiscard]] TokenBucket& meter(MeterId id);
+
+  void clear() { meters_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TokenBucket> meters_;
+};
+
+}  // namespace tsn::tables

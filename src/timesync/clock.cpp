@@ -1,0 +1,55 @@
+#include "timesync/clock.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tsn::timesync {
+
+LocalClock::LocalClock(double drift_ppm, Duration timestamp_granularity)
+    : drift_ppm_(drift_ppm),
+      drift_factor_(1.0 + drift_ppm * 1e-6),
+      granularity_(timestamp_granularity) {
+  require(drift_factor_ > 0.0, "LocalClock: drift must keep the oscillator running forward");
+  require(granularity_.ns() > 0, "LocalClock: granularity must be positive");
+}
+
+double LocalClock::raw_ns(double true_ns) const { return true_ns * drift_factor_; }
+
+TimePoint LocalClock::raw(TimePoint true_now) const {
+  return TimePoint(static_cast<std::int64_t>(std::llround(raw_ns(static_cast<double>(true_now.ns())))));
+}
+
+TimePoint LocalClock::synced(TimePoint true_now) const {
+  const double raw_now = raw_ns(static_cast<double>(true_now.ns()));
+  const double synced_ns = base_synced_ + (raw_now - base_raw_) * corr_slope_;
+  return TimePoint(static_cast<std::int64_t>(std::llround(synced_ns)));
+}
+
+TimePoint LocalClock::true_for_synced(TimePoint target) const {
+  // Invert synced = base_synced + (true*drift - base_raw) * slope.
+  const double raw_target =
+      base_raw_ + (static_cast<double>(target.ns()) - base_synced_) / corr_slope_;
+  const double true_ns = raw_target / drift_factor_;
+  return TimePoint(static_cast<std::int64_t>(std::llround(true_ns)));
+}
+
+TimePoint LocalClock::timestamp(TimePoint true_now) const {
+  const std::int64_t s = synced(true_now).ns();
+  const std::int64_t g = granularity_.ns();
+  // Floor toward negative infinity so quantization is shift-invariant.
+  std::int64_t q = s / g;
+  if (s % g < 0) --q;
+  return TimePoint(q * g);
+}
+
+void LocalClock::discipline(TimePoint true_now, Duration step, double rate_ratio) {
+  require(rate_ratio > 0.0, "LocalClock::discipline: rate ratio must be positive");
+  const double raw_now = raw_ns(static_cast<double>(true_now.ns()));
+  const double synced_now = base_synced_ + (raw_now - base_raw_) * corr_slope_;
+  base_raw_ = raw_now;
+  base_synced_ = synced_now + static_cast<double>(step.ns());
+  corr_slope_ = rate_ratio;
+}
+
+}  // namespace tsn::timesync

@@ -1,0 +1,59 @@
+// Local oscillator model for gPTP simulation.
+//
+// Every device owns a free-running oscillator with a fixed frequency error
+// (ppm) relative to ideal time. The Time Sync template disciplines it with
+// an offset + rate correction. Gate Control reads the *synchronized* time,
+// so any residual sync error skews gate boundaries between neighboring
+// switches — which is precisely the physical source of CQF jitter the
+// paper's <50 ns synchronization bound keeps small.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace tsn::timesync {
+
+class LocalClock {
+ public:
+  /// `drift_ppm` — oscillator frequency error (e.g. +35.2 means the local
+  /// oscillator runs 35.2 ppm fast). `timestamp_granularity` — hardware
+  /// timestamping quantum (8 ns for the paper's 125 MHz FPGA clock).
+  explicit LocalClock(double drift_ppm = 0.0,
+                      Duration timestamp_granularity = Duration(8));
+
+  /// Free-running local time as a function of true (simulation) time.
+  [[nodiscard]] TimePoint raw(TimePoint true_now) const;
+
+  /// Disciplined (synchronized) time: raw time through the correction map.
+  [[nodiscard]] TimePoint synced(TimePoint true_now) const;
+
+  /// Inverse of synced(): the true instant at which this clock's
+  /// synchronized time will read `target`. Used by Gate Ctrl to schedule
+  /// gate updates at synchronized slot boundaries.
+  [[nodiscard]] TimePoint true_for_synced(TimePoint target) const;
+
+  /// Hardware timestamp of the current synchronized time: quantized to the
+  /// timestamping granularity.
+  [[nodiscard]] TimePoint timestamp(TimePoint true_now) const;
+
+  /// Servo interface — fold the correction map so that from `true_now` on,
+  /// synchronized time is stepped by `step` and advances at
+  /// `rate_ratio` × (raw rate).
+  void discipline(TimePoint true_now, Duration step, double rate_ratio);
+
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+  [[nodiscard]] double correction_rate_ratio() const { return corr_slope_; }
+  [[nodiscard]] Duration granularity() const { return granularity_; }
+
+ private:
+  [[nodiscard]] double raw_ns(double true_ns) const;
+
+  double drift_ppm_;
+  double drift_factor_;  // d(raw)/d(true)
+  Duration granularity_;
+  // Correction map: synced = base_synced_ + (raw - base_raw_) * corr_slope_.
+  double base_raw_ = 0.0;
+  double base_synced_ = 0.0;
+  double corr_slope_ = 1.0;
+};
+
+}  // namespace tsn::timesync

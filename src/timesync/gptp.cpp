@@ -1,0 +1,242 @@
+#include "timesync/gptp.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace tsn::timesync {
+
+GptpNode::GptpNode(GptpDomain& domain, std::size_t index, std::string name, LocalClock clock)
+    : domain_(domain), index_(index), name_(std::move(name)), clock_(clock) {
+  quality_ = ClockQuality{128, static_cast<std::uint64_t>(index)};
+}
+
+void GptpNode::stop() {
+  sync_task_.reset();
+  pdelay_task_.reset();
+}
+
+void GptpNode::detach() {
+  stop();
+  uplink_ = LinkToParent{};
+  children_.clear();
+  // Servo state resets; the clock itself keeps its last discipline
+  // (holdover), exactly like hardware after losing its master.
+  have_delay_ = false;
+  delay_estimate_ns_ = 0.0;
+  have_prev_sync_ = false;
+  have_ratio_ = false;
+}
+
+TimePoint GptpNode::synced_now() const {
+  return clock_.synced(domain_.simulator().now());
+}
+
+Duration GptpNode::jittered_delay(Duration base, Duration jitter) {
+  if (jitter.ns() <= 0) return base;
+  const std::int64_t j = static_cast<std::int64_t>(
+      domain_.rng().uniform(0, static_cast<std::uint64_t>(2 * jitter.ns()))) - jitter.ns();
+  Duration d = base + Duration(j);
+  return d.ns() > 0 ? d : Duration(1);
+}
+
+void GptpNode::start(const GptpConfig& config) {
+  config_ = config;
+  event::Simulator& sim = domain_.simulator();
+  // Stagger per-node phases so message processing order is not degenerate.
+  const Duration phase = microseconds(37) * static_cast<std::int64_t>(index_ + 1);
+
+  if (!is_grandmaster()) {
+    // Measure the link before the first Sync arrives: run one Pdelay
+    // exchange immediately, then periodically.
+    pdelay_task_ = std::make_unique<event::PeriodicTask>(
+        sim, sim.now() + phase, config_.pdelay_interval, [this] { run_pdelay(); });
+  }
+  if (!children_.empty()) {
+    sync_task_ = std::make_unique<event::PeriodicTask>(
+        sim, sim.now() + phase + config_.sync_interval / 4, config_.sync_interval,
+        [this] { send_sync_to_children(); });
+  }
+}
+
+void GptpNode::send_sync_to_children() {
+  if (!alive_) return;
+  event::Simulator& sim = domain_.simulator();
+  for (GptpNode* child : children_) {
+    // Two-step Sync: the precise origin timestamp travels in Follow_Up;
+    // we deliver both as one event carrying the hardware timestamp taken
+    // at transmission.
+    const TimePoint origin = clock_.timestamp(sim.now());
+    const Duration delay = child->jittered_delay(child->uplink_.delay, child->uplink_.jitter);
+    sim.schedule_in(delay, [child, origin] { child->on_sync(origin); });
+  }
+}
+
+void GptpNode::run_pdelay() {
+  // Pdelay_Req/Resp with hardware timestamps on both ends. The exchange
+  // is compressed into one event chain; timestamps honour each clock's
+  // quantization, so the estimate carries realistic error.
+  event::Simulator& sim = domain_.simulator();
+  GptpNode* peer = uplink_.parent;
+  if (peer == nullptr || !alive_ || !peer->alive()) return;
+
+  const TimePoint t1 = clock_.timestamp(sim.now());
+  const Duration req_delay = jittered_delay(uplink_.delay, uplink_.jitter);
+  sim.schedule_in(req_delay, [this, peer, t1] {
+    event::Simulator& s = domain_.simulator();
+    const TimePoint t2 = peer->clock_.timestamp(s.now());
+    s.schedule_in(config_.pdelay_turnaround, [this, peer, t1, t2] {
+      event::Simulator& s2 = domain_.simulator();
+      const TimePoint t3 = peer->clock_.timestamp(s2.now());
+      const Duration resp_delay = jittered_delay(uplink_.delay, uplink_.jitter);
+      s2.schedule_in(resp_delay, [this, t1, t2, t3] {
+        const TimePoint t4 = clock_.timestamp(domain_.simulator().now());
+        const Duration round = (t4 - t1) - (t3 - t2);
+        const double sample_ns = static_cast<double>(round.ns()) / 2.0;
+        if (sample_ns <= 0.0) return;  // quantization artifact; skip
+        if (!have_delay_) {
+          delay_estimate_ns_ = sample_ns;
+          have_delay_ = true;
+        } else {
+          delay_estimate_ns_ +=
+              config_.delay_smoothing * (sample_ns - delay_estimate_ns_);
+        }
+      });
+    });
+  });
+}
+
+void GptpNode::on_sync(TimePoint origin_timestamp) {
+  if (!alive_) return;
+  if (!have_delay_) return;  // cannot correct without a link-delay estimate
+  event::Simulator& sim = domain_.simulator();
+  const TimePoint now = sim.now();
+  ++syncs_received_;
+
+  const double raw_rx_ns = static_cast<double>(clock_.raw(now).ns());
+  const double origin_ns = static_cast<double>(origin_timestamp.ns());
+
+  // Neighbor rate ratio from consecutive origin timestamps vs local raw
+  // receive times: d(master time) / d(raw time).
+  if (have_prev_sync_) {
+    const double d_master = origin_ns - prev_origin_ns_;
+    const double d_raw = raw_rx_ns - prev_raw_rx_ns_;
+    if (d_raw > 0.0 && d_master > 0.0) {
+      const double sample = d_master / d_raw;
+      if (!have_ratio_) {
+        ratio_estimate_ = sample;
+        have_ratio_ = true;
+      } else {
+        ratio_estimate_ += config_.ratio_smoothing * (sample - ratio_estimate_);
+      }
+    }
+  }
+  prev_origin_ns_ = origin_ns;
+  prev_raw_rx_ns_ = raw_rx_ns;
+  have_prev_sync_ = true;
+
+  // Offset: master's time when the Sync left, plus the propagation delay,
+  // is what our synchronized clock should read right now.
+  const TimePoint master_now =
+      origin_timestamp + Duration(static_cast<std::int64_t>(std::llround(delay_estimate_ns_)));
+  const Duration offset = master_now - clock_.synced(now);
+  last_offset_ = offset;
+
+  clock_.discipline(now, offset, have_ratio_ ? ratio_estimate_ : 1.0);
+}
+
+GptpDomain::GptpDomain(event::Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+GptpNode& GptpDomain::add_node(std::string name, double drift_ppm,
+                               Duration timestamp_granularity) {
+  nodes_.push_back(std::make_unique<GptpNode>(
+      *this, nodes_.size(), std::move(name), LocalClock(drift_ppm, timestamp_granularity)));
+  return *nodes_.back();
+}
+
+void GptpDomain::connect(GptpNode& parent, GptpNode& child, Duration link_delay,
+                         Duration jitter) {
+  require(child.uplink_.parent == nullptr, "GptpDomain::connect: child already has a parent");
+  require(&parent != &child, "GptpDomain::connect: self-loop");
+  require(link_delay.ns() > 0, "GptpDomain::connect: link delay must be positive");
+  child.uplink_ = GptpNode::LinkToParent{&parent, link_delay, jitter};
+  parent.children_.push_back(&child);
+}
+
+void GptpDomain::start(const GptpConfig& config) {
+  for (auto& node : nodes_) node->start(config);
+}
+
+GptpNode& GptpDomain::grandmaster() {
+  for (auto& node : nodes_) {
+    if (node->alive() && node->is_grandmaster() && !node->children_.empty()) return *node;
+  }
+  require(!nodes_.empty(), "GptpDomain::grandmaster: empty domain");
+  return *nodes_.front();
+}
+
+std::size_t GptpDomain::elect_and_build_tree(const std::vector<Edge>& edges) {
+  require(!nodes_.empty(), "elect_and_build_tree: empty domain");
+  // BMCA: best alive clock wins.
+  const GptpNode* best = nullptr;
+  for (const auto& node : nodes_) {
+    if (!node->alive()) continue;
+    if (best == nullptr || node->quality().better_than(best->quality())) best = node.get();
+  }
+  require(best != nullptr, "elect_and_build_tree: no alive clock");
+
+  for (auto& node : nodes_) node->detach();
+
+  // BFS over alive-to-alive edges from the elected grandmaster.
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<std::size_t> frontier{best->index()};
+  visited[best->index()] = true;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.erase(frontier.begin());
+    for (const Edge& e : edges) {
+      std::size_t other = nodes_.size();
+      if (e.a == cur) other = e.b;
+      if (e.b == cur) other = e.a;
+      if (other >= nodes_.size() || visited[other]) continue;
+      if (!nodes_[other]->alive()) continue;
+      visited[other] = true;
+      connect(*nodes_[cur], *nodes_[other], e.delay, e.jitter);
+      frontier.push_back(other);
+    }
+  }
+  return best->index();
+}
+
+void GptpDomain::fail_node(std::size_t index) {
+  GptpNode& node = this->node(index);
+  node.alive_ = false;
+  node.stop();
+}
+
+Duration GptpDomain::sync_error(const GptpNode& n) const {
+  const TimePoint now = sim_.now();
+  // Error against the (alive, serving) grandmaster's synchronized time.
+  const GptpNode* gm = nullptr;
+  for (const auto& node : nodes_) {
+    if (!node->alive() || !node->is_grandmaster()) continue;
+    gm = node.get();
+    if (!node->children_.empty()) break;  // prefer a GM that actually serves
+  }
+  if (gm == nullptr || gm == &n) return Duration::zero();
+  return n.clock().synced(now) - gm->clock().synced(now);
+}
+
+Duration GptpDomain::max_abs_sync_error() const {
+  Duration worst{};
+  for (const auto& node : nodes_) {
+    if (!node->alive()) continue;  // failed nodes free-run in holdover
+    const Duration e = sync_error(*node);
+    const Duration a = e.ns() < 0 ? -e : e;
+    if (a > worst) worst = a;
+  }
+  return worst;
+}
+
+}  // namespace tsn::timesync

@@ -1,0 +1,74 @@
+#include "topo/builders.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::topo {
+namespace {
+
+void attach_hosts(BuiltTopology& built, Duration propagation) {
+  for (std::size_t i = 0; i < built.switch_nodes.size(); ++i) {
+    const NodeId host = built.topology.add_host("h" + std::to_string(i));
+    built.topology.connect(built.switch_nodes[i], host, propagation);
+    built.host_nodes.push_back(host);
+  }
+}
+
+}  // namespace
+
+BuiltTopology make_star(std::size_t leaves, Duration propagation) {
+  require(leaves >= 1, "make_star: need at least one leaf");
+  BuiltTopology built;
+  const NodeId core = built.topology.add_switch("core");
+  built.switch_nodes.push_back(core);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const NodeId leaf = built.topology.add_switch("leaf" + std::to_string(i));
+    built.topology.connect(core, leaf, propagation);
+    built.switch_nodes.push_back(leaf);
+  }
+  attach_hosts(built, propagation);
+  return built;
+}
+
+BuiltTopology make_linear(std::size_t switches, Duration propagation) {
+  require(switches >= 2, "make_linear: need at least two switches");
+  BuiltTopology built;
+  for (std::size_t i = 0; i < switches; ++i) {
+    built.switch_nodes.push_back(built.topology.add_switch("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i + 1 < switches; ++i) {
+    built.topology.connect(built.switch_nodes[i], built.switch_nodes[i + 1], propagation);
+  }
+  attach_hosts(built, propagation);
+  return built;
+}
+
+BuiltTopology make_ring_bidirectional(std::size_t switches, Duration propagation) {
+  require(switches >= 3, "make_ring_bidirectional: need at least three switches");
+  BuiltTopology built;
+  for (std::size_t i = 0; i < switches; ++i) {
+    built.switch_nodes.push_back(built.topology.add_switch("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < switches; ++i) {
+    built.topology.connect(built.switch_nodes[i], built.switch_nodes[(i + 1) % switches],
+                           propagation);
+  }
+  attach_hosts(built, propagation);
+  return built;
+}
+
+BuiltTopology make_ring(std::size_t switches, Duration propagation) {
+  require(switches >= 3, "make_ring: need at least three switches");
+  BuiltTopology built;
+  for (std::size_t i = 0; i < switches; ++i) {
+    built.switch_nodes.push_back(built.topology.add_switch("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < switches; ++i) {
+    // Unidirectional deterministic forwarding around the ring.
+    built.topology.connect(built.switch_nodes[i], built.switch_nodes[(i + 1) % switches],
+                           propagation, DataRate::gigabits_per_sec(1), /*directed=*/true);
+  }
+  attach_hosts(built, propagation);
+  return built;
+}
+
+}  // namespace tsn::topo

@@ -1,0 +1,36 @@
+// Canonical industrial-control topologies (paper §IV.A):
+//  * star — a core switch with `leaves` child switches (paper: 3 children,
+//    4 switches, core enables 3 TSN ports);
+//  * linear — a chain of `switches` (paper: 6 switches, middle nodes enable
+//    2 TSN ports, bidirectional forwarding);
+//  * ring — a unidirectional cycle of `switches` (paper: 6 switches, each
+//    enables 1 TSN port).
+//
+// Each switch gets one attached host ("h<i>") usable as talker/listener
+// (the TSNNic and analyzer endpoints of the paper's demo).
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace tsn::topo {
+
+struct BuiltTopology {
+  Topology topology;
+  std::vector<NodeId> switch_nodes;
+  std::vector<NodeId> host_nodes;  // host_nodes[i] hangs off switch_nodes[i]
+};
+
+[[nodiscard]] BuiltTopology make_star(std::size_t leaves = 3,
+                                      Duration propagation = Duration(50));
+[[nodiscard]] BuiltTopology make_linear(std::size_t switches = 6,
+                                        Duration propagation = Duration(50));
+[[nodiscard]] BuiltTopology make_ring(std::size_t switches = 6,
+                                      Duration propagation = Duration(50));
+
+/// Ring with bidirectional forwarding: every switch enables 2 TSN ports
+/// and each host pair has two link-disjoint paths (clockwise and
+/// counter-clockwise) — the substrate for FRER stream replication.
+[[nodiscard]] BuiltTopology make_ring_bidirectional(std::size_t switches = 6,
+                                                    Duration propagation = Duration(50));
+
+}  // namespace tsn::topo

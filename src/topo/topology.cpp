@@ -1,0 +1,150 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace tsn::topo {
+
+NodeId Topology::add_node(NodeKind kind, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, std::move(name), 0});
+  return id;
+}
+
+NodeId Topology::add_switch(std::string name) { return add_node(NodeKind::kSwitch, std::move(name)); }
+NodeId Topology::add_host(std::string name) { return add_node(NodeKind::kHost, std::move(name)); }
+
+LinkId Topology::connect(NodeId a, NodeId b, Duration propagation, DataRate rate,
+                         bool directed) {
+  require(a < nodes_.size() && b < nodes_.size(), "Topology::connect: unknown node");
+  require(a != b, "Topology::connect: self-loop");
+  require(propagation.ns() > 0, "Topology::connect: propagation must be positive");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  Link link;
+  link.id = id;
+  link.node_a = a;
+  link.port_a = nodes_[a].port_count++;
+  link.node_b = b;
+  link.port_b = nodes_[b].port_count++;
+  link.propagation = propagation;
+  link.rate = rate;
+  link.directed = directed;
+  links_.push_back(link);
+  return id;
+}
+
+const Node& Topology::node(NodeId id) const {
+  require(id < nodes_.size(), "Topology::node: unknown node");
+  return nodes_[id];
+}
+
+const Link& Topology::link(LinkId id) const {
+  require(id < links_.size(), "Topology::link: unknown link");
+  return links_[id];
+}
+
+std::vector<NodeId> Topology::switches() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kSwitch) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kHost) out.push_back(n.id);
+  }
+  return out;
+}
+
+NodeId Topology::peer(LinkId link_id, NodeId from) const {
+  const Link& l = link(link_id);
+  require(l.node_a == from || l.node_b == from, "Topology::peer: node not on link");
+  return l.node_a == from ? l.node_b : l.node_a;
+}
+
+std::vector<LinkId> Topology::egress_links(NodeId node_id) const {
+  std::vector<LinkId> out;
+  for (const Link& l : links_) {
+    if (l.node_a == node_id) out.push_back(l.id);
+    if (l.node_b == node_id && !l.directed) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::uint8_t Topology::port_on(LinkId link_id, NodeId node_id) const {
+  const Link& l = link(link_id);
+  require(l.node_a == node_id || l.node_b == node_id, "Topology::port_on: node not on link");
+  return l.node_a == node_id ? l.port_a : l.port_b;
+}
+
+std::optional<std::vector<Hop>> Topology::route(NodeId src, NodeId dst) const {
+  return route_avoiding(src, dst, {});
+}
+
+std::optional<std::vector<Hop>> Topology::route_avoiding(
+    NodeId src, NodeId dst, const std::vector<LinkId>& avoid) const {
+  require(src < nodes_.size() && dst < nodes_.size(), "Topology::route: unknown node");
+  if (src == dst) return std::vector<Hop>{};
+
+  auto avoided = [&avoid](LinkId lid) {
+    return std::find(avoid.begin(), avoid.end(), lid) != avoid.end();
+  };
+
+  // BFS over forwarding-usable links.
+  std::vector<std::optional<LinkId>> via(nodes_.size());
+  std::vector<NodeId> from(nodes_.size(), kInvalidNode);
+  std::deque<NodeId> frontier{src};
+  from[src] = src;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    if (cur == dst) break;
+    // Packets do not transit through hosts.
+    if (cur != src && nodes_[cur].kind == NodeKind::kHost) continue;
+    for (const LinkId lid : egress_links(cur)) {
+      if (avoided(lid)) continue;
+      const NodeId next = peer(lid, cur);
+      if (from[next] != kInvalidNode) continue;
+      from[next] = cur;
+      via[next] = lid;
+      frontier.push_back(next);
+    }
+  }
+  if (from[dst] == kInvalidNode) return std::nullopt;
+
+  std::vector<Hop> hops;
+  for (NodeId cur = dst; cur != src; cur = from[cur]) {
+    const LinkId lid = *via[cur];
+    const NodeId prev = from[cur];
+    hops.push_back(Hop{prev, port_on(lid, prev), lid});
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+std::int64_t Topology::enabled_tsn_ports(NodeId switch_node) const {
+  require(node(switch_node).kind == NodeKind::kSwitch,
+          "enabled_tsn_ports: node is not a switch");
+  std::int64_t count = 0;
+  for (const LinkId lid : egress_links(switch_node)) {
+    const NodeId other = peer(lid, switch_node);
+    if (nodes_[other].kind == NodeKind::kSwitch) ++count;
+  }
+  return count;
+}
+
+std::int64_t Topology::max_enabled_tsn_ports() const {
+  std::int64_t best = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind != NodeKind::kSwitch) continue;
+    best = std::max(best, enabled_tsn_ports(n.id));
+  }
+  return best;
+}
+
+}  // namespace tsn::topo

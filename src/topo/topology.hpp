@@ -1,0 +1,106 @@
+// Network topology graph.
+//
+// Nodes are switches or hosts; edges are Ethernet links with a propagation
+// delay. Links may be directed — the paper's ring scenario uses
+// unidirectional deterministic transmission (each switch enables exactly
+// one TSN port), which the enabled-TSN-port count reflects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace tsn::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+enum class NodeKind : std::uint8_t { kSwitch, kHost };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kSwitch;
+  std::string name;
+  std::uint8_t port_count = 0;  // ports assigned so far by connect()
+};
+
+struct Link {
+  LinkId id = 0;
+  NodeId node_a = kInvalidNode;
+  std::uint8_t port_a = 0;
+  NodeId node_b = kInvalidNode;
+  std::uint8_t port_b = 0;
+  Duration propagation{50};  // ~10 m of cable
+  DataRate rate = DataRate::gigabits_per_sec(1);
+  bool directed = false;  // true: forwarding a -> b only
+};
+
+/// One forwarding step: leave `node` through `out_port` across `link`.
+struct Hop {
+  NodeId node = kInvalidNode;
+  std::uint8_t out_port = 0;
+  LinkId link = 0;
+};
+
+class Topology {
+ public:
+  NodeId add_switch(std::string name);
+  NodeId add_host(std::string name);
+
+  /// Connects two nodes; ports are auto-assigned in order of connection.
+  /// `directed` restricts *forwarding* to a->b (gPTP and control traffic
+  /// still traverse both ways physically).
+  LinkId connect(NodeId a, NodeId b, Duration propagation = Duration(50),
+                 DataRate rate = DataRate::gigabits_per_sec(1), bool directed = false);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  [[nodiscard]] std::vector<NodeId> switches() const;
+  [[nodiscard]] std::vector<NodeId> hosts() const;
+
+  /// The far end of `link` as seen from `from`.
+  [[nodiscard]] NodeId peer(LinkId link, NodeId from) const;
+
+  /// Links usable to forward *out of* `node` (directed links only when the
+  /// node is their source).
+  [[nodiscard]] std::vector<LinkId> egress_links(NodeId node) const;
+
+  /// Out port on `node` for `link`; requires the node to touch the link.
+  [[nodiscard]] std::uint8_t port_on(LinkId link, NodeId node) const;
+
+  /// Shortest forwarding path (BFS over egress links) from `src` to `dst`,
+  /// as the hop sequence excluding the destination node. nullopt when
+  /// unreachable.
+  [[nodiscard]] std::optional<std::vector<Hop>> route(NodeId src, NodeId dst) const;
+
+  /// Like route(), but refusing to traverse `avoid` links. Used to find a
+  /// link-disjoint secondary path for FRER stream replication.
+  [[nodiscard]] std::optional<std::vector<Hop>> route_avoiding(
+      NodeId src, NodeId dst, const std::vector<LinkId>& avoid) const;
+
+  /// Number of *switch-to-switch* egress links of a switch — the paper's
+  /// "enabled TSN ports" (star core: 3, linear middle: 2, ring: 1).
+  [[nodiscard]] std::int64_t enabled_tsn_ports(NodeId switch_node) const;
+
+  /// Maximum enabled-TSN-port count over all switches — the `port_num`
+  /// the resource customization uses for a homogeneous deployment.
+  [[nodiscard]] std::int64_t max_enabled_tsn_ports() const;
+
+ private:
+  NodeId add_node(NodeKind kind, std::string name);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace tsn::topo

@@ -1,0 +1,36 @@
+#include "traffic/flow.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::traffic {
+
+void FlowSpec::validate() const {
+  require(src_host != topo::kInvalidNode && dst_host != topo::kInvalidNode,
+          "FlowSpec: endpoints required");
+  require(src_host != dst_host, "FlowSpec: src and dst must differ");
+  require(frame_bytes >= kEthernetMinFrameBytes && frame_bytes <= kEthernetMaxFrameBytes + 4,
+          "FlowSpec: frame size out of range");
+  require(vid >= 1 && vid <= 4094, "FlowSpec: VID out of range");
+  if (type == net::TrafficClass::kTimeSensitive) {
+    require(period.ns() > 0, "FlowSpec: TS flow needs a period");
+    require(deadline.ns() > 0, "FlowSpec: TS flow needs a deadline");
+  } else {
+    require(rate.bps() > 0, "FlowSpec: RC/BE flow needs a rate");
+  }
+}
+
+MacAddress host_mac(topo::NodeId host) {
+  // 02:... = locally administered unicast.
+  return MacAddress::from_u64(0x020000000000ULL | (static_cast<std::uint64_t>(host) + 1));
+}
+
+net::Packet make_flow_packet(const FlowSpec& flow) {
+  net::Packet p = net::packet_with_frame_size(flow.frame_bytes);
+  p.src = host_mac(flow.src_host);
+  p.dst = host_mac(flow.dst_host);
+  p.vlan = net::VlanTag{flow.priority, false, flow.vid};
+  p.ethertype = net::kEtherTypeTsnData;
+  return p;
+}
+
+}  // namespace tsn::traffic

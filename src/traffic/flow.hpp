@@ -1,0 +1,63 @@
+// Flow specifications (paper §II.A): Time-Sensitive (periodic, deadline,
+// highest priority), Rate-Constrained (reserved bandwidth, medium
+// priority), Best-Effort (leftover bandwidth, lowest priority).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/mac_address.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::traffic {
+
+/// PCP / egress-queue assignment used across the repository:
+/// queue 7 & 6 — the CQF pair for TS traffic (classification targets 7;
+/// Gate Ctrl redirects into whichever of the pair is filling);
+/// queues 5..3 — the three RC queues (paper: cbs_size = 3);
+/// queues 2..0 — best effort.
+inline constexpr Priority kTsPriority = 7;
+inline constexpr Priority kRcPriorityHigh = 5;
+inline constexpr Priority kRcPriorityMid = 4;
+inline constexpr Priority kRcPriorityLow = 3;
+inline constexpr Priority kBePriority = 0;
+
+struct FlowSpec {
+  net::FlowId id = 0;
+  net::TrafficClass type = net::TrafficClass::kBestEffort;
+  topo::NodeId src_host = topo::kInvalidNode;
+  topo::NodeId dst_host = topo::kInvalidNode;
+
+  /// Full Ethernet frame size (incl. tag + FCS), 64..1518 B.
+  std::int64_t frame_bytes = 64;
+
+  // TS flows.
+  Duration period{};    // injection period (10 ms in the evaluation)
+  Duration deadline{};  // relative end-to-end deadline
+  /// ITP-assigned injection offset within the period (sched::ItpPlanner).
+  Duration injection_offset{};
+
+  // RC / BE flows.
+  DataRate rate{};  // mean offered rate
+
+  Priority priority = kBePriority;
+  VlanId vid = 1;
+
+  [[nodiscard]] net::PacketMeta meta_for(std::uint64_t sequence, TimePoint now) const {
+    return net::PacketMeta{id, sequence, now, deadline, type};
+  }
+
+  void validate() const;
+};
+
+/// Deterministic locally-administered MAC for a topology host node.
+[[nodiscard]] MacAddress host_mac(topo::NodeId host);
+
+/// The packet a talker emits for `flow` (headers populated; metadata
+/// stamped by the caller).
+[[nodiscard]] net::Packet make_flow_packet(const FlowSpec& flow);
+
+}  // namespace tsn::traffic

@@ -1,0 +1,92 @@
+#include "traffic/workload.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace tsn::traffic {
+
+std::vector<FlowSpec> make_ts_flows(topo::NodeId src, topo::NodeId dst,
+                                    const TsWorkloadParams& params, net::FlowId first_id) {
+  require(params.flow_count > 0, "make_ts_flows: need at least one flow");
+  require(!params.deadline_choices.empty(), "make_ts_flows: empty deadline set");
+  Rng rng(params.seed);
+  std::vector<FlowSpec> flows;
+  flows.reserve(params.flow_count);
+  for (std::size_t i = 0; i < params.flow_count; ++i) {
+    FlowSpec f;
+    f.id = first_id + static_cast<net::FlowId>(i);
+    f.type = net::TrafficClass::kTimeSensitive;
+    f.src_host = src;
+    f.dst_host = dst;
+    f.frame_bytes = params.frame_bytes;
+    f.period = params.period;
+    f.deadline = params.deadline_choices[rng.index(params.deadline_choices.size())];
+    f.priority = kTsPriority;
+    f.vid = static_cast<VlanId>(params.first_vid + (i % 3994));
+    f.validate();
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+FlowSpec make_rc_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, DataRate rate,
+                      std::int64_t frame_bytes, Priority priority, VlanId vid) {
+  FlowSpec f;
+  f.id = id;
+  f.type = net::TrafficClass::kRateConstrained;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.frame_bytes = frame_bytes;
+  f.rate = rate;
+  f.priority = priority;
+  f.vid = vid;
+  f.validate();
+  return f;
+}
+
+FlowSpec make_be_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, DataRate rate,
+                      std::int64_t frame_bytes, VlanId vid) {
+  FlowSpec f;
+  f.id = id;
+  f.type = net::TrafficClass::kBestEffort;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.frame_bytes = frame_bytes;
+  f.rate = rate;
+  f.priority = kBePriority;
+  f.vid = vid;
+  f.validate();
+  return f;
+}
+
+std::size_t aggregate_flows_by_path(std::vector<FlowSpec>& flows, VlanId first_vid) {
+  require(first_vid >= 1, "aggregate_flows_by_path: VIDs start at 1");
+  std::map<std::tuple<topo::NodeId, topo::NodeId, Priority>, VlanId> groups;
+  VlanId next = first_vid;
+  for (FlowSpec& f : flows) {
+    const auto key = std::make_tuple(f.src_host, f.dst_host, f.priority);
+    const auto it = groups.find(key);
+    if (it != groups.end()) {
+      f.vid = it->second;
+      continue;
+    }
+    require(next <= 4094, "aggregate_flows_by_path: more aggregates than VIDs");
+    groups.emplace(key, next);
+    f.vid = next++;
+  }
+  return groups.size();
+}
+
+DataRate aggregate_ts_rate(const std::vector<FlowSpec>& flows) {
+  double bps = 0.0;
+  for (const FlowSpec& f : flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    bps += static_cast<double>(net::wire_bits(f.frame_bytes).bits()) /
+           f.period.sec();
+  }
+  return DataRate(static_cast<std::int64_t>(bps));
+}
+
+}  // namespace tsn::traffic

@@ -1,0 +1,54 @@
+// Workload builders guided by IEC 60802 traffic types (paper §IV.A):
+// periodic TS flows with deadlines from {1, 2, 4, 8} ms, plus RC / BE
+// background flows of a configurable aggregate bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::traffic {
+
+struct TsWorkloadParams {
+  std::size_t flow_count = 1024;
+  std::int64_t frame_bytes = 64;
+  Duration period = milliseconds(10);
+  /// Deadlines drawn uniformly from this set (IEC 60802 production cell).
+  std::vector<Duration> deadline_choices = {milliseconds(1), milliseconds(2),
+                                            milliseconds(4), milliseconds(8)};
+  VlanId first_vid = 1;
+  std::uint64_t seed = 42;
+};
+
+/// `first_id` gives the flows dense ids starting there.
+[[nodiscard]] std::vector<FlowSpec> make_ts_flows(topo::NodeId src, topo::NodeId dst,
+                                                  const TsWorkloadParams& params,
+                                                  net::FlowId first_id = 0);
+
+/// One RC background flow of the given mean rate (paper: 1024 B frames).
+[[nodiscard]] FlowSpec make_rc_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst,
+                                    DataRate rate, std::int64_t frame_bytes = 1024,
+                                    Priority priority = kRcPriorityHigh, VlanId vid = 4000);
+
+/// One BE background flow of the given mean rate.
+[[nodiscard]] FlowSpec make_be_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst,
+                                    DataRate rate, std::int64_t frame_bytes = 1024,
+                                    VlanId vid = 4001);
+
+/// Total offered TS bandwidth of a flow set (sanity checks / reports).
+[[nodiscard]] DataRate aggregate_ts_rate(const std::vector<FlowSpec>& flows);
+
+/// Path aggregation — the optimization the paper sketches under guideline
+/// (1): "some table entries could be aggregated according to the
+/// transmission path". Flows sharing (src, dst, priority) collapse onto
+/// one VLAN id, so the unicast/classification/meter tables need one entry
+/// per aggregate instead of one per flow. Rewrites the VIDs in place and
+/// returns the number of aggregates.
+///
+/// Caveat (documented, inherent): aggregated RC flows share one meter, so
+/// policing applies to the aggregate rather than per flow.
+std::size_t aggregate_flows_by_path(std::vector<FlowSpec>& flows, VlanId first_vid = 1);
+
+}  // namespace tsn::traffic

@@ -1,0 +1,223 @@
+// Tests for the statistics engine and the TSN analyzer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/stats.hpp"
+#include "common/error.hpp"
+
+namespace tsn::analysis {
+namespace {
+
+TEST(StreamingStatsTest, MeanStddevMinMax) {
+  StreamingStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsCombinedStream) {
+  StreamingStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i * 0.1;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  StreamingStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+  EXPECT_THROW((void)s.percentile(101), Error);
+  SampleStats empty;
+  EXPECT_THROW((void)empty.percentile(50), Error);
+}
+
+// ---------------------------------------------------------------- Analyzer
+net::Packet delivered_packet(net::FlowId id, TimePoint injected, Duration deadline,
+                             net::TrafficClass cls = net::TrafficClass::kTimeSensitive) {
+  net::Packet p;
+  p.meta.flow_id = id;
+  p.meta.injected_at = injected;
+  p.meta.deadline = deadline;
+  p.meta.traffic_class = cls;
+  return p;
+}
+
+TEST(AnalyzerTest, LatencyAndLossAccounting) {
+  Analyzer an;
+  an.record_injection(1, net::TrafficClass::kTimeSensitive);
+  an.record_injection(1, net::TrafficClass::kTimeSensitive);
+  an.record_injection(1, net::TrafficClass::kTimeSensitive);
+  an.record_delivery(delivered_packet(1, TimePoint(0), milliseconds(1)), TimePoint(130'000));
+  an.record_delivery(delivered_packet(1, TimePoint(100), milliseconds(1)),
+                     TimePoint(195'100));
+
+  const FlowRecord& rec = an.flow(1);
+  EXPECT_EQ(rec.injected, 3u);
+  EXPECT_EQ(rec.received, 2u);
+  EXPECT_EQ(rec.deadline_misses, 0u);
+  EXPECT_NEAR(rec.latency_us.mean(), (130.0 + 195.0) / 2, 1e-6);
+
+  const ClassSummary ts = an.summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_EQ(ts.lost(), 1u);
+  EXPECT_NEAR(ts.loss_rate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(AnalyzerTest, DeadlineMissDetected) {
+  Analyzer an;
+  an.record_injection(7, net::TrafficClass::kTimeSensitive);
+  // 2 ms latency against a 1 ms deadline.
+  an.record_delivery(delivered_packet(7, TimePoint(0), milliseconds(1)),
+                     TimePoint(2'000'000));
+  EXPECT_EQ(an.flow(7).deadline_misses, 1u);
+}
+
+TEST(AnalyzerTest, ClassesSeparated) {
+  Analyzer an;
+  an.record_injection(1, net::TrafficClass::kTimeSensitive);
+  an.record_injection(2, net::TrafficClass::kBestEffort);
+  an.record_delivery(delivered_packet(1, TimePoint(0), milliseconds(1)), TimePoint(1000));
+  an.record_delivery(
+      delivered_packet(2, TimePoint(0), Duration(0), net::TrafficClass::kBestEffort),
+      TimePoint(50'000));
+  EXPECT_EQ(an.summary(net::TrafficClass::kTimeSensitive).received, 1u);
+  EXPECT_EQ(an.summary(net::TrafficClass::kBestEffort).received, 1u);
+  EXPECT_EQ(an.summary(net::TrafficClass::kRateConstrained).received, 0u);
+}
+
+TEST(AnalyzerTest, JitterIsLatencyStddev) {
+  Analyzer an;
+  for (int i = 0; i < 4; ++i) an.record_injection(3, net::TrafficClass::kTimeSensitive);
+  for (const std::int64_t lat_us : {100, 120, 140, 160}) {
+    an.record_delivery(delivered_packet(3, TimePoint(0), milliseconds(1)),
+                       TimePoint(lat_us * 1000));
+  }
+  const ClassSummary ts = an.summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_NEAR(ts.avg_latency_us(), 130.0, 1e-9);
+  EXPECT_NEAR(ts.jitter_us(), std::sqrt(500.0), 1e-6);
+}
+
+TEST(AnalyzerTest, ReportMentionsClasses) {
+  Analyzer an;
+  an.record_injection(1, net::TrafficClass::kTimeSensitive);
+  an.record_delivery(delivered_packet(1, TimePoint(0), milliseconds(1)), TimePoint(1000));
+  const std::string report = an.report();
+  EXPECT_NE(report.find("TS:"), std::string::npos);
+  EXPECT_EQ(report.find("BE:"), std::string::npos);  // no BE traffic
+  EXPECT_NE(report.find("loss=0.00%"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownFlowThrows) {
+  Analyzer an;
+  EXPECT_THROW((void)an.flow(99), Error);
+  EXPECT_FALSE(an.has_flow(99));
+}
+
+
+
+TEST(AnalyzerTest, CsvExport) {
+  Analyzer an;
+  an.record_injection(2, net::TrafficClass::kTimeSensitive);
+  an.record_injection(2, net::TrafficClass::kTimeSensitive);
+  an.record_injection(1, net::TrafficClass::kBestEffort);
+  an.record_delivery(delivered_packet(2, TimePoint(0), milliseconds(1)), TimePoint(130'000));
+  const std::string csv = an.to_csv();
+  // Header, then flows sorted by id; flow 1 has no latency samples.
+  EXPECT_NE(csv.find("flow,class,injected"), std::string::npos);
+  const auto row1 = csv.find("1,BE,1,0,0,,,,,");
+  const auto row2 = csv.find("2,TS,2,1,0,130.000,");
+  EXPECT_NE(row1, std::string::npos) << csv;
+  EXPECT_NE(row2, std::string::npos) << csv;
+  EXPECT_LT(row1, row2);
+}
+
+// --------------------------------------------------------------- Histogram
+TEST(HistogramTest, BinsAndOutliers) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);    // bin 0
+  h.add(15.0);   // bin 1
+  h.add(15.5);   // bin 1
+  h.add(99.9);   // bin 9
+  h.add(-1.0);   // underflow
+  h.add(100.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 20.0);
+}
+
+TEST(HistogramTest, RenderTrimsEmptyEnds) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(45.0);
+  h.add(46.0);
+  h.add(55.0);
+  const std::string out = h.render_ascii(10);
+  EXPECT_NE(out.find("[40, 50) 2"), std::string::npos);
+  EXPECT_NE(out.find("[50, 60) 1"), std::string::npos);
+  EXPECT_EQ(out.find("[0, 10)"), std::string::npos);  // trimmed
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(Histogram(0.0, 100.0, 0), Error);
+  EXPECT_THROW(Histogram(10.0, 10.0, 5), Error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bin(2), Error);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(-5.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace
+}  // namespace tsn::analysis

@@ -1,0 +1,337 @@
+// Tests for the TSN-Builder core: Table II customization APIs, the five
+// templates, the switch builder, the parameter planner, and — crucially —
+// the exact reproduction of the paper's Table I and Table III numbers.
+#include <gtest/gtest.h>
+
+#include "builder/api.hpp"
+#include "builder/config_io.hpp"
+#include "builder/planner.hpp"
+#include "builder/presets.hpp"
+#include "builder/switch_builder.hpp"
+#include "builder/templates.hpp"
+#include "common/error.hpp"
+#include "event/simulator.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::builder {
+namespace {
+
+// -------------------------------------------------------- CustomizationApi
+TEST(CustomizationApiTest, TableIIRoundTrip) {
+  CustomizationApi api;
+  api.set_switch_tbl(1024, 0)
+      .set_class_tbl(1024)
+      .set_meter_tbl(1024)
+      .set_gate_tbl(2, 8, 3)
+      .set_cbs_tbl(3, 3, 3)
+      .set_queues(12, 8, 3)
+      .set_buffers(96, 3);
+  const sw::SwitchResourceConfig& c = api.config();
+  EXPECT_EQ(c.unicast_table_size, 1024);
+  EXPECT_EQ(c.multicast_table_size, 0);
+  EXPECT_EQ(c.classification_table_size, 1024);
+  EXPECT_EQ(c.meter_table_size, 1024);
+  EXPECT_EQ(c.gate_table_size, 2);
+  EXPECT_EQ(c.cbs_map_size, 3);
+  EXPECT_EQ(c.cbs_table_size, 3);
+  EXPECT_EQ(c.queue_depth, 12);
+  EXPECT_EQ(c.queues_per_port, 8);
+  EXPECT_EQ(c.buffers_per_port, 96);
+  EXPECT_EQ(c.port_count, 3);
+  c.validate();
+}
+
+TEST(CustomizationApiTest, InconsistentPortNumRejected) {
+  CustomizationApi api;
+  api.set_gate_tbl(2, 8, 3);
+  EXPECT_THROW(api.set_cbs_tbl(3, 3, 4), Error);
+  EXPECT_THROW(api.set_buffers(96, 2), Error);
+}
+
+TEST(CustomizationApiTest, InconsistentQueueNumRejected) {
+  CustomizationApi api;
+  api.set_gate_tbl(2, 8, 3);
+  EXPECT_THROW(api.set_queues(12, 4, 3), Error);
+}
+
+TEST(CustomizationApiTest, ArgumentValidation) {
+  CustomizationApi api;
+  EXPECT_THROW(api.set_switch_tbl(0, 0), Error);
+  EXPECT_THROW(api.set_switch_tbl(16, -1), Error);
+  EXPECT_THROW(api.set_gate_tbl(2, 9, 1), Error);
+  EXPECT_THROW(api.set_gate_tbl(0, 8, 1), Error);
+}
+
+TEST(CustomizationApiTest, FromConfigPreservesBindings) {
+  const CustomizationApi api = CustomizationApi::from_config(paper_customized(2));
+  EXPECT_EQ(api.config().port_count, 2);
+  CustomizationApi copy = api;
+  EXPECT_THROW(copy.set_buffers(96, 3), Error);  // bound to 2 ports
+}
+
+// ----------------------------------------------------------- templates
+TEST(TemplatesTest, StandardLibraryHasFiveInPipelineOrder) {
+  const auto templates = standard_templates();
+  ASSERT_EQ(templates.size(), 5u);
+  EXPECT_EQ(templates[0]->kind(), TemplateKind::kTimeSync);
+  EXPECT_EQ(templates[1]->kind(), TemplateKind::kPacketSwitch);
+  EXPECT_EQ(templates[2]->kind(), TemplateKind::kIngressFilter);
+  EXPECT_EQ(templates[3]->kind(), TemplateKind::kGateCtrl);
+  EXPECT_EQ(templates[4]->kind(), TemplateKind::kEgressSched);
+  for (const auto& t : templates) {
+    EXPECT_FALSE(t->name().empty());
+  }
+}
+
+TEST(TemplatesTest, TimeSyncConsumesNoTableMemory) {
+  TimeSyncTemplate t;
+  EXPECT_TRUE(t.resource_usage(paper_customized(1)).empty());
+  EXPECT_EQ(t.submodules().size(), 3u);  // collect / calculate / correct
+}
+
+TEST(TemplatesTest, FormatTableSize) {
+  EXPECT_EQ(format_table_size(16 * 1024), "16K");
+  EXPECT_EQ(format_table_size(1024), "1024");
+  EXPECT_EQ(format_table_size(512), "512");
+  EXPECT_EQ(format_table_size(96), "96");
+}
+
+// --------------------------------------------- Table III exact reproduction
+struct TableIIIColumn {
+  const char* label;
+  std::int64_t ports;       // 0 = commercial baseline
+  double switch_kb, class_kb, meter_kb, gate_kb, cbs_kb, queues_kb, buffers_kb, total_kb;
+  double reduction;  // vs commercial, percent
+};
+
+class TableIII : public ::testing::TestWithParam<TableIIIColumn> {};
+
+TEST_P(TableIII, ColumnReproducesExactly) {
+  const TableIIIColumn& col = GetParam();
+  SwitchBuilder bld;
+  bld.with_resources(col.ports == 0 ? bcm53154_reference() : paper_customized(col.ports));
+  const resource::ResourceReport report = bld.report();
+
+  ASSERT_EQ(report.components().size(), 7u);
+  const auto& rows = report.components();
+  EXPECT_EQ(rows[0].name, "Switch Tbl");
+  EXPECT_DOUBLE_EQ(rows[0].allocation.cost.kilobits(), col.switch_kb);
+  EXPECT_EQ(rows[1].name, "Class. Tbl");
+  EXPECT_DOUBLE_EQ(rows[1].allocation.cost.kilobits(), col.class_kb);
+  EXPECT_EQ(rows[2].name, "Meter Tbl");
+  EXPECT_DOUBLE_EQ(rows[2].allocation.cost.kilobits(), col.meter_kb);
+  EXPECT_EQ(rows[3].name, "Gate Tbl");
+  EXPECT_DOUBLE_EQ(rows[3].allocation.cost.kilobits(), col.gate_kb);
+  EXPECT_EQ(rows[4].name, "CBS Tbl");
+  EXPECT_DOUBLE_EQ(rows[4].allocation.cost.kilobits(), col.cbs_kb);
+  EXPECT_EQ(rows[5].name, "Queues");
+  EXPECT_DOUBLE_EQ(rows[5].allocation.cost.kilobits(), col.queues_kb);
+  EXPECT_EQ(rows[6].name, "Buffers");
+  EXPECT_DOUBLE_EQ(rows[6].allocation.cost.kilobits(), col.buffers_kb);
+  EXPECT_DOUBLE_EQ(report.total().kilobits(), col.total_kb);
+
+  SwitchBuilder commercial;
+  commercial.with_resources(bcm53154_reference());
+  const double reduction = report.reduction_vs(commercial.report()) * 100.0;
+  EXPECT_NEAR(reduction, col.reduction, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperColumns, TableIII,
+    ::testing::Values(
+        // label, ports, switch, class, meter, gate, cbs, queues, buffers, total, -%
+        TableIIIColumn{"commercial", 0, 1152, 126, 36, 144, 144, 576, 8640, 10818, 0.0},
+        TableIIIColumn{"star", 3, 72, 126, 72, 108, 108, 432, 4860, 5778, 46.59},
+        TableIIIColumn{"linear", 2, 72, 126, 72, 72, 72, 288, 3240, 3942, 63.56},
+        TableIIIColumn{"ring", 1, 72, 126, 72, 36, 36, 144, 1620, 2106, 80.53}),
+    [](const ::testing::TestParamInfo<TableIIIColumn>& info) {
+      return info.param.label;
+    });
+
+// ------------------------------------------------- Table I exact numbers
+TEST(TableITest, QueueAndBufferCases) {
+  SwitchBuilder case1, case2;
+  case1.with_resources(table1_case1());
+  case2.with_resources(table1_case2());
+  auto queues_plus_buffers = [](const resource::ResourceReport& r) {
+    double kb = 0;
+    for (const auto& row : r.components()) {
+      if (row.name == "Queues" || row.name == "Buffers") kb += row.allocation.cost.kilobits();
+    }
+    return kb;
+  };
+  EXPECT_DOUBLE_EQ(queues_plus_buffers(case1.report()), 2304.0);
+  EXPECT_DOUBLE_EQ(queues_plus_buffers(case2.report()), 1764.0);
+  // Case 2 saves 540 Kb of BRAM (the paper's motivation experiment).
+  EXPECT_DOUBLE_EQ(queues_plus_buffers(case1.report()) - queues_plus_buffers(case2.report()),
+                   540.0);
+}
+
+// ------------------------------------------------------------- rendering
+TEST(SwitchBuilderTest, RenderedReportLooksLikeTableIII) {
+  SwitchBuilder bld;
+  bld.with_resources(paper_customized(1));
+  SwitchBuilder base;
+  base.with_resources(bcm53154_reference());
+  const std::string out = bld.report().render(base.report());
+  EXPECT_NE(out.find("Switch Tbl"), std::string::npos);
+  EXPECT_NE(out.find("2106Kb"), std::string::npos);
+  EXPECT_NE(out.find("80.53%"), std::string::npos);
+  EXPECT_EQ(out.find("16.875"), std::string::npos)
+      << "per-buffer cost should not leak into the table";
+}
+
+TEST(SwitchBuilderTest, SynthesizesRunnableSwitch) {
+  event::Simulator sim;
+  SwitchBuilder bld;
+  bld.with_resources(paper_customized(1));
+  const auto device = bld.synthesize(sim, "ring0", 2);
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->port_count(), 2);
+  EXPECT_EQ(device->resource_config().queue_depth, 12);
+  device->start();
+  EXPECT_TRUE(device->gates(0).programmed());  // CQF programmed by default
+}
+
+TEST(SwitchBuilderTest, FitsOnZynq7020) {
+  // The paper prototypes on a Zynq 7020; the ring configuration must fit
+  // its 4.9 Mb of BRAM while the commercial one cannot.
+  SwitchBuilder ring;
+  ring.with_resources(paper_customized(1));
+  EXPECT_LT(ring.report().utilization_on(resource::zynq7020()), 0.5);
+  SwitchBuilder commercial;
+  commercial.with_resources(bcm53154_reference());
+  EXPECT_GT(commercial.report().utilization_on(resource::zynq7020()), 2.0);
+}
+
+// ---------------------------------------------------------------- planner
+TEST(ParameterPlannerTest, FollowsGuidelinesOnRing) {
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  PlannerInput in;
+  in.topology = &ring.topology;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 1024;
+  in.flows = traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3], params);
+  // Three RC background flows on distinct queues.
+  in.flows.push_back(traffic::make_rc_flow(5000, ring.host_nodes[0], ring.host_nodes[3],
+                                           DataRate::megabits_per_sec(100), 1024,
+                                           traffic::kRcPriorityHigh, 4001));
+  in.flows.push_back(traffic::make_rc_flow(5001, ring.host_nodes[0], ring.host_nodes[3],
+                                           DataRate::megabits_per_sec(50), 1024,
+                                           traffic::kRcPriorityMid, 4002));
+  in.flows.push_back(traffic::make_rc_flow(5002, ring.host_nodes[0], ring.host_nodes[3],
+                                           DataRate::megabits_per_sec(50), 1024,
+                                           traffic::kRcPriorityLow, 4003));
+
+  const PlannerOutput out = ParameterPlanner::plan(in);
+  EXPECT_EQ(out.config.classification_table_size, 1027);  // one per flow
+  EXPECT_EQ(out.config.unicast_table_size, 1027);         // distinct (dst, vid)
+  EXPECT_EQ(out.config.gate_table_size, 2);               // CQF
+  EXPECT_EQ(out.config.cbs_map_size, 3);                  // three RC queues
+  EXPECT_EQ(out.config.cbs_table_size, 3);
+  EXPECT_EQ(out.config.port_count, 1);                    // unidirectional ring
+  EXPECT_EQ(out.config.buffers_per_port, out.config.queue_depth * 8);
+  EXPECT_GE(out.config.queue_depth, out.itp.max_queue_load);
+  EXPECT_FALSE(out.rationale.empty());
+}
+
+TEST(ParameterPlannerTest, NonCqfSizesGateTableByCycle) {
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  PlannerInput in;
+  in.topology = &lin.topology;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 8;
+  in.flows = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[2], params);
+  in.use_cqf = false;
+  const PlannerOutput out = ParameterPlanner::plan(in);
+  // 10 ms cycle / 65 us slots = 154 entries.
+  EXPECT_EQ(out.config.gate_table_size, 154);
+}
+
+TEST(ParameterPlannerTest, PortCountTracksTopology) {
+  for (const auto& [builder_fn, expected] :
+       std::vector<std::pair<topo::BuiltTopology, std::int64_t>>{
+           {topo::make_star(3), 3}, {topo::make_linear(6), 2}, {topo::make_ring(6), 1}}) {
+    PlannerInput in;
+    in.topology = &builder_fn.topology;
+    traffic::TsWorkloadParams params;
+    params.flow_count = 4;
+    in.flows = traffic::make_ts_flows(builder_fn.host_nodes[0], builder_fn.host_nodes[1],
+                                      params);
+    EXPECT_EQ(ParameterPlanner::plan(in).config.port_count, expected);
+  }
+}
+
+TEST(ParameterPlannerTest, InputValidation) {
+  PlannerInput in;
+  EXPECT_THROW((void)ParameterPlanner::plan(in), Error);
+  const topo::BuiltTopology ring = topo::make_ring(3);
+  in.topology = &ring.topology;
+  EXPECT_THROW((void)ParameterPlanner::plan(in), Error);  // no flows
+}
+
+
+// ---------------------------------------------------------------- config IO
+TEST(ConfigIoTest, TextRoundTrip) {
+  const sw::SwitchResourceConfig original = paper_customized(3);
+  const std::string text = to_text(original);
+  const sw::SwitchResourceConfig parsed = config_from_text(text);
+  EXPECT_EQ(parsed.unicast_table_size, original.unicast_table_size);
+  EXPECT_EQ(parsed.queue_depth, original.queue_depth);
+  EXPECT_EQ(parsed.buffers_per_port, original.buffers_per_port);
+  EXPECT_EQ(parsed.port_count, original.port_count);
+  EXPECT_EQ(to_text(parsed), text);  // canonical form is stable
+}
+
+TEST(ConfigIoTest, CommentsWhitespaceAndDefaults) {
+  const sw::SwitchResourceConfig c = config_from_text(
+      "# a comment\n"
+      "\n"
+      "  queue_depth   =   16 \r\n"
+      "port_count=2\n");
+  EXPECT_EQ(c.queue_depth, 16);
+  EXPECT_EQ(c.port_count, 2);
+  // Untouched keys keep their defaults.
+  EXPECT_EQ(c.queues_per_port, sw::SwitchResourceConfig{}.queues_per_port);
+}
+
+TEST(ConfigIoTest, RejectsGarbage) {
+  EXPECT_THROW((void)config_from_text("bogus_key = 5\n"), Error);
+  EXPECT_THROW((void)config_from_text("queue_depth = twelve\n"), Error);
+  EXPECT_THROW((void)config_from_text("no equals sign\n"), Error);
+  // Values that parse but violate validation are rejected too.
+  EXPECT_THROW((void)config_from_text("queues_per_port = 9\n"), Error);
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tsnb_config_test.cfg";
+  save_config(paper_customized(1), path);
+  const sw::SwitchResourceConfig loaded = load_config(path);
+  EXPECT_EQ(loaded.buffers_per_port, 96);
+  EXPECT_EQ(loaded.port_count, 1);
+  EXPECT_THROW((void)load_config("/nonexistent/path.cfg"), Error);
+}
+
+// ----------------------------------------------------------------- presets
+TEST(PresetsTest, CommercialMatchesDatasheet) {
+  const sw::SwitchResourceConfig c = bcm53154_reference();
+  EXPECT_EQ(c.unicast_table_size, 16384);
+  EXPECT_EQ(c.classification_table_size, 1024);
+  EXPECT_EQ(c.meter_table_size, 512);
+  EXPECT_EQ(c.port_count, 4);
+  EXPECT_EQ(c.cbs_map_size, 8);
+  c.validate();
+}
+
+TEST(PresetsTest, CustomizedBuffersAreDepthTimesQueues) {
+  for (const std::int64_t ports : {1, 2, 3}) {
+    const sw::SwitchResourceConfig c = paper_customized(ports);
+    EXPECT_EQ(c.buffers_per_port, c.queue_depth * c.queues_per_port);
+    EXPECT_EQ(c.port_count, ports);
+    c.validate();
+  }
+}
+
+}  // namespace
+}  // namespace tsn::builder

@@ -1,0 +1,168 @@
+// Tests for the tsnb command line: argument parsing and the plan /
+// simulate / report subcommands.
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace tsn::cli {
+namespace {
+
+// -------------------------------------------------------------- ArgParser
+TEST(ArgParserTest, ValuesFlagsAndDefaults) {
+  ArgParser p;
+  p.add_option("topology", "t", "ring");
+  p.add_option("flows", "f", "1024");
+  p.add_flag("aggregate", "a");
+  ASSERT_TRUE(p.parse({"--flows", "256", "--aggregate"}));
+  EXPECT_EQ(p.get("topology"), "ring");  // default
+  EXPECT_EQ(p.get_int("flows"), 256);
+  EXPECT_TRUE(p.get_bool("aggregate"));
+  EXPECT_TRUE(p.was_set("flows"));
+  EXPECT_FALSE(p.was_set("topology"));
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser p;
+  p.add_option("slot-us", "s", "65");
+  ASSERT_TRUE(p.parse({"--slot-us=32.5"}));
+  EXPECT_DOUBLE_EQ(*p.get_double("slot-us"), 32.5);
+}
+
+TEST(ArgParserTest, Rejections) {
+  ArgParser p;
+  p.add_option("flows", "f", "1");
+  p.add_flag("aggregate", "a");
+  EXPECT_FALSE(p.parse({"--unknown", "1"}));
+  EXPECT_NE(p.error().find("unknown option"), std::string::npos);
+  ArgParser p2;
+  p2.add_option("flows", "f", "1");
+  EXPECT_FALSE(p2.parse({"--flows"}));  // missing value
+  ArgParser p3;
+  p3.add_flag("aggregate", "a");
+  EXPECT_FALSE(p3.parse({"--aggregate=1"}));  // flags take no value
+  ArgParser p4;
+  EXPECT_FALSE(p4.parse({"positional"}));
+}
+
+TEST(ArgParserTest, BadNumbersReturnNullopt) {
+  ArgParser p;
+  p.add_option("flows", "f", "");
+  ASSERT_TRUE(p.parse({"--flows", "12abc"}));
+  EXPECT_EQ(p.get_int("flows"), std::nullopt);
+  EXPECT_EQ(p.get_double("flows"), std::nullopt);
+}
+
+TEST(ArgParserTest, UsageListsOptions) {
+  ArgParser p;
+  p.add_option("topology", "ring | linear | star", "ring");
+  p.add_flag("aggregate", "collapse same-path flows");
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--topology <value> (default: ring)"), std::string::npos);
+  EXPECT_NE(usage.find("--aggregate"), std::string::npos);
+  EXPECT_NE(usage.find("collapse same-path flows"), std::string::npos);
+}
+
+// ------------------------------------------------------------ subcommands
+TEST(TsnbTest, ReportRingMatchesPaperTotal) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"report", "--scenario", "ring"}, out), 0);
+  EXPECT_NE(out.find("2106Kb"), std::string::npos);
+  EXPECT_NE(out.find("80.53%"), std::string::npos);
+}
+
+TEST(TsnbTest, ReportCommercialHasNoReduction) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"report", "--scenario", "commercial"}, out), 0);
+  EXPECT_NE(out.find("10818Kb"), std::string::npos);
+  EXPECT_NE(out.find("0.00%"), std::string::npos);
+}
+
+TEST(TsnbTest, PlanEmitsRationaleAndReport) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"plan", "--topology", "ring", "--switches", "6", "--flows", "64",
+                      "--hops", "4"},
+                     out),
+            0);
+  EXPECT_NE(out.find("guideline 1"), std::string::npos);
+  EXPECT_NE(out.find("guideline 5"), std::string::npos);
+  EXPECT_NE(out.find("Switch Tbl"), std::string::npos);
+}
+
+TEST(TsnbTest, PlanWithAggregationShrinksTables) {
+  std::string plain, aggregated;
+  EXPECT_EQ(run_tsnb({"plan", "--flows", "64", "--hops", "3"}, plain), 0);
+  EXPECT_EQ(run_tsnb({"plan", "--flows", "64", "--hops", "3", "--aggregate"}, aggregated),
+            0);
+  EXPECT_NE(plain.find("64 distinct streams"), std::string::npos);
+  EXPECT_NE(aggregated.find("1 distinct streams"), std::string::npos);
+}
+
+TEST(TsnbTest, SimulateReportsZeroLoss) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"simulate", "--topology", "linear", "--switches", "3", "--flows",
+                      "32", "--hops", "3", "--duration-ms", "50"},
+                     out),
+            0);
+  EXPECT_NE(out.find("TS: received"), std::string::npos);
+  EXPECT_NE(out.find("loss 0.00%"), std::string::npos);
+  EXPECT_NE(out.find("switch drops 0"), std::string::npos);
+}
+
+
+TEST(TsnbTest, PlanSaveThenReportConfig) {
+  const std::string path = ::testing::TempDir() + "/tsnb_saved.cfg";
+  std::string out;
+  ASSERT_EQ(run_tsnb({"plan", "--flows", "64", "--hops", "3", "--save", path}, out), 0);
+  EXPECT_NE(out.find("configuration written"), std::string::npos);
+
+  std::string report;
+  ASSERT_EQ(run_tsnb({"report", "--config", path}, report), 0);
+  EXPECT_NE(report.find("Total"), std::string::npos);
+
+  std::string sim;
+  ASSERT_EQ(run_tsnb({"simulate", "--topology", "ring", "--flows", "64", "--hops", "3",
+                      "--duration-ms", "30", "--config", path},
+                     sim),
+            0);
+  EXPECT_NE(sim.find("loss 0.00%"), std::string::npos);
+}
+
+TEST(TsnbTest, FrerSubcommandSurvivesLinkCut) {
+  std::string out;
+  ASSERT_EQ(run_tsnb({"frer", "--flows", "16", "--duration-ms", "40"}, out), 0);
+  EXPECT_NE(out.find("cut ring link"), std::string::npos);
+  EXPECT_NE(out.find("loss 0.00%"), std::string::npos);
+}
+
+TEST(TsnbTest, ErrorsAreReported) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"plan", "--topology", "mesh"}, out), 1);
+  EXPECT_NE(out.find("unknown --topology"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"frobnicate"}, out), 2);
+  EXPECT_NE(out.find("unknown subcommand"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"plan", "--bogus", "1"}, out), 2);
+  EXPECT_NE(out.find("usage: tsnb plan"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({}, out), 2);
+  EXPECT_NE(out.find("subcommands"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"help"}, out), 0);
+}
+
+TEST(TsnbTest, HopsValidatedAgainstTopology) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"plan", "--topology", "linear", "--switches", "3", "--hops", "9"},
+                     out),
+            1);
+  EXPECT_NE(out.find("invalid --hops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsn::cli

@@ -1,0 +1,262 @@
+// Unit and property tests for tsn_common: time, units, MAC addresses,
+// RNG, math helpers, ring buffer, text tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/mac_address.hpp"
+#include "common/math_util.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace tsn {
+namespace {
+
+using namespace tsn::literals;
+
+// ------------------------------------------------------------------ time
+TEST(DurationTest, ArithmeticAndComparison) {
+  EXPECT_EQ((3_us + 500_ns).ns(), 3500);
+  EXPECT_EQ((10_ms - 1_ms).ns(), 9'000'000);
+  EXPECT_EQ((65_us * 4).ns(), 260'000);
+  EXPECT_EQ(10_ms / 65_us, 153);  // the paper's period/slot ratio
+  EXPECT_LT(64_us, 65_us);
+  EXPECT_EQ(-(5_ns), Duration(-5));
+}
+
+TEST(DurationTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ((65_us).us(), 65.0);
+  EXPECT_DOUBLE_EQ((10_ms).ms(), 10.0);
+  EXPECT_DOUBLE_EQ((2_s).sec(), 2.0);
+}
+
+TEST(TimePointTest, DurationInterplay) {
+  const TimePoint t(1'000'000);
+  EXPECT_EQ((t + 65_us).ns(), 1'065'000);
+  EXPECT_EQ((t - 1_us).ns(), 999'000);
+  EXPECT_EQ(((t + 65_us) - t).ns(), 65'000);
+}
+
+TEST(SlotIndexTest, HalfOpenSlots) {
+  const Duration slot = 65_us;
+  EXPECT_EQ(slot_index(TimePoint(0), slot), 0);
+  EXPECT_EQ(slot_index(TimePoint(64'999), slot), 0);
+  EXPECT_EQ(slot_index(TimePoint(65'000), slot), 1);
+  EXPECT_EQ(slot_index(TimePoint(-1), slot), -1);  // floor semantics
+}
+
+TEST(SlotIndexTest, NextBoundary) {
+  const Duration slot = 65_us;
+  EXPECT_EQ(next_slot_boundary(TimePoint(0), slot).ns(), 65'000);
+  EXPECT_EQ(next_slot_boundary(TimePoint(64'999), slot).ns(), 65'000);
+  EXPECT_EQ(next_slot_boundary(TimePoint(65'000), slot).ns(), 130'000);
+}
+
+TEST(DurationTest, ToStringPicksNaturalUnit) {
+  EXPECT_EQ(to_string(65_us), "65us");
+  EXPECT_EQ(to_string(10_ms), "10ms");
+  EXPECT_EQ(to_string(512_ns), "512ns");
+  EXPECT_EQ(to_string(2_s), "2s");
+}
+
+// ----------------------------------------------------------------- units
+TEST(BitCountTest, Conversions) {
+  EXPECT_EQ(BitCount::from_bytes(2048).bits(), 16384);
+  EXPECT_EQ(BitCount::from_kilobits(18).bits(), 18432);
+  EXPECT_DOUBLE_EQ(BitCount(17280).kilobits(), 16.875);  // one packet buffer
+}
+
+TEST(DataRateTest, TransmissionTimeIsExactFor64BAtGigabit) {
+  // 64 B frame + 8 B preamble + 12 B IFG = 672 bits -> 672 ns at 1 Gbps.
+  const auto rate = DataRate::gigabits_per_sec(1);
+  EXPECT_EQ(rate.transmission_time(BitCount(672)).ns(), 672);
+  EXPECT_EQ(rate.transmission_time(BitCount::from_bytes(64)).ns(), 512);
+}
+
+TEST(DataRateTest, BitsInWindow) {
+  const auto rate = DataRate::megabits_per_sec(100);
+  EXPECT_EQ(rate.bits_in(milliseconds(1)).bits(), 100'000);
+  EXPECT_EQ(rate.bits_in(seconds(2)).bits(), 200'000'000);
+}
+
+TEST(DataRateTest, ScaledPercent) {
+  EXPECT_EQ(DataRate::gigabits_per_sec(1).scaled_percent(30).bps(), 300'000'000);
+}
+
+// ------------------------------------------------------------------- MAC
+TEST(MacAddressTest, RoundTripString) {
+  const auto mac = MacAddress::parse("02:00:5e:10:ff:01");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:00:5e:10:ff:01");
+}
+
+TEST(MacAddressTest, RejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:10:ff").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:10:ff:0g").has_value());
+  EXPECT_FALSE(MacAddress::parse("02-00-5e-10-ff-01").has_value());
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+}
+
+TEST(MacAddressTest, U64RoundTrip) {
+  const MacAddress mac = MacAddress::from_u64(0x0200000000ABULL);
+  EXPECT_EQ(mac.to_u64(), 0x0200000000ABULL);
+  EXPECT_EQ(mac.octets()[5], 0xAB);
+}
+
+TEST(MacAddressTest, MulticastAndBroadcast) {
+  EXPECT_TRUE(MacAddress::from_u64(0x010000000001ULL).is_multicast());
+  EXPECT_FALSE(MacAddress::from_u64(0x020000000001ULL).is_multicast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+}
+
+// ------------------------------------------------------------------- RNG
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 0.5);
+}
+
+TEST(RngTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(5, 4), Error);
+  EXPECT_THROW((void)rng.exponential(0.0), Error);
+  EXPECT_THROW((void)rng.index(0), Error);
+}
+
+// ------------------------------------------------------------------ math
+TEST(MathTest, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(96));
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+}
+
+TEST(MathTest, LcmOfPeriodsIsSchedulingCycle) {
+  const std::vector<Duration> periods = {milliseconds(2), milliseconds(5), milliseconds(10)};
+  EXPECT_EQ(lcm_of_periods(periods), milliseconds(10));
+  const std::vector<Duration> coprime = {milliseconds(3), milliseconds(7)};
+  EXPECT_EQ(lcm_of_periods(coprime), milliseconds(21));
+  EXPECT_THROW(lcm_of_periods({}), Error);
+}
+
+// ----------------------------------------------------------- ring buffer
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, TailDropWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));  // dropped, buffer unchanged
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.front(), 1);
+}
+
+TEST(RingBufferTest, AtIndexesFromFront) {
+  RingBuffer<int> rb(3);
+  ASSERT_TRUE(rb.push(7));
+  ASSERT_TRUE(rb.push(8));
+  EXPECT_EQ(rb.at(0), 7);
+  EXPECT_EQ(rb.at(1), 8);
+  EXPECT_THROW((void)rb.at(2), Error);
+}
+
+TEST(RingBufferTest, WrapsAroundManyTimes) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rb.push(i));
+    EXPECT_EQ(rb.pop(), i);
+  }
+}
+
+TEST(RingBufferTest, ErrorsOnEmptyAccess) {
+  RingBuffer<int> rb(1);
+  EXPECT_THROW((void)rb.front(), Error);
+  EXPECT_THROW((void)rb.pop(), Error);
+  EXPECT_THROW(RingBuffer<int>(0), Error);
+}
+
+// ------------------------------------------------------------ formatting
+TEST(StringUtilTest, TrimmedFormatting) {
+  EXPECT_EQ(format_trimmed(16.875, 3), "16.875");
+  EXPECT_EQ(format_trimmed(72.0, 3), "72");
+  EXPECT_EQ(format_trimmed(2106.0, 3), "2106");
+}
+
+TEST(StringUtilTest, Percent) { EXPECT_EQ(format_percent(0.8053), "80.53%"); }
+
+TEST(TextTableTest, AlignsColumnsAndSeparators) {
+  TextTable t;
+  t.set_header({"A", "Bee"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"total", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| A     | Bee |"), std::string::npos);
+  EXPECT_NE(out.find("| total | 2   |"), std::string::npos);
+  // Header rule + separator rule.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(TextTableTest, HeaderAfterRowsThrows) {
+  TextTable t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"A"}), Error);
+}
+
+}  // namespace
+}  // namespace tsn

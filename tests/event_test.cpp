@@ -1,0 +1,169 @@
+// Tests for the discrete-event simulation kernel: ordering, determinism,
+// cancellation, run_until semantics, periodic tasks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "event/simulator.hpp"
+
+namespace tsn::event {
+namespace {
+
+using namespace tsn::literals;
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint(300), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint(100), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint(200), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns(), 300);
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint(50), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule_at(TimePoint(100), [&] {
+    sim.schedule_in(50_ns, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen.ns(), 150);
+}
+
+TEST(SimulatorTest, CallbackMaySchedualAtSameTimestamp) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint(10), [&] {
+    sim.schedule_at(TimePoint(10), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(TimePoint(100), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint(50), [] {}), Error);
+  EXPECT_THROW(sim.schedule_at(sim.now(), Simulator::Callback{}), Error);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(TimePoint(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{12345}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<std::int64_t> fired;
+  for (std::int64_t t : {50, 100, 150}) {
+    sim.schedule_at(TimePoint(t), [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_until(TimePoint(100)), 2u);
+  EXPECT_EQ(sim.now().ns(), 100);
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{50, 100}));
+  EXPECT_EQ(sim.run_until(TimePoint(200)), 1u);
+  EXPECT_EQ(sim.now().ns(), 200);  // advances even past the last event
+}
+
+TEST(SimulatorTest, RunUntilBackwardThrows) {
+  Simulator sim;
+  (void)sim.run_until(TimePoint(100));
+  EXPECT_THROW((void)sim.run_until(TimePoint(50)), Error);
+}
+
+TEST(SimulatorTest, RunWithLimitStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(TimePoint(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_events(), 2u);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint(5), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(TimePoint(i % 7), [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<std::int64_t> at;
+  PeriodicTask task(sim, TimePoint(10), Duration(100), [&] { at.push_back(sim.now().ns()); });
+  (void)sim.run_until(TimePoint(350));
+  EXPECT_EQ(at, (std::vector<std::int64_t>{10, 110, 210, 310}));
+}
+
+TEST(PeriodicTaskTest, StopHaltsRepetition) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, TimePoint(0), Duration(10), [&] {
+    if (++count == 3) task.stop();
+  });
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsPending) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, TimePoint(5), Duration(5), [&] { ++count; });
+  }
+  sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTaskTest, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, TimePoint(0), Duration(0), [] {}), Error);
+  EXPECT_THROW(PeriodicTask(sim, TimePoint(0), Duration(5), nullptr), Error);
+}
+
+}  // namespace
+}  // namespace tsn::event

@@ -1,0 +1,198 @@
+// Tests for 802.1CB FRER: the sequence recovery function (unit +
+// property) and end-to-end replication/elimination with link-failure
+// injection on a bidirectional ring.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "event/simulator.hpp"
+#include "frer/sequence_recovery.hpp"
+#include "netsim/network.hpp"
+#include "sched/itp.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn {
+namespace {
+
+using namespace tsn::literals;
+using frer::SequenceRecovery;
+
+// -------------------------------------------------------- SequenceRecovery
+TEST(SequenceRecoveryTest, PassesFirstCopyDiscardsDuplicate) {
+  SequenceRecovery rec(8);
+  EXPECT_TRUE(rec.accept(0));
+  EXPECT_FALSE(rec.accept(0));  // duplicate from the other path
+  EXPECT_TRUE(rec.accept(1));
+  EXPECT_FALSE(rec.accept(1));
+  EXPECT_EQ(rec.passed(), 2u);
+  EXPECT_EQ(rec.discarded(), 2u);
+}
+
+TEST(SequenceRecoveryTest, AcceptsLateFirstCopyInWindow) {
+  SequenceRecovery rec(8);
+  EXPECT_TRUE(rec.accept(5));
+  EXPECT_TRUE(rec.accept(7));  // skipped ahead
+  EXPECT_TRUE(rec.accept(6));  // late first copy of 6: still in window
+  EXPECT_FALSE(rec.accept(6));
+  EXPECT_EQ(rec.passed(), 3u);
+}
+
+TEST(SequenceRecoveryTest, RogueBehindWindow) {
+  SequenceRecovery rec(4);
+  EXPECT_TRUE(rec.accept(100));
+  EXPECT_FALSE(rec.accept(90));  // 10 behind a 4-deep window
+  EXPECT_EQ(rec.rogue(), 1u);
+}
+
+TEST(SequenceRecoveryTest, LargeJumpClearsHistory) {
+  SequenceRecovery rec(4);
+  EXPECT_TRUE(rec.accept(1));
+  EXPECT_TRUE(rec.accept(100));  // jump far beyond the window
+  // 97..99 are inside the new window and were never seen.
+  EXPECT_TRUE(rec.accept(99));
+  EXPECT_TRUE(rec.accept(98));
+  EXPECT_FALSE(rec.accept(99));
+}
+
+TEST(SequenceRecoveryTest, ResetStartsOver) {
+  SequenceRecovery rec(8);
+  EXPECT_TRUE(rec.accept(3));
+  rec.reset();
+  EXPECT_TRUE(rec.accept(3));
+  EXPECT_EQ(rec.passed(), 1u);
+  EXPECT_EQ(rec.discarded(), 0u);
+}
+
+TEST(SequenceRecoveryTest, Validation) {
+  EXPECT_THROW(SequenceRecovery(0), Error);
+}
+
+// Property: with two interleaved copies of every sequence number (in any
+// bounded-reorder order), exactly one copy of each passes.
+class SequenceRecoveryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SequenceRecoveryProperty, ExactlyOneCopyPerSequencePasses) {
+  Rng rng(GetParam());
+  SequenceRecovery rec(64);
+  // Two "paths" deliver sequences 0..999 with small random skew.
+  std::vector<std::uint64_t> arrivals;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    arrivals.push_back(s);
+    arrivals.push_back(s);
+  }
+  // Bounded local shuffle (window 8) models cross-path reordering.
+  for (std::size_t i = 0; i + 8 < arrivals.size(); ++i) {
+    std::swap(arrivals[i], arrivals[i + rng.index(8)]);
+  }
+  std::uint64_t passed = 0;
+  for (const std::uint64_t s : arrivals) {
+    if (rec.accept(s)) ++passed;
+  }
+  EXPECT_EQ(passed, 1000u);
+  EXPECT_EQ(rec.discarded(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequenceRecoveryProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+// ---------------------------------------------------- end-to-end failover
+struct FrerHarness {
+  event::Simulator sim;
+  topo::BuiltTopology built = topo::make_ring_bidirectional(6);
+  netsim::NetworkOptions opts;
+  std::unique_ptr<netsim::Network> net;
+  std::vector<traffic::FlowSpec> flows;
+
+  explicit FrerHarness(bool frer, std::size_t flow_count = 32) {
+    opts.seed = 77;
+    opts.resource.classification_table_size = 2 * static_cast<std::int64_t>(flow_count) + 8;
+    opts.resource.unicast_table_size = 2 * static_cast<std::int64_t>(flow_count) + 8;
+    traffic::TsWorkloadParams params;
+    params.flow_count = flow_count;
+    // h0 -> h2: primary s0-s1-s2 (2 inter-switch links), secondary the
+    // other way around the ring (s0-s5-s4-s3-s2).
+    flows = traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], params);
+    sched::ItpPlanner planner(built.topology, opts.runtime.slot_size);
+    planner.plan(flows).apply(flows);
+
+    net = std::make_unique<netsim::Network>(sim, built.topology, opts);
+    std::int64_t failures = 0;
+    if (frer) {
+      for (const traffic::FlowSpec& f : flows) {
+        failures += net->provision_frer(f, static_cast<VlanId>(2000 + f.id));
+      }
+    } else {
+      failures = net->provision(flows);
+    }
+    EXPECT_EQ(failures, 0);
+    net->start_network();
+    (void)sim.run_until(TimePoint(0) + 150_ms);
+    net->start_traffic(TimePoint(0) + 151_ms);
+  }
+
+  void run_and_fail_link_midway() {
+    // Run 50 ms healthy, then cut the s0->s1 ring link (the primary
+    // path's first inter-switch link), run another 50 ms.
+    (void)sim.run_until(TimePoint(0) + 200_ms);
+    const auto hops = *built.topology.route(built.host_nodes[0], built.host_nodes[2]);
+    for (const topo::Hop& hop : hops) {
+      const topo::Link& l = built.topology.link(hop.link);
+      if (built.topology.node(l.node_a).kind == topo::NodeKind::kSwitch &&
+          built.topology.node(l.node_b).kind == topo::NodeKind::kSwitch) {
+        net->set_link_state(hop.link, false);
+        break;
+      }
+    }
+    (void)sim.run_until(TimePoint(0) + 250_ms);
+    net->stop_traffic();
+    (void)sim.run_until(sim.now() + 20_ms);
+  }
+};
+
+TEST(FrerIntegrationTest, HealthyNetworkEliminatesAllDuplicates) {
+  FrerHarness h(/*frer=*/true);
+  (void)h.sim.run_until(TimePoint(0) + 250_ms);
+  h.net->stop_traffic();
+  (void)h.sim.run_until(h.sim.now() + 20_ms);
+
+  const auto ts = h.net->analyzer().summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_GT(ts.received, 100u);
+  EXPECT_EQ(ts.lost(), 0u);
+  // Every logical packet arrived twice; one copy was eliminated.
+  const std::uint64_t discarded = h.net->nic_at(h.built.host_nodes[2]).frer_discarded();
+  EXPECT_EQ(discarded, ts.received);
+}
+
+TEST(FrerIntegrationTest, SurvivesLinkFailureWithZeroLoss) {
+  FrerHarness h(/*frer=*/true);
+  h.run_and_fail_link_midway();
+  const auto ts = h.net->analyzer().summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_GT(ts.received, 200u);
+  EXPECT_EQ(ts.lost(), 0u);  // the disjoint member carried everything
+  EXPECT_GT(h.net->link_drops(), 0u);  // the dead link really ate frames
+}
+
+TEST(FrerIntegrationTest, WithoutFrerLinkFailureLosesPackets) {
+  FrerHarness h(/*frer=*/false);
+  h.run_and_fail_link_midway();
+  const auto ts = h.net->analyzer().summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_GT(ts.lost(), 0u);  // everything after the cut is gone
+  EXPECT_GT(h.net->link_drops(), 0u);
+}
+
+TEST(FrerIntegrationTest, RequiresDisjointPath) {
+  // A linear topology has no second path.
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  netsim::NetworkOptions opts;
+  opts.enable_gptp = false;
+  netsim::Network net(sim, lin.topology, opts);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 1;
+  const auto flows = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[2], params);
+  EXPECT_THROW((void)net.provision_frer(flows[0], 2000), Error);
+}
+
+}  // namespace
+}  // namespace tsn

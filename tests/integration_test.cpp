@@ -1,0 +1,232 @@
+// System-level integration tests: full networks of synthesized switches
+// carrying TS/RC/BE traffic. These check the paper's headline claims:
+//   * CQF end-to-end latency obeys Eq. (1): (hop-1)*slot <= L <= (hop+1)*slot;
+//   * TS flows see zero loss and unchanged latency under background load;
+//   * the customized (smaller) resource configuration delivers the same
+//     QoS as the commercial parameterization;
+//   * ITP keeps the peak queue occupancy within the provisioned depth.
+#include <gtest/gtest.h>
+
+#include "builder/presets.hpp"
+#include "netsim/scenario.hpp"
+#include "sched/cqf_analysis.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn {
+namespace {
+
+using namespace tsn::literals;
+using netsim::ScenarioConfig;
+using netsim::ScenarioResult;
+
+ScenarioConfig ring_scenario(std::size_t ring_size, std::size_t dst_host,
+                             std::size_t flow_count, std::int64_t frame_bytes = 64,
+                             Duration slot = 65_us) {
+  ScenarioConfig cfg;
+  cfg.built = topo::make_ring(ring_size);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.runtime.slot_size = slot;
+  cfg.options.seed = 11;
+  traffic::TsWorkloadParams params;
+  params.flow_count = flow_count;
+  params.frame_bytes = frame_bytes;
+  // Keep the classification/switch tables large enough for extra
+  // background flows the individual tests add.
+  cfg.options.resource.classification_table_size = static_cast<std::int64_t>(flow_count) + 16;
+  cfg.options.resource.unicast_table_size = static_cast<std::int64_t>(flow_count) + 16;
+  cfg.options.resource.meter_table_size = static_cast<std::int64_t>(flow_count) + 16;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[dst_host],
+                                     params);
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 100_ms;
+  return cfg;
+}
+
+TEST(IntegrationTest, CqfBoundsHoldOnRing) {
+  for (const std::size_t hops : {2u, 4u}) {
+    ScenarioConfig cfg = ring_scenario(6, hops - 1, 64);
+    const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+    ASSERT_GT(r.ts.received, 500u);
+    EXPECT_EQ(r.ts.lost(), 0u);
+    const auto bounds = sched::cqf_bounds(static_cast<std::int64_t>(hops), 65_us);
+    EXPECT_GE(r.ts.latency_us.min(), bounds.min.us() * 0.99) << hops << " hops";
+    EXPECT_LE(r.ts.latency_us.max(), bounds.max.us() * 1.01) << hops << " hops";
+    EXPECT_NEAR(r.ts.avg_latency_us(), hops * 65.0, 40.0) << hops << " hops";
+  }
+}
+
+TEST(IntegrationTest, ZeroLossAndDeadlinesAcrossPacketSizes) {
+  for (const std::int64_t frame : {64LL, 512LL, 1500LL}) {
+    ScenarioConfig cfg = ring_scenario(6, 2, 64, frame);
+    const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+    EXPECT_EQ(r.ts.lost(), 0u) << frame << " B frames";
+    EXPECT_EQ(r.ts.deadline_misses, 0u) << frame << " B frames";
+    EXPECT_EQ(r.switch_drops, 0u) << frame << " B frames";
+  }
+}
+
+TEST(IntegrationTest, BackgroundTrafficDoesNotDisturbTs) {
+  // Baseline: TS alone.
+  ScenarioConfig clean = ring_scenario(6, 2, 128);
+  const ScenarioResult base = netsim::run_scenario(std::move(clean));
+
+  // Loaded: RC + BE background injected from a second host at the entry
+  // switch, exiting at the same destination (shares every TSN link).
+  ScenarioConfig loaded = ring_scenario(6, 2, 128);
+  const topo::NodeId src_sw = loaded.built.switch_nodes[0];
+  const topo::NodeId bg_host = loaded.built.topology.add_host("bg");
+  loaded.built.topology.connect(src_sw, bg_host, Duration(50));
+  loaded.flows.push_back(traffic::make_rc_flow(9000, bg_host,
+                                               loaded.built.host_nodes[2],
+                                               DataRate::megabits_per_sec(200)));
+  loaded.flows.push_back(traffic::make_be_flow(9001, bg_host,
+                                               loaded.built.host_nodes[2],
+                                               DataRate::megabits_per_sec(200)));
+  const ScenarioResult bg = netsim::run_scenario(std::move(loaded));
+
+  EXPECT_EQ(bg.ts.lost(), 0u);
+  EXPECT_GT(bg.rc.received, 0u);
+  EXPECT_GT(bg.be.received, 0u);
+  // TS latency/jitter essentially unchanged (paper Fig. 7d / Fig. 2).
+  EXPECT_NEAR(bg.ts.avg_latency_us(), base.ts.avg_latency_us(), 3.0);
+  EXPECT_NEAR(bg.ts.jitter_us(), base.ts.jitter_us(), 3.0);
+}
+
+TEST(IntegrationTest, CustomizedMatchesCommercialQos) {
+  // Same workload through the BCM53154-parameterized switch and the
+  // customized ring switch: QoS must be equivalent (paper's central claim).
+  auto run_with = [](sw::SwitchResourceConfig res) {
+    ScenarioConfig cfg = ring_scenario(6, 2, 256);
+    res.classification_table_size = cfg.options.resource.classification_table_size;
+    res.unicast_table_size = cfg.options.resource.unicast_table_size;
+    res.meter_table_size = cfg.options.resource.meter_table_size;
+    cfg.options.resource = res;
+    return netsim::run_scenario(std::move(cfg));
+  };
+  const ScenarioResult commercial = run_with(builder::bcm53154_reference());
+  const ScenarioResult customized = run_with(builder::paper_customized(1));
+  EXPECT_EQ(commercial.ts.lost(), 0u);
+  EXPECT_EQ(customized.ts.lost(), 0u);
+  EXPECT_NEAR(customized.ts.avg_latency_us(), commercial.ts.avg_latency_us(), 2.0);
+  EXPECT_NEAR(customized.ts.jitter_us(), commercial.ts.jitter_us(), 2.0);
+}
+
+TEST(IntegrationTest, ItpKeepsQueuesWithinProvisionedDepth) {
+  ScenarioConfig cfg = ring_scenario(6, 3, 512);
+  const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+  EXPECT_EQ(r.ts.lost(), 0u);
+  EXPECT_LE(r.peak_ts_queue, 12);                      // provisioned depth
+  EXPECT_GE(r.plan.max_queue_load, r.peak_ts_queue - 2);  // prediction quality
+}
+
+TEST(IntegrationTest, NaiveInjectionOverflowsQueues) {
+  // The ablation behind the queue-depth parameter: without ITP all 512
+  // flows of a period land in the same slot and the depth-12 queues drop.
+  ScenarioConfig cfg = ring_scenario(6, 3, 512);
+  cfg.use_itp = false;
+  const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+  EXPECT_GT(r.ts.lost(), 0u);
+  EXPECT_GT(r.queue_full_drops + r.buffer_drops, 0u);
+  EXPECT_GE(r.peak_ts_queue, 12);
+}
+
+TEST(IntegrationTest, TopologiesDeliverSameQos) {
+  // Paper §IV.C: "the transmission performance of different topologies is
+  // the same". Two-switch paths through star, linear and ring.
+  auto run_topology = [](topo::BuiltTopology built, std::size_t src, std::size_t dst,
+                         std::int64_t ports) {
+    ScenarioConfig cfg;
+    cfg.built = std::move(built);
+    cfg.options.resource = builder::paper_customized(ports);
+    cfg.options.resource.classification_table_size = 80;
+    cfg.options.resource.unicast_table_size = 80;
+    cfg.options.seed = 3;
+    traffic::TsWorkloadParams params;
+    params.flow_count = 64;
+    cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[src],
+                                       cfg.built.host_nodes[dst], params);
+    cfg.warmup = 150_ms;
+    cfg.traffic_duration = 60_ms;
+    return netsim::run_scenario(std::move(cfg));
+  };
+  // Three switch hops everywhere: leaf0 -> core -> leaf1 in the star,
+  // s0 -> s1 -> s2 in linear and ring.
+  const ScenarioResult star = run_topology(topo::make_star(3), 1, 2, 3);
+  const ScenarioResult linear = run_topology(topo::make_linear(6), 0, 2, 2);
+  const ScenarioResult ring = run_topology(topo::make_ring(6), 0, 2, 1);
+  for (const ScenarioResult* r : {&star, &linear, &ring}) {
+    EXPECT_EQ(r->ts.lost(), 0u);
+    EXPECT_EQ(r->switch_drops, 0u);
+  }
+  EXPECT_NEAR(star.ts.avg_latency_us(), linear.ts.avg_latency_us(), 5.0);
+  EXPECT_NEAR(linear.ts.avg_latency_us(), ring.ts.avg_latency_us(), 5.0);
+}
+
+TEST(IntegrationTest, SlotSizeScalesLatency) {
+  const ScenarioResult small = netsim::run_scenario(ring_scenario(6, 2, 64, 64, 65_us));
+  const ScenarioResult big = netsim::run_scenario(ring_scenario(6, 2, 64, 64, 130_us));
+  EXPECT_EQ(small.ts.lost(), 0u);
+  EXPECT_EQ(big.ts.lost(), 0u);
+  // Average latency and jitter scale with the slot (paper Fig. 7c).
+  EXPECT_NEAR(big.ts.avg_latency_us() / small.ts.avg_latency_us(), 2.0, 0.3);
+  EXPECT_GT(big.ts.jitter_us(), small.ts.jitter_us());
+}
+
+TEST(IntegrationTest, SyncErrorStaysWithinPrototypeBound) {
+  ScenarioConfig cfg = ring_scenario(6, 3, 64);
+  cfg.options.max_drift_ppm = 50.0;
+  const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+  EXPECT_LT(r.max_sync_error.ns(), 50);
+  EXPECT_EQ(r.ts.lost(), 0u);
+}
+
+
+TEST(IntegrationTest, QbvProgramDeliversCqfGradeQos) {
+  // The synthesized full-cycle 802.1Qbv program (guideline 2's general
+  // case) must carry the same workload as CQF with zero loss — at the
+  // cost of a much larger gate table.
+  auto run_mode = [](ScenarioConfig::GateMode mode) {
+    ScenarioConfig cfg;
+    cfg.built = topo::make_ring(6);
+    cfg.options.resource = builder::paper_customized(1);
+    cfg.options.resource.classification_table_size = 300;
+    cfg.options.resource.unicast_table_size = 300;
+    cfg.options.resource.meter_table_size = 300;
+    // Qbv needs slot | period: 62.5 us divides 10 ms (160 slots), and a
+    // gate table large enough for the synthesized program.
+    cfg.options.runtime.slot_size = Duration(62'500);
+    cfg.options.resource.gate_table_size =
+        mode == ScenarioConfig::GateMode::kQbv ? 160 : 2;
+    cfg.gate_mode = mode;
+    cfg.options.seed = 8;
+    traffic::TsWorkloadParams params;
+    params.flow_count = 64;  // sparse windows: the program stays slotted
+    cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2],
+                                       params);
+    cfg.warmup = 150_ms;
+    cfg.traffic_duration = 80_ms;
+    return netsim::run_scenario(std::move(cfg));
+  };
+  const ScenarioResult cqf = run_mode(ScenarioConfig::GateMode::kCqf);
+  const ScenarioResult qbv = run_mode(ScenarioConfig::GateMode::kQbv);
+
+  EXPECT_EQ(cqf.ts.lost(), 0u);
+  EXPECT_EQ(qbv.ts.lost(), 0u);
+  EXPECT_EQ(qbv.switch_drops, 0u);
+  EXPECT_EQ(cqf.qbv_gate_entries, 0);
+  EXPECT_GT(qbv.qbv_gate_entries, 2);   // guideline 2: ~cycle/slot entries
+  EXPECT_LE(qbv.qbv_gate_entries, 160);
+  EXPECT_EQ(qbv.ts.deadline_misses, 0u);
+  // Both modes respect the Eq. (1) UPPER bound. CQF's two-queue ping-pong
+  // additionally enforces the lower bound; single-queue Qbv windows allow
+  // early departure when an earlier window is open, so only the upper
+  // bound is asserted for it.
+  const auto bounds = sched::cqf_bounds(3, Duration(62'500));
+  EXPECT_GE(cqf.ts.latency_us.min(), bounds.min.us() * 0.99);
+  EXPECT_LE(cqf.ts.latency_us.max(), bounds.max.us() * 1.01);
+  EXPECT_LE(qbv.ts.latency_us.max(), bounds.max.us() * 1.01);
+}
+
+}  // namespace
+}  // namespace tsn

@@ -1,0 +1,209 @@
+// Tests for the Ethernet frame model: CRC32, serialization/parsing
+// round-trips, padding, VLAN tags, wire timing, and the dataplane packet
+// view.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/crc32.hpp"
+#include "net/ethernet.hpp"
+#include "net/packet.hpp"
+
+namespace tsn::net {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, std::span(data).first(100));
+  state = crc32_update(state, std::span(data).subspan(100));
+  EXPECT_EQ(crc32_finalize(state), crc32(data));
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(crc32({}), 0x00000000u); }
+
+EthernetFrame sample_frame(std::size_t payload) {
+  EthernetFrame f;
+  f.dst = *MacAddress::parse("02:00:00:00:00:02");
+  f.src = *MacAddress::parse("02:00:00:00:00:01");
+  f.vlan = VlanTag{5, false, 100};
+  f.ethertype = kEtherTypeTsnData;
+  f.payload.resize(payload);
+  for (std::size_t i = 0; i < payload; ++i) f.payload[i] = static_cast<std::uint8_t>(i);
+  return f;
+}
+
+TEST(VlanTagTest, TciRoundTrip) {
+  const VlanTag tag{7, true, 4094};
+  EXPECT_EQ(VlanTag::from_tci(tag.tci()), tag);
+  EXPECT_EQ(tag.tci(), 0xFFFE);
+}
+
+TEST(EthernetFrameTest, MinimumFramePadding) {
+  const EthernetFrame f = sample_frame(1);
+  EXPECT_EQ(f.frame_bytes(), 64);  // padded to the Ethernet minimum
+  EXPECT_EQ(f.serialize().size(), 64u);
+}
+
+TEST(EthernetFrameTest, LargeFrameLength) {
+  const EthernetFrame f = sample_frame(1000);
+  // 14 header + 4 tag + 1000 + 4 FCS.
+  EXPECT_EQ(f.frame_bytes(), 1022);
+}
+
+TEST(EthernetFrameTest, SerializeParseRoundTripTagged) {
+  const EthernetFrame f = sample_frame(200);
+  const auto bytes = f.serialize();
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->frame.dst, f.dst);
+  EXPECT_EQ(parsed->frame.src, f.src);
+  ASSERT_TRUE(parsed->frame.vlan.has_value());
+  EXPECT_EQ(*parsed->frame.vlan, *f.vlan);
+  EXPECT_EQ(parsed->frame.ethertype, f.ethertype);
+  EXPECT_EQ(parsed->frame.payload, f.payload);
+}
+
+TEST(EthernetFrameTest, SerializeParseRoundTripUntagged) {
+  EthernetFrame f = sample_frame(100);
+  f.vlan.reset();
+  const auto parsed = parse_frame(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_FALSE(parsed->frame.vlan.has_value());
+  EXPECT_EQ(parsed->frame.payload, f.payload);
+}
+
+TEST(EthernetFrameTest, CorruptionBreaksFcs) {
+  auto bytes = sample_frame(100).serialize();
+  bytes[20] ^= 0x01;
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->fcs_ok);
+}
+
+TEST(EthernetFrameTest, TruncatedInputRejected) {
+  const auto bytes = sample_frame(100).serialize();
+  EXPECT_FALSE(parse_frame(std::span(bytes).first(32)).has_value());
+  EXPECT_FALSE(parse_frame({}).has_value());
+}
+
+TEST(WireBitsTest, IncludesPreambleAndIfg) {
+  // 64 B frame + 8 B preamble/SFD + 12 B IFG = 84 B = 672 bits.
+  EXPECT_EQ(wire_bits(64).bits(), 672);
+  EXPECT_EQ(wire_bits(1518).bits(), (1518 + 20) * 8);
+}
+
+// ---------------------------------------------------------------- packet
+TEST(PacketTest, FrameSizeFloorsAtMinimum) {
+  Packet p;
+  p.payload_bytes = 10;
+  EXPECT_EQ(p.frame_bytes(), 64);
+}
+
+TEST(PacketTest, PacketWithFrameSizeProducesExactSizes) {
+  for (const std::int64_t size : {64, 128, 256, 512, 1024, 1500}) {
+    const Packet p = packet_with_frame_size(size);
+    EXPECT_EQ(p.frame_bytes(), size) << "frame size " << size;
+  }
+}
+
+TEST(PacketTest, PacketWithFrameSizeRejectsOutOfRange) {
+  EXPECT_THROW((void)packet_with_frame_size(32), Error);
+  EXPECT_THROW((void)packet_with_frame_size(4000), Error);
+}
+
+TEST(PacketTest, FrameConversionRoundTrip) {
+  Packet p = packet_with_frame_size(256);
+  p.src = *MacAddress::parse("02:00:00:00:00:0a");
+  p.dst = *MacAddress::parse("02:00:00:00:00:0b");
+  p.vlan = VlanTag{7, false, 42};
+  const EthernetFrame f = to_frame(p);
+  const Packet q = from_frame(f);
+  EXPECT_EQ(q.src, p.src);
+  EXPECT_EQ(q.dst, p.dst);
+  EXPECT_EQ(q.vlan, p.vlan);
+  EXPECT_EQ(q.payload_bytes, p.payload_bytes);
+  EXPECT_EQ(q.frame_bytes(), p.frame_bytes());
+}
+
+TEST(PacketTest, ByteAccurateRoundTripThroughWire) {
+  Packet p = packet_with_frame_size(128);
+  p.src = *MacAddress::parse("02:00:00:00:00:01");
+  p.dst = *MacAddress::parse("02:00:00:00:00:02");
+  p.vlan = VlanTag{7, false, 7};
+  const auto bytes = to_frame(p).serialize();
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(from_frame(parsed->frame).frame_bytes(), 128);
+}
+
+
+// Property sweep: serialize/parse round-trip across payload sizes and
+// random contents.
+struct FrameCase {
+  std::size_t payload;
+  std::uint64_t seed;
+  bool tagged;
+};
+
+class FrameRoundTrip : public ::testing::TestWithParam<FrameCase> {};
+
+TEST_P(FrameRoundTrip, LosslessAndFcsClean) {
+  const auto [payload, seed, tagged] = GetParam();
+  Rng rng(seed);
+  EthernetFrame f;
+  f.dst = MacAddress::from_u64(rng() & 0xFEFFFFFFFFFFULL);
+  f.src = MacAddress::from_u64(rng() & 0xFEFFFFFFFFFFULL);
+  if (tagged) {
+    f.vlan = VlanTag{static_cast<Priority>(rng.uniform(0, 7)), rng.bernoulli(0.5),
+                     static_cast<VlanId>(rng.uniform(1, 4094))};
+  }
+  f.payload.resize(payload);
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+
+  const auto bytes = f.serialize();
+  EXPECT_GE(bytes.size(), 64u);
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->frame.dst, f.dst);
+  EXPECT_EQ(parsed->frame.src, f.src);
+  EXPECT_EQ(parsed->frame.vlan, f.vlan);
+  // Short payloads come back padded; the original prefix must match.
+  ASSERT_GE(parsed->frame.payload.size(), f.payload.size());
+  EXPECT_TRUE(std::equal(f.payload.begin(), f.payload.end(), parsed->frame.payload.begin()));
+
+  // Any single-bit corruption must break the FCS.
+  auto corrupt = bytes;
+  corrupt[rng.index(corrupt.size())] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+  const auto reparsed = parse_frame(corrupt);
+  if (reparsed.has_value()) EXPECT_FALSE(reparsed->fcs_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FrameRoundTrip,
+                         ::testing::Values(FrameCase{0, 1, true}, FrameCase{1, 2, false},
+                                           FrameCase{45, 3, true}, FrameCase{46, 4, false},
+                                           FrameCase{256, 5, true}, FrameCase{1000, 6, true},
+                                           FrameCase{1500, 7, false},
+                                           FrameCase{64, 8, true}));
+
+TEST(TrafficClassTest, Names) {
+  EXPECT_EQ(to_string(TrafficClass::kTimeSensitive), "TS");
+  EXPECT_EQ(to_string(TrafficClass::kRateConstrained), "RC");
+  EXPECT_EQ(to_string(TrafficClass::kBestEffort), "BE");
+}
+
+}  // namespace
+}  // namespace tsn::net

@@ -1,0 +1,369 @@
+// Tests for the network assembly layer: NIC injection machinery, link
+// wiring, provisioning, and small end-to-end deliveries.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "event/simulator.hpp"
+#include "netsim/network.hpp"
+#include "netsim/nic.hpp"
+#include "netsim/scenario.hpp"
+#include "sched/itp.hpp"
+#include "switch/tsn_switch.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::netsim {
+namespace {
+
+using namespace tsn::literals;
+
+traffic::FlowSpec ts_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst,
+                          Duration period = 10_ms) {
+  traffic::FlowSpec f;
+  f.id = id;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.period = period;
+  f.deadline = 8_ms;
+  f.priority = traffic::kTsPriority;
+  f.vid = static_cast<VlanId>(1 + id);
+  return f;
+}
+
+// ------------------------------------------------------------------ NIC
+TEST(TsnNicTest, PeriodicTsInjection) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  nic.add_flow(ts_flow(1, 0, 1, 1_ms));
+  int sent = 0;
+  nic.set_tx_callback([&sent](const net::Packet&) { ++sent; });
+  nic.start_traffic(TimePoint(0), 2_us);
+  (void)sim.run_until(TimePoint(0) + 10_ms);
+  // 10 injections in 10 ms at 1 ms period (t = 2us, 1.002ms, ...).
+  EXPECT_EQ(sent, 10);
+  EXPECT_EQ(nic.injected_packets(), 10u);
+  const auto& rec = an.flow(1);
+  EXPECT_EQ(rec.injected, 10u);
+}
+
+TEST(TsnNicTest, StopTrafficHaltsInjection) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  nic.add_flow(ts_flow(1, 0, 1, 1_ms));
+  nic.set_tx_callback([](const net::Packet&) {});
+  nic.start_traffic(TimePoint(0), 2_us);
+  (void)sim.run_until(TimePoint(0) + 3500_us);
+  nic.stop_traffic();
+  (void)sim.run_until(TimePoint(0) + 20_ms);
+  EXPECT_EQ(nic.injected_packets(), 4u);  // t=2us, 1.002, 2.002, 3.002 ms
+}
+
+TEST(TsnNicTest, EgressSerializesBackToBack) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  // Two flows injecting at the same instant: the FIFO serializes them.
+  nic.add_flow(ts_flow(1, 0, 1, 10_ms));
+  nic.add_flow(ts_flow(2, 0, 1, 10_ms));
+  std::vector<std::int64_t> tx_end;
+  nic.set_tx_callback([&](const net::Packet&) { tx_end.push_back(sim.now().ns()); });
+  nic.start_traffic(TimePoint(0), 0_us);
+  (void)sim.run_until(TimePoint(0) + 1_ms);
+  ASSERT_EQ(tx_end.size(), 2u);
+  EXPECT_EQ(tx_end[1] - tx_end[0], 672);  // one 64 B wire time apart
+}
+
+TEST(TsnNicTest, RcFlowIsPacedAtRate) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  nic.add_flow(traffic::make_rc_flow(1, 0, 1, DataRate::megabits_per_sec(100), 1024));
+  int sent = 0;
+  nic.set_tx_callback([&sent](const net::Packet&) { ++sent; });
+  nic.start_traffic(TimePoint(0), 0_us);
+  (void)sim.run_until(TimePoint(0) + 10_ms);
+  // 100 Mbps / (1044 B + overhead) wire bits ~= 11.7 kpps -> ~117 in 10 ms.
+  EXPECT_NEAR(sent, 117, 3);
+}
+
+TEST(TsnNicTest, BeFlowApproximatesMeanRate) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 42);
+  nic.add_flow(traffic::make_be_flow(1, 0, 1, DataRate::megabits_per_sec(300), 1024));
+  std::int64_t bits = 0;
+  nic.set_tx_callback([&bits](const net::Packet& p) { bits += p.wire_bits().bits(); });
+  nic.start_traffic(TimePoint(0), 0_us);
+  (void)sim.run_until(TimePoint(0) + 100_ms);
+  EXPECT_NEAR(static_cast<double>(bits) / 0.1, 300e6, 30e6);
+}
+
+TEST(TsnNicTest, RejectsForeignFlows) {
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  EXPECT_THROW(nic.add_flow(ts_flow(1, 3, 1)), Error);  // sourced elsewhere
+}
+
+// -------------------------------------------------------------- Network
+TEST(NetworkTest, DeliversAcrossLinearTopology) {
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  NetworkOptions opts;
+  opts.enable_gptp = false;
+  opts.resource.unicast_table_size = 64;
+  opts.resource.classification_table_size = 64;
+  Network net(sim, lin.topology, opts);
+  const std::vector<traffic::FlowSpec> flows = {
+      ts_flow(1, lin.host_nodes[0], lin.host_nodes[1], 1_ms)};
+  EXPECT_EQ(net.provision(flows), 0);
+  net.start_network();
+  net.start_traffic(TimePoint(0) + 100_us);
+  (void)sim.run_until(TimePoint(0) + 20_ms);
+  const auto ts = net.analyzer().summary(net::TrafficClass::kTimeSensitive);
+  EXPECT_GT(ts.received, 10u);
+  EXPECT_EQ(ts.lost(), 0u);
+  EXPECT_EQ(net.total_switch_drops(), 0u);
+}
+
+TEST(NetworkTest, ProvisioningFailuresCountedWhenTablesTooSmall) {
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  NetworkOptions opts;
+  opts.enable_gptp = false;
+  opts.resource.classification_table_size = 2;  // far too small
+  opts.resource.unicast_table_size = 2;
+  Network net(sim, lin.topology, opts);
+  std::vector<traffic::FlowSpec> flows;
+  for (net::FlowId i = 0; i < 8; ++i) {
+    flows.push_back(ts_flow(i, lin.host_nodes[0], lin.host_nodes[1]));
+  }
+  EXPECT_GT(net.provision(flows), 0);
+}
+
+TEST(NetworkTest, GptpTreeCoversAllDevices) {
+  event::Simulator sim;
+  const topo::BuiltTopology ring = topo::make_ring(4);
+  NetworkOptions opts;
+  opts.max_drift_ppm = 20.0;
+  Network net(sim, ring.topology, opts);
+  net.start_network();
+  (void)sim.run_until(TimePoint(0) + 2_s);
+  ASSERT_NE(net.gptp(), nullptr);
+  // 4 switches + 4 hosts all disciplined under 50 ns.
+  EXPECT_EQ(net.gptp()->node_count(), 8u);
+  EXPECT_LT(net.max_sync_error().ns(), 50);
+}
+
+TEST(NetworkTest, AccessorsValidate) {
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  NetworkOptions opts;
+  opts.enable_gptp = false;
+  Network net(sim, lin.topology, opts);
+  EXPECT_THROW((void)net.switch_at(lin.host_nodes[0]), Error);
+  EXPECT_THROW((void)net.nic_at(lin.switch_nodes[0]), Error);
+  (void)net.switch_at(lin.switch_nodes[0]);
+  (void)net.nic_at(lin.host_nodes[0]);
+}
+
+// -------------------------------------------------------------- Scenario
+TEST(ScenarioTest, SmallRingRunsCleanly) {
+  ScenarioConfig cfg;
+  cfg.built = topo::make_ring(3);
+  cfg.options.seed = 5;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 32;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[1],
+                                     params);
+  cfg.warmup = 100_ms;
+  cfg.traffic_duration = 50_ms;
+  const ScenarioResult r = run_scenario(std::move(cfg));
+  EXPECT_EQ(r.provisioning_failures, 0u);
+  EXPECT_GT(r.ts.received, 100u);
+  EXPECT_EQ(r.ts.lost(), 0u);
+  EXPECT_EQ(r.switch_drops, 0u);
+  EXPECT_GT(r.ts.avg_latency_us(), 0.0);
+  EXPECT_LT(r.max_sync_error.ns(), 50);
+  EXPECT_GT(r.peak_ts_queue, 0);
+  EXPECT_LE(r.peak_ts_queue, cfg.options.resource.queue_depth);
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  auto run = [] {
+    ScenarioConfig cfg;
+    cfg.built = topo::make_ring(3);
+    traffic::TsWorkloadParams params;
+    params.flow_count = 8;
+    cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[1],
+                                       params);
+    cfg.warmup = 50_ms;
+    cfg.traffic_duration = 20_ms;
+    const ScenarioResult r = run_scenario(std::move(cfg));
+    return std::make_tuple(r.ts.received, r.ts.avg_latency_us(), r.ts.jitter_us());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+
+
+// ----------------------------------------------------------------- trace
+TEST(TraceRecorderTest, RingBufferSemantics) {
+  TraceRecorder trace(3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    trace.record(TraceEntry{TimePoint(static_cast<std::int64_t>(i)), 0, 0, 1, 7, i, 64, false});
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_recorded(), 5u);
+  EXPECT_EQ(trace.dropped_entries(), 2u);
+  const auto entries = trace.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.front().sequence, 2u);  // oldest surviving
+  EXPECT_EQ(entries.back().sequence, 4u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorderTest, ReconstructsPacketPath) {
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  NetworkOptions opts;
+  opts.enable_gptp = false;
+  Network net(sim, lin.topology, opts);
+  TraceRecorder trace;
+  net.set_trace(&trace);
+
+  const std::vector<traffic::FlowSpec> flows = {
+      ts_flow(1, lin.host_nodes[0], lin.host_nodes[2], 10_ms)};
+  ASSERT_EQ(net.provision(flows), 0);
+  net.start_network();
+  net.start_traffic(TimePoint(0) + 100_us);
+  (void)sim.run_until(TimePoint(0) + 5_ms);
+
+  // First packet: host h0 -> s0 -> s1 -> s2 -> h2, four link hops.
+  const auto path = trace.path_of(1, 0);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0].from, lin.host_nodes[0]);
+  EXPECT_EQ(path[1].from, lin.switch_nodes[0]);
+  EXPECT_EQ(path[2].from, lin.switch_nodes[1]);
+  EXPECT_EQ(path[3].from, lin.switch_nodes[2]);
+  EXPECT_EQ(path[3].to, lin.host_nodes[2]);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GT(path[i].at, path[i - 1].at);  // monotone along the path
+  }
+
+  const std::string dump = trace.render(lin.topology, 8);
+  EXPECT_NE(dump.find("s0"), std::string::npos);
+  EXPECT_NE(dump.find("flow 1"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, MarksLinkDownTransmissions) {
+  event::Simulator sim;
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  NetworkOptions opts;
+  opts.enable_gptp = false;
+  Network net(sim, lin.topology, opts);
+  TraceRecorder trace;
+  net.set_trace(&trace);
+  const std::vector<traffic::FlowSpec> flows = {
+      ts_flow(1, lin.host_nodes[0], lin.host_nodes[1], 1_ms)};
+  ASSERT_EQ(net.provision(flows), 0);
+  net.start_network();
+  // Kill the inter-switch link before traffic starts.
+  const auto hops = *lin.topology.route(lin.host_nodes[0], lin.host_nodes[1]);
+  net.set_link_state(hops[1].link, false);
+  net.start_traffic(TimePoint(0) + 100_us);
+  (void)sim.run_until(TimePoint(0) + 3_ms);
+  bool saw_down = false;
+  for (const TraceEntry& e : trace.entries()) saw_down |= e.link_down;
+  EXPECT_TRUE(saw_down);
+  EXPECT_GT(net.link_drops(), 0u);
+}
+
+// ---------------------------------------------------- conservation property
+// Every injected packet is either delivered or accounted for by a switch
+// drop counter, and no buffer or queue slot leaks — across seeds and
+// traffic mixes (failure injection: the tiny config forces drops).
+struct ConservationCase {
+  std::uint64_t seed;
+  std::size_t ts_flows;
+  std::int64_t bg_mbps;
+  std::int64_t queue_depth;  // small depths force queue-full drops
+};
+
+class ConservationProperty : public ::testing::TestWithParam<ConservationCase> {};
+
+TEST_P(ConservationProperty, NothingLeaksNothingDuplicates) {
+  const auto [seed, ts_flows, bg_mbps, queue_depth] = GetParam();
+  event::Simulator sim;
+  topo::BuiltTopology built = topo::make_ring(4);
+
+  NetworkOptions opts;
+  opts.seed = seed;
+  opts.resource.queue_depth = queue_depth;
+  opts.resource.buffers_per_port = queue_depth * 8;
+  opts.resource.classification_table_size =
+      static_cast<std::int64_t>(ts_flows) + 8;
+  opts.resource.unicast_table_size = static_cast<std::int64_t>(ts_flows) + 8;
+  opts.resource.meter_table_size = static_cast<std::int64_t>(ts_flows) + 8;
+
+  traffic::TsWorkloadParams params;
+  params.flow_count = ts_flows;
+  params.seed = seed;
+  std::vector<traffic::FlowSpec> flows =
+      traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], params);
+  if (bg_mbps > 0) {
+    flows.push_back(traffic::make_rc_flow(9000, built.host_nodes[1],
+                                          built.host_nodes[2],
+                                          DataRate::megabits_per_sec(bg_mbps)));
+    flows.push_back(traffic::make_be_flow(9001, built.host_nodes[3],
+                                          built.host_nodes[2],
+                                          DataRate::megabits_per_sec(bg_mbps)));
+  }
+  sched::ItpPlanner planner(built.topology, sw::SwitchRuntimeConfig{}.slot_size);
+  planner.plan(flows).apply(flows);
+
+  Network net(sim, built.topology, opts);
+  ASSERT_EQ(net.provision(flows), 0);
+  net.start_network();
+  (void)sim.run_until(TimePoint(0) + 150_ms);
+  net.start_traffic(TimePoint(0) + 151_ms);
+  (void)sim.run_until(TimePoint(0) + 250_ms);
+  net.stop_traffic();
+  (void)sim.run_until(sim.now() + 30_ms);  // drain everything in flight
+
+  std::uint64_t injected = 0;
+  std::uint64_t received = 0;
+  for (const topo::NodeId host : built.host_nodes) {
+    injected += net.nic_at(host).injected_packets();
+    received += net.nic_at(host).received_packets();
+  }
+  EXPECT_EQ(injected, received + net.total_switch_drops())
+      << "seed " << seed << ": packets vanished or duplicated";
+
+  // No buffer or queue residue after the drain.
+  for (const topo::NodeId node : built.topology.switches()) {
+    sw::TsnSwitch& device = net.switch_at(node);
+    for (std::int64_t p = 0; p < device.port_count(); ++p) {
+      auto& sched = device.scheduler(static_cast<tables::PortIndex>(p));
+      EXPECT_EQ(sched.pool().in_use(), 0) << device.name() << " port " << p;
+      for (std::size_t q = 0; q < sched.queue_count(); ++q) {
+        EXPECT_TRUE(sched.queue(static_cast<tables::QueueId>(q)).empty())
+            << device.name() << " port " << p << " queue " << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConservationProperty,
+    ::testing::Values(ConservationCase{1, 64, 0, 12}, ConservationCase{2, 256, 200, 12},
+                      ConservationCase{3, 256, 0, 2},   // forced queue-full drops
+                      ConservationCase{4, 64, 400, 12}, ConservationCase{5, 512, 100, 12},
+                      ConservationCase{6, 512, 0, 1}));
+
+}  // namespace
+}  // namespace tsn::netsim

@@ -1,0 +1,167 @@
+// Tests for the BRAM model — including the exact reproduction of every
+// per-row BRAM figure in the paper's Tables I and III, and property
+// sweeps over the allocator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "resource/bram.hpp"
+#include "resource/report.hpp"
+
+namespace tsn::resource {
+namespace {
+
+double kb(const Allocation& a) { return a.cost.kilobits(); }
+
+// ----------------------------------------------- paper calibration points
+TEST(BramTableTest, SwitchTable16Kx72Is1152Kb) {
+  EXPECT_DOUBLE_EQ(kb(allocate_table(16 * 1024, 72)), 1152.0);
+}
+
+TEST(BramTableTest, SwitchTable1024x72Is72Kb) {
+  EXPECT_DOUBLE_EQ(kb(allocate_table(1024, 72)), 72.0);
+}
+
+TEST(BramTableTest, ClassificationTable1024x117Is126Kb) {
+  const Allocation a = allocate_table(1024, 117);
+  EXPECT_DOUBLE_EQ(kb(a), 126.0);
+  // Seven 1Kx18 RAMB18s.
+  EXPECT_EQ(a.ramb18, 7);
+  EXPECT_EQ(a.ramb36, 0);
+}
+
+TEST(BramTableTest, MeterTable512x68Is36Kb) {
+  EXPECT_DOUBLE_EQ(kb(allocate_table(512, 68)), 36.0);
+}
+
+TEST(BramTableTest, MeterTable1024x68Is72Kb) {
+  EXPECT_DOUBLE_EQ(kb(allocate_table(1024, 68)), 72.0);
+}
+
+TEST(BramInstanceTest, TinyTablesCostOneRamb18) {
+  // Gate table: 2 entries x 17 b. CBS map: 8 x 16 b. CBS: 8 x 56 b.
+  for (const auto& [depth, width] : {std::pair{2, 17}, {8, 16}, {8, 56}, {16, 32}, {12, 32}}) {
+    const Allocation a = allocate_instance(depth, width);
+    EXPECT_EQ(a.ramb18, 1) << depth << "x" << width;
+    EXPECT_DOUBLE_EQ(kb(a), 18.0) << depth << "x" << width;
+  }
+}
+
+TEST(BramInstanceTest, LargeInstanceFallsBackToTiling) {
+  // 2048 x 32 = 64 Kb does not fit one RAMB18.
+  const Allocation a = allocate_instance(2048, 32);
+  EXPECT_GT(a.ramb18_equivalent(), 1);
+  EXPECT_GE(a.cost.bits(), 2048 * 32);
+}
+
+TEST(BramPoolTest, PacketBufferIs16Point875Kb) {
+  // 2048 B = 128 words x 135 b = 17280 b = 16.875 Kb.
+  const Allocation one = allocate_packet_buffers(1, 2048);
+  EXPECT_DOUBLE_EQ(kb(one), 16.875);
+}
+
+TEST(BramPoolTest, PaperBufferPools) {
+  EXPECT_DOUBLE_EQ(kb(allocate_packet_buffers(128 * 4, 2048)), 8640.0);  // commercial
+  EXPECT_DOUBLE_EQ(kb(allocate_packet_buffers(96 * 3, 2048)), 4860.0);   // star
+  EXPECT_DOUBLE_EQ(kb(allocate_packet_buffers(96 * 2, 2048)), 3240.0);   // linear
+  EXPECT_DOUBLE_EQ(kb(allocate_packet_buffers(96 * 1, 2048)), 1620.0);   // ring
+}
+
+TEST(BramPoolTest, Table1CaseTotalsForQueuesAndBuffers) {
+  // Case 1: 8 queues x 18 Kb + 128 buffers x 16.875 Kb = 2304 Kb.
+  const double case1 = 8 * kb(allocate_instance(16, 32)) + kb(allocate_packet_buffers(128, 2048));
+  EXPECT_DOUBLE_EQ(case1, 2304.0);
+  // Case 2: 8 x 18 + 96 x 16.875 = 1764 Kb; saving 540 Kb.
+  const double case2 = 8 * kb(allocate_instance(12, 32)) + kb(allocate_packet_buffers(96, 2048));
+  EXPECT_DOUBLE_EQ(case2, 1764.0);
+  EXPECT_DOUBLE_EQ(case1 - case2, 540.0);
+}
+
+// --------------------------------------------------------- general rules
+TEST(BramShapeTest, LegalShapeCapacitiesAreConsistent) {
+  for (const BramShape& s : legal_shapes()) {
+    // x1/x2/x4 modes cannot use the parity bits, so data volume may be
+    // slightly below the primitive capacity — never above it.
+    EXPECT_LE(s.depth * s.width, s.capacity().bits()) << s.to_string();
+    EXPECT_GE(s.depth * s.width * 9 / 8, s.capacity().bits()) << s.to_string();
+  }
+}
+
+TEST(BramTableTest, RejectsNonPositive) {
+  EXPECT_THROW((void)allocate_table(0, 72), Error);
+  EXPECT_THROW((void)allocate_table(100, 0), Error);
+  EXPECT_THROW((void)allocate_instance(0, 1), Error);
+  EXPECT_THROW((void)allocate_raw_pool(1, 0), Error);
+  EXPECT_THROW((void)allocate_packet_buffers(0, 2048), Error);
+}
+
+struct AllocCase {
+  std::int64_t depth;
+  std::int64_t width;
+};
+
+class AllocatorProperty : public ::testing::TestWithParam<AllocCase> {};
+
+TEST_P(AllocatorProperty, CoversRequestedBitsAndIsShapeConsistent) {
+  const auto [depth, width] = GetParam();
+  const Allocation a = allocate_table(depth, width);
+  // The tiling must cover the requested geometry.
+  EXPECT_GE(a.tiles_wide * a.shape.width, width);
+  EXPECT_GE(a.tiles_deep * a.shape.depth, depth);
+  // Cost equals primitives x primitive capacity.
+  const std::int64_t prims = a.ramb18 + a.ramb36;
+  EXPECT_EQ(prims, a.tiles_wide * a.tiles_deep);
+  EXPECT_EQ(a.cost.bits(), a.ramb18 * 18 * 1024 + a.ramb36 * 36 * 1024);
+  // Never cheaper than the raw contents.
+  EXPECT_GE(a.cost.bits(), depth * width);
+  // Never worse than the dumbest single-shape tiling (1Kx18 RAMB18).
+  const std::int64_t dumb = ((width + 17) / 18) * ((depth + 1023) / 1024) * 18 * 1024;
+  EXPECT_LE(a.cost.bits(), dumb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocatorProperty,
+    ::testing::Values(AllocCase{1, 1}, AllocCase{512, 36}, AllocCase{513, 36},
+                      AllocCase{512, 37}, AllocCase{1024, 117}, AllocCase{16384, 72},
+                      AllocCase{100, 100}, AllocCase{5000, 9}, AllocCase{32768, 1},
+                      AllocCase{2048, 18}, AllocCase{4096, 9}, AllocCase{65536, 72},
+                      AllocCase{3, 135}, AllocCase{7, 7}, AllocCase{1024, 72},
+                      AllocCase{2000, 68}));
+
+// ---------------------------------------------------------------- report
+TEST(ResourceReportTest, TotalsAndReduction) {
+  ResourceReport custom;
+  custom.add({"Queues", "12, 8, 1", 32, allocate_instance(12, 32)});
+  ResourceReport base;
+  base.add({"Queues", "16, 8, 4", 32, allocate_instance(16, 32)});
+  base.add({"Buffers", "128, 4", 2048 * 8, allocate_packet_buffers(128, 2048)});
+  EXPECT_GT(base.total().bits(), custom.total().bits());
+  const double red = custom.reduction_vs(base);
+  EXPECT_GT(red, 0.0);
+  EXPECT_LT(red, 1.0);
+}
+
+TEST(ResourceReportTest, RenderContainsRowsAndTotal) {
+  ResourceReport r;
+  r.add({"Switch Tbl", "1K, 0", 72, allocate_table(1024, 72)});
+  const std::string out = r.render();
+  EXPECT_NE(out.find("Switch Tbl"), std::string::npos);
+  EXPECT_NE(out.find("72Kb"), std::string::npos);
+  EXPECT_NE(out.find("Total"), std::string::npos);
+}
+
+TEST(DevicePartTest, Zynq7020Inventory) {
+  const DevicePart part = zynq7020();
+  EXPECT_EQ(part.ramb36_total, 140);
+  EXPECT_EQ(part.ramb18_total(), 280);
+  EXPECT_EQ(part.total_bram().kilobits(), 5040.0);  // 4.9 Mb
+}
+
+TEST(ResourceReportTest, UtilizationOnZynq) {
+  ResourceReport r;
+  r.add({"Buffers", "96, 1", 2048 * 8, allocate_packet_buffers(96, 2048)});
+  const double util = r.utilization_on(zynq7020());
+  EXPECT_NEAR(util, 1620.0 / 5040.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tsn::resource

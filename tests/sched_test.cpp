@@ -1,0 +1,316 @@
+// Tests for Injection Time Planning and CQF analysis: load spreading,
+// queue-depth prediction, Eq. (1) bounds, scheduling-cycle math.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/cqf_analysis.hpp"
+#include "sched/itp.hpp"
+#include "sched/qbv.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::sched {
+namespace {
+
+using namespace tsn::literals;
+
+traffic::TsWorkloadParams paper_params(std::size_t flows) {
+  traffic::TsWorkloadParams p;
+  p.flow_count = flows;
+  p.frame_bytes = 64;
+  p.period = milliseconds(10);
+  return p;
+}
+
+// ------------------------------------------------------------------- ITP
+TEST(ItpPlannerTest, SpreadsFlowsAcrossSlots) {
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  const auto flows =
+      traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3], paper_params(512));
+  ItpPlanner planner(ring.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  // 10 ms / 65 us = ~153 slots; 512 flows spread to ceil(512/153) = 4.
+  EXPECT_LE(plan.max_queue_load, 5);
+  EXPECT_GE(plan.max_queue_load, 4);
+  EXPECT_TRUE(plan.wire_feasible);
+  EXPECT_EQ(plan.injection_slot.size(), 512u);
+}
+
+TEST(ItpPlannerTest, NaivePlanConcentratesLoad) {
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  const auto flows =
+      traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3], paper_params(512));
+  ItpPlanner planner(ring.topology, 65_us);
+  const ItpPlan naive = planner.plan_naive(flows);
+  // Everyone injects at period start: the whole load lands in one slot.
+  EXPECT_EQ(naive.max_queue_load, 512);
+  EXPECT_FALSE(naive.wire_feasible);  // 512 x 672 ns >> 65 us
+}
+
+TEST(ItpPlannerTest, PaperScaleDepthIsWellUnderTwelve) {
+  // The paper provisions depth 12 for 1024 flows; our greedy first-fit
+  // achieves the ceil(1024/153) = 7 optimum.
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  const auto flows =
+      traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3], paper_params(1024));
+  ItpPlanner planner(ring.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  EXPECT_LE(plan.max_queue_load, 12);
+  EXPECT_GE(plan.max_queue_load, 7);
+  EXPECT_TRUE(plan.wire_feasible);
+}
+
+TEST(ItpPlannerTest, ApplyWritesOffsets) {
+  const topo::BuiltTopology ring = topo::make_ring(3);
+  auto flows =
+      traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[1], paper_params(16));
+  ItpPlanner planner(ring.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  plan.apply(flows);
+  for (const traffic::FlowSpec& f : flows) {
+    const auto it = plan.injection_slot.find(f.id);
+    ASSERT_NE(it, plan.injection_slot.end());
+    EXPECT_EQ(f.injection_offset.ns(), it->second * 65'000);
+    EXPECT_LT(f.injection_offset, f.period);
+  }
+}
+
+TEST(ItpPlannerTest, MixedPeriodsUseHyperperiod) {
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  std::vector<traffic::FlowSpec> flows;
+  auto a = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[2], paper_params(4));
+  traffic::TsWorkloadParams p5 = paper_params(4);
+  p5.period = milliseconds(5);
+  auto b = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[2], p5, 100);
+  flows.insert(flows.end(), a.begin(), a.end());
+  flows.insert(flows.end(), b.begin(), b.end());
+  ItpPlanner planner(lin.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  EXPECT_EQ(plan.hyperperiod, milliseconds(10));
+  EXPECT_LE(plan.max_queue_load, 2);
+}
+
+TEST(ItpPlannerTest, IgnoresNonTsFlows) {
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  std::vector<traffic::FlowSpec> flows = {
+      traffic::make_rc_flow(1, lin.host_nodes[0], lin.host_nodes[2],
+                            DataRate::megabits_per_sec(100))};
+  ItpPlanner planner(lin.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  EXPECT_TRUE(plan.injection_slot.empty());
+  EXPECT_EQ(plan.max_queue_load, 0);
+}
+
+TEST(ItpPlannerTest, ThrowsOnUnroutableTsFlow) {
+  topo::Topology t;
+  const auto h0 = t.add_host("h0");
+  const auto h1 = t.add_host("h1");
+  traffic::FlowSpec f;
+  f.id = 1;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.src_host = h0;
+  f.dst_host = h1;
+  f.period = milliseconds(10);
+  f.deadline = milliseconds(8);
+  ItpPlanner planner(t, 65_us);
+  EXPECT_THROW((void)planner.plan({f}), Error);
+}
+
+// --------------------------------------------------------- CQF analysis
+TEST(CqfAnalysisTest, BoundsMatchEquationOne) {
+  const auto b = cqf_bounds(4, 65_us);
+  EXPECT_EQ(b.min, 195_us);  // (4-1) x 65
+  EXPECT_EQ(b.max, 325_us);  // (4+1) x 65
+}
+
+TEST(CqfAnalysisTest, HopCountOnRing) {
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  traffic::FlowSpec f;
+  f.id = 0;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.src_host = ring.host_nodes[0];
+  f.dst_host = ring.host_nodes[2];
+  f.period = milliseconds(10);
+  f.deadline = milliseconds(1);
+  EXPECT_EQ(hop_count(ring.topology, f), 3);
+}
+
+TEST(CqfAnalysisTest, DeadlineFeasibility) {
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  auto flows = traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3],
+                                      paper_params(32));
+  // 4 switch hops -> worst latency (4+1) x slot. Deadline >= 1 ms.
+  EXPECT_TRUE(deadlines_met(ring.topology, flows, 65_us));
+  EXPECT_FALSE(deadlines_met(ring.topology, flows, 250_us));  // 1.25 ms > 1 ms
+
+  const auto max_slot = max_feasible_slot(ring.topology, flows, 5_us);
+  ASSERT_TRUE(max_slot.has_value());
+  // Tightest: 1 ms deadline / 5 hops = 200 us.
+  EXPECT_EQ(*max_slot, 200_us);
+  EXPECT_TRUE(deadlines_met(ring.topology, flows, *max_slot));
+}
+
+TEST(CqfAnalysisTest, SchedulingCycleIsLcm) {
+  std::vector<traffic::FlowSpec> flows;
+  traffic::FlowSpec f;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.src_host = 0;
+  f.dst_host = 1;
+  f.deadline = milliseconds(8);
+  f.period = milliseconds(4);
+  flows.push_back(f);
+  f.period = milliseconds(10);
+  flows.push_back(f);
+  EXPECT_EQ(scheduling_cycle(flows), milliseconds(20));
+}
+
+TEST(CqfAnalysisTest, GateEntryCounts) {
+  EXPECT_EQ(gate_entries_for_cqf(), 2);
+  // A full per-slot program over a 10 ms cycle of 65 us slots.
+  EXPECT_EQ(gate_entries_for_full_cycle(milliseconds(10), 65_us), 154);
+}
+
+// Property: ITP peak load is never worse than naive and never better than
+// the ceiling bound.
+struct ItpCase {
+  std::size_t flows;
+  std::size_t ring_size;
+  std::size_t dst_index;
+};
+
+class ItpProperty : public ::testing::TestWithParam<ItpCase> {};
+
+TEST_P(ItpProperty, PeakLoadWithinBounds) {
+  const auto [n_flows, ring_size, dst] = GetParam();
+  const topo::BuiltTopology ring = topo::make_ring(ring_size);
+  const auto flows = traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[dst],
+                                            paper_params(n_flows));
+  ItpPlanner planner(ring.topology, 65_us);
+  const ItpPlan plan = planner.plan(flows);
+  const ItpPlan naive = planner.plan_naive(flows);
+  const std::int64_t period_slots = milliseconds(10) / 65_us;
+  const std::int64_t lower =
+      (static_cast<std::int64_t>(n_flows) + period_slots - 1) / period_slots;
+  EXPECT_GE(plan.max_queue_load, lower);
+  EXPECT_LE(plan.max_queue_load, naive.max_queue_load);
+  // Greedy first-fit should be within 2x of the ceiling bound.
+  EXPECT_LE(plan.max_queue_load, 2 * lower + 1);
+  // Every flow got a slot inside its period.
+  for (const auto& [id, slot] : plan.injection_slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, period_slots);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ItpProperty,
+                         ::testing::Values(ItpCase{16, 3, 1}, ItpCase{100, 4, 2},
+                                           ItpCase{256, 6, 3}, ItpCase{512, 6, 5},
+                                           ItpCase{1024, 6, 3}, ItpCase{1, 3, 2},
+                                           ItpCase{153, 6, 1}, ItpCase{154, 6, 1}));
+
+
+// ------------------------------------------------------------ Qbv synthesis
+TEST(QbvSynthesisTest, WindowsFollowItpScheduleOnChain) {
+  const topo::BuiltTopology lin = topo::make_linear(3);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 4;
+  p.period = milliseconds(1);  // 16 slots of 62.5 us
+  auto flows = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[2], p);
+  const Duration slot(62'500);
+  ItpPlanner planner(lin.topology, slot);
+  const ItpPlan plan = planner.plan(flows);
+  plan.apply(flows);
+
+  QbvSynthesizer synth(lin.topology, slot);
+  const QbvProgram program = synth.synthesize(flows);
+  EXPECT_EQ(program.cycle, milliseconds(1));
+  EXPECT_EQ(program.slots_per_cycle, 16);
+  // Route: s0 (to s1), s1 (to s2), s2 (to h2) -> three programmed ports.
+  EXPECT_EQ(program.ports.size(), 3u);
+  EXPECT_GT(program.max_entries, 0);
+  EXPECT_LE(program.max_entries, 16);
+
+  // Each flow's departure window at switch j is slot (inject + j + 1):
+  // check on the first switch of the path.
+  const auto first_hop = *lin.topology.route(lin.host_nodes[0], lin.host_nodes[2]);
+  topo::NodeId s0 = topo::kInvalidNode;
+  std::uint8_t port = 0;
+  for (const topo::Hop& h : first_hop) {
+    if (lin.topology.node(h.node).kind == topo::NodeKind::kSwitch) {
+      s0 = h.node;
+      port = h.out_port;
+      break;
+    }
+  }
+  const auto& gcl = program.ports.at({s0, port}).egress;
+  for (const traffic::FlowSpec& f : flows) {
+    const std::int64_t window = (f.injection_offset / slot + 1) % 16;
+    const tables::GateBitmap gates = gcl.gates_at(slot * window);
+    EXPECT_TRUE(gates & (1u << traffic::kTsPriority))
+        << "flow " << f.id << " window slot " << window;
+    // Background queues are shut during the TS window.
+    EXPECT_FALSE(gates & 0x01) << "flow " << f.id;
+  }
+}
+
+TEST(QbvSynthesisTest, AdjacentWindowsMerge) {
+  // Two flows in consecutive slots produce one merged TS entry.
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  std::vector<traffic::FlowSpec> flows;
+  for (int i = 0; i < 2; ++i) {
+    traffic::FlowSpec f;
+    f.id = static_cast<net::FlowId>(i);
+    f.type = net::TrafficClass::kTimeSensitive;
+    f.src_host = lin.host_nodes[0];
+    f.dst_host = lin.host_nodes[1];
+    f.period = milliseconds(1);
+    f.deadline = milliseconds(1);
+    f.priority = traffic::kTsPriority;
+    f.vid = static_cast<VlanId>(1 + i);
+    f.injection_offset = Duration(62'500) * i;  // slots 0 and 1
+    flows.push_back(f);
+  }
+  QbvSynthesizer synth(lin.topology, Duration(62'500));
+  const QbvProgram program = synth.synthesize(flows);
+  // Windows at slots 1 and 2 merge: [bg x1][ts x2][bg x13] -> 3 entries
+  // (no merge across the cycle wrap: entry 0 stays anchored at the base).
+  EXPECT_EQ(program.max_entries, 3);
+  const auto& gcl = program.ports.begin()->second.egress;
+  EXPECT_EQ(gcl.cycle_time(), milliseconds(1));
+}
+
+TEST(QbvSynthesisTest, ValidatesInput) {
+  const topo::BuiltTopology lin = topo::make_linear(2);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 1;
+  p.period = milliseconds(10);
+  auto flows = traffic::make_ts_flows(lin.host_nodes[0], lin.host_nodes[1], p);
+  // 65 us does not divide 10 ms.
+  QbvSynthesizer bad_slot(lin.topology, 65_us);
+  EXPECT_THROW((void)bad_slot.synthesize(flows), Error);
+  // No TS flows.
+  QbvSynthesizer ok(lin.topology, Duration(62'500));
+  std::vector<traffic::FlowSpec> none = {traffic::make_be_flow(
+      9, lin.host_nodes[0], lin.host_nodes[1], DataRate::megabits_per_sec(10))};
+  EXPECT_THROW((void)ok.synthesize(none), Error);
+}
+
+TEST(QbvSynthesisTest, EntriesBoundedBySlotsPerCycle) {
+  // Guideline 2: the gate table never needs more entries than slots in
+  // the scheduling cycle (merging only shrinks it).
+  const topo::BuiltTopology ring = topo::make_ring(4);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 200;
+  p.period = milliseconds(10);
+  auto flows = traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[2], p);
+  const Duration slot(62'500);  // 160 slots per cycle
+  ItpPlanner planner(ring.topology, slot);
+  planner.plan(flows).apply(flows);
+  QbvSynthesizer synth(ring.topology, slot);
+  const QbvProgram program = synth.synthesize(flows);
+  EXPECT_LE(program.max_entries, program.slots_per_cycle);
+  EXPECT_EQ(program.slots_per_cycle, 160);
+}
+
+}  // namespace
+}  // namespace tsn::sched

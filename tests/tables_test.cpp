@@ -1,0 +1,286 @@
+// Tests for the table substrates: exact-match tables, classification,
+// token-bucket meters, GCLs, and CBS tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tables/cbs_table.hpp"
+#include "tables/classification_table.hpp"
+#include "tables/exact_match_table.hpp"
+#include "tables/gcl.hpp"
+#include "tables/switch_table.hpp"
+#include "tables/token_bucket.hpp"
+
+namespace tsn::tables {
+namespace {
+
+using namespace tsn::literals;
+
+// ----------------------------------------------------------- exact match
+TEST(ExactMatchTableTest, InsertLookupErase) {
+  ExactMatchTable<int, int> t(4);
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_TRUE(t.insert(2, 20));
+  EXPECT_EQ(t.lookup(1), 10);
+  EXPECT_EQ(t.lookup(3), std::nullopt);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.lookup(1), std::nullopt);
+}
+
+TEST(ExactMatchTableTest, CapacityIsHard) {
+  ExactMatchTable<int, int> t(2);
+  EXPECT_TRUE(t.insert(1, 1));
+  EXPECT_TRUE(t.insert(2, 2));
+  EXPECT_FALSE(t.insert(3, 3));  // full: the COTS partitioning failure mode
+  EXPECT_TRUE(t.full());
+  // Updating an existing key is always allowed.
+  EXPECT_TRUE(t.insert(2, 22));
+  EXPECT_EQ(t.lookup(2), 22);
+}
+
+TEST(ExactMatchTableTest, ZeroCapacityRejected) {
+  EXPECT_THROW((ExactMatchTable<int, int>(0)), Error);
+}
+
+// ---------------------------------------------------------- switch table
+TEST(SwitchTableTest, UnicastKeyedByMacAndVid) {
+  UnicastTable t(8);
+  const MacAddress mac = MacAddress::from_u64(0x020000000001ULL);
+  EXPECT_TRUE(t.insert({mac, 10}, PortIndex{1}));
+  EXPECT_TRUE(t.insert({mac, 20}, PortIndex{2}));  // same MAC, other VLAN
+  EXPECT_EQ(t.lookup({mac, 10}), PortIndex{1});
+  EXPECT_EQ(t.lookup({mac, 20}), PortIndex{2});
+  EXPECT_EQ(t.lookup({mac, 30}), std::nullopt);
+}
+
+TEST(SwitchTableTest, PortBitmapExpansion) {
+  EXPECT_EQ(ports_from_bitmap(0b1011), (std::vector<PortIndex>{0, 1, 3}));
+  EXPECT_TRUE(ports_from_bitmap(0).empty());
+}
+
+// -------------------------------------------------------- classification
+TEST(ClassificationTableTest, MapsTupleToMeterAndQueue) {
+  ClassificationTable t(16);
+  const ClassificationKey key{MacAddress::from_u64(1), MacAddress::from_u64(2), 100, 7};
+  EXPECT_TRUE(t.insert(key, {kNoMeter, 7}));
+  const auto hit = t.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->queue, 7);
+  EXPECT_EQ(hit->meter, kNoMeter);
+
+  // Any field difference misses.
+  ClassificationKey other = key;
+  other.pri = 6;
+  EXPECT_EQ(t.lookup(other), std::nullopt);
+  other = key;
+  other.vid = 101;
+  EXPECT_EQ(t.lookup(other), std::nullopt);
+}
+
+TEST(ClassificationTableTest, FromPacketExtractsTupleFields) {
+  net::Packet p;
+  p.src = MacAddress::from_u64(11);
+  p.dst = MacAddress::from_u64(22);
+  p.vlan = net::VlanTag{5, false, 333};
+  const ClassificationKey key = ClassificationKey::from_packet(p);
+  EXPECT_EQ(key.src, p.src);
+  EXPECT_EQ(key.dst, p.dst);
+  EXPECT_EQ(key.vid, 333);
+  EXPECT_EQ(key.pri, 5);
+}
+
+// ---------------------------------------------------------- token bucket
+TEST(TokenBucketTest, AllowsBurstThenPolices) {
+  // 8 Mbps, burst 2000 B.
+  TokenBucket tb(DataRate::megabits_per_sec(8), 2000);
+  EXPECT_TRUE(tb.offer(TimePoint(0), 1000));
+  EXPECT_TRUE(tb.offer(TimePoint(0), 1000));
+  EXPECT_FALSE(tb.offer(TimePoint(0), 1000));  // bucket empty
+  // 8 Mbps = 1 B/us: after 1000 us the bucket holds 1000 B again.
+  EXPECT_TRUE(tb.offer(TimePoint(0) + 1000_us, 1000));
+  EXPECT_FALSE(tb.offer(TimePoint(0) + 1000_us, 1));
+}
+
+TEST(TokenBucketTest, LongRunThroughputMatchesRate) {
+  TokenBucket tb(DataRate::megabits_per_sec(100), 1500);
+  std::int64_t sent_bytes = 0;
+  // Offer a 1000 B packet every 10 us for 100 ms -> offered 800 Mbps.
+  for (std::int64_t t = 0; t < 100'000'000; t += 10'000) {
+    if (tb.offer(TimePoint(t), 1000)) sent_bytes += 1000;
+  }
+  const double rate_bps = static_cast<double>(sent_bytes) * 8 / 0.1;
+  EXPECT_NEAR(rate_bps, 100e6, 2e6);  // policed to ~100 Mbps
+}
+
+TEST(TokenBucketTest, CapsAtBurst) {
+  TokenBucket tb(DataRate::gigabits_per_sec(1), 3000);
+  EXPECT_EQ(tb.tokens_at(TimePoint(0) + 10_ms), 3000);  // long idle: capped
+}
+
+TEST(TokenBucketTest, RejectsBadConfig) {
+  EXPECT_THROW(TokenBucket(DataRate(0), 100), Error);
+  EXPECT_THROW(TokenBucket(DataRate::megabits_per_sec(1), 0), Error);
+}
+
+TEST(MeterTableTest, InstallUntilFull) {
+  MeterTable mt(2);
+  EXPECT_NE(mt.install(DataRate::megabits_per_sec(10), 1000), kNoMeter);
+  EXPECT_NE(mt.install(DataRate::megabits_per_sec(10), 1000), kNoMeter);
+  EXPECT_EQ(mt.install(DataRate::megabits_per_sec(10), 1000), kNoMeter);
+}
+
+TEST(MeterTableTest, NoMeterIdAlwaysPasses) {
+  MeterTable mt(2);
+  EXPECT_TRUE(mt.offer(kNoMeter, TimePoint(0), 1'000'000));
+}
+
+TEST(MeterTableTest, MeteredFlowIsPoliced) {
+  MeterTable mt(2);
+  const MeterId id = mt.install(DataRate::megabits_per_sec(8), 1000);
+  EXPECT_TRUE(mt.offer(id, TimePoint(0), 1000));
+  EXPECT_FALSE(mt.offer(id, TimePoint(0), 1000));
+}
+
+
+// Property sweep: long-run token-bucket throughput converges to the
+// configured rate across rates and offered loads.
+struct BucketCase {
+  std::int64_t rate_mbps;
+  std::int64_t packet_bytes;
+  std::int64_t offer_every_ns;
+};
+
+class TokenBucketProperty : public ::testing::TestWithParam<BucketCase> {};
+
+TEST_P(TokenBucketProperty, LongRunRateConverges) {
+  const auto [mbps, bytes, gap_ns] = GetParam();
+  TokenBucket tb(DataRate::megabits_per_sec(mbps), 2 * bytes);
+  std::int64_t sent_bits = 0;
+  constexpr std::int64_t kRun = 200'000'000;  // 200 ms
+  for (std::int64_t t = 0; t < kRun; t += gap_ns) {
+    if (tb.offer(TimePoint(t), bytes)) sent_bits += bytes * 8;
+  }
+  const double offered = static_cast<double>(bytes * 8) / static_cast<double>(gap_ns) * 1e9;
+  const double limit = static_cast<double>(mbps) * 1e6;
+  const double achieved = static_cast<double>(sent_bits) / 0.2;
+  // Policed at min(offered, rate), within 5%.
+  EXPECT_NEAR(achieved, std::min(offered, limit), std::min(offered, limit) * 0.05)
+      << mbps << " Mbps, " << bytes << " B, gap " << gap_ns << " ns";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TokenBucketProperty,
+                         ::testing::Values(BucketCase{10, 1000, 10'000},
+                                           BucketCase{100, 1000, 10'000},
+                                           BucketCase{100, 64, 5'000},
+                                           BucketCase{500, 1500, 10'000},
+                                           BucketCase{900, 1500, 20'000},
+                                           BucketCase{50, 512, 100'000}));
+
+// -------------------------------------------------------------------- GCL
+TEST(GclTest, CycleAndLookup) {
+  GateControlList gcl(4);
+  ASSERT_TRUE(gcl.add_entry({0b0000'0001, 100_us}));
+  ASSERT_TRUE(gcl.add_entry({0b0000'0010, 50_us}));
+  EXPECT_EQ(gcl.cycle_time(), 150_us);
+  EXPECT_EQ(gcl.gates_at(0_us), 0b0000'0001);
+  EXPECT_EQ(gcl.gates_at(99_us), 0b0000'0001);
+  EXPECT_EQ(gcl.gates_at(100_us), 0b0000'0010);
+  EXPECT_EQ(gcl.gates_at(150_us), 0b0000'0001);  // wraps
+  EXPECT_EQ(gcl.gates_at(-10_us), 0b0000'0010);  // negative offsets wrap too
+}
+
+TEST(GclTest, PositionReportsRemaining) {
+  GateControlList gcl(2);
+  ASSERT_TRUE(gcl.add_entry({0x01, 65_us}));
+  ASSERT_TRUE(gcl.add_entry({0x02, 65_us}));
+  const auto pos = gcl.position_at(70_us);
+  EXPECT_EQ(pos.index, 1u);
+  EXPECT_EQ(pos.remaining, 60_us);
+}
+
+TEST(GclTest, CapacityEnforced) {
+  GateControlList gcl(1);
+  EXPECT_TRUE(gcl.add_entry({0x01, 10_us}));
+  EXPECT_FALSE(gcl.add_entry({0x02, 10_us}));
+  EXPECT_THROW(GateControlList(0), Error);
+  GateControlList g2(2);
+  EXPECT_THROW((void)g2.add_entry({0x01, 0_us}), Error);
+}
+
+TEST(GclTest, EmptyProgramLeavesGatesOpen) {
+  GateControlList gcl(2);
+  EXPECT_EQ(gcl.gates_at(12_us), kAllGatesOpen);
+}
+
+TEST(CqfGclTest, TwoEntryPingPong) {
+  const CqfGclPair pair = make_cqf_gcl(65_us, 7, 6);
+  EXPECT_EQ(pair.ingress.size(), 2u);
+  EXPECT_EQ(pair.egress.size(), 2u);
+  EXPECT_EQ(pair.ingress.cycle_time(), 130_us);
+
+  // Even slot: queue 7 fills (in-gate open), queue 6 drains (out-gate).
+  const GateBitmap in_even = pair.ingress.gates_at(0_us);
+  const GateBitmap out_even = pair.egress.gates_at(0_us);
+  EXPECT_TRUE(in_even & (1 << 7));
+  EXPECT_FALSE(in_even & (1 << 6));
+  EXPECT_TRUE(out_even & (1 << 6));
+  EXPECT_FALSE(out_even & (1 << 7));
+
+  // Odd slot: swapped.
+  const GateBitmap in_odd = pair.ingress.gates_at(65_us);
+  EXPECT_TRUE(in_odd & (1 << 6));
+  EXPECT_FALSE(in_odd & (1 << 7));
+
+  // Non-CQF queues stay open in both phases and both directions.
+  for (int q = 0; q < 6; ++q) {
+    EXPECT_TRUE(in_even & (1 << q));
+    EXPECT_TRUE(out_even & (1 << q));
+    EXPECT_TRUE(in_odd & (1 << q));
+  }
+}
+
+TEST(CqfGclTest, RejectsBadArguments) {
+  EXPECT_THROW((void)make_cqf_gcl(0_us, 7, 6), Error);
+  EXPECT_THROW((void)make_cqf_gcl(65_us, 7, 7), Error);
+  EXPECT_THROW((void)make_cqf_gcl(65_us, 8, 6), Error);
+  EXPECT_THROW((void)make_cqf_gcl(65_us, 7, 6, kAllGatesOpen, 1), Error);  // table too small
+}
+
+// -------------------------------------------------------------------- CBS
+TEST(CbsConfigTest, ReservationDerivesSendSlope) {
+  const CbsConfig c = CbsConfig::for_reservation(DataRate::megabits_per_sec(300),
+                                                 DataRate::gigabits_per_sec(1));
+  EXPECT_EQ(c.idle_slope.bps(), 300'000'000);
+  EXPECT_EQ(c.send_slope.bps(), -700'000'000);
+  EXPECT_THROW((void)CbsConfig::for_reservation(DataRate(0), DataRate::gigabits_per_sec(1)),
+               Error);
+  EXPECT_THROW((void)CbsConfig::for_reservation(DataRate::gigabits_per_sec(2),
+                                                DataRate::gigabits_per_sec(1)),
+               Error);
+}
+
+TEST(CbsMapTableTest, BindAndRebind) {
+  CbsMapTable map(2);
+  EXPECT_TRUE(map.bind(5, 0));
+  EXPECT_TRUE(map.bind(4, 1));
+  EXPECT_FALSE(map.bind(3, 2));  // full
+  EXPECT_TRUE(map.bind(5, 1));   // rebinding an existing queue is free
+  EXPECT_EQ(map.shaper_for(5), 1);
+  EXPECT_EQ(map.shaper_for(3), kNoCbs);
+}
+
+TEST(CbsTableTest, InstallUntilFull) {
+  CbsTable t(1);
+  const CbsConfig c = CbsConfig::for_reservation(DataRate::megabits_per_sec(100),
+                                                 DataRate::gigabits_per_sec(1));
+  const CbsIndex i = t.install(c);
+  EXPECT_NE(i, kNoCbs);
+  EXPECT_EQ(t.install(c), kNoCbs);
+  EXPECT_EQ(t.config(i).idle_slope.bps(), 100'000'000);
+  EXPECT_THROW((void)t.config(5), Error);
+}
+
+}  // namespace
+}  // namespace tsn::tables

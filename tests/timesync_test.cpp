@@ -1,0 +1,268 @@
+// Tests for the gPTP substrate: drifting clocks, the discipline map, and
+// domain convergence to sub-50ns error (the paper's FPGA prototype bound).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "event/simulator.hpp"
+#include "timesync/clock.hpp"
+#include "timesync/gptp.hpp"
+
+namespace tsn::timesync {
+namespace {
+
+using namespace tsn::literals;
+
+// ------------------------------------------------------------ LocalClock
+TEST(LocalClockTest, ZeroDriftTracksTrueTime) {
+  const LocalClock clock(0.0);
+  EXPECT_EQ(clock.raw(TimePoint(1'000'000)).ns(), 1'000'000);
+  EXPECT_EQ(clock.synced(TimePoint(1'000'000)).ns(), 1'000'000);
+}
+
+TEST(LocalClockTest, DriftAccumulates) {
+  const LocalClock clock(+100.0);  // 100 ppm fast
+  // After 1 s of true time the raw clock reads 1 s + 100 us.
+  EXPECT_NEAR(static_cast<double>(clock.raw(TimePoint(1'000'000'000)).ns()),
+              1'000'100'000.0, 1.0);
+}
+
+TEST(LocalClockTest, DisciplineStepsAndRetunes) {
+  LocalClock clock(+50.0);
+  const TimePoint t0(1'000'000);
+  // Step by -10 us and run at the corrective ratio that cancels the drift.
+  const double ratio = 1.0 / (1.0 + 50e-6);
+  const Duration step = TimePoint(t0.ns()) - clock.synced(t0) + Duration(-10'000);
+  clock.discipline(t0, step, ratio);
+  EXPECT_NEAR(static_cast<double>(clock.synced(t0).ns()), static_cast<double>(t0.ns()) - 10'000, 1.0);
+  // One second later the corrected clock still tracks true time.
+  const TimePoint t1 = t0 + 1_s;
+  EXPECT_NEAR(static_cast<double>(clock.synced(t1).ns()),
+              static_cast<double>(t1.ns()) - 10'000, 5.0);
+}
+
+TEST(LocalClockTest, TrueForSyncedIsInverse) {
+  LocalClock clock(-30.0);
+  clock.discipline(TimePoint(5'000'000), Duration(1234), 1.00002);
+  for (const std::int64_t target : {10'000'000LL, 123'456'789LL, 999'999'999LL}) {
+    const TimePoint truth = clock.true_for_synced(TimePoint(target));
+    EXPECT_NEAR(static_cast<double>(clock.synced(truth).ns()), static_cast<double>(target), 2.0);
+  }
+}
+
+TEST(LocalClockTest, TimestampQuantizes) {
+  const LocalClock clock(0.0, Duration(8));
+  EXPECT_EQ(clock.timestamp(TimePoint(17)).ns(), 16);
+  EXPECT_EQ(clock.timestamp(TimePoint(16)).ns(), 16);
+  EXPECT_EQ(clock.timestamp(TimePoint(15)).ns(), 8);
+}
+
+TEST(LocalClockTest, RejectsBadConfig) {
+  EXPECT_THROW(LocalClock(-2'000'000.0), Error);  // oscillator would run backwards
+  EXPECT_THROW(LocalClock(0.0, Duration(0)), Error);
+  LocalClock ok(0.0);
+  EXPECT_THROW(ok.discipline(TimePoint(0), Duration(0), 0.0), Error);
+}
+
+// ----------------------------------------------------------- GptpDomain
+GptpConfig fast_config() {
+  GptpConfig cfg;
+  cfg.sync_interval = 125_ms;
+  cfg.pdelay_interval = 250_ms;
+  return cfg;
+}
+
+TEST(GptpDomainTest, TwoNodeConvergence) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 1);
+  GptpNode& gm = domain.add_node("gm", +12.0);
+  GptpNode& slave = domain.add_node("slave", -18.0);
+  domain.connect(gm, slave, 50_ns);
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 2_s);
+
+  EXPECT_GT(slave.syncs_received(), 10u);
+  // Link delay (50 ns) measured to within quantization error.
+  EXPECT_NEAR(static_cast<double>(slave.link_delay_estimate().ns()), 50.0, 16.0);
+  // Paper prototype: synchronization precision below 50 ns.
+  const Duration err = domain.sync_error(slave);
+  EXPECT_LT(std::abs(static_cast<double>(err.ns())), 50.0);
+}
+
+TEST(GptpDomainTest, SixSwitchChainStaysUnder50ns) {
+  // The ring demo's scale: 6 switches in a boundary-clock chain.
+  event::Simulator sim;
+  GptpDomain domain(sim, 99);
+  GptpNode* prev = &domain.add_node("gm", +20.0);
+  for (int i = 1; i < 6; ++i) {
+    GptpNode& next = domain.add_node("s" + std::to_string(i), (i % 2) ? -15.0 : +10.0);
+    domain.connect(*prev, next, 50_ns);
+    prev = &next;
+  }
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 3_s);
+  EXPECT_LT(domain.max_abs_sync_error().ns(), 50);
+}
+
+TEST(GptpDomainTest, ErrorGrowsWithDepth) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 5);
+  GptpNode* prev = &domain.add_node("gm", 0.0);
+  std::vector<GptpNode*> nodes{prev};
+  for (int i = 1; i < 5; ++i) {
+    GptpNode& next = domain.add_node("n" + std::to_string(i), 25.0);
+    domain.connect(*prev, next, 50_ns);
+    nodes.push_back(&next);
+    prev = &next;
+  }
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 3_s);
+  // Leaf error should not be (much) smaller than first-hop error on
+  // average; mostly we just require everything converged.
+  for (GptpNode* n : nodes) {
+    EXPECT_LT(std::abs(static_cast<double>(domain.sync_error(*n).ns())), 100.0) << n->name();
+  }
+}
+
+TEST(GptpDomainTest, GrandmasterHasZeroError) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 2);
+  GptpNode& gm = domain.add_node("gm", +30.0);
+  GptpNode& s = domain.add_node("s", -30.0);
+  domain.connect(gm, s, 100_ns);
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 1_s);
+  EXPECT_EQ(domain.sync_error(gm).ns(), 0);
+  EXPECT_EQ(&domain.grandmaster(), &gm);
+}
+
+TEST(GptpDomainTest, ConnectValidation) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 3);
+  GptpNode& a = domain.add_node("a", 0.0);
+  GptpNode& b = domain.add_node("b", 0.0);
+  GptpNode& c = domain.add_node("c", 0.0);
+  domain.connect(a, b, 50_ns);
+  EXPECT_THROW(domain.connect(c, b, 50_ns), Error);  // b already has a parent
+  EXPECT_THROW(domain.connect(a, a, 50_ns), Error);
+  EXPECT_THROW(domain.connect(a, c, 0_ns), Error);
+}
+
+TEST(GptpDomainTest, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    event::Simulator sim;
+    GptpDomain domain(sim, seed);
+    GptpNode& gm = domain.add_node("gm", 10.0);
+    GptpNode& s = domain.add_node("s", -10.0);
+    domain.connect(gm, s, 50_ns);
+    domain.start(fast_config());
+    (void)sim.run_until(TimePoint(0) + 1_s);
+    return domain.sync_error(s).ns();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+
+// -------------------------------------------------------- BMCA / failover
+TEST(GptpBmcaTest, ElectsBestQualityClock) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 3);
+  GptpNode& a = domain.add_node("a", 10.0);
+  GptpNode& b = domain.add_node("b", -10.0);
+  GptpNode& c = domain.add_node("c", 5.0);
+  b.set_quality({10, 1});  // best priority1
+  a.set_quality({128, 0});
+  c.set_quality({128, 2});
+  const std::vector<GptpDomain::Edge> edges = {{0, 1, 50_ns, 4_ns}, {1, 2, 50_ns, 4_ns}};
+  const std::size_t gm = domain.elect_and_build_tree(edges);
+  EXPECT_EQ(gm, b.index());
+  EXPECT_TRUE(b.is_grandmaster());
+  EXPECT_FALSE(a.is_grandmaster());
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 2_s);
+  EXPECT_LT(domain.max_abs_sync_error().ns(), 50);
+  EXPECT_EQ(&domain.grandmaster(), &b);
+}
+
+TEST(GptpBmcaTest, TieBreaksOnIdentity) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 3);
+  domain.add_node("a", 0.0);
+  domain.add_node("b", 0.0);
+  // Equal priority1: lowest identity (index) wins.
+  const std::size_t gm = domain.elect_and_build_tree({{0, 1, 50_ns, 4_ns}});
+  EXPECT_EQ(gm, 0u);
+}
+
+TEST(GptpBmcaTest, FailoverReElectsAndReconverges) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 9);
+  GptpNode& gm0 = domain.add_node("gm0", 15.0);
+  domain.add_node("s1", -20.0);
+  domain.add_node("s2", 8.0);
+  domain.add_node("s3", -5.0);
+  gm0.set_quality({1, 0});
+  domain.node(1).set_quality({2, 1});  // the designated backup
+  const std::vector<GptpDomain::Edge> edges = {
+      {0, 1, 50_ns, 4_ns}, {1, 2, 50_ns, 4_ns}, {2, 3, 50_ns, 4_ns}};
+
+  EXPECT_EQ(domain.elect_and_build_tree(edges), 0u);
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 1_s);
+  EXPECT_LT(domain.max_abs_sync_error().ns(), 50);
+
+  // Grandmaster dies; slaves hold over until re-election.
+  domain.fail_node(0);
+  (void)sim.run_until(TimePoint(0) + 1500_ms);
+
+  EXPECT_EQ(domain.elect_and_build_tree(edges), 1u);
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 3_s);
+  // Alive nodes re-converge to the backup grandmaster.
+  EXPECT_EQ(&domain.grandmaster(), &domain.node(1));
+  EXPECT_LT(domain.max_abs_sync_error().ns(), 50);
+  // Holdover continuity: the backup's timescale continues the dead
+  // master's (its last discipline tracked it), so there is no step at
+  // failover — the dead clock and the new GM still agree closely.
+  const Duration continuity = domain.sync_error(domain.node(0));
+  EXPECT_LT(std::abs(static_cast<double>(continuity.ns())), 500.0);
+}
+
+TEST(GptpBmcaTest, RequiresAnAliveClock) {
+  event::Simulator sim;
+  GptpDomain domain(sim, 1);
+  domain.add_node("only", 0.0);
+  domain.fail_node(0);
+  EXPECT_THROW((void)domain.elect_and_build_tree({}), Error);
+}
+
+// Property sweep: convergence across drift magnitudes and link delays.
+struct SyncCase {
+  double drift_ppm;
+  std::int64_t delay_ns;
+};
+
+class GptpProperty : public ::testing::TestWithParam<SyncCase> {};
+
+TEST_P(GptpProperty, ConvergesUnder50ns) {
+  const auto [ppm, delay] = GetParam();
+  event::Simulator sim;
+  GptpDomain domain(sim, 11);
+  GptpNode& gm = domain.add_node("gm", 0.0);
+  GptpNode& s = domain.add_node("s", ppm);
+  domain.connect(gm, s, Duration(delay));
+  domain.start(fast_config());
+  (void)sim.run_until(TimePoint(0) + 3_s);
+  EXPECT_LT(std::abs(static_cast<double>(domain.sync_error(s).ns())), 50.0)
+      << "drift " << ppm << " ppm, delay " << delay << " ns";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GptpProperty,
+                         ::testing::Values(SyncCase{1.0, 50}, SyncCase{-1.0, 50},
+                                           SyncCase{10.0, 50}, SyncCase{-25.0, 500},
+                                           SyncCase{50.0, 50}, SyncCase{100.0, 1000},
+                                           SyncCase{-100.0, 5000}, SyncCase{0.0, 50}));
+
+}  // namespace
+}  // namespace tsn::timesync

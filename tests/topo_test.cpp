@@ -1,0 +1,160 @@
+// Tests for the topology graph, routing, and the paper's three canonical
+// industrial topologies (enabled-TSN-port counts: star 3, linear 2, ring 1).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::topo {
+namespace {
+
+TEST(TopologyTest, ConnectAssignsPortsInOrder) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  const NodeId b = t.add_switch("b");
+  const NodeId c = t.add_switch("c");
+  const LinkId ab = t.connect(a, b);
+  const LinkId ac = t.connect(a, c);
+  EXPECT_EQ(t.link(ab).port_a, 0);
+  EXPECT_EQ(t.link(ac).port_a, 1);
+  EXPECT_EQ(t.node(a).port_count, 2);
+  EXPECT_EQ(t.node(b).port_count, 1);
+  EXPECT_EQ(t.peer(ab, a), b);
+  EXPECT_EQ(t.peer(ab, b), a);
+}
+
+TEST(TopologyTest, ConnectValidation) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  EXPECT_THROW((void)t.connect(a, a), Error);
+  EXPECT_THROW((void)t.connect(a, 99), Error);
+  const NodeId b = t.add_switch("b");
+  EXPECT_THROW((void)t.connect(a, b, Duration(0)), Error);
+}
+
+TEST(TopologyTest, RouteOnChain) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId s0 = t.add_switch("s0");
+  const NodeId s1 = t.add_switch("s1");
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h0, s0);
+  t.connect(s0, s1);
+  t.connect(s1, h1);
+  const auto route = t.route(h0, h1);
+  ASSERT_TRUE(route.has_value());
+  ASSERT_EQ(route->size(), 3u);
+  EXPECT_EQ((*route)[0].node, h0);
+  EXPECT_EQ((*route)[1].node, s0);
+  EXPECT_EQ((*route)[2].node, s1);
+}
+
+TEST(TopologyTest, RouteRespectsLinkDirection) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  const NodeId b = t.add_switch("b");
+  t.connect(a, b, Duration(50), DataRate::gigabits_per_sec(1), /*directed=*/true);
+  EXPECT_TRUE(t.route(a, b).has_value());
+  EXPECT_FALSE(t.route(b, a).has_value());
+}
+
+TEST(TopologyTest, RouteDoesNotTransitHosts) {
+  // h0 - s0 - hMid - s1 would be shorter through the host; must not be.
+  Topology t;
+  const NodeId s0 = t.add_switch("s0");
+  const NodeId s1 = t.add_switch("s1");
+  const NodeId mid = t.add_host("mid");
+  t.connect(s0, mid);
+  t.connect(mid, s1);
+  EXPECT_FALSE(t.route(s0, s1).has_value());
+}
+
+TEST(TopologyTest, RouteToSelfIsEmpty) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  const auto r = t.route(a, a);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(TopologyTest, UnreachableReturnsNullopt) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  const NodeId b = t.add_switch("b");
+  EXPECT_FALSE(t.route(a, b).has_value());
+}
+
+// ----------------------------------------------------------- builders
+TEST(BuildersTest, StarMatchesPaperSetup) {
+  // Core with three children: 4 switches, core enables 3 TSN ports.
+  const BuiltTopology star = make_star(3);
+  EXPECT_EQ(star.switch_nodes.size(), 4u);
+  EXPECT_EQ(star.host_nodes.size(), 4u);
+  EXPECT_EQ(star.topology.enabled_tsn_ports(star.switch_nodes[0]), 3);
+  EXPECT_EQ(star.topology.enabled_tsn_ports(star.switch_nodes[1]), 1);
+  EXPECT_EQ(star.topology.max_enabled_tsn_ports(), 3);
+}
+
+TEST(BuildersTest, LinearMatchesPaperSetup) {
+  const BuiltTopology lin = make_linear(6);
+  EXPECT_EQ(lin.switch_nodes.size(), 6u);
+  // End switches enable 1, middle switches 2 — the paper's linear config.
+  EXPECT_EQ(lin.topology.enabled_tsn_ports(lin.switch_nodes[0]), 1);
+  EXPECT_EQ(lin.topology.enabled_tsn_ports(lin.switch_nodes[3]), 2);
+  EXPECT_EQ(lin.topology.max_enabled_tsn_ports(), 2);
+}
+
+TEST(BuildersTest, RingMatchesPaperSetup) {
+  const BuiltTopology ring = make_ring(6);
+  EXPECT_EQ(ring.switch_nodes.size(), 6u);
+  // Unidirectional ring: every switch enables exactly 1 TSN egress port.
+  for (const NodeId s : ring.switch_nodes) {
+    EXPECT_EQ(ring.topology.enabled_tsn_ports(s), 1);
+  }
+}
+
+TEST(BuildersTest, RingRouteGoesOneWay) {
+  const BuiltTopology ring = make_ring(6);
+  // From h0 to h3: must traverse s0 -> s1 -> s2 -> s3 (4 switches).
+  const auto route = ring.topology.route(ring.host_nodes[0], ring.host_nodes[3]);
+  ASSERT_TRUE(route.has_value());
+  int switches = 0;
+  for (const Hop& h : *route) {
+    if (ring.topology.node(h.node).kind == NodeKind::kSwitch) ++switches;
+  }
+  EXPECT_EQ(switches, 4);
+  // From h0 to h5 the unidirectional ring forces the long way (6 switches).
+  const auto back = ring.topology.route(ring.host_nodes[0], ring.host_nodes[5]);
+  ASSERT_TRUE(back.has_value());
+  switches = 0;
+  for (const Hop& h : *back) {
+    if (ring.topology.node(h.node).kind == NodeKind::kSwitch) ++switches;
+  }
+  EXPECT_EQ(switches, 6);
+}
+
+TEST(BuildersTest, EveryHostRoutesToEveryOtherInStarAndLinear) {
+  for (const BuiltTopology& built : {make_star(3), make_linear(4)}) {
+    for (const NodeId a : built.host_nodes) {
+      for (const NodeId b : built.host_nodes) {
+        if (a == b) continue;
+        EXPECT_TRUE(built.topology.route(a, b).has_value());
+      }
+    }
+  }
+}
+
+TEST(BuildersTest, EnabledPortsRejectsHost) {
+  const BuiltTopology ring = make_ring(3);
+  EXPECT_THROW((void)ring.topology.enabled_tsn_ports(ring.host_nodes[0]), Error);
+}
+
+TEST(BuildersTest, SizeValidation) {
+  EXPECT_THROW((void)make_ring(2), Error);
+  EXPECT_THROW((void)make_linear(1), Error);
+  EXPECT_THROW((void)make_star(0), Error);
+}
+
+}  // namespace
+}  // namespace tsn::topo

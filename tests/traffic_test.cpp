@@ -1,0 +1,189 @@
+// Tests for flow specifications and the IEC 60802-guided workload
+// builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "topo/builders.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::traffic {
+namespace {
+
+TEST(FlowSpecTest, ValidationRules) {
+  FlowSpec f;
+  f.src_host = 0;
+  f.dst_host = 1;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.period = milliseconds(10);
+  f.deadline = milliseconds(2);
+  f.validate();  // ok
+
+  FlowSpec no_period = f;
+  no_period.period = Duration(0);
+  EXPECT_THROW(no_period.validate(), Error);
+
+  FlowSpec same_ends = f;
+  same_ends.dst_host = 0;
+  EXPECT_THROW(same_ends.validate(), Error);
+
+  FlowSpec be;
+  be.src_host = 0;
+  be.dst_host = 1;
+  be.type = net::TrafficClass::kBestEffort;
+  EXPECT_THROW(be.validate(), Error);  // BE needs a rate
+  be.rate = DataRate::megabits_per_sec(100);
+  be.validate();
+
+  FlowSpec bad_frame = f;
+  bad_frame.frame_bytes = 40;
+  EXPECT_THROW(bad_frame.validate(), Error);
+}
+
+TEST(HostMacTest, DistinctAndUnicast) {
+  std::set<std::uint64_t> seen;
+  for (topo::NodeId n = 0; n < 64; ++n) {
+    const MacAddress mac = host_mac(n);
+    EXPECT_FALSE(mac.is_multicast());
+    EXPECT_TRUE(seen.insert(mac.to_u64()).second);
+  }
+}
+
+TEST(FlowPacketTest, HeadersReflectSpec) {
+  FlowSpec f;
+  f.id = 9;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.src_host = 3;
+  f.dst_host = 5;
+  f.frame_bytes = 256;
+  f.period = milliseconds(10);
+  f.deadline = milliseconds(4);
+  f.priority = kTsPriority;
+  f.vid = 77;
+  const net::Packet p = make_flow_packet(f);
+  EXPECT_EQ(p.src, host_mac(3));
+  EXPECT_EQ(p.dst, host_mac(5));
+  EXPECT_EQ(p.vlan.pcp, kTsPriority);
+  EXPECT_EQ(p.vlan.vid, 77);
+  EXPECT_EQ(p.frame_bytes(), 256);
+}
+
+TEST(FlowPacketTest, MetaStamping) {
+  FlowSpec f;
+  f.id = 4;
+  f.type = net::TrafficClass::kTimeSensitive;
+  f.deadline = milliseconds(2);
+  const net::PacketMeta meta = f.meta_for(17, TimePoint(123));
+  EXPECT_EQ(meta.flow_id, 4u);
+  EXPECT_EQ(meta.sequence, 17u);
+  EXPECT_EQ(meta.injected_at.ns(), 123);
+  EXPECT_EQ(meta.deadline, milliseconds(2));
+  EXPECT_EQ(meta.traffic_class, net::TrafficClass::kTimeSensitive);
+}
+
+TEST(WorkloadTest, TsFlowsMatchPaperParameters) {
+  TsWorkloadParams params;  // defaults: 1024 flows, 64 B, 10 ms
+  auto flows = make_ts_flows(0, 1, params);
+  ASSERT_EQ(flows.size(), 1024u);
+  std::set<Duration> deadlines;
+  std::set<VlanId> vids;
+  for (const FlowSpec& f : flows) {
+    EXPECT_EQ(f.type, net::TrafficClass::kTimeSensitive);
+    EXPECT_EQ(f.frame_bytes, 64);
+    EXPECT_EQ(f.period, milliseconds(10));
+    EXPECT_EQ(f.priority, kTsPriority);
+    deadlines.insert(f.deadline);
+    vids.insert(f.vid);
+  }
+  // Deadlines drawn from {1, 2, 4, 8} ms; all appear at this flow count.
+  EXPECT_EQ(deadlines.size(), 4u);
+  for (const Duration d : deadlines) {
+    EXPECT_TRUE(d == milliseconds(1) || d == milliseconds(2) || d == milliseconds(4) ||
+                d == milliseconds(8));
+  }
+  // Distinct VIDs -> per-flow table entries (worst case of guideline 1).
+  EXPECT_EQ(vids.size(), 1024u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  TsWorkloadParams params;
+  params.flow_count = 32;
+  const auto a = make_ts_flows(0, 1, params);
+  const auto b = make_ts_flows(0, 1, params);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+  }
+}
+
+TEST(WorkloadTest, DenseIdsFromFirstId) {
+  TsWorkloadParams params;
+  params.flow_count = 4;
+  const auto flows = make_ts_flows(0, 1, params, 100);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].id, 100u + i);
+  }
+}
+
+TEST(WorkloadTest, BackgroundFlows) {
+  const FlowSpec rc = make_rc_flow(1, 0, 1, DataRate::megabits_per_sec(200));
+  EXPECT_EQ(rc.type, net::TrafficClass::kRateConstrained);
+  EXPECT_EQ(rc.priority, kRcPriorityHigh);
+  EXPECT_EQ(rc.frame_bytes, 1024);  // the paper's background frame size
+
+  const FlowSpec be = make_be_flow(2, 0, 1, DataRate::megabits_per_sec(500));
+  EXPECT_EQ(be.type, net::TrafficClass::kBestEffort);
+  EXPECT_EQ(be.priority, kBePriority);
+}
+
+TEST(WorkloadTest, AggregateTsRate) {
+  TsWorkloadParams params;
+  params.flow_count = 1024;
+  const auto flows = make_ts_flows(0, 1, params);
+  // 1024 flows x 672 wire bits / 10 ms = 68.8 Mbps.
+  EXPECT_NEAR(aggregate_ts_rate(flows).mbps(), 68.8, 0.5);
+}
+
+
+TEST(AggregationTest, CollapsesSharedPathsOntoOneVid) {
+  TsWorkloadParams params;
+  params.flow_count = 100;
+  auto flows = make_ts_flows(0, 1, params);           // all share (0 -> 1, pri 7)
+  auto more = make_ts_flows(0, 2, params, 1000);      // second path
+  flows.insert(flows.end(), more.begin(), more.end());
+  const std::size_t aggregates = aggregate_flows_by_path(flows);
+  EXPECT_EQ(aggregates, 2u);
+  std::set<VlanId> vids;
+  for (const FlowSpec& f : flows) vids.insert(f.vid);
+  EXPECT_EQ(vids.size(), 2u);
+  // Same-path flows now share identical classification keys.
+  EXPECT_EQ(flows[0].vid, flows[99].vid);
+  EXPECT_NE(flows[0].vid, flows[100].vid);
+}
+
+TEST(AggregationTest, PriorityKeepsAggregatesApart) {
+  std::vector<FlowSpec> flows = {
+      make_rc_flow(1, 0, 1, DataRate::megabits_per_sec(10), 1024, kRcPriorityHigh),
+      make_rc_flow(2, 0, 1, DataRate::megabits_per_sec(10), 1024, kRcPriorityMid),
+      make_rc_flow(3, 0, 1, DataRate::megabits_per_sec(10), 1024, kRcPriorityHigh),
+  };
+  EXPECT_EQ(aggregate_flows_by_path(flows), 2u);
+  EXPECT_EQ(flows[0].vid, flows[2].vid);
+  EXPECT_NE(flows[0].vid, flows[1].vid);
+}
+
+TEST(AggregationTest, ValidatesVidSpace) {
+  TsWorkloadParams params;
+  params.flow_count = 2;
+  auto flows = make_ts_flows(0, 1, params);
+  EXPECT_THROW((void)aggregate_flows_by_path(flows, 0), Error);
+  // 4094 is the last usable VID; a second aggregate must not exist.
+  auto two_paths = make_ts_flows(0, 1, params);
+  auto more = make_ts_flows(0, 2, params, 100);
+  two_paths.insert(two_paths.end(), more.begin(), more.end());
+  EXPECT_THROW((void)aggregate_flows_by_path(two_paths, 4094), Error);
+}
+
+}  // namespace
+}  // namespace tsn::traffic

@@ -1,0 +1,19 @@
+// tsnb — the TSN-Builder command-line tool.
+//
+//   tsnb plan     --topology ring --switches 6 --flows 1024 --slot-us 65
+//   tsnb simulate --topology ring --flows 1024 --background-mbps 200
+//   tsnb report   --scenario ring
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  std::string out;
+  const int code = tsn::cli::run_tsnb(args, out);
+  std::fputs(out.c_str(), code == 0 ? stdout : stderr);
+  return code;
+}

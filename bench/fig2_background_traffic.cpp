@@ -2,75 +2,76 @@
 // bandwidth — (a) BE background, (b) RC background — for both Table I
 // resource configurations.
 //
+// Runs as two experiment campaigns (config x background rate, all points
+// in parallel across the available cores) on the campaign runner.
+//
 // Expected shape: flat latency/jitter curves (TS has the highest priority
 // and the CQF slots protect it), identical between Case 1 and Case 2.
 #include <cstdio>
+#include <vector>
 
-#include "builder/presets.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario_space.hpp"
+#include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/text_table.hpp"
-#include "netsim/scenario.hpp"
-#include "topo/builders.hpp"
-#include "traffic/workload.hpp"
 
 using namespace tsn;
-using namespace tsn::literals;
 
 namespace {
 
-struct Point {
-  double avg_us;
-  double jitter_us;
-  double loss;
-};
-
-Point run_point(const sw::SwitchResourceConfig& config, net::TrafficClass bg_class,
-                std::int64_t bg_mbps) {
-  netsim::ScenarioConfig cfg;
-  cfg.built = topo::make_linear(3);
-  cfg.options.resource = config;
-  cfg.options.resource.classification_table_size = 1040;
-  cfg.options.resource.unicast_table_size = 1040;
-  cfg.options.resource.meter_table_size = 1040;
-  cfg.options.seed = 33;
-  traffic::TsWorkloadParams params;  // 1024 TS flows, 64 B, 10 ms
-  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2],
-                                     params);
-
-  if (bg_mbps > 0) {
-    // Background enters at the first switch from a dedicated tester port
-    // and follows the TS path to its destination (paper: TSNNic injects
-    // RC/BE with 1024 B frames).
-    const topo::NodeId bg_host = cfg.built.topology.add_host("bg");
-    cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
-    const DataRate rate = DataRate::megabits_per_sec(bg_mbps);
-    if (bg_class == net::TrafficClass::kBestEffort) {
-      cfg.flows.push_back(
-          traffic::make_be_flow(9001, bg_host, cfg.built.host_nodes[2], rate));
-    } else {
-      cfg.flows.push_back(
-          traffic::make_rc_flow(9001, bg_host, cfg.built.host_nodes[2], rate));
-    }
-  }
-
-  cfg.warmup = 150_ms;
-  cfg.traffic_duration = 150_ms;
-  const netsim::ScenarioResult r = netsim::run_scenario(std::move(cfg));
-  return Point{r.ts.avg_latency_us(), r.ts.jitter_us(), r.ts.loss_rate()};
+// The linear-3 testbed of the paper's motivation experiment: 1024 TS
+// flows (64 B, 10 ms) crossing all three switches.
+campaign::ScenarioDefaults fig2_defaults() {
+  campaign::ScenarioDefaults d;
+  d.topology = "linear";
+  d.switches = 3;
+  d.flows = 1024;
+  d.hops = 3;
+  d.duration_ms = 150;
+  d.warmup_ms = 150;
+  return d;
 }
 
-void run_series(const char* title, net::TrafficClass bg_class) {
+const campaign::RunRecord& record_at(const std::vector<campaign::RunRecord>& records,
+                                     const std::string& config, const std::string& mbps,
+                                     const char* bg_axis) {
+  for (const campaign::RunRecord& r : records) {
+    const std::string* c = r.find_param("config");
+    const std::string* m = r.find_param(bg_axis);
+    if (c != nullptr && m != nullptr && *c == config && *m == mbps) return r;
+  }
+  throw Error("fig2: missing campaign row config=" + config + " mbps=" + mbps);
+}
+
+void run_series(const char* title, const char* bg_axis) {
   std::printf("--- %s ---\n", title);
+
+  campaign::ScenarioMatrix matrix;
+  matrix.add_axis("config", {"case1", "case2"});
+  matrix.add_axis(bg_axis, {"0", "100", "300", "500", "700"});
+  campaign::CampaignOptions options;
+  options.jobs = 0;  // all cores
+  options.base_seed = 33;
+  campaign::CampaignRunner runner(std::move(matrix), options);
+  const std::vector<campaign::RunRecord> records =
+      runner.run([](const campaign::RunPoint& point, std::uint64_t seed) {
+        return campaign::scenario_for_point(point, seed, fig2_defaults());
+      });
+
   TextTable table;
   table.set_header({"Background (Mbps)", "Case1 avg", "Case1 jitter", "Case1 loss",
                     "Case2 avg", "Case2 jitter", "Case2 loss"});
-  for (const std::int64_t mbps : {0LL, 100LL, 300LL, 500LL, 700LL}) {
-    const Point c1 = run_point(builder::table1_case1(), bg_class, mbps);
-    const Point c2 = run_point(builder::table1_case2(), bg_class, mbps);
-    table.add_row({std::to_string(mbps), format_double(c1.avg_us, 1) + "us",
-                   format_double(c1.jitter_us, 2) + "us", format_percent(c1.loss),
-                   format_double(c2.avg_us, 1) + "us", format_double(c2.jitter_us, 2) + "us",
-                   format_percent(c2.loss)});
+  for (const char* mbps : {"0", "100", "300", "500", "700"}) {
+    const campaign::RunRecord& c1 = record_at(records, "case1", mbps, bg_axis);
+    const campaign::RunRecord& c2 = record_at(records, "case2", mbps, bg_axis);
+    require(c1.ok && c2.ok, "fig2: campaign run failed: " + c1.error + c2.error);
+    table.add_row({mbps, format_double(c1.metrics.ts_avg_us, 1) + "us",
+                   format_double(c1.metrics.ts_jitter_us, 2) + "us",
+                   format_percent(c1.metrics.ts_loss_pct / 100.0),
+                   format_double(c2.metrics.ts_avg_us, 1) + "us",
+                   format_double(c2.metrics.ts_jitter_us, 2) + "us",
+                   format_percent(c2.metrics.ts_loss_pct / 100.0)});
   }
   std::printf("%s\n", table.render().c_str());
 }
@@ -79,8 +80,8 @@ void run_series(const char* title, net::TrafficClass bg_class) {
 
 int main() {
   std::printf("=== Fig. 2: TS latency under background traffic (Case 1 vs Case 2) ===\n\n");
-  run_series("Fig. 2(a): BE background", net::TrafficClass::kBestEffort);
-  run_series("Fig. 2(b): RC background", net::TrafficClass::kRateConstrained);
+  run_series("Fig. 2(a): BE background", "be-mbps");
+  run_series("Fig. 2(b): RC background", "rc-mbps");
   std::printf("Expected shape: flat latency and jitter across background loads,\n"
               "zero TS loss, and no difference between the two configurations.\n");
   return 0;

@@ -4,78 +4,71 @@
 //   (c) vs. slot size {32.5,65,130,260us} — latency & jitter scale with slot
 //   (d) vs. RC+BE background {0..400 Mbps each} — flat, zero loss
 // Eq. (1) bounds are printed beside each measurement.
+//
+// Each sub-figure is one experiment campaign (all points in parallel
+// across the available cores) on the ring-6 testbed with the paper's
+// customized (1-port) switch.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "builder/presets.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario_space.hpp"
+#include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/text_table.hpp"
-#include "netsim/scenario.hpp"
 #include "sched/cqf_analysis.hpp"
-#include "topo/builders.hpp"
-#include "traffic/workload.hpp"
 
 using namespace tsn;
 using namespace tsn::literals;
 
 namespace {
 
-struct RunSpec {
-  std::size_t hops = 2;                 // switches traversed
-  std::int64_t frame_bytes = 64;
-  Duration slot = 65_us;
-  std::int64_t bg_mbps_each = 0;        // RC and BE background, each
-  std::size_t flow_count = 512;
-};
-
-netsim::ScenarioResult run(const RunSpec& spec) {
-  netsim::ScenarioConfig cfg;
-  cfg.built = topo::make_ring(6);
-  cfg.options.resource = builder::paper_customized(1);
-  cfg.options.resource.classification_table_size = 1040;
-  cfg.options.resource.unicast_table_size = 1040;
-  cfg.options.resource.meter_table_size = 1040;
-  cfg.options.runtime.slot_size = spec.slot;
-  cfg.options.seed = 17;
-  traffic::TsWorkloadParams params;
-  params.flow_count = spec.flow_count;
-  params.frame_bytes = spec.frame_bytes;
-  // hops == 1: talker and listener hang off the same switch, so attach a
-  // dedicated listener host next to s0.
-  topo::NodeId dst = cfg.built.host_nodes[spec.hops - 1];
-  if (spec.hops == 1) {
-    dst = cfg.built.topology.add_host("listener");
-    cfg.built.topology.connect(cfg.built.switch_nodes[0], dst, Duration(50));
-  }
-  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], dst, params);
-  if (spec.bg_mbps_each > 0) {
-    const topo::NodeId bg_host = cfg.built.topology.add_host("bg");
-    cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
-    const DataRate rate = DataRate::megabits_per_sec(spec.bg_mbps_each);
-    cfg.flows.push_back(traffic::make_rc_flow(9000, bg_host, dst, rate));
-    cfg.flows.push_back(traffic::make_be_flow(9001, bg_host, dst, rate));
-  }
-  cfg.warmup = 150_ms;
-  cfg.traffic_duration = 150_ms;
-  return netsim::run_scenario(std::move(cfg));
+campaign::ScenarioDefaults fig7_defaults() {
+  campaign::ScenarioDefaults d;
+  d.topology = "ring";
+  d.switches = 6;
+  d.config = "customized";
+  d.flows = 512;
+  d.hops = 3;
+  d.duration_ms = 150;
+  d.warmup_ms = 150;
+  return d;
 }
 
-void add_row(TextTable& table, const std::string& x, const RunSpec& spec) {
-  const netsim::ScenarioResult r = run(spec);
-  const auto bounds =
-      sched::cqf_bounds(static_cast<std::int64_t>(spec.hops), spec.slot);
-  table.add_row({x, format_double(r.ts.avg_latency_us(), 1) + "us",
-                 format_double(r.ts.jitter_us(), 2) + "us",
-                 format_double(r.ts.latency_us.min(), 1) + "us",
-                 format_double(r.ts.latency_us.max(), 1) + "us",
-                 format_percent(r.ts.loss_rate()),
-                 "[" + format_trimmed(bounds.min.us(), 1) + ", " +
-                     format_trimmed(bounds.max.us(), 1) + "]us"});
+/// Runs one single-axis campaign over `values` and returns the records
+/// in matrix order.
+std::vector<campaign::RunRecord> sweep(const std::string& axis,
+                                       const std::vector<std::string>& values,
+                                       campaign::ScenarioDefaults defaults) {
+  campaign::ScenarioMatrix matrix;
+  matrix.add_axis(axis, values);
+  campaign::CampaignOptions options;
+  options.jobs = 0;  // all cores
+  options.base_seed = 17;
+  campaign::CampaignRunner runner(std::move(matrix), options);
+  return runner.run([defaults](const campaign::RunPoint& point, std::uint64_t seed) {
+    return campaign::scenario_for_point(point, seed, defaults);
+  });
 }
 
 TextTable make_table(const std::string& x_label) {
   TextTable t;
   t.set_header({x_label, "avg", "jitter(std)", "min", "max", "loss", "Eq.(1) bounds"});
   return t;
+}
+
+void add_row(TextTable& table, const std::string& x, const campaign::RunRecord& record,
+             std::int64_t hops, Duration slot) {
+  require(record.ok, "fig7: campaign run failed: " + record.error);
+  const auto bounds = sched::cqf_bounds(hops, slot);
+  table.add_row({x, format_double(record.metrics.ts_avg_us, 1) + "us",
+                 format_double(record.metrics.ts_jitter_us, 2) + "us",
+                 format_double(record.metrics.ts_min_us, 1) + "us",
+                 format_double(record.metrics.ts_max_us, 1) + "us",
+                 format_percent(record.metrics.ts_loss_pct / 100.0),
+                 "[" + format_trimmed(bounds.min.us(), 1) + ", " +
+                     format_trimmed(bounds.max.us(), 1) + "]us"});
 }
 
 }  // namespace
@@ -85,45 +78,48 @@ int main() {
 
   std::printf("--- (a) vs hops (64B, slot 65us) ---\n");
   TextTable a = make_table("hops");
-  for (const std::size_t hops : {1u, 2u, 3u, 4u}) {
-    RunSpec spec;
-    spec.hops = hops;
-    add_row(a, std::to_string(hops), spec);
+  for (const campaign::RunRecord& r : sweep("hops", {"1", "2", "3", "4"}, fig7_defaults())) {
+    const std::string& hops = *r.find_param("hops");
+    add_row(a, hops, r, std::stoll(hops), 65_us);
   }
   std::printf("%s\n", a.render().c_str());
 
   std::printf("--- (b) vs packet size (3 hops, slot 65us) ---\n");
   TextTable b = make_table("frame");
-  for (const std::int64_t frame : {64LL, 128LL, 256LL, 512LL, 1024LL, 1500LL}) {
-    RunSpec spec;
-    spec.hops = 3;
-    spec.frame_bytes = frame;
-    // Keep the per-slot wire occupancy feasible for large frames.
-    spec.flow_count = frame > 512 ? 256 : 512;
-    add_row(b, std::to_string(frame) + "B", spec);
+  // Keep the per-slot wire occupancy feasible for large frames: 512
+  // flows up to 512 B, 256 flows above.
+  campaign::ScenarioDefaults small = fig7_defaults();
+  campaign::ScenarioDefaults large = fig7_defaults();
+  large.flows = 256;
+  std::vector<campaign::RunRecord> frames =
+      sweep("frame", {"64", "128", "256", "512"}, small);
+  for (campaign::RunRecord& r : sweep("frame", {"1024", "1500"}, large)) {
+    frames.push_back(std::move(r));
+  }
+  for (const campaign::RunRecord& r : frames) {
+    add_row(b, *r.find_param("frame") + "B", r, 3, 65_us);
   }
   std::printf("%s\n", b.render().c_str());
 
   std::printf("--- (c) vs slot size (3 hops, 64B) ---\n");
   TextTable c = make_table("slot");
-  for (const std::int64_t slot_hundred_ns : {325LL, 650LL, 1300LL, 2600LL}) {
-    RunSpec spec;
-    spec.hops = 3;
-    spec.slot = Duration(slot_hundred_ns * 100);
-    // Large slots leave fewer injection slots per 10 ms period; keep the
-    // ITP load within the fixed depth-12 provisioning across the sweep.
-    spec.flow_count = 256;
-    add_row(c, format_trimmed(static_cast<double>(slot_hundred_ns) / 10.0, 1) + "us", spec);
+  // Large slots leave fewer injection slots per 10 ms period; keep the
+  // ITP load within the fixed depth-12 provisioning across the sweep.
+  campaign::ScenarioDefaults slots = fig7_defaults();
+  slots.flows = 256;
+  for (const campaign::RunRecord& r :
+       sweep("slot-us", {"32.5", "65", "130", "260"}, slots)) {
+    const std::string& slot_us = *r.find_param("slot-us");
+    const Duration slot(static_cast<std::int64_t>(std::stod(slot_us) * 1000.0));
+    add_row(c, slot_us + "us", r, 3, slot);
   }
   std::printf("%s\n", c.render().c_str());
 
   std::printf("--- (d) vs background load (3 hops, 64B; RC+BE each at X Mbps) ---\n");
   TextTable d = make_table("bg each");
-  for (const std::int64_t mbps : {0LL, 100LL, 200LL, 300LL, 400LL}) {
-    RunSpec spec;
-    spec.hops = 3;
-    spec.bg_mbps_each = mbps;
-    add_row(d, std::to_string(mbps) + "Mbps", spec);
+  for (const campaign::RunRecord& r :
+       sweep("bg-mbps", {"0", "100", "200", "300", "400"}, fig7_defaults())) {
+    add_row(d, *r.find_param("bg-mbps") + "Mbps", r, 3, 65_us);
   }
   std::printf("%s\n", d.render().c_str());
 

@@ -22,7 +22,8 @@ double queues_and_buffers_kb(const sw::SwitchResourceConfig& config) {
   builder::SwitchBuilder bld;
   bld.with_resources(config);
   double kb = 0;
-  for (const auto& row : bld.report().components()) {
+  const resource::ResourceReport report = bld.report();
+  for (const auto& row : report.components()) {
     if (row.name == "Queues" || row.name == "Buffers") {
       kb += row.allocation.cost.kilobits();
     }

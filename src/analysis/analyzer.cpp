@@ -43,6 +43,16 @@ ClassSummary Analyzer::summary(net::TrafficClass traffic_class) const {
   return out;
 }
 
+std::vector<double> Analyzer::latency_samples(net::TrafficClass traffic_class) const {
+  std::vector<double> pooled;
+  for (const auto& [id, rec] : flows_) {
+    if (rec.traffic_class != traffic_class) continue;
+    const std::vector<double>& s = rec.latency_us.samples();
+    pooled.insert(pooled.end(), s.begin(), s.end());
+  }
+  return pooled;
+}
+
 std::string Analyzer::report() const {
   std::string out;
   for (const net::TrafficClass c :

@@ -54,6 +54,10 @@ class Analyzer {
 
   [[nodiscard]] ClassSummary summary(net::TrafficClass traffic_class) const;
 
+  /// Per-packet latency samples (us) of every flow of one class, pooled.
+  /// Feed to percentile_of() for class-level percentiles.
+  [[nodiscard]] std::vector<double> latency_samples(net::TrafficClass traffic_class) const;
+
   /// Human-readable one-line summary per class ("TS: n=..., avg=..us ...").
   [[nodiscard]] std::string report() const;
 

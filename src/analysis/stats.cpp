@@ -45,15 +45,19 @@ void StreamingStats::merge(const StreamingStats& other) {
 void StreamingStats::reset() { *this = StreamingStats{}; }
 
 double SampleStats::percentile(double p) const {
-  require(p >= 0.0 && p <= 100.0, "percentile: p out of [0, 100]");
-  require(!samples_.empty(), "percentile: no samples");
   std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return percentile_of(sorted, p);
+}
+
+double percentile_of(std::vector<double>& samples, double p) {
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of [0, 100]");
+  require(!samples.empty(), "percentile: no samples");
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
 }
 
 }  // namespace tsn::analysis

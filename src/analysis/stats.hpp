@@ -50,6 +50,10 @@ class SampleStats {
   /// Percentile in [0, 100] by nearest-rank on a sorted copy.
   [[nodiscard]] double percentile(double p) const;
 
+  /// Every recorded sample, in insertion order. Lets callers pool the
+  /// samples of several flows and take percentiles over the union.
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
   void reset() {
     streaming_.reset();
     samples_.clear();
@@ -59,5 +63,11 @@ class SampleStats {
   StreamingStats streaming_;
   std::vector<double> samples_;
 };
+
+/// Percentile in [0, 100] over an already-pooled sample set (sorts
+/// `samples` in place; linear interpolation between ranks, matching
+/// SampleStats::percentile). Throws tsn::Error on an empty set or p
+/// outside [0, 100].
+[[nodiscard]] double percentile_of(std::vector<double>& samples, double p);
 
 }  // namespace tsn::analysis

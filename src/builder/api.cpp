@@ -1,0 +1,99 @@
+#include "builder/api.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::builder {
+
+CustomizationApi CustomizationApi::from_config(const sw::SwitchResourceConfig& config) {
+  config.validate();
+  CustomizationApi api;
+  api.config_ = config;
+  api.bound_ports_ = config.port_count;
+  api.bound_queues_ = config.queues_per_port;
+  return api;
+}
+
+void CustomizationApi::bind_ports(std::int64_t port_num) {
+  require(port_num >= 1, "customization: port_num must be >= 1");
+  if (bound_ports_) {
+    require(*bound_ports_ == port_num,
+            "customization: port_num disagrees with an earlier per-port API call");
+  } else {
+    bound_ports_ = port_num;
+    config_.port_count = port_num;
+  }
+}
+
+void CustomizationApi::bind_queues(std::int64_t queue_num) {
+  require(queue_num >= 1 && queue_num <= 8,
+          "customization: queue_num must be in [1, 8]");
+  if (bound_queues_) {
+    require(*bound_queues_ == queue_num,
+            "customization: queue_num disagrees with an earlier API call");
+  } else {
+    bound_queues_ = queue_num;
+    config_.queues_per_port = queue_num;
+  }
+}
+
+CustomizationApi& CustomizationApi::set_switch_tbl(std::int64_t unicast_size,
+                                                   std::int64_t multicast_size) {
+  require(unicast_size >= 1, "set_switch_tbl: unicast size must be >= 1");
+  require(multicast_size >= 0, "set_switch_tbl: multicast size must be >= 0");
+  config_.unicast_table_size = unicast_size;
+  config_.multicast_table_size = multicast_size;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_class_tbl(std::int64_t class_size) {
+  require(class_size >= 1, "set_class_tbl: size must be >= 1");
+  config_.classification_table_size = class_size;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_meter_tbl(std::int64_t meter_size) {
+  require(meter_size >= 1, "set_meter_tbl: size must be >= 1");
+  config_.meter_table_size = meter_size;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_gate_tbl(std::int64_t gate_size,
+                                                 std::int64_t queue_num,
+                                                 std::int64_t port_num) {
+  require(gate_size >= 1, "set_gate_tbl: gate size must be >= 1");
+  bind_queues(queue_num);
+  bind_ports(port_num);
+  config_.gate_table_size = gate_size;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_cbs_tbl(std::int64_t cbs_map_size,
+                                                std::int64_t cbs_size,
+                                                std::int64_t port_num) {
+  require(cbs_map_size >= 1, "set_cbs_tbl: CBS map size must be >= 1");
+  require(cbs_size >= 1, "set_cbs_tbl: CBS size must be >= 1");
+  bind_ports(port_num);
+  config_.cbs_map_size = cbs_map_size;
+  config_.cbs_table_size = cbs_size;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_queues(std::int64_t queue_depth,
+                                               std::int64_t queue_num,
+                                               std::int64_t port_num) {
+  require(queue_depth >= 1, "set_queues: queue depth must be >= 1");
+  bind_queues(queue_num);
+  bind_ports(port_num);
+  config_.queue_depth = queue_depth;
+  return *this;
+}
+
+CustomizationApi& CustomizationApi::set_buffers(std::int64_t buffer_num,
+                                                std::int64_t port_num) {
+  require(buffer_num >= 1, "set_buffers: buffer count must be >= 1");
+  bind_ports(port_num);
+  config_.buffers_per_port = buffer_num;
+  return *this;
+}
+
+}  // namespace tsn::builder

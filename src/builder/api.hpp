@@ -1,0 +1,65 @@
+// The paper's Table II customization APIs.
+//
+// CustomizationApi is the fluent front door of TSN-Builder: each
+// set_*_tbl call mirrors one row of Table II and populates the
+// corresponding fields of a SwitchResourceConfig. The API enforces the
+// cross-parameter consistency the hardware generator would: every
+// per-port API (gate tables, CBS tables, queues, buffers) must agree on
+// `port_num`, and the gate/queue APIs must agree on `queue_num` — the
+// first call binds the value, later conflicting calls throw.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "switch/config.hpp"
+
+namespace tsn::builder {
+
+class CustomizationApi {
+ public:
+  CustomizationApi() = default;
+
+  /// Seeds the API from an existing configuration; the config's port and
+  /// queue counts become bound, as if every API had already been called.
+  [[nodiscard]] static CustomizationApi from_config(const sw::SwitchResourceConfig& config);
+
+  /// set_switch_tbl(unicast_size, multicast_size) — multicast 0 means the
+  /// multicast table is not instantiated (the paper's "1024, 0").
+  CustomizationApi& set_switch_tbl(std::int64_t unicast_size, std::int64_t multicast_size);
+
+  /// set_class_tbl(class_size)
+  CustomizationApi& set_class_tbl(std::int64_t class_size);
+
+  /// set_meter_tbl(meter_size)
+  CustomizationApi& set_meter_tbl(std::int64_t meter_size);
+
+  /// set_gate_tbl(gate_size, queue_num, port_num) — GCL entries per
+  /// direction per port (CQF: 2).
+  CustomizationApi& set_gate_tbl(std::int64_t gate_size, std::int64_t queue_num,
+                                 std::int64_t port_num);
+
+  /// set_cbs_tbl(cbs_map_size, cbs_size, port_num)
+  CustomizationApi& set_cbs_tbl(std::int64_t cbs_map_size, std::int64_t cbs_size,
+                                std::int64_t port_num);
+
+  /// set_queues(queue_depth, queue_num, port_num) — metadata entries per
+  /// queue (the ITP-derived depth).
+  CustomizationApi& set_queues(std::int64_t queue_depth, std::int64_t queue_num,
+                               std::int64_t port_num);
+
+  /// set_buffers(buffer_num, port_num)
+  CustomizationApi& set_buffers(std::int64_t buffer_num, std::int64_t port_num);
+
+  [[nodiscard]] const sw::SwitchResourceConfig& config() const { return config_; }
+
+ private:
+  void bind_ports(std::int64_t port_num);
+  void bind_queues(std::int64_t queue_num);
+
+  sw::SwitchResourceConfig config_;
+  std::optional<std::int64_t> bound_ports_;
+  std::optional<std::int64_t> bound_queues_;
+};
+
+}  // namespace tsn::builder

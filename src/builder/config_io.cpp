@@ -1,0 +1,103 @@
+#include "builder/config_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tsn::builder {
+namespace {
+
+struct Field {
+  const char* key;
+  std::int64_t sw::SwitchResourceConfig::* member;
+};
+
+/// Canonical order of the text form (Table II order).
+constexpr Field kFields[] = {
+    {"unicast_table_size", &sw::SwitchResourceConfig::unicast_table_size},
+    {"multicast_table_size", &sw::SwitchResourceConfig::multicast_table_size},
+    {"classification_table_size", &sw::SwitchResourceConfig::classification_table_size},
+    {"meter_table_size", &sw::SwitchResourceConfig::meter_table_size},
+    {"gate_table_size", &sw::SwitchResourceConfig::gate_table_size},
+    {"cbs_map_size", &sw::SwitchResourceConfig::cbs_map_size},
+    {"cbs_table_size", &sw::SwitchResourceConfig::cbs_table_size},
+    {"queue_depth", &sw::SwitchResourceConfig::queue_depth},
+    {"queues_per_port", &sw::SwitchResourceConfig::queues_per_port},
+    {"buffers_per_port", &sw::SwitchResourceConfig::buffers_per_port},
+    {"buffer_bytes", &sw::SwitchResourceConfig::buffer_bytes},
+    {"port_count", &sw::SwitchResourceConfig::port_count},
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string to_text(const sw::SwitchResourceConfig& config) {
+  std::string out = "# TSN-Builder resource configuration (Table II parameters)\n";
+  for (const Field& f : kFields) {
+    out += std::string(f.key) + " = " + std::to_string(config.*f.member) + "\n";
+  }
+  return out;
+}
+
+sw::SwitchResourceConfig config_from_text(const std::string& text) {
+  sw::SwitchResourceConfig config;
+  std::istringstream in(text);
+  std::string raw_line;
+  while (std::getline(in, raw_line)) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    require(eq != std::string_view::npos,
+            "config: malformed line (expected 'key = value'): " + std::string(line));
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    const Field* field = nullptr;
+    for (const Field& f : kFields) {
+      if (key == f.key) {
+        field = &f;
+        break;
+      }
+    }
+    require(field != nullptr, "config: unknown key '" + std::string(key) + "'");
+
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    require(ec == std::errc() && ptr == value.data() + value.size(),
+            "config: value of '" + std::string(key) + "' is not an integer: '" +
+                std::string(value) + "'");
+    config.*field->member = parsed;
+  }
+  config.validate();
+  return config;
+}
+
+void save_config(const sw::SwitchResourceConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open '" + path + "' for writing");
+  out << to_text(config);
+  require(out.good(), "failed writing configuration to '" + path + "'");
+}
+
+sw::SwitchResourceConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open configuration file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return config_from_text(buffer.str());
+}
+
+}  // namespace tsn::builder

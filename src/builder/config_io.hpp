@@ -1,0 +1,25 @@
+// Textual persistence of SwitchResourceConfig: a canonical "key = value"
+// format (comments with '#', blank lines ignored), so planned
+// configurations can be saved, reviewed, versioned and re-simulated.
+#pragma once
+
+#include <string>
+
+#include "switch/config.hpp"
+
+namespace tsn::builder {
+
+/// Canonical text form: one "key = value" line per parameter, in a fixed
+/// order. to_text(config_from_text(t)) is stable.
+[[nodiscard]] std::string to_text(const sw::SwitchResourceConfig& config);
+
+/// Parses the text form. Unspecified keys keep SwitchResourceConfig
+/// defaults. Throws tsn::Error on unknown keys, malformed lines,
+/// non-integer values, or a configuration that fails validate().
+[[nodiscard]] sw::SwitchResourceConfig config_from_text(const std::string& text);
+
+/// File variants; throw tsn::Error on I/O failure.
+void save_config(const sw::SwitchResourceConfig& config, const std::string& path);
+[[nodiscard]] sw::SwitchResourceConfig load_config(const std::string& path);
+
+}  // namespace tsn::builder

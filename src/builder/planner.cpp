@@ -1,0 +1,111 @@
+#include "builder/planner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "sched/cqf_analysis.hpp"
+
+namespace tsn::builder {
+namespace {
+
+/// Stream-count inputs of guideline 1: unicast entries are keyed by
+/// (dst, vid); classification/meter entries by the full classification
+/// tuple. Path aggregation makes same-path flows share one VID, so both
+/// counts collapse to one entry per aggregate.
+struct StreamCounts {
+  std::int64_t unicast = 0;
+  std::int64_t classification = 0;
+};
+
+StreamCounts count_streams(const std::vector<traffic::FlowSpec>& flows) {
+  std::set<std::tuple<topo::NodeId, VlanId>> unicast_keys;
+  std::set<std::tuple<topo::NodeId, topo::NodeId, VlanId, Priority>> class_keys;
+  for (const traffic::FlowSpec& f : flows) {
+    unicast_keys.emplace(f.dst_host, f.vid);
+    class_keys.emplace(f.src_host, f.dst_host, f.vid, f.priority);
+  }
+  return StreamCounts{static_cast<std::int64_t>(unicast_keys.size()),
+                      static_cast<std::int64_t>(class_keys.size())};
+}
+
+std::int64_t count_rc_queues(const std::vector<traffic::FlowSpec>& flows) {
+  std::set<Priority> rc_priorities;
+  for (const traffic::FlowSpec& f : flows) {
+    if (f.type == net::TrafficClass::kRateConstrained) rc_priorities.insert(f.priority);
+  }
+  return static_cast<std::int64_t>(rc_priorities.size());
+}
+
+/// Headroom over the ITP peak: gate-boundary skew can briefly leave the
+/// previous slot's packets in the queue while the next slot's arrive.
+constexpr std::int64_t kQueueSkewHeadroom = 2;
+constexpr std::int64_t kMinQueueDepth = 4;
+
+}  // namespace
+
+PlannerOutput ParameterPlanner::plan(const PlannerInput& input) {
+  require(input.topology != nullptr, "planner: an application topology is required");
+  require(!input.flows.empty(), "planner: an application flow set is required");
+  require(input.slot.ns() > 0, "planner: slot size must be positive");
+
+  PlannerOutput out;
+  sw::SwitchResourceConfig& c = out.config;
+
+  // Guideline 1 — shared tables sized by the application's streams.
+  const StreamCounts streams = count_streams(input.flows);
+  c.unicast_table_size = streams.unicast;
+  c.multicast_table_size = 0;  // the evaluation splits multicast out
+  c.classification_table_size = streams.classification;
+  c.meter_table_size = streams.classification;
+
+  // Guideline 2 — gate table entries.
+  if (input.use_cqf) {
+    c.gate_table_size = sched::gate_entries_for_cqf();
+  } else {
+    const Duration cycle = sched::scheduling_cycle(input.flows);
+    c.gate_table_size = sched::gate_entries_for_full_cycle(cycle, input.slot);
+  }
+
+  // Guideline 3 — CBS sized by the RC queues in use.
+  const std::int64_t rc_queues = count_rc_queues(input.flows);
+  c.cbs_map_size = std::max<std::int64_t>(1, rc_queues);
+  c.cbs_table_size = c.cbs_map_size;
+
+  // Guideline 4 — queue depth from the ITP injection plan.
+  const sched::ItpPlanner itp_planner(*input.topology, input.slot);
+  out.itp = itp_planner.plan(input.flows);
+  c.queue_depth =
+      std::max(out.itp.max_queue_load + kQueueSkewHeadroom, kMinQueueDepth);
+  c.queues_per_port = 8;
+
+  // Guideline 5 — buffers and enabled TSN ports.
+  c.buffers_per_port = c.queue_depth * c.queues_per_port;
+  c.port_count = std::max<std::int64_t>(1, input.topology->max_enabled_tsn_ports());
+
+  c.validate();
+
+  out.rationale =
+      "guideline 1: switch/class/meter tables hold " + std::to_string(streams.unicast) +
+      " distinct streams (" + std::to_string(input.flows.size()) + " flows; " +
+      std::to_string(streams.classification) + " classification keys)\n" +
+      (input.use_cqf
+           ? "guideline 2: CQF ping-pong needs " + std::to_string(c.gate_table_size) +
+                 " gate entries per direction\n"
+           : "guideline 2: full-cycle Qbv program needs " +
+                 std::to_string(c.gate_table_size) + " gate entries (cycle / slot)\n") +
+      "guideline 3: " + std::to_string(rc_queues) + " RC queue(s) in use -> CBS map/table size " +
+      std::to_string(c.cbs_map_size) + "\n" +
+      "guideline 4: ITP peak per-(link, slot) load " +
+      std::to_string(out.itp.max_queue_load) + " -> queue depth " +
+      std::to_string(c.queue_depth) + " (load + " + std::to_string(kQueueSkewHeadroom) +
+      " skew headroom, min " + std::to_string(kMinQueueDepth) + ")" +
+      (out.itp.wire_feasible ? "" : " [warning: peak slot load exceeds the wire]") + "\n" +
+      "guideline 5: " + std::to_string(c.buffers_per_port) + " buffers per port (depth x " +
+      std::to_string(c.queues_per_port) + " queues); " + std::to_string(c.port_count) +
+      " enabled TSN port(s) from the topology\n";
+  return out;
+}
+
+}  // namespace tsn::builder

@@ -1,0 +1,53 @@
+// ParameterPlanner — the paper's §III.C configuration guidelines as code:
+// from an application description (topology + flows + CQF slot) derive the
+// Table II resource parameters, with a human-readable rationale citing the
+// guideline behind every choice.
+//
+//  guideline 1: shared tables (switch / classification / meter) sized by
+//               the distinct streams the application carries (path
+//               aggregation collapses same-path flows onto one entry);
+//  guideline 2: gate table entries — 2 under CQF, scheduling-cycle / slot
+//               for a synthesized full-cycle program;
+//  guideline 3: CBS map / CBS table sized by the RC queues in use;
+//  guideline 4: queue depth from the ITP injection plan's peak per-slot
+//               load (plus a skew headroom);
+//  guideline 5: buffers per port = queue depth x queue count; enabled TSN
+//               ports from the topology's forwarding structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sched/itp.hpp"
+#include "switch/config.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::builder {
+
+struct PlannerInput {
+  const topo::Topology* topology = nullptr;
+  std::vector<traffic::FlowSpec> flows;
+  /// CQF slot size (or the Qbv slot granularity when use_cqf is false).
+  Duration slot = microseconds(65);
+  /// CQF 2-entry ping-pong (the paper's evaluation) vs a synthesized
+  /// full-cycle gate program sized by guideline 2's general case.
+  bool use_cqf = true;
+};
+
+struct PlannerOutput {
+  sw::SwitchResourceConfig config;
+  sched::ItpPlan itp;
+  std::string rationale;
+};
+
+class ParameterPlanner {
+ public:
+  /// Derives the resource configuration for `input`. Throws tsn::Error on
+  /// a missing topology or an empty flow set.
+  [[nodiscard]] static PlannerOutput plan(const PlannerInput& input);
+};
+
+}  // namespace tsn::builder

@@ -1,0 +1,54 @@
+#include "builder/presets.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::builder {
+
+sw::SwitchResourceConfig bcm53154_reference() {
+  sw::SwitchResourceConfig c;
+  c.unicast_table_size = 16384;
+  c.multicast_table_size = 0;
+  c.classification_table_size = 1024;
+  c.meter_table_size = 512;
+  c.gate_table_size = 256;
+  c.cbs_map_size = 8;
+  c.cbs_table_size = 8;
+  c.queue_depth = 16;
+  c.queues_per_port = 8;
+  c.buffers_per_port = 128;
+  c.port_count = 4;
+  return c;
+}
+
+sw::SwitchResourceConfig paper_customized(std::int64_t ports) {
+  require(ports >= 1, "paper_customized: ports must be >= 1");
+  sw::SwitchResourceConfig c;
+  c.unicast_table_size = 1024;
+  c.multicast_table_size = 0;
+  c.classification_table_size = 1024;
+  c.meter_table_size = 1024;
+  c.gate_table_size = 2;  // CQF ping-pong
+  c.cbs_map_size = 3;
+  c.cbs_table_size = 3;
+  c.queue_depth = 12;  // ITP analysis, paper guideline 4
+  c.queues_per_port = 8;
+  c.buffers_per_port = c.queue_depth * c.queues_per_port;  // guideline 5
+  c.port_count = ports;
+  return c;
+}
+
+sw::SwitchResourceConfig table1_case1() {
+  sw::SwitchResourceConfig c = paper_customized(1);
+  c.queue_depth = 16;
+  c.buffers_per_port = 128;
+  return c;
+}
+
+sw::SwitchResourceConfig table1_case2() {
+  sw::SwitchResourceConfig c = paper_customized(1);
+  c.queue_depth = 12;
+  c.buffers_per_port = 96;
+  return c;
+}
+
+}  // namespace tsn::builder

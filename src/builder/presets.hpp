@@ -1,0 +1,33 @@
+// Named resource configurations used across the evaluation:
+//  * bcm53154_reference — the commercial COTS baseline (datasheet numbers);
+//  * paper_customized(ports) — the §IV customized switch for the star (3),
+//    linear (2) and ring (1) scenarios;
+//  * table1_case1 / table1_case2 — the two queue/buffer provisioning cases
+//    of the paper's motivation experiment (Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "switch/config.hpp"
+
+namespace tsn::builder {
+
+/// Broadcom BCM53154 parameterization: 16K MAC entries, 1K classification
+/// entries, 512 meters, 8 queues and shapers per port, 256-entry gate
+/// lists, 4 TSN ports, 128 packet buffers per port. Totals 10818 Kb.
+[[nodiscard]] sw::SwitchResourceConfig bcm53154_reference();
+
+/// The paper's customized switch for `ports` enabled TSN ports (star 3,
+/// linear 2, ring 1): 1024-entry shared tables, CQF 2-entry gate lists,
+/// 3 RC queues, ITP queue depth 12, 96 buffers per port.
+[[nodiscard]] sw::SwitchResourceConfig paper_customized(std::int64_t ports);
+
+/// Table I Case 1: 8 queues x depth 16, 128 buffers (2304 Kb of
+/// queue+buffer BRAM on one port).
+[[nodiscard]] sw::SwitchResourceConfig table1_case1();
+
+/// Table I Case 2: 8 queues x depth 12, 96 buffers (1764 Kb) — the
+/// traffic-sufficient provisioning that saves 540 Kb.
+[[nodiscard]] sw::SwitchResourceConfig table1_case2();
+
+}  // namespace tsn::builder

@@ -1,0 +1,41 @@
+#include "builder/switch_builder.hpp"
+
+#include <utility>
+
+namespace tsn::builder {
+
+SwitchBuilder::SwitchBuilder() : templates_(standard_templates()) {}
+
+SwitchBuilder& SwitchBuilder::with_resources(const sw::SwitchResourceConfig& config) {
+  config.validate();
+  config_ = config;
+  return *this;
+}
+
+SwitchBuilder& SwitchBuilder::with_resources(const CustomizationApi& api) {
+  return with_resources(api.config());
+}
+
+SwitchBuilder& SwitchBuilder::with_runtime(const sw::SwitchRuntimeConfig& runtime) {
+  runtime.validate();
+  runtime_ = runtime;
+  return *this;
+}
+
+resource::ResourceReport SwitchBuilder::report() const {
+  resource::ResourceReport report;
+  for (const auto& tmpl : templates_) {
+    for (resource::ComponentUsage& usage : tmpl->resource_usage(config_)) {
+      report.add(std::move(usage));
+    }
+  }
+  return report;
+}
+
+std::unique_ptr<sw::TsnSwitch> SwitchBuilder::synthesize(
+    event::Simulator& sim, std::string name, std::int64_t physical_ports) const {
+  return std::make_unique<sw::TsnSwitch>(sim, std::move(name), config_, runtime_,
+                                         physical_ports);
+}
+
+}  // namespace tsn::builder

@@ -1,0 +1,51 @@
+// SwitchBuilder — TSN-Builder's synthesis stage: select the five standard
+// templates, inject the customized resource parameters, price the result
+// (ResourceReport, the data behind Tables I/III), and synthesize a
+// runnable TsnSwitch for the simulated testbed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "builder/api.hpp"
+#include "builder/templates.hpp"
+#include "event/simulator.hpp"
+#include "resource/report.hpp"
+#include "switch/config.hpp"
+#include "switch/tsn_switch.hpp"
+
+namespace tsn::builder {
+
+class SwitchBuilder {
+ public:
+  SwitchBuilder();
+
+  /// Injects a resource configuration (validated).
+  SwitchBuilder& with_resources(const sw::SwitchResourceConfig& config);
+  SwitchBuilder& with_resources(const CustomizationApi& api);
+
+  /// Overrides the behavioural (non-BRAM) knobs used at synthesis time.
+  SwitchBuilder& with_runtime(const sw::SwitchRuntimeConfig& runtime);
+
+  [[nodiscard]] const sw::SwitchResourceConfig& resources() const { return config_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<FunctionTemplate>>& templates() const {
+    return templates_;
+  }
+
+  /// Prices the configuration: one report row per template memory, in
+  /// pipeline order (Switch, Class., Meter, Gate, CBS, Queues, Buffers).
+  [[nodiscard]] resource::ResourceReport report() const;
+
+  /// Synthesizes a runnable switch with `physical_ports` wired ports.
+  [[nodiscard]] std::unique_ptr<sw::TsnSwitch> synthesize(
+      event::Simulator& sim, std::string name, std::int64_t physical_ports) const;
+
+ private:
+  sw::SwitchResourceConfig config_;
+  sw::SwitchRuntimeConfig runtime_;
+  std::vector<std::unique_ptr<FunctionTemplate>> templates_;
+};
+
+}  // namespace tsn::builder

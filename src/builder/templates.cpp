@@ -1,0 +1,161 @@
+#include "builder/templates.hpp"
+
+#include "resource/bram.hpp"
+
+namespace tsn::builder {
+namespace {
+
+/// Sums `count` copies of one small-instance allocation (policy 2): the
+/// report charges per physically independent memory.
+resource::Allocation replicate(resource::Allocation one, std::int64_t count) {
+  resource::Allocation total = one;
+  total.ramb18 = one.ramb18 * count;
+  total.ramb36 = one.ramb36 * count;
+  total.cost = one.cost * count;
+  return total;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Time Sync
+std::vector<std::string> TimeSyncTemplate::submodules() const {
+  // The paper's gPTP pipeline: collect timestamps, calculate offset/rate,
+  // correct the local clock.
+  return {"collect", "calculate", "correct"};
+}
+
+std::vector<resource::ComponentUsage> TimeSyncTemplate::resource_usage(
+    const sw::SwitchResourceConfig&) const {
+  return {};  // registers only; no table memory (paper Table III has no row)
+}
+
+// --------------------------------------------------------- Packet Switch
+std::vector<std::string> PacketSwitchTemplate::submodules() const {
+  return {"unicast lookup", "multicast lookup"};
+}
+
+std::vector<resource::ComponentUsage> PacketSwitchTemplate::resource_usage(
+    const sw::SwitchResourceConfig& config) const {
+  resource::ComponentUsage usage;
+  usage.name = "Switch Tbl";
+  usage.parameters = format_table_size(config.unicast_table_size) + ", " +
+                     format_table_size(config.multicast_table_size);
+  usage.entry_width_bits = kSwitchTableEntryBits;
+  usage.allocation = resource::allocate_table(config.unicast_table_size,
+                                              kSwitchTableEntryBits);
+  if (config.multicast_table_size > 0) {
+    const resource::Allocation mc = resource::allocate_table(
+        config.multicast_table_size, kSwitchTableEntryBits);
+    usage.allocation.ramb18 += mc.ramb18;
+    usage.allocation.ramb36 += mc.ramb36;
+    usage.allocation.cost += mc.cost;
+  }
+  return {usage};
+}
+
+// -------------------------------------------------------- Ingress Filter
+std::vector<std::string> IngressFilterTemplate::submodules() const {
+  return {"classification", "metering"};
+}
+
+std::vector<resource::ComponentUsage> IngressFilterTemplate::resource_usage(
+    const sw::SwitchResourceConfig& config) const {
+  resource::ComponentUsage cls;
+  cls.name = "Class. Tbl";
+  cls.parameters = format_table_size(config.classification_table_size);
+  cls.entry_width_bits = kClassTableEntryBits;
+  cls.allocation =
+      resource::allocate_table(config.classification_table_size, kClassTableEntryBits);
+
+  resource::ComponentUsage meter;
+  meter.name = "Meter Tbl";
+  meter.parameters = format_table_size(config.meter_table_size);
+  meter.entry_width_bits = kMeterTableEntryBits;
+  meter.allocation =
+      resource::allocate_table(config.meter_table_size, kMeterTableEntryBits);
+  return {cls, meter};
+}
+
+// ------------------------------------------------------------- Gate Ctrl
+std::vector<std::string> GateCtrlTemplate::submodules() const {
+  return {"ingress gates", "egress gates"};
+}
+
+std::vector<resource::ComponentUsage> GateCtrlTemplate::resource_usage(
+    const sw::SwitchResourceConfig& config) const {
+  resource::ComponentUsage usage;
+  usage.name = "Gate Tbl";
+  usage.parameters = std::to_string(config.gate_table_size) + ", " +
+                     std::to_string(config.queues_per_port) + ", " +
+                     std::to_string(config.port_count);
+  usage.entry_width_bits = kGateTableEntryBits;
+  // One In-GCL and one Out-GCL per enabled TSN port, each an independent
+  // small memory (policy 2: one primitive minimum).
+  usage.allocation =
+      replicate(resource::allocate_instance(config.gate_table_size, kGateTableEntryBits),
+                2 * config.port_count);
+  return {usage};
+}
+
+// ----------------------------------------------------------- Egress Sched
+std::vector<std::string> EgressSchedTemplate::submodules() const {
+  return {"strict priority", "credit-based shaper", "transmit"};
+}
+
+std::vector<resource::ComponentUsage> EgressSchedTemplate::resource_usage(
+    const sw::SwitchResourceConfig& config) const {
+  resource::ComponentUsage cbs;
+  cbs.name = "CBS Tbl";
+  cbs.parameters = std::to_string(config.cbs_map_size) + ", " +
+                   std::to_string(config.cbs_table_size) + ", " +
+                   std::to_string(config.port_count);
+  cbs.entry_width_bits = kCbsTableEntryBits;
+  // CBS map + CBS table per enabled TSN port; both are one-primitive
+  // instances, so the pair costs 2 x 18 Kb per port.
+  const resource::Allocation map_one =
+      resource::allocate_instance(config.cbs_map_size, kCbsMapEntryBits);
+  const resource::Allocation cbs_one =
+      resource::allocate_instance(config.cbs_table_size, kCbsTableEntryBits);
+  cbs.allocation = replicate(map_one, config.port_count);
+  const resource::Allocation cbs_all = replicate(cbs_one, config.port_count);
+  cbs.allocation.ramb18 += cbs_all.ramb18;
+  cbs.allocation.ramb36 += cbs_all.ramb36;
+  cbs.allocation.cost += cbs_all.cost;
+
+  resource::ComponentUsage queues;
+  queues.name = "Queues";
+  queues.parameters = std::to_string(config.queue_depth) + ", " +
+                      std::to_string(config.queues_per_port) + ", " +
+                      std::to_string(config.port_count);
+  queues.entry_width_bits = kQueueMetadataBits;
+  queues.allocation =
+      replicate(resource::allocate_instance(config.queue_depth, kQueueMetadataBits),
+                config.queues_per_port * config.port_count);
+
+  resource::ComponentUsage buffers;
+  buffers.name = "Buffers";
+  buffers.parameters = std::to_string(config.buffers_per_port) + ", " +
+                       std::to_string(config.port_count);
+  buffers.entry_width_bits = resource::kBufferWordBits;
+  buffers.allocation = resource::allocate_packet_buffers(
+      config.buffers_per_port * config.port_count, config.buffer_bytes);
+  return {cbs, queues, buffers};
+}
+
+// ---------------------------------------------------------------- library
+std::vector<std::unique_ptr<FunctionTemplate>> standard_templates() {
+  std::vector<std::unique_ptr<FunctionTemplate>> templates;
+  templates.push_back(std::make_unique<TimeSyncTemplate>());
+  templates.push_back(std::make_unique<PacketSwitchTemplate>());
+  templates.push_back(std::make_unique<IngressFilterTemplate>());
+  templates.push_back(std::make_unique<GateCtrlTemplate>());
+  templates.push_back(std::make_unique<EgressSchedTemplate>());
+  return templates;
+}
+
+std::string format_table_size(std::int64_t size) {
+  if (size >= 2048 && size % 1024 == 0) return std::to_string(size / 1024) + "K";
+  return std::to_string(size);
+}
+
+}  // namespace tsn::builder

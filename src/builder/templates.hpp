@@ -1,0 +1,103 @@
+// The five switch function templates (paper §III.A, Fig. 3) with their
+// resource accounting. Each template names its submodules and prices the
+// BRAM the template consumes under a given resource configuration —
+// concatenating the five templates' usages in pipeline order yields the
+// paper's Table III rows: Switch Tbl, Class. Tbl, Meter Tbl, Gate Tbl,
+// CBS Tbl, Queues, Buffers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resource/report.hpp"
+#include "switch/config.hpp"
+
+namespace tsn::builder {
+
+enum class TemplateKind : std::uint8_t {
+  kTimeSync,
+  kPacketSwitch,
+  kIngressFilter,
+  kGateCtrl,
+  kEgressSched,
+};
+
+/// Entry widths of the memories each template instantiates (bits).
+inline constexpr std::int64_t kSwitchTableEntryBits = 72;   // MAC + VID -> port
+inline constexpr std::int64_t kClassTableEntryBits = 117;   // 5-tuple -> meter, queue
+inline constexpr std::int64_t kMeterTableEntryBits = 68;    // token bucket state
+inline constexpr std::int64_t kGateTableEntryBits = 40;     // interval + 8 gate states
+inline constexpr std::int64_t kCbsMapEntryBits = 16;        // queue -> CBS entry
+inline constexpr std::int64_t kCbsTableEntryBits = 48;      // idle/send slope, credit
+inline constexpr std::int64_t kQueueMetadataBits = 32;      // buffer id, length, flags
+
+class FunctionTemplate {
+ public:
+  virtual ~FunctionTemplate() = default;
+
+  [[nodiscard]] virtual TemplateKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> submodules() const = 0;
+
+  /// The BRAM components this template instantiates under `config`
+  /// (empty when the template holds no table memory, e.g. Time Sync).
+  [[nodiscard]] virtual std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const = 0;
+};
+
+class TimeSyncTemplate final : public FunctionTemplate {
+ public:
+  [[nodiscard]] TemplateKind kind() const override { return TemplateKind::kTimeSync; }
+  [[nodiscard]] std::string name() const override { return "Time Sync"; }
+  [[nodiscard]] std::vector<std::string> submodules() const override;
+  [[nodiscard]] std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const override;
+};
+
+class PacketSwitchTemplate final : public FunctionTemplate {
+ public:
+  [[nodiscard]] TemplateKind kind() const override { return TemplateKind::kPacketSwitch; }
+  [[nodiscard]] std::string name() const override { return "Packet Switch"; }
+  [[nodiscard]] std::vector<std::string> submodules() const override;
+  [[nodiscard]] std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const override;
+};
+
+class IngressFilterTemplate final : public FunctionTemplate {
+ public:
+  [[nodiscard]] TemplateKind kind() const override { return TemplateKind::kIngressFilter; }
+  [[nodiscard]] std::string name() const override { return "Ingress Filter"; }
+  [[nodiscard]] std::vector<std::string> submodules() const override;
+  [[nodiscard]] std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const override;
+};
+
+class GateCtrlTemplate final : public FunctionTemplate {
+ public:
+  [[nodiscard]] TemplateKind kind() const override { return TemplateKind::kGateCtrl; }
+  [[nodiscard]] std::string name() const override { return "Gate Ctrl"; }
+  [[nodiscard]] std::vector<std::string> submodules() const override;
+  [[nodiscard]] std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const override;
+};
+
+class EgressSchedTemplate final : public FunctionTemplate {
+ public:
+  [[nodiscard]] TemplateKind kind() const override { return TemplateKind::kEgressSched; }
+  [[nodiscard]] std::string name() const override { return "Egress Sched"; }
+  [[nodiscard]] std::vector<std::string> submodules() const override;
+  [[nodiscard]] std::vector<resource::ComponentUsage> resource_usage(
+      const sw::SwitchResourceConfig& config) const override;
+};
+
+/// The standard template library, in pipeline order: Time Sync, Packet
+/// Switch, Ingress Filter, Gate Ctrl, Egress Sched.
+[[nodiscard]] std::vector<std::unique_ptr<FunctionTemplate>> standard_templates();
+
+/// Table-size rendering as the paper prints it: multiples of 1024 from 2K
+/// upward use the "K" suffix ("16K"), everything else is decimal ("1024").
+[[nodiscard]] std::string format_table_size(std::int64_t size);
+
+}  // namespace tsn::builder

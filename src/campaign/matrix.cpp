@@ -1,0 +1,115 @@
+#include "campaign/matrix.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace tsn::campaign {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Axis parse_axis(std::string_view spec) {
+  const std::size_t eq = spec.find('=');
+  require(eq != std::string_view::npos,
+          "axis: expected 'name=v1,v2,...', got '" + std::string(spec) + "'");
+  Axis axis;
+  axis.name = std::string(trim(spec.substr(0, eq)));
+  require(!axis.name.empty(), "axis: empty name in '" + std::string(spec) + "'");
+  for (const std::string_view part : split(spec.substr(eq + 1), ',')) {
+    const std::string_view value = trim(part);
+    require(!value.empty(), "axis '" + axis.name + "': empty value");
+    axis.values.emplace_back(value);
+  }
+  require(!axis.values.empty(), "axis '" + axis.name + "': no values");
+  return axis;
+}
+
+std::vector<Axis> parse_axes(std::string_view spec) {
+  std::vector<Axis> axes;
+  for (const std::string_view part : split(spec, ';')) {
+    if (trim(part).empty()) continue;  // tolerate a trailing ';'
+    axes.push_back(parse_axis(trim(part)));
+  }
+  require(!axes.empty(), "axes: no axis in '" + std::string(spec) + "'");
+  return axes;
+}
+
+const std::string* RunPoint::find(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string RunPoint::label() const {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value;
+  }
+  return out.empty() ? "(defaults)" : out;
+}
+
+ScenarioMatrix& ScenarioMatrix::add_axis(std::string name, std::vector<std::string> values) {
+  return add_axis(Axis{std::move(name), std::move(values)});
+}
+
+ScenarioMatrix& ScenarioMatrix::add_axis(Axis axis) {
+  require(!axis.name.empty(), "matrix: axis name must not be empty");
+  require(!axis.values.empty(), "matrix: axis '" + axis.name + "' needs at least one value");
+  for (const Axis& existing : axes_) {
+    require(existing.name != axis.name, "matrix: duplicate axis '" + axis.name + "'");
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+std::size_t ScenarioMatrix::point_count() const {
+  std::size_t n = 1;
+  for (const Axis& axis : axes_) n *= axis.values.size();
+  return n;
+}
+
+std::vector<RunPoint> ScenarioMatrix::expand() const {
+  const std::size_t total = point_count();
+  std::vector<RunPoint> points;
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    RunPoint point;
+    point.index = i;
+    point.params.reserve(axes_.size());
+    // Mixed-radix decomposition of i, most significant digit first.
+    std::size_t stride = total;
+    for (const Axis& axis : axes_) {
+      stride /= axis.values.size();
+      const std::size_t digit = (i / stride) % axis.values.size();
+      point.params.emplace_back(axis.name, axis.values[digit]);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace tsn::campaign

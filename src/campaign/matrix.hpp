@@ -1,0 +1,67 @@
+// Declarative scenario matrix — the experiment plan of a campaign.
+//
+// A matrix is an ordered list of named axes, each with one or more
+// values; expand() takes the cross product into a flat run list. One
+// RunPoint is one cell of the matrix: an ordered (axis, value) binding
+// that a scenario factory turns into a concrete simulation. The first
+// axis varies slowest, so the expansion order (and hence every
+// point_index) is a pure function of the matrix — the anchor for
+// deterministic seeding and stable result ordering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tsn::campaign {
+
+struct Axis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// Parses "name=v1,v2,v3" into an axis. Throws tsn::Error on an empty
+/// name, a missing '=', or an empty value list.
+[[nodiscard]] Axis parse_axis(std::string_view spec);
+
+/// Parses a ';'-separated list of axis specs:
+/// "bg-mbps=0,100,300;hops=2,3". Whitespace around separators is
+/// tolerated; empty segments are rejected.
+[[nodiscard]] std::vector<Axis> parse_axes(std::string_view spec);
+
+/// One cell of the expanded matrix.
+struct RunPoint {
+  std::size_t index = 0;  // position in expansion order
+  std::vector<std::pair<std::string, std::string>> params;  // axis order
+
+  /// Value of axis `name`, or nullptr when the point has no such axis.
+  [[nodiscard]] const std::string* find(std::string_view name) const;
+
+  /// "bg-mbps=100 hops=2" — for progress lines and error messages.
+  [[nodiscard]] std::string label() const;
+};
+
+class ScenarioMatrix {
+ public:
+  /// Appends an axis. Throws tsn::Error on an empty name, an empty value
+  /// list, or a duplicate axis name.
+  ScenarioMatrix& add_axis(std::string name, std::vector<std::string> values);
+  ScenarioMatrix& add_axis(Axis axis);
+
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Product of the axis sizes (1 for an empty matrix: the single
+  /// all-defaults point).
+  [[nodiscard]] std::size_t point_count() const;
+
+  /// The cross product in canonical order: the first axis varies
+  /// slowest, the last fastest.
+  [[nodiscard]] std::vector<RunPoint> expand() const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+}  // namespace tsn::campaign

@@ -1,0 +1,249 @@
+#include "campaign/record.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/text_table.hpp"
+
+namespace tsn::campaign {
+namespace {
+
+/// Shortest round-trippable decimal form — identical doubles always
+/// format identically, which is what row-level determinism needs.
+std::string fmt_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_params(const std::vector<std::pair<std::string, std::string>>& params) {
+  std::string out = "{";
+  for (const auto& [key, value] : params) {
+    if (out.size() > 1) out += ',';
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  return out + "}";
+}
+
+/// CSV quoting for the error column (params/metrics never need it).
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  return out + "\"";
+}
+
+std::size_t value_field_index(const char* name) {
+  const std::vector<ValueField>& fields = value_fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (std::string_view(fields[i].name) == name) return i;
+  }
+  throw Error(std::string("unknown value field '") + name + "'");
+}
+
+}  // namespace
+
+const std::vector<CounterField>& counter_fields() {
+  static const std::vector<CounterField> kFields = {
+      {"ts_injected", &RunMetrics::ts_injected},
+      {"ts_received", &RunMetrics::ts_received},
+      {"ts_deadline_misses", &RunMetrics::ts_deadline_misses},
+      {"switch_drops", &RunMetrics::switch_drops},
+      {"queue_full_drops", &RunMetrics::queue_full_drops},
+      {"buffer_drops", &RunMetrics::buffer_drops},
+      {"provisioning_failures", &RunMetrics::provisioning_failures},
+      {"peak_ts_queue", &RunMetrics::peak_ts_queue},
+      {"peak_buffer_in_use", &RunMetrics::peak_buffer_in_use},
+      {"max_sync_error_ns", &RunMetrics::max_sync_error_ns},
+  };
+  return kFields;
+}
+
+const std::vector<ValueField>& value_fields() {
+  static const std::vector<ValueField> kFields = {
+      {"ts_avg_us", &RunMetrics::ts_avg_us},
+      {"ts_jitter_us", &RunMetrics::ts_jitter_us},
+      {"ts_min_us", &RunMetrics::ts_min_us},
+      {"ts_max_us", &RunMetrics::ts_max_us},
+      {"ts_p50_us", &RunMetrics::ts_p50_us},
+      {"ts_p99_us", &RunMetrics::ts_p99_us},
+      {"ts_loss_pct", &RunMetrics::ts_loss_pct},
+      {"rc_loss_pct", &RunMetrics::rc_loss_pct},
+      {"be_loss_pct", &RunMetrics::be_loss_pct},
+      {"resource_kb", &RunMetrics::resource_kb},
+  };
+  return kFields;
+}
+
+RunMetrics metrics_from(const netsim::ScenarioResult& result, double resource_kb) {
+  RunMetrics m;
+  m.ts_injected = static_cast<std::int64_t>(result.ts.injected);
+  m.ts_received = static_cast<std::int64_t>(result.ts.received);
+  m.ts_deadline_misses = static_cast<std::int64_t>(result.ts.deadline_misses);
+  m.switch_drops = static_cast<std::int64_t>(result.switch_drops);
+  m.queue_full_drops = static_cast<std::int64_t>(result.queue_full_drops);
+  m.buffer_drops = static_cast<std::int64_t>(result.buffer_drops);
+  m.provisioning_failures = static_cast<std::int64_t>(result.provisioning_failures);
+  m.peak_ts_queue = result.peak_ts_queue;
+  m.peak_buffer_in_use = result.peak_buffer_in_use;
+  m.max_sync_error_ns = result.max_sync_error.ns();
+  m.ts_avg_us = result.ts.avg_latency_us();
+  m.ts_jitter_us = result.ts.jitter_us();
+  m.ts_min_us = result.ts.latency_us.min();
+  m.ts_max_us = result.ts.latency_us.max();
+  m.ts_p50_us = result.ts_p50_us;
+  m.ts_p99_us = result.ts_p99_us;
+  m.ts_loss_pct = result.ts.loss_rate() * 100.0;
+  m.rc_loss_pct = result.rc.loss_rate() * 100.0;
+  m.be_loss_pct = result.be.loss_rate() * 100.0;
+  m.resource_kb = resource_kb;
+  return m;
+}
+
+const std::string* RunRecord::find_param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string to_jsonl(const RunRecord& record, bool include_timing) {
+  std::string out = "{\"type\":\"run\"";
+  out += ",\"point\":" + std::to_string(record.point_index);
+  out += ",\"repeat\":" + std::to_string(record.repeat);
+  out += ",\"seed\":" + std::to_string(record.seed);
+  out += ",\"params\":" + json_params(record.params);
+  out += std::string(",\"ok\":") + (record.ok ? "true" : "false");
+  out += ",\"error\":\"" + json_escape(record.error) + "\"";
+  for (const CounterField& f : counter_fields()) {
+    out += ",\"" + std::string(f.name) + "\":" + std::to_string(record.metrics.*f.member);
+  }
+  for (const ValueField& f : value_fields()) {
+    out += ",\"" + std::string(f.name) + "\":" + fmt_number(record.metrics.*f.member);
+  }
+  if (include_timing) out += ",\"wall_ms\":" + fmt_number(record.wall_ms);
+  return out + "}";
+}
+
+std::string csv_header(const std::vector<Axis>& axes) {
+  std::string out = "point,repeat,seed";
+  for (const Axis& axis : axes) out += "," + axis.name;
+  out += ",ok,error";
+  for (const CounterField& f : counter_fields()) out += "," + std::string(f.name);
+  for (const ValueField& f : value_fields()) out += "," + std::string(f.name);
+  return out + ",wall_ms";
+}
+
+std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
+  std::string out = std::to_string(record.point_index) + "," +
+                    std::to_string(record.repeat) + "," + std::to_string(record.seed);
+  for (const Axis& axis : axes) {
+    const std::string* value = record.find_param(axis.name);
+    out += ",";
+    if (value != nullptr) out += csv_quote(*value);
+  }
+  out += record.ok ? ",1," : ",0,";
+  out += csv_quote(record.error);
+  for (const CounterField& f : counter_fields()) {
+    out += "," + std::to_string(record.metrics.*f.member);
+  }
+  for (const ValueField& f : value_fields()) {
+    out += "," + fmt_number(record.metrics.*f.member);
+  }
+  return out + "," + fmt_number(record.wall_ms);
+}
+
+std::vector<PointAggregate> aggregate(const std::vector<RunRecord>& records) {
+  std::map<std::size_t, PointAggregate> by_point;
+  for (const RunRecord& record : records) {
+    PointAggregate& agg = by_point[record.point_index];
+    if (agg.repeats == 0 && agg.failures == 0) {
+      agg.point_index = record.point_index;
+      agg.params = record.params;
+      agg.values.resize(value_fields().size());
+    }
+    ++agg.repeats;
+    if (!record.ok) {
+      ++agg.failures;
+      continue;  // failed repeats carry no metrics
+    }
+    const std::vector<ValueField>& fields = value_fields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      agg.values[i].add(record.metrics.*fields[i].member);
+    }
+  }
+  std::vector<PointAggregate> out;
+  out.reserve(by_point.size());
+  for (auto& [index, agg] : by_point) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string to_jsonl(const PointAggregate& aggregate_row) {
+  std::string out = "{\"type\":\"aggregate\"";
+  out += ",\"point\":" + std::to_string(aggregate_row.point_index);
+  out += ",\"params\":" + json_params(aggregate_row.params);
+  out += ",\"repeats\":" + std::to_string(aggregate_row.repeats);
+  out += ",\"failures\":" + std::to_string(aggregate_row.failures);
+  const std::vector<ValueField>& fields = value_fields();
+  for (std::size_t i = 0; i < fields.size() && i < aggregate_row.values.size(); ++i) {
+    const analysis::StreamingStats& s = aggregate_row.values[i];
+    out += ",\"" + std::string(fields[i].name) + "_mean\":" + fmt_number(s.mean());
+    out += ",\"" + std::string(fields[i].name) + "_stddev\":" + fmt_number(s.stddev());
+  }
+  return out + "}";
+}
+
+std::string render_summary(const std::vector<PointAggregate>& aggregates) {
+  TextTable table;
+  table.set_header({"point", "runs", "failed", "TS avg (us)", "jitter (us)", "p99 (us)",
+                    "loss %", "BRAM Kb"});
+  const std::size_t i_avg = value_field_index("ts_avg_us");
+  const std::size_t i_jit = value_field_index("ts_jitter_us");
+  const std::size_t i_p99 = value_field_index("ts_p99_us");
+  const std::size_t i_loss = value_field_index("ts_loss_pct");
+  const std::size_t i_kb = value_field_index("resource_kb");
+  for (const PointAggregate& agg : aggregates) {
+    RunPoint point;
+    point.params = agg.params;
+    auto cell = [&agg](std::size_t i) {
+      if (agg.values[i].count() == 0) return std::string("-");
+      std::string out = fmt_number(agg.values[i].mean());
+      if (agg.values[i].count() > 1) out += " +/- " + fmt_number(agg.values[i].stddev());
+      return out;
+    };
+    table.add_row({point.label(), std::to_string(agg.repeats),
+                   std::to_string(agg.failures), cell(i_avg), cell(i_jit), cell(i_p99),
+                   cell(i_loss), cell(i_kb)});
+  }
+  return table.render();
+}
+
+}  // namespace tsn::campaign

@@ -1,0 +1,122 @@
+// Structured results of a campaign — one RunRecord per (point, repeat),
+// plus per-point aggregates across repeats.
+//
+// Records serialize to JSONL (one self-describing object per line; "run"
+// rows followed by "aggregate" rows) and to CSV (one column per axis and
+// per metric). Serialization is deterministic: fields appear in a fixed
+// order and numbers format identically for identical values, so two runs
+// with the same seeds produce byte-identical rows. Wall-clock time is
+// the one intentionally non-deterministic field; to_jsonl() can omit it
+// for byte-wise comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "campaign/matrix.hpp"
+#include "netsim/scenario.hpp"
+
+namespace tsn::campaign {
+
+/// The metrics one simulation run exports (the paper's Fig. 2 / Fig. 7
+/// observables plus device state and resource cost).
+struct RunMetrics {
+  // Counters.
+  std::int64_t ts_injected = 0;
+  std::int64_t ts_received = 0;
+  std::int64_t ts_deadline_misses = 0;
+  std::int64_t switch_drops = 0;
+  std::int64_t queue_full_drops = 0;
+  std::int64_t buffer_drops = 0;
+  std::int64_t provisioning_failures = 0;
+  std::int64_t peak_ts_queue = 0;
+  std::int64_t peak_buffer_in_use = 0;
+  std::int64_t max_sync_error_ns = 0;
+
+  // Values.
+  double ts_avg_us = 0.0;
+  double ts_jitter_us = 0.0;
+  double ts_min_us = 0.0;
+  double ts_max_us = 0.0;
+  double ts_p50_us = 0.0;
+  double ts_p99_us = 0.0;
+  double ts_loss_pct = 0.0;
+  double rc_loss_pct = 0.0;
+  double be_loss_pct = 0.0;
+  double resource_kb = 0.0;
+};
+
+/// Field tables driving every serializer (JSONL, CSV, aggregates), so
+/// adding a metric is a one-line change.
+struct CounterField {
+  const char* name;
+  std::int64_t RunMetrics::*member;
+};
+struct ValueField {
+  const char* name;
+  double RunMetrics::*member;
+};
+[[nodiscard]] const std::vector<CounterField>& counter_fields();
+[[nodiscard]] const std::vector<ValueField>& value_fields();
+
+/// Extracts the exported metrics from a finished scenario.
+/// `resource_kb` is priced separately (the scenario does not know its
+/// own BRAM cost).
+[[nodiscard]] RunMetrics metrics_from(const netsim::ScenarioResult& result,
+                                      double resource_kb);
+
+struct RunRecord {
+  std::size_t point_index = 0;
+  std::size_t repeat = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::string>> params;  // axis order
+
+  bool ok = false;
+  std::string error;  // non-empty iff !ok
+  RunMetrics metrics;
+
+  double wall_ms = 0.0;  // host wall-clock; excluded from determinism
+
+  /// Value of axis `name`, or nullptr.
+  [[nodiscard]] const std::string* find_param(std::string_view name) const;
+};
+
+/// One JSON object, no trailing newline:
+/// {"type":"run","point":0,"repeat":1,"seed":...,"params":{...},
+///  "ok":true,"error":"",<counters>,<values>,"wall_ms":...}.
+/// `include_timing == false` omits wall_ms (byte-stable form).
+[[nodiscard]] std::string to_jsonl(const RunRecord& record, bool include_timing = true);
+
+/// CSV header for a campaign over `axes`:
+/// point,repeat,seed,<axis...>,ok,error,<counters...>,<values...>,wall_ms
+[[nodiscard]] std::string csv_header(const std::vector<Axis>& axes);
+[[nodiscard]] std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes);
+
+/// Per-point aggregate across repeats. Value metrics get mean/stddev
+/// over the successful repeats; failures are counted.
+struct PointAggregate {
+  std::size_t point_index = 0;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t repeats = 0;
+  std::size_t failures = 0;
+  /// One stats accumulator per value_fields() entry, same order.
+  std::vector<analysis::StreamingStats> values;
+};
+
+/// Groups `records` (any order) by point_index and aggregates. The
+/// output is sorted by point_index.
+[[nodiscard]] std::vector<PointAggregate> aggregate(const std::vector<RunRecord>& records);
+
+/// {"type":"aggregate","point":0,"params":{...},"repeats":3,
+///  "failures":0,"ts_avg_us_mean":...,"ts_avg_us_stddev":...,...}
+[[nodiscard]] std::string to_jsonl(const PointAggregate& aggregate_row);
+
+/// Human-readable summary table of the aggregates (one line per point).
+[[nodiscard]] std::string render_summary(const std::vector<PointAggregate>& aggregates);
+
+}  // namespace tsn::campaign

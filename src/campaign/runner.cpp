@@ -1,0 +1,108 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "builder/switch_builder.hpp"
+#include "common/error.hpp"
+
+namespace tsn::campaign {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(ScenarioMatrix matrix, CampaignOptions options)
+    : matrix_(std::move(matrix)), options_(options) {
+  require(options_.repeats >= 1, "campaign: repeats must be >= 1");
+  if (options_.jobs == 0) {
+    options_.jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::size_t CampaignRunner::total_runs() const {
+  return matrix_.point_count() * options_.repeats;
+}
+
+std::uint64_t CampaignRunner::derive_seed(std::uint64_t base, std::size_t point,
+                                          std::size_t repeat) {
+  std::uint64_t x = splitmix64(base);
+  x = splitmix64(x ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(point) + 1)));
+  x = splitmix64(x ^ (0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(repeat) + 1)));
+  return x;
+}
+
+std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
+                                           const ProgressFn& progress) {
+  require(static_cast<bool>(factory), "campaign: a scenario factory is required");
+  const std::vector<RunPoint> points = matrix_.expand();
+  const std::size_t repeats = options_.repeats;
+  const std::size_t total = points.size() * repeats;
+
+  std::vector<RunRecord> records(total);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const RunPoint& point = points[i / repeats];
+      const std::size_t repeat = i % repeats;
+
+      RunRecord& record = records[i];
+      record.point_index = point.index;
+      record.repeat = repeat;
+      record.seed = derive_seed(options_.base_seed, point.index, repeat);
+      record.params = point.params;
+
+      const auto started = std::chrono::steady_clock::now();
+      try {
+        netsim::ScenarioConfig cfg = factory(point, record.seed);
+        // Price the configuration before the simulation consumes it.
+        builder::SwitchBuilder pricer;
+        pricer.with_resources(cfg.options.resource);
+        const double resource_kb = pricer.report().total().kilobits();
+        const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+        record.metrics = metrics_from(result, resource_kb);
+        record.ok = true;
+      } catch (const std::exception& e) {
+        record.ok = false;
+        record.error = e.what();
+      }
+      record.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+
+      const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(record, finished, total);
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(options_.jobs, std::max<std::size_t>(1, total));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  return records;
+}
+
+}  // namespace tsn::campaign

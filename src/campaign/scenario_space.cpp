@@ -1,0 +1,146 @@
+#include "campaign/scenario_space.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "builder/planner.hpp"
+#include "builder/presets.hpp"
+#include "common/error.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn::campaign {
+namespace {
+
+std::int64_t to_int(const std::string& name, const std::string& value) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+  require(ec == std::errc() && ptr == value.data() + value.size(),
+          "axis '" + name + "': '" + value + "' is not an integer");
+  return parsed;
+}
+
+double to_double(const std::string& name, const std::string& value) {
+  double parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+  require(ec == std::errc() && ptr == value.data() + value.size(),
+          "axis '" + name + "': '" + value + "' is not a number");
+  return parsed;
+}
+
+bool to_switch(const std::string& name, const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw Error("axis '" + name + "': expected on|off, got '" + value + "'");
+}
+
+/// Applies one (axis, value) binding onto the defaults.
+void apply_param(ScenarioDefaults& p, const std::string& name, const std::string& value) {
+  if (name == "topology") p.topology = value;
+  else if (name == "switches") p.switches = to_int(name, value);
+  else if (name == "flows") p.flows = to_int(name, value);
+  else if (name == "frame") p.frame = to_int(name, value);
+  else if (name == "period-ms") p.period_ms = to_int(name, value);
+  else if (name == "slot-us") p.slot_us = to_double(name, value);
+  else if (name == "hops") p.hops = to_int(name, value);
+  else if (name == "rc-mbps") p.rc_mbps = to_int(name, value);
+  else if (name == "be-mbps") p.be_mbps = to_int(name, value);
+  else if (name == "bg-mbps") p.rc_mbps = p.be_mbps = to_int(name, value);
+  else if (name == "config") p.config = value;
+  else if (name == "itp") p.itp = to_switch(name, value);
+  else if (name == "duration-ms") p.duration_ms = to_int(name, value);
+  else if (name == "warmup-ms") p.warmup_ms = to_int(name, value);
+  else throw Error("unknown campaign axis '" + name + "'");
+}
+
+}  // namespace
+
+netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t seed,
+                                          const ScenarioDefaults& defaults) {
+  ScenarioDefaults p = defaults;
+  for (const auto& [name, value] : point.params) apply_param(p, name, value);
+
+  require(p.switches >= 1, "campaign: switches must be >= 1");
+  require(p.flows >= 1, "campaign: flows must be >= 1");
+  require(p.period_ms >= 1, "campaign: period-ms must be >= 1");
+  require(p.slot_us > 0, "campaign: slot-us must be > 0");
+  require(p.duration_ms >= 1, "campaign: duration-ms must be >= 1");
+
+  netsim::ScenarioConfig cfg;
+  std::int64_t preset_ports = 1;
+  if (p.topology == "ring") {
+    cfg.built = topo::make_ring(static_cast<std::size_t>(p.switches));
+    preset_ports = 1;
+  } else if (p.topology == "linear") {
+    cfg.built = topo::make_linear(static_cast<std::size_t>(p.switches));
+    preset_ports = 2;
+  } else if (p.topology == "star") {
+    cfg.built = topo::make_star(static_cast<std::size_t>(p.switches));
+    preset_ports = 3;
+  } else {
+    throw Error("campaign: unknown topology '" + p.topology + "' (ring|linear|star)");
+  }
+  require(p.hops >= 1 &&
+              p.hops <= static_cast<std::int64_t>(cfg.built.switch_nodes.size()),
+          "campaign: hops out of range for this topology");
+
+  const Duration slot(static_cast<std::int64_t>(p.slot_us * 1000.0));
+  traffic::TsWorkloadParams params;
+  params.flow_count = static_cast<std::size_t>(p.flows);
+  params.frame_bytes = p.frame;
+  params.period = milliseconds(p.period_ms);
+  params.seed = seed;
+  const topo::NodeId src = cfg.built.host_nodes.front();
+  topo::NodeId dst = cfg.built.host_nodes[static_cast<std::size_t>(p.hops - 1)];
+  if (p.hops == 1) {
+    // Talker and listener share the first switch: attach a dedicated
+    // listener host so the flow still crosses the TSN dataplane.
+    dst = cfg.built.topology.add_host("listener");
+    cfg.built.topology.connect(cfg.built.switch_nodes[0], dst, Duration(50));
+  }
+  cfg.flows = traffic::make_ts_flows(src, dst, params);
+
+  if (p.rc_mbps > 0 || p.be_mbps > 0) {
+    const topo::NodeId bg_host = cfg.built.topology.add_host("bg");
+    cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
+    if (p.rc_mbps > 0) {
+      cfg.flows.push_back(traffic::make_rc_flow(
+          900'000, bg_host, dst, DataRate::megabits_per_sec(p.rc_mbps)));
+    }
+    if (p.be_mbps > 0) {
+      cfg.flows.push_back(traffic::make_be_flow(
+          900'001, bg_host, dst, DataRate::megabits_per_sec(p.be_mbps)));
+    }
+  }
+
+  if (p.config == "planned") {
+    builder::PlannerInput input;
+    input.topology = &cfg.built.topology;
+    input.flows = cfg.flows;
+    input.slot = slot;
+    cfg.options.resource = builder::ParameterPlanner::plan(input).config;
+  } else {
+    if (p.config == "case1") cfg.options.resource = builder::table1_case1();
+    else if (p.config == "case2") cfg.options.resource = builder::table1_case2();
+    else if (p.config == "commercial") cfg.options.resource = builder::bcm53154_reference();
+    else if (p.config == "customized") cfg.options.resource = builder::paper_customized(preset_ports);
+    else throw Error("campaign: unknown config '" + p.config +
+                     "' (planned|case1|case2|commercial|customized)");
+    // Presets fix QoS resources (queues, buffers, gates); the shared
+    // tables must still fit the workload's streams.
+    const std::int64_t needed = p.flows + 16;
+    sw::SwitchResourceConfig& r = cfg.options.resource;
+    r.unicast_table_size = std::max(r.unicast_table_size, needed);
+    r.classification_table_size = std::max(r.classification_table_size, needed);
+    r.meter_table_size = std::max(r.meter_table_size, needed);
+  }
+
+  cfg.options.runtime.slot_size = slot;
+  cfg.options.seed = seed;
+  cfg.use_itp = p.itp;
+  cfg.warmup = milliseconds(p.warmup_ms);
+  cfg.traffic_duration = milliseconds(p.duration_ms);
+  return cfg;
+}
+
+}  // namespace tsn::campaign

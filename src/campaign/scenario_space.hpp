@@ -1,0 +1,58 @@
+// The campaign's parameter vocabulary: turns a RunPoint's (axis, value)
+// bindings into a concrete netsim::ScenarioConfig.
+//
+// Recognized axes (unlisted axes throw tsn::Error, which the runner
+// records as a failed row):
+//   topology   ring | linear | star            (default linear)
+//   switches   switch count / star leaves      (default 3)
+//   flows      periodic TS flow count          (default 256)
+//   frame      TS frame bytes                  (default 64)
+//   period-ms  TS flow period                  (default 10)
+//   slot-us    CQF slot size (fractional ok)   (default 65)
+//   hops       switches each TS flow crosses   (default 2; 1 = dedicated
+//              listener host on the first switch)
+//   rc-mbps    RC background rate              (default 0)
+//   be-mbps    BE background rate              (default 0)
+//   bg-mbps    sets rc-mbps AND be-mbps (paired background, Fig. 7(d))
+//   config     planned | case1 | case2 | commercial | customized
+//              (default planned — run the §III.C planner on the
+//              workload; presets auto-grow their shared tables to fit)
+//   itp        on | off                        (default on)
+//   duration-ms  measured traffic window       (default 100)
+//   warmup-ms    gPTP warm-up                  (default 150)
+//
+// Defaults can be overridden programmatically (benches pin topology and
+// durations, then sweep the rest as axes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/matrix.hpp"
+#include "netsim/scenario.hpp"
+
+namespace tsn::campaign {
+
+struct ScenarioDefaults {
+  std::string topology = "linear";
+  std::int64_t switches = 3;
+  std::int64_t flows = 256;
+  std::int64_t frame = 64;
+  std::int64_t period_ms = 10;
+  double slot_us = 65.0;
+  std::int64_t hops = 2;
+  std::int64_t rc_mbps = 0;
+  std::int64_t be_mbps = 0;
+  std::string config = "planned";
+  bool itp = true;
+  std::int64_t duration_ms = 100;
+  std::int64_t warmup_ms = 150;
+};
+
+/// Builds the scenario for one matrix cell. `seed` drives workload and
+/// simulation randomness. Throws tsn::Error on unknown axes or values
+/// that do not form a runnable scenario.
+[[nodiscard]] netsim::ScenarioConfig scenario_for_point(
+    const RunPoint& point, std::uint64_t seed, const ScenarioDefaults& defaults = {});
+
+}  // namespace tsn::campaign

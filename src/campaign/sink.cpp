@@ -1,0 +1,36 @@
+#include "campaign/sink.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tsn::campaign {
+
+SinkFormat parse_sink_format(const std::string& name) {
+  if (name == "jsonl") return SinkFormat::kJsonl;
+  if (name == "csv") return SinkFormat::kCsv;
+  throw Error("unknown output format '" + name + "' (jsonl|csv)");
+}
+
+std::string serialize(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
+                      SinkFormat format, bool include_timing) {
+  std::string out;
+  if (format == SinkFormat::kCsv) {
+    out += csv_header(axes) + "\n";
+    for (const RunRecord& record : records) out += to_csv(record, axes) + "\n";
+    return out;
+  }
+  for (const RunRecord& record : records) out += to_jsonl(record, include_timing) + "\n";
+  for (const PointAggregate& agg : aggregate(records)) out += to_jsonl(agg) + "\n";
+  return out;
+}
+
+void write_file(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
+                SinkFormat format, const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(), "cannot open '" + path + "' for writing");
+  file << serialize(records, axes, format);
+  require(file.good(), "failed writing campaign results to '" + path + "'");
+}
+
+}  // namespace tsn::campaign

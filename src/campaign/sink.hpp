@@ -1,0 +1,32 @@
+// File sinks: serialize a finished campaign to JSONL or CSV.
+//
+// JSONL: one "run" object per (point, repeat) in record order, followed
+// by one "aggregate" object per point. CSV: a header row plus one row
+// per run (aggregates are a JSONL/console concern — CSV stays flat for
+// spreadsheet import).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "campaign/record.hpp"
+
+namespace tsn::campaign {
+
+enum class SinkFormat { kJsonl, kCsv };
+
+/// Parses "jsonl" | "csv"; throws tsn::Error otherwise.
+[[nodiscard]] SinkFormat parse_sink_format(const std::string& name);
+
+/// The full serialized campaign (rows + aggregates for JSONL, header +
+/// rows for CSV), with trailing newline.
+[[nodiscard]] std::string serialize(const std::vector<RunRecord>& records,
+                                    const std::vector<Axis>& axes, SinkFormat format,
+                                    bool include_timing = true);
+
+/// Writes serialize() to `path`. Throws tsn::Error on I/O failure.
+void write_file(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
+                SinkFormat format, const std::string& path);
+
+}  // namespace tsn::campaign

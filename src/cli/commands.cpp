@@ -7,6 +7,9 @@
 #include "builder/planner.hpp"
 #include "builder/presets.hpp"
 #include "builder/switch_builder.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario_space.hpp"
+#include "campaign/sink.hpp"
 #include "cli/args.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -287,6 +290,75 @@ int cmd_frer(const std::vector<std::string>& args, std::string& out) {
   return 0;
 }
 
+int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  parser.add_option("axes",
+                    "scenario matrix: 'name=v1,v2;name2=...' (axes: topology, "
+                    "switches, flows, frame, period-ms, slot-us, hops, rc-mbps, "
+                    "be-mbps, config, itp, duration-ms, warmup-ms)",
+                    "");
+  parser.add_option("jobs", "worker threads (0 = hardware concurrency)", "1");
+  parser.add_option("repeats", "repeats per matrix point", "1");
+  parser.add_option("seed", "campaign base seed", "7");
+  parser.add_option("out", "result file (JSONL or CSV)", "campaign.jsonl");
+  parser.add_option("format", "jsonl | csv", "jsonl");
+  parser.add_flag("quiet", "suppress per-run progress lines");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb campaign [options]\n" + parser.usage();
+    return 2;
+  }
+  const std::string axes_spec = parser.get("axes");
+  require(!axes_spec.empty(), "--axes is required (e.g. --axes 'be-mbps=0,300;hops=2,3')");
+  const auto jobs = parser.get_int("jobs");
+  const auto repeats = parser.get_int("repeats");
+  const auto seed = parser.get_int("seed");
+  require(jobs.has_value() && *jobs >= 0, "invalid --jobs");
+  require(repeats.has_value() && *repeats >= 1, "invalid --repeats");
+  require(seed.has_value(), "invalid --seed");
+  // Validate the sink before spending any simulation time.
+  const campaign::SinkFormat format = campaign::parse_sink_format(parser.get("format"));
+
+  campaign::ScenarioMatrix matrix;
+  for (campaign::Axis& axis : campaign::parse_axes(axes_spec)) {
+    matrix.add_axis(std::move(axis));
+  }
+  campaign::CampaignOptions options;
+  options.jobs = static_cast<std::size_t>(*jobs);
+  options.repeats = static_cast<std::size_t>(*repeats);
+  options.base_seed = static_cast<std::uint64_t>(*seed);
+
+  campaign::CampaignRunner runner(std::move(matrix), options);
+  const bool quiet = parser.get_bool("quiet");
+  out += "campaign: " + std::to_string(runner.matrix().point_count()) + " points x " +
+         std::to_string(*repeats) + " repeat(s) = " + std::to_string(runner.total_runs()) +
+         " runs\n";
+
+  const auto progress = [quiet](const campaign::RunRecord& record, std::size_t done,
+                                std::size_t total) {
+    if (quiet) return;
+    campaign::RunPoint point;
+    point.params = record.params;
+    std::fprintf(stderr, "[%zu/%zu] %s %s\n", done, total,
+                 record.ok ? "ok" : "FAILED", point.label().c_str());
+  };
+  const std::vector<campaign::RunRecord> records =
+      runner.run([](const campaign::RunPoint& point, std::uint64_t run_seed) {
+        return campaign::scenario_for_point(point, run_seed);
+      }, progress);
+
+  const std::string path = parser.get("out");
+  campaign::write_file(records, runner.matrix().axes(), format, path);
+
+  std::size_t failed = 0;
+  for (const campaign::RunRecord& record : records) {
+    if (!record.ok) ++failed;
+  }
+  out += std::to_string(records.size()) + " rows written to " + path + " (" +
+         std::to_string(failed) + " failed)\n\n";
+  out += campaign::render_summary(campaign::aggregate(records));
+  return failed == records.size() ? 1 : 0;
+}
+
 const char kTopUsage[] =
     "tsnb — TSN-Builder command line\n"
     "\n"
@@ -294,6 +366,7 @@ const char kTopUsage[] =
     "  plan      derive resource parameters for an application (guidelines 1-5)\n"
     "  simulate  plan (or --config), then verify by discrete-event simulation\n"
     "  report    print a preset's or saved config's Table III-style report\n"
+    "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
     "  help      this message\n"
     "\n"
@@ -311,6 +384,7 @@ int run_tsnb(const std::vector<std::string>& args, std::string& out) {
     if (args[0] == "plan") return cmd_plan(rest, out);
     if (args[0] == "simulate") return cmd_simulate(rest, out);
     if (args[0] == "report") return cmd_report(rest, out);
+    if (args[0] == "campaign") return cmd_campaign(rest, out);
     if (args[0] == "frer") return cmd_frer(rest, out);
     out = "unknown subcommand '" + args[0] + "'\n\n" + kTopUsage;
     return 2;

@@ -64,6 +64,13 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   result.max_sync_error = network.max_sync_error();
   if (config.export_flow_csv) result.flow_csv = network.analyzer().to_csv();
 
+  std::vector<double> ts_samples =
+      network.analyzer().latency_samples(net::TrafficClass::kTimeSensitive);
+  if (!ts_samples.empty()) {
+    result.ts_p50_us = analysis::percentile_of(ts_samples, 50.0);
+    result.ts_p99_us = analysis::percentile_of(ts_samples, 99.0);
+  }
+
   // Distribution of per-packet TS latencies (all flows merged).
   if (result.ts.received > 0 && result.ts.latency_us.max() > result.ts.latency_us.min()) {
     analysis::Histogram hist(result.ts.latency_us.min(),

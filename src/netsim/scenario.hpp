@@ -51,6 +51,12 @@ struct ScenarioResult {
   analysis::ClassSummary rc;
   analysis::ClassSummary be;
 
+  /// TS latency percentiles over the pooled per-packet samples of every
+  /// TS flow (0 when nothing was delivered). The campaign sink exports
+  /// these alongside mean/jitter.
+  double ts_p50_us = 0.0;
+  double ts_p99_us = 0.0;
+
   std::uint64_t provisioning_failures = 0;
   std::uint64_t switch_drops = 0;
   std::uint64_t ts_gate_drops = 0;     // ingress-gate-closed drops

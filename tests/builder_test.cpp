@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
         TableIIIColumn{"star", 3, 72, 126, 72, 108, 108, 432, 4860, 5778, 46.59},
         TableIIIColumn{"linear", 2, 72, 126, 72, 72, 72, 288, 3240, 3942, 63.56},
         TableIIIColumn{"ring", 1, 72, 126, 72, 36, 36, 144, 1620, 2106, 80.53}),
-    [](const ::testing::TestParamInfo<TableIIIColumn>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<TableIIIColumn>& param_info) {
+      return param_info.param.label;
     });
 
 // ------------------------------------------------- Table I exact numbers

@@ -1,0 +1,298 @@
+// Tests for the campaign subsystem: matrix expansion, deterministic
+// parallel execution, failure capture, and the JSONL/CSV sinks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "campaign/record.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario_space.hpp"
+#include "campaign/sink.hpp"
+#include "common/error.hpp"
+
+namespace tsn::campaign {
+namespace {
+
+// --------------------------------------------------------------- matrix
+TEST(MatrixTest, ExpandsCrossProductInCanonicalOrder) {
+  ScenarioMatrix matrix;
+  matrix.add_axis("a", {"1", "2"}).add_axis("b", {"x", "y", "z"});
+  EXPECT_EQ(matrix.point_count(), 6u);
+
+  const std::vector<RunPoint> points = matrix.expand();
+  ASSERT_EQ(points.size(), 6u);
+  // First axis slowest: (1,x) (1,y) (1,z) (2,x) (2,y) (2,z).
+  EXPECT_EQ(points[0].label(), "a=1 b=x");
+  EXPECT_EQ(points[2].label(), "a=1 b=z");
+  EXPECT_EQ(points[3].label(), "a=2 b=x");
+  EXPECT_EQ(points[5].label(), "a=2 b=z");
+  for (std::size_t i = 0; i < points.size(); ++i) EXPECT_EQ(points[i].index, i);
+
+  ASSERT_NE(points[4].find("b"), nullptr);
+  EXPECT_EQ(*points[4].find("b"), "y");
+  EXPECT_EQ(points[4].find("missing"), nullptr);
+}
+
+TEST(MatrixTest, EmptyMatrixIsOneDefaultsPoint) {
+  const ScenarioMatrix matrix;
+  EXPECT_EQ(matrix.point_count(), 1u);
+  const std::vector<RunPoint> points = matrix.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].params.empty());
+  EXPECT_EQ(points[0].label(), "(defaults)");
+}
+
+TEST(MatrixTest, RejectsDuplicateAndEmptyAxes) {
+  ScenarioMatrix matrix;
+  matrix.add_axis("a", {"1"});
+  EXPECT_THROW(matrix.add_axis("a", {"2"}), Error);
+  EXPECT_THROW(matrix.add_axis("", {"1"}), Error);
+  EXPECT_THROW(matrix.add_axis("b", {}), Error);
+}
+
+TEST(MatrixTest, ParsesAxisSpecs) {
+  const Axis axis = parse_axis("bg-mbps = 0, 100 ,300");
+  EXPECT_EQ(axis.name, "bg-mbps");
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[1], "100");
+
+  const std::vector<Axis> axes = parse_axes("a=1,2; b=x ;");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].name, "a");
+  EXPECT_EQ(axes[1].values.front(), "x");
+
+  EXPECT_THROW(parse_axis("noequals"), Error);
+  EXPECT_THROW(parse_axis("=1,2"), Error);
+  EXPECT_THROW(parse_axis("a=1,,2"), Error);
+  EXPECT_THROW(parse_axes(";"), Error);
+}
+
+// --------------------------------------------------------------- seeding
+TEST(RunnerTest, DerivedSeedsAreStableAndDistinct) {
+  const std::uint64_t s00 = CampaignRunner::derive_seed(7, 0, 0);
+  EXPECT_EQ(s00, CampaignRunner::derive_seed(7, 0, 0));
+  EXPECT_NE(s00, CampaignRunner::derive_seed(7, 0, 1));
+  EXPECT_NE(s00, CampaignRunner::derive_seed(7, 1, 0));
+  EXPECT_NE(s00, CampaignRunner::derive_seed(8, 0, 0));
+  // (point, repeat) must not alias (repeat, point).
+  EXPECT_NE(CampaignRunner::derive_seed(7, 1, 2), CampaignRunner::derive_seed(7, 2, 1));
+}
+
+// ----------------------------------------------------------------- runner
+ScenarioMatrix small_matrix() {
+  ScenarioMatrix matrix;
+  matrix.add_axis("hops", {"2", "3"});
+  matrix.add_axis("be-mbps", {"0", "200"});
+  return matrix;
+}
+
+ScenarioDefaults fast_defaults() {
+  ScenarioDefaults d;
+  d.topology = "ring";
+  d.switches = 3;
+  d.flows = 8;
+  d.warmup_ms = 50;
+  d.duration_ms = 20;
+  return d;
+}
+
+std::vector<RunRecord> run_campaign(std::size_t jobs, std::size_t repeats = 2,
+                                    std::uint64_t base_seed = 11) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.repeats = repeats;
+  options.base_seed = base_seed;
+  CampaignRunner runner(small_matrix(), options);
+  return runner.run([](const RunPoint& point, std::uint64_t seed) {
+    return scenario_for_point(point, seed, fast_defaults());
+  });
+}
+
+TEST(RunnerTest, SameSeedProducesByteIdenticalRows) {
+  const std::vector<RunRecord> first = run_campaign(/*jobs=*/1);
+  const std::vector<RunRecord> second = run_campaign(/*jobs=*/1);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(to_jsonl(first[i], /*include_timing=*/false),
+              to_jsonl(second[i], /*include_timing=*/false));
+  }
+}
+
+TEST(RunnerTest, JobCountDoesNotChangeResults) {
+  const std::vector<RunRecord> serial = run_campaign(/*jobs=*/1);
+  const std::vector<RunRecord> parallel = run_campaign(/*jobs=*/4);
+  ASSERT_EQ(serial.size(), 8u);  // 4 points x 2 repeats
+  ASSERT_EQ(parallel.size(), 8u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Records land at fixed positions (point, repeat) regardless of
+    // which worker ran them, and their payloads match byte for byte.
+    EXPECT_EQ(serial[i].point_index, parallel[i].point_index);
+    EXPECT_EQ(serial[i].repeat, parallel[i].repeat);
+    EXPECT_EQ(to_jsonl(serial[i], /*include_timing=*/false),
+              to_jsonl(parallel[i], /*include_timing=*/false));
+  }
+}
+
+TEST(RunnerTest, DifferentBaseSeedChangesRuns) {
+  const std::vector<RunRecord> a = run_campaign(1, 1, 11);
+  const std::vector<RunRecord> b = run_campaign(1, 1, 12);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(a[0].seed, b[0].seed);
+}
+
+TEST(RunnerTest, ThrowingRunBecomesFailedRow) {
+  ScenarioMatrix matrix;
+  matrix.add_axis("config", {"planned", "bogus"});
+  CampaignOptions options;
+  options.jobs = 2;
+  CampaignRunner runner(std::move(matrix), options);
+  const std::vector<RunRecord> records =
+      runner.run([](const RunPoint& point, std::uint64_t seed) {
+        return scenario_for_point(point, seed, fast_defaults());
+      });
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_NE(records[1].error.find("unknown config"), std::string::npos);
+  EXPECT_EQ(records[1].metrics.ts_received, 0);
+}
+
+TEST(RunnerTest, ProgressReportsEveryRun) {
+  CampaignOptions options;
+  options.jobs = 4;
+  CampaignRunner runner(small_matrix(), options);
+  std::size_t calls = 0;
+  std::size_t last_total = 0;
+  (void)runner.run(
+      [](const RunPoint& point, std::uint64_t seed) {
+        return scenario_for_point(point, seed, fast_defaults());
+      },
+      [&calls, &last_total](const RunRecord&, std::size_t, std::size_t total) {
+        ++calls;
+        last_total = total;
+      });
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(last_total, 4u);
+}
+
+// ------------------------------------------------------------------ sinks
+TEST(SinkTest, JsonlHasRunAndAggregateRows) {
+  const std::vector<RunRecord> records = run_campaign(1);
+  const std::string jsonl = serialize(records, small_matrix().axes(), SinkFormat::kJsonl);
+  std::size_t runs = 0;
+  std::size_t aggregates = 0;
+  std::size_t pos = 0;
+  while ((pos = jsonl.find("{\"type\":\"run\"", pos)) != std::string::npos) {
+    ++runs;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = jsonl.find("{\"type\":\"aggregate\"", pos)) != std::string::npos) {
+    ++aggregates;
+    ++pos;
+  }
+  EXPECT_EQ(runs, 8u);        // one per (point, repeat)
+  EXPECT_EQ(aggregates, 4u);  // one per point
+  EXPECT_NE(jsonl.find("\"ts_avg_us\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_p99_us\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"resource_kb\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_avg_us_mean\":"), std::string::npos);
+  EXPECT_EQ(serialize(records, small_matrix().axes(), SinkFormat::kJsonl,
+                      /*include_timing=*/false)
+                .find("wall_ms"),
+            std::string::npos);
+}
+
+TEST(SinkTest, CsvHasHeaderAndOneRowPerRun) {
+  const std::vector<RunRecord> records = run_campaign(1);
+  const std::string csv = serialize(records, small_matrix().axes(), SinkFormat::kCsv);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 9u);  // header + 8 runs
+  EXPECT_EQ(csv.rfind("point,repeat,seed,hops,be-mbps,ok,error,", 0), 0u);
+}
+
+TEST(SinkTest, EscapesJsonStrings) {
+  RunRecord record;
+  record.error = "bad \"value\"\nline2";
+  const std::string line = to_jsonl(record);
+  EXPECT_NE(line.find("bad \\\"value\\\"\\nline2"), std::string::npos);
+}
+
+TEST(SinkTest, ParsesFormats) {
+  EXPECT_EQ(parse_sink_format("jsonl"), SinkFormat::kJsonl);
+  EXPECT_EQ(parse_sink_format("csv"), SinkFormat::kCsv);
+  EXPECT_THROW((void)parse_sink_format("xml"), Error);
+}
+
+// -------------------------------------------------------------- aggregate
+TEST(AggregateTest, MeanAndStddevAcrossRepeats) {
+  std::vector<RunRecord> records;
+  for (std::size_t repeat = 0; repeat < 3; ++repeat) {
+    RunRecord r;
+    r.point_index = 5;
+    r.repeat = repeat;
+    r.ok = true;
+    r.metrics.ts_avg_us = 10.0 + static_cast<double>(repeat) * 10.0;  // 10, 20, 30
+    records.push_back(r);
+  }
+  RunRecord failed;
+  failed.point_index = 5;
+  failed.repeat = 3;
+  failed.ok = false;
+  failed.error = "boom";
+  records.push_back(failed);
+
+  const std::vector<PointAggregate> aggs = aggregate(records);
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].point_index, 5u);
+  EXPECT_EQ(aggs[0].repeats, 4u);
+  EXPECT_EQ(aggs[0].failures, 1u);
+  // ts_avg_us is the first value field.
+  ASSERT_FALSE(value_fields().empty());
+  EXPECT_STREQ(value_fields()[0].name, "ts_avg_us");
+  EXPECT_EQ(aggs[0].values[0].count(), 3u);  // failed repeat excluded
+  EXPECT_DOUBLE_EQ(aggs[0].values[0].mean(), 20.0);
+  EXPECT_NEAR(aggs[0].values[0].stddev(), 8.1649658, 1e-6);
+}
+
+// -------------------------------------------------------- scenario space
+TEST(ScenarioSpaceTest, RejectsUnknownAxisAndBadValues) {
+  RunPoint point;
+  point.params = {{"no-such-axis", "1"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+
+  point.params = {{"flows", "many"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+
+  point.params = {{"topology", "mesh"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+
+  point.params = {{"itp", "sometimes"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+}
+
+TEST(ScenarioSpaceTest, BindsAxesOntoScenario) {
+  RunPoint point;
+  point.params = {{"topology", "ring"},  {"switches", "4"}, {"flows", "16"},
+                  {"slot-us", "32.5"},   {"hops", "2"},     {"bg-mbps", "50"},
+                  {"duration-ms", "25"}, {"config", "customized"}};
+  const netsim::ScenarioConfig cfg = scenario_for_point(point, 99);
+  EXPECT_EQ(cfg.built.switch_nodes.size(), 4u);
+  EXPECT_EQ(cfg.options.runtime.slot_size.ns(), 32'500);
+  EXPECT_EQ(cfg.options.seed, 99u);
+  EXPECT_EQ(cfg.traffic_duration, milliseconds(25));
+  // 16 TS flows + RC and BE background (bg-mbps sets both).
+  EXPECT_EQ(cfg.flows.size(), 18u);
+  // Presets grow their shared tables to fit the workload.
+  EXPECT_GE(cfg.options.resource.unicast_table_size, 32);
+}
+
+}  // namespace
+}  // namespace tsn::campaign

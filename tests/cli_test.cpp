@@ -2,6 +2,8 @@
 // simulate / report subcommands.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 
@@ -133,6 +135,62 @@ TEST(TsnbTest, FrerSubcommandSurvivesLinkCut) {
   ASSERT_EQ(run_tsnb({"frer", "--flows", "16", "--duration-ms", "40"}, out), 0);
   EXPECT_NE(out.find("cut ring link"), std::string::npos);
   EXPECT_NE(out.find("loss 0.00%"), std::string::npos);
+}
+
+TEST(TsnbTest, CampaignWritesJsonlRowsAndSummary) {
+  const std::string path = testing::TempDir() + "tsnb_campaign.jsonl";
+  std::string out;
+  ASSERT_EQ(run_tsnb({"campaign", "--axes", "hops=2,3;be-mbps=0,100", "--jobs", "2",
+                      "--repeats", "2", "--flows-ignored", "x"},
+                     out),
+            2);  // undeclared option rejected with usage
+  EXPECT_NE(out.find("usage: tsnb campaign"), std::string::npos);
+
+  out.clear();
+  ASSERT_EQ(run_tsnb({"campaign", "--axes",
+                      "topology=ring;switches=3;flows=8;hops=2,3;be-mbps=0,100;"
+                      "warmup-ms=50;duration-ms=20",
+                      "--jobs", "2", "--repeats", "2", "--quiet", "--out", path},
+                     out),
+            0);
+  EXPECT_NE(out.find("4 points x 2 repeat(s) = 8 runs"), std::string::npos);
+  EXPECT_NE(out.find("8 rows written"), std::string::npos);
+  EXPECT_NE(out.find("(0 failed)"), std::string::npos);
+  EXPECT_NE(out.find("TS avg (us)"), std::string::npos);  // summary table
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::size_t runs = 0;
+  std::size_t aggregates = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.rfind("{\"type\":\"run\"", 0) == 0) ++runs;
+    if (line.rfind("{\"type\":\"aggregate\"", 0) == 0) ++aggregates;
+    EXPECT_EQ(line.back(), '}');  // every row is one JSON object
+  }
+  EXPECT_EQ(runs, 8u);
+  EXPECT_EQ(aggregates, 4u);
+}
+
+TEST(TsnbTest, CampaignRecordsFailedRunsWithoutCrashing) {
+  const std::string path = testing::TempDir() + "tsnb_campaign_failed.jsonl";
+  std::string out;
+  // 'config=bogus' points fail per-run; the campaign still completes
+  // and reports the failures in the summary.
+  ASSERT_EQ(run_tsnb({"campaign", "--axes",
+                      "flows=8;warmup-ms=50;duration-ms=20;config=planned,bogus",
+                      "--quiet", "--out", path},
+                     out),
+            0);
+  EXPECT_NE(out.find("(1 failed)"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"campaign", "--quiet"}, out), 1);  // --axes required
+  EXPECT_NE(out.find("--axes is required"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"campaign", "--axes", "flows=8", "--format", "xml"}, out), 1);
+  EXPECT_NE(out.find("unknown output format"), std::string::npos);
 }
 
 TEST(TsnbTest, ErrorsAreReported) {

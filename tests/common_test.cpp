@@ -180,7 +180,7 @@ TEST(MathTest, LcmOfPeriodsIsSchedulingCycle) {
   EXPECT_EQ(lcm_of_periods(periods), milliseconds(10));
   const std::vector<Duration> coprime = {milliseconds(3), milliseconds(7)};
   EXPECT_EQ(lcm_of_periods(coprime), milliseconds(21));
-  EXPECT_THROW(lcm_of_periods({}), Error);
+  EXPECT_THROW((void)lcm_of_periods({}), Error);
 }
 
 // ----------------------------------------------------------- ring buffer

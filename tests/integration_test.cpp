@@ -52,7 +52,7 @@ TEST(IntegrationTest, CqfBoundsHoldOnRing) {
     const auto bounds = sched::cqf_bounds(static_cast<std::int64_t>(hops), 65_us);
     EXPECT_GE(r.ts.latency_us.min(), bounds.min.us() * 0.99) << hops << " hops";
     EXPECT_LE(r.ts.latency_us.max(), bounds.max.us() * 1.01) << hops << " hops";
-    EXPECT_NEAR(r.ts.avg_latency_us(), hops * 65.0, 40.0) << hops << " hops";
+    EXPECT_NEAR(r.ts.avg_latency_us(), static_cast<double>(hops) * 65.0, 40.0) << hops << " hops";
   }
 }
 

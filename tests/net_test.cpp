@@ -189,7 +189,9 @@ TEST_P(FrameRoundTrip, LosslessAndFcsClean) {
   auto corrupt = bytes;
   corrupt[rng.index(corrupt.size())] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
   const auto reparsed = parse_frame(corrupt);
-  if (reparsed.has_value()) EXPECT_FALSE(reparsed->fcs_ok);
+  if (reparsed.has_value()) {
+    EXPECT_FALSE(reparsed->fcs_ok);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FrameRoundTrip,

@@ -227,6 +227,66 @@ TEST(TraceRecorderTest, RingBufferSemantics) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST(TraceRecorderTest, DroppedEntriesAccountingAcrossWrapsAndClear) {
+  TraceRecorder trace(4);
+  // Below capacity: nothing dropped yet.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    trace.record(TraceEntry{TimePoint(static_cast<std::int64_t>(i)), 0, 0, 1, 7, i, 64, false});
+  }
+  EXPECT_EQ(trace.dropped_entries(), 0u);
+  // Two full extra laps: every record past capacity evicts exactly one.
+  for (std::uint64_t i = 4; i < 12; ++i) {
+    trace.record(TraceEntry{TimePoint(static_cast<std::int64_t>(i)), 0, 0, 1, 7, i, 64, false});
+    EXPECT_EQ(trace.total_recorded(), i + 1);
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.dropped_entries(), i + 1 - 4);
+  }
+  // clear() resets the accounting, not just the ring.
+  trace.clear();
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.dropped_entries(), 0u);
+  trace.record(TraceEntry{TimePoint(0), 0, 0, 1, 7, 99, 64, false});
+  EXPECT_EQ(trace.dropped_entries(), 0u);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceRecorderTest, PathOfOnWrappedRing) {
+  // Two interleaved flows; capacity 4 holds only the last four records
+  // once the ring wraps. path_of must return the surviving hops of the
+  // requested (flow, sequence) only, oldest-first, and not resurrect
+  // overwritten ones.
+  TraceRecorder trace(4);
+  // Flow 1 seq 0 crosses nodes 0->1->2->3 (three hops), interleaved with
+  // flow 2 traffic that eventually evicts flow 1's oldest hops.
+  trace.record(TraceEntry{TimePoint(10), 0, 0, 1, /*flow=*/1, /*seq=*/0, 64, false});
+  trace.record(TraceEntry{TimePoint(11), 5, 0, 6, /*flow=*/2, /*seq=*/0, 64, false});
+  trace.record(TraceEntry{TimePoint(12), 1, 0, 2, /*flow=*/1, /*seq=*/0, 64, false});
+  trace.record(TraceEntry{TimePoint(13), 2, 0, 3, /*flow=*/1, /*seq=*/0, 64, false});
+  ASSERT_EQ(trace.size(), 4u);  // full, not yet wrapped
+
+  // Before the wrap, all three hops of (1, 0) are visible.
+  EXPECT_EQ(trace.path_of(1, 0).size(), 3u);
+
+  // Two more records evict the two oldest entries (flow 1's first hop
+  // and flow 2's record).
+  trace.record(TraceEntry{TimePoint(14), 6, 0, 7, /*flow=*/2, /*seq=*/1, 64, false});
+  trace.record(TraceEntry{TimePoint(15), 7, 0, 8, /*flow=*/2, /*seq=*/2, 64, false});
+  EXPECT_EQ(trace.dropped_entries(), 2u);
+
+  const auto path = trace.path_of(1, 0);
+  ASSERT_EQ(path.size(), 2u);  // the first hop was overwritten
+  EXPECT_EQ(path[0].at, TimePoint(12));
+  EXPECT_EQ(path[0].from, 1u);
+  EXPECT_EQ(path[1].at, TimePoint(13));
+  EXPECT_EQ(path[1].from, 2u);
+  EXPECT_LT(path[0].at, path[1].at);  // oldest-first even across the wrap
+
+  // The evicted flow-2 record is gone; its later packets are intact.
+  EXPECT_TRUE(trace.path_of(2, 0).empty());
+  EXPECT_EQ(trace.path_of(2, 1).size(), 1u);
+  EXPECT_EQ(trace.path_of(2, 2).size(), 1u);
+}
+
 TEST(TraceRecorderTest, ReconstructsPacketPath) {
   event::Simulator sim;
   const topo::BuiltTopology lin = topo::make_linear(3);

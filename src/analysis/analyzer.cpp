@@ -33,7 +33,10 @@ const FlowRecord& Analyzer::flow(net::FlowId id) const {
 
 ClassSummary Analyzer::summary(net::TrafficClass traffic_class) const {
   ClassSummary out;
-  for (const auto& [id, rec] : flows_) {
+  // Sorted flow order: the merge accumulates floating-point sums, so the
+  // iteration order must be stable for bit-identical summaries.
+  for (const net::FlowId id : flow_ids()) {
+    const FlowRecord& rec = flows_.at(id);
     if (rec.traffic_class != traffic_class) continue;
     out.injected += rec.injected;
     out.received += rec.received;
@@ -45,7 +48,10 @@ ClassSummary Analyzer::summary(net::TrafficClass traffic_class) const {
 
 std::vector<double> Analyzer::latency_samples(net::TrafficClass traffic_class) const {
   std::vector<double> pooled;
-  for (const auto& [id, rec] : flows_) {
+  // Sorted flow order keeps the pooled sample sequence (and any
+  // percentile over it) ordering-stable by construction.
+  for (const net::FlowId id : flow_ids()) {
+    const FlowRecord& rec = flows_.at(id);
     if (rec.traffic_class != traffic_class) continue;
     const std::vector<double>& s = rec.latency_us.samples();
     pooled.insert(pooled.end(), s.begin(), s.end());
@@ -75,6 +81,7 @@ std::string Analyzer::report() const {
 std::vector<net::FlowId> Analyzer::flow_ids() const {
   std::vector<net::FlowId> ids;
   ids.reserve(flows_.size());
+  // tsnlint:allow(unordered-iteration): keys are collected then sorted below
   for (const auto& [id, rec] : flows_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   return ids;

@@ -67,6 +67,7 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
       record.seed = derive_seed(options_.base_seed, point.index, repeat);
       record.params = point.params;
 
+      // tsnlint:allow(wall-clock): wall_ms is reporting-only telemetry, no sim state derives from it
       const auto started = std::chrono::steady_clock::now();
       try {
         netsim::ScenarioConfig cfg = factory(point, record.seed);
@@ -82,6 +83,7 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
         record.error = e.what();
       }
       record.wall_ms = std::chrono::duration<double, std::milli>(
+                           // tsnlint:allow(wall-clock): reporting-only run timing
                            std::chrono::steady_clock::now() - started)
                            .count();
 

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -122,17 +122,21 @@ class Network {
   Rng rng_;
 
   analysis::Analyzer analyzer_;
-  std::unordered_map<topo::NodeId, std::unique_ptr<sw::TsnSwitch>> switches_;
-  std::unordered_map<topo::NodeId, std::unique_ptr<TsnNic>> nics_;
+  // Ordered maps: every traversal (device start, traffic start/stop,
+  // counter aggregation) walks nodes in ascending NodeId order, so event
+  // scheduling and report output are deterministic by construction
+  // (tsnlint's unordered-iteration rule enforces this repo-wide).
+  std::map<topo::NodeId, std::unique_ptr<sw::TsnSwitch>> switches_;
+  std::map<topo::NodeId, std::unique_ptr<TsnNic>> nics_;
   // endpoint_[node][port]
-  std::unordered_map<topo::NodeId, std::vector<Endpoint>> endpoints_;
+  std::map<topo::NodeId, std::vector<Endpoint>> endpoints_;
 
   std::vector<bool> link_up_;
   std::uint64_t link_drops_ = 0;
   TraceRecorder* trace_ = nullptr;
 
   std::unique_ptr<timesync::GptpDomain> gptp_;
-  std::unordered_map<topo::NodeId, std::size_t> gptp_index_;
+  std::map<topo::NodeId, std::size_t> gptp_index_;
   std::unique_ptr<event::PeriodicTask> sync_probe_;
   Duration worst_sync_error_{};
 

@@ -17,7 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -31,8 +31,9 @@ struct ItpPlan {
   Duration hyperperiod{};
   std::int64_t slots_per_hyperperiod = 0;
 
-  /// Injection slot (within the flow's period) per TS flow.
-  std::unordered_map<net::FlowId, std::int64_t> injection_slot;
+  /// Injection slot (within the flow's period) per TS flow. Ordered by
+  /// flow id so plan consumers traverse flows deterministically.
+  std::map<net::FlowId, std::int64_t> injection_slot;
 
   /// Peak packets in any (egress link, slot) cell — the queue depth the
   /// TS queues must provision.

@@ -1,0 +1,238 @@
+// Unit tests for the tsnlint lexer and each rule: positive (bad snippet
+// is flagged), negative (idiomatic code is clean), and suppression /
+// allowlist behavior. Snippets live in string literals, which the lexer
+// strips — exactly why the repo-wide meta-test can scan this file too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace {
+
+using tsnlint::Finding;
+using tsnlint::Options;
+
+constexpr const char* kSimPath = "src/netsim/fake.cpp";  // in unordered-iteration scope
+
+std::vector<Finding> lint(std::string_view source, std::string_view path = kSimPath,
+                          std::string_view header = "", Options options = {}) {
+  return tsnlint::analyze_source(path, source, header, options);
+}
+
+bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---- lexer -------------------------------------------------------------
+
+TEST(TsnlintLexer, StripsCommentsStringsAndRawStrings) {
+  const auto lexed = tsnlint::lex(
+      "int a; // steady_clock in a comment\n"
+      "const char* s = \"std::random_device\";\n"
+      "const char* r = R\"(rand() time(nullptr))\";\n"
+      "/* system_clock */ char c = 'x';\n");
+  for (const tsnlint::Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "steady_clock");
+    EXPECT_NE(t.text, "random_device");
+    EXPECT_NE(t.text, "system_clock");
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+}
+
+TEST(TsnlintLexer, ClassifiesFloatLiterals) {
+  const auto lexed = tsnlint::lex("1 2.5 1e9 0x10 0x1p4 3f 42");
+  std::vector<bool> floats;
+  for (const tsnlint::Token& t : lexed.tokens) {
+    if (t.kind == tsnlint::TokenKind::kNumber) floats.push_back(t.is_float);
+  }
+  EXPECT_EQ(floats, (std::vector<bool>{false, true, true, false, true, true, false}));
+}
+
+TEST(TsnlintLexer, TracksLineNumbers) {
+  const auto lexed = tsnlint::lex("a\nb\n\nc");
+  ASSERT_EQ(lexed.tokens.size(), 3u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  EXPECT_EQ(lexed.tokens[1].line, 2);
+  EXPECT_EQ(lexed.tokens[2].line, 4);
+}
+
+// ---- R1 wall-clock -----------------------------------------------------
+
+TEST(TsnlintWallClock, FlagsChronoClocksAndEntropySources) {
+  EXPECT_TRUE(has_rule(lint("auto t = std::chrono::system_clock::now();"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("auto t = std::chrono::steady_clock::now();"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("std::random_device rd;"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("int x = rand();"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("auto t = time(nullptr);"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("return time(nullptr);"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint("auto t = std::time(nullptr);"), "wall-clock"));
+}
+
+TEST(TsnlintWallClock, IgnoresMemberCallsAndDeclarations) {
+  // Member access: gptp node clocks, not libc clock().
+  EXPECT_FALSE(has_rule(lint("node.clock().synced(now);"), "wall-clock"));
+  EXPECT_FALSE(has_rule(lint("ptr->clock();"), "wall-clock"));
+  // Declaration of a variable named like the libc function.
+  EXPECT_FALSE(has_rule(lint("LocalClock clock(0.0);"), "wall-clock"));
+  // Member function declarations whose name shadows the libc function.
+  EXPECT_FALSE(has_rule(lint("const LocalClock& clock() const { return clock_; }"),
+                        "wall-clock"));
+  // Other namespaces are not std.
+  EXPECT_FALSE(has_rule(lint("auto t = mylib::time(x);"), "wall-clock"));
+}
+
+// ---- R2 unordered iteration -------------------------------------------
+
+TEST(TsnlintUnordered, FlagsRangeForOverUnorderedMember) {
+  const std::string src =
+      "std::unordered_map<int, Rec> flows_;\n"
+      "void f() { for (const auto& [id, rec] : flows_) { use(rec); } }\n";
+  const auto fs = lint(src);
+  ASSERT_TRUE(has_rule(fs, "unordered-iteration"));
+  EXPECT_EQ(fs.front().line, 2);
+}
+
+TEST(TsnlintUnordered, FlagsIteratorLoop) {
+  const std::string src =
+      "std::unordered_set<int> seen_;\n"
+      "void f() { for (auto it = seen_.begin(); it != seen_.end(); ++it) {} }\n";
+  EXPECT_TRUE(has_rule(lint(src), "unordered-iteration"));
+}
+
+TEST(TsnlintUnordered, UsesPairedHeaderDeclarations) {
+  const std::string header = "class A { std::unordered_map<int, int> flows_; };\n";
+  const std::string src = "void A::dump() { for (const auto& kv : flows_) { use(kv); } }\n";
+  EXPECT_TRUE(has_rule(lint(src, kSimPath, header), "unordered-iteration"));
+}
+
+TEST(TsnlintUnordered, CleanCases) {
+  // Ordered containers and vectors are fine.
+  EXPECT_FALSE(has_rule(lint("std::map<int, int> m_;\n"
+                             "void f() { for (const auto& kv : m_) { use(kv); } }\n"),
+                        "unordered-iteration"));
+  EXPECT_FALSE(has_rule(lint("std::vector<int> v_;\n"
+                             "void f() { for (int x : v_) { use(x); } }\n"),
+                        "unordered-iteration"));
+  // Lookup without traversal is fine.
+  EXPECT_FALSE(has_rule(lint("std::unordered_map<int, int> m_;\n"
+                             "bool f(int k) { return m_.find(k) != m_.end(); }\n"),
+                        "unordered-iteration"));
+  // Out of scope: the rule targets simulation/netsim/analysis/campaign code.
+  EXPECT_FALSE(has_rule(lint("std::unordered_map<int, int> m_;\n"
+                             "void f() { for (const auto& kv : m_) { use(kv); } }\n",
+                             "src/tables/fake.hpp"),
+                        "unordered-iteration"));
+}
+
+// ---- R3 rng ------------------------------------------------------------
+
+TEST(TsnlintRng, FlagsShuffleAndUnseededEngines) {
+  EXPECT_TRUE(has_rule(lint("std::random_shuffle(v.begin(), v.end());"), "rng"));
+  EXPECT_TRUE(has_rule(lint("std::mt19937 gen;"), "rng"));
+  EXPECT_TRUE(has_rule(lint("std::mt19937 gen{};"), "rng"));
+  EXPECT_TRUE(has_rule(lint("auto g = std::default_random_engine{};"), "rng"));
+}
+
+TEST(TsnlintRng, AllowsSeededEngines) {
+  EXPECT_FALSE(has_rule(lint("std::mt19937 gen(seed);"), "rng"));
+  EXPECT_FALSE(has_rule(lint("std::mt19937 gen{0xBEEF};"), "rng"));
+  EXPECT_FALSE(has_rule(lint("Rng rng(42);"), "rng"));
+}
+
+// ---- R4 float compare --------------------------------------------------
+
+TEST(TsnlintFloatCompare, FlagsLiteralAndDeclaredDoubleComparisons) {
+  EXPECT_TRUE(has_rule(lint("if (x == 0.5) {}"), "float-compare"));
+  EXPECT_TRUE(has_rule(lint("if (1e-9 != y) {}"), "float-compare"));
+  EXPECT_TRUE(has_rule(lint("double ratio = f();\nbool b = ratio == target;\n"),
+                       "float-compare"));
+  // Declared in the paired header, compared in the .cpp.
+  EXPECT_TRUE(has_rule(lint("bool f() { return drift_ppm == limit; }",
+                            kSimPath, "struct C { double drift_ppm; };"),
+                       "float-compare"));
+}
+
+TEST(TsnlintFloatCompare, CleanCases) {
+  EXPECT_FALSE(has_rule(lint("if (n == 0) {}"), "float-compare"));
+  EXPECT_FALSE(has_rule(lint("if (p == nullptr) {}"), "float-compare"));
+  EXPECT_FALSE(has_rule(lint("double x = 0.5;\nbool b = x < 0.25;\n"), "float-compare"));
+  // A nullptr operand proves this is a pointer compare even when the name
+  // collides with a double declared elsewhere in the file.
+  EXPECT_FALSE(has_rule(lint("void f(double value);\n"
+                             "bool g(const std::string* value) { return value != nullptr; }\n"),
+                        "float-compare"));
+}
+
+// ---- R5 assert side effects -------------------------------------------
+
+TEST(TsnlintAssert, FlagsMutatingAsserts) {
+  EXPECT_TRUE(has_rule(lint("assert(++n < 10);"), "assert-side-effect"));
+  EXPECT_TRUE(has_rule(lint("assert(n = compute());"), "assert-side-effect"));
+  EXPECT_TRUE(has_rule(lint("assert((total += step) < limit);"), "assert-side-effect"));
+}
+
+TEST(TsnlintAssert, AllowsPureAsserts) {
+  EXPECT_FALSE(has_rule(lint("assert(n == 10);"), "assert-side-effect"));
+  EXPECT_FALSE(has_rule(lint("assert(a <= b && b <= c);"), "assert-side-effect"));
+}
+
+// ---- suppression & allowlist ------------------------------------------
+
+TEST(TsnlintSuppression, SameLineDirectiveWithReasonSuppresses) {
+  const std::string src =
+      "auto t = std::chrono::steady_clock::now();  "
+      "// tsnlint:allow(wall-clock): wall time is reporting-only\n";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(TsnlintSuppression, PreviousLineDirectiveSuppresses) {
+  const std::string src =
+      "// tsnlint:allow(wall-clock): wall time is reporting-only\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(TsnlintSuppression, DirectiveDoesNotReachTwoLinesDown) {
+  const std::string src =
+      "// tsnlint:allow(wall-clock): only covers the next line\n"
+      "int unrelated;\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has_rule(lint(src), "wall-clock"));
+}
+
+TEST(TsnlintSuppression, DirectiveWithoutReasonIsItselfAFinding) {
+  const std::string src =
+      "auto t = std::chrono::steady_clock::now();  // tsnlint:allow(wall-clock)\n";
+  const auto fs = lint(src);
+  // The original finding stays AND the bare directive is flagged.
+  EXPECT_TRUE(has_rule(fs, "wall-clock"));
+  EXPECT_TRUE(has_rule(fs, "bad-suppression"));
+}
+
+TEST(TsnlintSuppression, WrongRuleDoesNotSuppress) {
+  const std::string src =
+      "auto t = std::chrono::steady_clock::now();  // tsnlint:allow(rng): wrong rule\n";
+  EXPECT_TRUE(has_rule(lint(src), "wall-clock"));
+}
+
+TEST(TsnlintSuppression, AllowlistDropsMatchingFilesOnly) {
+  Options options;
+  options.allow.push_back({"wall-clock", "campaign/runner.cpp"});
+  const std::string src = "auto t = std::chrono::steady_clock::now();";
+  EXPECT_TRUE(lint(src, "src/campaign/runner.cpp", "", options).empty());
+  EXPECT_TRUE(has_rule(lint(src, "src/campaign/matrix.cpp", "", options), "wall-clock"));
+}
+
+TEST(TsnlintOutput, DiagnosticFormatIsFileLineRuleMessage) {
+  const auto fs = lint("int x = rand();\n", "src/event/fake.cpp");
+  ASSERT_FALSE(fs.empty());
+  const std::string d = fs.front().format();
+  EXPECT_TRUE(d.starts_with("src/event/fake.cpp:1: wall-clock: ")) << d;
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace tsnlint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character operators, longest first so "<<=" wins over "<<".
+constexpr std::array<std::string_view, 22> kPuncts = {
+    "<<=", ">>=", "->*", "...", "::", "==", "!=", "<=", ">=", "->", "++",
+    "--",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=", "&&", "||"};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  const auto at = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Line comment — captured for suppression directives.
+    if (c == '/' && at(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({line, std::string(src.substr(i + 2, j - i - 2))});
+      i = j;
+      continue;
+    }
+
+    // Block comment — captured, attributed to its first line.
+    if (c == '/' && at(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back({start_line, std::string(src.substr(i + 2, j - i - 2))});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && at(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = (end == std::string_view::npos) ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+
+    // String / char literal (no raw newlines inside).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, std::string(src.substr(i, j - i)), line, false});
+      i = j;
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && is_digit(at(1)))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        // Exponent sign: 1.5e-3, 0x1p+4.
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = src[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      const std::string text(src.substr(i, j - i));
+      const bool hex = text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+      bool is_float = text.find('.') != std::string::npos;
+      if (hex) {
+        is_float = is_float || text.find('p') != std::string::npos ||
+                   text.find('P') != std::string::npos;
+      } else {
+        is_float = is_float || text.find('e') != std::string::npos ||
+                   text.find('E') != std::string::npos || text.back() == 'f' ||
+                   text.back() == 'F';
+      }
+      out.tokens.push_back({TokenKind::kNumber, text, line, is_float});
+      i = j;
+      continue;
+    }
+
+    // Operators: longest match from the table, else a single character.
+    std::string_view matched;
+    for (const std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.tokens.push_back({TokenKind::kPunct, std::string(matched), line, false});
+      i += matched.size();
+    } else {
+      out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnlint

@@ -1,0 +1,50 @@
+// Minimal C++ lexer for tsnlint.
+//
+// Produces a token stream with comments, string literals, and character
+// literals stripped (so rule patterns never match inside quoted text —
+// which is also what lets tsnlint scan its own sources), while line
+// comments are captured separately so the rule engine can honor
+// `// tsnlint:allow(<rule>): <reason>` suppression directives.
+//
+// This is deliberately NOT a full C++ front end: tsnlint's rules are
+// token-pattern heuristics (see rules.hpp), and a hand-rolled lexer keeps
+// the tool dependency-free so it builds in the stock CI image without
+// libclang.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsnlint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,      // integer or floating literal
+  kPunct,       // operators and punctuation (longest-match, e.g. "==", "::")
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;
+  /// Numbers only: literal is floating-point (has '.', a decimal exponent,
+  /// an f/F suffix, or a hex p/P exponent).
+  bool is_float = false;
+};
+
+/// One `//` line comment (block comments are attributed to their first line).
+struct Comment {
+  int line = 1;
+  std::string text;  // without the leading // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never throws; unrecognized bytes are skipped.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace tsnlint

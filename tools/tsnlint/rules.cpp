@@ -1,0 +1,380 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "lexer.hpp"
+
+namespace tsnlint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+// Identifiers that can directly precede a call expression without making
+// it a declaration or member access ("return time(nullptr)" is a call;
+// "LocalClock clock(0.0)" is a declaration).
+const std::unordered_set<std::string>& statement_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "return", "co_return", "co_yield", "co_await", "throw", "case",
+      "else",   "do",        "and",      "or",       "not"};
+  return kw;
+}
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] const Token* tok_at(const Tokens& toks, std::size_t i) {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+/// True when the identifier at `i` is in call position (`name(...)`) as a
+/// free function — not a member call, not a qualified call into a
+/// namespace other than std, and not a declaration `Type name(...)`.
+[[nodiscard]] bool is_free_call(const Tokens& toks, std::size_t i) {
+  const Token* next = tok_at(toks, i + 1);
+  if (next == nullptr || next->text != "(") return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.text == "." || prev.text == "->") return false;  // member call
+  if (prev.text == "::") {
+    if (i < 2) return true;  // global-scope ::time(...)
+    const Token& qual = toks[i - 2];
+    if (qual.kind != TokenKind::kIdentifier) return true;  // ::time(...)
+    return qual.text == "std";                             // std::time(...), not foo::time(...)
+  }
+  if (prev.kind == TokenKind::kIdentifier) {
+    // `LocalClock clock(0.0)` is a declaration; `return time(nullptr)` is
+    // a call despite the preceding identifier-shaped keyword.
+    return statement_keywords().contains(prev.text);
+  }
+  // `const LocalClock& clock() const` / `Duration* time()` — function or
+  // variable declarations whose name shadows the libc function.
+  if (prev.text == "&" || prev.text == "*" || prev.text == ">") return false;
+  return true;
+}
+
+// ---- R1: wall-clock / entropy sources ---------------------------------
+
+void rule_wall_clock(const Tokens& toks, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> kAlways = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "random_device", "gettimeofday", "timespec_get"};
+  static const std::unordered_set<std::string> kCalls = {"rand", "srand", "time", "clock"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kAlways.contains(t.text)) {
+      out.push_back({"", t.line, "wall-clock",
+                     "'" + t.text +
+                         "' is a wall-clock/entropy source; simulation state must "
+                         "derive from simulated time and seeded RNGs only"});
+    } else if (kCalls.contains(t.text) && is_free_call(toks, i)) {
+      out.push_back({"", t.line, "wall-clock",
+                     "call to '" + t.text +
+                         "()' reads ambient time/entropy; use the event simulator "
+                         "clock or a seeded tsn::Rng"});
+    }
+  }
+}
+
+// ---- R2: iteration over unordered containers --------------------------
+
+/// Collects names declared with an unordered_map/unordered_set type:
+/// `std::unordered_map<K, V> name;` (members, locals, parameters).
+void collect_unordered_names(const Tokens& toks, std::set<std::string>& names) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "unordered_map") && !is_ident(toks[i], "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">" && --depth == 0) break;
+    }
+    if (j >= toks.size()) continue;
+    ++j;  // past '>'
+    // Skip declarator qualifiers between the type and the name.
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    const Token* name = tok_at(toks, j);
+    const Token* after = tok_at(toks, j + 1);
+    if (name == nullptr || name->kind != TokenKind::kIdentifier || after == nullptr) continue;
+    if (after->text == ";" || after->text == "=" || after->text == "{" ||
+        after->text == "," || after->text == ")") {
+      names.insert(name->text);
+    }
+  }
+}
+
+void rule_unordered_iteration(const Tokens& toks, const std::set<std::string>& unordered,
+                              std::vector<Finding>& out) {
+  if (unordered.empty()) return;
+
+  // Range-for: `for ( decl : range-expr )` where the range expression's
+  // trailing identifier names an unordered container.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || toks[i + 1].text != "(") continue;
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    // Last identifier of the range expression; ignore call results
+    // (`topology_->nodes()`) — those aren't the tracked variables.
+    const Token* base = nullptr;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          (j + 1 >= close || toks[j + 1].text != "(")) {
+        base = &toks[j];
+      }
+    }
+    if (base != nullptr && unordered.contains(base->text)) {
+      out.push_back({"", toks[i].line, "unordered-iteration",
+                     "range-for over unordered container '" + base->text +
+                         "' — hash order is not deterministic; iterate sorted keys "
+                         "or use an ordered map"});
+    }
+  }
+
+  // Explicit iterator loops / traversals: `name.begin()` & friends.
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || !unordered.contains(toks[i].text)) continue;
+    if (toks[i + 1].text != "." && toks[i + 1].text != "->") continue;
+    const std::string& m = toks[i + 2].text;
+    if ((m == "begin" || m == "cbegin" || m == "rbegin") && toks[i + 3].text == "(") {
+      out.push_back({"", toks[i].line, "unordered-iteration",
+                     "iterator traversal of unordered container '" + toks[i].text +
+                         "' — hash order is not deterministic"});
+    }
+  }
+}
+
+// ---- R3: nondeterministic RNG usage -----------------------------------
+
+void rule_rng(const Tokens& toks, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> kEngines = {
+      "mt19937",       "mt19937_64",   "minstd_rand", "minstd_rand0",
+      "ranlux24",      "ranlux48",     "knuth_b",     "default_random_engine",
+      "ranlux24_base", "ranlux48_base"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "random_shuffle") {
+      out.push_back({"", t.line, "rng",
+                     "std::random_shuffle uses an unspecified global RNG; use a "
+                     "seeded tsn::Rng with an explicit shuffle"});
+      continue;
+    }
+    if (!kEngines.contains(t.text)) continue;
+    const Token* a = tok_at(toks, i + 1);
+    const Token* b = tok_at(toks, i + 2);
+    const Token* c = tok_at(toks, i + 3);
+    const bool unseeded_temporary =
+        a != nullptr && b != nullptr &&
+        ((a->text == "{" && b->text == "}") || (a->text == "(" && b->text == ")"));
+    const bool unseeded_decl =
+        a != nullptr && a->kind == TokenKind::kIdentifier && b != nullptr &&
+        (b->text == ";" || (c != nullptr && b->text == "{" && c->text == "}"));
+    if (unseeded_temporary || unseeded_decl) {
+      out.push_back({"", t.line, "rng",
+                     "'" + t.text +
+                         "' constructed without a seed — every RNG must be "
+                         "explicitly seeded for reproducibility"});
+    }
+  }
+}
+
+// ---- R4: floating-point equality --------------------------------------
+
+/// Collects names declared as double/float in this file.
+void collect_float_names(const Tokens& toks, std::set<std::string>& names) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "double") && !is_ident(toks[i], "float")) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    const Token* name = tok_at(toks, j);
+    const Token* after = tok_at(toks, j + 1);
+    if (name == nullptr || name->kind != TokenKind::kIdentifier || after == nullptr) continue;
+    if (after->text == ";" || after->text == "=" || after->text == "{" ||
+        after->text == "," || after->text == ")") {
+      names.insert(name->text);
+    }
+  }
+}
+
+void rule_float_compare(const Tokens& toks, const std::set<std::string>& float_names,
+                        std::vector<Finding>& out) {
+  const auto is_floaty = [&](const Token& t) {
+    if (t.kind == TokenKind::kNumber) return t.is_float;
+    return t.kind == TokenKind::kIdentifier && float_names.contains(t.text);
+  };
+  const auto is_non_float = [](const Token& t) {
+    return t.text == "nullptr" || t.text == "true" || t.text == "false";
+  };
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text != "==" && t.text != "!=") continue;
+    // A nullptr/bool operand proves the comparison is not floating-point,
+    // even when the other side's name collides with some double elsewhere
+    // in the file (the name heuristic is file-wide, not scoped).
+    if (is_non_float(toks[i - 1]) || is_non_float(toks[i + 1])) continue;
+    if (is_floaty(toks[i - 1]) || is_floaty(toks[i + 1])) {
+      out.push_back({"", t.line, "float-compare",
+                     "floating-point '" + t.text +
+                         "' comparison — exact FP equality is platform- and "
+                         "optimization-sensitive; compare against a tolerance"});
+    }
+  }
+}
+
+// ---- R5: assert with side effects -------------------------------------
+
+void rule_assert_side_effect(const Tokens& toks, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> kMutators = {
+      "++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "assert") || toks[i + 1].text != "(") continue;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      if (toks[j].kind == TokenKind::kPunct && kMutators.contains(toks[j].text)) {
+        out.push_back({"", toks[i].line, "assert-side-effect",
+                       "assert() condition mutates state ('" + toks[j].text +
+                           "') — the mutation disappears under NDEBUG"});
+        break;
+      }
+    }
+  }
+}
+
+// ---- suppressions ------------------------------------------------------
+
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  bool has_reason = false;
+};
+
+void parse_suppressions(const std::vector<Comment>& comments,
+                        std::vector<Suppression>& sup, std::vector<Finding>& out) {
+  constexpr std::string_view kDirective = "tsnlint:allow(";
+  for (const Comment& c : comments) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find(kDirective, pos)) != std::string::npos) {
+      const std::size_t start = pos + kDirective.size();
+      const std::size_t end = c.text.find(')', start);
+      if (end == std::string::npos) break;
+      std::string rule = c.text.substr(start, end - start);
+      // Trim surrounding whitespace from the rule id.
+      const std::size_t b = rule.find_first_not_of(" \t");
+      const std::size_t e = rule.find_last_not_of(" \t");
+      rule = (b == std::string::npos) ? std::string() : rule.substr(b, e - b + 1);
+
+      std::size_t r = end + 1;
+      while (r < c.text.size() && (c.text[r] == ' ' || c.text[r] == '\t')) ++r;
+      const bool colon = r < c.text.size() && c.text[r] == ':';
+      std::size_t reason = colon ? r + 1 : r;
+      while (reason < c.text.size() && (c.text[reason] == ' ' || c.text[reason] == '\t')) {
+        ++reason;
+      }
+      const bool has_reason = colon && reason < c.text.size();
+      if (!has_reason) {
+        out.push_back({"", c.line, "bad-suppression",
+                       "tsnlint:allow(" + rule +
+                           ") needs a reason — write `// tsnlint:allow(" + rule +
+                           "): <why this is safe>`"});
+      }
+      sup.push_back({c.line, rule, has_reason});
+      pos = end;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> rule_ids() {
+  return {"wall-clock", "unordered-iteration", "rng",
+          "float-compare", "assert-side-effect", "bad-suppression"};
+}
+
+std::vector<Finding> analyze_source(std::string_view path, std::string_view source,
+                                    std::string_view paired_header,
+                                    const Options& options) {
+  const std::string generic_path(path);
+  const LexResult lexed = lex(source);
+  const Tokens& toks = lexed.tokens;
+
+  std::vector<Finding> findings;
+  rule_wall_clock(toks, findings);
+  rule_rng(toks, findings);
+  rule_assert_side_effect(toks, findings);
+
+  std::set<std::string> float_names;
+  std::set<std::string> unordered_names;
+  collect_float_names(toks, float_names);
+  if (!paired_header.empty()) {
+    const LexResult header = lex(paired_header);
+    collect_float_names(header.tokens, float_names);
+    collect_unordered_names(header.tokens, unordered_names);
+  }
+  rule_float_compare(toks, float_names, findings);
+
+  const bool in_unordered_scope =
+      std::any_of(options.unordered_scope.begin(), options.unordered_scope.end(),
+                  [&](const std::string& s) { return generic_path.find(s) != std::string::npos; });
+  if (in_unordered_scope) {
+    collect_unordered_names(toks, unordered_names);
+    rule_unordered_iteration(toks, unordered_names, findings);
+  }
+
+  // Suppressions and the file-level allowlist.
+  std::vector<Suppression> suppressions;
+  parse_suppressions(lexed.comments, suppressions, findings);
+
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    f.file = generic_path;
+    if (f.rule != "bad-suppression") {
+      // A directive covers its own line (trailing comment) and the line
+      // below it (standalone comment above the offending statement).
+      const bool suppressed =
+          std::any_of(suppressions.begin(), suppressions.end(), [&](const Suppression& s) {
+            return s.has_reason && (s.line == f.line || s.line + 1 == f.line) &&
+                   s.rule == f.rule;
+          });
+      const bool allowlisted =
+          std::any_of(options.allow.begin(), options.allow.end(), [&](const AllowEntry& a) {
+            return (a.rule == f.rule || a.rule == "*") &&
+                   generic_path.find(a.path_substring) != std::string::npos;
+          });
+      if (suppressed || allowlisted) continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  return kept;
+}
+
+}  // namespace tsnlint

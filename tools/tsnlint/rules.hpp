@@ -1,0 +1,69 @@
+// tsnlint rule engine — repo-specific determinism & simulation-safety rules.
+//
+// Rules (ids are what suppressions and --allow refer to):
+//   wall-clock          R1: no wall-clock / entropy sources
+//                           (std::chrono::{system,steady,high_resolution}_clock,
+//                           std::random_device, rand()/srand(), time(), clock(),
+//                           gettimeofday, timespec_get) — simulation state must
+//                           derive only from simulated time and seeded RNGs.
+//   unordered-iteration R2: no range-for / begin() iteration over
+//                           std::unordered_map / std::unordered_set in
+//                           simulation code (src/event, src/netsim,
+//                           src/analysis, src/campaign, src/sched) — results
+//                           must be emitted in sorted key order.
+//   rng                 R3: no std::random_shuffle and no default-constructed
+//                           (unseeded) standard RNG engines.
+//   float-compare       R4: no floating-point == / != comparisons.
+//   assert-side-effect  R5: no assert() whose condition mutates state
+//                           (assignments, ++/--) — it vanishes under NDEBUG.
+//   bad-suppression     a tsnlint:allow directive without a reason string.
+//
+// Suppression: append `// tsnlint:allow(<rule>): <reason>` to the offending
+// line, or place it on its own line directly above. The reason is
+// mandatory; a bare allow() is itself a finding.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsnlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  [[nodiscard]] std::string format() const {
+    return file + ":" + std::to_string(line) + ": " + rule + ": " + message;
+  }
+};
+
+struct AllowEntry {
+  std::string rule;            // rule id, or "*" for every rule
+  std::string path_substring;  // matches anywhere in the (generic) file path
+};
+
+struct Options {
+  /// File-level allowlist (from --allow rule:path-substring).
+  std::vector<AllowEntry> allow;
+  /// Path substrings where the unordered-iteration rule applies.
+  std::vector<std::string> unordered_scope = {"src/event/", "src/netsim/", "src/analysis/",
+                                              "src/campaign/", "src/sched/"};
+};
+
+/// All rule ids, for --list-rules.
+[[nodiscard]] std::vector<std::string> rule_ids();
+
+/// Analyzes one source file. `paired_header` is the content of the
+/// same-stem .hpp/.h next to a .cpp (empty when none): member variables
+/// declared there count toward the unordered-container identifier set, so
+/// `for (... : flows_)` in analyzer.cpp is caught even though `flows_` is
+/// declared in analyzer.hpp.
+[[nodiscard]] std::vector<Finding> analyze_source(std::string_view path,
+                                                  std::string_view source,
+                                                  std::string_view paired_header,
+                                                  const Options& options);
+
+}  // namespace tsnlint

@@ -1,0 +1,132 @@
+// tsnlint CLI — walks source trees and reports determinism findings as
+// `file:line: rule-id: message` diagnostics (exit 1 when any survive).
+//
+//   tsnlint [--root DIR] [--allow RULE:PATH-SUBSTRING]... [--list-rules]
+//           [path...]
+//
+// Paths are directories (scanned recursively for .cpp/.cc/.cxx/.hpp/.hh/.h)
+// or single files, relative to --root (default: the current directory).
+// With no paths, scans src tests bench tools examples.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".hh" || ext == ".h";
+}
+
+[[nodiscard]] bool is_header_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".hh" || ext == ".h";
+}
+
+[[nodiscard]] std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage(int code) {
+  std::cerr << "usage: tsnlint [--root DIR] [--allow RULE:PATH-SUBSTRING]...\n"
+               "               [--list-rules] [path...]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  tsnlint::Options options;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : tsnlint::rule_ids()) std::cout << r << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--root") {
+      if (++i >= argc) return usage(2);
+      root = argv[i];
+      continue;
+    }
+    if (arg == "--allow") {
+      if (++i >= argc) return usage(2);
+      const std::string spec = argv[i];
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+        std::cerr << "tsnlint: --allow expects RULE:PATH-SUBSTRING, got '" << spec << "'\n";
+        return 2;
+      }
+      options.allow.push_back({spec.substr(0, colon), spec.substr(colon + 1)});
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      std::cerr << "tsnlint: unknown option '" << arg << "'\n";
+      return usage(2);
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "tests", "bench", "tools", "examples"};
+
+  // Collect files (sorted, so output and scan order are deterministic).
+  std::map<std::string, fs::path> files;  // generic relative path -> absolute
+  for (const std::string& r : roots) {
+    const fs::path base = root / r;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.emplace(fs::path(r).generic_string(), base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      std::cerr << "tsnlint: skipping missing path '" << base.string() << "'\n";
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
+      const fs::path rel = fs::relative(it->path(), root, ec);
+      files.emplace((ec ? it->path() : rel).generic_string(), it->path());
+    }
+  }
+
+  std::vector<tsnlint::Finding> findings;
+  for (const auto& [rel, abs] : files) {
+    const std::string source = read_file(abs);
+    std::string header;
+    if (!is_header_file(abs)) {
+      // Same-stem header next to the .cpp: members declared there count
+      // toward the unordered-container identifier set.
+      for (const char* ext : {".hpp", ".hh", ".h"}) {
+        const fs::path candidate = fs::path(abs).replace_extension(ext);
+        std::error_code ec;
+        if (fs::is_regular_file(candidate, ec)) {
+          header = read_file(candidate);
+          break;
+        }
+      }
+    }
+    const std::vector<tsnlint::Finding> file_findings =
+        tsnlint::analyze_source(rel, source, header, options);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  for (const tsnlint::Finding& f : findings) std::cout << f.format() << "\n";
+  std::cerr << "tsnlint: scanned " << files.size() << " files, " << findings.size()
+            << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -143,6 +143,7 @@ std::string to_jsonl(const RunRecord& record, bool include_timing) {
   out += ",\"params\":" + json_params(record.params);
   out += std::string(",\"ok\":") + (record.ok ? "true" : "false");
   out += ",\"error\":\"" + json_escape(record.error) + "\"";
+  out += std::string(",\"verify_failed\":") + (record.verify_failed ? "true" : "false");
   for (const CounterField& f : counter_fields()) {
     out += ",\"" + std::string(f.name) + "\":" + std::to_string(record.metrics.*f.member);
   }
@@ -156,7 +157,7 @@ std::string to_jsonl(const RunRecord& record, bool include_timing) {
 std::string csv_header(const std::vector<Axis>& axes) {
   std::string out = "point,repeat,seed";
   for (const Axis& axis : axes) out += "," + axis.name;
-  out += ",ok,error";
+  out += ",ok,error,verify_failed";
   for (const CounterField& f : counter_fields()) out += "," + std::string(f.name);
   for (const ValueField& f : value_fields()) out += "," + std::string(f.name);
   return out + ",wall_ms";
@@ -172,6 +173,7 @@ std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
   }
   out += record.ok ? ",1," : ",0,";
   out += csv_quote(record.error);
+  out += record.verify_failed ? ",1" : ",0";
   for (const CounterField& f : counter_fields()) {
     out += "," + std::to_string(record.metrics.*f.member);
   }

@@ -78,6 +78,9 @@ struct RunRecord {
 
   bool ok = false;
   std::string error;  // non-empty iff !ok
+  /// True when the static verifier (tsn::verify) rejected the point
+  /// before any simulation ran; `error` then carries the diagnostics.
+  bool verify_failed = false;
   RunMetrics metrics;
 
   double wall_ms = 0.0;  // host wall-clock; excluded from determinism
@@ -88,12 +91,14 @@ struct RunRecord {
 
 /// One JSON object, no trailing newline:
 /// {"type":"run","point":0,"repeat":1,"seed":...,"params":{...},
-///  "ok":true,"error":"",<counters>,<values>,"wall_ms":...}.
+///  "ok":true,"error":"","verify_failed":false,<counters>,<values>,
+///  "wall_ms":...}.
 /// `include_timing == false` omits wall_ms (byte-stable form).
 [[nodiscard]] std::string to_jsonl(const RunRecord& record, bool include_timing = true);
 
 /// CSV header for a campaign over `axes`:
-/// point,repeat,seed,<axis...>,ok,error,<counters...>,<values...>,wall_ms
+/// point,repeat,seed,<axis...>,ok,error,verify_failed,<counters...>,
+/// <values...>,wall_ms
 [[nodiscard]] std::string csv_header(const std::vector<Axis>& axes);
 [[nodiscard]] std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes);
 

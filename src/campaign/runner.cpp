@@ -9,6 +9,7 @@
 
 #include "builder/switch_builder.hpp"
 #include "common/error.hpp"
+#include "verify/verifier.hpp"
 
 namespace tsn::campaign {
 namespace {
@@ -18,6 +19,17 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
+}
+
+/// Compact, deterministic one-line summary of a failing verify report
+/// for the record's error column (the report is already sorted, so the
+/// first error is the highest-ranked one).
+std::string verify_summary(const verify::Report& report) {
+  std::string out = "static verification failed: ";
+  out += report.diagnostics().front().to_text();
+  const std::size_t errors = report.count(verify::Severity::kError);
+  if (errors > 1) out += " (+" + std::to_string(errors - 1) + " more error(s))";
+  return out;
 }
 
 }  // namespace
@@ -71,13 +83,27 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
       const auto started = std::chrono::steady_clock::now();
       try {
         netsim::ScenarioConfig cfg = factory(point, record.seed);
-        // Price the configuration before the simulation consumes it.
-        builder::SwitchBuilder pricer;
-        pricer.with_resources(cfg.options.resource);
-        const double resource_kb = pricer.report().total().kilobits();
-        const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
-        record.metrics = metrics_from(result, resource_kb);
-        record.ok = true;
+        bool rejected = false;
+        if (options_.verify) {
+          // Fail fast: reject statically-invalid points before paying for
+          // the simulation.
+          const verify::Report report = verify::verify_scenario(cfg);
+          if (report.has_errors()) {
+            record.ok = false;
+            record.verify_failed = true;
+            record.error = verify_summary(report);
+            rejected = true;
+          }
+        }
+        if (!rejected) {
+          // Price the configuration before the simulation consumes it.
+          builder::SwitchBuilder pricer;
+          pricer.with_resources(cfg.options.resource);
+          const double resource_kb = pricer.report().total().kilobits();
+          const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+          record.metrics = metrics_from(result, resource_kb);
+          record.ok = true;
+        }
       } catch (const std::exception& e) {
         record.ok = false;
         record.error = e.what();

@@ -30,6 +30,10 @@ struct CampaignOptions {
   /// Repeats per matrix point, each with its own derived seed.
   std::size_t repeats = 1;
   std::uint64_t base_seed = 7;
+  /// Fail fast: statically verify each scenario (tsn::verify) before
+  /// simulating it; points with error-severity diagnostics are recorded
+  /// as verify_failed rows without burning simulation time.
+  bool verify = true;
 };
 
 class CampaignRunner {

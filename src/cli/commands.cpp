@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "builder/api.hpp"
 #include "builder/config_io.hpp"
 #include "builder/planner.hpp"
 #include "builder/presets.hpp"
@@ -15,9 +16,12 @@
 #include "common/string_util.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
+#include "resource/bram.hpp"
+#include "sched/cqf_analysis.hpp"
 #include "sched/itp.hpp"
 #include "topo/builders.hpp"
 #include "traffic/workload.hpp"
+#include "verify/verifier.hpp"
 
 namespace tsn::cli {
 namespace {
@@ -45,7 +49,7 @@ ScenarioSpec build_scenario(const ArgParser& parser) {
   ScenarioSpec spec;
   const std::string topology = parser.get("topology");
   const auto switches = parser.get_int("switches");
-  require(switches.has_value() && *switches >= 1, "invalid --switches");
+  usage_require(switches.has_value() && *switches >= 1, "invalid --switches");
   if (topology == "ring") {
     spec.built = topo::make_ring(static_cast<std::size_t>(*switches));
   } else if (topology == "linear") {
@@ -53,7 +57,7 @@ ScenarioSpec build_scenario(const ArgParser& parser) {
   } else if (topology == "star") {
     spec.built = topo::make_star(static_cast<std::size_t>(*switches));
   } else {
-    throw Error("unknown --topology '" + topology + "' (ring|linear|star)");
+    throw UsageError("unknown --topology '" + topology + "' (ring|linear|star)");
   }
 
   const auto flows = parser.get_int("flows");
@@ -61,13 +65,13 @@ ScenarioSpec build_scenario(const ArgParser& parser) {
   const auto period = parser.get_int("period-ms");
   const auto slot_us = parser.get_double("slot-us");
   const auto hops = parser.get_int("hops");
-  require(flows.has_value() && *flows >= 1, "invalid --flows");
-  require(frame.has_value(), "invalid --frame");
-  require(period.has_value() && *period >= 1, "invalid --period-ms");
-  require(slot_us.has_value() && *slot_us > 0, "invalid --slot-us");
-  require(hops.has_value() && *hops >= 1 &&
-              *hops <= static_cast<std::int64_t>(spec.built.switch_nodes.size()),
-          "invalid --hops for this topology");
+  usage_require(flows.has_value() && *flows >= 1, "invalid --flows");
+  usage_require(frame.has_value(), "invalid --frame");
+  usage_require(period.has_value() && *period >= 1, "invalid --period-ms");
+  usage_require(slot_us.has_value() && *slot_us > 0, "invalid --slot-us");
+  usage_require(hops.has_value() && *hops >= 1 &&
+                    *hops <= static_cast<std::int64_t>(spec.built.switch_nodes.size()),
+                "invalid --hops for this topology");
   spec.slot = Duration(static_cast<std::int64_t>(*slot_us * 1000.0));
 
   traffic::TsWorkloadParams params;
@@ -76,7 +80,7 @@ ScenarioSpec build_scenario(const ArgParser& parser) {
   params.period = milliseconds(*period);
   const topo::NodeId src = spec.built.host_nodes.front();
   const topo::NodeId dst = spec.built.host_nodes[static_cast<std::size_t>(*hops - 1)];
-  require(src != dst, "--hops 1 is not supported from the CLI (shared switch)");
+  usage_require(src != dst, "--hops 1 is not supported from the CLI (shared switch)");
   spec.flows = traffic::make_ts_flows(src, dst, params);
 
   const auto bg = parser.get_int("background-mbps").value_or(0);
@@ -220,7 +224,7 @@ int cmd_report(const std::vector<std::string>& args, std::string& out) {
   } else if (scenario == "ring") {
     config = builder::paper_customized(1);
   } else {
-    throw Error("unknown --scenario '" + scenario + "'");
+    throw UsageError("unknown --scenario '" + scenario + "'");
   }
   out += baseline_comparison(config);
   return 0;
@@ -239,7 +243,7 @@ int cmd_frer(const std::vector<std::string>& args, std::string& out) {
   const auto switches = parser.get_int("switches").value_or(6);
   const auto flow_count = parser.get_int("flows").value_or(128);
   const Duration window = milliseconds(parser.get_int("duration-ms").value_or(100));
-  require(switches >= 3 && flow_count >= 1, "invalid --switches / --flows");
+  usage_require(switches >= 3 && flow_count >= 1, "invalid --switches / --flows");
 
   event::Simulator sim;
   topo::BuiltTopology built =
@@ -303,29 +307,37 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("out", "result file (JSONL or CSV)", "campaign.jsonl");
   parser.add_option("format", "jsonl | csv", "jsonl");
   parser.add_flag("quiet", "suppress per-run progress lines");
+  parser.add_flag("no-verify", "skip the static verification fail-fast gate");
   if (!parser.parse(args)) {
     out = parser.error() + "\n\nusage: tsnb campaign [options]\n" + parser.usage();
     return 2;
   }
   const std::string axes_spec = parser.get("axes");
-  require(!axes_spec.empty(), "--axes is required (e.g. --axes 'be-mbps=0,300;hops=2,3')");
+  usage_require(!axes_spec.empty(),
+                "--axes is required (e.g. --axes 'be-mbps=0,300;hops=2,3')");
   const auto jobs = parser.get_int("jobs");
   const auto repeats = parser.get_int("repeats");
   const auto seed = parser.get_int("seed");
-  require(jobs.has_value() && *jobs >= 0, "invalid --jobs");
-  require(repeats.has_value() && *repeats >= 1, "invalid --repeats");
-  require(seed.has_value(), "invalid --seed");
-  // Validate the sink before spending any simulation time.
-  const campaign::SinkFormat format = campaign::parse_sink_format(parser.get("format"));
-
+  usage_require(jobs.has_value() && *jobs >= 0, "invalid --jobs");
+  usage_require(repeats.has_value() && *repeats >= 1, "invalid --repeats");
+  usage_require(seed.has_value(), "invalid --seed");
+  // Validate the sink before spending any simulation time. A malformed
+  // --format / --axes value is a command-line mistake, not a run failure.
+  campaign::SinkFormat format = campaign::SinkFormat::kJsonl;
   campaign::ScenarioMatrix matrix;
-  for (campaign::Axis& axis : campaign::parse_axes(axes_spec)) {
-    matrix.add_axis(std::move(axis));
+  try {
+    format = campaign::parse_sink_format(parser.get("format"));
+    for (campaign::Axis& axis : campaign::parse_axes(axes_spec)) {
+      matrix.add_axis(std::move(axis));
+    }
+  } catch (const Error& e) {
+    throw UsageError(e.what());
   }
   campaign::CampaignOptions options;
   options.jobs = static_cast<std::size_t>(*jobs);
   options.repeats = static_cast<std::size_t>(*repeats);
   options.base_seed = static_cast<std::uint64_t>(*seed);
+  options.verify = !parser.get_bool("no-verify");
 
   campaign::CampaignRunner runner(std::move(matrix), options);
   const bool quiet = parser.get_bool("quiet");
@@ -339,7 +351,8 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
     campaign::RunPoint point;
     point.params = record.params;
     std::fprintf(stderr, "[%zu/%zu] %s %s\n", done, total,
-                 record.ok ? "ok" : "FAILED", point.label().c_str());
+                 record.ok ? "ok" : (record.verify_failed ? "REJECTED" : "FAILED"),
+                 point.label().c_str());
   };
   const std::vector<campaign::RunRecord> records =
       runner.run([](const campaign::RunPoint& point, std::uint64_t run_seed) {
@@ -359,17 +372,270 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
   return failed == records.size() ? 1 : 0;
 }
 
+// --- tsnb verify ----------------------------------------------------
+
+using NamedReport = std::pair<std::string, verify::Report>;
+
+/// Mirrors examples/quickstart.cpp: Table II customization on a 3-ring.
+verify::Report verify_quickstart() {
+  topo::BuiltTopology built = topo::make_ring(3);
+  builder::CustomizationApi api;
+  api.set_switch_tbl(1024, 0)
+      .set_class_tbl(1024)
+      .set_meter_tbl(1024)
+      .set_gate_tbl(2, 8, 1)
+      .set_cbs_tbl(3, 3, 1)
+      .set_queues(12, 8, 1)
+      .set_buffers(96, 1);
+  verify::VerifyInput input;
+  input.topology = &built.topology;
+  traffic::TsWorkloadParams ts;
+  ts.flow_count = 64;
+  input.flows = traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], ts);
+  input.resource = api.config();
+  input.runtime.slot_size = microseconds(65);
+  return verify::run(input);
+}
+
+/// Mirrors examples/ring_demo.cpp: the paper's 1024-flow ring workload.
+verify::Report verify_ring_demo() {
+  topo::BuiltTopology built = topo::make_ring(6);
+  verify::VerifyInput input;
+  input.resource = builder::paper_customized(1);
+  input.resource.classification_table_size = 1040;
+  input.resource.unicast_table_size = 1040;
+  input.resource.meter_table_size = 1040;
+  input.runtime.slot_size = microseconds(65);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 1024;
+  input.flows = traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[3], params);
+  const topo::NodeId bg_host = built.topology.add_host("tester-bg");
+  built.topology.connect(built.switch_nodes[0], bg_host, Duration(50));
+  input.flows.push_back(traffic::make_rc_flow(9000, bg_host, built.host_nodes[3],
+                                              DataRate::megabits_per_sec(200)));
+  input.flows.push_back(traffic::make_be_flow(9001, bg_host, built.host_nodes[3],
+                                              DataRate::megabits_per_sec(200)));
+  input.topology = &built.topology;
+  return verify::run(input);
+}
+
+/// Mirrors examples/industrial_star.cpp: cross-cell TS + RC aggregation.
+verify::Report verify_industrial_star() {
+  topo::BuiltTopology built = topo::make_star(3);
+  verify::VerifyInput input;
+  input.resource = builder::paper_customized(3);
+  input.resource.classification_table_size = 1024;
+  input.resource.unicast_table_size = 1024;
+  input.resource.meter_table_size = 1024;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 256;
+  for (std::size_t cell = 1; cell <= 3; ++cell) {
+    const std::size_t next = cell == 3 ? 1 : cell + 1;
+    params.seed = 100 + cell;
+    params.first_vid = static_cast<VlanId>(cell * 300);
+    auto flows = traffic::make_ts_flows(built.host_nodes[cell], built.host_nodes[next],
+                                        params, static_cast<net::FlowId>(cell * 1000));
+    input.flows.insert(input.flows.end(), flows.begin(), flows.end());
+  }
+  for (std::size_t cell = 2; cell <= 3; ++cell) {
+    input.flows.push_back(traffic::make_rc_flow(
+        static_cast<net::FlowId>(9000 + cell), built.host_nodes[cell],
+        built.host_nodes[1], DataRate::megabits_per_sec(100), 1024,
+        traffic::kRcPriorityHigh, static_cast<VlanId>(3900 + cell)));
+  }
+  input.topology = &built.topology;
+  return verify::run(input);
+}
+
+/// Mirrors examples/custom_planner.cpp: planner-derived parameters.
+verify::Report verify_custom_planner() {
+  topo::BuiltTopology built = topo::make_linear(4);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 600;
+  params.frame_bytes = 128;
+  std::vector<traffic::FlowSpec> flows =
+      traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[3], params);
+  flows.push_back(traffic::make_rc_flow(8000, built.host_nodes[1], built.host_nodes[3],
+                                        DataRate::megabits_per_sec(150), 1024,
+                                        traffic::kRcPriorityHigh, 4001));
+  flows.push_back(traffic::make_rc_flow(8001, built.host_nodes[2], built.host_nodes[3],
+                                        DataRate::megabits_per_sec(150), 1024,
+                                        traffic::kRcPriorityMid, 4002));
+  builder::PlannerInput planner_input;
+  planner_input.topology = &built.topology;
+  planner_input.flows = flows;
+  planner_input.slot =
+      sched::max_feasible_slot(built.topology, flows).value_or(microseconds(65));
+  const builder::PlannerOutput plan = builder::ParameterPlanner::plan(planner_input);
+
+  verify::VerifyInput input;
+  input.topology = &built.topology;
+  input.flows = std::move(flows);
+  input.resource = plan.config;
+  input.runtime.slot_size = planner_input.slot;
+  return verify::run(input);
+}
+
+/// Mirrors examples/frer_failover.cpp (primary paths; FRER's secondary
+/// routes only add table entries the example already over-provisions).
+verify::Report verify_frer_failover() {
+  topo::BuiltTopology built = topo::make_ring_bidirectional(6);
+  verify::VerifyInput input;
+  input.resource.classification_table_size = 2 * 128 + 8;
+  input.resource.unicast_table_size = 2 * 128 + 8;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 128;
+  input.flows = traffic::make_ts_flows(built.host_nodes[0], built.host_nodes[2], params);
+  input.topology = &built.topology;
+  return verify::run(input);
+}
+
+/// Every example scenario and shipped preset — the `verify.examples_clean`
+/// meta-test asserts all of these verify clean.
+std::vector<NamedReport> verify_examples_suite() {
+  std::vector<NamedReport> results;
+  results.emplace_back("preset:bcm53154-reference",
+                       verify::verify_config(builder::bcm53154_reference()));
+  for (std::int64_t ports = 1; ports <= 3; ++ports) {
+    results.emplace_back("preset:paper-customized-" + std::to_string(ports),
+                         verify::verify_config(builder::paper_customized(ports)));
+  }
+  results.emplace_back("preset:table1-case1",
+                       verify::verify_config(builder::table1_case1()));
+  results.emplace_back("preset:table1-case2",
+                       verify::verify_config(builder::table1_case2()));
+  results.emplace_back("example:quickstart", verify_quickstart());
+  results.emplace_back("example:ring_demo", verify_ring_demo());
+  results.emplace_back("example:industrial_star", verify_industrial_star());
+  results.emplace_back("example:custom_planner", verify_custom_planner());
+  results.emplace_back("example:frer_failover", verify_frer_failover());
+  return results;
+}
+
+int cmd_verify(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  add_scenario_options(parser);
+  parser.add_option("config", "verify this saved resource configuration", "");
+  parser.add_option("preset",
+                    "verify a preset instead of planning: commercial | star | "
+                    "linear | ring | case1 | case2",
+                    "");
+  parser.add_option("suite", "verify a named set: 'examples' covers every "
+                    "example scenario and shipped preset", "");
+  parser.add_option("format", "text | json", "text");
+  parser.add_option("device", "also check the BRAM budget against this FPGA "
+                    "part (zynq7020)", "");
+  parser.add_flag("qbv", "check a synthesized 802.1Qbv program instead of CQF");
+  parser.add_flag("no-itp", "verify the naive period-start injection plan");
+  parser.add_flag("strict", "exit nonzero on warnings too");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb verify [options]\n" + parser.usage();
+    return 2;
+  }
+
+  const std::string format = parser.get("format");
+  usage_require(format == "text" || format == "json",
+                "unknown --format '" + format + "' (text|json)");
+  std::optional<resource::DevicePart> device;
+  const std::string device_name = parser.get("device");
+  if (device_name == "zynq7020") {
+    device = resource::zynq7020();
+  } else {
+    usage_require(device_name.empty(),
+                  "unknown --device '" + device_name + "' (zynq7020)");
+  }
+
+  std::vector<NamedReport> results;
+  const std::string suite = parser.get("suite");
+  if (!suite.empty()) {
+    usage_require(suite == "examples", "unknown --suite '" + suite + "' (examples)");
+    results = verify_examples_suite();
+  } else {
+    ScenarioSpec spec = build_scenario(parser);
+    const std::string config_path = parser.get("config");
+    const std::string preset = parser.get("preset");
+    usage_require(config_path.empty() || preset.empty(),
+                  "--config and --preset are mutually exclusive");
+
+    verify::VerifyInput input;
+    if (!config_path.empty()) {
+      input.resource = builder::load_config(config_path);
+    } else if (preset == "commercial") {
+      input.resource = builder::bcm53154_reference();
+    } else if (preset == "star") {
+      input.resource = builder::paper_customized(3);
+    } else if (preset == "linear") {
+      input.resource = builder::paper_customized(2);
+    } else if (preset == "ring") {
+      input.resource = builder::paper_customized(1);
+    } else if (preset == "case1") {
+      input.resource = builder::table1_case1();
+    } else if (preset == "case2") {
+      input.resource = builder::table1_case2();
+    } else if (preset.empty()) {
+      input.resource = plan_for(spec).config;
+    } else {
+      throw UsageError("unknown --preset '" + preset + "'");
+    }
+
+    input.topology = &spec.built.topology;
+    input.flows = spec.flows;
+    input.runtime.slot_size = spec.slot;
+    input.device = device;
+    if (parser.get_bool("qbv")) input.gate_mode = verify::VerifyInput::GateMode::kQbv;
+    if (parser.get_bool("no-itp")) {
+      try {
+        input.plan =
+            sched::ItpPlanner(spec.built.topology, spec.slot).plan_naive(spec.flows);
+      } catch (const Error&) {
+        // Unroutable flows surface through the topology rules instead.
+      }
+    }
+    results.emplace_back("scenario", verify::run(input));
+  }
+
+  bool errors = false;
+  bool warnings = false;
+  for (const NamedReport& r : results) {
+    errors = errors || r.second.has_errors();
+    warnings = warnings || r.second.count(verify::Severity::kWarning) > 0;
+  }
+
+  if (format == "json") {
+    if (results.size() == 1) {
+      out += results.front().second.to_json() + "\n";
+    } else {
+      out += "{\"targets\":[";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"name\":\"" + results[i].first +
+               "\",\"report\":" + results[i].second.to_json() + "}";
+      }
+      out += "]}\n";
+    }
+  } else {
+    for (const NamedReport& r : results) {
+      if (results.size() > 1) out += "== " + r.first + " ==\n";
+      out += r.second.render_text();
+    }
+  }
+  const bool strict = parser.get_bool("strict");
+  return errors || (strict && warnings) ? 1 : 0;
+}
+
 const char kTopUsage[] =
     "tsnb — TSN-Builder command line\n"
     "\n"
     "subcommands:\n"
     "  plan      derive resource parameters for an application (guidelines 1-5)\n"
     "  simulate  plan (or --config), then verify by discrete-event simulation\n"
+    "  verify    static configuration & schedule checks, no simulation\n"
     "  report    print a preset's or saved config's Table III-style report\n"
     "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
     "  help      this message\n"
     "\n"
+    "exit codes: 0 success, 1 runtime/verification failure, 2 usage error.\n"
     "run 'tsnb <subcommand> --help' equivalent: invalid options print usage.\n";
 
 }  // namespace
@@ -383,10 +649,14 @@ int run_tsnb(const std::vector<std::string>& args, std::string& out) {
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (args[0] == "plan") return cmd_plan(rest, out);
     if (args[0] == "simulate") return cmd_simulate(rest, out);
+    if (args[0] == "verify") return cmd_verify(rest, out);
     if (args[0] == "report") return cmd_report(rest, out);
     if (args[0] == "campaign") return cmd_campaign(rest, out);
     if (args[0] == "frer") return cmd_frer(rest, out);
     out = "unknown subcommand '" + args[0] + "'\n\n" + kTopUsage;
+    return 2;
+  } catch (const UsageError& e) {
+    out += std::string("usage error: ") + e.what() + "\n";
     return 2;
   } catch (const Error& e) {
     out += std::string("error: ") + e.what() + "\n";

@@ -9,11 +9,31 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace tsn::cli {
+
+/// A usage-class mistake: unknown option values, out-of-range arguments,
+/// missing required options. run_tsnb() maps these to exit code 2,
+/// distinct from runtime failures (exit 1), so scripts can tell "fix the
+/// command line" from "the run itself failed".
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws UsageError when `condition` is false.
+inline void usage_require(bool condition, const std::string& message) {
+  if (!condition) throw UsageError(message);
+}
 
 /// Entry point used by the tsnb binary and by tests.
 /// argv-style: args[0] is the subcommand ("plan", "simulate", "report",
 /// "help"). Output goes to `out` so tests can capture it.
+///
+/// Exit codes: 0 success; 1 runtime/simulation failure; 2 usage or
+/// argument-parse error. `verify` additionally exits 1 when diagnostics
+/// reach error severity (or warning severity under --strict).
 int run_tsnb(const std::vector<std::string>& args, std::string& out);
 
 }  // namespace tsn::cli

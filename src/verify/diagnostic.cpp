@@ -1,0 +1,125 @@
+#include "verify/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+namespace tsn::verify {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::to_text() const {
+  std::string out(severity_name(severity));
+  out += ": " + rule + ": ";
+  if (!subject.empty()) out += subject + ": ";
+  out += message;
+  return out;
+}
+
+std::string Diagnostic::to_json() const {
+  return "{\"rule\":\"" + json_escape(rule) + "\",\"severity\":\"" +
+         std::string(severity_name(severity)) + "\",\"subject\":\"" +
+         json_escape(subject) + "\",\"message\":\"" + json_escape(message) + "\"}";
+}
+
+void Report::add(Diagnostic diagnostic) { diagnostics_.push_back(std::move(diagnostic)); }
+
+void Report::add(std::string rule, Severity severity, std::string subject,
+                 std::string message) {
+  diagnostics_.push_back(
+      Diagnostic{std::move(rule), severity, std::move(subject), std::move(message)});
+}
+
+void Report::merge(Report other) {
+  for (Diagnostic& d : other.diagnostics_) diagnostics_.push_back(std::move(d));
+}
+
+std::size_t Report::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+Severity Report::max_severity() const {
+  Severity worst = Severity::kInfo;
+  for (const Diagnostic& d : diagnostics_) {
+    if (static_cast<int>(d.severity) > static_cast<int>(worst)) worst = d.severity;
+  }
+  return worst;
+}
+
+bool Report::has_rule(std::string_view rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+void Report::sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+                     }
+                     return std::tie(a.rule, a.subject, a.message) <
+                            std::tie(b.rule, b.subject, b.message);
+                   });
+}
+
+std::string Report::render_text() const {
+  if (diagnostics_.empty()) return "configuration verifies clean\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) out += d.to_text() + "\n";
+  out += std::to_string(count(Severity::kError)) + " error(s), " +
+         std::to_string(count(Severity::kWarning)) + " warning(s), " +
+         std::to_string(count(Severity::kInfo)) + " info(s)\n";
+  return out;
+}
+
+std::string Report::to_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += diagnostics_[i].to_json();
+  }
+  out += "],\"errors\":" + std::to_string(count(Severity::kError));
+  out += ",\"warnings\":" + std::to_string(count(Severity::kWarning));
+  out += ",\"infos\":" + std::to_string(count(Severity::kInfo));
+  out += ",\"max_severity\":\"";
+  out += diagnostics_.empty() ? "clean" : std::string(severity_name(max_severity()));
+  return out + "\"}";
+}
+
+}  // namespace tsn::verify

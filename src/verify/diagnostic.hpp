@@ -1,0 +1,76 @@
+// Structured diagnostics for the static configuration verifier.
+//
+// Every finding carries a stable rule id ("cqf.slot-capacity"), a
+// severity, a subject path naming the offending entity
+// ("switch[2].port[1].queue[5]", "flow[12]", "config.queue_depth") and a
+// human-readable message. Reports render as text ("error:
+// rule: subject: message" lines) and as a machine-readable JSON object,
+// so campaigns and CI can consume verification results without parsing
+// prose.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsn::verify {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  std::string rule;     // stable rule id, e.g. "gcl.zero-interval"
+  Severity severity = Severity::kError;
+  std::string subject;  // entity path, e.g. "switch[2].port[1].queue[5]"
+  std::string message;
+
+  /// "error: cqf.slot-capacity: link[3].slot[7]: committed 9000 B ..."
+  [[nodiscard]] std::string to_text() const;
+  /// {"rule":"...","severity":"error","subject":"...","message":"..."}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// An ordered collection of diagnostics from one verification pass.
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  void add(std::string rule, Severity severity, std::string subject, std::string message);
+
+  /// Appends every diagnostic of `other`, keeping order.
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+
+  /// Highest severity present; kInfo for an empty report.
+  [[nodiscard]] Severity max_severity() const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
+  /// Clean = free of errors AND warnings (info advice is allowed).
+  [[nodiscard]] bool clean() const {
+    return !has_errors() && count(Severity::kWarning) == 0;
+  }
+
+  /// True when any diagnostic carries this rule id.
+  [[nodiscard]] bool has_rule(std::string_view rule) const;
+
+  /// Sorts by (descending severity, rule, subject, message) — errors
+  /// first, then a deterministic order within each severity.
+  void sort();
+
+  /// One line per diagnostic plus a "N error(s), M warning(s)" footer;
+  /// "configuration verifies clean\n" for an empty report.
+  [[nodiscard]] std::string render_text() const;
+
+  /// {"diagnostics":[...],"errors":N,"warnings":N,"infos":N,
+  ///  "max_severity":"error"|"warning"|"info"|"clean"}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace tsn::verify

@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "builder/switch_builder.hpp"
+#include "common/error.hpp"
+#include "resource/report.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+/// What each provisioned flow costs in table entries on every switch of
+/// its route — mirrors netsim::Network::provision(): one unicast entry
+/// per distinct (dst, vid), one classification entry per distinct
+/// (src, dst, vid, priority), one meter per RC flow.
+struct SwitchDemand {
+  std::set<std::pair<topo::NodeId, VlanId>> unicast;
+  std::set<std::tuple<topo::NodeId, topo::NodeId, VlanId, Priority>> classification;
+  std::int64_t meters = 0;
+};
+
+void overflow(Report& report, topo::NodeId node, const std::string& table,
+              std::int64_t needed, std::int64_t size) {
+  report.add("resource.table-overflow", Severity::kError,
+             "switch[" + std::to_string(node) + "]." + table,
+             "provisioning needs " + std::to_string(needed) + " " + table +
+                 " entries but the table holds " + std::to_string(size));
+}
+
+void check_table_demand(const VerifyInput& input, Report& report) {
+  if (input.topology == nullptr) return;
+  std::map<topo::NodeId, SwitchDemand> demand;
+  const std::size_t nodes = input.topology->node_count();
+  for (const traffic::FlowSpec& flow : input.flows) {
+    if (flow.src_host >= nodes || flow.dst_host >= nodes) continue;  // topo.endpoint
+    const auto route = input.topology->route(flow.src_host, flow.dst_host);
+    if (!route) continue;  // topo.no-route already reported
+    for (const topo::Hop& hop : *route) {
+      if (input.topology->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+      SwitchDemand& d = demand[hop.node];
+      d.unicast.emplace(flow.dst_host, flow.vid);
+      d.classification.emplace(flow.src_host, flow.dst_host, flow.vid, flow.priority);
+      if (flow.type == net::TrafficClass::kRateConstrained) ++d.meters;
+    }
+  }
+
+  for (const auto& [node, d] : demand) {
+    const auto unicast = static_cast<std::int64_t>(d.unicast.size());
+    const auto classes = static_cast<std::int64_t>(d.classification.size());
+    if (unicast > input.resource.unicast_table_size) {
+      overflow(report, node, "unicast_table", unicast, input.resource.unicast_table_size);
+    }
+    if (classes > input.resource.classification_table_size) {
+      overflow(report, node, "classification_table", classes,
+               input.resource.classification_table_size);
+    }
+    if (d.meters > input.resource.meter_table_size) {
+      overflow(report, node, "meter_table", d.meters, input.resource.meter_table_size);
+    }
+  }
+}
+
+void check_provisioning(const VerifyInput& input, const sched::ItpPlan* plan,
+                        Report& report) {
+  const sw::SwitchResourceConfig& res = input.resource;
+
+  if (plan != nullptr && plan->max_queue_load > res.queue_depth) {
+    report.add("resource.queue-depth", Severity::kError, "config.queue_depth",
+               "ITP peak per-(link, slot) load is " + std::to_string(plan->max_queue_load) +
+                   " frames but queue_depth provisions " + std::to_string(res.queue_depth) +
+                   " (paper guideline 4)");
+  }
+
+  std::int64_t worst_frame = 0;
+  for (const traffic::FlowSpec& f : input.flows) {
+    worst_frame = std::max(worst_frame, f.frame_bytes);
+  }
+  if (worst_frame > res.buffer_bytes) {
+    report.add("resource.buffer-size", Severity::kError, "config.buffer_bytes",
+               "largest provisioned frame is " + std::to_string(worst_frame) +
+                   " B but each buffer holds " + std::to_string(res.buffer_bytes) + " B");
+  }
+
+  const std::int64_t budget = res.queue_depth * res.queues_per_port;
+  if (res.buffers_per_port < budget && res.queue_depth > 0 && res.queues_per_port > 0) {
+    report.add("resource.buffer-budget", Severity::kWarning, "config.buffers_per_port",
+               std::to_string(res.buffers_per_port) + " buffers per port cannot back " +
+                   std::to_string(res.queues_per_port) + " queues x " +
+                   std::to_string(res.queue_depth) + " depth = " + std::to_string(budget) +
+                   " metadata slots (paper guideline 5 floor)");
+  }
+}
+
+void check_bram(const VerifyInput& input, Report& report) {
+  if (!input.device.has_value()) return;
+  double util = 0.0;
+  try {
+    util = builder::SwitchBuilder()
+               .with_resources(input.resource)
+               .report()
+               .utilization_on(*input.device);
+  } catch (const Error&) {
+    return;  // invalid config already reported by resource.invalid
+  }
+  if (util <= 0.9) return;
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%.1f%%", util * 100.0);
+  const std::string subject = "device[" + input.device->name + "]";
+  if (util > 1.0) {
+    report.add("resource.bram-overflow", Severity::kError, subject,
+               "configuration prices at " + std::string(pct) + " of the device's BRAM — "
+                   "it does not fit");
+  } else {
+    report.add("resource.bram-overflow", Severity::kWarning, subject,
+               "configuration prices at " + std::string(pct) + " of the device's BRAM — "
+                   "little headroom for the surrounding design");
+  }
+}
+
+}  // namespace
+
+void check_resources(const VerifyInput& input, const sched::ItpPlan* plan, Report& report) {
+  bool valid = true;
+  try {
+    input.resource.validate();
+  } catch (const Error& e) {
+    report.add("resource.invalid", Severity::kError, "config", e.what());
+    valid = false;
+  }
+  try {
+    input.runtime.validate();
+  } catch (const Error& e) {
+    report.add("resource.invalid", Severity::kError, "runtime", e.what());
+  }
+
+  check_table_demand(input, report);
+  check_provisioning(input, plan, report);
+  if (valid) check_bram(input, report);
+}
+
+}  // namespace tsn::verify::internal

@@ -1,0 +1,238 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/ethernet.hpp"
+#include "sched/cqf_analysis.hpp"
+#include "sched/qbv.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+std::string flow_subject(net::FlowId id) { return "flow[" + std::to_string(id) + "]"; }
+
+std::string us_str(Duration d) { return std::to_string(d.ns() / 1000) + " us"; }
+
+/// TS flows that passed their own validation and have a route — the only
+/// ones the schedule rules can reason about (the rest are already
+/// reported by the topology pass).
+struct TsEntry {
+  const traffic::FlowSpec* flow;
+  std::vector<topo::Hop> hops;
+};
+
+std::vector<TsEntry> plannable_ts_flows(const VerifyInput& input) {
+  std::vector<TsEntry> out;
+  if (input.topology == nullptr) return out;
+  const std::size_t nodes = input.topology->node_count();
+  for (const traffic::FlowSpec& f : input.flows) {
+    if (f.type != net::TrafficClass::kTimeSensitive) continue;
+    if (f.period.ns() <= 0) continue;
+    // Nonexistent endpoints are topo.endpoint findings, not plannable flows.
+    if (f.src_host >= nodes || f.dst_host >= nodes) continue;
+    auto hops = input.topology->route(f.src_host, f.dst_host);
+    if (!hops.has_value()) continue;
+    out.push_back(TsEntry{&f, std::move(*hops)});
+  }
+  return out;
+}
+
+void check_deadlines(const VerifyInput& input, const std::vector<TsEntry>& ts,
+                     Report& report) {
+  const Duration slot = input.runtime.slot_size;
+  for (const TsEntry& e : ts) {
+    if (e.flow->deadline.ns() <= 0) continue;
+    std::int64_t hops = 0;  // switches traversed, as sched::hop_count counts them
+    for (const topo::Hop& h : e.hops) {
+      if (input.topology->node(h.node).kind == topo::NodeKind::kSwitch) ++hops;
+    }
+    const Duration worst = sched::cqf_bounds(hops, slot).max;
+    if (worst > e.flow->deadline) {
+      report.add("cqf.deadline", Severity::kError, flow_subject(e.flow->id),
+                 "worst-case CQF latency (" + std::to_string(hops) + " hops + 1) x " +
+                     us_str(slot) + " slot = " + us_str(worst) + " exceeds the " +
+                     us_str(e.flow->deadline) + " deadline (Eq. 1)");
+    }
+  }
+}
+
+void check_period_alignment(const VerifyInput& input, const std::vector<TsEntry>& ts,
+                            Report& report) {
+  const Duration slot = input.runtime.slot_size;
+  const bool qbv = input.gate_mode == VerifyInput::GateMode::kQbv;
+  std::set<std::int64_t> seen;
+  for (const TsEntry& e : ts) {
+    const std::int64_t period = e.flow->period.ns();
+    if (period % slot.ns() == 0 || !seen.insert(period).second) continue;
+    if (qbv) {
+      // QbvSynthesizer requires slot-aligned periods: windows would not
+      // repeat within the scheduling cycle.
+      report.add("gcl.cycle-mismatch", Severity::kWarning, flow_subject(e.flow->id),
+                 "TS period " + us_str(e.flow->period) + " is not a multiple of the " +
+                     us_str(slot) + " slot — Qbv gate windows cannot tile the "
+                     "scheduling cycle");
+    } else {
+      report.add("cqf.period-alignment", Severity::kInfo, flow_subject(e.flow->id),
+                 "TS period " + us_str(e.flow->period) + " is not a multiple of the " +
+                     us_str(slot) + " slot; injections drift across the slot grid "
+                     "(covered by the hyperperiod ring, but bounds are per-slot)");
+    }
+  }
+}
+
+void check_plan(const VerifyInput& input, const std::vector<TsEntry>& ts,
+                const sched::ItpPlan& plan, Report& report) {
+  const Duration slot = plan.slot.ns() > 0 ? plan.slot : input.runtime.slot_size;
+
+  std::map<net::FlowId, const TsEntry*> by_id;
+  for (const TsEntry& e : ts) by_id.emplace(e.flow->id, &e);
+
+  for (const auto& [id, inj_slot] : plan.injection_slot) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      report.add("itp.unknown-flow", Severity::kError, flow_subject(id),
+                 "injection plan references flow " + std::to_string(id) +
+                     " which is not a plannable TS flow of this scenario");
+      continue;
+    }
+    const std::int64_t period_slots =
+        std::max<std::int64_t>(1, it->second->flow->period / slot);
+    if (inj_slot < 0 || inj_slot >= period_slots) {
+      report.add("itp.slot-range", Severity::kError, flow_subject(id),
+                 "injection slot " + std::to_string(inj_slot) + " outside [0, " +
+                     std::to_string(period_slots) + ") for a " +
+                     us_str(it->second->flow->period) + " period on a " + us_str(slot) +
+                     " slot grid");
+    }
+  }
+
+  if (!plan.wire_feasible) {
+    report.add("itp.wire-infeasible", Severity::kError, "plan",
+               "peak per-slot load of " + std::to_string(plan.max_queue_load) +
+                   " frames cannot serialize within one " + us_str(slot) +
+                   " slot on the wire");
+  }
+
+  // Per-(link, slot) committed wire bits over the hyperperiod ring — the
+  // same cells the planner balances, weighted by frame size instead of
+  // frame count, compared against what each link can carry in one slot.
+  if (plan.slots_per_hyperperiod <= 0 || slot.ns() <= 0 || input.topology == nullptr) {
+    return;
+  }
+  const std::int64_t ring = plan.slots_per_hyperperiod;
+  std::map<std::pair<topo::LinkId, std::int64_t>, std::int64_t> committed_bits;
+  for (const TsEntry& e : ts) {
+    const auto it = plan.injection_slot.find(e.flow->id);
+    if (it == plan.injection_slot.end()) continue;
+    const std::int64_t bits = net::wire_bits(e.flow->frame_bytes).bits();
+    const std::int64_t occurrences =
+        std::max<std::int64_t>(1, plan.hyperperiod / e.flow->period);
+    for (std::int64_t k = 0; k < occurrences; ++k) {
+      const std::int64_t inject_ns = k * e.flow->period.ns() + it->second * slot.ns();
+      const std::int64_t base_slot = inject_ns / slot.ns();
+      for (std::size_t j = 0; j < e.hops.size(); ++j) {
+        const std::int64_t s = (base_slot + static_cast<std::int64_t>(j)) % ring;
+        committed_bits[{e.hops[j].link, s}] += bits;
+      }
+    }
+  }
+
+  // Report only the worst cell per link: one overloaded link tends to
+  // overflow many of its slots and a diagnostic per cell would drown the
+  // signal.
+  std::map<topo::LinkId, std::pair<std::int64_t, std::int64_t>> worst;  // link -> (slot, bits)
+  for (const auto& [cell, bits] : committed_bits) {
+    auto& w = worst[cell.first];
+    if (bits > w.second) w = {cell.second, bits};
+  }
+  for (const auto& [link_id, cell] : worst) {
+    const std::int64_t capacity = input.topology->link(link_id).rate.bits_in(slot).bits();
+    if (cell.second <= capacity) continue;
+    report.add("cqf.slot-capacity", Severity::kError,
+               "link[" + std::to_string(link_id) + "].slot[" + std::to_string(cell.first) +
+                   "]",
+               "committed " + std::to_string(cell.second / 8) + " B of wire time but the "
+                   "link carries at most " + std::to_string(capacity / 8) + " B per " +
+                   us_str(slot) + " slot");
+  }
+}
+
+void check_gates(const VerifyInput& input, const std::vector<TsEntry>& ts,
+                 const sched::ItpPlan* plan, Report& report) {
+  const Duration slot = input.runtime.slot_size;
+  if (slot.ns() <= 0) {
+    report.add("gcl.zero-interval", Severity::kError, "runtime.slot_size",
+               "slot size " + std::to_string(slot.ns()) + " ns would synthesize "
+                   "gate entries with non-positive intervals");
+    return;  // every other gate rule divides by the slot
+  }
+
+  if (input.gate_mode == VerifyInput::GateMode::kCqf) {
+    const std::int64_t needed = sched::gate_entries_for_cqf();
+    if (input.resource.gate_table_size < needed) {
+      report.add("gcl.capacity", Severity::kError, "config.gate_table_size",
+                 "CQF ping-pong program needs " + std::to_string(needed) +
+                     " gate entries but gate_table_size provisions " +
+                     std::to_string(input.resource.gate_table_size));
+    }
+  } else if (input.topology != nullptr && !ts.empty()) {
+    // Synthesize the per-slot Qbv program the switches would run and
+    // compare its largest egress GCL against the provisioned table.
+    std::vector<traffic::FlowSpec> flows = input.flows;
+    if (plan != nullptr) plan->apply(flows);
+    try {
+      const sched::QbvProgram program =
+          sched::QbvSynthesizer(*input.topology, slot).synthesize(flows);
+      if (program.required_gate_entries() > input.resource.gate_table_size) {
+        report.add("gcl.capacity", Severity::kError, "config.gate_table_size",
+                   "synthesized Qbv program needs " +
+                       std::to_string(program.required_gate_entries()) +
+                       " gate entries on its busiest port but gate_table_size "
+                       "provisions " + std::to_string(input.resource.gate_table_size));
+      }
+    } catch (const Error&) {
+      // Unsatisfiable synthesis preconditions (misaligned periods, missing
+      // routes) are already reported by cycle-mismatch / topo rules.
+    }
+  }
+
+  // Guard bands and preemption are the two slot-boundary protections the
+  // paper offers; with neither, a background frame serialized late in a
+  // slot straddles into the next TS window.
+  if (!input.runtime.guard_band && !input.runtime.preemption && !ts.empty()) {
+    std::int64_t worst_bg = 0;
+    for (const traffic::FlowSpec& f : input.flows) {
+      if (f.type == net::TrafficClass::kTimeSensitive) continue;
+      worst_bg = std::max(worst_bg, f.frame_bytes);
+    }
+    if (worst_bg > 0) {
+      const Duration straddle =
+          input.runtime.link_rate.transmission_time(net::wire_bits(worst_bg));
+      report.add("gcl.guard-band", Severity::kWarning, "runtime.guard_band",
+                 "no guard band and no preemption: a " + std::to_string(worst_bg) +
+                     " B background frame started at a slot boundary occupies " +
+                     us_str(straddle) + " of the next " + us_str(slot) + " TS slot");
+    }
+  }
+}
+
+}  // namespace
+
+void check_schedule(const VerifyInput& input, const sched::ItpPlan* plan, Report& report) {
+  if (input.runtime.slot_size.ns() <= 0) {
+    // check_gates reports the defect; nothing else is computable.
+    check_gates(input, {}, plan, report);
+    return;
+  }
+  const std::vector<TsEntry> ts = plannable_ts_flows(input);
+  check_deadlines(input, ts, report);
+  check_period_alignment(input, ts, report);
+  if (plan != nullptr) check_plan(input, ts, *plan, report);
+  check_gates(input, ts, plan, report);
+}
+
+}  // namespace tsn::verify::internal

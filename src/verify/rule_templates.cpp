@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "traffic/flow.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+bool is_express(const sw::SwitchRuntimeConfig& rt, std::uint8_t queue) {
+  return (rt.express_queues & (1u << queue)) != 0;
+}
+
+}  // namespace
+
+void check_templates(const VerifyInput& input, Report& report) {
+  const sw::SwitchResourceConfig& res = input.resource;
+  const sw::SwitchRuntimeConfig& rt = input.runtime;
+
+  // The CQF redirection targets two concrete queue ids; a customization
+  // that trims queues_per_port below them synthesizes a Gate Ctrl whose
+  // program names queues the egress stage never instantiated.
+  if (rt.enable_cqf && rt.cqf_queue_a < 8 && rt.cqf_queue_b < 8) {
+    const std::uint8_t top = std::max(rt.cqf_queue_a, rt.cqf_queue_b);
+    if (top >= res.queues_per_port) {
+      report.add("template.cqf-queues", Severity::kError, "config.queues_per_port",
+                 "CQF queue pair (" + std::to_string(rt.cqf_queue_a) + ", " +
+                     std::to_string(rt.cqf_queue_b) + ") requires queues_per_port >= " +
+                     std::to_string(top + 1) + " but only " +
+                     std::to_string(res.queues_per_port) + " are instantiated");
+    }
+  }
+
+  // One CBS shaper is bound per RC queue in use; both the shaper table
+  // and the queue->shaper map must cover that count.
+  std::set<Priority> rc_queues;
+  bool has_ts = false;
+  for (const traffic::FlowSpec& f : input.flows) {
+    if (f.type == net::TrafficClass::kRateConstrained) rc_queues.insert(f.priority);
+    if (f.type == net::TrafficClass::kTimeSensitive) has_ts = true;
+  }
+  const auto rc_needed = static_cast<std::int64_t>(rc_queues.size());
+  if (rc_needed > res.cbs_table_size || rc_needed > res.cbs_map_size) {
+    report.add("template.cbs-underprovision", Severity::kError, "config.cbs_table_size",
+               std::to_string(rc_needed) + " RC classes in use but the CBS template "
+                   "provisions " + std::to_string(res.cbs_table_size) + " shaper entries / " +
+                   std::to_string(res.cbs_map_size) + " map slots");
+  }
+
+  if (rt.preemption && rt.enable_cqf && has_ts &&
+      (!is_express(rt, rt.cqf_queue_a) || !is_express(rt, rt.cqf_queue_b))) {
+    report.add("template.express-queues", Severity::kWarning, "runtime.express_queues",
+               "preemption is enabled but the CQF queue pair is not fully express — "
+               "TS frames themselves become preemptable");
+  }
+
+  if (rt.guard_band && rt.preemption) {
+    report.add("template.redundant-guard", Severity::kInfo, "runtime.guard_band",
+               "guard band and frame preemption both enabled; the paper offers them "
+               "as alternative slot-boundary protections — one of the two is "
+               "redundant overhead");
+  }
+
+  // The flow model is unicast-only; a nonzero multicast table is BRAM the
+  // paper's customization would reclaim (Table I row 2).
+  if (res.multicast_table_size > 0) {
+    report.add("template.unused-multicast", Severity::kInfo, "config.multicast_table_size",
+               std::to_string(res.multicast_table_size) + " multicast entries "
+                   "instantiated but no multicast traffic exists in the workload");
+  }
+}
+
+}  // namespace tsn::verify::internal

@@ -1,0 +1,73 @@
+#include <string>
+
+#include "common/error.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+std::string flow_subject(const traffic::FlowSpec& flow) {
+  return "flow[" + std::to_string(flow.id) + "]";
+}
+
+/// True when `node` names an existing host of `topology`.
+bool is_host(const topo::Topology& topology, topo::NodeId node) {
+  return node < topology.node_count() &&
+         topology.node(node).kind == topo::NodeKind::kHost;
+}
+
+}  // namespace
+
+void check_topology(const VerifyInput& input, Report& report) {
+  if (input.topology == nullptr) return;
+  const topo::Topology& topology = *input.topology;
+
+  bool has_ts = false;
+  for (const traffic::FlowSpec& flow : input.flows) {
+    if (flow.type == net::TrafficClass::kTimeSensitive) has_ts = true;
+
+    try {
+      flow.validate();
+    } catch (const Error& e) {
+      report.add("topo.flow-spec", Severity::kError, flow_subject(flow), e.what());
+      continue;  // endpoint/route checks would cascade off the same defect
+    }
+
+    bool endpoints_ok = true;
+    for (const auto& [label, node] :
+         {std::pair<const char*, topo::NodeId>{"src", flow.src_host},
+          std::pair<const char*, topo::NodeId>{"dst", flow.dst_host}}) {
+      if (!is_host(topology, node)) {
+        report.add("topo.endpoint", Severity::kError, flow_subject(flow),
+                   std::string(label) + " node " + std::to_string(node) +
+                       " is not an existing host in the topology");
+        endpoints_ok = false;
+      }
+    }
+    if (!endpoints_ok) continue;
+
+    if (!topology.route(flow.src_host, flow.dst_host).has_value()) {
+      report.add("topo.no-route", Severity::kError, flow_subject(flow),
+                 "no forwarding path from " + topology.node(flow.src_host).name +
+                     " to " + topology.node(flow.dst_host).name +
+                     " — the flow cannot be provisioned");
+    }
+  }
+
+  // A time-triggered schedule is only meaningful on synchronized clocks:
+  // CQF slots and Qbv windows are phases of *network* time.
+  if (has_ts && !input.enable_gptp) {
+    if (input.free_run_drift) {
+      report.add("topo.unsynced", Severity::kError, "network.gptp",
+                 "TS flows are scheduled onto gate windows but gPTP is disabled "
+                 "and clocks free-run — injection offsets drift out of their "
+                 "slots within milliseconds");
+    } else {
+      report.add("topo.ideal-clocks", Severity::kInfo, "network.gptp",
+                 "gPTP disabled with perfect clocks — valid for unit-test "
+                 "determinism, unbuildable in hardware");
+    }
+  }
+}
+
+}  // namespace tsn::verify::internal

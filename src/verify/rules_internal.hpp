@@ -1,0 +1,28 @@
+// Internal interface between the verifier driver and its rule passes.
+// Each pass appends diagnostics for one concern; verifier.cpp owns the
+// orchestration (plan derivation, pass ordering, final sort).
+#pragma once
+
+#include "sched/itp.hpp"
+#include "verify/diagnostic.hpp"
+#include "verify/verifier.hpp"
+
+namespace tsn::verify::internal {
+
+/// topo.* — endpoints, routes, per-flow validation, time-sync sanity.
+void check_topology(const VerifyInput& input, Report& report);
+
+/// cqf.* / itp.* / gcl.* — slot capacity, deadlines, injection plan
+/// feasibility, gate-control-list consistency. `plan` is the effective
+/// plan (caller-provided or verifier-derived); may be nullptr when no
+/// topology/TS flows exist to plan against.
+void check_schedule(const VerifyInput& input, const sched::ItpPlan* plan, Report& report);
+
+/// resource.* — parameter ranges, per-switch table demand, queue/buffer
+/// provisioning, BRAM budget vs the target device.
+void check_resources(const VerifyInput& input, const sched::ItpPlan* plan, Report& report);
+
+/// template.* — Table II composition rules between enabled features.
+void check_templates(const VerifyInput& input, Report& report);
+
+}  // namespace tsn::verify::internal

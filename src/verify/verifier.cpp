@@ -1,0 +1,85 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify {
+namespace {
+
+/// Derives the ITP plan the scenario runner would compute, so the
+/// schedule rules always have one to check. Planning failures (no route,
+/// bad slot) are already reported by the topology/resource passes, so a
+/// throwing planner simply leaves the plan absent.
+std::optional<sched::ItpPlan> derive_plan(const VerifyInput& input) {
+  if (input.topology == nullptr || input.runtime.slot_size.ns() <= 0) return std::nullopt;
+  const bool has_ts = std::any_of(
+      input.flows.begin(), input.flows.end(), [](const traffic::FlowSpec& f) {
+        return f.type == net::TrafficClass::kTimeSensitive;
+      });
+  if (!has_ts) return std::nullopt;
+  try {
+    return sched::ItpPlanner(*input.topology, input.runtime.slot_size).plan(input.flows);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Report run(const VerifyInput& input) {
+  Report report;
+  internal::check_topology(input, report);
+
+  const sched::ItpPlan* plan = nullptr;
+  std::optional<sched::ItpPlan> derived;
+  if (input.plan.has_value()) {
+    plan = &*input.plan;
+  } else if ((derived = derive_plan(input))) {
+    plan = &*derived;
+  }
+
+  internal::check_schedule(input, plan, report);
+  internal::check_resources(input, plan, report);
+  internal::check_templates(input, report);
+
+  report.sort();
+  return report;
+}
+
+Report verify_scenario(const netsim::ScenarioConfig& config) {
+  VerifyInput input;
+  input.topology = &config.built.topology;
+  input.flows = config.flows;
+  input.resource = config.options.resource;
+  input.runtime = config.options.runtime;
+  input.enable_gptp = config.options.enable_gptp;
+  input.free_run_drift = config.options.free_run_drift;
+  input.gate_mode = config.gate_mode == netsim::ScenarioConfig::GateMode::kQbv
+                        ? VerifyInput::GateMode::kQbv
+                        : VerifyInput::GateMode::kCqf;
+  if (!config.use_itp && config.built.topology.node_count() > 0 &&
+      config.options.runtime.slot_size.ns() > 0) {
+    // Mirror the runner's ablation baseline: everything injects at period
+    // start, so the schedule rules see the real (unbalanced) load.
+    try {
+      input.plan = sched::ItpPlanner(config.built.topology,
+                                     config.options.runtime.slot_size)
+                       .plan_naive(config.flows);
+    } catch (const Error&) {
+      // Unroutable flows are reported by the topology pass.
+    }
+  }
+  return run(input);
+}
+
+Report verify_config(const sw::SwitchResourceConfig& resource,
+                     const sw::SwitchRuntimeConfig& runtime) {
+  VerifyInput input;
+  input.resource = resource;
+  input.runtime = runtime;
+  return run(input);
+}
+
+}  // namespace tsn::verify

@@ -1,0 +1,106 @@
+// tsn::verify — static configuration & schedule verification.
+//
+// Runs BEFORE any simulation: takes the application description
+// (topology + flows), the customized resource configuration, the runtime
+// knobs and (optionally) an ITP injection plan, and checks that the
+// whole stack is consistent — the fail-fast gate the campaign runner and
+// the `tsnb verify` CLI use to reject invalid scenario points without
+// burning simulation time.
+//
+// Rule catalog (stable ids; severity in parentheses):
+//   topo.endpoint            (error)   flow src/dst is not an existing host node
+//   topo.no-route            (error)   flow has no forwarding path
+//   topo.flow-spec           (error)   FlowSpec fails its own validation
+//   topo.unsynced            (error)   scheduled TS path without time sync
+//                                      (gPTP off + free-running drift)
+//   cqf.slot-capacity        (error)   per-(link, slot) committed wire bytes
+//                                      exceed slot x link rate
+//   cqf.deadline             (error)   (hops+1) x slot > deadline (Eq. 1 bound)
+//   cqf.period-alignment     (info)    TS period not a slot multiple (covered
+//                                      by the hyperperiod ring, but offsets
+//                                      drift across the slot grid)
+//   itp.unknown-flow         (error)   plan references a flow id not in the set
+//   itp.slot-range           (error)   injection slot outside [0, period/slot)
+//   itp.wire-infeasible      (error)   plan's own peak load cannot serialize
+//                                      within one slot
+//   gcl.capacity             (error)   gate program needs more entries than
+//                                      gate_table_size provisions
+//   gcl.zero-interval        (error)   gate entry with a non-positive interval
+//   gcl.cycle-mismatch       (warning) gate cycle does not tile the TS
+//                                      hyperperiod
+//   gcl.guard-band           (warning) no guard band / preemption while
+//                                      best-effort frames can straddle a TS
+//                                      slot boundary
+//   resource.invalid         (error)   SwitchResourceConfig::validate() fails
+//   resource.table-overflow  (error)   unicast/classification/meter entries
+//                                      needed on some switch exceed the table
+//   resource.queue-depth     (error)   queue_depth below the ITP peak load
+//   resource.buffer-size     (error)   buffer_bytes below the largest frame
+//   resource.buffer-budget   (warning) buffers_per_port below queue_depth x
+//                                      queues_per_port (guideline 5 floor)
+//   resource.bram-overflow   (error)   BRAM cost exceeds the target device
+//                                      (warning above 90% utilization);
+//                                      checked only when a device is given
+//   template.cqf-queues      (error)   CQF queue pair outside the instantiated
+//                                      queues_per_port range
+//   template.cbs-underprovision (error) RC classes in use exceed cbs_table_size
+//                                      (or cbs_map_size < cbs_table_size)
+//   template.express-queues  (warning) preemption enabled but the CQF pair is
+//                                      not express — TS frames are preemptable
+//   template.redundant-guard (info)    guard band AND preemption both enabled
+//                                      (the paper presents them as alternatives)
+//   template.unused-multicast (info)   multicast table instantiated with no
+//                                      multicast traffic (BRAM left on the table)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netsim/scenario.hpp"
+#include "resource/bram.hpp"
+#include "sched/itp.hpp"
+#include "switch/config.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tsn::verify {
+
+/// Everything the verifier may inspect. `topology`/`flows` may be empty
+/// for config-only verification (resource + template rules still run).
+struct VerifyInput {
+  const topo::Topology* topology = nullptr;
+  std::vector<traffic::FlowSpec> flows;
+
+  sw::SwitchResourceConfig resource;
+  sw::SwitchRuntimeConfig runtime;
+
+  /// Mirror of netsim::NetworkOptions time-sync knobs.
+  bool enable_gptp = true;
+  bool free_run_drift = false;
+
+  enum class GateMode : std::uint8_t { kCqf, kQbv };
+  GateMode gate_mode = GateMode::kCqf;
+
+  /// Injection plan to check. When absent and a topology + TS flows are
+  /// given, the verifier plans one itself (ItpPlanner) so the schedule
+  /// rules always run.
+  std::optional<sched::ItpPlan> plan;
+
+  /// Target FPGA part for the BRAM budget rule; nullopt skips the check
+  /// (a customized switch need not target the paper's Zynq-7020).
+  std::optional<resource::DevicePart> device;
+};
+
+/// Runs every applicable rule and returns the sorted report.
+[[nodiscard]] Report run(const VerifyInput& input);
+
+/// Convenience: verifies a fully assembled scenario (what the campaign
+/// fail-fast hook and `tsnb verify` call).
+[[nodiscard]] Report verify_scenario(const netsim::ScenarioConfig& config);
+
+/// Config-only verification: resource + template rules, no workload.
+[[nodiscard]] Report verify_config(const sw::SwitchResourceConfig& resource,
+                                   const sw::SwitchRuntimeConfig& runtime = {});
+
+}  // namespace tsn::verify

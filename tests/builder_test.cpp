@@ -3,6 +3,12 @@
 // the exact reproduction of the paper's Table I and Table III numbers.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "builder/api.hpp"
 #include "builder/config_io.hpp"
 #include "builder/planner.hpp"
@@ -302,6 +308,48 @@ TEST(ConfigIoTest, RejectsGarbage) {
   EXPECT_THROW((void)config_from_text("no equals sign\n"), Error);
   // Values that parse but violate validation are rejected too.
   EXPECT_THROW((void)config_from_text("queues_per_port = 9\n"), Error);
+}
+
+TEST(ConfigIoTest, EveryPresetRoundTripsByteIdentical) {
+  const std::vector<std::pair<std::string, sw::SwitchResourceConfig>> presets = {
+      {"bcm53154", bcm53154_reference()}, {"paper1", paper_customized(1)},
+      {"paper2", paper_customized(2)},    {"paper3", paper_customized(3)},
+      {"case1", table1_case1()},          {"case2", table1_case2()},
+  };
+  for (const auto& [name, config] : presets) {
+    // Canonical text survives a parse round-trip byte for byte.
+    const std::string text = to_text(config);
+    EXPECT_EQ(to_text(config_from_text(text)), text) << name;
+
+    // And the on-disk form IS the canonical text: save -> raw file bytes
+    // -> load -> save reproduces it exactly.
+    const std::string path = ::testing::TempDir() + "/tsnb_preset_" + name + ".cfg";
+    save_config(config, path);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    EXPECT_EQ(bytes.str(), text) << name;
+    EXPECT_EQ(to_text(load_config(path)), text) << name;
+  }
+}
+
+TEST(ConfigIoTest, MalformedConfigNamesTheOffendingInput) {
+  // Parse failures must surface as diagnostics that quote the offending
+  // key/value, never as crashes or silently-defaulted configs.
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"bogus_key = 5\n", "unknown key 'bogus_key'"},
+      {"queue_depth = twelve\n", "not an integer"},
+      {"no equals sign\n", "malformed line"},
+  };
+  for (const auto& [text, expected] : cases) {
+    try {
+      (void)config_from_text(text);
+      FAIL() << "expected tsn::Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos) << e.what();
+    }
+  }
 }
 
 TEST(ConfigIoTest, FileRoundTrip) {

@@ -160,6 +160,48 @@ TEST(RunnerTest, ThrowingRunBecomesFailedRow) {
   EXPECT_EQ(records[1].metrics.ts_received, 0);
 }
 
+TEST(RunnerTest, StaticallyInvalidPointBecomesVerifyFailedRow) {
+  // itp=off injects every flow at period start: the naive plan's per-slot
+  // load (64) exceeds case2's queue depth (12), which the verifier
+  // rejects before any simulation runs.
+  ScenarioMatrix matrix;
+  matrix.add_axis("itp", {"on", "off"});
+  ScenarioDefaults defaults = fast_defaults();
+  defaults.topology = "linear";
+  defaults.flows = 64;
+  defaults.config = "case2";
+  const auto factory = [defaults](const RunPoint& point, std::uint64_t seed) {
+    return scenario_for_point(point, seed, defaults);
+  };
+
+  CampaignOptions options;
+  CampaignRunner runner(matrix, options);
+  const std::vector<RunRecord> records = runner.run(factory);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[0].verify_failed);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_TRUE(records[1].verify_failed);
+  EXPECT_NE(records[1].error.find("static verification failed"), std::string::npos);
+  EXPECT_NE(records[1].error.find("resource.queue-depth"), std::string::npos);
+  EXPECT_EQ(records[1].metrics.ts_received, 0);  // rejected, never simulated
+  // The rejection is visible in both sink formats: the jsonl flag, and in
+  // CSV the (quoted) error followed by the verify_failed column.
+  EXPECT_NE(to_jsonl(records[1], /*include_timing=*/false).find("\"verify_failed\":true"),
+            std::string::npos);
+  const std::string row = to_csv(records[1], matrix.axes());
+  EXPECT_NE(row.find(",0,\"static verification failed"), std::string::npos);
+  EXPECT_NE(row.find("\",1,"), std::string::npos);
+
+  // Opting out of verification hands the point to the simulator instead.
+  CampaignOptions unchecked;
+  unchecked.verify = false;
+  CampaignRunner permissive(matrix, unchecked);
+  const std::vector<RunRecord> raw = permissive.run(factory);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_FALSE(raw[1].verify_failed);
+}
+
 TEST(RunnerTest, ProgressReportsEveryRun) {
   CampaignOptions options;
   options.jobs = 4;

@@ -185,17 +185,17 @@ TEST(TsnbTest, CampaignRecordsFailedRunsWithoutCrashing) {
   EXPECT_NE(out.find("(1 failed)"), std::string::npos);
 
   out.clear();
-  EXPECT_EQ(run_tsnb({"campaign", "--quiet"}, out), 1);  // --axes required
+  EXPECT_EQ(run_tsnb({"campaign", "--quiet"}, out), 2);  // --axes required
   EXPECT_NE(out.find("--axes is required"), std::string::npos);
 
   out.clear();
-  EXPECT_EQ(run_tsnb({"campaign", "--axes", "flows=8", "--format", "xml"}, out), 1);
+  EXPECT_EQ(run_tsnb({"campaign", "--axes", "flows=8", "--format", "xml"}, out), 2);
   EXPECT_NE(out.find("unknown output format"), std::string::npos);
 }
 
 TEST(TsnbTest, ErrorsAreReported) {
   std::string out;
-  EXPECT_EQ(run_tsnb({"plan", "--topology", "mesh"}, out), 1);
+  EXPECT_EQ(run_tsnb({"plan", "--topology", "mesh"}, out), 2);
   EXPECT_NE(out.find("unknown --topology"), std::string::npos);
 
   out.clear();
@@ -218,8 +218,70 @@ TEST(TsnbTest, HopsValidatedAgainstTopology) {
   std::string out;
   EXPECT_EQ(run_tsnb({"plan", "--topology", "linear", "--switches", "3", "--hops", "9"},
                      out),
-            1);
+            2);
   EXPECT_NE(out.find("invalid --hops"), std::string::npos);
+}
+
+TEST(TsnbTest, ExitCodesSeparateUsageFromRuntimeFailures) {
+  // Usage errors (exit 2): bad option values, before any work happens.
+  std::string out;
+  EXPECT_EQ(run_tsnb({"report", "--scenario", "torus"}, out), 2);
+  EXPECT_NE(out.find("usage error:"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_tsnb({"frer", "--switches", "1"}, out), 2);
+
+  // Runtime failures (exit 1): the command line is fine, the run fails.
+  out.clear();
+  EXPECT_EQ(run_tsnb({"report", "--config", "/nonexistent/path.cfg"}, out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ verify
+TEST(TsnbVerifyTest, CleanScenarioExitsZero) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--flows", "64", "--hops", "3"}, out), 0);
+  EXPECT_NE(out.find("0 error(s)"), std::string::npos);
+}
+
+TEST(TsnbVerifyTest, JsonFormatIsMachineReadable) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--flows", "64", "--format", "json"}, out), 0);
+  EXPECT_EQ(out.rfind("{\"diagnostics\":[", 0), 0u);
+  EXPECT_NE(out.find("\"max_severity\":"), std::string::npos);
+}
+
+TEST(TsnbVerifyTest, OverflowingPresetExitsOne) {
+  // 2000 flows exceed the ring preset's 1024-entry tables.
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--preset", "ring", "--flows", "2000"}, out), 1);
+  EXPECT_NE(out.find("resource.table-overflow"), std::string::npos);
+}
+
+TEST(TsnbVerifyTest, ExamplesSuiteIsClean) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--suite", "examples", "--strict"}, out), 0);
+  EXPECT_NE(out.find("example:ring_demo"), std::string::npos);
+  EXPECT_NE(out.find("preset:bcm53154-reference"), std::string::npos);
+}
+
+TEST(TsnbVerifyTest, UsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--format", "yaml"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"verify", "--suite", "nope"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"verify", "--device", "virtex9000"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"verify", "--preset", "ring", "--config", "x.cfg"}, out), 2);
+}
+
+TEST(TsnbVerifyTest, QbvGateCapacityChecked) {
+  // A 50 us slot on a 10 ms period synthesizes a >2-entry Qbv program,
+  // which the planner's 2-entry CQF gate table cannot hold.
+  std::string out;
+  EXPECT_EQ(run_tsnb({"verify", "--qbv", "--slot-us", "50", "--flows", "32"}, out), 1);
+  EXPECT_NE(out.find("gcl.capacity"), std::string::npos);
 }
 
 }  // namespace

@@ -129,6 +129,17 @@ TEST(TsnlintUnordered, CleanCases) {
                         "unordered-iteration"));
 }
 
+TEST(TsnlintUnordered, ScopeCoversDataplaneTimesyncTrafficAndVerify) {
+  // Iteration order in these subsystems reaches simulation results or
+  // serialized diagnostics, so the determinism rule applies there too.
+  const std::string src = "std::unordered_map<int, int> m_;\n"
+                          "void f() { for (const auto& kv : m_) { use(kv); } }\n";
+  for (const char* path : {"src/switch/fake.cpp", "src/timesync/fake.cpp",
+                           "src/traffic/fake.cpp", "src/verify/fake.cpp"}) {
+    EXPECT_TRUE(has_rule(lint(src, path), "unordered-iteration")) << path;
+  }
+}
+
 // ---- R3 rng ------------------------------------------------------------
 
 TEST(TsnlintRng, FlagsShuffleAndUnseededEngines) {

@@ -1,0 +1,471 @@
+// Tests for tsn::verify — the diagnostics plumbing plus one
+// broken/clean pair per rule class: every misconfiguration the verifier
+// claims to catch is demonstrated on a concrete broken input, and the
+// corrected twin verifies clean again (so rules neither miss nor
+// over-fire).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "builder/presets.hpp"
+#include "resource/bram.hpp"
+#include "sched/itp.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+#include "verify/diagnostic.hpp"
+#include "verify/verifier.hpp"
+
+namespace tsn::verify {
+namespace {
+
+// ----------------------------------------------------------- diagnostics
+TEST(DiagnosticTest, TextAndJsonForms) {
+  const Diagnostic d{"cqf.slot-capacity", Severity::kError, "link[3].slot[7]",
+                     "committed 9000 B"};
+  EXPECT_EQ(d.to_text(), "error: cqf.slot-capacity: link[3].slot[7]: committed 9000 B");
+  EXPECT_EQ(d.to_json(),
+            "{\"rule\":\"cqf.slot-capacity\",\"severity\":\"error\","
+            "\"subject\":\"link[3].slot[7]\",\"message\":\"committed 9000 B\"}");
+}
+
+TEST(DiagnosticTest, JsonEscapesMessages) {
+  const Diagnostic d{"r", Severity::kInfo, "", "say \"hi\"\nbye"};
+  EXPECT_NE(d.to_json().find("say \\\"hi\\\"\\nbye"), std::string::npos);
+}
+
+TEST(ReportTest, CountsAndSeverityAccounting) {
+  Report report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.max_severity(), Severity::kInfo);
+  EXPECT_EQ(report.render_text(), "configuration verifies clean\n");
+
+  report.add("a.info", Severity::kInfo, "x", "advice");
+  EXPECT_TRUE(report.clean());  // info alone is still clean
+  report.add("b.warn", Severity::kWarning, "y", "caution");
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+  report.add("c.err", Severity::kError, "z", "broken");
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.max_severity(), Severity::kError);
+  EXPECT_EQ(report.count(Severity::kInfo), 1u);
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_TRUE(report.has_rule("b.warn"));
+  EXPECT_FALSE(report.has_rule("missing"));
+  EXPECT_NE(report.render_text().find("1 error(s), 1 warning(s), 1 info(s)"),
+            std::string::npos);
+}
+
+TEST(ReportTest, SortPutsErrorsFirstDeterministically) {
+  Report report;
+  report.add("z.rule", Severity::kInfo, "s", "m");
+  report.add("b.rule", Severity::kError, "s2", "m");
+  report.add("a.rule", Severity::kError, "s1", "m");
+  report.add("a.rule", Severity::kWarning, "s0", "m");
+  report.sort();
+  const auto& d = report.diagnostics();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0].rule, "a.rule");
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[1].rule, "b.rule");
+  EXPECT_EQ(d[2].severity, Severity::kWarning);
+  EXPECT_EQ(d[3].severity, Severity::kInfo);
+}
+
+TEST(ReportTest, JsonShapeAndMaxSeverity) {
+  Report report;
+  EXPECT_NE(report.to_json().find("\"max_severity\":\"clean\""), std::string::npos);
+  report.add("a.warn", Severity::kWarning, "s", "m");
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.rfind("{\"diagnostics\":[", 0), 0u);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max_severity\":\"warning\""), std::string::npos);
+}
+
+TEST(ReportTest, MergeKeepsOrder) {
+  Report a;
+  a.add("first", Severity::kInfo, "", "m");
+  Report b;
+  b.add("second", Severity::kError, "", "m");
+  a.merge(std::move(b));
+  ASSERT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.diagnostics()[0].rule, "first");
+  EXPECT_EQ(a.diagnostics()[1].rule, "second");
+}
+
+// ------------------------------------------------------------- rule pairs
+//
+// The fixture's baseline is deliberately boring: a 3-switch linear chain,
+// 8 TS flows with slot-aligned 6.5 ms periods and roomy 4 ms deadlines on
+// the default (paper-shaped) resource configuration. It must produce ZERO
+// diagnostics, so each test can break exactly one thing and attribute the
+// resulting rule unambiguously.
+class VerifyRuleTest : public ::testing::Test {
+ protected:
+  VerifyRuleTest() : built_(topo::make_linear(3)) {
+    input_.topology = &built_.topology;
+    input_.flows = aligned_ts_flows(8);
+  }
+
+  [[nodiscard]] std::vector<traffic::FlowSpec> aligned_ts_flows(
+      std::size_t count, net::FlowId first_id = 0) const {
+    traffic::TsWorkloadParams p;
+    p.flow_count = count;
+    p.frame_bytes = 64;
+    p.period = microseconds(6500);  // 100 x 65 us slots: no alignment advice
+    p.deadline_choices = {milliseconds(4)};
+    return traffic::make_ts_flows(built_.host_nodes.front(), built_.host_nodes.back(), p,
+                                  first_id);
+  }
+
+  topo::BuiltTopology built_;
+  VerifyInput input_;
+};
+
+TEST_F(VerifyRuleTest, BaselineHasNoDiagnosticsAtAll) {
+  const Report report = run(input_);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+// --- topology rules
+TEST_F(VerifyRuleTest, EndpointMustBeAnExistingHost) {
+  input_.flows[0].dst_host = built_.switch_nodes[1];  // a switch, not a host
+  input_.flows[1].src_host = topo::NodeId{9999};      // no such node
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("topo.endpoint"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.flows = aligned_ts_flows(8);
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, UnroutableFlowIsAnError) {
+  const topo::NodeId island = built_.topology.add_host("island");
+  input_.flows[0].dst_host = island;  // host exists but nothing links it
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("topo.no-route"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.flows = aligned_ts_flows(8);
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, InvalidFlowSpecIsReportedNotThrown) {
+  input_.flows[0].frame_bytes = 64 * 1024;  // beyond any Ethernet MTU
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("topo.flow-spec"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST_F(VerifyRuleTest, ScheduledFlowsOnFreeRunningClocksAreUnsynced) {
+  input_.enable_gptp = false;
+  input_.free_run_drift = true;
+  const Report broken = run(input_);
+  EXPECT_TRUE(broken.has_rule("topo.unsynced"));
+  EXPECT_TRUE(broken.has_errors());
+
+  // Perfect-but-unsynchronized clocks are a simulation idealization:
+  // advice, not an error.
+  input_.free_run_drift = false;
+  const Report idealized = run(input_);
+  EXPECT_TRUE(idealized.has_rule("topo.ideal-clocks"));
+  EXPECT_FALSE(idealized.has_errors());
+  EXPECT_TRUE(idealized.clean());
+
+  input_.enable_gptp = true;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+// --- CQF schedule rules
+TEST_F(VerifyRuleTest, DeadlineBelowEquationOneBoundIsAnError) {
+  // Eq. 1: worst case (hops + 1) x slot; 3 switches x 65 us = 260 us.
+  for (traffic::FlowSpec& f : input_.flows) f.deadline = microseconds(200);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("cqf.deadline"));
+  EXPECT_TRUE(report.has_errors());
+
+  for (traffic::FlowSpec& f : input_.flows) f.deadline = microseconds(300);
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, MisalignedPeriodIsAdviceUnderCqf) {
+  // 10 ms is not a multiple of 65 us — the paper's own evaluation point.
+  for (traffic::FlowSpec& f : input_.flows) f.period = milliseconds(10);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("cqf.period-alignment"));
+  EXPECT_TRUE(report.clean());  // info only: the hyperperiod ring covers it
+}
+
+TEST_F(VerifyRuleTest, OverloadedSlotViolatesCapacity) {
+  // Hand-build the worst plan: every flow of a 1518 B burst injects in
+  // slot 0, so one slot must carry ~12 KB over a 65 us x 1 Gb/s = 8125 B
+  // link budget.
+  input_.flows = aligned_ts_flows(8);
+  for (traffic::FlowSpec& f : input_.flows) f.frame_bytes = 1518;
+  sched::ItpPlan plan;
+  plan.slot = microseconds(65);
+  plan.hyperperiod = microseconds(6500);
+  plan.slots_per_hyperperiod = 100;
+  plan.max_queue_load = 8;
+  plan.wire_feasible = true;  // isolate slot capacity from wire feasibility
+  for (const traffic::FlowSpec& f : input_.flows) plan.injection_slot[f.id] = 0;
+  input_.plan = plan;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("cqf.slot-capacity"));
+  EXPECT_TRUE(report.has_errors());
+
+  // The planner's own spread plan for the same workload is feasible.
+  input_.plan.reset();
+  EXPECT_TRUE(run(input_).empty());
+}
+
+// --- ITP plan rules
+TEST_F(VerifyRuleTest, PlanReferencingForeignFlowIsAnError) {
+  sched::ItpPlan plan =
+      sched::ItpPlanner(built_.topology, microseconds(65)).plan(input_.flows);
+  plan.injection_slot[net::FlowId{999}] = 0;  // not a flow of this scenario
+  input_.plan = plan;
+  EXPECT_TRUE(run(input_).has_rule("itp.unknown-flow"));
+}
+
+TEST_F(VerifyRuleTest, InjectionSlotOutsidePeriodIsAnError) {
+  sched::ItpPlan plan =
+      sched::ItpPlanner(built_.topology, microseconds(65)).plan(input_.flows);
+  plan.injection_slot[input_.flows[0].id] = 100;  // period holds slots [0, 100)
+  input_.plan = plan;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("itp.slot-range"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.plan->injection_slot[input_.flows[0].id] = 99;  // last valid slot
+  EXPECT_FALSE(run(input_).has_rule("itp.slot-range"));
+}
+
+TEST_F(VerifyRuleTest, WireInfeasiblePlanIsAnError) {
+  sched::ItpPlan plan =
+      sched::ItpPlanner(built_.topology, microseconds(65)).plan(input_.flows);
+  plan.wire_feasible = false;
+  input_.plan = plan;
+  EXPECT_TRUE(run(input_).has_rule("itp.wire-infeasible"));
+}
+
+// --- gate-control-list rules
+TEST_F(VerifyRuleTest, CqfNeedsTwoGateEntries) {
+  input_.resource.gate_table_size = 1;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("gcl.capacity"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.resource.gate_table_size = 2;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, NonPositiveSlotCannotSynthesizeGates) {
+  input_.runtime.slot_size = Duration(0);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("gcl.zero-interval"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST_F(VerifyRuleTest, QbvFlagsMisalignedPeriodsAsCycleMismatch) {
+  input_.gate_mode = VerifyInput::GateMode::kQbv;
+  for (traffic::FlowSpec& f : input_.flows) f.period = milliseconds(10);
+  const Report report = run(input_);
+  // Under Qbv the misalignment is a warning (windows cannot tile the
+  // cycle), not the CQF-mode info.
+  EXPECT_TRUE(report.has_rule("gcl.cycle-mismatch"));
+  EXPECT_FALSE(report.has_rule("cqf.period-alignment"));
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+
+  for (traffic::FlowSpec& f : input_.flows) f.period = microseconds(6500);
+  EXPECT_FALSE(run(input_).has_rule("gcl.cycle-mismatch"));
+}
+
+TEST_F(VerifyRuleTest, UnprotectedSlotBoundaryIsAWarning) {
+  input_.runtime.guard_band = false;
+  input_.runtime.preemption = false;
+  input_.flows.push_back(traffic::make_be_flow(500, built_.host_nodes[1],
+                                               built_.host_nodes.back(),
+                                               DataRate::megabits_per_sec(100)));
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("gcl.guard-band"));
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+
+  // Either protection mechanism silences it.
+  input_.runtime.guard_band = true;
+  EXPECT_FALSE(run(input_).has_rule("gcl.guard-band"));
+  input_.runtime.guard_band = false;
+  input_.runtime.preemption = true;
+  EXPECT_FALSE(run(input_).has_rule("gcl.guard-band"));
+}
+
+// --- resource rules
+TEST_F(VerifyRuleTest, InvalidResourceConfigIsReportedNotThrown) {
+  input_.resource.queues_per_port = 9;  // hardware range is 1..8
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.invalid"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST_F(VerifyRuleTest, TableDemandAboveCapacityOverflows) {
+  // 8 flows to one (dst, vid) each: 8 distinct classification tuples.
+  input_.resource.classification_table_size = 4;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.table-overflow"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.resource.classification_table_size = 8;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, QueueDepthMustCoverItpPeakLoad) {
+  // A naive plan concentrates all 32 flows in slot 0 of every period:
+  // per-slot load 32 >> the provisioned depth of 12.
+  input_.flows = aligned_ts_flows(32);
+  input_.plan =
+      sched::ItpPlanner(built_.topology, microseconds(65)).plan_naive(input_.flows);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.queue-depth"));
+  EXPECT_TRUE(report.has_errors());
+
+  // The spread plan needs depth 1 and the same config verifies clean.
+  input_.plan.reset();
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, BufferSmallerThanLargestFrameIsAnError) {
+  input_.resource.buffer_bytes = 512;
+  for (traffic::FlowSpec& f : input_.flows) f.frame_bytes = 1024;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.buffer-size"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.resource.buffer_bytes = 1024;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, BufferBudgetBelowGuidelineFiveIsAWarning) {
+  input_.resource.buffers_per_port = 50;  // < 12 depth x 8 queues
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.buffer-budget"));
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST_F(VerifyRuleTest, BramBudgetCheckedOnlyWhenDeviceGiven) {
+  // The COTS reference (10818 Kb) cannot fit a Zynq-7020 (4.9 Mb)...
+  input_.resource = builder::bcm53154_reference();
+  EXPECT_FALSE(run(input_).has_rule("resource.bram-overflow"));  // no device, no rule
+  input_.device = resource::zynq7020();
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("resource.bram-overflow"));
+  EXPECT_TRUE(report.has_errors());
+
+  // ...which is exactly why the paper customizes: the trimmed switch fits.
+  input_.resource = builder::paper_customized(2);
+  EXPECT_FALSE(run(input_).has_rule("resource.bram-overflow"));
+}
+
+// --- template-composition rules
+TEST_F(VerifyRuleTest, CqfQueuePairMustBeInstantiated) {
+  input_.resource.queues_per_port = 4;  // CQF redirects into queues 7 and 6
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("template.cqf-queues"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.runtime.cqf_queue_a = 3;
+  input_.runtime.cqf_queue_b = 2;
+  input_.runtime.express_queues = 0b0000'1100;
+  EXPECT_FALSE(run(input_).has_rule("template.cqf-queues"));
+}
+
+TEST_F(VerifyRuleTest, RcClassesBeyondCbsTableUnderprovision) {
+  input_.flows.push_back(traffic::make_rc_flow(600, built_.host_nodes[0],
+                                               built_.host_nodes.back(),
+                                               DataRate::megabits_per_sec(10), 256,
+                                               traffic::kRcPriorityHigh));
+  input_.flows.push_back(traffic::make_rc_flow(601, built_.host_nodes[0],
+                                               built_.host_nodes.back(),
+                                               DataRate::megabits_per_sec(10), 256,
+                                               traffic::kRcPriorityMid));
+  input_.resource.cbs_table_size = 1;  // 2 RC classes in use
+  input_.resource.cbs_map_size = 1;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("template.cbs-underprovision"));
+  EXPECT_TRUE(report.has_errors());
+
+  input_.resource.cbs_table_size = 2;
+  input_.resource.cbs_map_size = 2;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, PreemptableCqfQueuesAreAWarning) {
+  input_.runtime.preemption = true;
+  input_.runtime.guard_band = false;  // avoid the redundant-guard info
+  input_.runtime.express_queues = 0;  // nobody is express
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("template.express-queues"));
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.has_errors());
+
+  input_.runtime.express_queues = 0b1100'0000;  // the CQF pair again
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(VerifyRuleTest, RedundantSlotProtectionIsAdvice) {
+  input_.runtime.guard_band = true;
+  input_.runtime.preemption = true;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("template.redundant-guard"));
+  EXPECT_TRUE(report.clean());  // info only
+}
+
+TEST_F(VerifyRuleTest, UnusedMulticastTableIsAdvice) {
+  input_.resource.multicast_table_size = 64;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("template.unused-multicast"));
+  EXPECT_TRUE(report.clean());  // info only
+}
+
+// ------------------------------------------------------------ entry points
+TEST(VerifyConfigTest, AllPresetsVerifyClean) {
+  EXPECT_TRUE(verify_config(builder::bcm53154_reference()).clean());
+  for (const std::int64_t ports : {1, 2, 3}) {
+    EXPECT_TRUE(verify_config(builder::paper_customized(ports)).clean()) << ports;
+  }
+  EXPECT_TRUE(verify_config(builder::table1_case1()).clean());
+  EXPECT_TRUE(verify_config(builder::table1_case2()).clean());
+}
+
+TEST(VerifyConfigTest, ConfigOnlyStillRunsResourceAndTemplateRules) {
+  sw::SwitchResourceConfig broken = builder::paper_customized(1);
+  broken.gate_table_size = 1;
+  const Report report = verify_config(broken);
+  EXPECT_TRUE(report.has_rule("gcl.capacity"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(VerifyScenarioTest, DerivedPlanMakesScheduleRulesRunWithoutExplicitPlan) {
+  // No plan supplied: the verifier plans via ItpPlanner itself, so a
+  // queue_depth cut below the achievable spread load is still caught.
+  const topo::BuiltTopology ring = topo::make_ring(6);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 512;
+  p.period = milliseconds(10);
+  p.deadline_choices = {milliseconds(8)};
+  VerifyInput input;
+  input.topology = &ring.topology;
+  input.flows = traffic::make_ts_flows(ring.host_nodes[0], ring.host_nodes[3], p);
+  input.resource.queue_depth = 2;  // spread plan needs ceil(512/153) = 4
+  input.resource.buffers_per_port = 2 * input.resource.queues_per_port;
+  const Report report = run(input);
+  EXPECT_TRUE(report.has_rule("resource.queue-depth"));
+}
+
+}  // namespace
+}  // namespace tsn::verify

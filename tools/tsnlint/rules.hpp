@@ -7,10 +7,11 @@
 //                           gettimeofday, timespec_get) — simulation state must
 //                           derive only from simulated time and seeded RNGs.
 //   unordered-iteration R2: no range-for / begin() iteration over
-//                           std::unordered_map / std::unordered_set in
-//                           simulation code (src/event, src/netsim,
-//                           src/analysis, src/campaign, src/sched) — results
-//                           must be emitted in sorted key order.
+//                           std::unordered_map / std::unordered_set in any
+//                           subsystem whose iteration order can reach
+//                           simulation results or serialized output (see
+//                           Options::unordered_scope) — results must be
+//                           emitted in sorted key order.
 //   rng                 R3: no std::random_shuffle and no default-constructed
 //                           (unseeded) standard RNG engines.
 //   float-compare       R4: no floating-point == / != comparisons.
@@ -48,9 +49,14 @@ struct AllowEntry {
 struct Options {
   /// File-level allowlist (from --allow rule:path-substring).
   std::vector<AllowEntry> allow;
-  /// Path substrings where the unordered-iteration rule applies.
-  std::vector<std::string> unordered_scope = {"src/event/", "src/netsim/", "src/analysis/",
-                                              "src/campaign/", "src/sched/"};
+  /// Path substrings where the unordered-iteration rule applies: every
+  /// subsystem whose iteration order can reach simulation results or
+  /// serialized output (dataplane, time sync, workload generation and
+  /// verification included — not just the sim core).
+  std::vector<std::string> unordered_scope = {
+      "src/event/",  "src/netsim/",   "src/analysis/", "src/campaign/",
+      "src/sched/",  "src/switch/",   "src/timesync/", "src/traffic/",
+      "src/verify/"};
 };
 
 /// All rule ids, for --list-rules.

@@ -83,6 +83,8 @@ const std::vector<CounterField>& counter_fields() {
       {"peak_ts_queue", &RunMetrics::peak_ts_queue},
       {"peak_buffer_in_use", &RunMetrics::peak_buffer_in_use},
       {"max_sync_error_ns", &RunMetrics::max_sync_error_ns},
+      {"events_executed", &RunMetrics::events_executed},
+      {"sim_end_ns", &RunMetrics::sim_end_ns},
   };
   return kFields;
 }
@@ -115,6 +117,8 @@ RunMetrics metrics_from(const netsim::ScenarioResult& result, double resource_kb
   m.peak_ts_queue = result.peak_ts_queue;
   m.peak_buffer_in_use = result.peak_buffer_in_use;
   m.max_sync_error_ns = result.max_sync_error.ns();
+  m.events_executed = static_cast<std::int64_t>(result.events_executed);
+  m.sim_end_ns = result.sim_end.ns();
   m.ts_avg_us = result.ts.avg_latency_us();
   m.ts_jitter_us = result.ts.jitter_us();
   m.ts_min_us = result.ts.latency_us.min();
@@ -150,7 +154,13 @@ std::string to_jsonl(const RunRecord& record, bool include_timing) {
   for (const ValueField& f : value_fields()) {
     out += ",\"" + std::string(f.name) + "\":" + fmt_number(record.metrics.*f.member);
   }
-  if (include_timing) out += ",\"wall_ms\":" + fmt_number(record.wall_ms);
+  if (include_timing) {
+    out += ",\"wall_ms\":" + fmt_number(record.wall_ms);
+    out += ",\"wall_setup_ms\":" + fmt_number(record.wall_setup_ms);
+    out += ",\"wall_sim_ms\":" + fmt_number(record.wall_sim_ms);
+    out += ",\"wall_analyze_ms\":" + fmt_number(record.wall_analyze_ms);
+    out += ",\"worker\":" + std::to_string(record.worker);
+  }
   return out + "}";
 }
 
@@ -160,7 +170,7 @@ std::string csv_header(const std::vector<Axis>& axes) {
   out += ",ok,error,verify_failed";
   for (const CounterField& f : counter_fields()) out += "," + std::string(f.name);
   for (const ValueField& f : value_fields()) out += "," + std::string(f.name);
-  return out + ",wall_ms";
+  return out + ",wall_ms,wall_setup_ms,wall_sim_ms,wall_analyze_ms,worker";
 }
 
 std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
@@ -180,7 +190,9 @@ std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
   for (const ValueField& f : value_fields()) {
     out += "," + fmt_number(record.metrics.*f.member);
   }
-  return out + "," + fmt_number(record.wall_ms);
+  out += "," + fmt_number(record.wall_ms) + "," + fmt_number(record.wall_setup_ms) +
+         "," + fmt_number(record.wall_sim_ms) + "," + fmt_number(record.wall_analyze_ms);
+  return out + "," + std::to_string(record.worker);
 }
 
 std::vector<PointAggregate> aggregate(const std::vector<RunRecord>& records) {

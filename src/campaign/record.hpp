@@ -37,6 +37,8 @@ struct RunMetrics {
   std::int64_t peak_ts_queue = 0;
   std::int64_t peak_buffer_in_use = 0;
   std::int64_t max_sync_error_ns = 0;
+  std::int64_t events_executed = 0;
+  std::int64_t sim_end_ns = 0;
 
   // Values.
   double ts_avg_us = 0.0;
@@ -84,6 +86,15 @@ struct RunRecord {
   RunMetrics metrics;
 
   double wall_ms = 0.0;  // host wall-clock; excluded from determinism
+  /// Phase breakdown of wall_ms (setup = factory + verify + pricing,
+  /// simulate = run_scenario, analyze = metric extraction). Host timing,
+  /// excluded from determinism like wall_ms.
+  double wall_setup_ms = 0.0;
+  double wall_sim_ms = 0.0;
+  double wall_analyze_ms = 0.0;
+  /// Pool worker that executed this run — schedule-dependent; serialized
+  /// only alongside the timing fields.
+  std::size_t worker = 0;
 
   /// Value of axis `name`, or nullptr.
   [[nodiscard]] const std::string* find_param(std::string_view name) const;

@@ -66,7 +66,15 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
 
-  auto worker = [&]() {
+  // Phase stamps: ms since `started` at the end of setup (factory +
+  // verify + pricing) and of simulation; the remainder is analysis.
+  // tsnlint:allow(wall-clock): phase stamps feed reporting-only wall_* fields
+  using WallStamp = std::chrono::steady_clock::time_point;
+  auto elapsed_ms = [](WallStamp from, WallStamp to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  };
+
+  auto worker = [&](std::size_t worker_id) {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
@@ -78,9 +86,12 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
       record.repeat = repeat;
       record.seed = derive_seed(options_.base_seed, point.index, repeat);
       record.params = point.params;
+      record.worker = worker_id;
 
       // tsnlint:allow(wall-clock): wall_ms is reporting-only telemetry, no sim state derives from it
       const auto started = std::chrono::steady_clock::now();
+      WallStamp setup_done = started;
+      WallStamp sim_done = started;
       try {
         netsim::ScenarioConfig cfg = factory(point, record.seed);
         bool rejected = false;
@@ -100,7 +111,11 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
           builder::SwitchBuilder pricer;
           pricer.with_resources(cfg.options.resource);
           const double resource_kb = pricer.report().total().kilobits();
+          // tsnlint:allow(wall-clock): reporting-only phase timing
+          setup_done = std::chrono::steady_clock::now();
           const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+          // tsnlint:allow(wall-clock): reporting-only phase timing
+          sim_done = std::chrono::steady_clock::now();
           record.metrics = metrics_from(result, resource_kb);
           record.ok = true;
         }
@@ -108,10 +123,12 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
         record.ok = false;
         record.error = e.what();
       }
-      record.wall_ms = std::chrono::duration<double, std::milli>(
-                           // tsnlint:allow(wall-clock): reporting-only run timing
-                           std::chrono::steady_clock::now() - started)
-                           .count();
+      // tsnlint:allow(wall-clock): reporting-only run timing
+      const auto finished_at = std::chrono::steady_clock::now();
+      record.wall_ms = elapsed_ms(started, finished_at);
+      record.wall_setup_ms = elapsed_ms(started, setup_done);
+      record.wall_sim_ms = elapsed_ms(setup_done, sim_done);
+      record.wall_analyze_ms = elapsed_ms(sim_done, finished_at);
 
       const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (progress) {
@@ -123,11 +140,11 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
 
   const std::size_t pool = std::min(options_.jobs, std::max<std::size_t>(1, total));
   if (pool <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(pool);
-    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker, t);
     for (std::thread& t : threads) t.join();
   }
   return records;

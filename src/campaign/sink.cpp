@@ -13,12 +13,17 @@ SinkFormat parse_sink_format(const std::string& name) {
 }
 
 std::string serialize(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
-                      SinkFormat format, bool include_timing) {
+                      SinkFormat format, bool include_timing,
+                      const telemetry::RunManifest* manifest) {
   std::string out;
   if (format == SinkFormat::kCsv) {
+    if (manifest != nullptr) out += "# manifest: " + manifest->to_json() + "\n";
     out += csv_header(axes) + "\n";
     for (const RunRecord& record : records) out += to_csv(record, axes) + "\n";
     return out;
+  }
+  if (manifest != nullptr) {
+    out += "{\"type\":\"manifest\",\"manifest\":" + manifest->to_json() + "}\n";
   }
   for (const RunRecord& record : records) out += to_jsonl(record, include_timing) + "\n";
   for (const PointAggregate& agg : aggregate(records)) out += to_jsonl(agg) + "\n";
@@ -26,10 +31,11 @@ std::string serialize(const std::vector<RunRecord>& records, const std::vector<A
 }
 
 void write_file(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
-                SinkFormat format, const std::string& path) {
+                SinkFormat format, const std::string& path,
+                const telemetry::RunManifest* manifest) {
   std::ofstream file(path);
   require(file.good(), "cannot open '" + path + "' for writing");
-  file << serialize(records, axes, format);
+  file << serialize(records, axes, format, /*include_timing=*/true, manifest);
   require(file.good(), "failed writing campaign results to '" + path + "'");
 }
 

@@ -11,6 +11,7 @@
 
 #include "campaign/matrix.hpp"
 #include "campaign/record.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace tsn::campaign {
 
@@ -20,13 +21,17 @@ enum class SinkFormat { kJsonl, kCsv };
 [[nodiscard]] SinkFormat parse_sink_format(const std::string& name);
 
 /// The full serialized campaign (rows + aggregates for JSONL, header +
-/// rows for CSV), with trailing newline.
+/// rows for CSV), with trailing newline. A non-null `manifest` stamps
+/// run provenance as the first line ({"type":"manifest",...} for JSONL,
+/// a "# manifest: {...}" comment for CSV).
 [[nodiscard]] std::string serialize(const std::vector<RunRecord>& records,
                                     const std::vector<Axis>& axes, SinkFormat format,
-                                    bool include_timing = true);
+                                    bool include_timing = true,
+                                    const telemetry::RunManifest* manifest = nullptr);
 
 /// Writes serialize() to `path`. Throws tsn::Error on I/O failure.
 void write_file(const std::vector<RunRecord>& records, const std::vector<Axis>& axes,
-                SinkFormat format, const std::string& path);
+                SinkFormat format, const std::string& path,
+                const telemetry::RunManifest* manifest = nullptr);
 
 }  // namespace tsn::campaign

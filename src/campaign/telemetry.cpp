@@ -1,0 +1,79 @@
+#include "campaign/telemetry.hpp"
+
+#include <map>
+#include <string>
+
+namespace tsn::campaign {
+
+const std::vector<double>& ts_latency_bucket_bounds() {
+  static const std::vector<double> kBounds = {10.0,   20.0,   50.0,   100.0,  200.0,
+                                              500.0,  1000.0, 2000.0, 5000.0};
+  return kBounds;
+}
+
+void collect_metrics(const std::vector<RunRecord>& records,
+                     telemetry::MetricsRegistry& registry) {
+  auto& runs = registry.counter("tsn.campaign.runs", {}, "(point, repeat) runs executed");
+  auto& ok = registry.counter("tsn.campaign.ok", {}, "runs that completed successfully");
+  auto& failures = registry.counter("tsn.campaign.failures", {}, "runs that failed");
+  auto& verify_failures = registry.counter(
+      "tsn.campaign.verify_failures", {},
+      "points rejected by static verification before simulating");
+  auto& p99_hist = registry.histogram(
+      "tsn.campaign.ts_p99_us", ts_latency_bucket_bounds(), {},
+      "distribution of per-run TS p99 latency across successful runs");
+
+  // Deterministic totals over the successful runs, one series per
+  // RunMetrics counter field — byte-stable across worker counts because
+  // the summation order follows record order, not completion order.
+  for (const RunRecord& record : records) {
+    runs.inc();
+    if (record.verify_failed) verify_failures.inc();
+    if (!record.ok) {
+      failures.inc();
+      continue;
+    }
+    ok.inc();
+    for (const CounterField& f : counter_fields()) {
+      registry
+          .counter(std::string("tsn.campaign.total.") + f.name, {},
+                   "sum over successful runs")
+          .add(static_cast<std::uint64_t>(record.metrics.*f.member));
+    }
+    p99_hist.observe(record.metrics.ts_p99_us);
+  }
+
+  // Host timing: totals, phase split, and per-worker throughput.
+  double total_ms = 0.0;
+  double setup_ms = 0.0;
+  double sim_ms = 0.0;
+  double analyze_ms = 0.0;
+  std::map<std::size_t, std::pair<std::uint64_t, double>> by_worker;  // runs, busy ms
+  for (const RunRecord& record : records) {
+    total_ms += record.wall_ms;
+    setup_ms += record.wall_setup_ms;
+    sim_ms += record.wall_sim_ms;
+    analyze_ms += record.wall_analyze_ms;
+    auto& [worker_runs, worker_ms] = by_worker[record.worker];
+    ++worker_runs;
+    worker_ms += record.wall_ms;
+  }
+  registry.gauge("wall.campaign.total_ms", {}, "summed per-run wall time").set(total_ms);
+  registry.gauge("wall.campaign.phase_ms", {{"phase", "setup"}}).set(setup_ms);
+  registry.gauge("wall.campaign.phase_ms", {{"phase", "simulate"}}).set(sim_ms);
+  registry.gauge("wall.campaign.phase_ms", {{"phase", "analyze"}}).set(analyze_ms);
+  for (const auto& [worker, stats] : by_worker) {
+    const telemetry::Labels labels = {{"worker", std::to_string(worker)}};
+    registry.counter("wall.campaign.worker.runs", labels, "runs executed by this worker")
+        .add(stats.first);
+    registry.gauge("wall.campaign.worker.busy_ms", labels).set(stats.second);
+    if (stats.second > 0.0) {
+      registry
+          .gauge("wall.campaign.worker.runs_per_s", labels,
+                 "this worker's throughput over its busy time")
+          .set(static_cast<double>(stats.first) / (stats.second / 1000.0));
+    }
+  }
+}
+
+}  // namespace tsn::campaign

@@ -1,0 +1,27 @@
+// Campaign-level metrics export.
+//
+// The sim-time series ("tsn.campaign.*") are pure functions of the
+// records' deterministic fields (seeds, counters, latency values), so
+// two campaigns over the same matrix and base seed export byte-identical
+// snapshots no matter how many workers executed them — the property the
+// determinism tests compare with RenderOptions{include_wall = false}.
+// Host timing (total/phase wall time, per-worker throughput) lands under
+// "wall.campaign.*".
+#pragma once
+
+#include <vector>
+
+#include "campaign/record.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tsn::campaign {
+
+/// Fixed bucket bounds (µs) for the campaign-wide TS p99 histogram;
+/// declared once so every snapshot has the identical layout.
+[[nodiscard]] const std::vector<double>& ts_latency_bucket_bounds();
+
+/// Exports `records` into `registry`.
+void collect_metrics(const std::vector<RunRecord>& records,
+                     telemetry::MetricsRegistry& registry);
+
+}  // namespace tsn::campaign

@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "builder/api.hpp"
@@ -11,20 +12,49 @@
 #include "campaign/runner.hpp"
 #include "campaign/scenario_space.hpp"
 #include "campaign/sink.hpp"
+#include "campaign/telemetry.hpp"
 #include "cli/args.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
+#include "netsim/trace.hpp"
 #include "resource/bram.hpp"
 #include "sched/cqf_analysis.hpp"
 #include "sched/itp.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
 #include "topo/builders.hpp"
 #include "traffic/workload.hpp"
 #include "verify/verifier.hpp"
 
 namespace tsn::cli {
 namespace {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  require(file != nullptr, "cannot open '" + path + "' for writing");
+  std::fputs(content.c_str(), file);
+  std::fclose(file);
+}
+
+[[nodiscard]] bool has_json_extension(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+/// Canonical scenario description for the run manifest — a pure function
+/// of the parsed options, so identical invocations hash identically.
+std::string scenario_label(const ArgParser& parser) {
+  std::string out = "topology=" + parser.get("topology");
+  for (const char* key : {"switches", "flows", "frame", "period-ms", "slot-us", "hops",
+                          "background-mbps"}) {
+    out += std::string(" ") + key + "=" + parser.get(key);
+  }
+  if (parser.get_bool("aggregate")) out += " aggregate";
+  return out;
+}
 
 struct ScenarioSpec {
   topo::BuiltTopology built;
@@ -144,6 +174,16 @@ int cmd_simulate(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("csv", "write per-flow results to this CSV file", "");
   parser.add_option("config", "use this saved resource configuration instead of planning",
                     "");
+  parser.add_option("metrics-out",
+                    "write the metrics snapshot here (.json = JSON, else "
+                    "Prometheus text exposition)", "");
+  parser.add_option("timeline-out",
+                    "write a Chrome trace-event JSON timeline here "
+                    "(load in Perfetto / chrome://tracing)", "");
+  parser.add_option("trace-out",
+                    "write the link-level packet trace here (.json = JSON, "
+                    "else CSV)", "");
+  parser.add_option("trace-limit", "packet-trace ring capacity", "4096");
   if (!parser.parse(args)) {
     out = parser.error() + "\n\nusage: tsnb simulate [options]\n" + parser.usage();
     return 2;
@@ -168,14 +208,48 @@ int cmd_simulate(const std::vector<std::string>& args, std::string& out) {
   cfg.traffic_duration = milliseconds(parser.get_int("duration-ms").value_or(200));
   const std::string csv_path = parser.get("csv");
   cfg.export_flow_csv = !csv_path.empty();
+
+  // Observability sinks, filled by the scenario runner.
+  const std::string metrics_path = parser.get("metrics-out");
+  const std::string timeline_path = parser.get("timeline-out");
+  const std::string trace_path = parser.get("trace-out");
+  telemetry::MetricsRegistry registry;
+  telemetry::TimelineBuilder timeline;
+  std::unique_ptr<netsim::TraceRecorder> trace;
+  if (!metrics_path.empty()) cfg.observe.metrics = &registry;
+  if (!timeline_path.empty()) cfg.observe.timeline = &timeline;
+  if (!trace_path.empty()) {
+    const auto trace_limit = parser.get_int("trace-limit");
+    usage_require(trace_limit.has_value() && *trace_limit >= 1, "invalid --trace-limit");
+    trace = std::make_unique<netsim::TraceRecorder>(static_cast<std::size_t>(*trace_limit));
+    cfg.observe.trace = trace.get();
+  }
+  const telemetry::RunManifest manifest = telemetry::make_manifest(
+      "simulate " + scenario_label(parser),
+      config_path.empty() ? "planned" : config_path, cfg.options.seed);
+
   const netsim::ScenarioResult r = netsim::run_scenario(std::move(cfg));
 
   if (!csv_path.empty()) {
-    std::FILE* file = std::fopen(csv_path.c_str(), "w");
-    require(file != nullptr, "cannot open --csv file '" + csv_path + "'");
-    std::fputs(r.flow_csv.c_str(), file);
-    std::fclose(file);
+    write_text_file(csv_path, r.flow_csv);
     out += "per-flow results written to " + csv_path + "\n";
+  }
+  if (!metrics_path.empty()) {
+    telemetry::RenderOptions render;
+    render.manifest = &manifest;
+    write_text_file(metrics_path, has_json_extension(metrics_path)
+                                      ? registry.to_json(render)
+                                      : registry.to_prometheus(render));
+    out += "metrics snapshot written to " + metrics_path + "\n";
+  }
+  if (!timeline_path.empty()) {
+    write_text_file(timeline_path, timeline.to_json(&manifest));
+    out += "timeline written to " + timeline_path + "\n";
+  }
+  if (!trace_path.empty()) {
+    write_text_file(trace_path, has_json_extension(trace_path) ? trace->to_json()
+                                                               : trace->to_csv());
+    out += "packet trace written to " + trace_path + "\n";
   }
 
   out += "planned config: queue depth " + std::to_string(plan.config.queue_depth) +
@@ -306,6 +380,9 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("seed", "campaign base seed", "7");
   parser.add_option("out", "result file (JSONL or CSV)", "campaign.jsonl");
   parser.add_option("format", "jsonl | csv", "jsonl");
+  parser.add_option("metrics-out",
+                    "write the campaign metrics snapshot here (.json = JSON, "
+                    "else Prometheus text exposition)", "");
   parser.add_flag("quiet", "suppress per-run progress lines");
   parser.add_flag("no-verify", "skip the static verification fail-fast gate");
   if (!parser.parse(args)) {
@@ -359,8 +436,22 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
         return campaign::scenario_for_point(point, run_seed);
       }, progress);
 
+  const telemetry::RunManifest manifest = telemetry::make_manifest(
+      "campaign " + axes_spec, "campaign", options.base_seed);
   const std::string path = parser.get("out");
-  campaign::write_file(records, runner.matrix().axes(), format, path);
+  campaign::write_file(records, runner.matrix().axes(), format, path, &manifest);
+
+  const std::string metrics_path = parser.get("metrics-out");
+  if (!metrics_path.empty()) {
+    telemetry::MetricsRegistry registry;
+    campaign::collect_metrics(records, registry);
+    telemetry::RenderOptions render;
+    render.manifest = &manifest;
+    write_text_file(metrics_path, has_json_extension(metrics_path)
+                                      ? registry.to_json(render)
+                                      : registry.to_prometheus(render));
+    out += "campaign metrics written to " + metrics_path + "\n";
+  }
 
   std::size_t failed = 0;
   for (const campaign::RunRecord& record : records) {
@@ -629,26 +720,53 @@ const char kTopUsage[] =
     "subcommands:\n"
     "  plan      derive resource parameters for an application (guidelines 1-5)\n"
     "  simulate  plan (or --config), then verify by discrete-event simulation\n"
+    "            (alias: run; --metrics-out/--timeline-out/--trace-out export\n"
+    "            the run's observability artifacts)\n"
     "  verify    static configuration & schedule checks, no simulation\n"
     "  report    print a preset's or saved config's Table III-style report\n"
     "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
     "  help      this message\n"
     "\n"
+    "global options:\n"
+    "  --log-level trace|debug|info|warn|error|off   (or env TSNB_LOG)\n"
+    "\n"
     "exit codes: 0 success, 1 runtime/verification failure, 2 usage error.\n"
     "run 'tsnb <subcommand> --help' equivalent: invalid options print usage.\n";
 
 }  // namespace
 
-int run_tsnb(const std::vector<std::string>& args, std::string& out) {
+int run_tsnb(const std::vector<std::string>& args_in, std::string& out) {
   try {
+    // TSNB_LOG first; an explicit --log-level (anywhere on the line) wins.
+    (void)Logger::instance().init_from_env();
+    std::vector<std::string> args;
+    args.reserve(args_in.size());
+    for (std::size_t i = 0; i < args_in.size(); ++i) {
+      const std::string& arg = args_in[i];
+      std::string value;
+      if (arg == "--log-level") {
+        usage_require(i + 1 < args_in.size(), "--log-level needs a value");
+        value = args_in[++i];
+      } else if (arg.rfind("--log-level=", 0) == 0) {
+        value = arg.substr(sizeof("--log-level=") - 1);
+      } else {
+        args.push_back(arg);
+        continue;
+      }
+      const std::optional<LogLevel> level = parse_log_level(value);
+      usage_require(level.has_value(), "unknown --log-level '" + value +
+                                           "' (trace|debug|info|warn|error|off)");
+      Logger::instance().set_level(*level);
+    }
+
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
       out = kTopUsage;
       return args.empty() ? 2 : 0;
     }
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (args[0] == "plan") return cmd_plan(rest, out);
-    if (args[0] == "simulate") return cmd_simulate(rest, out);
+    if (args[0] == "simulate" || args[0] == "run") return cmd_simulate(rest, out);
     if (args[0] == "verify") return cmd_verify(rest, out);
     if (args[0] == "report") return cmd_report(rest, out);
     if (args[0] == "campaign") return cmd_campaign(rest, out);

@@ -1,19 +1,67 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace tsn {
+namespace {
+
+// One simulation context per thread: campaign workers each drive their
+// own simulator, and their log lines must carry their own timeline.
+thread_local bool g_sim_time_set = false;
+thread_local TimePoint g_sim_now{};
+
+}  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  return kNames[static_cast<std::size_t>(level)];
+}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+std::optional<LogLevel> Logger::init_from_env() {
+  const char* env = std::getenv("TSNB_LOG");
+  if (env == nullptr) return std::nullopt;
+  const std::optional<LogLevel> level = parse_log_level(env);
+  if (level.has_value()) set_level(*level);
+  return level;
+}
+
+void Logger::set_sim_now(TimePoint now) {
+  g_sim_time_set = true;
+  g_sim_now = now;
+}
+
+void Logger::clear_sim_now() { g_sim_time_set = false; }
+
+std::optional<TimePoint> Logger::sim_now() {
+  if (!g_sim_time_set) return std::nullopt;
+  return g_sim_now;
+}
+
 void Logger::write(LogLevel level, std::string_view message) {
-  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
-  const auto idx = static_cast<std::size_t>(level);
-  std::fprintf(stderr, "[%s] %.*s\n", kNames[idx],
-               static_cast<int>(message.size()), message.data());
+  if (g_sim_time_set) {
+    std::fprintf(stderr, "[%s] [t=%s] %.*s\n", log_level_name(level),
+                 to_string(g_sim_now).c_str(), static_cast<int>(message.size()),
+                 message.data());
+  } else {
+    std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 }  // namespace tsn

@@ -2,16 +2,32 @@
 //
 // Simulations are quiet by default (Info); set the level to Debug/Trace to
 // watch per-packet dataplane decisions. The logger is a process-wide
-// singleton because log level is an operator concern, not a per-object one.
+// singleton because log level is an operator concern, not a per-object
+// one; it is settable from outside the process via the TSNB_LOG
+// environment variable (init_from_env) and the `tsnb --log-level` flag.
+//
+// Each line is prefixed with its level tag, and — when the emitting
+// thread is inside a simulation (the event loop publishes its clock via
+// set_sim_now, thread-locally so parallel campaign workers don't mix
+// timelines) — with the current simulated time.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
 
+#include "common/time.hpp"
+
 namespace tsn {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// "trace" | "debug" | "info" | "warn" | "error" | "off" (case-sensitive);
+/// nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
 
 class Logger {
  public:
@@ -20,6 +36,18 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Applies the TSNB_LOG environment variable (a level name) when set
+  /// and valid; unknown values are ignored. Returns the level applied.
+  std::optional<LogLevel> init_from_env();
+
+  /// Publishes the simulated time of the calling thread; subsequent
+  /// write() calls from this thread prefix it. The event simulator calls
+  /// this as it executes events.
+  static void set_sim_now(TimePoint now);
+  /// Ends the calling thread's simulation context (no more time prefix).
+  static void clear_sim_now();
+  [[nodiscard]] static std::optional<TimePoint> sim_now();
 
   void write(LogLevel level, std::string_view message);
 

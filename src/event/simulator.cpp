@@ -1,14 +1,48 @@
 #include "event/simulator.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "common/log.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace tsn::event {
+namespace {
+
+/// Measures host time spent inside one run loop and accumulates it into
+/// `total_ms` on scope exit. Reporting-only telemetry (wall.event.*):
+/// nothing in the simulation reads the measured value.
+class WallRunTimer {
+ public:
+  explicit WallRunTimer(double& total_ms)
+      : total_ms_(total_ms),
+        // tsnlint:allow(wall-clock): wall.event.* run timing is reporting-only telemetry; no sim state derives from it
+        started_(std::chrono::steady_clock::now()) {}
+  ~WallRunTimer() {
+    total_ms_ += std::chrono::duration<double, std::milli>(
+                     // tsnlint:allow(wall-clock): wall.event.* run timing is reporting-only telemetry
+                     std::chrono::steady_clock::now() - started_)
+                     .count();
+  }
+  WallRunTimer(const WallRunTimer&) = delete;
+  WallRunTimer& operator=(const WallRunTimer&) = delete;
+
+ private:
+  double& total_ms_;
+  // tsnlint:allow(wall-clock): stores the run-loop start instant for wall.event.* reporting only
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace
+
+Simulator::~Simulator() { Logger::clear_sim_now(); }
 
 EventId Simulator::schedule_at(TimePoint at, Callback callback) {
   require(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
   require(static_cast<bool>(callback), "Simulator::schedule_at: null callback");
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{at, next_seq_++, id});
+  if (heap_.size() > peak_heap_depth_) peak_heap_depth_ = heap_.size();
   callbacks_.emplace(id, std::move(callback));
   return EventId{id};
 }
@@ -35,6 +69,9 @@ void Simulator::execute_top() {
   const Entry top = heap_.top();
   heap_.pop();
   now_ = top.at;
+  // Publish the simulated instant for this thread's log lines: every
+  // tsn::log() call made from inside the callback carries [t=...].
+  Logger::set_sim_now(now_);
   // Move the callback out before invoking: the callback may schedule or
   // cancel other events (rehashing callbacks_), or even schedule at the
   // same timestamp.
@@ -44,6 +81,7 @@ void Simulator::execute_top() {
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
+  const WallRunTimer timer(wall_run_ms_);
   std::uint64_t count = 0;
   while (count < limit) {
     skim_cancelled();
@@ -56,6 +94,7 @@ std::uint64_t Simulator::run(std::uint64_t limit) {
 
 std::uint64_t Simulator::run_until(TimePoint until) {
   require(until >= now_, "Simulator::run_until: target time is in the past");
+  const WallRunTimer timer(wall_run_ms_);
   std::uint64_t count = 0;
   while (true) {
     skim_cancelled();
@@ -64,14 +103,37 @@ std::uint64_t Simulator::run_until(TimePoint until) {
     ++count;
   }
   now_ = until;
+  Logger::set_sim_now(now_);
   return count;
 }
 
 bool Simulator::step() {
+  const WallRunTimer timer(wall_run_ms_);
   skim_cancelled();
   if (heap_.empty()) return false;
   execute_top();
   return true;
+}
+
+void Simulator::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  registry
+      .counter("tsn.event.executed", {},
+               "events executed by the discrete-event kernel")
+      .add(executed_);
+  registry.gauge("tsn.event.peak_heap_depth", {}, "event heap high-water mark")
+      .set(static_cast<double>(peak_heap_depth_));
+  registry.gauge("tsn.event.pending", {}, "events still pending at collection time")
+      .set(static_cast<double>(pending_events()));
+  registry.gauge("tsn.event.now_ns", {}, "simulated time at collection")
+      .set(static_cast<double>(now_.ns()));
+  registry.gauge("wall.event.run_ms", {}, "host wall-clock spent in run loops")
+      .set(wall_run_ms_);
+  if (wall_run_ms_ > 0.0) {
+    registry
+        .gauge("wall.event.sim_to_wall_ratio", {},
+               "simulated ms advanced per host ms in run loops")
+        .set(now_.ms() / wall_run_ms_);
+  }
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, TimePoint first, Duration period,

@@ -17,6 +17,10 @@
 #include "common/error.hpp"
 #include "common/time.hpp"
 
+namespace tsn::telemetry {
+class MetricsRegistry;
+}  // namespace tsn::telemetry
+
 namespace tsn::event {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
@@ -31,6 +35,8 @@ class Simulator {
   using Callback = std::function<void()>;
 
   Simulator() = default;
+  /// Ends the calling thread's log sim-time context (Logger prefixes).
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -63,6 +69,17 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
   [[nodiscard]] bool idle() const { return pending_events() == 0; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  /// High-water mark of the event heap (scheduled + not-yet-skimmed
+  /// cancelled entries) — the kernel's memory pressure gauge.
+  [[nodiscard]] std::size_t peak_heap_depth() const { return peak_heap_depth_; }
+  /// Host wall-clock time spent inside run()/run_until()/step() so far.
+  /// Reporting-only: no simulation state may derive from it.
+  [[nodiscard]] double wall_run_ms() const { return wall_run_ms_; }
+
+  /// Exports kernel statistics: deterministic "tsn.event.*" series
+  /// (events executed, peak heap depth, pending events, final sim time)
+  /// plus "wall.event.*" host timing (run wall time, sim-to-wall ratio).
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
   struct Entry {
@@ -84,6 +101,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t peak_heap_depth_ = 0;
+  double wall_run_ms_ = 0.0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::unordered_set<std::uint64_t> cancelled_;

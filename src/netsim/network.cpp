@@ -339,4 +339,39 @@ Duration Network::max_sync_error() const {
   return now_err > worst_sync_error_ ? now_err : worst_sync_error_;
 }
 
+std::int64_t Network::current_ts_queue_depth(topo::NodeId node) const {
+  const auto it = switches_.find(node);
+  require(it != switches_.end(), "current_ts_queue_depth: node is not a switch");
+  std::int64_t depth = 0;
+  for (std::int64_t p = 0; p < it->second->port_count(); ++p) {
+    auto& sched = it->second->scheduler(static_cast<tables::PortIndex>(p));
+    for (const std::uint8_t q :
+         {options_.runtime.cqf_queue_a, options_.runtime.cqf_queue_b}) {
+      if (q < sched.queue_count()) depth += static_cast<std::int64_t>(sched.queue(q).size());
+    }
+  }
+  return depth;
+}
+
+void Network::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  for (const auto& [node, sw_ptr] : switches_) sw_ptr->collect_metrics(registry);
+  if (gptp_ && options_.enable_gptp) gptp_->collect_metrics(registry);
+  registry
+      .counter("tsn.network.link_drops", {},
+               "frames blackholed by failure-injected links")
+      .add(link_drops_);
+  registry
+      .gauge("tsn.network.peak_ts_queue_occupancy", {},
+             "peak occupancy over all CQF (TS) queues")
+      .set(static_cast<double>(peak_ts_queue_occupancy()));
+  registry
+      .gauge("tsn.network.peak_buffer_in_use", {},
+             "peak buffers concurrently in use in any port pool")
+      .set(static_cast<double>(peak_buffer_in_use()));
+  registry
+      .gauge("tsn.network.max_sync_error_ns", {},
+             "worst |sync error| observed by the 10 ms probe")
+      .set(static_cast<double>(max_sync_error().ns()));
+}
+
 }  // namespace tsn::netsim

@@ -100,6 +100,18 @@ class Network {
   /// transients during servo convergence count.
   [[nodiscard]] Duration max_sync_error() const;
 
+  /// Packets sitting in `node`'s CQF (TS) queue pair across all its ports
+  /// right now — the instantaneous value behind peak_ts_queue_occupancy(),
+  /// for periodic timeline sampling.
+  [[nodiscard]] std::int64_t current_ts_queue_depth(topo::NodeId node) const;
+
+  /// Exports the whole network into `registry`: every switch's dataplane
+  /// series (TsnSwitch::collect_metrics), the gPTP domain's servo series
+  /// when synchronization is enabled, and network-level aggregates
+  /// ("tsn.network.*": link drops, TS-queue/buffer peaks, worst observed
+  /// sync error).
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
+
  private:
   struct Endpoint {
     topo::NodeId peer = topo::kInvalidNode;

@@ -1,9 +1,11 @@
 #include "netsim/scenario.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "analysis/histogram.hpp"
 #include "event/simulator.hpp"
+#include "netsim/timeline_export.hpp"
 
 namespace tsn::netsim {
 
@@ -23,6 +25,38 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   Network network(sim, config.built.topology, config.options);
   result.provisioning_failures =
       static_cast<std::uint64_t>(network.provision(config.flows));
+
+  // Observability: attach the port mirror (caller's, or an internal one
+  // when only the timeline needs hop records) and sample TS queue depths
+  // for the timeline's counter lane.
+  std::unique_ptr<TraceRecorder> own_trace;
+  TraceRecorder* trace = config.observe.trace;
+  if (trace == nullptr && config.observe.timeline != nullptr) {
+    own_trace = std::make_unique<TraceRecorder>(65536);
+    trace = own_trace.get();
+  }
+  if (trace != nullptr) network.set_trace(trace);
+
+  std::unique_ptr<event::PeriodicTask> queue_sampler;
+  if (config.observe.timeline != nullptr) {
+    telemetry::TimelineBuilder& timeline = *config.observe.timeline;
+    timeline.set_process_name(kTimelineQueuesPid, "queues");
+    for (const topo::NodeId node : config.built.topology.switches()) {
+      timeline.set_thread_name(kTimelineQueuesPid, static_cast<std::uint32_t>(node),
+                               config.built.topology.node(node).name);
+    }
+    const topo::Topology& topology = config.built.topology;
+    queue_sampler = std::make_unique<event::PeriodicTask>(
+        sim, TimePoint(0), config.observe.queue_sample_interval,
+        [&sim, &network, &timeline, &topology] {
+          for (const topo::NodeId node : topology.switches()) {
+            timeline.add_counter(
+                "ts_queue_depth." + topology.node(node).name, kTimelineQueuesPid,
+                sim.now(), "packets",
+                static_cast<double>(network.current_ts_queue_depth(node)));
+          }
+        });
+  }
 
   // Alignment grid for gate cycles and traffic start: the CQF slot, or
   // the full scheduling cycle under a synthesized Qbv program.
@@ -51,6 +85,21 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   sim.run_until(traffic_start + milliseconds(1) + config.traffic_duration);
   network.stop_traffic();
   sim.run_until(sim.now() + config.drain);
+  if (queue_sampler) queue_sampler->stop();
+  result.events_executed = sim.events_executed();
+  result.sim_end = sim.now();
+
+  if (config.observe.metrics != nullptr) {
+    network.collect_metrics(*config.observe.metrics);
+    result.plan.collect_metrics(*config.observe.metrics);
+    sim.collect_metrics(*config.observe.metrics);
+  }
+  if (config.observe.timeline != nullptr && trace != nullptr) {
+    export_flow_hops(*trace, config.built.topology, config.options.runtime.link_rate,
+                     *config.observe.timeline);
+    export_gate_grid(config.options.runtime, TimePoint(0), sim.now(),
+                     *config.observe.timeline);
+  }
 
   result.ts = network.analyzer().summary(net::TrafficClass::kTimeSensitive);
   result.rc = network.analyzer().summary(net::TrafficClass::kRateConstrained);

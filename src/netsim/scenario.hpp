@@ -9,12 +9,31 @@
 
 #include "analysis/analyzer.hpp"
 #include "netsim/network.hpp"
+#include "netsim/trace.hpp"
 #include "sched/itp.hpp"
 #include "sched/qbv.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
 #include "topo/builders.hpp"
 #include "traffic/flow.hpp"
 
 namespace tsn::netsim {
+
+/// Observability hooks: non-owning sinks the runner fills during/after
+/// the run. All outputs derive from simulated time only, so snapshots
+/// are byte-identical across hosts and thread counts.
+struct ScenarioObserve {
+  /// Filled at scenario end with the full network/kernel/plan export.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Receives flow-hop bars, the nominal gate grid, and TS queue-depth
+  /// samples (Chrome trace-event lanes).
+  telemetry::TimelineBuilder* timeline = nullptr;
+  /// Attached as the network's port mirror for the whole run. When only
+  /// `timeline` is set, the runner uses an internal recorder instead.
+  TraceRecorder* trace = nullptr;
+  /// TS queue-depth sampling period for the timeline's counter lane.
+  Duration queue_sample_interval = milliseconds(1);
+};
 
 struct ScenarioConfig {
   topo::BuiltTopology built;
@@ -44,6 +63,9 @@ struct ScenarioConfig {
   /// Also export the per-flow analyzer results as CSV into
   /// ScenarioResult::flow_csv (off by default; large for big flow sets).
   bool export_flow_csv = false;
+
+  /// Observability sinks (metrics registry, timeline, packet trace).
+  ScenarioObserve observe;
 };
 
 struct ScenarioResult {
@@ -75,6 +97,10 @@ struct ScenarioResult {
 
   /// Per-flow CSV (when ScenarioConfig::export_flow_csv is set).
   std::string flow_csv;
+
+  /// Kernel statistics of the run.
+  std::uint64_t events_executed = 0;
+  TimePoint sim_end{};
 };
 
 /// Runs the scenario to completion on a fresh simulator.

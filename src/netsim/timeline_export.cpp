@@ -1,0 +1,66 @@
+#include "netsim/timeline_export.hpp"
+
+#include <map>
+#include <string>
+
+#include "net/ethernet.hpp"
+
+namespace tsn::netsim {
+
+void export_flow_hops(const TraceRecorder& trace, const topo::Topology& topology,
+                      DataRate link_rate, telemetry::TimelineBuilder& timeline) {
+  timeline.set_process_name(kTimelineFlowsPid, "flows");
+  std::map<net::FlowId, bool> named;
+  for (const TraceEntry& e : trace.entries()) {
+    if (e.flow == net::kInvalidFlowId) continue;
+    const auto tid = static_cast<std::uint32_t>(e.flow);
+    if (!named[e.flow]) {
+      named[e.flow] = true;
+      timeline.set_thread_name(kTimelineFlowsPid, tid, "flow " + std::to_string(e.flow));
+    }
+    const std::string name = topology.node(e.from).name + ":" +
+                             std::to_string(e.from_port) + " -> " +
+                             topology.node(e.to).name;
+    const telemetry::TimelineBuilder::Args args = {
+        {"seq", std::to_string(e.sequence)},
+        {"frame_bytes", std::to_string(e.frame_bytes)},
+    };
+    if (e.link_down) {
+      timeline.add_instant(name + " [LINK DOWN]", "hop", kTimelineFlowsPid, tid, e.at,
+                           args);
+      continue;
+    }
+    // The trace records the serialization END; the bar covers the wire time.
+    const Duration wire = link_rate.transmission_time(net::wire_bits(e.frame_bytes));
+    TimePoint start = e.at - wire;
+    if (start.ns() < 0) start = TimePoint(0);
+    timeline.add_complete(name, "hop", kTimelineFlowsPid, tid, start, e.at - start, args);
+  }
+}
+
+void export_gate_grid(const sw::SwitchRuntimeConfig& rt, TimePoint from, TimePoint to,
+                      telemetry::TimelineBuilder& timeline, std::size_t max_events) {
+  if (!rt.enable_cqf || rt.slot_size.ns() <= 0 || to <= from) return;
+  timeline.set_process_name(kTimelineGatesPid, "gates");
+  const std::uint32_t tid_a = rt.cqf_queue_a;
+  const std::uint32_t tid_b = rt.cqf_queue_b;
+  timeline.set_thread_name(kTimelineGatesPid, tid_a,
+                           "queue " + std::to_string(rt.cqf_queue_a) + " egress");
+  timeline.set_thread_name(kTimelineGatesPid, tid_b,
+                           "queue " + std::to_string(rt.cqf_queue_b) + " egress");
+  // Ping-pong: in even slots queue A fills while queue B drains (egress
+  // open), odd slots swap. Slot boundaries are aligned to synchronized
+  // time 0, matching TsnSwitch::program_cqf's cycle base.
+  const std::int64_t slot = rt.slot_size.ns();
+  std::int64_t k = from.ns() / slot;
+  std::size_t emitted = 0;
+  for (; TimePoint(k * slot) < to && emitted < max_events; ++k, ++emitted) {
+    const TimePoint slot_start(k * slot);
+    const bool even = (k % 2) == 0;
+    timeline.add_complete("open", "gate", kTimelineGatesPid, even ? tid_b : tid_a,
+                          slot_start, rt.slot_size,
+                          {{"slot", std::to_string(k)}});
+  }
+}
+
+}  // namespace tsn::netsim

@@ -1,0 +1,42 @@
+// Converts a recorded run into Chrome trace-event lanes (Perfetto /
+// chrome://tracing). Three lane groups:
+//
+//   pid 1 "flows"  — one lane per flow; each hop is a complete ("X") bar
+//                    spanning the frame's serialization onto the link, so
+//                    a packet's path reads left-to-right across the lane.
+//   pid 2 "gates"  — the nominal CQF slot grid: alternating open windows
+//                    of the ping-pong queue pair (capped, see below).
+//   pid 3 "queues" — TS queue-depth counter samples, one series per
+//                    switch (added live by the scenario runner).
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "netsim/trace.hpp"
+#include "switch/config.hpp"
+#include "telemetry/timeline.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::netsim {
+
+inline constexpr std::uint32_t kTimelineFlowsPid = 1;
+inline constexpr std::uint32_t kTimelineGatesPid = 2;
+inline constexpr std::uint32_t kTimelineQueuesPid = 3;
+
+/// Emits one "X" event per trace entry: the bar covers the frame's wire
+/// time ending at the recorded hand-off instant. Blackholed frames
+/// (link_down) become instant markers instead of bars.
+void export_flow_hops(const TraceRecorder& trace, const topo::Topology& topology,
+                      DataRate link_rate, telemetry::TimelineBuilder& timeline);
+
+/// Emits the nominal CQF slot grid over [from, to): alternating open
+/// windows for the runtime config's queue pair, one lane per queue. At
+/// most `max_events` bars are emitted (long runs get the leading
+/// prefix); no-op when CQF is disabled.
+void export_gate_grid(const sw::SwitchRuntimeConfig& rt, TimePoint from, TimePoint to,
+                      telemetry::TimelineBuilder& timeline,
+                      std::size_t max_events = 4096);
+
+}  // namespace tsn::netsim

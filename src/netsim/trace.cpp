@@ -42,6 +42,10 @@ std::string TraceRecorder::render(const topo::Topology& topology, std::size_t li
   const std::vector<TraceEntry> all = entries();
   const std::size_t start = all.size() > limit ? all.size() - limit : 0;
   std::string out;
+  if (start > 0) {
+    out += "(showing last " + std::to_string(all.size() - start) + " of " +
+           std::to_string(all.size()) + " entries)\n";
+  }
   for (std::size_t i = start; i < all.size(); ++i) {
     const TraceEntry& e = all[i];
     out += to_string(e.at) + "  " + topology.node(e.from).name + ":" +
@@ -54,6 +58,38 @@ std::string TraceRecorder::render(const topo::Topology& topology, std::size_t li
   if (dropped_entries() > 0) {
     out += "(" + std::to_string(dropped_entries()) + " older entries overwritten)\n";
   }
+  return out;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out = "# dropped_entries=" + std::to_string(dropped_entries()) + "\n";
+  out += "at_ns,from,from_port,to,flow,sequence,frame_bytes,link_down\n";
+  for (const TraceEntry& e : entries()) {
+    out += std::to_string(e.at.ns()) + "," + std::to_string(e.from) + "," +
+           std::to_string(e.from_port) + "," + std::to_string(e.to) + "," +
+           std::to_string(e.flow) + "," + std::to_string(e.sequence) + "," +
+           std::to_string(e.frame_bytes) + "," + (e.link_down ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::string out = "{\"total_recorded\":" + std::to_string(total_) +
+                    ",\"dropped_entries\":" + std::to_string(dropped_entries()) +
+                    ",\"entries\":[";
+  bool first = true;
+  for (const TraceEntry& e : entries()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"at_ns\":" + std::to_string(e.at.ns()) +
+           ",\"from\":" + std::to_string(e.from) +
+           ",\"from_port\":" + std::to_string(e.from_port) +
+           ",\"to\":" + std::to_string(e.to) + ",\"flow\":" + std::to_string(e.flow) +
+           ",\"sequence\":" + std::to_string(e.sequence) +
+           ",\"frame_bytes\":" + std::to_string(e.frame_bytes) +
+           ",\"link_down\":" + (e.link_down ? "true" : "false") + "}";
+  }
+  out += "]}";
   return out;
 }
 

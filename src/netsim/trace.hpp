@@ -50,9 +50,17 @@ class TraceRecorder {
                                                 std::uint64_t sequence) const;
 
   /// Human-readable dump, `limit` most recent entries. Node names are
-  /// resolved through `topology`.
+  /// resolved through `topology`. Notes both ring overwrites and entries
+  /// hidden by `limit`, so a partial dump is never mistaken for the
+  /// whole trace.
   [[nodiscard]] std::string render(const topo::Topology& topology,
                                    std::size_t limit = 32) const;
+
+  /// Machine-readable exports, entries oldest-first. The CSV leads with a
+  /// "# dropped_entries=N" comment and a column header; the JSON object
+  /// carries {"total_recorded","dropped_entries","entries":[...]}.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
 
   void clear();
 

@@ -16,6 +16,31 @@ void ItpPlan::apply(std::vector<traffic::FlowSpec>& flows) const {
   }
 }
 
+void ItpPlan::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  registry.gauge("tsn.itp.slot_ns", {}, "CQF slot size").set(static_cast<double>(slot.ns()));
+  registry.gauge("tsn.itp.hyperperiod_ns", {}).set(static_cast<double>(hyperperiod.ns()));
+  registry.gauge("tsn.itp.slots_per_hyperperiod", {})
+      .set(static_cast<double>(slots_per_hyperperiod));
+  registry
+      .gauge("tsn.itp.max_queue_load", {},
+             "peak packets in any (link, slot) cell — the provisioned TS queue depth")
+      .set(static_cast<double>(max_queue_load));
+  registry
+      .gauge("tsn.itp.wire_feasible", {},
+             "1 when the peak per-slot load serializes within one slot")
+      .set(wire_feasible ? 1.0 : 0.0);
+  registry.gauge("tsn.itp.planned_flows", {}).set(static_cast<double>(injection_slot.size()));
+  // Ordered map -> deterministic series order: the slot-occupancy picture.
+  std::map<std::int64_t, std::int64_t> flows_per_slot;
+  for (const auto& [flow, slot_index] : injection_slot) ++flows_per_slot[slot_index];
+  for (const auto& [slot_index, count] : flows_per_slot) {
+    registry
+        .gauge("tsn.itp.slot_injections", {{"slot", std::to_string(slot_index)}},
+               "TS flows injecting in this slot of their period")
+        .set(static_cast<double>(count));
+  }
+}
+
 ItpPlanner::ItpPlanner(const topo::Topology& topology, Duration slot)
     : topology_(&topology), slot_(slot) {
   require(slot.ns() > 0, "ItpPlanner: slot must be positive");

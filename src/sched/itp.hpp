@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "telemetry/metrics.hpp"
 #include "topo/topology.hpp"
 #include "traffic/flow.hpp"
 
@@ -47,6 +48,12 @@ struct ItpPlan {
 
   /// Writes each flow's injection_offset (= slot index x slot size).
   void apply(std::vector<traffic::FlowSpec>& flows) const;
+
+  /// Exports the plan shape into `registry` under "tsn.itp.*": slot/
+  /// hyperperiod geometry, the peak (link, slot) load, wire feasibility,
+  /// and the flow count injecting in each used slot {slot=} — the CQF
+  /// slot-occupancy picture behind recommended_queue_depth().
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
 };
 
 class ItpPlanner {

@@ -44,6 +44,10 @@ struct SwitchCounters {
 
   void drop(DropReason r) { ++drops[static_cast<std::size_t>(r)]; }
 
+  [[nodiscard]] std::uint64_t drop_count(DropReason r) const {
+    return drops[static_cast<std::size_t>(r)];
+  }
+
   [[nodiscard]] std::uint64_t total_drops() const {
     std::uint64_t sum = 0;
     for (const std::uint64_t d : drops) sum += d;

@@ -21,6 +21,24 @@ EgressScheduler::EgressScheduler(event::Simulator& sim, GateCtrl& gates,
     queues_.emplace_back(res.queue_depth);
   }
   shaper_of_queue_.resize(queues_.size());
+  tx_frames_per_queue_.assign(queues_.size(), 0);
+  tx_bytes_per_queue_.assign(queues_.size(), 0);
+  gate_closed_skips_.assign(queues_.size(), 0);
+}
+
+std::uint64_t EgressScheduler::tx_frames(tables::QueueId q) const {
+  require(q < queues_.size(), "tx_frames: queue id out of range");
+  return tx_frames_per_queue_[q];
+}
+
+std::uint64_t EgressScheduler::tx_bytes(tables::QueueId q) const {
+  require(q < queues_.size(), "tx_bytes: queue id out of range");
+  return tx_bytes_per_queue_[q];
+}
+
+std::uint64_t EgressScheduler::gate_closed_skips(tables::QueueId q) const {
+  require(q < queues_.size(), "gate_closed_skips: queue id out of range");
+  return gate_closed_skips_[q];
 }
 
 bool EgressScheduler::bind_shaper(tables::QueueId queue, tables::CbsConfig config) {
@@ -119,7 +137,10 @@ std::optional<tables::QueueId> EgressScheduler::select_queue(bool express_only,
     const MetadataQueue& queue = queues_[q];
     const bool resumable = suspended_ && suspended_->queue == q;
     if (queue.empty() && !resumable) continue;
-    if (!gates_.out_open(q)) continue;
+    if (!gates_.out_open(q)) {
+      ++gate_closed_skips_[q];
+      continue;
+    }
     if (shaper_of_queue_[q] && shapers_[*shaper_of_queue_[q]].credit_bits < 0.0) {
       credit_blocked = true;
       continue;
@@ -262,6 +283,10 @@ void EgressScheduler::finish_segment() {
   pool_.release(done.md.buffer);
   ++counters_.tx_packets;
   counters_.tx_bytes += static_cast<std::uint64_t>(done.md.frame_bytes);
+  if (done.final_segment) {
+    ++tx_frames_per_queue_[done.queue];
+    tx_bytes_per_queue_[done.queue] += static_cast<std::uint64_t>(done.md.frame_bytes);
+  }
   sync_shaper_mode(done.queue, sim_.now());
   if (tx_cb_) tx_cb_(packet);
   try_transmit();

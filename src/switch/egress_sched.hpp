@@ -75,6 +75,16 @@ class EgressScheduler {
   /// Credit (bits) of the shaper bound to `queue`; nullopt if unshaped.
   [[nodiscard]] std::optional<double> credit_bits(tables::QueueId q) const;
 
+  // --- per-queue telemetry ---------------------------------------------
+  /// Frames fully transmitted from `q` (a preempted frame counts once,
+  /// on its final fragment).
+  [[nodiscard]] std::uint64_t tx_frames(tables::QueueId q) const;
+  [[nodiscard]] std::uint64_t tx_bytes(tables::QueueId q) const;
+  /// Times a non-empty `q` was passed over during transmission selection
+  /// because its egress gate was closed — the per-queue face of the
+  /// gate-hold behaviour the guard band counter only shows in aggregate.
+  [[nodiscard]] std::uint64_t gate_closed_skips(tables::QueueId q) const;
+
  private:
   enum class ShaperMode : std::uint8_t { kIdle, kWaiting, kTransmitting };
 
@@ -139,6 +149,11 @@ class EgressScheduler {
 
   std::vector<MetadataQueue> queues_;
   BufferPool pool_;
+
+  // Per-queue telemetry, indexed by QueueId.
+  std::vector<std::uint64_t> tx_frames_per_queue_;
+  std::vector<std::uint64_t> tx_bytes_per_queue_;
+  std::vector<std::uint64_t> gate_closed_skips_;
 
   tables::CbsMapTable cbs_map_;
   tables::CbsTable cbs_table_;

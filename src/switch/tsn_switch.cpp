@@ -170,4 +170,58 @@ GateCtrl& TsnSwitch::gates(tables::PortIndex port) {
   return *ports_[port].gate_ctrl;
 }
 
+void TsnSwitch::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  using telemetry::Labels;
+  const Labels sw_label = {{"switch", name_}};
+  registry.counter("tsn.switch.rx_packets", sw_label, "frames received").add(counters_.rx_packets);
+  registry.counter("tsn.switch.tx_packets", sw_label, "frames transmitted").add(counters_.tx_packets);
+  registry.counter("tsn.switch.rx_bytes", sw_label).add(counters_.rx_bytes);
+  registry.counter("tsn.switch.tx_bytes", sw_label).add(counters_.tx_bytes);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(DropReason::kCount); ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    registry
+        .counter("tsn.switch.drops",
+                 {{"switch", name_}, {"reason", to_string(reason)}},
+                 "frames dropped, one series per MIB drop reason")
+        .add(counters_.drop_count(reason));
+  }
+  registry
+      .counter("tsn.switch.guard_band_holds", sw_label,
+               "frames held by the length-aware guard band")
+      .add(counters_.guard_band_holds);
+  registry.counter("tsn.switch.preemptions", sw_label, "frames preempted by express traffic")
+      .add(counters_.preemptions);
+
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    const std::string port = std::to_string(p);
+    const Labels port_label = {{"switch", name_}, {"port", port}};
+    const Port& pt = ports_[p];
+    registry
+        .counter("tsn.switch.port.gate_updates", port_label,
+                 "GCL entry boundaries applied by the gate engine")
+        .add(pt.gate_ctrl->updates_applied());
+    registry
+        .gauge("tsn.switch.port.peak_buffers", port_label,
+               "buffer pool high-water mark")
+        .set(static_cast<double>(pt.scheduler->pool().peak_in_use()));
+    for (std::size_t q = 0; q < pt.scheduler->queue_count(); ++q) {
+      const auto queue_id = static_cast<tables::QueueId>(q);
+      const Labels queue_label = {
+          {"switch", name_}, {"port", port}, {"queue", std::to_string(q)}};
+      registry
+          .gauge("tsn.switch.queue.peak_occupancy", queue_label,
+                 "metadata queue high-water mark")
+          .set(static_cast<double>(pt.scheduler->queue(queue_id).peak_occupancy()));
+      registry.counter("tsn.switch.queue.tx_frames", queue_label).add(
+          pt.scheduler->tx_frames(queue_id));
+      registry.counter("tsn.switch.queue.tx_bytes", queue_label).add(
+          pt.scheduler->tx_bytes(queue_id));
+      registry
+          .counter("tsn.switch.queue.gate_closed_skips", queue_label,
+                   "selection passes skipping this non-empty queue on a closed gate")
+          .add(pt.scheduler->gate_closed_skips(queue_id));
+    }
+  }
+}
+
 }  // namespace tsn::sw

@@ -18,6 +18,7 @@
 
 #include "event/simulator.hpp"
 #include "net/packet.hpp"
+#include "telemetry/metrics.hpp"
 #include "switch/clock_source.hpp"
 #include "switch/config.hpp"
 #include "switch/counters.hpp"
@@ -81,6 +82,13 @@ class TsnSwitch {
   void receive(tables::PortIndex in_port, const net::Packet& packet);
 
   // --- introspection ---------------------------------------------------
+  /// Exports this switch's dataplane state into `registry` under
+  /// "tsn.switch.*": the MIB-style counters (rx/tx, one series per drop
+  /// reason, guard-band holds, preemptions) labelled {switch=}, plus
+  /// per-port gate/buffer series {switch=,port=} and per-queue
+  /// depth/occupancy/tx series {switch=,port=,queue=}.
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
+
   [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
   [[nodiscard]] SwitchCounters& counters() { return counters_; }
   [[nodiscard]] EgressScheduler& scheduler(tables::PortIndex port);

@@ -1,0 +1,77 @@
+#include "telemetry/manifest.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace tsn::telemetry {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* build_git_describe() {
+#ifdef TSN_GIT_DESCRIBE
+  return TSN_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::uint64_t fnv1a_hash(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string RunManifest::to_json() const {
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(scenario_hash));
+  std::string out = "{";
+  out += "\"tool\":\"" + json_escape(tool) + "\"";
+  out += ",\"version\":\"" + json_escape(version) + "\"";
+  out += ",\"git\":\"" + json_escape(git_describe) + "\"";
+  out += ",\"scenario\":\"" + json_escape(scenario) + "\"";
+  out += ",\"preset\":\"" + json_escape(preset) + "\"";
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"scenario_hash\":\"";
+  out += hash_hex;
+  out += "\"}";
+  return out;
+}
+
+RunManifest make_manifest(std::string scenario, std::string preset, std::uint64_t seed) {
+  RunManifest m;
+  m.scenario = std::move(scenario);
+  m.preset = std::move(preset);
+  m.seed = seed;
+  m.scenario_hash = fnv1a_hash(m.scenario);
+  return m;
+}
+
+}  // namespace tsn::telemetry

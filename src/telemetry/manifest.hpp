@@ -1,0 +1,52 @@
+// Run manifest — provenance stamped into every exported artifact.
+//
+// A benchmark trajectory is only attributable when each metrics snapshot,
+// timeline, and campaign file records what produced it: the tool and its
+// version, the git state of the tree it was built from, the scenario (and
+// a hash of its canonical description, for cheap equality checks across
+// runs), the preset or config provenance, and the seed. Everything in the
+// manifest is a pure function of the build and the run request — never of
+// wall-clock time — so stamping it does not break byte-identical
+// determinism comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tsn::telemetry {
+
+/// The tsnb tool version (kept in lockstep with the CMake project version).
+inline constexpr const char* kToolVersion = "1.0.0";
+
+/// `git describe --always --dirty` of the source tree at configure time,
+/// or "unknown" outside a git checkout.
+[[nodiscard]] const char* build_git_describe();
+
+/// FNV-1a 64-bit — the scenario-hash function. Stable across platforms.
+[[nodiscard]] std::uint64_t fnv1a_hash(std::string_view data);
+
+struct RunManifest {
+  std::string tool = "tsnb";
+  std::string version = kToolVersion;
+  std::string git_describe = build_git_describe();
+  /// Canonical description of what ran ("simulate topology=ring ...",
+  /// a campaign axes spec, ...).
+  std::string scenario;
+  /// Configuration provenance: a preset name, a config file path, or
+  /// "planned" when the parameter planner derived it.
+  std::string preset;
+  std::uint64_t seed = 0;
+  /// fnv1a_hash of `scenario` (set by make_manifest).
+  std::uint64_t scenario_hash = 0;
+
+  /// {"tool":...,"version":...,"git":...,"scenario":...,"preset":...,
+  ///  "seed":...,"scenario_hash":"<hex>"} — fixed field order.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Builds a manifest with scenario_hash derived from `scenario`.
+[[nodiscard]] RunManifest make_manifest(std::string scenario, std::string preset,
+                                        std::uint64_t seed);
+
+}  // namespace tsn::telemetry

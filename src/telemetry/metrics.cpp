@@ -1,0 +1,288 @@
+#include "telemetry/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace tsn::telemetry {
+namespace {
+
+/// Shortest round-trippable decimal form — identical doubles always
+/// format identically, the anchor of byte-identical snapshots.
+std::string fmt_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool valid_label_key(std::string_view key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Canonical '{k="v",...}' rendering — doubles as the series map key, so
+/// the stored order is independent of registration order.
+std::string label_string(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (const Label& l : labels) {
+    if (out.size() > 1) out += ',';
+    out += l.key + "=\"" + prom_escape(l.value) + "\"";
+  }
+  return out + "}";
+}
+
+std::string prom_name(const std::string& dotted) {
+  std::string out = dotted;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+bool is_wall_metric(std::string_view name) {
+  return name.rfind("wall.", 0) == 0;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  require(!bounds_.empty(), "telemetry: histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i] > bounds_[i - 1],
+            "telemetry: histogram bounds must be strictly increasing");
+  }
+  per_bucket_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++per_bucket_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(per_bucket_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < per_bucket_.size(); ++i) {
+    running += per_bucket_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(const std::string& name,
+                                                         const Labels& labels, Kind kind,
+                                                         const std::string& help) {
+  require(valid_name(name),
+          "telemetry: invalid metric name '" + name +
+              "' (lowercase dotted [a-z0-9_.], no leading/trailing dot)");
+  for (const Label& l : labels) {
+    require(valid_label_key(l.key),
+            "telemetry: invalid label key '" + l.key + "' on metric '" + name + "'");
+  }
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  } else {
+    require(family.kind == kind, "telemetry: metric '" + name +
+                                     "' re-registered as a different kind (" +
+                                     kind_name(static_cast<int>(kind)) + " vs " +
+                                     kind_name(static_cast<int>(family.kind)) + ")");
+    if (family.help.empty() && !help.empty()) family.help = help;
+  }
+  Series& series = family.series[label_string(labels)];
+  if (series.labels.empty() && !labels.empty()) series.labels = labels;
+  return series;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  Series& s = find_or_create(name, labels, Kind::kCounter, help);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  Series& s = find_or_create(name, labels, Kind::kGauge, help);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds,
+                                      const Labels& labels, const std::string& help) {
+  Series& s = find_or_create(name, labels, Kind::kHistogram, help);
+  if (!s.histogram) {
+    s.histogram = std::make_unique<Histogram>(upper_bounds);
+  } else {
+    require(s.histogram->upper_bounds() == upper_bounds,
+            "telemetry: histogram '" + name + "' re-registered with different buckets");
+  }
+  return *s.histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricsRegistry::to_prometheus(const RenderOptions& options) const {
+  std::string out;
+  if (options.manifest != nullptr) {
+    out += "# manifest: " + options.manifest->to_json() + "\n";
+  }
+  for (const auto& [name, family] : families_) {
+    if (!options.include_wall && is_wall_metric(name)) continue;
+    const std::string flat = prom_name(name);
+    if (!family.help.empty()) {
+      out += "# HELP " + flat + " " + family.help + "\n";
+    }
+    out += "# TYPE " + flat + " " + kind_name(static_cast<int>(family.kind)) + "\n";
+    for (const auto& [label_key, series] : family.series) {
+      if (series.counter) {
+        out += flat + label_key + " " + std::to_string(series.counter->value()) + "\n";
+      } else if (series.gauge) {
+        out += flat + label_key + " " + fmt_number(series.gauge->value()) + "\n";
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        const std::vector<std::uint64_t> cumulative = h.cumulative_counts();
+        // Re-render the label set with `le` appended per bucket.
+        for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+          Labels with_le = series.labels;
+          const std::string le =
+              i < h.upper_bounds().size() ? fmt_number(h.upper_bounds()[i]) : "+Inf";
+          with_le.push_back({"le", le});
+          out += flat + "_bucket" + label_string(with_le) + " " +
+                 std::to_string(cumulative[i]) + "\n";
+        }
+        out += flat + "_sum" + label_key + " " + fmt_number(h.sum()) + "\n";
+        out += flat + "_count" + label_key + " " + std::to_string(h.count()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json(const RenderOptions& options) const {
+  std::string out = "{";
+  if (options.manifest != nullptr) {
+    out += "\"manifest\":" + options.manifest->to_json() + ",";
+  }
+  out += "\"metrics\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!options.include_wall && is_wall_metric(name)) continue;
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + json_escape(name) + "\",\"type\":\"" +
+           kind_name(static_cast<int>(family.kind)) + "\"";
+    if (!family.help.empty()) out += ",\"help\":\"" + json_escape(family.help) + "\"";
+    out += ",\"series\":[";
+    bool first_series = true;
+    for (const auto& [label_key, series] : family.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"labels\":{";
+      for (std::size_t i = 0; i < series.labels.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "\"" + json_escape(series.labels[i].key) + "\":\"" +
+               json_escape(series.labels[i].value) + "\"";
+      }
+      out += "}";
+      if (series.counter) {
+        out += ",\"value\":" + std::to_string(series.counter->value());
+      } else if (series.gauge) {
+        out += ",\"value\":" + fmt_number(series.gauge->value());
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        const std::vector<std::uint64_t> cumulative = h.cumulative_counts();
+        out += ",\"count\":" + std::to_string(h.count()) +
+               ",\"sum\":" + fmt_number(h.sum()) + ",\"buckets\":[";
+        for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+          if (i > 0) out += ',';
+          const std::string le =
+              i < h.upper_bounds().size() ? fmt_number(h.upper_bounds()[i]) : "\"+Inf\"";
+          out += "{\"le\":" + le + ",\"count\":" + std::to_string(cumulative[i]) + "}";
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tsn::telemetry

@@ -1,0 +1,149 @@
+// Deterministic metrics registry — the observability spine of the stack.
+//
+// Every subsystem exports its state as named series: counters (monotonic
+// totals), gauges (point-in-time values), and fixed-bucket histograms.
+// Series are identified by a stable dotted name plus ordered labels
+// ("tsn.switch.drops" {switch=s1,port=2,reason=queue_full}); the registry
+// stores families in sorted order and renders snapshots (Prometheus text
+// exposition or JSON) in that order, so two runs that observed the same
+// simulated world produce byte-identical snapshots regardless of
+// registration order or worker scheduling.
+//
+// Determinism contract: everything outside the reserved "wall." name
+// prefix must derive from simulated time and seeded RNGs only. Wall-clock
+// measurements (host timing, worker throughput) live under "wall.*" and
+// are excluded from snapshots rendered with include_wall = false — the
+// form campaign determinism tests compare byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsn::telemetry {
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing total.
+class Counter {
+ public:
+  void inc() { value_ += 1; }
+  void add(std::uint64_t n) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Keeps the maximum of all set_max() calls (high-water marks).
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: upper bounds are declared at registration and
+/// never change, so bucket layouts are identical across runs by
+/// construction. An implicit +Inf bucket catches overflow.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Cumulative counts per bucket, Prometheus-style: entry i counts
+  /// observations <= upper_bounds()[i]; the final entry is the +Inf
+  /// bucket and always equals count().
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> per_bucket_;  // non-cumulative; last = +Inf
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+struct RunManifest;  // manifest.hpp
+
+/// Snapshot rendering options (see MetricsRegistry::to_prometheus/to_json).
+struct RenderOptions {
+  /// Include the "wall.*" namespace (host wall-clock measurements).
+  /// Byte-identical determinism comparisons must pass false.
+  bool include_wall = true;
+  /// Stamped into the snapshot when non-null (JSON: a "manifest"
+  /// object; Prometheus: a "# manifest: {...}" comment header).
+  const RunManifest* manifest = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  /// Registers (or finds) the series `name`+`labels`. The returned
+  /// reference is stable for the registry's lifetime. Registering an
+  /// existing name with a different metric kind (or a histogram with
+  /// different buckets) throws tsn::Error.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::vector<double>& upper_bounds,
+                       const Labels& labels = {}, const std::string& help = "");
+
+  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] bool empty() const { return families_.empty(); }
+
+  using RenderOptions = telemetry::RenderOptions;
+
+  /// Prometheus text exposition format, families and series in sorted
+  /// order. Dotted names render with '.' replaced by '_'.
+  [[nodiscard]] std::string to_prometheus(const RenderOptions& options = {}) const;
+
+  /// JSON snapshot: {"manifest":{...}?,"metrics":[{name,type,help,
+  /// series:[{labels,...}]}]}, sorted like the exposition format.
+  [[nodiscard]] std::string to_json(const RenderOptions& options = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // Keyed by the canonical label rendering, so series order is a pure
+    // function of the label sets, not registration order.
+    std::map<std::string, Series> series;
+  };
+
+  Series& find_or_create(const std::string& name, const Labels& labels, Kind kind,
+                         const std::string& help);
+
+  std::map<std::string, Family> families_;
+};
+
+/// True for series names in the reserved host wall-clock namespace.
+[[nodiscard]] bool is_wall_metric(std::string_view name);
+
+}  // namespace tsn::telemetry

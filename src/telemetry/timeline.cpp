@@ -1,0 +1,122 @@
+#include "telemetry/timeline.hpp"
+
+#include <cstdio>
+
+#include "telemetry/manifest.hpp"
+
+namespace tsn::telemetry {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Integer ns as exact fractional microseconds ("123.456"); trace-event
+/// timestamps are in microseconds.
+std::string ts_us(std::int64_t ns) {
+  const bool negative = ns < 0;
+  const std::int64_t abs_ns = negative ? -ns : ns;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%03lld", negative ? "-" : "",
+                static_cast<long long>(abs_ns / 1000),
+                static_cast<long long>(abs_ns % 1000));
+  return buf;
+}
+
+std::string fmt_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string args_json(const TimelineBuilder::Args& args) {
+  std::string out = "{";
+  for (const auto& [key, value] : args) {
+    if (out.size() > 1) out += ',';
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+void TimelineBuilder::set_process_name(std::uint32_t pid, const std::string& name) {
+  metadata_.push_back("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                      std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+                      json_escape(name) + "\"}}");
+}
+
+void TimelineBuilder::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                      const std::string& name) {
+  metadata_.push_back("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                      std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                      ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
+}
+
+void TimelineBuilder::add_complete(const std::string& name, const std::string& category,
+                                   std::uint32_t pid, std::uint32_t tid, TimePoint start,
+                                   Duration duration, const Args& args) {
+  events_.push_back("{\"ph\":\"X\",\"name\":\"" + json_escape(name) + "\",\"cat\":\"" +
+                    json_escape(category) + "\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + ts_us(start.ns()) +
+                    ",\"dur\":" + ts_us(duration.ns()) + ",\"args\":" + args_json(args) +
+                    "}");
+}
+
+void TimelineBuilder::add_instant(const std::string& name, const std::string& category,
+                                  std::uint32_t pid, std::uint32_t tid, TimePoint at,
+                                  const Args& args) {
+  events_.push_back("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + json_escape(name) +
+                    "\",\"cat\":\"" + json_escape(category) +
+                    "\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + ts_us(at.ns()) +
+                    ",\"args\":" + args_json(args) + "}");
+}
+
+void TimelineBuilder::add_counter(const std::string& name, std::uint32_t pid, TimePoint at,
+                                  const std::string& series, double value) {
+  events_.push_back("{\"ph\":\"C\",\"name\":\"" + json_escape(name) +
+                    "\",\"pid\":" + std::to_string(pid) + ",\"tid\":0,\"ts\":" +
+                    ts_us(at.ns()) + ",\"args\":{\"" + json_escape(series) +
+                    "\":" + fmt_number(value) + "}}");
+}
+
+std::string TimelineBuilder::to_json(const RunManifest* manifest) const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& e : metadata_) {
+    if (!first) out += ',';
+    first = false;
+    out += e;
+  }
+  for (const std::string& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += e;
+  }
+  out += "],\"displayTimeUnit\":\"ns\"";
+  if (manifest != nullptr) out += ",\"metadata\":{\"manifest\":" + manifest->to_json() + "}";
+  out += "}";
+  return out;
+}
+
+}  // namespace tsn::telemetry

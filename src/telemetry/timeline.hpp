@@ -1,0 +1,62 @@
+// Sim-time timeline export in Chrome trace-event JSON.
+//
+// The builder collects complete/instant/counter events on the simulated
+// timeline and renders the JSON object format Perfetto and
+// chrome://tracing load directly ({"traceEvents":[...]}). Timestamps are
+// integer simulation nanoseconds rendered as fractional microseconds
+// (the trace-event unit), which is exact: 1 ns = 0.001 us.
+//
+// Grouping follows the trace-event process/thread model: a "process"
+// (pid) is a lane group ("flows", "gates", "queues"), a "thread" (tid) is
+// one lane within it (one flow, one switch). Events are rendered in
+// insertion order after the naming metadata — callers that insert in a
+// deterministic order get byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tsn::telemetry {
+
+struct RunManifest;  // manifest.hpp
+
+class TimelineBuilder {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// Names a lane group (trace-event process). Idempotent per pid.
+  void set_process_name(std::uint32_t pid, const std::string& name);
+  /// Names one lane (trace-event thread) within a group.
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid, const std::string& name);
+
+  /// Complete event ("X"): a bar spanning [start, start + duration).
+  void add_complete(const std::string& name, const std::string& category,
+                    std::uint32_t pid, std::uint32_t tid, TimePoint start,
+                    Duration duration, const Args& args = {});
+
+  /// Instant event ("i", thread scope): a marker at one instant.
+  void add_instant(const std::string& name, const std::string& category,
+                   std::uint32_t pid, std::uint32_t tid, TimePoint at,
+                   const Args& args = {});
+
+  /// Counter event ("C"): one sample of the series `series` at `at`;
+  /// the viewer renders all samples of `name` as a stacked area chart.
+  void add_counter(const std::string& name, std::uint32_t pid, TimePoint at,
+                   const std::string& series, double value);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ns","metadata":{...}}.
+  /// The manifest (when given) lands in "metadata".
+  [[nodiscard]] std::string to_json(const RunManifest* manifest = nullptr) const;
+
+ private:
+  std::vector<std::string> metadata_;  // naming events, rendered first
+  std::vector<std::string> events_;
+};
+
+}  // namespace tsn::telemetry

@@ -239,4 +239,27 @@ Duration GptpDomain::max_abs_sync_error() const {
   return worst;
 }
 
+void GptpDomain::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  for (const auto& node : nodes_) {
+    const telemetry::Labels labels = {{"node", node->name()}};
+    registry
+        .gauge("tsn.timesync.offset_ns", labels,
+               "latest measured offset to the sync master")
+        .set(static_cast<double>(node->last_offset().ns()));
+    registry
+        .gauge("tsn.timesync.path_delay_ns", labels,
+               "smoothed Pdelay estimate toward the parent")
+        .set(static_cast<double>(node->link_delay_estimate().ns()));
+    registry.counter("tsn.timesync.syncs_received", labels).add(node->syncs_received());
+    registry
+        .gauge("tsn.timesync.sync_error_ns", labels,
+               "signed error against the grandmaster's synchronized time")
+        .set(static_cast<double>(sync_error(*node).ns()));
+  }
+  registry
+      .gauge("tsn.timesync.max_abs_sync_error_ns", {},
+             "worst |sync error| across alive nodes at collection time")
+      .set(static_cast<double>(max_abs_sync_error().ns()));
+}
+
 }  // namespace tsn::timesync

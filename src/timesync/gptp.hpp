@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "event/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "timesync/clock.hpp"
 
 namespace tsn::timesync {
@@ -188,6 +189,11 @@ class GptpDomain {
 
   /// max |sync error| across all nodes right now.
   [[nodiscard]] Duration max_abs_sync_error() const;
+
+  /// Exports per-node servo state ("tsn.timesync.*" {node=}: last master
+  /// offset, smoothed path delay, Sync count, signed error against the
+  /// grandmaster) plus the domain-wide max |sync error| into `registry`.
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
   event::Simulator& sim_;

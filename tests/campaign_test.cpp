@@ -11,7 +11,10 @@
 #include "campaign/runner.hpp"
 #include "campaign/scenario_space.hpp"
 #include "campaign/sink.hpp"
+#include "campaign/telemetry.hpp"
 #include "common/error.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::campaign {
 namespace {
@@ -136,6 +139,40 @@ TEST(RunnerTest, JobCountDoesNotChangeResults) {
   }
 }
 
+/// The issue's headline acceptance test: exported sim-time metrics are
+/// byte-identical no matter how many workers executed the campaign. Wall
+/// metrics (which legitimately differ) must be present in the full
+/// snapshot but excluded from the compared form.
+TEST(RunnerTest, MetricsSnapshotByteIdenticalAcrossJobCounts) {
+  const std::vector<RunRecord> serial = run_campaign(/*jobs=*/1);
+  const std::vector<RunRecord> parallel = run_campaign(/*jobs=*/4);
+
+  telemetry::MetricsRegistry serial_registry;
+  telemetry::MetricsRegistry parallel_registry;
+  collect_metrics(serial, serial_registry);
+  collect_metrics(parallel, parallel_registry);
+
+  telemetry::RenderOptions sim_only;
+  sim_only.include_wall = false;
+  EXPECT_EQ(serial_registry.to_prometheus(sim_only),
+            parallel_registry.to_prometheus(sim_only));
+  EXPECT_EQ(serial_registry.to_json(sim_only), parallel_registry.to_json(sim_only));
+
+  // The sim-time side actually carries data (not trivially-equal empties)...
+  const std::string snapshot = serial_registry.to_prometheus(sim_only);
+  EXPECT_NE(snapshot.find("tsn_campaign_runs 8"), std::string::npos);
+  EXPECT_NE(snapshot.find("tsn_campaign_ok 8"), std::string::npos);
+  EXPECT_NE(snapshot.find("tsn_campaign_total_ts_received "), std::string::npos);
+  EXPECT_NE(snapshot.find("tsn_campaign_total_events_executed "), std::string::npos);
+  EXPECT_NE(snapshot.find("tsn_campaign_ts_p99_us_bucket"), std::string::npos);
+  EXPECT_EQ(snapshot.find("wall_"), std::string::npos);
+  // ...and the wall-clock side exists in the full render, clearly fenced.
+  const std::string full = parallel_registry.to_prometheus();
+  EXPECT_NE(full.find("wall_campaign_total_ms"), std::string::npos);
+  EXPECT_NE(full.find("wall_campaign_phase_ms{phase=\"simulate\"}"), std::string::npos);
+  EXPECT_NE(full.find("wall_campaign_worker_runs{worker=\""), std::string::npos);
+}
+
 TEST(RunnerTest, DifferentBaseSeedChangesRuns) {
   const std::vector<RunRecord> a = run_campaign(1, 1, 11);
   const std::vector<RunRecord> b = run_campaign(1, 1, 12);
@@ -246,6 +283,22 @@ TEST(SinkTest, JsonlHasRunAndAggregateRows) {
   EXPECT_EQ(serialize(records, small_matrix().axes(), SinkFormat::kJsonl,
                       /*include_timing=*/false)
                 .find("wall_ms"),
+            std::string::npos);
+}
+
+TEST(SinkTest, ManifestStampsBothFormats) {
+  const std::vector<RunRecord> records = run_campaign(1);
+  const telemetry::RunManifest manifest =
+      telemetry::make_manifest("campaign hops=2,3; be-mbps=0,200", "campaign", 11);
+  const std::string jsonl = serialize(records, small_matrix().axes(), SinkFormat::kJsonl,
+                                      /*include_timing=*/true, &manifest);
+  EXPECT_EQ(jsonl.rfind("{\"type\":\"manifest\",\"manifest\":{\"tool\":\"tsnb\"", 0), 0u);
+  const std::string csv = serialize(records, small_matrix().axes(), SinkFormat::kCsv,
+                                    /*include_timing=*/true, &manifest);
+  EXPECT_EQ(csv.rfind("# manifest: {\"tool\":\"tsnb\"", 0), 0u);
+  // Stamping is opt-in: the default serialization is unchanged.
+  EXPECT_EQ(serialize(records, small_matrix().axes(), SinkFormat::kJsonl)
+                .find("\"type\":\"manifest\""),
             std::string::npos);
 }
 

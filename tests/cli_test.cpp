@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
+#include "common/log.hpp"
 
 namespace tsn::cli {
 namespace {
@@ -111,6 +113,87 @@ TEST(TsnbTest, SimulateReportsZeroLoss) {
   EXPECT_NE(out.find("switch drops 0"), std::string::npos);
 }
 
+
+/// `run` is an alias for `simulate`, and the observability flags export
+/// manifest-stamped metrics / timeline / trace artifacts.
+TEST(TsnbTest, RunAliasExportsObservabilityArtifacts) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "tsnb_metrics.prom";
+  const std::string timeline_path = dir + "tsnb_timeline.json";
+  const std::string trace_path = dir + "tsnb_trace.csv";
+  std::string out;
+  ASSERT_EQ(run_tsnb({"run", "--topology", "linear", "--switches", "3", "--flows", "16",
+                      "--hops", "3", "--duration-ms", "20", "--metrics-out", metrics_path,
+                      "--timeline-out", timeline_path, "--trace-out", trace_path},
+                     out),
+            0);
+  EXPECT_NE(out.find("metrics snapshot written to"), std::string::npos);
+  EXPECT_NE(out.find("timeline written to"), std::string::npos);
+  EXPECT_NE(out.find("packet trace written to"), std::string::npos);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    return content;
+  };
+  const std::string metrics = slurp(metrics_path);
+  EXPECT_EQ(metrics.rfind("# manifest: {\"tool\":\"tsnb\"", 0), 0u);
+  EXPECT_NE(metrics.find("\"scenario\":\"simulate topology=linear"), std::string::npos);
+  EXPECT_NE(metrics.find("tsn_switch_tx_packets"), std::string::npos);
+  EXPECT_NE(metrics.find("tsn_event_executed"), std::string::npos);
+  EXPECT_NE(metrics.find("wall_event_run_ms"), std::string::npos);  // full render
+
+  const std::string timeline = slurp(timeline_path);
+  EXPECT_EQ(timeline.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(timeline.find("\"cat\":\"hop\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"metadata\":{\"manifest\":{"), std::string::npos);
+
+  const std::string trace = slurp(trace_path);
+  EXPECT_EQ(trace.rfind("# dropped_entries=", 0), 0u);
+  EXPECT_NE(trace.find("at_ns,from,from_port,to,flow,sequence,frame_bytes,link_down"),
+            std::string::npos);
+}
+
+TEST(TsnbTest, GlobalLogLevelFlag) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  std::string out;
+  // The flag is position-independent and stripped before dispatch.
+  EXPECT_EQ(run_tsnb({"--log-level", "error", "report", "--scenario", "ring"}, out), 0);
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"report", "--log-level=warn", "--scenario", "ring"}, out), 0);
+  EXPECT_EQ(logger.level(), LogLevel::kWarn);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"--log-level", "loud", "report"}, out), 2);
+  EXPECT_NE(out.find("unknown --log-level"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(run_tsnb({"report", "--log-level"}, out), 2);  // missing value
+  logger.set_level(saved);
+}
+
+TEST(TsnbTest, CampaignMetricsOutWritesSnapshot) {
+  const std::string path = ::testing::TempDir() + "tsnb_campaign_metrics.prom";
+  std::string out;
+  const std::string rows = ::testing::TempDir() + "tsnb_campaign_metrics.jsonl";
+  ASSERT_EQ(run_tsnb({"campaign", "--axes",
+                      "topology=ring;switches=3;flows=8;hops=2;"
+                      "warmup-ms=50;duration-ms=20",
+                      "--repeats", "2", "--quiet", "--out", rows, "--metrics-out", path},
+                     out),
+            0);
+  EXPECT_NE(out.find("campaign metrics written to"), std::string::npos);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.rfind("# manifest: {\"tool\":\"tsnb\"", 0), 0u);
+  EXPECT_NE(content.find("tsn_campaign_runs 2"), std::string::npos);
+  EXPECT_NE(content.find("tsn_campaign_ts_p99_us_bucket"), std::string::npos);
+  EXPECT_NE(content.find("wall_campaign_total_ms"), std::string::npos);
+}
 
 TEST(TsnbTest, PlanSaveThenReportConfig) {
   const std::string path = ::testing::TempDir() + "/tsnb_saved.cfg";

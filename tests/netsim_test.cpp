@@ -343,6 +343,162 @@ TEST(TraceRecorderTest, MarksLinkDownTransmissions) {
   EXPECT_GT(net.link_drops(), 0u);
 }
 
+TEST(TraceRecorderTest, RenderNotesTruncationByLimit) {
+  const topo::BuiltTopology ring = topo::make_ring(3);
+  TraceRecorder trace(16);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    trace.record(TraceEntry{TimePoint(static_cast<std::int64_t>(i * 1000)), 0, 0, 1, 7, i,
+                            64, false});
+  }
+  // limit >= size: no truncation banner.
+  EXPECT_EQ(trace.render(ring.topology, 6).find("(showing last"), std::string::npos);
+  // limit < size: the partial dump announces itself up front.
+  const std::string partial = trace.render(ring.topology, 2);
+  EXPECT_EQ(partial.rfind("(showing last 2 of 6 entries)\n", 0), 0u);
+  EXPECT_NE(partial.find("seq 4"), std::string::npos);
+  EXPECT_NE(partial.find("seq 5"), std::string::npos);
+  EXPECT_EQ(partial.find("seq 3"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, CsvAndJsonExports) {
+  TraceRecorder trace(2);
+  trace.record(TraceEntry{TimePoint(1000), 0, 2, 1, 7, 5, 64, false});
+  trace.record(TraceEntry{TimePoint(2000), 1, 0, 2, 7, 5, 64, true});
+  trace.record(TraceEntry{TimePoint(3000), 2, 1, 3, 8, 0, 128, false});  // evicts seq 5's first hop
+
+  const std::string csv = trace.to_csv();
+  EXPECT_EQ(csv.rfind("# dropped_entries=1\n"
+                      "at_ns,from,from_port,to,flow,sequence,frame_bytes,link_down\n",
+                      0),
+            0u);
+  EXPECT_NE(csv.find("2000,1,0,2,7,5,64,1\n"), std::string::npos);  // oldest surviving first
+  EXPECT_NE(csv.find("3000,2,1,3,8,0,128,0\n"), std::string::npos);
+  EXPECT_EQ(csv.find("1000,"), std::string::npos);  // evicted entry is gone
+
+  const std::string json = trace.to_json();
+  EXPECT_EQ(json.rfind("{\"total_recorded\":3,\"dropped_entries\":1,\"entries\":[", 0), 0u);
+  EXPECT_NE(json.find("{\"at_ns\":2000,\"from\":1,\"from_port\":0,\"to\":2,\"flow\":7,"
+                      "\"sequence\":5,\"frame_bytes\":64,\"link_down\":true}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"link_down\":false"), std::string::npos);
+}
+
+// ------------------------------------------------------- observability hooks
+/// End-to-end: one run fills the metrics registry, the packet trace, and
+/// a Perfetto-loadable timeline with at least one complete per-flow hop
+/// sequence — and all of it derives from sim time only, so identical
+/// seeds export byte-identical artifacts.
+TEST(ScenarioTest, ObservabilityExportsAreCompleteAndDeterministic) {
+  struct Artifacts {
+    std::string metrics;
+    std::string timeline;
+    std::string trace_json;
+    std::uint64_t events = 0;
+    std::int64_t sim_end_ns = 0;
+  };
+  const auto run = [] {
+    ScenarioConfig cfg;
+    cfg.built = topo::make_ring(3);
+    cfg.options.seed = 5;
+    traffic::TsWorkloadParams params;
+    params.flow_count = 8;
+    cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[1],
+                                       params);
+    cfg.warmup = 50_ms;
+    cfg.traffic_duration = 20_ms;
+
+    telemetry::MetricsRegistry registry;
+    telemetry::TimelineBuilder timeline;
+    TraceRecorder trace(4096);
+    cfg.observe.metrics = &registry;
+    cfg.observe.timeline = &timeline;
+    cfg.observe.trace = &trace;
+    const ScenarioResult r = run_scenario(std::move(cfg));
+
+    Artifacts a;
+    telemetry::RenderOptions sim_only;
+    sim_only.include_wall = false;
+    a.metrics = registry.to_prometheus(sim_only);
+    a.timeline = timeline.to_json();
+    a.trace_json = trace.to_json();
+    a.events = r.events_executed;
+    a.sim_end_ns = r.sim_end.ns();
+    return a;
+  };
+
+  const Artifacts a = run();
+  EXPECT_GT(a.events, 0u);
+  EXPECT_GT(a.sim_end_ns, 0);
+
+  // Every layer reported into the registry.
+  EXPECT_NE(a.metrics.find("tsn_switch_tx_packets"), std::string::npos);
+  EXPECT_NE(a.metrics.find("tsn_switch_drops"), std::string::npos);
+  EXPECT_NE(a.metrics.find("tsn_switch_queue_peak_occupancy"), std::string::npos);
+  EXPECT_NE(a.metrics.find("tsn_timesync_offset_ns"), std::string::npos);
+  EXPECT_NE(a.metrics.find("tsn_itp_slot_ns"), std::string::npos);
+  EXPECT_NE(a.metrics.find("tsn_event_executed"), std::string::npos);
+  EXPECT_EQ(a.metrics.find("wall_"), std::string::npos);  // sim-only render
+
+  // The timeline carries at least one complete per-flow hop bar, plus the
+  // gate grid and queue-depth lanes.
+  EXPECT_NE(a.timeline.find("\"args\":{\"name\":\"flows\"}"), std::string::npos);
+  EXPECT_NE(a.timeline.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(a.timeline.find("\"cat\":\"hop\""), std::string::npos);
+  EXPECT_NE(a.timeline.find(" -> "), std::string::npos);
+  EXPECT_NE(a.timeline.find("\"args\":{\"name\":\"queue 7 egress\"}"), std::string::npos);
+  EXPECT_NE(a.timeline.find("\"cat\":\"gate\""), std::string::npos);
+  EXPECT_NE(a.timeline.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(a.timeline.find("ts_queue_depth."), std::string::npos);
+
+  EXPECT_NE(a.trace_json.find("\"entries\":[{"), std::string::npos);
+
+  // Identical seed -> byte-identical sim-time artifacts.
+  const Artifacts b = run();
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.events, b.events);
+}
+
+/// The per-flow hop bars must chain into a full source-to-destination
+/// path for at least one packet (the issue's timeline acceptance bar).
+TEST(ScenarioTest, TimelineContainsCompleteFlowPath) {
+  ScenarioConfig cfg;
+  cfg.built = topo::make_ring(3);
+  cfg.options.seed = 5;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 4;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[1],
+                                     params);
+  const topo::NodeId src = cfg.built.host_nodes[0];
+  const topo::NodeId dst = cfg.built.host_nodes[1];
+  const net::FlowId flow = cfg.flows.front().id;
+  cfg.warmup = 50_ms;
+  cfg.traffic_duration = 20_ms;
+  TraceRecorder trace(65536);
+  telemetry::TimelineBuilder timeline;
+  cfg.observe.trace = &trace;
+  cfg.observe.timeline = &timeline;
+  (void)run_scenario(std::move(cfg));
+
+  // Find a sequence of this flow whose recorded hops start at the source
+  // host and end delivering into the destination host.
+  bool complete = false;
+  for (std::uint64_t seq = 0; seq < 4 && !complete; ++seq) {
+    const std::vector<TraceEntry> path = trace.path_of(flow, seq);
+    if (path.size() < 2) continue;
+    bool connected = path.front().from == src && path.back().to == dst;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      connected &= path[i].from == path[i - 1].to;
+      connected &= path[i].at >= path[i - 1].at;
+    }
+    complete = connected;
+  }
+  EXPECT_TRUE(complete);
+  // And each of those hops is on the timeline as a complete event.
+  EXPECT_NE(timeline.to_json().find("\"ph\":\"X\""), std::string::npos);
+}
+
 // ---------------------------------------------------- conservation property
 // Every injected packet is either delivered or accounted for by a switch
 // drop counter, and no buffer or queue slot leaks — across seeds and

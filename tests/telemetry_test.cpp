@@ -1,0 +1,254 @@
+// Tests for tsn_telemetry: metrics registry determinism, Prometheus
+// exposition edge cases, run manifests, and the Chrome trace-event
+// timeline builder.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace tsn::telemetry {
+namespace {
+
+using namespace tsn::literals;
+
+// ------------------------------------------------------- metric primitives
+TEST(CounterTest, MonotonicAccumulation) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndHighWaterMark) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(2.0);  // below current max: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramTest, CumulativeBucketsArePrometheusShaped) {
+  Histogram h({10.0, 20.0, 50.0});
+  h.observe(5.0);    // <= 10
+  h.observe(10.0);   // boundary lands in its own bucket (le semantics)
+  h.observe(15.0);   // <= 20
+  h.observe(100.0);  // +Inf only
+  const std::vector<std::uint64_t> cumulative = h.cumulative_counts();
+  ASSERT_EQ(cumulative.size(), 4u);  // 3 bounds + the implicit +Inf
+  EXPECT_EQ(cumulative[0], 2u);
+  EXPECT_EQ(cumulative[1], 3u);
+  EXPECT_EQ(cumulative[2], 3u);
+  EXPECT_EQ(cumulative[3], 4u);  // +Inf always equals count()
+  EXPECT_EQ(cumulative.back(), h.count());
+  EXPECT_DOUBLE_EQ(h.sum(), 130.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({10.0, 10.0}), Error);
+  EXPECT_THROW(Histogram({20.0, 10.0}), Error);
+}
+
+// ----------------------------------------------------------- the registry
+TEST(MetricsRegistryTest, EmptyRegistryRendersEmpty) {
+  const MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.series_count(), 0u);
+  EXPECT_EQ(registry.to_prometheus(), "");
+  EXPECT_EQ(registry.to_json(), "{\"metrics\":[]}");
+}
+
+TEST(MetricsRegistryTest, ReturnsStableSeriesReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("tsn.test.hits", {{"port", "1"}});
+  a.inc();
+  Counter& b = registry.counter("tsn.test.hits", {{"port", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, RejectsInvalidNamesAndKindMismatch) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), Error);
+  EXPECT_THROW(registry.counter(".leading"), Error);
+  EXPECT_THROW(registry.counter("trailing."), Error);
+  EXPECT_THROW(registry.counter("UpperCase"), Error);
+  EXPECT_THROW(registry.counter("tsn.ok", {{"Bad-Key", "v"}}), Error);
+  registry.counter("tsn.test.series");
+  EXPECT_THROW(registry.gauge("tsn.test.series"), Error);
+  registry.histogram("tsn.test.hist", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("tsn.test.hist", {1.0, 3.0}), Error);
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("tsn.test.odd", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("tsn_test_odd{path=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramHasCumulativeBucketsAndInf) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("tsn.test.latency_us", {10.0, 20.0},
+                                    {{"flow", "0"}}, "per-flow latency");
+  h.observe(5.0);
+  h.observe(15.0);
+  h.observe(99.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP tsn_test_latency_us per-flow latency\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsn_test_latency_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("tsn_test_latency_us_bucket{flow=\"0\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsn_test_latency_us_bucket{flow=\"0\",le=\"20\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsn_test_latency_us_bucket{flow=\"0\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsn_test_latency_us_sum{flow=\"0\"} 119\n"), std::string::npos);
+  EXPECT_NE(text.find("tsn_test_latency_us_count{flow=\"0\"} 3\n"), std::string::npos);
+}
+
+/// The core determinism property: snapshots are a pure function of the
+/// observed values, independent of registration order.
+TEST(MetricsRegistryTest, SnapshotByteIdenticalAcrossShuffledRegistration) {
+  const auto populate = [](MetricsRegistry& registry, bool shuffled) {
+    const std::vector<std::pair<std::string, std::string>> series = {
+        {"tsn.a.one", "x"}, {"tsn.b.two", "y"}, {"tsn.a.one", "z"}, {"tsn.c.three", "w"}};
+    if (shuffled) {
+      for (auto it = series.rbegin(); it != series.rend(); ++it) {
+        registry.counter(it->first, {{"tag", it->second}}).add(7);
+      }
+    } else {
+      for (const auto& [name, tag] : series) {
+        registry.counter(name, {{"tag", tag}}).add(7);
+      }
+    }
+    registry.gauge("tsn.g.depth", {{"q", "3"}}).set(1.25);
+    registry.histogram("tsn.h.us", {1.0, 2.0}).observe(1.5);
+  };
+  MetricsRegistry forward;
+  MetricsRegistry shuffled;
+  populate(forward, false);
+  populate(shuffled, true);
+  EXPECT_EQ(forward.to_prometheus(), shuffled.to_prometheus());
+  EXPECT_EQ(forward.to_json(), shuffled.to_json());
+}
+
+TEST(MetricsRegistryTest, WallNamespaceIsExcludable) {
+  MetricsRegistry registry;
+  registry.counter("tsn.sim.events").add(10);
+  registry.gauge("wall.run_ms").set(123.0);
+  EXPECT_TRUE(is_wall_metric("wall.run_ms"));
+  EXPECT_FALSE(is_wall_metric("tsn.sim.events"));
+
+  RenderOptions no_wall;
+  no_wall.include_wall = false;
+  const std::string with = registry.to_prometheus();
+  const std::string without = registry.to_prometheus(no_wall);
+  EXPECT_NE(with.find("wall_run_ms"), std::string::npos);
+  EXPECT_EQ(without.find("wall_run_ms"), std::string::npos);
+  EXPECT_NE(without.find("tsn_sim_events 10"), std::string::npos);
+  EXPECT_EQ(registry.to_json(no_wall).find("wall.run_ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------- run manifests
+TEST(RunManifestTest, Fnv1aMatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a_hash(""), 0xcbf29ce484222325ULL);   // offset basis
+  EXPECT_EQ(fnv1a_hash("a"), 0xaf63dc4c8601ec8cULL);  // published test vector
+  EXPECT_EQ(fnv1a_hash("scenario"), fnv1a_hash("scenario"));
+  EXPECT_NE(fnv1a_hash("scenario"), fnv1a_hash("scenari0"));
+}
+
+TEST(RunManifestTest, MakeManifestStampsHashAndJsonShape) {
+  const RunManifest m = make_manifest("simulate topology=ring switches=4", "planned", 42);
+  EXPECT_EQ(m.scenario_hash, fnv1a_hash("simulate topology=ring switches=4"));
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"tool\":\"tsnb\""), std::string::npos);
+  EXPECT_NE(json.find(std::string("\"version\":\"") + kToolVersion + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\":\"simulate topology=ring switches=4\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"preset\":\"planned\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario_hash\":\""), std::string::npos);
+}
+
+TEST(RunManifestTest, StampsIntoSnapshotsAndTimelines) {
+  const RunManifest m = make_manifest("test scenario", "unit", 7);
+  MetricsRegistry registry;
+  registry.counter("tsn.test.hits").inc();
+  RenderOptions options;
+  options.manifest = &m;
+  EXPECT_EQ(registry.to_prometheus(options).rfind("# manifest: {", 0), 0u);
+  EXPECT_EQ(registry.to_json(options).rfind("{\"manifest\":{", 0), 0u);
+
+  const TimelineBuilder timeline;
+  EXPECT_NE(timeline.to_json(&m).find("\"metadata\":{\"manifest\":{"), std::string::npos);
+}
+
+// ----------------------------------------------------- timeline exporting
+TEST(TimelineBuilderTest, RendersChromeTraceEventShapes) {
+  TimelineBuilder timeline;
+  timeline.set_process_name(1, "flows");
+  timeline.set_thread_name(1, 3, "flow 3");
+  timeline.add_complete("s0:1 -> s1", "hop", 1, 3, TimePoint(1500), 500_ns,
+                        {{"seq", "9"}});
+  timeline.add_instant("drop", "hop", 1, 3, TimePoint(2000));
+  timeline.add_counter("queue_depth", 3, TimePoint(65'000), "packets", 2.0);
+  EXPECT_EQ(timeline.event_count(), 3u);
+
+  const std::string json = timeline.to_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Metadata naming events come first so viewers label lanes up front.
+  EXPECT_NE(json.find("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+                      "\"args\":{\"name\":\"flows\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":3,"
+                      "\"args\":{\"name\":\"flow 3\"}}"),
+            std::string::npos);
+  // Integer ns render as exact fractional microseconds.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"s0:1 -> s1\",\"cat\":\"hop\",\"pid\":1,"
+                      "\"tid\":3,\"ts\":1.500,\"dur\":0.500,\"args\":{\"seq\":\"9\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\",\"name\":\"queue_depth\",\"pid\":3,\"tid\":0,"
+                      "\"ts\":65.000,\"args\":{\"packets\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- the logger
+TEST(LogLevelTest, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");  // the line-prefix tag
+}
+
+TEST(LoggerTest, LevelGatesEnabled) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace tsn::telemetry

@@ -71,12 +71,16 @@ void rule_wall_clock(const Tokens& toks, std::vector<Finding>& out) {
       out.push_back({"", t.line, "wall-clock",
                      "'" + t.text +
                          "' is a wall-clock/entropy source; simulation state must "
-                         "derive from simulated time and seeded RNGs only"});
+                         "derive from simulated time and seeded RNGs only. "
+                         "Reporting-only timers need a tsnlint:allow(wall-clock) "
+                         "reason and must export under the wall.* metric namespace"});
     } else if (kCalls.contains(t.text) && is_free_call(toks, i)) {
       out.push_back({"", t.line, "wall-clock",
                      "call to '" + t.text +
                          "()' reads ambient time/entropy; use the event simulator "
-                         "clock or a seeded tsn::Rng"});
+                         "clock or a seeded tsn::Rng. Reporting-only timers need a "
+                         "tsnlint:allow(wall-clock) reason and must export under "
+                         "the wall.* metric namespace"});
     }
   }
 }

@@ -1,6 +1,8 @@
 // Microbenchmarks: discrete-event kernel and gPTP machinery throughput.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/rng.hpp"
 #include "event/simulator.hpp"
 #include "timesync/gptp.hpp"

@@ -1,0 +1,18 @@
+// `tsnb bench` — the repository's performance baseline harness.
+//
+// Runs the discrete-event kernel microbench workloads (the same shapes as
+// bench/micro_simulator) plus an end-to-end netsim throughput workload,
+// and writes a machine-readable BENCH_kernel.json (events/sec, ns/event,
+// sim-to-wall ratio, peak heap depth, manifest-stamped). CI runs
+// `tsnb bench --quick` as a non-gating smoke; the JSON artifact is the
+// trajectory future optimization PRs are measured against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsn::cli {
+
+int cmd_bench(const std::vector<std::string>& args, std::string& out);
+
+}  // namespace tsn::cli

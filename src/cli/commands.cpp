@@ -14,6 +14,7 @@
 #include "campaign/sink.hpp"
 #include "campaign/telemetry.hpp"
 #include "cli/args.hpp"
+#include "cli/bench.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/string_util.hpp"
@@ -726,6 +727,7 @@ const char kTopUsage[] =
     "  report    print a preset's or saved config's Table III-style report\n"
     "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
+    "  bench     kernel & dataplane throughput baseline (BENCH_kernel.json)\n"
     "  help      this message\n"
     "\n"
     "global options:\n"
@@ -771,6 +773,7 @@ int run_tsnb(const std::vector<std::string>& args_in, std::string& out) {
     if (args[0] == "report") return cmd_report(rest, out);
     if (args[0] == "campaign") return cmd_campaign(rest, out);
     if (args[0] == "frer") return cmd_frer(rest, out);
+    if (args[0] == "bench") return cmd_bench(rest, out);
     out = "unknown subcommand '" + args[0] + "'\n\n" + kTopUsage;
     return 2;
   } catch (const UsageError& e) {

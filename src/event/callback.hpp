@@ -1,0 +1,150 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// The discrete-event kernel runs tens of millions of callbacks per
+// experiment; std::function heap-allocates any capture above its ~16-byte
+// internal buffer and carries copyability machinery a scheduled event
+// never uses. Function<> stores captures up to kInlineSize bytes inline —
+// the kernel's typical `[this, index, occurrence]` capture is 24 bytes —
+// and falls back to the heap only for oversized captures (e.g. lambdas
+// that capture a whole net::Packet by value). It is move-only, matching
+// the single-owner lifecycle of an event record in the slot pool.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsn::event {
+
+template <typename Signature>
+class Function;
+
+template <typename R, typename... Args>
+class Function<R(Args...)> {
+ public:
+  /// Inline capture budget: a `this` pointer plus four 64-bit words of
+  /// indices/timestamps. Anything larger (packet copies, std::function
+  /// wrappers with their own state) relocates to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  Function() = default;
+  Function(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Function> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  Function(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kStoresInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kOps<Fn, true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kOps<Fn, false>;
+    }
+  }
+
+  Function(Function&& other) noexcept { move_from(other); }
+  Function& operator=(Function&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~Function() { reset(); }
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  Function& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) { return ops_->invoke(buf_, std::forward<Args>(args)...); }
+
+  /// True when the wrapped callable lives in the inline buffer. Empty
+  /// wrappers report false. The kernel exports inline-vs-heap counts so a
+  /// capture that silently outgrows the budget shows up in telemetry.
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Relocation: move-construct the callable from `src` into `dst`,
+    /// then destroy the source (heap-stored callables just move the
+    /// owning pointer across).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool kStoresInline = sizeof(Fn) <= kInlineSize &&
+                                        alignof(Fn) <= kInlineAlign &&
+                                        std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* inline_ptr(void* s) {
+    return std::launder(reinterpret_cast<Fn*>(s));
+  }
+  template <typename Fn>
+  static Fn** heap_slot(void* s) {
+    return std::launder(reinterpret_cast<Fn**>(s));
+  }
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps{
+      [](void* s, Args&&... args) -> R {
+        if constexpr (Inline) {
+          return (*inline_ptr<Fn>(s))(std::forward<Args>(args)...);
+        } else {
+          return (**heap_slot<Fn>(s))(std::forward<Args>(args)...);
+        }
+      },
+      [](void* src, void* dst) noexcept {
+        if constexpr (Inline) {
+          Fn* from = inline_ptr<Fn>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        } else {
+          ::new (dst) Fn*(*heap_slot<Fn>(src));
+        }
+      },
+      [](void* s) noexcept {
+        if constexpr (Inline) {
+          inline_ptr<Fn>(s)->~Fn();
+        } else {
+          delete *heap_slot<Fn>(s);
+        }
+      },
+      Inline};
+
+  void move_from(Function& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// The kernel's event callback type.
+using Callback = Function<void()>;
+
+}  // namespace tsn::event

@@ -40,51 +40,73 @@ Simulator::~Simulator() { Logger::clear_sim_now(); }
 EventId Simulator::schedule_at(TimePoint at, Callback callback) {
   require(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
   require(static_cast<bool>(callback), "Simulator::schedule_at: null callback");
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
+  if (callback.is_inline()) {
+    ++callbacks_inline_;
+  } else {
+    ++callbacks_heap_;
+  }
+  std::uint32_t index;
+  if (free_head_ != kNilSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    require(slots_.size() < kNilSlot, "Simulator::schedule_at: slot pool exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.callback = std::move(callback);
+  slot.armed = true;
+  heap_.push(HeapEntry{at, next_seq_++, index, slot.gen});
+  ++live_;
   if (heap_.size() > peak_heap_depth_) peak_heap_depth_ = heap_.size();
-  callbacks_.emplace(id, std::move(callback));
-  return EventId{id};
+  return EventId{(static_cast<std::uint64_t>(slot.gen) << 32) | index};
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.callback = Callback();  // drop captured state immediately
+  slot.armed = false;
+  // Generation wrap after 2^32 releases of one slot could alias a stale
+  // handle; at millions of events per second that is decades of reuse of
+  // a single slot, and skipping 0 keeps EventId.value nonzero.
+  if (++slot.gen == 0) slot.gen = 1;
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid()) return false;
-  const auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  const auto index = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (gen == 0 || index >= slots_.size()) return false;
+  const Slot& slot = slots_[index];
+  if (!slot.armed || slot.gen != gen) return false;
+  release_slot(index);
   return true;
 }
 
-void Simulator::skim_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
 void Simulator::execute_top() {
-  const Entry top = heap_.top();
+  const HeapEntry top = heap_.top();
   heap_.pop();
   now_ = top.at;
   // Publish the simulated instant for this thread's log lines: every
   // tsn::log() call made from inside the callback carries [t=...].
   Logger::set_sim_now(now_);
-  // Move the callback out before invoking: the callback may schedule or
-  // cancel other events (rehashing callbacks_), or even schedule at the
-  // same timestamp.
-  auto node = callbacks_.extract(top.id);
+  // Move the callback out and release the slot before invoking: the
+  // callback may schedule (possibly reusing this very slot), cancel other
+  // events, or grow the slot vector.
+  Callback cb = std::move(slots_[top.slot].callback);
+  release_slot(top.slot);
   ++executed_;
-  node.mapped()();
+  cb();
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
   const WallRunTimer timer(wall_run_ms_);
   std::uint64_t count = 0;
   while (count < limit) {
-    skim_cancelled();
+    skim_stale();
     if (heap_.empty()) break;
     execute_top();
     ++count;
@@ -97,7 +119,7 @@ std::uint64_t Simulator::run_until(TimePoint until) {
   const WallRunTimer timer(wall_run_ms_);
   std::uint64_t count = 0;
   while (true) {
-    skim_cancelled();
+    skim_stale();
     if (heap_.empty() || heap_.top().at > until) break;
     execute_top();
     ++count;
@@ -109,7 +131,7 @@ std::uint64_t Simulator::run_until(TimePoint until) {
 
 bool Simulator::step() {
   const WallRunTimer timer(wall_run_ms_);
-  skim_cancelled();
+  skim_stale();
   if (heap_.empty()) return false;
   execute_top();
   return true;
@@ -124,6 +146,18 @@ void Simulator::collect_metrics(telemetry::MetricsRegistry& registry) const {
       .set(static_cast<double>(peak_heap_depth_));
   registry.gauge("tsn.event.pending", {}, "events still pending at collection time")
       .set(static_cast<double>(pending_events()));
+  registry
+      .gauge("tsn.event.slot_pool_capacity", {},
+             "event slots ever allocated in the kernel slab")
+      .set(static_cast<double>(slot_pool_capacity()));
+  registry
+      .counter("tsn.event.callbacks_inline", {},
+               "scheduled callbacks stored in Callback's inline buffer")
+      .add(callbacks_inline_);
+  registry
+      .counter("tsn.event.callbacks_heap", {},
+               "scheduled callbacks whose capture spilled to the heap")
+      .add(callbacks_heap_);
   registry.gauge("tsn.event.now_ns", {}, "simulated time at collection")
       .set(static_cast<double>(now_.ns()));
   registry.gauge("wall.event.run_ms", {}, "host wall-clock spent in run loops")
@@ -137,7 +171,7 @@ void Simulator::collect_metrics(telemetry::MetricsRegistry& registry) const {
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, TimePoint first, Duration period,
-                           std::function<void()> callback)
+                           Callback callback)
     : sim_(sim), period_(period), callback_(std::move(callback)) {
   require(period_.ns() > 0, "PeriodicTask: period must be positive");
   require(static_cast<bool>(callback_), "PeriodicTask: null callback");

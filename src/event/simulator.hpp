@@ -5,17 +5,23 @@
 // Events at equal timestamps execute in scheduling order (a monotonically
 // increasing sequence number breaks ties), so runs are bit-for-bit
 // deterministic for a given seed.
+//
+// Hot-path design: event records live in a slab of generation-checked
+// slots recycled through an intrusive free list. A heap entry carries its
+// slot index and the generation it was issued under, so cancellation is a
+// generation bump (the stale heap entry is skimmed when it surfaces) —
+// no hash lookups, no per-event node allocations. Callbacks are
+// event::Callback (small-buffer optimized, see callback.hpp), so the
+// typical `[this, index, occurrence]` capture never touches the heap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/time.hpp"
+#include "event/callback.hpp"
 
 namespace tsn::telemetry {
 class MetricsRegistry;
@@ -24,6 +30,9 @@ class MetricsRegistry;
 namespace tsn::event {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// Encodes slot index (low 32 bits) and generation (high 32 bits); a
+/// handle is spent once its event fires or is cancelled — reusing it is a
+/// harmless no-op because the slot's generation has moved on.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -32,7 +41,7 @@ struct EventId {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = event::Callback;
 
   Simulator() = default;
   /// Ends the calling thread's log sim-time context (Logger prefixes).
@@ -66,46 +75,78 @@ class Simulator {
   /// Executes the single earliest pending event. Returns false if none.
   bool step();
 
-  [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] bool idle() const { return pending_events() == 0; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   /// High-water mark of the event heap (scheduled + not-yet-skimmed
   /// cancelled entries) — the kernel's memory pressure gauge.
   [[nodiscard]] std::size_t peak_heap_depth() const { return peak_heap_depth_; }
+  /// Slots ever allocated in the event slab (monotonic; free-listed slots
+  /// stay in the pool for reuse).
+  [[nodiscard]] std::size_t slot_pool_capacity() const { return slots_.size(); }
+  /// Scheduled callbacks whose capture fit Callback's inline buffer /
+  /// spilled to the heap — watches for captures outgrowing the budget.
+  [[nodiscard]] std::uint64_t callbacks_inline() const { return callbacks_inline_; }
+  [[nodiscard]] std::uint64_t callbacks_heap() const { return callbacks_heap_; }
   /// Host wall-clock time spent inside run()/run_until()/step() so far.
   /// Reporting-only: no simulation state may derive from it.
   [[nodiscard]] double wall_run_ms() const { return wall_run_ms_; }
 
   /// Exports kernel statistics: deterministic "tsn.event.*" series
-  /// (events executed, peak heap depth, pending events, final sim time)
-  /// plus "wall.event.*" host timing (run wall time, sim-to-wall ratio).
+  /// (events executed, peak heap depth, pending events, slot-pool size,
+  /// inline/heap callback split, final sim time) plus "wall.event.*"
+  /// host timing (run wall time, sim-to-wall ratio).
   void collect_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Ordered for a min-heap via std::greater.
-    [[nodiscard]] bool operator>(const Entry& o) const {
+    [[nodiscard]] bool operator>(const HeapEntry& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
 
-  /// Pops cancelled entries off the heap top.
-  void skim_cancelled();
+  /// One event record. `gen` advances every time the slot is released
+  /// (fire or cancel), invalidating outstanding EventIds and heap entries.
+  struct Slot {
+    Callback callback;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;
+  };
+
+  [[nodiscard]] bool top_is_stale() const {
+    const HeapEntry& e = heap_.top();
+    const Slot& s = slots_[e.slot];
+    return !s.armed || s.gen != e.gen;
+  }
+  /// Pops cancelled (generation-mismatched) entries off the heap top.
+  void skim_stale() {
+    while (!heap_.empty() && top_is_stale()) heap_.pop();
+  }
+  /// Frees the slot's callback storage and returns it to the free list,
+  /// bumping the generation so stale handles/entries can't match it.
+  void release_slot(std::uint32_t index);
   void execute_top();
 
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t callbacks_inline_ = 0;
+  std::uint64_t callbacks_heap_ = 0;
+  std::size_t live_ = 0;  // armed slots == events that will still fire
   std::size_t peak_heap_depth_ = 0;
   double wall_run_ms_ = 0.0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 /// Repeats a callback with a fixed period, starting at `first`.
@@ -113,8 +154,7 @@ class Simulator {
 class PeriodicTask {
  public:
   /// `callback` runs at first, first+period, first+2*period, ...
-  PeriodicTask(Simulator& sim, TimePoint first, Duration period,
-               std::function<void()> callback);
+  PeriodicTask(Simulator& sim, TimePoint first, Duration period, Callback callback);
   ~PeriodicTask() { stop(); }
 
   PeriodicTask(const PeriodicTask&) = delete;
@@ -128,7 +168,7 @@ class PeriodicTask {
 
   Simulator& sim_;
   Duration period_;
-  std::function<void()> callback_;
+  Callback callback_;
   EventId pending_{};
   bool running_ = true;
 };

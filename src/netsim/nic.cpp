@@ -15,6 +15,7 @@ void TsnNic::add_flow(const traffic::FlowSpec& flow) {
   flows_.push_back(flow);
   secondary_vid_.push_back(std::nullopt);
   sequence_.push_back(0);
+  pace_acc_.push_back(0);
 }
 
 void TsnNic::add_replicated_flow(const traffic::FlowSpec& flow, VlanId secondary_vid) {
@@ -50,7 +51,9 @@ void TsnNic::start_traffic(TimePoint traffic_start_synced, Duration margin) {
         schedule_ts(i, 0);
         break;
       case net::TrafficClass::kRateConstrained:
-        schedule_paced(i, to_true(traffic_start_synced));
+        // Like TS flows, RC pacing honours the margin: the reservation is
+        // meaningless until the gate/meter machinery is live at start+margin.
+        schedule_paced(i, to_true(traffic_start_synced + margin_));
         break;
       case net::TrafficClass::kBestEffort:
         schedule_poisson(i);
@@ -74,15 +77,22 @@ void TsnNic::schedule_ts(std::size_t flow_index, std::uint64_t occurrence) {
 }
 
 void TsnNic::schedule_paced(std::size_t flow_index, TimePoint first_true) {
-  const traffic::FlowSpec& f = flows_[flow_index];
-  const Duration gap(static_cast<std::int64_t>(
-      static_cast<double>(net::wire_bits(f.frame_bytes).bits()) /
-      static_cast<double>(f.rate.bps()) * 1e9));
   const TimePoint due = first_true < sim_.now() ? sim_.now() : first_true;
-  sim_.schedule_at(due, [this, flow_index, due, gap] {
+  sim_.schedule_at(due, [this, flow_index, due] {
     if (stopped_) return;
     inject(flow_index);
-    schedule_paced(flow_index, due + gap);
+    // Exact pacing on the integer-ns grid: the ideal gap is
+    // wire_bits/rate seconds = (bits·1e9)/bps ns, which rarely divides
+    // evenly. Truncating every gap makes the flow systematically faster
+    // than its reservation (and drift without bound on long runs), so the
+    // fractional remainder — (bits·1e9) mod bps — is carried into the
+    // next gap instead of discarded.
+    const traffic::FlowSpec& f = flows_[flow_index];
+    const std::int64_t bps = f.rate.bps();
+    const std::int64_t scaled =
+        net::wire_bits(f.frame_bytes).bits() * 1'000'000'000 + pace_acc_[flow_index];
+    pace_acc_[flow_index] = scaled % bps;
+    schedule_paced(flow_index, due + Duration(scaled / bps));
   });
 }
 
@@ -107,9 +117,14 @@ void TsnNic::inject(std::size_t flow_index) {
   if (secondary_vid_[flow_index]) {
     // FRER replication: the member copy differs only in its VID (the
     // stream identification the disjoint route is provisioned under).
+    // The primary serializes first — 802.1CB replicates at the talker,
+    // so the primary path carries the original frame and recovery stats
+    // attribute first arrivals to it under healthy conditions.
     net::Packet copy = p;
     copy.vlan.vid = *secondary_vid_[flow_index];
+    enqueue_tx(std::move(p));
     enqueue_tx(std::move(copy));
+    return;
   }
   enqueue_tx(std::move(p));
 }

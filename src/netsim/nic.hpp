@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include <map>
@@ -35,7 +34,7 @@ class TsnNic {
  public:
   /// Invoked at the end of a frame's serialization; the network layer adds
   /// propagation delay and delivers to the attached switch port.
-  using TxCallback = std::function<void(const net::Packet&)>;
+  using TxCallback = event::Function<void(const net::Packet&)>;
 
   TsnNic(event::Simulator& sim, topo::NodeId node, DataRate link_rate,
          analysis::Analyzer& analyzer, std::uint64_t seed);
@@ -66,9 +65,13 @@ class TsnNic {
   /// Total duplicates eliminated by sequence recovery at this NIC.
   [[nodiscard]] std::uint64_t frer_discarded() const;
 
-  /// Starts the injection machinery. TS flow k injects at synchronized
-  /// times `traffic_start + injection_offset + margin + n*period`.
-  /// `margin` places the injection safely inside its CQF slot.
+  /// Starts the injection machinery. `margin` delays the first injection
+  /// of the *scheduled* classes past the synchronized start: TS flow k
+  /// injects at synchronized times `traffic_start + injection_offset +
+  /// margin + n*period` (placing each injection safely inside its CQF
+  /// slot), and RC pacing starts at `traffic_start + margin` so reserved
+  /// streams only flow once gates are live. BE traffic ignores the margin
+  /// — its Poisson gaps start from the raw traffic start.
   void start_traffic(TimePoint traffic_start_synced, Duration margin);
 
   /// Stops starting new injections (in-flight frames still drain).
@@ -102,6 +105,11 @@ class TsnNic {
   std::vector<traffic::FlowSpec> flows_;
   std::vector<std::optional<VlanId>> secondary_vid_;
   std::vector<std::uint64_t> sequence_;
+  /// Per-RC-flow pacing remainder in units of bits·1e9 mod rate (bps):
+  /// the sub-nanosecond part of the ideal inter-frame gap carried forward
+  /// so the achieved rate matches the reservation exactly over any
+  /// horizon instead of drifting fast by the truncated fraction.
+  std::vector<std::int64_t> pace_acc_;
   std::map<net::FlowId, frer::SequenceRecovery> recovery_;
   TimePoint traffic_start_{};
   Duration margin_{};

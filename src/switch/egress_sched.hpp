@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -44,7 +43,7 @@ class EgressScheduler {
  public:
   /// Invoked at the end of a frame's serialization with the transmitted
   /// packet (the link adds propagation delay before the peer receives it).
-  using TxCallback = std::function<void(const net::Packet&)>;
+  using TxCallback = event::Function<void(const net::Packet&)>;
 
   EgressScheduler(event::Simulator& sim, GateCtrl& gates,
                   const SwitchResourceConfig& res, const SwitchRuntimeConfig& rt,

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "common/time.hpp"
@@ -58,7 +57,7 @@ class GateCtrl {
 
   /// Invoked after every gate-state change (the scheduler re-evaluates
   /// transmission opportunities).
-  void set_on_change(std::function<void()> callback) { on_change_ = std::move(callback); }
+  void set_on_change(event::Callback callback) { on_change_ = std::move(callback); }
 
   [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
 
@@ -89,7 +88,7 @@ class GateCtrl {
 
   tables::GateBitmap in_gates_ = tables::kAllGatesOpen;
   tables::GateBitmap out_gates_ = tables::kAllGatesOpen;
-  std::function<void()> on_change_;
+  event::Callback on_change_;
   std::uint64_t updates_applied_ = 0;
 };
 

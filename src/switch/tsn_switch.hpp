@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,7 +33,7 @@ class TsnSwitch {
  public:
   /// Called at the end of a frame's serialization on `port`; the network
   /// layer adds propagation delay and hands the packet to the peer.
-  using TxCallback = std::function<void(tables::PortIndex, const net::Packet&)>;
+  using TxCallback = event::Function<void(tables::PortIndex, const net::Packet&)>;
 
   /// `physical_ports` — how many ports are wired in the simulated
   /// topology (each gets queues, gates, a buffer pool). The resource

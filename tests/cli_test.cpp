@@ -156,6 +156,34 @@ TEST(TsnbTest, RunAliasExportsObservabilityArtifacts) {
             std::string::npos);
 }
 
+TEST(TsnbTest, BenchQuickWritesMachineReadableBaseline) {
+  const std::string path = ::testing::TempDir() + "tsnb_bench.json";
+  std::string out;
+  ASSERT_EQ(run_tsnb({"bench", "--quick", "--reps", "1", "--out", path}, out), 0);
+  EXPECT_NE(out.find("kernel & dataplane bench (quick, best of 1)"), std::string::npos);
+  EXPECT_NE(out.find("kernel.schedule_run"), std::string::npos);
+  EXPECT_NE(out.find("results written to " + path), std::string::npos);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.rfind("{\"manifest\":{\"tool\":\"tsnb\"", 0), 0u);
+  EXPECT_NE(content.find("\"schema\":\"tsnb.bench/1\""), std::string::npos);
+  EXPECT_NE(content.find("\"quick\":true"), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"kernel.schedule_run\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"kernel.cascade\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"kernel.cancel_churn\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"netsim.ring_e2e\""), std::string::npos);
+  EXPECT_NE(content.find("\"events_per_sec\":"), std::string::npos);
+  EXPECT_NE(content.find("\"peak_heap_depth\":"), std::string::npos);
+}
+
+TEST(TsnbTest, BenchRejectsBadReps) {
+  std::string out;
+  EXPECT_EQ(run_tsnb({"bench", "--reps", "0"}, out), 2);
+}
+
 TEST(TsnbTest, GlobalLogLevelFlag) {
   Logger& logger = Logger::instance();
   const LogLevel saved = logger.level();

@@ -1,10 +1,15 @@
 // Tests for the discrete-event simulation kernel: ordering, determinism,
-// cancellation, run_until semantics, periodic tasks.
+// cancellation, run_until semantics, periodic tasks, slot-pool recycling,
+// and the small-buffer-optimized event::Callback.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "event/callback.hpp"
 #include "event/simulator.hpp"
 
 namespace tsn::event {
@@ -130,6 +135,79 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(SimulatorTest, CancelFromSameTimestampCallback) {
+  // An event may cancel another event scheduled at the very timestamp
+  // currently executing; the victim's heap entry is skimmed, not fired.
+  Simulator sim;
+  bool victim_fired = false;
+  EventId victim{};
+  sim.schedule_at(TimePoint(10), [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(TimePoint(10), [&] { victim_fired = true; });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, PendingEventsAfterMassCancellation) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(TimePoint(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 1000u);
+  for (const EventId& id : ids) EXPECT_TRUE(sim.cancel(id));
+  // All tombstones: nothing pending, nothing runs, the clock stays put.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.now().ns(), 0);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventId stale = sim.schedule_at(TimePoint(10), [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  // The freed slot is recycled for the next event; the spent handle's
+  // generation no longer matches and must not cancel the newcomer.
+  bool fired = false;
+  (void)sim.schedule_at(TimePoint(20), [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, SlotGenerationSurvivesHeavyReuse) {
+  // Thousands of schedule/cancel/fire cycles through the same slot: every
+  // retired handle stays dead, and the pool never grows past the peak
+  // concurrency of one.
+  Simulator sim;
+  std::vector<EventId> history;
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const EventId id = sim.schedule_at(sim.now() + Duration(1), [] {});
+    if (cycle % 2 == 0) {
+      EXPECT_TRUE(sim.cancel(id));
+    } else {
+      EXPECT_EQ(sim.run(), 1u);
+    }
+    history.push_back(id);
+  }
+  for (const EventId& id : history) EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.events_executed(), 1000u);
+  EXPECT_EQ(sim.slot_pool_capacity(), 1u);
+}
+
+TEST(SimulatorTest, CountsInlineAndHeapCallbacks) {
+  Simulator sim;
+  sim.schedule_at(TimePoint(1), [] {});  // captureless: inline
+  const std::array<std::uint64_t, 16> big{};  // 128 B capture: heap
+  sim.schedule_at(TimePoint(2), [big] { (void)big; });
+  EXPECT_EQ(sim.callbacks_inline(), 1u);
+  EXPECT_EQ(sim.callbacks_heap(), 1u);
+  sim.run();
+}
+
 TEST(PeriodicTaskTest, FiresAtFixedCadence) {
   Simulator sim;
   std::vector<std::int64_t> at;
@@ -163,6 +241,97 @@ TEST(PeriodicTaskTest, RejectsBadArguments) {
   Simulator sim;
   EXPECT_THROW(PeriodicTask(sim, TimePoint(0), Duration(0), [] {}), Error);
   EXPECT_THROW(PeriodicTask(sim, TimePoint(0), Duration(5), nullptr), Error);
+}
+
+TEST(PeriodicTaskTest, StopFromOwnCallbackLeavesKernelClean) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, TimePoint(0), Duration(10), [&] {
+    if (++count == 2) task.stop();
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(task.running());
+  // The re-armed occurrence was cancelled from inside its predecessor:
+  // no orphaned event may keep the kernel busy.
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// ------------------------------------------------------------- Callback
+TEST(CallbackTest, SmallCaptureStoresInline) {
+  int x = 0;
+  Callback cb = [&x] { ++x; };
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(CallbackTest, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 B > 48 B inline budget
+  big[0] = 40;
+  big[15] = 2;
+  std::uint64_t sum = 0;
+  Callback cb = [big, &sum] {
+    for (const std::uint64_t v : big) sum += v;
+  };
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(sum, 42u);
+}
+
+TEST(CallbackTest, MoveTransfersOwnership) {
+  int x = 0;
+  Callback a = [&x] { ++x; };
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(x, 1);
+  Callback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(CallbackTest, CarriesMoveOnlyCaptures) {
+  auto boxed = std::make_unique<int>(7);
+  int seen = 0;
+  Callback cb = [p = std::move(boxed), &seen] { seen = *p; };
+  EXPECT_TRUE(cb.is_inline());  // unique_ptr + reference: 16 B
+  cb();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(CallbackTest, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(std::exchange(o.counter, nullptr)) {}
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (counter != nullptr) ++*counter;
+    }
+    void operator()() const {}
+  };
+  int destroyed = 0;
+  {
+    Callback cb = Probe(&destroyed);
+    Callback moved = std::move(cb);
+    moved();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(CallbackTest, NullAndAssignment) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+  cb = [] {};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb = nullptr;
+  EXPECT_FALSE(static_cast<bool>(cb));
 }
 
 }  // namespace

@@ -181,6 +181,35 @@ TEST(FrerIntegrationTest, WithoutFrerLinkFailureLosesPackets) {
   EXPECT_GT(h.net->link_drops(), 0u);
 }
 
+TEST(FrerIntegrationTest, PrimaryMemberLeadsAtTheDivergencePoint) {
+  // The talker serializes the primary member before the secondary copy
+  // (802.1CB replicates at the talker), so at the first switch — where
+  // the two VIDs diverge onto disjoint routes — the primary-direction
+  // transmission must be recorded first for every stream.
+  FrerHarness h(/*frer=*/true, /*flow_count=*/4);
+  netsim::TraceRecorder trace(1 << 16);
+  h.net->set_trace(&trace);
+  (void)h.sim.run_until(TimePoint(0) + 155_ms);
+
+  const auto hops =
+      *h.built.topology.route(h.built.host_nodes[0], h.built.host_nodes[2]);
+  const topo::NodeId talker = h.built.host_nodes[0];
+  const topo::NodeId first_switch = hops[1].node;
+  const topo::NodeId primary_next = hops[2].node;
+  for (const traffic::FlowSpec& f : h.flows) {
+    const auto path = trace.path_of(f.id, 0);
+    int talker_txs = 0;
+    std::vector<topo::NodeId> from_first_switch;
+    for (const netsim::TraceEntry& e : path) {
+      if (e.from == talker) ++talker_txs;
+      if (e.from == first_switch) from_first_switch.push_back(e.to);
+    }
+    EXPECT_EQ(talker_txs, 2);  // both members leave the talker
+    ASSERT_GE(from_first_switch.size(), 2u);
+    EXPECT_EQ(from_first_switch.front(), primary_next);
+  }
+}
+
 TEST(FrerIntegrationTest, RequiresDisjointPath) {
   // A linear topology has no second path.
   event::Simulator sim;

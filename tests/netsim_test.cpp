@@ -2,6 +2,10 @@
 // wiring, provisioning, and small end-to-end deliveries.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "event/simulator.hpp"
 #include "netsim/network.hpp"
@@ -87,6 +91,64 @@ TEST(TsnNicTest, RcFlowIsPacedAtRate) {
   (void)sim.run_until(TimePoint(0) + 10_ms);
   // 100 Mbps / (1044 B + overhead) wire bits ~= 11.7 kpps -> ~117 in 10 ms.
   EXPECT_NEAR(sent, 117, 3);
+}
+
+TEST(TsnNicTest, RcPacingDoesNotDriftOverLongHorizon) {
+  // 64 B frames (672 wire bits) at 671 Mbps give an ideal gap of
+  // 1001.49 ns. Truncating that to whole nanoseconds per frame would
+  // overshoot the reserved rate by ~490 frames over one second; carrying
+  // the fractional remainder keeps the achieved rate within one frame.
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  const std::int64_t bps = 671'000'000;
+  nic.add_flow(traffic::make_rc_flow(1, 0, 1, DataRate(bps), 64));
+  nic.set_tx_callback([](const net::Packet&) {});
+  nic.start_traffic(TimePoint(0), 0_us);
+  const std::int64_t horizon_ns = 1'000'000'000;
+  (void)sim.run_until(TimePoint(0) + Duration(horizon_ns));
+  const std::int64_t bits = net::wire_bits(64).bits();
+  const auto expected =
+      static_cast<double>(horizon_ns * bps / (bits * 1'000'000'000) + 1);
+  EXPECT_NEAR(static_cast<double>(nic.injected_packets()), expected, 1.0);
+}
+
+TEST(TsnNicTest, RcFlowHonoursStartMargin) {
+  // RC pacing begins at traffic_start + margin, same as the scheduled
+  // class: the reservation only exists once the network is configured.
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  nic.add_flow(traffic::make_rc_flow(1, 0, 1, DataRate::megabits_per_sec(100), 1024));
+  std::vector<std::int64_t> tx_end;
+  nic.set_tx_callback([&](const net::Packet&) { tx_end.push_back(sim.now().ns()); });
+  nic.start_traffic(TimePoint(0), 5_us);
+  (void)sim.run_until(TimePoint(0) + 100_us);
+  ASSERT_FALSE(tx_end.empty());
+  // First frame starts serializing at the margin; at 1 Gbps the wire
+  // time in ns equals the frame's wire bits.
+  EXPECT_EQ(tx_end.front(), 5'000 + net::wire_bits(1024).bits());
+}
+
+TEST(TsnNicTest, FrerReplicationSendsPrimaryFirst) {
+  // 802.1CB replicates at the talker: the primary member (original VID)
+  // must hit the wire before the secondary copy, every occurrence.
+  event::Simulator sim;
+  analysis::Analyzer an;
+  TsnNic nic(sim, 0, DataRate::gigabits_per_sec(1), an, 1);
+  const traffic::FlowSpec f = ts_flow(1, 0, 1, 1_ms);
+  nic.add_replicated_flow(f, 2000);
+  std::vector<std::pair<VlanId, std::uint64_t>> txs;
+  nic.set_tx_callback(
+      [&](const net::Packet& p) { txs.emplace_back(p.vlan.vid, p.meta.sequence); });
+  nic.start_traffic(TimePoint(0), 0_us);
+  (void)sim.run_until(TimePoint(0) + 2500_us);
+  ASSERT_EQ(txs.size(), 6u);  // 3 occurrences x 2 members
+  for (std::size_t k = 0; k < txs.size(); k += 2) {
+    EXPECT_EQ(txs[k].first, f.vid);          // primary serializes first
+    EXPECT_EQ(txs[k + 1].first, 2000);       // then the member copy
+    EXPECT_EQ(txs[k].second, txs[k + 1].second);  // same 802.1CB sequence
+  }
 }
 
 TEST(TsnNicTest, BeFlowApproximatesMeanRate) {

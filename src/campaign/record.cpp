@@ -85,6 +85,13 @@ const std::vector<CounterField>& counter_fields() {
       {"max_sync_error_ns", &RunMetrics::max_sync_error_ns},
       {"events_executed", &RunMetrics::events_executed},
       {"sim_end_ns", &RunMetrics::sim_end_ns},
+      {"fault_actions", &RunMetrics::fault_actions},
+      {"fault_frames_lost", &RunMetrics::fault_frames_lost},
+      {"frer_dup_escapes", &RunMetrics::frer_dup_escapes},
+      {"corruption_drops", &RunMetrics::corruption_drops},
+      {"reboot_drops", &RunMetrics::reboot_drops},
+      {"gm_handoffs", &RunMetrics::gm_handoffs},
+      {"handoff_excursion_ns", &RunMetrics::handoff_excursion_ns},
   };
   return kFields;
 }
@@ -100,6 +107,7 @@ const std::vector<ValueField>& value_fields() {
       {"ts_loss_pct", &RunMetrics::ts_loss_pct},
       {"rc_loss_pct", &RunMetrics::rc_loss_pct},
       {"be_loss_pct", &RunMetrics::be_loss_pct},
+      {"recovery_ms", &RunMetrics::recovery_ms},
       {"resource_kb", &RunMetrics::resource_kb},
   };
   return kFields;
@@ -119,6 +127,13 @@ RunMetrics metrics_from(const netsim::ScenarioResult& result, double resource_kb
   m.max_sync_error_ns = result.max_sync_error.ns();
   m.events_executed = static_cast<std::int64_t>(result.events_executed);
   m.sim_end_ns = result.sim_end.ns();
+  m.fault_actions = static_cast<std::int64_t>(result.fault_actions);
+  m.fault_frames_lost = static_cast<std::int64_t>(result.frames_lost_failover);
+  m.frer_dup_escapes = static_cast<std::int64_t>(result.frer_duplicate_escapes);
+  m.corruption_drops = static_cast<std::int64_t>(result.corruption_drops);
+  m.reboot_drops = static_cast<std::int64_t>(result.reboot_drops);
+  m.gm_handoffs = static_cast<std::int64_t>(result.gm_handoffs);
+  m.handoff_excursion_ns = result.post_handoff_sync_excursion.ns();
   m.ts_avg_us = result.ts.avg_latency_us();
   m.ts_jitter_us = result.ts.jitter_us();
   m.ts_min_us = result.ts.latency_us.min();
@@ -128,6 +143,7 @@ RunMetrics metrics_from(const netsim::ScenarioResult& result, double resource_kb
   m.ts_loss_pct = result.ts.loss_rate() * 100.0;
   m.rc_loss_pct = result.rc.loss_rate() * 100.0;
   m.be_loss_pct = result.be.loss_rate() * 100.0;
+  m.recovery_ms = result.worst_recovery.ms();
   m.resource_kb = resource_kb;
   return m;
 }

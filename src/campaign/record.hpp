@@ -39,6 +39,14 @@ struct RunMetrics {
   std::int64_t max_sync_error_ns = 0;
   std::int64_t events_executed = 0;
   std::int64_t sim_end_ns = 0;
+  // Fault plane / FRER resilience (zero in fault-free runs).
+  std::int64_t fault_actions = 0;
+  std::int64_t fault_frames_lost = 0;
+  std::int64_t frer_dup_escapes = 0;
+  std::int64_t corruption_drops = 0;
+  std::int64_t reboot_drops = 0;
+  std::int64_t gm_handoffs = 0;
+  std::int64_t handoff_excursion_ns = 0;
 
   // Values.
   double ts_avg_us = 0.0;
@@ -50,6 +58,9 @@ struct RunMetrics {
   double ts_loss_pct = 0.0;
   double rc_loss_pct = 0.0;
   double be_loss_pct = 0.0;
+  /// Worst fault-to-next-delivery gap over the TS flows (ms); 0 without
+  /// faults.
+  double recovery_ms = 0.0;
   double resource_kb = 0.0;
 };
 

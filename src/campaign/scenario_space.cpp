@@ -6,6 +6,7 @@
 #include "builder/planner.hpp"
 #include "builder/presets.hpp"
 #include "common/error.hpp"
+#include "fault/profiles.hpp"
 #include "topo/builders.hpp"
 #include "traffic/workload.hpp"
 
@@ -48,6 +49,8 @@ void apply_param(ScenarioDefaults& p, const std::string& name, const std::string
   else if (name == "bg-mbps") p.rc_mbps = p.be_mbps = to_int(name, value);
   else if (name == "config") p.config = value;
   else if (name == "itp") p.itp = to_switch(name, value);
+  else if (name == "frer") p.frer = to_switch(name, value);
+  else if (name == "faults") p.faults = value;
   else if (name == "duration-ms") p.duration_ms = to_int(name, value);
   else if (name == "warmup-ms") p.warmup_ms = to_int(name, value);
   else throw Error("unknown campaign axis '" + name + "'");
@@ -71,6 +74,9 @@ netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t s
   if (p.topology == "ring") {
     cfg.built = topo::make_ring(static_cast<std::size_t>(p.switches));
     preset_ports = 1;
+  } else if (p.topology == "ring2") {
+    cfg.built = topo::make_ring_bidirectional(static_cast<std::size_t>(p.switches));
+    preset_ports = 2;
   } else if (p.topology == "linear") {
     cfg.built = topo::make_linear(static_cast<std::size_t>(p.switches));
     preset_ports = 2;
@@ -78,7 +84,8 @@ netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t s
     cfg.built = topo::make_star(static_cast<std::size_t>(p.switches));
     preset_ports = 3;
   } else {
-    throw Error("campaign: unknown topology '" + p.topology + "' (ring|linear|star)");
+    throw Error("campaign: unknown topology '" + p.topology +
+                "' (ring|ring2|linear|star)");
   }
   require(p.hops >= 1 &&
               p.hops <= static_cast<std::int64_t>(cfg.built.switch_nodes.size()),
@@ -119,6 +126,14 @@ netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t s
     input.flows = cfg.flows;
     input.slot = slot;
     cfg.options.resource = builder::ParameterPlanner::plan(input).config;
+    if (p.frer) {
+      // The planner sizes the shared tables to the declared streams; FRER
+      // adds one secondary member stream per TS flow on top.
+      sw::SwitchResourceConfig& r = cfg.options.resource;
+      r.unicast_table_size += p.flows;
+      r.classification_table_size += p.flows;
+      r.meter_table_size += p.flows;
+    }
   } else {
     if (p.config == "case1") cfg.options.resource = builder::table1_case1();
     else if (p.config == "case2") cfg.options.resource = builder::table1_case2();
@@ -127,8 +142,9 @@ netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t s
     else throw Error("campaign: unknown config '" + p.config +
                      "' (planned|case1|case2|commercial|customized)");
     // Presets fix QoS resources (queues, buffers, gates); the shared
-    // tables must still fit the workload's streams.
-    const std::int64_t needed = p.flows + 16;
+    // tables must still fit the workload's streams (FRER doubles them:
+    // one member stream per path).
+    const std::int64_t needed = (p.frer ? 2 * p.flows : p.flows) + 16;
     sw::SwitchResourceConfig& r = cfg.options.resource;
     r.unicast_table_size = std::max(r.unicast_table_size, needed);
     r.classification_table_size = std::max(r.classification_table_size, needed);
@@ -138,8 +154,12 @@ netsim::ScenarioConfig scenario_for_point(const RunPoint& point, std::uint64_t s
   cfg.options.runtime.slot_size = slot;
   cfg.options.seed = seed;
   cfg.use_itp = p.itp;
+  cfg.use_frer = p.frer;
   cfg.warmup = milliseconds(p.warmup_ms);
   cfg.traffic_duration = milliseconds(p.duration_ms);
+  // Fault profiles are timed against the traffic window; "none" yields an
+  // empty plan, unknown names throw (recorded as a failed row).
+  cfg.faults = fault::profile_plan(p.faults, cfg.built.topology, cfg.traffic_duration);
   return cfg;
 }
 

@@ -3,7 +3,8 @@
 //
 // Recognized axes (unlisted axes throw tsn::Error, which the runner
 // records as a failed row):
-//   topology   ring | linear | star            (default linear)
+//   topology   ring | ring2 | linear | star    (default linear; ring2 =
+//              bidirectional ring, the FRER substrate)
 //   switches   switch count / star leaves      (default 3)
 //   flows      periodic TS flow count          (default 256)
 //   frame      TS frame bytes                  (default 64)
@@ -18,6 +19,12 @@
 //              (default planned — run the §III.C planner on the
 //              workload; presets auto-grow their shared tables to fit)
 //   itp        on | off                        (default on)
+//   frer       on | off                        (default off; replicate TS
+//              flows over a disjoint secondary path, 802.1CB elimination
+//              at the listener — needs a topology with redundant routes)
+//   faults     none | link-down | link-flap | reboot | gm-loss | corrupt
+//              | random                        (default none; named fault
+//              profile from tsn::fault, timed against the traffic window)
 //   duration-ms  measured traffic window       (default 100)
 //   warmup-ms    gPTP warm-up                  (default 150)
 //
@@ -45,6 +52,8 @@ struct ScenarioDefaults {
   std::int64_t be_mbps = 0;
   std::string config = "planned";
   bool itp = true;
+  bool frer = false;
+  std::string faults = "none";
   std::int64_t duration_ms = 100;
   std::int64_t warmup_ms = 150;
 };

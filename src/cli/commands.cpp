@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/string_util.hpp"
+#include "fault/profiles.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
 #include "netsim/trace.hpp"
@@ -374,8 +375,14 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("axes",
                     "scenario matrix: 'name=v1,v2;name2=...' (axes: topology, "
                     "switches, flows, frame, period-ms, slot-us, hops, rc-mbps, "
-                    "be-mbps, config, itp, duration-ms, warmup-ms)",
+                    "be-mbps, config, itp, frer, faults, duration-ms, warmup-ms)",
                     "");
+  parser.add_option("faults",
+                    "fault profiles to sweep; shorthand for a 'faults=...' axis "
+                    "(none|link-down|link-flap|reboot|gm-loss|corrupt|random)", "");
+  parser.add_flag("frer",
+                  "replicate TS flows over a disjoint secondary path "
+                  "(shorthand for the 'frer=on' axis; needs e.g. topology=ring2)");
   parser.add_option("jobs", "worker threads (0 = hardware concurrency)", "1");
   parser.add_option("repeats", "repeats per matrix point", "1");
   parser.add_option("seed", "campaign base seed", "7");
@@ -407,6 +414,21 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
     format = campaign::parse_sink_format(parser.get("format"));
     for (campaign::Axis& axis : campaign::parse_axes(axes_spec)) {
       matrix.add_axis(std::move(axis));
+    }
+    const std::string faults_spec = parser.get("faults");
+    if (!faults_spec.empty()) {
+      for (campaign::Axis& axis : campaign::parse_axes("faults=" + faults_spec)) {
+        for (const std::string& name : axis.values) {
+          usage_require(fault::is_profile(name),
+                        "--faults: unknown profile '" + name + "'");
+        }
+        matrix.add_axis(std::move(axis));
+      }
+    }
+    if (parser.get_bool("frer")) {
+      for (campaign::Axis& axis : campaign::parse_axes("frer=on")) {
+        matrix.add_axis(std::move(axis));
+      }
     }
   } catch (const Error& e) {
     throw UsageError(e.what());

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -94,5 +95,34 @@ class Rng {
 
   std::uint64_t state_[4]{};
 };
+
+/// Derives the seed of a named per-subsystem random stream from a base
+/// experiment seed. Streams ("traffic", "fault", "timesync", ...) are
+/// decorrelated from each other and from the base seed, so adding draws
+/// to one subsystem — e.g. turning fault injection on — cannot perturb
+/// another subsystem's sequence. `instance` separates per-entity streams
+/// within a subsystem (one per NIC, one per link, ...).
+[[nodiscard]] inline std::uint64_t stream_seed(std::uint64_t base,
+                                               std::string_view stream,
+                                               std::uint64_t instance = 0) {
+  // FNV-1a over the stream name: stable across platforms and standard
+  // libraries, unlike std::hash.
+  std::uint64_t name_hash = 0xCBF29CE484222325ULL;
+  for (const char c : stream) {
+    name_hash ^= static_cast<std::uint8_t>(c);
+    name_hash *= 0x100000001B3ULL;
+  }
+  // SplitMix64 finalizer decorrelates (base, stream, instance) triples.
+  std::uint64_t z = base ^ name_hash ^ (instance + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Convenience: an Rng seeded for the named stream.
+[[nodiscard]] inline Rng make_stream(std::uint64_t base, std::string_view stream,
+                                     std::uint64_t instance = 0) {
+  return Rng(stream_seed(base, stream, instance));
+}
 
 }  // namespace tsn

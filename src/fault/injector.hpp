@@ -1,0 +1,72 @@
+// FaultInjector — executes an expanded fault schedule through the
+// event kernel.
+//
+// The injector is deliberately dumb: expand() already lowered the plan
+// into atomic, time-sorted actions, so arming is one schedule_at() per
+// action and every application is a single virtual call on the
+// FaultSurface. netsim::Network implements FaultSurface; the interface
+// exists so tsn_fault never depends on tsn_netsim (netsim links fault,
+// not the other way around) and so unit tests can record applications
+// against a mock surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "event/simulator.hpp"
+#include "fault/plan.hpp"
+
+namespace tsn::telemetry {
+class MetricsRegistry;
+}  // namespace tsn::telemetry
+
+namespace tsn::fault {
+
+class RecoveryTracker;
+
+/// What a network must expose for faults to be injected into it.
+class FaultSurface {
+ public:
+  virtual ~FaultSurface() = default;
+
+  virtual void set_link_state(topo::LinkId link, bool up) = 0;
+  /// Per-bit error probability; 0 restores a clean link.
+  virtual void set_link_corruption(topo::LinkId link, double bit_error_rate) = 0;
+  /// A down switch silently drops every frame it would receive or send.
+  virtual void set_switch_state(topo::NodeId node, bool up) = 0;
+  /// Kills the serving gPTP grandmaster; slaves hold over on their last
+  /// discipline until rebuild_sync_tree() re-runs the BMCA.
+  virtual void fail_grandmaster() = 0;
+  virtual void rebuild_sync_tree() = 0;
+};
+
+class FaultInjector {
+ public:
+  /// `surface` must outlive the injector; `tracker` may be null (no
+  /// recovery bookkeeping, e.g. pure corruption studies).
+  FaultInjector(event::Simulator& sim, FaultSurface& surface,
+                RecoveryTracker* tracker);
+
+  /// Schedules every action of `schedule` at `base + action.at`.
+  /// `base` (traffic start) must not be in the simulator's past.
+  void arm(std::vector<FaultAction> schedule, TimePoint base);
+
+  [[nodiscard]] std::uint64_t actions_applied() const { return applied_; }
+  [[nodiscard]] const std::vector<FaultAction>& schedule() const { return schedule_; }
+
+  /// Exports "tsn.fault.*" series: actions armed/applied and a per-kind
+  /// breakdown.
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
+
+ private:
+  void apply(const FaultAction& action);
+
+  event::Simulator& sim_;
+  FaultSurface& surface_;
+  RecoveryTracker* tracker_;
+  std::vector<FaultAction> schedule_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace tsn::fault

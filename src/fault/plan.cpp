@@ -1,0 +1,214 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tsn::fault {
+namespace {
+
+void require_link(const topo::Topology& topology, topo::LinkId link,
+                  const char* what) {
+  require(link < topology.link_count(), std::string(what) + ": link id out of range");
+}
+
+void require_switch(const topo::Topology& topology, topo::NodeId node,
+                    const char* what) {
+  require(node < topology.node_count(),
+          std::string(what) + ": node id out of range");
+  require(topology.node(node).kind == topo::NodeKind::kSwitch,
+          std::string(what) + ": reboot target is not a switch");
+}
+
+void push(std::vector<FaultAction>& out, Duration at, ActionKind kind,
+          topo::LinkId link = 0, topo::NodeId node = topo::kInvalidNode,
+          double ber = 0.0) {
+  FaultAction action;
+  action.at = at;
+  action.kind = kind;
+  action.link = link;
+  action.node = node;
+  action.bit_error_rate = ber;
+  out.push_back(action);
+}
+
+void expand_event(const FaultEvent& event, const topo::Topology& topology,
+                  std::vector<FaultAction>& out) {
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+      require_link(topology, event.link, "fault: link-down");
+      push(out, event.at, ActionKind::kLinkDown, event.link);
+      if (event.down_for > Duration::zero()) {
+        push(out, event.at + event.down_for, ActionKind::kLinkUp, event.link);
+      }
+      break;
+    case FaultKind::kLinkFlap: {
+      require_link(topology, event.link, "fault: link-flap");
+      require(event.flaps > 0, "fault: link-flap needs at least one cycle");
+      require(event.down_for > Duration::zero(),
+              "fault: link-flap needs a positive down time");
+      require(event.up_for > Duration::zero(),
+              "fault: link-flap needs a positive up time");
+      Duration t = event.at;
+      for (std::uint32_t i = 0; i < event.flaps; ++i) {
+        push(out, t, ActionKind::kLinkDown, event.link);
+        push(out, t + event.down_for, ActionKind::kLinkUp, event.link);
+        t += event.down_for + event.up_for;
+      }
+      break;
+    }
+    case FaultKind::kSwitchReboot:
+      require_switch(topology, event.node, "fault: switch-reboot");
+      require(event.down_for > Duration::zero(),
+              "fault: switch-reboot needs a positive down time");
+      push(out, event.at, ActionKind::kSwitchDown, 0, event.node);
+      push(out, event.at + event.down_for, ActionKind::kSwitchUp, 0, event.node);
+      break;
+    case FaultKind::kGrandmasterLoss:
+      require(event.down_for > Duration::zero(),
+              "fault: grandmaster-loss needs a positive detection delay");
+      push(out, event.at, ActionKind::kGmLoss);
+      push(out, event.at + event.down_for, ActionKind::kGmRebuild);
+      break;
+    case FaultKind::kLinkCorruption:
+      require_link(topology, event.link, "fault: link-corruption");
+      require(event.bit_error_rate > 0.0 && event.bit_error_rate < 1.0,
+              "fault: bit error rate must be in (0, 1)");
+      require(event.down_for > Duration::zero(),
+              "fault: link-corruption needs a positive window");
+      push(out, event.at, ActionKind::kCorruptStart, event.link,
+           topo::kInvalidNode, event.bit_error_rate);
+      push(out, event.at + event.down_for, ActionKind::kCorruptStop, event.link);
+      break;
+  }
+}
+
+void expand_stochastic(const StochasticLinkFaults& spec,
+                       const topo::Topology& topology, std::uint64_t seed,
+                       std::vector<FaultAction>& out) {
+  if (spec.count == 0) return;
+  require(spec.window_end > spec.window_start,
+          "fault: stochastic window must have positive length");
+  require(spec.max_down >= spec.min_down && spec.min_down > Duration::zero(),
+          "fault: stochastic outage range is inverted or non-positive");
+  std::vector<topo::LinkId> pool = spec.candidate_links;
+  if (pool.empty()) pool = backbone_links(topology);
+  require(!pool.empty(), "fault: no candidate links for stochastic outages");
+  for (const topo::LinkId link : pool) {
+    require_link(topology, link, "fault: stochastic candidate");
+  }
+  // Dedicated stream: draws here can never perturb traffic (or any other
+  // subsystem) because no Rng is shared across streams.
+  Rng rng = make_stream(seed, "fault");
+  for (std::uint32_t i = 0; i < spec.count; ++i) {
+    const auto window = static_cast<std::uint64_t>(
+        (spec.window_end - spec.window_start).ns());
+    const Duration start =
+        spec.window_start + Duration(static_cast<std::int64_t>(rng.uniform(0, window - 1)));
+    const auto span = static_cast<std::uint64_t>((spec.max_down - spec.min_down).ns());
+    const Duration down =
+        spec.min_down + Duration(static_cast<std::int64_t>(span == 0 ? 0 : rng.uniform(0, span)));
+    const topo::LinkId link = pool[rng.index(pool.size())];
+    push(out, start, ActionKind::kLinkDown, link);
+    push(out, start + down, ActionKind::kLinkUp, link);
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kSwitchReboot: return "switch-reboot";
+    case FaultKind::kGrandmasterLoss: return "grandmaster-loss";
+    case FaultKind::kLinkCorruption: return "link-corruption";
+  }
+  return "unknown";
+}
+
+const char* action_kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kLinkDown: return "link-down";
+    case ActionKind::kLinkUp: return "link-up";
+    case ActionKind::kSwitchDown: return "switch-down";
+    case ActionKind::kSwitchUp: return "switch-up";
+    case ActionKind::kGmLoss: return "gm-loss";
+    case ActionKind::kGmRebuild: return "gm-rebuild";
+    case ActionKind::kCorruptStart: return "corrupt-start";
+    case ActionKind::kCorruptStop: return "corrupt-stop";
+  }
+  return "unknown";
+}
+
+std::vector<FaultAction> expand(const FaultPlan& plan,
+                                const topo::Topology& topology,
+                                std::uint64_t seed) {
+  std::vector<FaultAction> out;
+  for (const FaultEvent& event : plan.scheduled) {
+    require(event.at >= Duration::zero(), "fault: negative event offset");
+    expand_event(event, topology, out);
+  }
+  expand_stochastic(plan.stochastic, topology, seed, out);
+  // Total order: (time, kind, link, node). Down sorts before up at equal
+  // times because of enum order, which keeps e.g. a zero-gap flap cycle
+  // from cancelling itself out.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     if (a.link != b.link) return a.link < b.link;
+                     return a.node < b.node;
+                   });
+  return out;
+}
+
+std::string render_schedule(const std::vector<FaultAction>& schedule) {
+  std::string out;
+  char line[160];
+  for (const FaultAction& action : schedule) {
+    const std::int64_t ns = action.at.ns();
+    std::snprintf(line, sizeof(line), "+%" PRId64 ".%06" PRId64 "ms %s",
+                  ns / 1'000'000, ns % 1'000'000, action_kind_name(action.kind));
+    out += line;
+    switch (action.kind) {
+      case ActionKind::kLinkDown:
+      case ActionKind::kLinkUp:
+      case ActionKind::kCorruptStop:
+        std::snprintf(line, sizeof(line), " link[%u]", action.link);
+        out += line;
+        break;
+      case ActionKind::kCorruptStart:
+        std::snprintf(line, sizeof(line), " link[%u] ber=%.3g", action.link,
+                      action.bit_error_rate);
+        out += line;
+        break;
+      case ActionKind::kSwitchDown:
+      case ActionKind::kSwitchUp:
+        std::snprintf(line, sizeof(line), " switch[%u]", action.node);
+        out += line;
+        break;
+      case ActionKind::kGmLoss:
+      case ActionKind::kGmRebuild:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<topo::LinkId> backbone_links(const topo::Topology& topology) {
+  std::vector<topo::LinkId> out;
+  for (const topo::Link& link : topology.links()) {
+    if (topology.node(link.node_a).kind == topo::NodeKind::kSwitch &&
+        topology.node(link.node_b).kind == topo::NodeKind::kSwitch) {
+      out.push_back(link.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsn::fault

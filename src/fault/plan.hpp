@@ -1,0 +1,126 @@
+// tsn::fault — declarative, seeded fault plans.
+//
+// A FaultPlan describes WHAT goes wrong and WHEN, independent of any
+// simulator state: scheduled events (link-down at t=100ms for 20ms) and
+// stochastic specs (3 link-downs drawn uniformly inside a window from a
+// named RNG stream). expand() lowers a plan into a flat, time-sorted
+// list of atomic FaultActions — a pure function of (plan, topology,
+// seed), so the schedule a campaign worker executes is byte-identical
+// whether the campaign runs with 1 job or 16 (the same determinism
+// contract the event kernel gives traffic).
+//
+// Times in a plan are RELATIVE TO TRAFFIC START: warm-up length is a
+// runner concern, and anchoring faults to the traffic window keeps one
+// plan meaningful across scenario points with different warm-ups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::fault {
+
+/// Declarative event kinds (what the user writes down).
+enum class FaultKind : std::uint8_t {
+  kLinkDown,         // take a link down, optionally restore after down_for
+  kLinkFlap,         // `flaps` x (down_for down, up_for up) cycles
+  kSwitchReboot,     // switch silently drops everything for down_for
+  kGrandmasterLoss,  // kill the serving gPTP grandmaster; re-elect after down_for
+  kLinkCorruption,   // per-link bit-error frame corruption for down_for
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled entry of a FaultPlan.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  /// Offset from traffic start.
+  Duration at{};
+
+  /// Target link (kLinkDown / kLinkFlap / kLinkCorruption).
+  topo::LinkId link = 0;
+  /// Target switch node (kSwitchReboot).
+  topo::NodeId node = topo::kInvalidNode;
+
+  /// Outage / corruption-window length. Duration::zero() on kLinkDown
+  /// means "down for the rest of the run" (no restore is emitted).
+  Duration down_for{};
+  /// kLinkFlap only: up-time between consecutive downs and cycle count.
+  Duration up_for{};
+  std::uint32_t flaps = 1;
+
+  /// kLinkCorruption only: per-bit error probability; a frame is dropped
+  /// (FCS failure at the receiver) with 1 - (1-ber)^wire_bits.
+  double bit_error_rate = 0.0;
+};
+
+/// Stochastic-but-deterministic link outages: `count` down/restore pairs
+/// with start times drawn uniformly in [window_start, window_end) and
+/// outage lengths uniform in [min_down, max_down], targets drawn from
+/// `candidate_links` (or every switch-switch link when empty). All draws
+/// come from the "fault" RNG stream of the experiment seed.
+struct StochasticLinkFaults {
+  std::uint32_t count = 0;
+  Duration window_start{};
+  Duration window_end{};
+  Duration min_down = milliseconds(5);
+  Duration max_down = milliseconds(20);
+  std::vector<topo::LinkId> candidate_links;
+};
+
+/// The full declarative plan for one scenario run.
+struct FaultPlan {
+  std::vector<FaultEvent> scheduled;
+  StochasticLinkFaults stochastic;
+
+  [[nodiscard]] bool empty() const {
+    return scheduled.empty() && stochastic.count == 0;
+  }
+};
+
+/// Atomic actions expand() lowers a plan into — exactly what the
+/// injector executes, one simulator event each.
+enum class ActionKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kSwitchDown,
+  kSwitchUp,
+  kGmLoss,       // fail the serving grandmaster (slaves hold over)
+  kGmRebuild,    // re-run BMCA and rebuild the sync spanning tree
+  kCorruptStart, // enable bit-error corruption on a link
+  kCorruptStop,
+};
+
+[[nodiscard]] const char* action_kind_name(ActionKind kind);
+
+struct FaultAction {
+  Duration at{};  // relative to traffic start
+  ActionKind kind = ActionKind::kLinkDown;
+  topo::LinkId link = 0;
+  topo::NodeId node = topo::kInvalidNode;
+  double bit_error_rate = 0.0;
+};
+
+/// Lowers `plan` into a time-sorted action schedule. Pure: the result
+/// depends only on (plan, topology, seed) — stochastic draws use a
+/// dedicated Rng seeded from `seed`, never shared simulator state.
+/// Validates targets against `topology` (throws tsn::Error on a link id
+/// out of range, a reboot target that is not a switch-attached node, or
+/// an inverted stochastic window).
+[[nodiscard]] std::vector<FaultAction> expand(const FaultPlan& plan,
+                                              const topo::Topology& topology,
+                                              std::uint64_t seed);
+
+/// Byte-stable text rendering of an action schedule ("+100.000ms
+/// link-down link[3]" lines) — what determinism tests compare and
+/// `tsnb campaign` manifests embed.
+[[nodiscard]] std::string render_schedule(const std::vector<FaultAction>& schedule);
+
+/// Every switch-to-switch link in `topology`, ascending id — the default
+/// stochastic candidate set and the profile victim pool.
+[[nodiscard]] std::vector<topo::LinkId> backbone_links(const topo::Topology& topology);
+
+}  // namespace tsn::fault

@@ -1,0 +1,107 @@
+#include "fault/profiles.hpp"
+
+#include "common/error.hpp"
+
+namespace tsn::fault {
+namespace {
+
+Duration fraction(Duration window, int percent) {
+  return Duration(window.ns() * percent / 100);
+}
+
+topo::LinkId victim_link(const topo::Topology& topology, std::string_view name) {
+  const std::vector<topo::LinkId> pool = backbone_links(topology);
+  require(!pool.empty(), "fault profile '" + std::string(name) +
+                             "': topology has no switch-to-switch link");
+  return pool.front();
+}
+
+topo::NodeId victim_switch(const topo::Topology& topology, std::string_view name) {
+  const std::vector<topo::NodeId> switches = topology.switches();
+  require(!switches.empty(), "fault profile '" + std::string(name) +
+                                 "': topology has no switch");
+  return switches[switches.size() / 2];
+}
+
+}  // namespace
+
+const std::vector<std::string>& profile_names() {
+  static const std::vector<std::string> kNames = {
+      "none", "link-down", "link-flap", "reboot", "gm-loss", "corrupt", "random",
+  };
+  return kNames;
+}
+
+bool is_profile(std::string_view name) {
+  for (const std::string& known : profile_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+FaultPlan profile_plan(std::string_view name, const topo::Topology& topology,
+                       Duration traffic_window) {
+  require(traffic_window > Duration::zero(),
+          "fault profile: traffic window must be positive");
+  FaultPlan plan;
+  if (name == "none") return plan;
+  if (name == "link-down") {
+    FaultEvent event;
+    event.kind = FaultKind::kLinkDown;
+    event.link = victim_link(topology, name);
+    event.at = fraction(traffic_window, 30);
+    event.down_for = fraction(traffic_window, 30);
+    plan.scheduled.push_back(event);
+    return plan;
+  }
+  if (name == "link-flap") {
+    FaultEvent event;
+    event.kind = FaultKind::kLinkFlap;
+    event.link = victim_link(topology, name);
+    event.at = fraction(traffic_window, 30);
+    event.down_for = milliseconds(5);
+    event.up_for = milliseconds(5);
+    event.flaps = 3;
+    plan.scheduled.push_back(event);
+    return plan;
+  }
+  if (name == "reboot") {
+    FaultEvent event;
+    event.kind = FaultKind::kSwitchReboot;
+    event.node = victim_switch(topology, name);
+    event.at = fraction(traffic_window, 30);
+    event.down_for = milliseconds(20);
+    plan.scheduled.push_back(event);
+    return plan;
+  }
+  if (name == "gm-loss") {
+    FaultEvent event;
+    event.kind = FaultKind::kGrandmasterLoss;
+    event.at = fraction(traffic_window, 30);
+    event.down_for = milliseconds(20);  // BMCA detection + re-election delay
+    plan.scheduled.push_back(event);
+    return plan;
+  }
+  if (name == "corrupt") {
+    FaultEvent event;
+    event.kind = FaultKind::kLinkCorruption;
+    event.link = victim_link(topology, name);
+    event.at = fraction(traffic_window, 30);
+    event.down_for = fraction(traffic_window, 40);
+    event.bit_error_rate = 1e-6;
+    plan.scheduled.push_back(event);
+    return plan;
+  }
+  if (name == "random") {
+    plan.stochastic.count = 3;
+    plan.stochastic.window_start = fraction(traffic_window, 20);
+    plan.stochastic.window_end = fraction(traffic_window, 80);
+    plan.stochastic.min_down = milliseconds(5);
+    plan.stochastic.max_down = milliseconds(15);
+    return plan;
+  }
+  throw Error("fault profile: unknown profile '" + std::string(name) +
+              "' (known: none, link-down, link-flap, reboot, gm-loss, corrupt, random)");
+}
+
+}  // namespace tsn::fault

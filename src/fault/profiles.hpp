@@ -1,0 +1,43 @@
+// Named fault profiles — the vocabulary of the `faults` campaign axis.
+//
+// A profile is a recipe that, given the concrete topology and traffic
+// window of a scenario point, produces a FaultPlan. Timing is expressed
+// as fractions of the traffic window so one profile name means the same
+// thing across points with different durations:
+//
+//   none       empty plan (the control row of a resilience matrix)
+//   link-down  first backbone link down at 30% of the window, restored
+//              at 60% — the canonical FRER failover experiment
+//   link-flap  3 x (5 ms down, 5 ms up) on the first backbone link,
+//              starting at 30% — exercises repeated reroute/recovery
+//   reboot     middle switch silently dead for 20 ms at 30%
+//   gm-loss    serving grandmaster dies at 30%; BMCA re-elects after a
+//              20 ms detection delay — sync excursion study
+//   corrupt    bit-error rate 1e-6 on the first backbone link from 30%
+//              to 70% — FCS-drop loss without topology change
+//   random     3 seeded stochastic backbone outages (5-15 ms) drawn in
+//              [20%, 80%] of the window
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fault/plan.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::fault {
+
+/// Every known profile name, in the order documented above.
+[[nodiscard]] const std::vector<std::string>& profile_names();
+
+[[nodiscard]] bool is_profile(std::string_view name);
+
+/// Builds the plan for `name`. Throws tsn::Error for an unknown profile
+/// or a topology the profile cannot target (e.g. no backbone link).
+[[nodiscard]] FaultPlan profile_plan(std::string_view name,
+                                     const topo::Topology& topology,
+                                     Duration traffic_window);
+
+}  // namespace tsn::fault

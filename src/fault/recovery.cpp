@@ -1,0 +1,163 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tsn::fault {
+
+void RecoveryTracker::track_flow(net::FlowId flow, Duration period) {
+  require(!finalized_, "RecoveryTracker: track_flow after finalize");
+  FlowRecovery& record = flows_[flow];
+  record.period = period;
+}
+
+void RecoveryTracker::on_injection(net::FlowId flow, std::uint64_t sequence,
+                                   TimePoint at) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  FlowRecovery& record = it->second;
+  ++record.injected;
+  record.pending.emplace(sequence, at);
+}
+
+void RecoveryTracker::on_delivery(net::FlowId flow, std::uint64_t sequence,
+                                  TimePoint at) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  FlowRecovery& record = it->second;
+  if (record.pending.erase(sequence) == 0) {
+    // Already delivered once: a duplicate that slipped past elimination.
+    ++record.duplicates;
+    return;
+  }
+  ++record.delivered;
+  if (record.saw_delivery && at > record.last_delivery) {
+    record.max_gap = std::max(record.max_gap, at - record.last_delivery);
+  }
+  record.saw_delivery = true;
+  record.last_delivery = at;
+  if (!record.open_faults.empty()) {
+    // This delivery closes every fault interval still awaiting one.
+    for (const TimePoint fault_at : record.open_faults) {
+      if (at >= fault_at) {
+        record.worst_recovery = std::max(record.worst_recovery, at - fault_at);
+      }
+    }
+    record.open_faults.clear();
+  }
+}
+
+void RecoveryTracker::note_service_fault(TimePoint at) {
+  require(!finalized_, "RecoveryTracker: fault after finalize");
+  fault_times_.push_back(at);
+  for (auto& [id, record] : flows_) {
+    (void)id;
+    record.open_faults.push_back(at);
+  }
+}
+
+void RecoveryTracker::finalize(TimePoint end) {
+  if (finalized_) return;
+  finalized_ = true;
+  const TimePoint first_fault =
+      fault_times_.empty() ? TimePoint::max() : fault_times_.front();
+  for (auto& [id, record] : flows_) {
+    (void)id;
+    for (const TimePoint fault_at : record.open_faults) {
+      if (end >= fault_at) {
+        record.worst_recovery = std::max(record.worst_recovery, end - fault_at);
+      }
+    }
+    record.open_faults.clear();
+    for (const auto& [sequence, injected_at] : record.pending) {
+      (void)sequence;
+      if (injected_at >= first_fault) ++record.lost_in_failover;
+    }
+  }
+}
+
+std::vector<net::FlowId> RecoveryTracker::flow_ids() const {
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, record] : flows_) {
+    (void)record;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+const RecoveryTracker::FlowRecovery& RecoveryTracker::flow(net::FlowId id) const {
+  const auto it = flows_.find(id);
+  require(it != flows_.end(), "RecoveryTracker: unknown flow");
+  return it->second;
+}
+
+Duration RecoveryTracker::worst_recovery() const {
+  Duration worst{};
+  for (const auto& [id, record] : flows_) {
+    (void)id;
+    worst = std::max(worst, record.worst_recovery);
+  }
+  return worst;
+}
+
+std::uint64_t RecoveryTracker::total_lost_in_failover() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, record] : flows_) {
+    (void)id;
+    total += record.lost_in_failover;
+  }
+  return total;
+}
+
+std::uint64_t RecoveryTracker::total_duplicates() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, record] : flows_) {
+    (void)id;
+    total += record.duplicates;
+  }
+  return total;
+}
+
+void RecoveryTracker::collect_metrics(telemetry::MetricsRegistry& registry) const {
+  for (const auto& [id, record] : flows_) {
+    const telemetry::Labels labels{{"flow", std::to_string(id)}};
+    registry
+        .gauge("tsn.fault.recovery.worst_ms", labels,
+               "worst fault-to-next-delivery gap of the flow")
+        .set(record.worst_recovery.ms());
+    registry
+        .counter("tsn.fault.recovery.lost_in_failover", labels,
+                 "frames injected after the first fault that never arrived")
+        .add(record.lost_in_failover);
+    registry
+        .counter("tsn.fault.recovery.duplicates", labels,
+                 "deliveries that escaped FRER duplicate elimination")
+        .add(record.duplicates);
+    registry
+        .gauge("tsn.fault.recovery.max_gap_ms", labels,
+               "worst inter-delivery spacing of the flow")
+        .set(record.max_gap.ms());
+  }
+  registry
+      .counter("tsn.fault.service_faults", {},
+               "dataplane faults (link/switch outages) injected")
+      .add(fault_times_.size());
+  registry
+      .gauge("tsn.fault.worst_recovery_ms", {},
+             "worst recovery time over all tracked flows")
+      .set(worst_recovery().ms());
+  registry
+      .counter("tsn.fault.frames_lost_failover", {},
+               "frames lost in failover over all tracked flows")
+      .add(total_lost_in_failover());
+  registry
+      .counter("tsn.fault.duplicate_escapes", {},
+               "FRER duplicate-elimination escapes over all tracked flows")
+      .add(total_duplicates());
+}
+
+}  // namespace tsn::fault

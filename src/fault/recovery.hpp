@@ -1,0 +1,98 @@
+// Per-flow recovery instrumentation for fault campaigns.
+//
+// A RecoveryTracker observes every logical injection and every delivery
+// (post-FRER-elimination) of the flows it tracks, plus the instants at
+// which dataplane faults strike. From those it derives the metrics that
+// matter for resilience evaluation:
+//
+//   recovery time        for each fault, the gap until the flow's next
+//                        delivery — how long the listener was starved
+//   frames lost in failover
+//                        injections at/after the first fault that never
+//                        arrived (zero when a redundant path survived)
+//   duplicate deliveries FRER elimination escapes: the same (flow, seq)
+//                        delivered twice (zero means 802.1CB recovery
+//                        is doing its job)
+//   max delivery gap     worst inter-delivery spacing, fault or not
+//
+// The tracker is pure bookkeeping driven by simulator callbacks — it
+// performs no draws and schedules no events, so attaching it never
+// perturbs the simulation it measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace tsn::telemetry {
+class MetricsRegistry;
+}  // namespace tsn::telemetry
+
+namespace tsn::fault {
+
+class RecoveryTracker {
+ public:
+  struct FlowRecovery {
+    Duration period{};
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    /// Deliveries of a (flow, sequence) pair already delivered — FRER
+    /// duplicate-elimination escapes.
+    std::uint64_t duplicates = 0;
+    /// Injections at/after the first dataplane fault that never arrived.
+    /// Resolved by finalize().
+    std::uint64_t lost_in_failover = 0;
+    /// Worst starvation across faults: max over faults of (first
+    /// delivery after the fault - fault time). A fault the flow never
+    /// recovers from counts as (run end - fault time).
+    Duration worst_recovery{};
+    /// Worst spacing between consecutive deliveries.
+    Duration max_gap{};
+
+    // -- internal bookkeeping (public for the tracker's own use) --------
+    TimePoint last_delivery{};
+    bool saw_delivery = false;
+    std::map<std::uint64_t, TimePoint> pending;  // sequence -> injected at
+    std::vector<TimePoint> open_faults;          // faults awaiting a delivery
+  };
+
+  /// Registers a flow to observe. Hooks for untracked flows are ignored.
+  void track_flow(net::FlowId flow, Duration period);
+
+  /// Wire these into the NIC injection/delivery paths.
+  void on_injection(net::FlowId flow, std::uint64_t sequence, TimePoint at);
+  void on_delivery(net::FlowId flow, std::uint64_t sequence, TimePoint at);
+
+  /// Marks a dataplane service fault (link/switch down) at `at`. Every
+  /// tracked flow's next delivery closes the recovery interval.
+  void note_service_fault(TimePoint at);
+
+  /// Resolves still-open faults (never recovered: charged until `end`)
+  /// and counts frames lost in failover. Call once, after the drain.
+  void finalize(TimePoint end);
+
+  [[nodiscard]] bool tracking() const { return !flows_.empty(); }
+  [[nodiscard]] std::size_t fault_count() const { return fault_times_.size(); }
+  /// Ascending flow ids.
+  [[nodiscard]] std::vector<net::FlowId> flow_ids() const;
+  [[nodiscard]] const FlowRecovery& flow(net::FlowId id) const;
+
+  // -- aggregates over all tracked flows ---------------------------------
+  [[nodiscard]] Duration worst_recovery() const;
+  [[nodiscard]] std::uint64_t total_lost_in_failover() const;
+  [[nodiscard]] std::uint64_t total_duplicates() const;
+
+  /// Exports "tsn.fault.recovery.*" series: per-flow recovery time,
+  /// frames lost, duplicates, plus the aggregates.
+  void collect_metrics(telemetry::MetricsRegistry& registry) const;
+
+ private:
+  std::map<net::FlowId, FlowRecovery> flows_;
+  std::vector<TimePoint> fault_times_;
+  bool finalized_ = false;
+};
+
+}  // namespace tsn::fault

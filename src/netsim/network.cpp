@@ -1,6 +1,7 @@
 #include "netsim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <tuple>
@@ -8,12 +9,16 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/math_util.hpp"
+#include "fault/recovery.hpp"
 
 namespace tsn::netsim {
 
 Network::Network(event::Simulator& sim, const topo::Topology& topology,
                  NetworkOptions options)
-    : sim_(sim), topology_(&topology), options_(std::move(options)), rng_(options_.seed) {
+    : sim_(sim),
+      topology_(&topology),
+      options_(std::move(options)),
+      corrupt_rng_(stream_seed(options_.seed, "corruption")) {
   options_.resource.validate();
   options_.runtime.validate();
   build_devices();
@@ -29,9 +34,12 @@ void Network::build_devices() {
                                      sim_, node.name, options_.resource, options_.runtime,
                                      ports));
     } else {
-      nics_.emplace(node.id, std::make_unique<TsnNic>(sim_, node.id,
-                                                      options_.runtime.link_rate, analyzer_,
-                                                      options_.seed ^ (node.id * 0x9E37ULL)));
+      // Per-NIC "traffic" stream: fault/corruption draws live in their
+      // own streams, so traffic sequences are invariant under fault
+      // injection (and shard-safe for future campaign sharding).
+      nics_.emplace(node.id, std::make_unique<TsnNic>(
+                                 sim_, node.id, options_.runtime.link_rate, analyzer_,
+                                 stream_seed(options_.seed, "traffic", node.id)));
     }
   }
 }
@@ -41,6 +49,8 @@ void Network::build_links() {
     endpoints_[node.id].resize(node.port_count);
   }
   link_up_.assign(topology_->link_count(), true);
+  link_ber_.assign(topology_->link_count(), 0.0);
+  node_up_.assign(topology_->node_count(), true);
   for (const topo::Link& link : topology_->links()) {
     endpoints_[link.node_a][link.port_a] =
         Endpoint{link.node_b, link.port_b, link.propagation, link.id};
@@ -67,15 +77,31 @@ void Network::deliver(topo::NodeId from, std::uint8_t port, const net::Packet& p
   require(it != endpoints_.end() && port < it->second.size(), "deliver: unknown endpoint");
   const Endpoint& ep = it->second[port];
   if (ep.peer == topo::kInvalidNode) return;  // unconnected port
-  const bool up = link_up_[ep.link];
+  // A frame makes it onto the wire only when the link is up and neither
+  // end is mid-reboot (a dead switch neither transmits nor receives).
+  const bool up = link_up_[ep.link] && node_up_[from] && node_up_[ep.peer];
   if (trace_ != nullptr) {
     trace_->record(TraceEntry{sim_.now(), from, port, ep.peer, packet.meta.flow_id,
                               packet.meta.sequence,
                               static_cast<std::int32_t>(packet.frame_bytes()), !up});
   }
   if (!up) {
-    ++link_drops_;  // failure injection: transmission onto a dead link
+    if (link_up_[ep.link]) {
+      ++reboot_drops_;  // failure injection: endpoint switch is down
+    } else {
+      ++link_drops_;  // failure injection: transmission onto a dead link
+    }
     return;
+  }
+  if (link_ber_[ep.link] > 0.0) {
+    // Bit-error corruption: an independent error per wire bit corrupts
+    // the frame with 1 - (1-ber)^bits; the receiver drops it on FCS.
+    const double clean = std::pow(1.0 - link_ber_[ep.link],
+                                  static_cast<double>(packet.wire_bits().bits()));
+    if (corrupt_rng_.bernoulli(1.0 - clean)) {
+      ++corruption_drops_;
+      return;
+    }
   }
   sim_.schedule_in(ep.propagation, [this, ep, packet] {
     if (const auto sw_it = switches_.find(ep.peer); sw_it != switches_.end()) {
@@ -89,18 +115,32 @@ void Network::deliver(topo::NodeId from, std::uint8_t port, const net::Packet& p
 }
 
 void Network::build_gptp() {
-  gptp_ = std::make_unique<timesync::GptpDomain>(sim_, options_.seed ^ 0xC1CADAULL);
+  gptp_ = std::make_unique<timesync::GptpDomain>(sim_, stream_seed(options_.seed, "timesync"));
 
   // One gPTP node per device; the first switch is the grandmaster.
   const std::vector<topo::NodeId> switch_nodes = topology_->switches();
   require(!switch_nodes.empty(), "build_gptp: topology has no switches");
 
-  auto drift = [this]() {
-    return rng_.uniform_real(-options_.max_drift_ppm, options_.max_drift_ppm);
+  // Oscillator errors come from their own "drift" stream: adding devices
+  // or reordering construction elsewhere cannot change a node's drift.
+  Rng drift_rng = make_stream(options_.seed, "drift");
+  auto drift = [this, &drift_rng]() {
+    return drift_rng.uniform_real(-options_.max_drift_ppm, options_.max_drift_ppm);
   };
   for (const topo::Node& node : topology_->nodes()) {
     timesync::GptpNode& gn = gptp_->add_node(node.name, drift());
     gptp_index_.emplace(node.id, gn.index());
+    // Announce qualities ranked for a deterministic BMCA: the designated
+    // grandmaster first, remaining switches as backups, end stations
+    // last; identity (= node index) breaks ties.
+    timesync::ClockQuality quality;
+    quality.identity = gn.index();
+    if (node.id == switch_nodes.front()) {
+      quality.priority1 = 64;
+    } else if (node.kind == topo::NodeKind::kSwitch) {
+      quality.priority1 = 100;
+    }
+    gn.set_quality(quality);
   }
 
   // Spanning tree by BFS from the grandmaster over the physical links
@@ -213,7 +253,8 @@ std::int64_t Network::provision_route(const traffic::FlowSpec& flow,
   return failures;
 }
 
-std::int64_t Network::provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid) {
+std::int64_t Network::provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid,
+                                     std::size_t history_length) {
   flow.validate();
   require(flow.type == net::TrafficClass::kTimeSensitive,
           "provision_frer: replication is for TS streams");
@@ -239,13 +280,67 @@ std::int64_t Network::provision_frer(const traffic::FlowSpec& flow, VlanId secon
   failures += provision_route(member, *secondary);
 
   nic_at(flow.src_host).add_replicated_flow(flow, secondary_vid);
-  nic_at(flow.dst_host).enable_frer_elimination(flow.id);
+  nic_at(flow.dst_host).enable_frer_elimination(flow.id, history_length);
   return failures;
 }
 
 void Network::set_link_state(topo::LinkId link, bool up) {
   require(link < link_up_.size(), "set_link_state: unknown link");
   link_up_[link] = up;
+}
+
+void Network::set_link_corruption(topo::LinkId link, double bit_error_rate) {
+  require(link < link_ber_.size(), "set_link_corruption: unknown link");
+  require(bit_error_rate >= 0.0 && bit_error_rate < 1.0,
+          "set_link_corruption: bit error rate must be in [0, 1)");
+  link_ber_[link] = bit_error_rate;
+}
+
+void Network::set_switch_state(topo::NodeId node, bool up) {
+  require(node < node_up_.size(), "set_switch_state: unknown node");
+  require(switches_.find(node) != switches_.end(),
+          "set_switch_state: node is not a switch");
+  node_up_[node] = up;
+}
+
+void Network::fail_grandmaster() {
+  require(gptp_ && options_.enable_gptp,
+          "fail_grandmaster: time synchronization is not running");
+  gptp_->fail_node(gptp_->grandmaster().index());
+}
+
+void Network::rebuild_sync_tree() {
+  require(gptp_ && options_.enable_gptp,
+          "rebuild_sync_tree: time synchronization is not running");
+  // BMCA over the physical topology: undirected edges (link direction
+  // restricts forwarding, not PTP), alive nodes only.
+  std::vector<timesync::GptpDomain::Edge> edges;
+  edges.reserve(topology_->link_count());
+  for (const topo::Link& link : topology_->links()) {
+    timesync::GptpDomain::Edge edge;
+    edge.a = gptp_index_.at(link.node_a);
+    edge.b = gptp_index_.at(link.node_b);
+    edge.delay = link.propagation;
+    edges.push_back(edge);
+  }
+  (void)gptp_->elect_and_build_tree(edges);
+  gptp_->start(options_.gptp);
+  ++gm_handoffs_;
+  if (first_handoff_at_ == TimePoint::max()) first_handoff_at_ = sim_.now();
+}
+
+void Network::attach_recovery_tracker(fault::RecoveryTracker& tracker) {
+  for (auto& [node, nic_ptr] : nics_) {
+    (void)node;
+    nic_ptr->set_injection_hook(
+        [&tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
+          tracker.on_injection(flow, sequence, at);
+        });
+    nic_ptr->set_delivery_hook(
+        [&tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
+          tracker.on_delivery(flow, sequence, at);
+        });
+  }
 }
 
 void Network::start_network() {
@@ -263,6 +358,13 @@ void Network::start_network() {
         sim_, sim_.now() + options_.gptp.sync_interval * 12, milliseconds(10), [this] {
           const Duration e = gptp_->max_abs_sync_error();
           if (e > worst_sync_error_) worst_sync_error_ = e;
+          // After a grandmaster handoff the same probe also charges the
+          // holdover + re-convergence excursion to its own high-water
+          // mark, so campaigns can report it separately from the
+          // steady-state figure.
+          if (sim_.now() >= first_handoff_at_ && e > post_handoff_excursion_) {
+            post_handoff_excursion_ = e;
+          }
         });
   }
   for (auto& [node, sw_ptr] : switches_) sw_ptr->start();
@@ -360,6 +462,22 @@ void Network::collect_metrics(telemetry::MetricsRegistry& registry) const {
       .counter("tsn.network.link_drops", {},
                "frames blackholed by failure-injected links")
       .add(link_drops_);
+  registry
+      .counter("tsn.network.corruption_drops", {},
+               "frames dropped for FCS failure on bit-error-injected links")
+      .add(corruption_drops_);
+  registry
+      .counter("tsn.network.reboot_drops", {},
+               "frames dropped at switches that were mid-reboot")
+      .add(reboot_drops_);
+  registry
+      .counter("tsn.network.gm_handoffs", {},
+               "grandmaster handoffs (BMCA re-elections) performed")
+      .add(gm_handoffs_);
+  registry
+      .gauge("tsn.network.post_handoff_sync_excursion_ns", {},
+             "worst |sync error| at/after the first grandmaster handoff")
+      .set(static_cast<double>(post_handoff_excursion_.ns()));
   registry
       .gauge("tsn.network.peak_ts_queue_occupancy", {},
              "peak occupancy over all CQF (TS) queues")

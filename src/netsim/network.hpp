@@ -11,12 +11,17 @@
 
 #include "analysis/analyzer.hpp"
 #include "event/simulator.hpp"
+#include "fault/injector.hpp"
 #include "netsim/nic.hpp"
 #include "netsim/trace.hpp"
 #include "switch/tsn_switch.hpp"
 #include "timesync/gptp.hpp"
 #include "topo/topology.hpp"
 #include "traffic/flow.hpp"
+
+namespace tsn::fault {
+class RecoveryTracker;
+}  // namespace tsn::fault
 
 namespace tsn::netsim {
 
@@ -39,7 +44,7 @@ struct NetworkOptions {
   std::uint64_t seed = 7;
 };
 
-class Network {
+class Network : public fault::FaultSurface {
  public:
   Network(event::Simulator& sim, const topo::Topology& topology, NetworkOptions options);
 
@@ -54,13 +59,46 @@ class Network {
   /// `secondary_vid`, registers replication at the talker NIC and
   /// sequence recovery at the listener NIC. Throws when no link-disjoint
   /// secondary path exists. Returns provisioning failures.
-  std::int64_t provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid);
+  std::int64_t provision_frer(const traffic::FlowSpec& flow, VlanId secondary_vid,
+                              std::size_t history_length = 64);
 
+  // --- fault::FaultSurface ---------------------------------------------
   /// Failure injection: takes a link administratively down (or back up).
   /// Frames already in flight still arrive; frames transmitted onto a
   /// down link are blackholed and counted in link_drops().
-  void set_link_state(topo::LinkId link, bool up);
+  void set_link_state(topo::LinkId link, bool up) override;
   [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
+
+  /// Per-bit error probability on `link`: each frame is corrupted (and
+  /// dropped at the receiver with a bad FCS, counted in
+  /// corruption_drops()) with probability 1 - (1-ber)^wire_bits. Draws
+  /// come from the network's dedicated "corruption" RNG stream, so
+  /// enabling corruption cannot perturb traffic or drift draws. 0 clears.
+  void set_link_corruption(topo::LinkId link, double bit_error_rate) override;
+  [[nodiscard]] std::uint64_t corruption_drops() const { return corruption_drops_; }
+
+  /// Switch reboot model: while a switch is down it silently drops every
+  /// frame it would transmit or receive (counted in reboot_drops()).
+  /// Queue contents survive — this models a dataplane stall, not a cold
+  /// boot — and gPTP message exchange is not interrupted.
+  void set_switch_state(topo::NodeId node, bool up) override;
+  [[nodiscard]] std::uint64_t reboot_drops() const { return reboot_drops_; }
+
+  /// Kills the serving gPTP grandmaster (requires enable_gptp). Slaves
+  /// free-run in holdover until rebuild_sync_tree() re-runs the BMCA over
+  /// the physical topology and restarts the message machinery.
+  void fail_grandmaster() override;
+  void rebuild_sync_tree() override;
+  [[nodiscard]] std::uint64_t gm_handoffs() const { return gm_handoffs_; }
+  /// Worst |sync error| the 10 ms probe observed at/after the first
+  /// grandmaster handoff — the holdover + re-convergence excursion.
+  [[nodiscard]] Duration post_handoff_sync_excursion() const {
+    return post_handoff_excursion_;
+  }
+
+  /// Wires `tracker` (which must outlive the network) into every NIC's
+  /// injection/delivery hooks for per-flow recovery metrics.
+  void attach_recovery_tracker(fault::RecoveryTracker& tracker);
 
   /// Attaches a link trace (the simulator's port mirror). `trace` must
   /// outlive the network; pass nullptr to detach.
@@ -131,7 +169,9 @@ class Network {
   event::Simulator& sim_;
   const topo::Topology* topology_;
   NetworkOptions options_;
-  Rng rng_;
+  /// Dedicated stream for corruption draws — per-frame Bernoulli trials
+  /// must not advance any stream another subsystem reads.
+  Rng corrupt_rng_;
 
   analysis::Analyzer analyzer_;
   // Ordered maps: every traversal (device start, traffic start/stop,
@@ -144,13 +184,20 @@ class Network {
   std::map<topo::NodeId, std::vector<Endpoint>> endpoints_;
 
   std::vector<bool> link_up_;
+  std::vector<double> link_ber_;
+  std::vector<bool> node_up_;
   std::uint64_t link_drops_ = 0;
+  std::uint64_t corruption_drops_ = 0;
+  std::uint64_t reboot_drops_ = 0;
   TraceRecorder* trace_ = nullptr;
 
   std::unique_ptr<timesync::GptpDomain> gptp_;
   std::map<topo::NodeId, std::size_t> gptp_index_;
   std::unique_ptr<event::PeriodicTask> sync_probe_;
   Duration worst_sync_error_{};
+  std::uint64_t gm_handoffs_ = 0;
+  TimePoint first_handoff_at_ = TimePoint::max();
+  Duration post_handoff_excursion_{};
 
   bool network_started_ = false;
 };

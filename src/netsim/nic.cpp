@@ -114,6 +114,7 @@ void TsnNic::inject(std::size_t flow_index) {
   p.meta = f.meta_for(sequence_[flow_index]++, sim_.now());
   analyzer_->record_injection(f.id, f.type);
   ++injected_;
+  if (injection_hook_) injection_hook_(f.id, p.meta.sequence, sim_.now());
   if (secondary_vid_[flow_index]) {
     // FRER replication: the member copy differs only in its VID (the
     // stream identification the disjoint route is provisioned under).
@@ -155,6 +156,7 @@ void TsnNic::receive(const net::Packet& packet) {
   }
   ++received_;
   analyzer_->record_delivery(packet, sim_.now());
+  if (delivery_hook_) delivery_hook_(packet.meta.flow_id, packet.meta.sequence, sim_.now());
 }
 
 }  // namespace tsn::netsim

@@ -44,6 +44,15 @@ class TsnNic {
 
   void set_tx_callback(TxCallback cb) { tx_cb_ = std::move(cb); }
 
+  /// Fault-plane instrumentation (fault::RecoveryTracker): the injection
+  /// hook fires once per *logical* injection (FRER replicas share one),
+  /// the delivery hook once per frame that reaches the analyzer — i.e.
+  /// after duplicate elimination. Pure observers: attaching them must not
+  /// change simulation behavior.
+  using FlowEventHook = event::Function<void(net::FlowId, std::uint64_t, TimePoint)>;
+  void set_injection_hook(FlowEventHook hook) { injection_hook_ = std::move(hook); }
+  void set_delivery_hook(FlowEventHook hook) { delivery_hook_ = std::move(hook); }
+
   /// Uses a gPTP-disciplined clock for injection timing (must outlive the
   /// NIC). Without one, injections run on true simulation time.
   void use_clock(const timesync::LocalClock& clock) { clock_ = &clock; }
@@ -101,6 +110,8 @@ class TsnNic {
 
   const timesync::LocalClock* clock_ = nullptr;
   TxCallback tx_cb_;
+  FlowEventHook injection_hook_;
+  FlowEventHook delivery_hook_;
 
   std::vector<traffic::FlowSpec> flows_;
   std::vector<std::optional<VlanId>> secondary_vid_;

@@ -4,7 +4,10 @@
 #include <utility>
 
 #include "analysis/histogram.hpp"
+#include "common/error.hpp"
 #include "event/simulator.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
 #include "netsim/timeline_export.hpp"
 
 namespace tsn::netsim {
@@ -23,8 +26,50 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   if (qbv) config.options.runtime.enable_cqf = false;
 
   Network network(sim, config.built.topology, config.options);
-  result.provisioning_failures =
-      static_cast<std::uint64_t>(network.provision(config.flows));
+  if (config.use_frer) {
+    // TS flows ride two link-disjoint member paths; RC/BE provision as
+    // usual (redundancy is a TS-stream feature in 802.1CB terms).
+    std::int64_t failures = 0;
+    std::vector<traffic::FlowSpec> unprotected;
+    for (const traffic::FlowSpec& flow : config.flows) {
+      if (flow.type != net::TrafficClass::kTimeSensitive) {
+        unprotected.push_back(flow);
+        continue;
+      }
+      const std::uint32_t vid =
+          static_cast<std::uint32_t>(config.frer_secondary_base_vid) + flow.id;
+      require(vid <= kMaxVlanId - 1,
+              "run_scenario: FRER secondary VID range exhausted");
+      failures += network.provision_frer(flow, static_cast<VlanId>(vid),
+                                         config.frer_history_length);
+    }
+    failures += network.provision(unprotected);
+    result.provisioning_failures = static_cast<std::uint64_t>(failures);
+  } else {
+    result.provisioning_failures =
+        static_cast<std::uint64_t>(network.provision(config.flows));
+  }
+
+  // Fault plane: per-flow recovery bookkeeping plus the expanded,
+  // seed-deterministic action schedule (armed once traffic start is
+  // known, below).
+  fault::RecoveryTracker recovery;
+  const bool fault_plane = config.use_frer || !config.faults.empty();
+  if (fault_plane) {
+    for (const traffic::FlowSpec& flow : config.flows) {
+      if (flow.type == net::TrafficClass::kTimeSensitive) {
+        recovery.track_flow(flow.id, flow.period);
+      }
+    }
+    network.attach_recovery_tracker(recovery);
+  }
+  fault::FaultInjector injector(sim, network, fault_plane ? &recovery : nullptr);
+  std::vector<fault::FaultAction> fault_schedule;
+  if (!config.faults.empty()) {
+    fault_schedule =
+        fault::expand(config.faults, config.built.topology, config.options.seed);
+    result.fault_schedule = fault::render_schedule(fault_schedule);
+  }
 
   // Observability: attach the port mirror (caller's, or an internal one
   // when only the timeline needs hop records) and sample TS queue depths
@@ -81,11 +126,13 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   // network time; the margin keeps injections inside their planned slot.
   const TimePoint traffic_start = TimePoint(0) + config.warmup + milliseconds(1);
   network.start_traffic(traffic_start, config.injection_margin, grid);
+  if (!fault_schedule.empty()) injector.arm(std::move(fault_schedule), traffic_start);
 
   sim.run_until(traffic_start + milliseconds(1) + config.traffic_duration);
   network.stop_traffic();
   sim.run_until(sim.now() + config.drain);
   if (queue_sampler) queue_sampler->stop();
+  recovery.finalize(sim.now());
   result.events_executed = sim.events_executed();
   result.sim_end = sim.now();
 
@@ -93,6 +140,10 @@ ScenarioResult run_scenario(ScenarioConfig config) {
     network.collect_metrics(*config.observe.metrics);
     result.plan.collect_metrics(*config.observe.metrics);
     sim.collect_metrics(*config.observe.metrics);
+    if (fault_plane) {
+      injector.collect_metrics(*config.observe.metrics);
+      recovery.collect_metrics(*config.observe.metrics);
+    }
   }
   if (config.observe.timeline != nullptr && trace != nullptr) {
     export_flow_hops(*trace, config.built.topology, config.options.runtime.link_rate,
@@ -111,6 +162,15 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   result.peak_ts_queue = network.peak_ts_queue_occupancy();
   result.peak_buffer_in_use = network.peak_buffer_in_use();
   result.max_sync_error = network.max_sync_error();
+  result.fault_actions = injector.actions_applied();
+  result.link_down_drops = network.link_drops();
+  result.corruption_drops = network.corruption_drops();
+  result.reboot_drops = network.reboot_drops();
+  result.gm_handoffs = network.gm_handoffs();
+  result.post_handoff_sync_excursion = network.post_handoff_sync_excursion();
+  result.frer_duplicate_escapes = recovery.total_duplicates();
+  result.frames_lost_failover = recovery.total_lost_in_failover();
+  result.worst_recovery = recovery.worst_recovery();
   if (config.export_flow_csv) result.flow_csv = network.analyzer().to_csv();
 
   std::vector<double> ts_samples =

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "fault/plan.hpp"
 #include "netsim/network.hpp"
 #include "netsim/trace.hpp"
 #include "sched/itp.hpp"
@@ -60,6 +61,22 @@ struct ScenarioConfig {
   enum class GateMode { kCqf, kQbv };
   GateMode gate_mode = GateMode::kCqf;
 
+  /// FRER (802.1CB): provision every TS flow over two link-disjoint
+  /// paths — the primary under flow.vid, the secondary under
+  /// frer_secondary_base_vid + flow.id — with talker replication and
+  /// listener duplicate elimination. Requires a topology with disjoint
+  /// paths (e.g. the bidirectional ring builder).
+  bool use_frer = false;
+  VlanId frer_secondary_base_vid = 2000;
+  /// Listener sequence-recovery history window (frames).
+  std::size_t frer_history_length = 64;
+
+  /// Fault plan, times relative to traffic start. Expanded with the
+  /// "fault" RNG stream of options.seed (a pure function of plan +
+  /// topology + seed) and driven through the simulator, so fault
+  /// schedules are byte-identical across campaign worker counts.
+  fault::FaultPlan faults;
+
   /// Also export the per-flow analyzer results as CSV into
   /// ScenarioResult::flow_csv (off by default; large for big flow sets).
   bool export_flow_csv = false;
@@ -90,6 +107,25 @@ struct ScenarioResult {
   sched::ItpPlan plan;
   /// Entries of the largest synthesized Qbv gate program (0 under CQF).
   std::int64_t qbv_gate_entries = 0;
+
+  // --- fault plane (all zero without faults/FRER) -----------------------
+  /// Atomic fault actions applied during the run.
+  std::uint64_t fault_actions = 0;
+  std::uint64_t link_down_drops = 0;
+  std::uint64_t corruption_drops = 0;
+  std::uint64_t reboot_drops = 0;
+  std::uint64_t gm_handoffs = 0;
+  /// Worst |sync error| at/after the first grandmaster handoff.
+  Duration post_handoff_sync_excursion{};
+  /// Deliveries that escaped FRER duplicate elimination (0 = correct).
+  std::uint64_t frer_duplicate_escapes = 0;
+  /// TS frames injected after the first dataplane fault that never
+  /// arrived (0 when a redundant path survived every fault).
+  std::uint64_t frames_lost_failover = 0;
+  /// Worst fault-to-next-delivery gap over the tracked TS flows.
+  Duration worst_recovery{};
+  /// Byte-stable text form of the expanded fault schedule.
+  std::string fault_schedule;
 
   /// ASCII histogram of per-packet TS latency (20 bins over the observed
   /// range), for quick distribution inspection in bench/example output.

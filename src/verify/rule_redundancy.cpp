@@ -1,0 +1,161 @@
+// frer.* — FRER (802.1CB) member-stream configuration rules: talker and
+// listener consistency, link-disjoint secondary paths, and sequence-
+// recovery window sanity. Run whenever VerifyInput::frer_streams is
+// non-empty (the campaign fail-fast populates it from use_frer).
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+std::string stream_subject(net::FlowId flow) {
+  return "flow[" + std::to_string(flow) + "].frer";
+}
+
+/// Switch-to-switch links of a route — what the secondary member must
+/// avoid (host attachment links are shared by construction).
+std::vector<topo::LinkId> backbone_of(const topo::Topology& topology,
+                                      const std::vector<topo::Hop>& hops) {
+  std::vector<topo::LinkId> used;
+  for (const topo::Hop& hop : hops) {
+    const topo::Link& link = topology.link(hop.link);
+    if (topology.node(link.node_a).kind == topo::NodeKind::kSwitch &&
+        topology.node(link.node_b).kind == topo::NodeKind::kSwitch) {
+      used.push_back(hop.link);
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+void check_redundancy(const VerifyInput& input, Report& report) {
+  if (input.frer_streams.empty()) return;
+
+  // Index the flow set once; VID collision checks scan all flows.
+  std::map<net::FlowId, const traffic::FlowSpec*> by_id;
+  for (const traffic::FlowSpec& flow : input.flows) by_id.emplace(flow.id, &flow);
+
+  std::map<net::FlowId, std::size_t> stream_count;
+  std::map<VlanId, net::FlowId> secondary_owner;
+  for (const VerifyInput::FrerStream& stream : input.frer_streams) {
+    stream_count[stream.flow] += 1;
+  }
+
+  for (const VerifyInput::FrerStream& stream : input.frer_streams) {
+    const std::string subject = stream_subject(stream.flow);
+
+    const auto flow_it = by_id.find(stream.flow);
+    if (flow_it == by_id.end()) {
+      report.add("frer.member-flow", Severity::kError, subject,
+                 "redundancy configured for a flow id that is not in the flow set");
+      continue;
+    }
+    const traffic::FlowSpec& flow = *flow_it->second;
+    if (stream_count.at(stream.flow) > 1) {
+      report.add("frer.member-flow", Severity::kError, subject,
+                 "flow has more than one FRER stream entry — talker "
+                 "replication state would be ambiguous");
+    }
+    if (flow.type != net::TrafficClass::kTimeSensitive) {
+      report.add("frer.member-flow", Severity::kError, subject,
+                 "802.1CB replication is configured for a non-TS flow; only "
+                 "time-sensitive streams are replicated");
+    }
+
+    // Talker/listener config consistency: the secondary member must be a
+    // valid VID, distinct from the primary, and unique network-wide —
+    // classification tables key on (MACs, VID, priority), so a reused
+    // VID would merge member streams.
+    bool vid_ok = true;
+    if (stream.secondary_vid < 1 || stream.secondary_vid > kMaxVlanId - 1) {
+      report.add("frer.config", Severity::kError, subject,
+                 "secondary VID " + std::to_string(stream.secondary_vid) +
+                     " is outside the valid VLAN range [1, 4094]");
+      vid_ok = false;
+    }
+    if (vid_ok && stream.secondary_vid == flow.vid) {
+      report.add("frer.config", Severity::kError, subject,
+                 "secondary VID equals the primary VID — both members would "
+                 "follow the same forwarding entries");
+      vid_ok = false;
+    }
+    if (vid_ok) {
+      for (const traffic::FlowSpec& other : input.flows) {
+        if (other.vid == stream.secondary_vid) {
+          report.add("frer.config", Severity::kError, subject,
+                     "secondary VID " + std::to_string(stream.secondary_vid) +
+                         " collides with the primary VID of flow " +
+                         std::to_string(other.id));
+          vid_ok = false;
+          break;
+        }
+      }
+    }
+    if (vid_ok) {
+      const auto [owner, inserted] =
+          secondary_owner.emplace(stream.secondary_vid, stream.flow);
+      if (!inserted) {
+        report.add("frer.config", Severity::kError, subject,
+                   "secondary VID " + std::to_string(stream.secondary_vid) +
+                       " is already the secondary of flow " +
+                       std::to_string(owner->second));
+      }
+    }
+    if (stream.history_length < 1) {
+      report.add("frer.config", Severity::kError, subject,
+                 "sequence-recovery history window must hold at least one entry");
+    }
+
+    // Disjoint-path check mirrors Network::provision_frer exactly: the
+    // secondary must avoid every switch-to-switch link of the primary.
+    if (input.topology == nullptr) continue;
+    const topo::Topology& topology = *input.topology;
+    if (flow.src_host >= topology.node_count() ||
+        flow.dst_host >= topology.node_count()) {
+      continue;  // topo.endpoint already reported
+    }
+    const auto primary = topology.route(flow.src_host, flow.dst_host);
+    if (!primary.has_value()) continue;  // topo.no-route already reported
+    const std::vector<topo::LinkId> used = backbone_of(topology, *primary);
+    const auto secondary =
+        topology.route_avoiding(flow.src_host, flow.dst_host, used);
+    if (!secondary.has_value()) {
+      report.add("frer.disjoint-path", Severity::kError, subject,
+                 "no link-disjoint secondary path exists — replication "
+                 "would ride the primary links and share their fate "
+                 "(use a topology with redundant paths, e.g. a "
+                 "bidirectional ring)");
+      continue;
+    }
+
+    // Elimination-window sanity: under CQF each hop adds roughly one
+    // slot, so member-path skew is |hops| difference x slot. The window
+    // must cover the frames the fast member delivers while the slow
+    // member's copy of an older sequence is still in flight.
+    if (flow.period <= Duration::zero() || input.runtime.slot_size.ns() <= 0 ||
+        stream.history_length < 1) {
+      continue;
+    }
+    const auto hop_gap = static_cast<std::int64_t>(
+        std::llabs(static_cast<long long>(secondary->size()) -
+                   static_cast<long long>(primary->size())));
+    const Duration skew = input.runtime.slot_size * hop_gap;
+    const std::int64_t late_frames = (skew + flow.period - Duration(1)) / flow.period;
+    const std::int64_t needed = late_frames + 2;
+    if (static_cast<std::int64_t>(stream.history_length) < needed) {
+      report.add("frer.elimination-window", Severity::kWarning, subject,
+                 "history window of " + std::to_string(stream.history_length) +
+                     " frames is smaller than the member-path skew needs (~" +
+                     std::to_string(needed) +
+                     "): late duplicates of the slow member would be "
+                     "mistaken for fresh sequences");
+    }
+  }
+}
+
+}  // namespace tsn::verify::internal

@@ -25,4 +25,8 @@ void check_resources(const VerifyInput& input, const sched::ItpPlan* plan, Repor
 /// template.* — Table II composition rules between enabled features.
 void check_templates(const VerifyInput& input, Report& report);
 
+/// frer.* — 802.1CB member-stream consistency, disjoint secondary
+/// paths, and sequence-recovery window sanity.
+void check_redundancy(const VerifyInput& input, Report& report);
+
 }  // namespace tsn::verify::internal

@@ -43,6 +43,7 @@ Report run(const VerifyInput& input) {
   internal::check_schedule(input, plan, report);
   internal::check_resources(input, plan, report);
   internal::check_templates(input, report);
+  internal::check_redundancy(input, report);
 
   report.sort();
   return report;
@@ -59,6 +60,19 @@ Report verify_scenario(const netsim::ScenarioConfig& config) {
   input.gate_mode = config.gate_mode == netsim::ScenarioConfig::GateMode::kQbv
                         ? VerifyInput::GateMode::kQbv
                         : VerifyInput::GateMode::kCqf;
+  if (config.use_frer) {
+    // Mirror the runner's FRER provisioning: every TS flow becomes a
+    // replicated member stream under base + flow.id.
+    for (const traffic::FlowSpec& flow : config.flows) {
+      if (flow.type != net::TrafficClass::kTimeSensitive) continue;
+      VerifyInput::FrerStream stream;
+      stream.flow = flow.id;
+      stream.secondary_vid = static_cast<VlanId>(
+          static_cast<std::uint32_t>(config.frer_secondary_base_vid) + flow.id);
+      stream.history_length = config.frer_history_length;
+      input.frer_streams.push_back(stream);
+    }
+  }
   if (!config.use_itp && config.built.topology.node_count() > 0 &&
       config.options.runtime.slot_size.ns() > 0) {
     // Mirror the runner's ablation baseline: everything injects at period

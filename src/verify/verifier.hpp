@@ -41,6 +41,16 @@
 //   resource.bram-overflow   (error)   BRAM cost exceeds the target device
 //                                      (warning above 90% utilization);
 //                                      checked only when a device is given
+//   frer.member-flow         (error)   FRER stream names an unknown/duplicate
+//                                      flow id or a non-TS flow
+//   frer.config              (error)   secondary VID invalid, equal to the
+//                                      primary, or colliding with another
+//                                      member/primary VID; empty recovery
+//                                      window
+//   frer.disjoint-path       (error)   no link-disjoint secondary path for a
+//                                      replicated stream
+//   frer.elimination-window  (warning) recovery history window smaller than
+//                                      the member-path skew requires
 //   template.cqf-queues      (error)   CQF queue pair outside the instantiated
 //                                      queues_per_port range
 //   template.cbs-underprovision (error) RC classes in use exceed cbs_table_size
@@ -90,6 +100,16 @@ struct VerifyInput {
   /// Target FPGA part for the BRAM budget rule; nullopt skips the check
   /// (a customized switch need not target the paper's Zynq-7020).
   std::optional<resource::DevicePart> device;
+
+  /// FRER (802.1CB) member-stream configuration, one entry per
+  /// replicated flow — what the frer.* rules check. Empty when
+  /// redundancy is unused.
+  struct FrerStream {
+    net::FlowId flow = 0;
+    VlanId secondary_vid = 0;
+    std::size_t history_length = 64;
+  };
+  std::vector<FrerStream> frer_streams;
 };
 
 /// Runs every applicable rule and returns the sorted report.

@@ -13,6 +13,7 @@
 #include "campaign/sink.hpp"
 #include "campaign/telemetry.hpp"
 #include "common/error.hpp"
+#include "fault/plan.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -171,6 +172,64 @@ TEST(RunnerTest, MetricsSnapshotByteIdenticalAcrossJobCounts) {
   EXPECT_NE(full.find("wall_campaign_total_ms"), std::string::npos);
   EXPECT_NE(full.find("wall_campaign_phase_ms{phase=\"simulate\"}"), std::string::npos);
   EXPECT_NE(full.find("wall_campaign_worker_runs{worker=\""), std::string::npos);
+}
+
+/// The fault-plane acceptance test: a resilience matrix (fault profiles
+/// on a FRER-protected bidirectional ring) exports byte-identical rows
+/// no matter how many workers ran it, and the recovery columns carry the
+/// expected physics (zero loss with a surviving redundant path, non-zero
+/// recovery time on the faulted rows).
+TEST(RunnerTest, FaultCampaignByteIdenticalAcrossJobCountsWithRecoveryColumns) {
+  ScenarioDefaults defaults;
+  defaults.topology = "ring2";
+  defaults.switches = 6;
+  defaults.flows = 8;
+  defaults.frer = true;
+  defaults.period_ms = 2;
+  defaults.warmup_ms = 50;
+  defaults.duration_ms = 40;
+
+  ScenarioMatrix matrix;
+  matrix.add_axis("faults", {"none", "link-down", "random"});
+  const auto factory = [defaults](const RunPoint& point, std::uint64_t seed) {
+    return scenario_for_point(point, seed, defaults);
+  };
+  CampaignOptions serial_options;
+  serial_options.jobs = 1;
+  serial_options.repeats = 2;
+  CampaignOptions parallel_options = serial_options;
+  parallel_options.jobs = 4;
+
+  const std::vector<RunRecord> serial = CampaignRunner(matrix, serial_options).run(factory);
+  const std::vector<RunRecord> parallel =
+      CampaignRunner(matrix, parallel_options).run(factory);
+  ASSERT_EQ(serial.size(), 6u);  // 3 profiles x 2 repeats
+  ASSERT_EQ(parallel.size(), 6u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(to_jsonl(serial[i], /*include_timing=*/false),
+              to_jsonl(parallel[i], /*include_timing=*/false));
+  }
+
+  // Control row: no faults, nothing to recover from.
+  EXPECT_EQ(serial[0].metrics.fault_actions, 0);
+  EXPECT_EQ(serial[0].metrics.recovery_ms, 0.0);
+  // link-down rows: down + restore applied, the redundant member carried
+  // everything, and the recovery gap was measured.
+  for (std::size_t i = 2; i < 4; ++i) {
+    EXPECT_EQ(serial[i].metrics.fault_actions, 2) << i;
+    EXPECT_EQ(serial[i].metrics.fault_frames_lost, 0) << i;
+    EXPECT_EQ(serial[i].metrics.frer_dup_escapes, 0) << i;
+    EXPECT_GT(serial[i].metrics.recovery_ms, 0.0) << i;
+  }
+  // random rows: three seeded outages, six actions.
+  EXPECT_EQ(serial[4].metrics.fault_actions, 6);
+
+  // The recovery columns ride the standard sinks.
+  const std::string row = to_jsonl(serial[2], /*include_timing=*/false);
+  EXPECT_NE(row.find("\"fault_actions\":2"), std::string::npos);
+  EXPECT_NE(row.find("\"recovery_ms\":"), std::string::npos);
+  EXPECT_NE(row.find("\"fault_frames_lost\":0"), std::string::npos);
 }
 
 TEST(RunnerTest, DifferentBaseSeedChangesRuns) {
@@ -371,6 +430,33 @@ TEST(ScenarioSpaceTest, RejectsUnknownAxisAndBadValues) {
 
   point.params = {{"itp", "sometimes"}};
   EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+
+  point.params = {{"frer", "maybe"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+
+  point.params = {{"faults", "meteor-strike"}};
+  EXPECT_THROW((void)scenario_for_point(point, 1), Error);
+}
+
+TEST(ScenarioSpaceTest, BindsFrerAndFaultAxes) {
+  RunPoint point;
+  point.params = {{"topology", "ring2"}, {"switches", "6"}, {"flows", "8"},
+                  {"frer", "on"},        {"faults", "link-flap"},
+                  {"duration-ms", "40"}, {"config", "customized"}};
+  const netsim::ScenarioConfig cfg = scenario_for_point(point, 7);
+  EXPECT_TRUE(cfg.use_frer);
+  ASSERT_EQ(cfg.faults.scheduled.size(), 1u);
+  EXPECT_EQ(cfg.faults.scheduled[0].kind, fault::FaultKind::kLinkFlap);
+  // Profile timing follows the traffic window (flap starts at 30%).
+  EXPECT_EQ(cfg.faults.scheduled[0].at, milliseconds(12));
+  // FRER doubles the member streams; the preset tables must cover them.
+  EXPECT_GE(cfg.options.resource.unicast_table_size, 2 * 8 + 16);
+
+  // The default point stays fault-free with FRER off.
+  RunPoint bare;
+  const netsim::ScenarioConfig plain = scenario_for_point(bare, 7);
+  EXPECT_FALSE(plain.use_frer);
+  EXPECT_TRUE(plain.faults.empty());
 }
 
 TEST(ScenarioSpaceTest, BindsAxesOntoScenario) {

@@ -1,0 +1,348 @@
+// Tests for tsn::fault: plan expansion (purity, lowering, validation),
+// the RecoveryTracker bookkeeping, named profiles, and end-to-end
+// resilience scenarios on the bidirectional ring — FRER failover with
+// zero loss, reboot/corruption drop accounting, grandmaster handoff,
+// and the determinism contract (byte-identical schedules and traffic
+// isolation from the fault RNG stream).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/profiles.hpp"
+#include "fault/recovery.hpp"
+#include "netsim/scenario.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+
+namespace tsn {
+namespace {
+
+using namespace tsn::literals;
+
+// ------------------------------------------------------------ expansion
+TEST(FaultPlanTest, LowersFlapIntoAlternatingPairs) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(4);
+  fault::FaultPlan plan;
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = fault::backbone_links(built.topology).front();
+  flap.at = 10_ms;
+  flap.down_for = 2_ms;
+  flap.up_for = 3_ms;
+  flap.flaps = 3;
+  plan.scheduled.push_back(flap);
+
+  const auto schedule = fault::expand(plan, built.topology, 7);
+  ASSERT_EQ(schedule.size(), 6u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Duration expected = 10_ms + Duration((2_ms + 3_ms).ns() * (i / 2)) +
+                              ((i % 2 == 1) ? 2_ms : Duration::zero());
+    EXPECT_EQ(schedule[i].at, expected) << "action " << i;
+    EXPECT_EQ(schedule[i].kind, i % 2 == 0 ? fault::ActionKind::kLinkDown
+                                           : fault::ActionKind::kLinkUp);
+  }
+}
+
+TEST(FaultPlanTest, PermanentLinkDownEmitsNoRestore) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(4);
+  fault::FaultPlan plan;
+  fault::FaultEvent down;
+  down.kind = fault::FaultKind::kLinkDown;
+  down.link = 0;
+  down.at = 5_ms;
+  down.down_for = Duration::zero();  // never restored
+  plan.scheduled.push_back(down);
+
+  const auto schedule = fault::expand(plan, built.topology, 7);
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_EQ(schedule[0].kind, fault::ActionKind::kLinkDown);
+}
+
+TEST(FaultPlanTest, LowersRebootGmLossAndCorruptionIntoPairs) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(4);
+  fault::FaultPlan plan;
+  fault::FaultEvent reboot;
+  reboot.kind = fault::FaultKind::kSwitchReboot;
+  reboot.node = built.switch_nodes[1];
+  reboot.at = 1_ms;
+  reboot.down_for = 4_ms;
+  plan.scheduled.push_back(reboot);
+  fault::FaultEvent gm;
+  gm.kind = fault::FaultKind::kGrandmasterLoss;
+  gm.at = 2_ms;
+  gm.down_for = 6_ms;
+  plan.scheduled.push_back(gm);
+  fault::FaultEvent corrupt;
+  corrupt.kind = fault::FaultKind::kLinkCorruption;
+  corrupt.link = 0;
+  corrupt.at = 3_ms;
+  corrupt.down_for = 8_ms;
+  corrupt.bit_error_rate = 1e-5;
+  plan.scheduled.push_back(corrupt);
+
+  const auto schedule = fault::expand(plan, built.topology, 7);
+  ASSERT_EQ(schedule.size(), 6u);
+  // Time-sorted: starts at 1,2,3 ms then stops at 5,8,11 ms.
+  EXPECT_EQ(schedule[0].kind, fault::ActionKind::kSwitchDown);
+  EXPECT_EQ(schedule[1].kind, fault::ActionKind::kGmLoss);
+  EXPECT_EQ(schedule[2].kind, fault::ActionKind::kCorruptStart);
+  EXPECT_DOUBLE_EQ(schedule[2].bit_error_rate, 1e-5);
+  EXPECT_EQ(schedule[3].kind, fault::ActionKind::kSwitchUp);
+  EXPECT_EQ(schedule[3].at, 5_ms);
+  EXPECT_EQ(schedule[4].kind, fault::ActionKind::kGmRebuild);
+  EXPECT_EQ(schedule[4].at, 8_ms);
+  EXPECT_EQ(schedule[5].kind, fault::ActionKind::kCorruptStop);
+  EXPECT_EQ(schedule[5].at, 11_ms);
+}
+
+TEST(FaultPlanTest, StochasticExpansionIsPureInSeed) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(6);
+  fault::FaultPlan plan;
+  plan.stochastic.count = 4;
+  plan.stochastic.window_start = 10_ms;
+  plan.stochastic.window_end = 90_ms;
+
+  const std::string a = fault::render_schedule(fault::expand(plan, built.topology, 42));
+  const std::string b = fault::render_schedule(fault::expand(plan, built.topology, 42));
+  const std::string c = fault::render_schedule(fault::expand(plan, built.topology, 43));
+  EXPECT_EQ(a, b);    // same seed: byte-identical schedule
+  EXPECT_NE(a, c);    // the draws really depend on the seed
+  EXPECT_FALSE(a.empty());
+
+  // Down/restore pairs inside the window, time-sorted.
+  const auto schedule = fault::expand(plan, built.topology, 42);
+  ASSERT_EQ(schedule.size(), 8u);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1].at, schedule[i].at);
+  }
+  for (const fault::FaultAction& action : schedule) {
+    if (action.kind == fault::ActionKind::kLinkDown) {
+      EXPECT_GE(action.at, 10_ms);
+      EXPECT_LT(action.at, 90_ms);
+    }
+  }
+}
+
+TEST(FaultPlanTest, ValidatesTargetsAndWindows) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(4);
+  fault::FaultPlan bad_link;
+  bad_link.scheduled.push_back({fault::FaultKind::kLinkDown, 1_ms, 9999});
+  EXPECT_THROW((void)fault::expand(bad_link, built.topology, 7), Error);
+
+  fault::FaultPlan bad_reboot;
+  fault::FaultEvent reboot;
+  reboot.kind = fault::FaultKind::kSwitchReboot;
+  reboot.node = built.host_nodes[0];  // hosts do not reboot
+  bad_reboot.scheduled.push_back(reboot);
+  EXPECT_THROW((void)fault::expand(bad_reboot, built.topology, 7), Error);
+
+  fault::FaultPlan inverted;
+  inverted.stochastic.count = 1;
+  inverted.stochastic.window_start = 50_ms;
+  inverted.stochastic.window_end = 10_ms;
+  EXPECT_THROW((void)fault::expand(inverted, built.topology, 7), Error);
+}
+
+TEST(FaultPlanTest, BackboneLinksAreSwitchToSwitchOnly) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(5);
+  const auto backbone = fault::backbone_links(built.topology);
+  EXPECT_EQ(backbone.size(), 5u);  // the ring itself, no host links
+  for (const topo::LinkId id : backbone) {
+    const topo::Link& link = built.topology.link(id);
+    EXPECT_EQ(built.topology.node(link.node_a).kind, topo::NodeKind::kSwitch);
+    EXPECT_EQ(built.topology.node(link.node_b).kind, topo::NodeKind::kSwitch);
+  }
+}
+
+// ------------------------------------------------------------- profiles
+TEST(FaultProfileTest, EveryNamedProfileExpandsOnTheRing) {
+  const topo::BuiltTopology built = topo::make_ring_bidirectional(6);
+  for (const std::string& name : fault::profile_names()) {
+    EXPECT_TRUE(fault::is_profile(name));
+    const fault::FaultPlan plan = fault::profile_plan(name, built.topology, 100_ms);
+    const auto schedule = fault::expand(plan, built.topology, 7);
+    if (name == "none") {
+      EXPECT_TRUE(plan.empty());
+      EXPECT_TRUE(schedule.empty());
+    } else {
+      EXPECT_FALSE(schedule.empty()) << name;
+    }
+  }
+  EXPECT_FALSE(fault::is_profile("meteor-strike"));
+  EXPECT_THROW((void)fault::profile_plan("meteor-strike",
+                                         built.topology, 100_ms), Error);
+}
+
+// ------------------------------------------------------- RecoveryTracker
+TEST(RecoveryTrackerTest, MeasuresRecoveryGapAndDuplicates) {
+  fault::RecoveryTracker tracker;
+  tracker.track_flow(1, 1_ms);
+
+  tracker.on_injection(1, 0, TimePoint(0) + 1_ms);
+  tracker.on_delivery(1, 0, TimePoint(0) + 1_ms + 100_us);
+  tracker.note_service_fault(TimePoint(0) + 2_ms);
+  tracker.on_injection(1, 1, TimePoint(0) + 2_ms);
+  tracker.on_injection(1, 2, TimePoint(0) + 3_ms);
+  tracker.on_delivery(1, 2, TimePoint(0) + 3_ms + 500_us);  // seq 1 never lands
+  tracker.on_delivery(1, 2, TimePoint(0) + 3_ms + 600_us);  // elimination escape
+  tracker.finalize(TimePoint(0) + 10_ms);
+
+  const auto& flow = tracker.flow(1);
+  EXPECT_EQ(flow.injected, 3u);
+  EXPECT_EQ(flow.delivered, 2u);
+  EXPECT_EQ(flow.duplicates, 1u);
+  EXPECT_EQ(flow.lost_in_failover, 1u);  // seq 1, injected at the fault
+  // The fault at 2 ms was recovered by the delivery at 3.5 ms.
+  EXPECT_EQ(flow.worst_recovery, 1_ms + 500_us);
+  EXPECT_EQ(tracker.total_duplicates(), 1u);
+  EXPECT_EQ(tracker.total_lost_in_failover(), 1u);
+  EXPECT_EQ(tracker.fault_count(), 1u);
+}
+
+TEST(RecoveryTrackerTest, ChargesUnrecoveredFaultUntilRunEnd) {
+  fault::RecoveryTracker tracker;
+  tracker.track_flow(5, 1_ms);
+  tracker.on_injection(5, 0, TimePoint(0) + 1_ms);
+  tracker.on_delivery(5, 0, TimePoint(0) + 1_ms + 100_us);
+  tracker.note_service_fault(TimePoint(0) + 4_ms);
+  // No delivery ever again: the outage lasts to the end of the run.
+  tracker.finalize(TimePoint(0) + 20_ms);
+  EXPECT_EQ(tracker.flow(5).worst_recovery, 16_ms);
+  EXPECT_EQ(tracker.worst_recovery(), 16_ms);
+}
+
+TEST(RecoveryTrackerTest, IgnoresUntrackedFlows) {
+  fault::RecoveryTracker tracker;
+  tracker.track_flow(1, 1_ms);
+  tracker.on_injection(99, 0, TimePoint(0) + 1_ms);
+  tracker.on_delivery(99, 0, TimePoint(0) + 2_ms);
+  tracker.finalize(TimePoint(0) + 5_ms);
+  EXPECT_EQ(tracker.flow(1).injected, 0u);
+  EXPECT_EQ(tracker.total_duplicates(), 0u);
+}
+
+// ------------------------------------------------- end-to-end scenarios
+netsim::ScenarioConfig ring_scenario(bool frer, std::size_t flow_count = 8) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring_bidirectional(6);
+  cfg.options.seed = 7;
+  const std::int64_t tables = 2 * static_cast<std::int64_t>(flow_count) + 16;
+  cfg.options.resource.classification_table_size = tables;
+  cfg.options.resource.unicast_table_size = tables;
+  traffic::TsWorkloadParams params;
+  params.flow_count = flow_count;
+  params.period = 2_ms;
+  // h0 -> h2: primary s0-s1-s2; the secondary member rides the other way
+  // around the ring, so backbone link 0 (s0-s1) only hits the primary.
+  cfg.flows =
+      traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2], params);
+  cfg.use_frer = frer;
+  cfg.warmup = 150_ms;
+  cfg.traffic_duration = 80_ms;
+  return cfg;
+}
+
+TEST(FaultScenarioTest, FrerRidesOutLinkDownWithZeroLoss) {
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/true);
+  cfg.faults =
+      fault::profile_plan("link-down", cfg.built.topology, cfg.traffic_duration);
+  const netsim::ScenarioResult result = netsim::run_scenario(cfg);
+
+  EXPECT_EQ(result.fault_actions, 2u);  // down + restore
+  EXPECT_GT(result.link_down_drops, 0u);  // the dead link really ate frames
+  EXPECT_EQ(result.ts.lost(), 0u);  // the disjoint member carried everything
+  EXPECT_EQ(result.frames_lost_failover, 0u);
+  EXPECT_EQ(result.frer_duplicate_escapes, 0u);
+  // The next secondary-path delivery closes the recovery interval within
+  // about one flow period.
+  EXPECT_GT(result.worst_recovery, Duration::zero());
+  EXPECT_LT(result.worst_recovery, 5_ms);
+  EXPECT_FALSE(result.fault_schedule.empty());
+}
+
+TEST(FaultScenarioTest, WithoutFrerPermanentLinkDownLosesFrames) {
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/false);
+  fault::FaultEvent down;
+  down.kind = fault::FaultKind::kLinkDown;
+  down.link = fault::backbone_links(cfg.built.topology).front();
+  down.at = 24_ms;
+  down.down_for = Duration::zero();  // never restored
+  cfg.faults.scheduled.push_back(down);
+  const netsim::ScenarioResult result = netsim::run_scenario(cfg);
+
+  EXPECT_EQ(result.fault_actions, 1u);
+  EXPECT_GT(result.ts.lost(), 0u);
+  EXPECT_GT(result.frames_lost_failover, 0u);
+  // Never recovered: charged until the end of the run.
+  EXPECT_GT(result.worst_recovery, 10_ms);
+}
+
+TEST(FaultScenarioTest, RebootSilentlyDropsThroughTraffic) {
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/false);
+  fault::FaultEvent reboot;
+  reboot.kind = fault::FaultKind::kSwitchReboot;
+  reboot.node = cfg.built.switch_nodes[1];  // on the h0 -> h2 path
+  reboot.at = 24_ms;
+  reboot.down_for = 10_ms;
+  cfg.faults.scheduled.push_back(reboot);
+  const netsim::ScenarioResult result = netsim::run_scenario(cfg);
+
+  EXPECT_GT(result.reboot_drops, 0u);
+  EXPECT_GT(result.ts.lost(), 0u);
+  EXPECT_EQ(result.link_down_drops, 0u);  // distinct counters
+}
+
+TEST(FaultScenarioTest, CorruptionDropsFramesWithoutPerturbingTraffic) {
+  netsim::ScenarioConfig clean = ring_scenario(/*frer=*/false);
+  const netsim::ScenarioResult baseline = netsim::run_scenario(clean);
+
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/false);
+  fault::FaultEvent corrupt;
+  corrupt.kind = fault::FaultKind::kLinkCorruption;
+  corrupt.link = fault::backbone_links(cfg.built.topology).front();
+  corrupt.at = 10_ms;
+  corrupt.down_for = 60_ms;
+  corrupt.bit_error_rate = 1e-4;  // ~5% frame loss at 64 B
+  cfg.faults.scheduled.push_back(corrupt);
+  const netsim::ScenarioResult result = netsim::run_scenario(cfg);
+
+  EXPECT_GT(result.corruption_drops, 0u);
+  EXPECT_EQ(result.ts.lost(), result.corruption_drops);
+  // Stream isolation: the fault plane draws from its own RNG streams, so
+  // the injected workload is bit-for-bit the no-fault workload.
+  EXPECT_EQ(result.ts.injected, baseline.ts.injected);
+}
+
+TEST(FaultScenarioTest, GrandmasterLossHandsOffWithoutDataplaneLoss) {
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/false);
+  cfg.faults =
+      fault::profile_plan("gm-loss", cfg.built.topology, cfg.traffic_duration);
+  const netsim::ScenarioResult result = netsim::run_scenario(cfg);
+
+  EXPECT_EQ(result.gm_handoffs, 1u);
+  EXPECT_EQ(result.ts.lost(), 0u);  // sync degradation, not a dataplane fault
+  EXPECT_EQ(result.frames_lost_failover, 0u);
+  EXPECT_GE(result.post_handoff_sync_excursion, Duration::zero());
+  EXPECT_LE(result.post_handoff_sync_excursion, result.max_sync_error);
+}
+
+TEST(FaultScenarioTest, FaultScheduleIsByteIdenticalAcrossRuns) {
+  netsim::ScenarioConfig cfg = ring_scenario(/*frer=*/true);
+  cfg.faults =
+      fault::profile_plan("random", cfg.built.topology, cfg.traffic_duration);
+  const netsim::ScenarioResult a = netsim::run_scenario(cfg);
+  const netsim::ScenarioResult b = netsim::run_scenario(cfg);
+  EXPECT_EQ(a.fault_schedule, b.fault_schedule);
+  EXPECT_EQ(a.fault_actions, b.fault_actions);
+  EXPECT_EQ(a.ts.injected, b.ts.injected);
+  EXPECT_EQ(a.ts.received, b.ts.received);
+  EXPECT_EQ(a.worst_recovery, b.worst_recovery);
+  // And the schedule matches a direct expansion with the scenario seed.
+  EXPECT_EQ(a.fault_schedule,
+            fault::render_schedule(
+                fault::expand(cfg.faults, cfg.built.topology, cfg.options.seed)));
+}
+
+}  // namespace
+}  // namespace tsn

@@ -68,6 +68,70 @@ TEST(SequenceRecoveryTest, Validation) {
   EXPECT_THROW(SequenceRecovery(0), Error);
 }
 
+TEST(SequenceRecoveryTest, HistoryRingWraparoundKeepsExactDuplicateDetection) {
+  // Sequence numbers index the history ring modulo its length; crossing
+  // the ring boundary many times must neither pass a duplicate (stale
+  // "unseen" slot) nor discard a first copy (stale "seen" slot).
+  SequenceRecovery rec(8);
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_TRUE(rec.accept(s)) << "first copy of " << s;
+    EXPECT_FALSE(rec.accept(s)) << "duplicate of " << s;
+  }
+  EXPECT_EQ(rec.passed(), 100u);
+  EXPECT_EQ(rec.discarded(), 100u);
+  EXPECT_EQ(rec.rogue(), 0u);
+}
+
+TEST(SequenceRecoveryTest, LateDuplicatesUnderAsymmetricPathDelay) {
+  // The fast member leads by a constant skew; the slow member's copies
+  // arrive several sequence numbers late. As long as the skew is inside
+  // the window, every late copy is recognized as a duplicate.
+  SequenceRecovery rec(16);
+  const std::uint64_t kSkew = 5;
+  std::uint64_t passed = 0;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    if (rec.accept(s)) ++passed;           // fast member, first copy
+    if (s >= kSkew && rec.accept(s - kSkew)) ++passed;  // slow member
+  }
+  // Drain the slow member's tail.
+  for (std::uint64_t s = 50 - kSkew; s < 50; ++s) {
+    if (rec.accept(s)) ++passed;
+  }
+  EXPECT_EQ(passed, 50u);
+  EXPECT_EQ(rec.discarded(), 50u);
+  EXPECT_EQ(rec.rogue(), 0u);
+
+  // A skew beyond the window instead classifies the laggard as rogue:
+  // the price of a too-small frerSeqRcvyHistoryLength.
+  SequenceRecovery tight(4);
+  EXPECT_TRUE(tight.accept(20));
+  EXPECT_FALSE(tight.accept(10));
+  EXPECT_EQ(tight.rogue(), 1u);
+}
+
+TEST(SequenceRecoveryTest, ResetRecoversFromProlongedLinkDown) {
+  // After a long outage the talker's sequence numbers have moved far
+  // ahead. A large forward jump is accepted (history clears), and an
+  // explicit reset() — the standard's frerSeqRcvyReset — starts the
+  // window over so pre-outage numbers are treated as fresh again.
+  SequenceRecovery rec(8);
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    EXPECT_TRUE(rec.accept(s));
+  }
+  // 10'000 periods of silence, then the stream resumes.
+  EXPECT_TRUE(rec.accept(10'020));
+  EXPECT_TRUE(rec.accept(10'021));
+  EXPECT_FALSE(rec.accept(10'020));  // duplicates still caught
+  // Way-behind stragglers from before the outage are rogue, not passed.
+  EXPECT_FALSE(rec.accept(19));
+  EXPECT_EQ(rec.rogue(), 1u);
+
+  rec.reset();
+  EXPECT_TRUE(rec.accept(0));  // a restarted talker is accepted cleanly
+  EXPECT_TRUE(rec.accept(1));
+  EXPECT_FALSE(rec.accept(0));
+}
+
 // Property: with two interleaved copies of every sequence number (in any
 // bounded-reorder order), exactly one copy of each passes.
 class SequenceRecoveryProperty : public ::testing::TestWithParam<std::uint64_t> {};

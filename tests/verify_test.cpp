@@ -432,6 +432,118 @@ TEST_F(VerifyRuleTest, UnusedMulticastTableIsAdvice) {
   EXPECT_TRUE(report.clean());  // info only
 }
 
+// --------------------------------------------------------------- frer rules
+//
+// Clean baseline on the bidirectional ring (disjoint paths exist); each
+// test breaks exactly one FRER aspect and expects one rule.
+class FrerRuleTest : public ::testing::Test {
+ protected:
+  FrerRuleTest() : built_(topo::make_ring_bidirectional(6)) {
+    input_.topology = &built_.topology;
+    traffic::TsWorkloadParams p;
+    p.flow_count = 4;
+    p.period = microseconds(6500);
+    p.deadline_choices = {milliseconds(4)};
+    input_.flows =
+        traffic::make_ts_flows(built_.host_nodes[0], built_.host_nodes[2], p);
+    for (const traffic::FlowSpec& flow : input_.flows) {
+      VerifyInput::FrerStream stream;
+      stream.flow = flow.id;
+      stream.secondary_vid = static_cast<VlanId>(2000 + flow.id);
+      input_.frer_streams.push_back(stream);
+    }
+  }
+
+  topo::BuiltTopology built_;
+  VerifyInput input_;
+};
+
+TEST_F(FrerRuleTest, BaselineOnBidirectionalRingIsClean) {
+  const Report report = run(input_);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+TEST_F(FrerRuleTest, FlagsUnknownDuplicateAndNonTsMemberFlows) {
+  VerifyInput::FrerStream ghost;
+  ghost.flow = 999;
+  ghost.secondary_vid = 3000;
+  input_.frer_streams.push_back(ghost);
+  EXPECT_TRUE(run(input_).has_rule("frer.member-flow"));
+  input_.frer_streams.pop_back();
+
+  VerifyInput::FrerStream twin = input_.frer_streams[0];
+  twin.secondary_vid = 3001;
+  input_.frer_streams.push_back(twin);
+  EXPECT_TRUE(run(input_).has_rule("frer.member-flow"));
+  input_.frer_streams.pop_back();
+
+  input_.flows.push_back(traffic::make_be_flow(800, built_.host_nodes[0],
+                                               built_.host_nodes[2],
+                                               DataRate::megabits_per_sec(10)));
+  VerifyInput::FrerStream best_effort;
+  best_effort.flow = 800;
+  best_effort.secondary_vid = 3002;
+  input_.frer_streams.push_back(best_effort);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("frer.member-flow"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST_F(FrerRuleTest, FlagsSecondaryVidMisconfigurations) {
+  // Out of VLAN range.
+  input_.frer_streams[0].secondary_vid = 0;
+  EXPECT_TRUE(run(input_).has_rule("frer.config"));
+
+  // Equal to the flow's own primary VID.
+  input_.frer_streams[0].secondary_vid = input_.flows[0].vid;
+  EXPECT_TRUE(run(input_).has_rule("frer.config"));
+
+  // Collides with another flow's primary VID.
+  input_.frer_streams[0].secondary_vid = input_.flows[1].vid;
+  EXPECT_TRUE(run(input_).has_rule("frer.config"));
+
+  // Shared between two streams.
+  input_.frer_streams[0].secondary_vid = input_.frer_streams[1].secondary_vid;
+  EXPECT_TRUE(run(input_).has_rule("frer.config"));
+
+  input_.frer_streams[0].secondary_vid = 2000;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(FrerRuleTest, RequiresLinkDisjointSecondaryPath) {
+  // A linear chain has exactly one path: replication is a false promise.
+  const topo::BuiltTopology linear = topo::make_linear(3);
+  input_.topology = &linear.topology;
+  traffic::TsWorkloadParams p;
+  p.flow_count = 4;
+  p.period = microseconds(6500);
+  p.deadline_choices = {milliseconds(4)};
+  input_.flows =
+      traffic::make_ts_flows(linear.host_nodes.front(), linear.host_nodes.back(), p);
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("frer.disjoint-path"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST_F(FrerRuleTest, WarnsWhenHistoryWindowCannotCoverPathSkew) {
+  // On the 6-ring the secondary member runs 3 hops longer than the
+  // primary; a 1-deep window cannot absorb that skew.
+  input_.frer_streams[0].history_length = 1;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("frer.elimination-window"));
+  EXPECT_FALSE(report.has_errors());  // sizing advice, not an error
+
+  input_.frer_streams[0].history_length = 64;
+  EXPECT_TRUE(run(input_).empty());
+}
+
+TEST_F(FrerRuleTest, RejectsEmptyHistoryWindow) {
+  input_.frer_streams[0].history_length = 0;
+  const Report report = run(input_);
+  EXPECT_TRUE(report.has_rule("frer.config"));
+  EXPECT_TRUE(report.has_errors());
+}
+
 // ------------------------------------------------------------ entry points
 TEST(VerifyConfigTest, AllPresetsVerifyClean) {
   EXPECT_TRUE(verify_config(builder::bcm53154_reference()).clean());
@@ -465,6 +577,33 @@ TEST(VerifyScenarioTest, DerivedPlanMakesScheduleRulesRunWithoutExplicitPlan) {
   input.resource.buffers_per_port = 2 * input.resource.queues_per_port;
   const Report report = run(input);
   EXPECT_TRUE(report.has_rule("resource.queue-depth"));
+}
+
+TEST(VerifyScenarioTest, FrerConfigPopulatesRedundancyRules) {
+  // The campaign fail-fast path: a use_frer scenario on a topology with
+  // no redundant path must be rejected before any simulation runs.
+  netsim::ScenarioConfig config;
+  config.built = topo::make_linear(3);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 4;
+  p.period = microseconds(6500);
+  p.deadline_choices = {milliseconds(4)};
+  config.flows = traffic::make_ts_flows(config.built.host_nodes.front(),
+                                        config.built.host_nodes.back(), p);
+  config.use_frer = true;
+  const Report rejected = verify_scenario(config);
+  EXPECT_TRUE(rejected.has_rule("frer.disjoint-path"));
+  EXPECT_TRUE(rejected.has_errors());
+
+  // The same scenario on the bidirectional ring verifies clean.
+  netsim::ScenarioConfig ring = config;
+  ring.built = topo::make_ring_bidirectional(6);
+  ring.flows = traffic::make_ts_flows(ring.built.host_nodes[0],
+                                      ring.built.host_nodes[2], p);
+  const Report accepted = verify_scenario(ring);
+  EXPECT_FALSE(accepted.has_rule("frer.disjoint-path"))
+      << accepted.render_text();
+  EXPECT_FALSE(accepted.has_errors()) << accepted.render_text();
 }
 
 }  // namespace

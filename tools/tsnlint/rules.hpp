@@ -55,8 +55,8 @@ struct Options {
   /// verification included — not just the sim core).
   std::vector<std::string> unordered_scope = {
       "src/event/",  "src/netsim/",   "src/analysis/", "src/campaign/",
-      "src/sched/",  "src/switch/",   "src/timesync/", "src/traffic/",
-      "src/verify/"};
+      "src/fault/",  "src/sched/",    "src/switch/",   "src/timesync/",
+      "src/traffic/", "src/verify/"};
 };
 
 /// All rule ids, for --list-rules.

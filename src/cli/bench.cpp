@@ -31,7 +31,6 @@ using namespace tsn::literals;
 using BenchClock = std::chrono::steady_clock;
 
 [[nodiscard]] double ms_since(BenchClock::time_point start) {
-  // tsnlint:allow(wall-clock): bench harness measures host throughput; results are reporting-only
   return std::chrono::duration<double, std::milli>(BenchClock::now() - start).count();
 }
 
@@ -71,7 +70,6 @@ WorkloadResult run_workload(std::string name, std::string detail, int reps, Body
   r.reps = reps;
   double total_ms = 0.0;
   for (int i = 0; i < reps; ++i) {
-    // tsnlint:allow(wall-clock): bench harness measures host throughput; results are reporting-only
     const BenchClock::time_point start = BenchClock::now();
     const RepStats stats = body();
     const double wall_ms = ms_since(start);
@@ -93,11 +91,11 @@ WorkloadResult run_workload(std::string name, std::string detail, int reps, Body
 /// at uniformly random timestamps, scheduled then drained.
 RepStats schedule_run_rep(std::int64_t batch, std::uint64_t seed) {
   event::Simulator sim;
-  Rng rng(seed);
+  Rng rng = make_stream(seed, "bench.kernel");
   std::uint64_t sink = 0;
   for (std::int64_t i = 0; i < batch; ++i) {
     sim.schedule_at(TimePoint(static_cast<std::int64_t>(rng.uniform(0, 1'000'000))),
-                    [&sink] { ++sink; });
+                    [s = &sink] { ++*s; });
   }
   (void)sim.run();
   require(sink == static_cast<std::uint64_t>(batch), "bench: schedule_run lost events");
@@ -111,12 +109,15 @@ RepStats cascade_rep(std::int64_t hops) {
   struct Chain {
     event::Simulator& sim;
     std::int64_t remaining;
+    void arm() {
+      sim.schedule_in(Duration(100), [this] { hop(); });
+    }
     void hop() {
-      if (--remaining > 0) sim.schedule_in(Duration(100), [this] { hop(); });
+      if (--remaining > 0) arm();
     }
   };
   Chain chain{sim, hops};
-  sim.schedule_in(Duration(100), [&chain] { chain.hop(); });
+  chain.arm();
   (void)sim.run();
   return {sim.events_executed(), sim.peak_heap_depth(), 0};
 }

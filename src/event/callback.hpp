@@ -41,6 +41,7 @@ class Function<R(Args...)> {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &kOps<Fn, true>;
     } else {
+      // tsnlint:allow(hot-path-alloc): designed escape hatch — oversized captures relocate to the heap once at construction; every kernel callback fits the SBO path above
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &kOps<Fn, false>;
     }

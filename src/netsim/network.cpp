@@ -332,13 +332,15 @@ void Network::rebuild_sync_tree() {
 void Network::attach_recovery_tracker(fault::RecoveryTracker& tracker) {
   for (auto& [node, nic_ptr] : nics_) {
     (void)node;
+    // The hooks outlive this frame; hold the tracker by pointer, not
+    // through a captured reference to the parameter.
     nic_ptr->set_injection_hook(
-        [&tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
-          tracker.on_injection(flow, sequence, at);
+        [t = &tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
+          t->on_injection(flow, sequence, at);
         });
     nic_ptr->set_delivery_hook(
-        [&tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
-          tracker.on_delivery(flow, sequence, at);
+        [t = &tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
+          t->on_delivery(flow, sequence, at);
         });
   }
 }

@@ -1,23 +1,36 @@
 #include "switch/config.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace tsn::sw {
 
 void SwitchResourceConfig::validate() const {
-  require(unicast_table_size > 0, "config: unicast table size must be positive");
+  const auto table = [](std::int64_t size, const char* what) {
+    require(size > 0, std::string("config: ") + what + " must be positive");
+    require(size <= kMaxTableEntries,
+            std::string("config: ") + what + " exceeds the hardware ceiling");
+  };
+  table(unicast_table_size, "unicast table size");
   require(multicast_table_size >= 0, "config: multicast table size must be >= 0");
-  require(classification_table_size > 0, "config: classification table size must be positive");
-  require(meter_table_size > 0, "config: meter table size must be positive");
-  require(gate_table_size > 0, "config: gate table size must be positive");
-  require(cbs_map_size > 0, "config: CBS map size must be positive");
-  require(cbs_table_size > 0, "config: CBS table size must be positive");
-  require(queue_depth > 0, "config: queue depth must be positive");
+  require(multicast_table_size <= kMaxTableEntries,
+          "config: multicast table size exceeds the hardware ceiling");
+  table(classification_table_size, "classification table size");
+  table(meter_table_size, "meter table size");
+  table(gate_table_size, "gate table size");
+  table(cbs_map_size, "CBS map size");
+  table(cbs_table_size, "CBS table size");
+  require(queue_depth > 0 && queue_depth <= kMaxQueueDepth,
+          "config: queue depth must be in [1, 65536]");
   require(queues_per_port > 0 && queues_per_port <= 8,
           "config: queues per port must be in [1, 8]");
-  require(buffers_per_port > 0, "config: buffers per port must be positive");
-  require(buffer_bytes >= 64, "config: buffer must hold at least a minimum frame");
-  require(port_count > 0, "config: port count must be positive");
+  require(buffers_per_port > 0 && buffers_per_port <= kMaxBuffersPerPort,
+          "config: buffers per port must be positive and below the hardware ceiling");
+  require(buffer_bytes >= 64 && buffer_bytes <= kMaxBufferBytes,
+          "config: buffer must hold a minimum frame and fit the hardware ceiling");
+  require(port_count > 0 && port_count <= kMaxPortCount,
+          "config: port count must be positive and below the hardware ceiling");
 }
 
 void SwitchRuntimeConfig::validate() const {

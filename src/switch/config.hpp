@@ -16,6 +16,17 @@
 
 namespace tsn::sw {
 
+/// Magnitude ceilings for SwitchResourceConfig. No synthesizable FPGA
+/// design approaches these; their real job is to keep every downstream
+/// product (BRAM tiling in resource/bram.cpp multiplies depth x width and
+/// buffer_bytes x 8) comfortably inside int64 so hostile or corrupted
+/// config files cannot drive the resource model into signed overflow.
+inline constexpr std::int64_t kMaxTableEntries = 1 << 24;   // any table/map
+inline constexpr std::int64_t kMaxQueueDepth = 1 << 16;     // metadata slots
+inline constexpr std::int64_t kMaxBuffersPerPort = 1 << 20;
+inline constexpr std::int64_t kMaxBufferBytes = 1 << 24;    // 16 MiB
+inline constexpr std::int64_t kMaxPortCount = 1 << 10;
+
 struct SwitchResourceConfig {
   // set_switch_tbl(unicast_size, multicast_size)
   std::int64_t unicast_table_size = 1024;

@@ -75,11 +75,17 @@ void GateCtrl::arm(Walker& walker, tables::GateBitmap& gates) {
   // clamp to "now" so the program never stalls.
   TimePoint due = clock_->true_for_synced(walker.next_boundary_synced);
   if (due < sim_.now()) due = sim_.now();
-  event::EventId& slot = (&walker == &in_walker_) ? in_event_ : out_event_;
-  slot = sim_.schedule_at(due, [this, &walker, &gates] {
+  // The callback fires long after this frame is gone, so it must not hold
+  // references to the parameters — it re-resolves the member pair from a
+  // captured direction flag instead.
+  const bool ingress = &walker == &in_walker_;
+  event::EventId& slot = ingress ? in_event_ : out_event_;
+  slot = sim_.schedule_at(due, [this, ingress] {
     if (!running_) return;
-    apply_next(walker, gates);
-    arm(walker, gates);
+    Walker& w = ingress ? in_walker_ : out_walker_;
+    tables::GateBitmap& g = ingress ? in_gates_ : out_gates_;
+    apply_next(w, g);
+    arm(w, g);
     if (on_change_) on_change_();
   });
 }

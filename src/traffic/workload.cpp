@@ -11,7 +11,10 @@ std::vector<FlowSpec> make_ts_flows(topo::NodeId src, topo::NodeId dst,
                                     const TsWorkloadParams& params, net::FlowId first_id) {
   require(params.flow_count > 0, "make_ts_flows: need at least one flow");
   require(!params.deadline_choices.empty(), "make_ts_flows: empty deadline set");
-  Rng rng(params.seed);
+  // params.seed is the campaign's raw base seed; draw from a named stream
+  // so the deadline assignment is decorrelated from every other consumer
+  // of that base seed (NIC jitter, fault plans, ...).
+  Rng rng = make_stream(params.seed, "traffic.workload");
   std::vector<FlowSpec> flows;
   flows.reserve(params.flow_count);
   for (std::size_t i = 0; i < params.flow_count; ++i) {

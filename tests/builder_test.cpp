@@ -310,6 +310,27 @@ TEST(ConfigIoTest, RejectsGarbage) {
   EXPECT_THROW((void)config_from_text("queues_per_port = 9\n"), Error);
 }
 
+TEST(ConfigIoTest, RejectsValuesBeyondHardwareCeilings) {
+  // Fuzz-found class: validate() used to accept arbitrarily large
+  // magnitudes, so a hostile config file could drive the BRAM cost model
+  // into signed-int64 overflow (buffer_bytes x 8, depth x width). Every
+  // parameter now has a hardware ceiling enforced at parse time.
+  EXPECT_THROW((void)config_from_text("buffer_bytes = 9223372036854775807\n"), Error);
+  EXPECT_THROW((void)config_from_text("buffers_per_port = 9223372036854775807\n"), Error);
+  EXPECT_THROW((void)config_from_text("unicast_table_size = 9223372036854775807\n"), Error);
+  EXPECT_THROW((void)config_from_text("classification_table_size = 16777217\n"), Error);
+  EXPECT_THROW((void)config_from_text("queue_depth = 65537\n"), Error);
+  EXPECT_THROW((void)config_from_text("port_count = 1025\n"), Error);
+  // The ceilings themselves are valid.
+  sw::SwitchResourceConfig at_max;
+  at_max.unicast_table_size = sw::kMaxTableEntries;
+  at_max.buffer_bytes = sw::kMaxBufferBytes;
+  at_max.buffers_per_port = sw::kMaxBuffersPerPort;
+  at_max.queue_depth = sw::kMaxQueueDepth;
+  at_max.port_count = sw::kMaxPortCount;
+  at_max.validate();
+}
+
 TEST(ConfigIoTest, EveryPresetRoundTripsByteIdentical) {
   const std::vector<std::pair<std::string, sw::SwitchResourceConfig>> presets = {
       {"bcm53154", bcm53154_reference()}, {"paper1", paper_customized(1)},

@@ -261,6 +261,33 @@ TEST_F(GateCtrlTest, MidCycleStartPicksCorrectEntry) {
   EXPECT_EQ(gc.next_update_true(), TimePoint(130'000));
 }
 
+TEST_F(GateCtrlTest, StopReprogramStartKeepsWalking) {
+  // The boundary callback re-resolves the walker/gate members from a
+  // captured direction flag (it must not reference the arming frame), so
+  // gate walking has to survive a stop -> reprogram -> start cycle with
+  // the schedule picking up mid-cycle exactly as a fresh start would.
+  GateCtrl gc(sim, clock, 2);
+  const auto wide = tables::make_cqf_gcl(65_us, 7, 6);
+  gc.program(wide.ingress, wide.egress, TimePoint(0));
+  gc.start();
+  (void)sim.run_until(TimePoint(70'000));
+  EXPECT_EQ(gc.updates_applied(), 2u);  // one boundary x 2 lists
+  gc.stop();
+  EXPECT_EQ(gc.in_gates(), tables::kAllGatesOpen);
+
+  const auto narrow = tables::make_cqf_gcl(10_us, 7, 6);
+  gc.program(narrow.ingress, narrow.egress, TimePoint(0));
+  gc.start();  // now = 70 us, slot 7 of the 10 us program
+  (void)sim.run_until(TimePoint(105'000));
+  // Boundaries at 80/90/100 us: 3 more per list on top of the 2 above.
+  EXPECT_EQ(gc.updates_applied(), 8u);
+  // 105 us is slot 10 (even): ingress queue 7 open, egress drains queue 6.
+  EXPECT_TRUE(gc.in_open(7));
+  EXPECT_FALSE(gc.in_open(6));
+  EXPECT_TRUE(gc.out_open(6));
+  EXPECT_EQ(gc.next_update_true(), TimePoint(110'000));
+}
+
 TEST_F(GateCtrlTest, OnChangeFires) {
   GateCtrl gc(sim, clock, 2);
   const auto pair = tables::make_cqf_gcl(10_us, 7, 6);

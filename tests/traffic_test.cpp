@@ -117,6 +117,35 @@ TEST(WorkloadTest, DeterministicForSeed) {
   }
 }
 
+TEST(WorkloadTest, DeadlinesDrawFromTheNamedWorkloadStream) {
+  // params.seed is the campaign's raw base seed; the generator must draw
+  // through the "traffic.workload" stream, not the raw seed, so deadline
+  // assignment stays decorrelated from every other consumer of the base
+  // seed (NIC jitter, fault plans). This pins the exact derivation.
+  TsWorkloadParams params;
+  params.flow_count = 64;
+  const auto flows = make_ts_flows(0, 1, params);
+  Rng expect = make_stream(params.seed, "traffic.workload");
+  for (const FlowSpec& f : flows) {
+    EXPECT_EQ(f.deadline, params.deadline_choices[expect.index(params.deadline_choices.size())]);
+  }
+}
+
+TEST(WorkloadTest, WorkloadStreamIsDecorrelatedFromTheRawSeed) {
+  TsWorkloadParams params;
+  params.flow_count = 64;
+  const auto flows = make_ts_flows(0, 1, params);
+  Rng raw(params.seed);
+  std::size_t same = 0;
+  for (const FlowSpec& f : flows) {
+    if (f.deadline == params.deadline_choices[raw.index(params.deadline_choices.size())]) {
+      ++same;
+    }
+  }
+  // A raw-seeded engine must not reproduce the stream's draw sequence.
+  EXPECT_LT(same, flows.size());
+}
+
 TEST(WorkloadTest, DenseIdsFromFirstId) {
   TsWorkloadParams params;
   params.flow_count = 4;

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "lexer.hpp"
+#include "report.hpp"
 #include "rules.hpp"
+#include "symbols.hpp"
 
 namespace {
 
@@ -122,20 +124,27 @@ TEST(TsnlintUnordered, CleanCases) {
   EXPECT_FALSE(has_rule(lint("std::unordered_map<int, int> m_;\n"
                              "bool f(int k) { return m_.find(k) != m_.end(); }\n"),
                         "unordered-iteration"));
-  // Out of scope: the rule targets simulation/netsim/analysis/campaign code.
+  // Out of scope: the rule covers all of src/, but not the test tree
+  // (tests may iterate however they like when asserting set contents).
   EXPECT_FALSE(has_rule(lint("std::unordered_map<int, int> m_;\n"
                              "void f() { for (const auto& kv : m_) { use(kv); } }\n",
-                             "src/tables/fake.hpp"),
+                             "tests/fake_test.cpp"),
                         "unordered-iteration"));
 }
 
-TEST(TsnlintUnordered, ScopeCoversDataplaneTimesyncTrafficAndVerify) {
-  // Iteration order in these subsystems reaches simulation results or
-  // serialized diagnostics, so the determinism rule applies there too.
+TEST(TsnlintUnordered, ScopeCoversAllOfSrc) {
+  // Iteration order anywhere in the library can reach simulation results
+  // or serialized output, so the determinism rule covers every src/
+  // subsystem — including the ones added when the scope widened from the
+  // per-subsystem allowlist (builder, tables, telemetry, cli, ...).
   const std::string src = "std::unordered_map<int, int> m_;\n"
                           "void f() { for (const auto& kv : m_) { use(kv); } }\n";
-  for (const char* path : {"src/switch/fake.cpp", "src/timesync/fake.cpp",
-                           "src/traffic/fake.cpp", "src/verify/fake.cpp"}) {
+  for (const char* path :
+       {"src/switch/fake.cpp", "src/timesync/fake.cpp", "src/traffic/fake.cpp",
+        "src/verify/fake.cpp", "src/builder/fake.cpp", "src/resource/fake.cpp",
+        "src/tables/fake.cpp", "src/topo/fake.cpp", "src/telemetry/fake.cpp",
+        "src/frer/fake.cpp", "src/net/fake.cpp", "src/common/fake.cpp",
+        "src/cli/fake.cpp"}) {
     EXPECT_TRUE(has_rule(lint(src, path), "unordered-iteration")) << path;
   }
 }
@@ -244,6 +253,383 @@ TEST(TsnlintOutput, DiagnosticFormatIsFileLineRuleMessage) {
   ASSERT_FALSE(fs.empty());
   const std::string d = fs.front().format();
   EXPECT_TRUE(d.starts_with("src/event/fake.cpp:1: wall-clock: ")) << d;
+}
+
+// ---- pass 1: symbol table ----------------------------------------------
+
+TEST(TsnlintSymbols, InfersUnitsFromIdentifierSuffixes) {
+  using tsnlint::Unit;
+  EXPECT_EQ(tsnlint::unit_of_identifier("deadline_ns"), Unit::kNs);
+  EXPECT_EQ(tsnlint::unit_of_identifier("budget_us"), Unit::kUs);
+  EXPECT_EQ(tsnlint::unit_of_identifier("recovery_ms"), Unit::kMs);
+  EXPECT_EQ(tsnlint::unit_of_identifier("frame_bits"), Unit::kBits);
+  EXPECT_EQ(tsnlint::unit_of_identifier("buffer_bytes"), Unit::kBytes);
+  EXPECT_EQ(tsnlint::unit_of_identifier("rate_mbps"), Unit::kMbps);
+  EXPECT_EQ(tsnlint::unit_of_identifier("clock_hz"), Unit::kHz);
+  // Trailing-underscore members carry the unit too.
+  EXPECT_EQ(tsnlint::unit_of_identifier("period_ns_"), Unit::kNs);
+  // The suffix must be a suffix, not the whole name, and must match exactly.
+  EXPECT_EQ(tsnlint::unit_of_identifier("_ns"), Unit::kNone);
+  EXPECT_EQ(tsnlint::unit_of_identifier("nanoseconds"), Unit::kNone);
+  EXPECT_EQ(tsnlint::unit_of_identifier("bonus"), Unit::kNone);  // ends in "us" not "_us"
+}
+
+TEST(TsnlintSymbols, RecordsIntegerWidths) {
+  const std::string src =
+      "int rate;\n"
+      "std::int64_t total = 0;\n"
+      "unsigned long big;\n"
+      "uint32_t small = 7;\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_TRUE(sym.ints.contains("rate"));
+  EXPECT_EQ(sym.ints.at("rate").width, tsnlint::IntWidth::k32);
+  EXPECT_EQ(sym.ints.at("total").width, tsnlint::IntWidth::k64);
+  EXPECT_EQ(sym.ints.at("big").width, tsnlint::IntWidth::k64);
+  EXPECT_EQ(sym.ints.at("small").width, tsnlint::IntWidth::k32);
+}
+
+TEST(TsnlintSymbols, ParsesCaptureLists) {
+  const std::string src =
+      "void f() {\n"
+      "  auto a = [&] { go(); };\n"
+      "  auto b = [=, &x, this] { go(); };\n"
+      "  auto c = [v = make(), *this] { go(); };\n"
+      "}\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_EQ(sym.lambdas.size(), 3u);
+  ASSERT_EQ(sym.lambdas[0].captures.size(), 1u);
+  EXPECT_TRUE(sym.lambdas[0].captures[0].is_default);
+  EXPECT_TRUE(sym.lambdas[0].captures[0].by_ref);
+  ASSERT_EQ(sym.lambdas[1].captures.size(), 3u);
+  EXPECT_TRUE(sym.lambdas[1].captures[0].is_default);
+  EXPECT_FALSE(sym.lambdas[1].captures[0].by_ref);
+  EXPECT_TRUE(sym.lambdas[1].captures[1].by_ref);
+  EXPECT_EQ(sym.lambdas[1].captures[1].name, "x");
+  EXPECT_TRUE(sym.lambdas[1].captures[2].is_this);
+  ASSERT_EQ(sym.lambdas[2].captures.size(), 2u);
+  EXPECT_TRUE(sym.lambdas[2].captures[0].is_init);
+  EXPECT_EQ(sym.lambdas[2].captures[0].name, "v");
+  EXPECT_TRUE(sym.lambdas[2].captures[1].star_this);
+}
+
+TEST(TsnlintSymbols, DistinguishesLambdasFromSubscriptsAndAttributes) {
+  const std::string src =
+      "void f() {\n"
+      "  int a[4];\n"
+      "  v[i] = a[0];\n"
+      "  [[maybe_unused]] int y = g()[1];\n"
+      "  auto l = [] { go(); };\n"
+      "}\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_EQ(sym.lambdas.size(), 1u);
+  EXPECT_EQ(sym.lambdas[0].line, 5);
+}
+
+TEST(TsnlintSymbols, TracksEnclosingCallOfALambdaArgument) {
+  const std::string src =
+      "void f() {\n"
+      "  sim.schedule_at(t, [this] { tick(); });\n"
+      "  std::sort(v.begin(), v.end(), [](int a, int b) { return a < b; });\n"
+      "  PeriodicTask task(sim, start, period, [this] { poll(); });\n"
+      "}\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_EQ(sym.lambdas.size(), 3u);
+  EXPECT_EQ(sym.lambdas[0].enclosing_call, "schedule_at");
+  EXPECT_EQ(sym.lambdas[0].enclosing_call_qualifier, "sim");
+  EXPECT_EQ(sym.lambdas[1].enclosing_call, "sort");
+  EXPECT_EQ(sym.lambdas[2].enclosing_call, "task");
+  EXPECT_EQ(sym.lambdas[2].enclosing_call_qualifier, "PeriodicTask");
+}
+
+TEST(TsnlintSymbols, NestedLambdaInsideDeferredBodyIsNotAttributedToTheSink) {
+  // The inner [&] runs synchronously inside the outer callback's body;
+  // only the outer lambda belongs to schedule_at.
+  const std::string src =
+      "void f() {\n"
+      "  sim.schedule_at(t, [this] {\n"
+      "    std::for_each(v.begin(), v.end(), [&](int x) { use(x); });\n"
+      "  });\n"
+      "}\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_EQ(sym.lambdas.size(), 2u);
+  EXPECT_EQ(sym.lambdas[0].enclosing_call, "schedule_at");
+  EXPECT_EQ(sym.lambdas[1].enclosing_call, "for_each");
+}
+
+TEST(TsnlintSymbols, ExtractsQuotedIncludeEdges) {
+  const std::string src =
+      "#include \"switch/gate_ctrl.hpp\"\n"
+      "#include <vector>\n"
+      "  #  include \"common/error.hpp\"\n";
+  const auto sym = tsnlint::build_symbols(tsnlint::lex(src), src);
+  ASSERT_EQ(sym.includes.size(), 2u);
+  EXPECT_EQ(sym.includes[0].path, "switch/gate_ctrl.hpp");
+  EXPECT_EQ(sym.includes[0].line, 1);
+  EXPECT_EQ(sym.includes[1].path, "common/error.hpp");
+  EXPECT_EQ(sym.includes[1].line, 3);
+}
+
+// ---- R6 time-unit ------------------------------------------------------
+
+TEST(TsnlintTimeUnit, FlagsCrossUnitArithmeticAndComparison) {
+  EXPECT_TRUE(has_rule(lint("auto t = deadline_ns + budget_us;"), "time-unit"));
+  EXPECT_TRUE(has_rule(lint("auto t = window_ms - slack_ns;"), "time-unit"));
+  EXPECT_TRUE(has_rule(lint("if (deadline_ns <= budget_us) {}"), "time-unit"));
+  EXPECT_TRUE(has_rule(lint("bool late = arrival_ns > limit_ms;"), "time-unit"));
+  // Cross-dimension is as wrong as cross-scale.
+  EXPECT_TRUE(has_rule(lint("auto x = frame_bytes + gap_ns;"), "time-unit"));
+}
+
+TEST(TsnlintTimeUnit, FlagsBareCrossUnitAssignment) {
+  EXPECT_TRUE(has_rule(lint("deadline_ns = budget_us;"), "time-unit"));
+  EXPECT_TRUE(has_rule(lint("total_ns += step_us;"), "time-unit"));
+}
+
+TEST(TsnlintTimeUnit, ExplicitConversionIsClean) {
+  EXPECT_FALSE(has_rule(lint("auto t = deadline_ns + budget_us * 1000;"), "time-unit"));
+  EXPECT_FALSE(has_rule(lint("deadline_ns = budget_us * 1000;"), "time-unit"));
+  EXPECT_FALSE(has_rule(lint("auto t = t_ns + d_us.to_ns();"), "time-unit"));
+  // Same unit on both sides is fine.
+  EXPECT_FALSE(has_rule(lint("auto t = start_ns + delta_ns;"), "time-unit"));
+  // Unsuffixed identifiers carry no unit claim.
+  EXPECT_FALSE(has_rule(lint("auto t = deadline_ns + slack;"), "time-unit"));
+}
+
+TEST(TsnlintTimeUnit, Flags32BitIntermediateInRateTimesDuration) {
+  const std::string src =
+      "int rate_bps;\n"
+      "int period;\n"
+      "void f() { total_bits_ = rate_bps * period; }\n";
+  const auto fs = lint(src);
+  ASSERT_TRUE(has_rule(fs, "time-unit"));
+}
+
+TEST(TsnlintTimeUnit, WideningDefusesTheIntermediate) {
+  EXPECT_FALSE(has_rule(lint("int rate;\nint period;\n"
+                             "void f() { t_ns = static_cast<std::int64_t>(rate) * period; }\n"),
+                        "time-unit"));
+  EXPECT_FALSE(has_rule(lint("std::int64_t rate;\nint period;\n"
+                             "void f() { t_ns = rate * period; }\n"),
+                        "time-unit"));
+  EXPECT_FALSE(has_rule(lint("int rate;\nvoid f() { t_ns = rate * 1000LL; }\n"),
+                        "time-unit"));
+}
+
+TEST(TsnlintTimeUnit, PairedHeaderWidthsFeedTheOverflowCheck) {
+  const std::string header = "class A { int rate_; int period_; };\n";
+  const std::string src = "void A::f() { window_ns_ = rate_ * period_; }\n";
+  EXPECT_TRUE(has_rule(lint(src, kSimPath, header), "time-unit"));
+}
+
+// ---- R7 callback-capture ----------------------------------------------
+
+TEST(TsnlintCapture, FlagsByRefCapturesHandedToDeferredSinks) {
+  EXPECT_TRUE(has_rule(lint("void f() { sim.schedule_at(t, [&] { go(); }); }"),
+                       "callback-capture"));
+  EXPECT_TRUE(has_rule(lint("void f() { sim.schedule_in(d, [&count] { ++count; }); }"),
+                       "callback-capture"));
+  EXPECT_TRUE(has_rule(
+      lint("void f() { PeriodicTask task(sim, t0, period, [&stats] { stats.tick(); }); }"),
+      "callback-capture"));
+  EXPECT_TRUE(has_rule(lint("void f() { nic.set_tx_callback([&log](const Packet& p) "
+                            "{ log.push(p); }); }"),
+                       "callback-capture"));
+}
+
+TEST(TsnlintCapture, ValueThisAndInitCapturesAreClean) {
+  EXPECT_FALSE(has_rule(lint("void f() { sim.schedule_at(t, [this] { tick(); }); }"),
+                        "callback-capture"));
+  EXPECT_FALSE(has_rule(lint("void f() { sim.schedule_at(t, [=] { use(x); }); }"),
+                        "callback-capture"));
+  EXPECT_FALSE(has_rule(lint("void f() { sim.schedule_at(t, [s = &sink] { ++*s; }); }"),
+                        "callback-capture"));
+  EXPECT_FALSE(has_rule(lint("void f() { sim.schedule_at(t, [*this] { tick(); }); }"),
+                        "callback-capture"));
+}
+
+TEST(TsnlintCapture, ImmediateAlgorithmsAndTestsAreOutOfScope) {
+  // std::sort's comparator runs before the call returns.
+  EXPECT_FALSE(has_rule(lint("void f() { std::sort(b, e, [&](int a, int b) "
+                             "{ return key(a) < key(b); }); }"),
+                        "callback-capture"));
+  // Tests drain the simulator inside the same frame on purpose.
+  EXPECT_FALSE(has_rule(lint("void f() { sim.schedule_at(t, [&] { go(); }); }",
+                             "tests/event_test.cpp"),
+                        "callback-capture"));
+}
+
+TEST(TsnlintCapture, InnerImmediateLambdaInsideDeferredBodyIsClean) {
+  const std::string src =
+      "void f() {\n"
+      "  sim.schedule_at(t, [this] {\n"
+      "    std::for_each(v_.begin(), v_.end(), [&](int x) { use(x); });\n"
+      "  });\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint(src), "callback-capture"));
+}
+
+// ---- R8 layering -------------------------------------------------------
+
+tsnlint::LayerManifest test_manifest() {
+  std::string error;
+  const auto m = tsnlint::parse_layers(
+      "common:\n"
+      "event: common\n"
+      "switch: common event\n",
+      error);
+  EXPECT_EQ(error, "");
+  return m;
+}
+
+TEST(TsnlintLayering, ParsesManifestAndRejectsCycles) {
+  std::string error;
+  EXPECT_FALSE(test_manifest().empty());
+
+  (void)tsnlint::parse_layers("a: b\nb: a\n", error);
+  EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+
+  error.clear();
+  (void)tsnlint::parse_layers("a: ghost\n", error);
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+
+  error.clear();
+  (void)tsnlint::parse_layers("not a manifest line\n", error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TsnlintLayering, FlagsUndeclaredBackEdges) {
+  Options options;
+  options.layers = test_manifest();
+  // event -> switch is a back-edge (only switch -> event is declared).
+  const auto fs = lint("#include \"switch/gate_ctrl.hpp\"\n", "src/event/simulator.cpp",
+                       "", options);
+  EXPECT_TRUE(has_rule(fs, "layering"));
+  // The declared direction is clean, as are same-layer and system includes.
+  EXPECT_FALSE(has_rule(lint("#include \"event/simulator.hpp\"\n"
+                             "#include \"switch/queue.hpp\"\n"
+                             "#include <vector>\n",
+                             "src/switch/egress_sched.cpp", "", options),
+                        "layering"));
+}
+
+TEST(TsnlintLayering, FlagsSubsystemsMissingFromTheManifest) {
+  Options options;
+  options.layers = test_manifest();
+  const auto fs =
+      lint("#include \"common/time.hpp\"\n", "src/newthing/stuff.cpp", "", options);
+  ASSERT_TRUE(has_rule(fs, "layering"));
+  EXPECT_NE(fs.front().message.find("not declared"), std::string::npos);
+}
+
+TEST(TsnlintLayering, NoManifestMeansRuleIsOff) {
+  EXPECT_FALSE(has_rule(lint("#include \"switch/gate_ctrl.hpp\"\n",
+                             "src/event/simulator.cpp"),
+                        "layering"));
+}
+
+// ---- R9 rng-discipline -------------------------------------------------
+
+TEST(TsnlintRngDiscipline, FlagsRawSeedConstruction) {
+  EXPECT_TRUE(has_rule(lint("void f() { Rng rng(params.seed); }"), "rng-discipline"));
+  EXPECT_TRUE(has_rule(lint("void f() { Rng rng{seed + 1}; }"), "rng-discipline"));
+  EXPECT_TRUE(has_rule(lint("void f() { rng.reseed(raw); }"), "rng-discipline"));
+}
+
+TEST(TsnlintRngDiscipline, NamedStreamsAndMembersAreClean) {
+  EXPECT_FALSE(has_rule(lint("void f() { Rng rng = make_stream(seed, \"traffic\"); }"),
+                        "rng-discipline"));
+  EXPECT_FALSE(has_rule(lint("void f() { Rng rng(stream_seed(base, \"nic\", id)); }"),
+                        "rng-discipline"));
+  EXPECT_FALSE(has_rule(lint("void f() { rng.reseed(stream_seed(base, \"x\")); }"),
+                        "rng-discipline"));
+  // A bare member declaration carries no seed expression to judge.
+  EXPECT_FALSE(has_rule(lint("class Nic { Rng rng_; };"), "rng-discipline"));
+}
+
+TEST(TsnlintRngDiscipline, CommonRngAndTestsAreExempt) {
+  const std::string src = "void f() { Rng rng(raw_seed); }";
+  EXPECT_FALSE(has_rule(lint(src, "src/common/rng.hpp"), "rng-discipline"));
+  EXPECT_FALSE(has_rule(lint(src, "tests/rng_test.cpp"), "rng-discipline"));
+}
+
+// ---- R10 hot-path-alloc ------------------------------------------------
+
+TEST(TsnlintHotPath, FlagsAllocationsInTaggedPaths) {
+  EXPECT_TRUE(has_rule(lint("void f() { auto* p = new Node(); }", "src/event/fake.cpp"),
+                       "hot-path-alloc"));
+  EXPECT_TRUE(has_rule(lint("auto p = std::make_unique<Rec>();", "src/netsim/nic.cpp"),
+                       "hot-path-alloc"));
+  EXPECT_TRUE(has_rule(lint("std::function<void()> cb;", "src/switch/egress_sched.hpp"),
+                       "hot-path-alloc"));
+}
+
+TEST(TsnlintHotPath, PlacementNewIncludesAndColdPathsAreClean) {
+  EXPECT_FALSE(has_rule(lint("void f() { ::new (buf) Rec(); }", "src/event/callback.hpp"),
+                        "hot-path-alloc"));
+  EXPECT_FALSE(has_rule(lint("#include <new>\n", "src/event/callback.hpp"),
+                        "hot-path-alloc"));
+  // Outside the tagged hot paths allocation is fine.
+  EXPECT_FALSE(has_rule(lint("auto p = std::make_unique<Rec>();", "src/campaign/runner.cpp"),
+                        "hot-path-alloc"));
+}
+
+// ---- suppression interplay with v2 rules -------------------------------
+
+TEST(TsnlintSuppressionV2, AllowWorksOnV2Rules) {
+  const std::string src =
+      "// tsnlint:allow(time-unit): frobnicator units are documented at the call site\n"
+      "auto t = deadline_ns + budget_us;\n";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(TsnlintSuppressionV2, StaleAllowIsAFinding) {
+  const auto fs = lint("// tsnlint:allow(time-unit): nothing here needs it\nint x;\n");
+  ASSERT_TRUE(has_rule(fs, "stale-suppression"));
+  EXPECT_NE(fs.front().message.find("suppresses nothing"), std::string::npos);
+}
+
+TEST(TsnlintSuppressionV2, UnknownRuleInAllowIsAFinding) {
+  const auto fs = lint("// tsnlint:allow(wallclock): typo'd rule id\nint x = rand();\n");
+  EXPECT_TRUE(has_rule(fs, "stale-suppression"));
+  EXPECT_TRUE(has_rule(fs, "wall-clock"));  // and it suppressed nothing
+}
+
+TEST(TsnlintSuppressionV2, DocPlaceholdersAreNotStale) {
+  // `<rule>` in prose (e.g. a header comment describing the directive
+  // syntax) is not a plausible rule id and must not be flagged.
+  EXPECT_TRUE(lint("// append `tsnlint:allow(<rule>): <reason>` to the line\nint x;\n")
+                  .empty());
+}
+
+// ---- output formats ----------------------------------------------------
+
+TEST(TsnlintReport, JsonHasStableShape) {
+  const auto fs = lint("int x = rand();\n", "src/event/fake.cpp");
+  const std::string json = tsnlint::to_json(fs);
+  EXPECT_NE(json.find("\"tool\":\"tsnlint\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/event/fake.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"wall-clock\""), std::string::npos);
+}
+
+TEST(TsnlintReport, SarifHasSchemaVersionRulesAndResults) {
+  const auto fs = lint("int x = rand();\n", "src/event/fake.cpp");
+  const std::string sarif = tsnlint::to_sarif(fs);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"tsnlint\""), std::string::npos);
+  // Every known rule is declared in the driver table...
+  for (const std::string& id : tsnlint::rule_ids()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + id + "\""), std::string::npos) << id;
+  }
+  // ...and the finding shows up as a result with a physical location.
+  EXPECT_NE(sarif.find("\"ruleId\":\"wall-clock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/event/fake.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":1"), std::string::npos);
+}
+
+TEST(TsnlintReport, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(tsnlint::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }
 
 }  // namespace

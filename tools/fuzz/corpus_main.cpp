@@ -1,0 +1,48 @@
+// Standalone corpus-regression driver for the fuzz targets.
+//
+// libFuzzer needs clang (-fsanitize=fuzzer); this driver needs only the
+// project toolchain. It replays every file passed on the command line
+// through the target entry point, so the committed seed corpus runs as a
+// plain ctest case on gcc builds — past findings stay fixed even where
+// the coverage-guided fuzzer cannot run. Build with
+// -DTSN_FUZZ_ENTRY=<entry> naming one of the extern "C" targets.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int TSN_FUZZ_ENTRY(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+#define TSN_FUZZ_STR_INNER(x) #x
+#define TSN_FUZZ_STR(x) TSN_FUZZ_STR_INNER(x)
+
+bool read_file(const char* path, std::vector<std::uint8_t>& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s CORPUS_FILE...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes;
+  for (int i = 1; i < argc; ++i) {
+    if (!read_file(argv[i], bytes)) {
+      std::fprintf(stderr, "cannot read corpus file '%s'\n", argv[i]);
+      return 2;
+    }
+    (void)TSN_FUZZ_ENTRY(bytes.empty() ? nullptr : bytes.data(), bytes.size());
+    std::fprintf(stderr, "%s: %s ok (%zu bytes)\n", TSN_FUZZ_STR(TSN_FUZZ_ENTRY), argv[i],
+                 bytes.size());
+  }
+  return 0;
+}

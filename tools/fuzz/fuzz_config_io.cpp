@@ -1,0 +1,37 @@
+// Fuzz target: the SwitchResourceConfig text parser.
+//
+// Feeds arbitrary bytes to builder::config_from_text. Valid inputs must
+// round-trip through the canonical text form losslessly; invalid inputs
+// must be rejected with tsn::Error — anything else (crash, UB caught by a
+// sanitizer, a round-trip mismatch) is a finding. The parser feeds
+// `tsnb verify --config` and campaign scenario loading, so it sees
+// user-controlled files.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "builder/config_io.hpp"
+#include "common/error.hpp"
+
+extern "C" int tsn_fuzz_config_io(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  tsn::sw::SwitchResourceConfig config;
+  try {
+    config = tsn::builder::config_from_text(text);
+  } catch (const tsn::Error&) {
+    return 0;  // rejected inputs are the expected path
+  }
+  // Accepted input: the canonical form must be a fixed point.
+  const std::string canonical = tsn::builder::to_text(config);
+  const tsn::sw::SwitchResourceConfig reparsed = tsn::builder::config_from_text(canonical);
+  if (tsn::builder::to_text(reparsed) != canonical) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#ifdef TSN_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return tsn_fuzz_config_io(data, size);
+}
+#endif

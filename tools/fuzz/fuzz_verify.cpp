@@ -1,0 +1,37 @@
+// Fuzz target: config-file input to the `tsnb verify` pipeline.
+//
+// Mirrors what `tsnb verify --config FILE --format json` does with a
+// user-supplied file: parse the resource configuration, run the
+// config-only verifier rules and render the report as JSON. Parse
+// rejections (tsn::Error) are fine; any crash, UB or empty/odd report
+// serialization is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "builder/config_io.hpp"
+#include "common/error.hpp"
+#include "verify/verifier.hpp"
+
+extern "C" int tsn_fuzz_verify(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  tsn::sw::SwitchResourceConfig resource;
+  try {
+    resource = tsn::builder::config_from_text(text);
+  } catch (const tsn::Error&) {
+    return 0;
+  }
+  const tsn::verify::Report report = tsn::verify::verify_config(resource);
+  const std::string json = report.to_json();
+  const std::string rendered = report.render_text();
+  if (json.empty() || rendered.empty()) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#ifdef TSN_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return tsn_fuzz_verify(data, size);
+}
+#endif

@@ -1,0 +1,77 @@
+#include "report.hpp"
+
+#include <sstream>
+
+namespace tsnlint {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"tool\":\"tsnlint\",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\""
+        << json_escape(f.message) << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"tsnlint\","
+         "\"informationUri\":\"https://github.com/tsn-builder/tsn-builder\","
+         "\"rules\":[";
+  bool first = true;
+  for (const RuleMeta& m : rule_metadata()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << json_escape(m.id) << "\",\"shortDescription\":{\"text\":\""
+        << json_escape(m.summary) << "\"},\"defaultConfiguration\":{\"level\":\"error\"}}";
+  }
+  out << "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ruleId\":\"" << json_escape(f.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\"" << json_escape(f.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+           "\"uri\":\""
+        << json_escape(f.file)
+        << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":"
+        << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  out << "]}]}\n";
+  return out.str();
+}
+
+}  // namespace tsnlint

@@ -1,0 +1,30 @@
+// tsnlint output formats.
+//
+//   text   `file:line: rule: message` lines (default; what CI logs show)
+//   json   flat findings array, stable key order — diffable across runs
+//   sarif  SARIF 2.1.0 for GitHub code scanning upload
+//
+// All emitters are deterministic: findings are emitted in the order given
+// (the driver sorts them path-then-line) and keys are written in a fixed
+// order, so identical findings produce byte-identical reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace tsnlint {
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// `{"tool":"tsnlint","findings":[{file,line,rule,message}...]}`.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 document with one run; every known rule is declared in the
+/// driver's rule table so code-scanning UIs can show help text even for
+/// rules with zero results.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace tsnlint

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "lexer.hpp"
+#include "symbols.hpp"
 
 namespace tsnlint {
 namespace {
@@ -271,13 +272,290 @@ void rule_assert_side_effect(const Tokens& toks, std::vector<Finding>& out) {
   }
 }
 
+// ---- R6: time-unit dimensions (v2, symbol-aware) ----------------------
+
+/// Cross-unit arithmetic/comparison/assignment between unit-suffixed
+/// identifiers: `deadline_ns + budget_us`, `limit_ms <= t_ns`,
+/// `deadline_ns = budget_us;`. A `* factor` or member/call expression on
+/// the operand counts as an explicit conversion and is not flagged.
+void rule_time_unit_mix(const Tokens& toks, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> kBinary = {"+",  "-",  "<",  ">",
+                                                          "<=", ">=", "==", "!="};
+  static const std::unordered_set<std::string> kAssign = {"=", "+=", "-="};
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& op = toks[i];
+    if (op.kind != TokenKind::kPunct) continue;
+    const bool binary = kBinary.contains(op.text);
+    const bool assign = kAssign.contains(op.text);
+    if (!binary && !assign) continue;
+    const Token& lhs = toks[i - 1];
+    const Token& rhs = toks[i + 1];
+    if (lhs.kind != TokenKind::kIdentifier || rhs.kind != TokenKind::kIdentifier) continue;
+    const Unit ul = unit_of_identifier(lhs.text);
+    const Unit ur = unit_of_identifier(rhs.text);
+    if (ul == Unit::kNone || ur == Unit::kNone || ul == ur) continue;
+    const Token* after = tok_at(toks, i + 2);
+    if (assign) {
+      // Only a *bare* identifier RHS is a unit mixup; any trailing
+      // expression (`= budget_us * 1000;`) is treated as a conversion.
+      if (after != nullptr && after->text != ";" && after->text != "," &&
+          after->text != ")") {
+        continue;
+      }
+    } else {
+      // `t_ns + budget_us * 1000` scales the operand; `t_ns + d_us.count()`
+      // and friends mean the suffixed name is not the full operand.
+      if (after != nullptr &&
+          (after->text == "*" || after->text == "/" || after->text == "." ||
+           after->text == "->" || after->text == "::" || after->text == "(" ||
+           after->text == "[")) {
+        continue;
+      }
+    }
+    // A scaled left operand (`budget_us * 1000 + t_ns`) never reaches here:
+    // the adjacent token next to the operator is the scale factor, which
+    // carries no unit. Division on the left (`x / rate_mbps < t_ns`) is a
+    // derived quantity, not a raw mixup.
+    if (i >= 2 && (toks[i - 2].text == "/" )) continue;
+    out.push_back({"", op.line, "time-unit",
+                   "'" + lhs.text + "' [" + std::string(unit_name(ul)) + "] " +
+                       op.text + " '" + rhs.text + "' [" + std::string(unit_name(ur)) +
+                       "] mixes units without an explicit conversion — convert one "
+                       "operand (e.g. * 1000) or use tsn::Duration"});
+  }
+}
+
+/// 32-bit intermediates in unit math: `X_ns = rate * period;` where both
+/// factors are (per the symbol table) 32-bit — the product truncates
+/// before the widening assignment, the exact class behind PR 5's
+/// fractional-ns pacing bug. Any widening in the statement (static_cast,
+/// int64_t/uint64_t, Duration/TimePoint, an LL literal) defuses it.
+void rule_time_unit_overflow(const Tokens& toks, const std::map<std::string, VarDecl>& ints,
+                             std::vector<Finding>& out) {
+  const auto width_of = [&](const Token& t) {
+    if (t.kind != TokenKind::kIdentifier) return IntWidth::kUnknown;
+    const auto it = ints.find(t.text);
+    return it == ints.end() ? IntWidth::kUnknown : it->second.width;
+  };
+  const auto is_int_literal = [](const Token& t) {
+    if (t.kind != TokenKind::kNumber || t.is_float) return false;
+    return t.text.find('l') == std::string::npos && t.text.find('L') == std::string::npos;
+  };
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct || toks[i].text != "=") continue;
+    const Token& lhs = toks[i - 1];
+    if (lhs.kind != TokenKind::kIdentifier) continue;
+    if (unit_of_identifier(lhs.text) == Unit::kNone) continue;
+    // Scan the statement's RHS.
+    std::size_t end = i + 1;
+    bool widened = false;
+    for (; end < toks.size() && toks[end].text != ";"; ++end) {
+      const Token& t = toks[end];
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "static_cast" || t.text == "int64_t" || t.text == "uint64_t" ||
+           t.text == "Duration" || t.text == "TimePoint" || t.text == "BitCount" ||
+           t.text == "DataRate")) {
+        widened = true;
+      }
+      if (t.kind == TokenKind::kNumber && !t.is_float &&
+          (t.text.find('l') != std::string::npos || t.text.find('L') != std::string::npos)) {
+        widened = true;
+      }
+    }
+    if (widened) continue;
+    for (std::size_t k = i + 2; k + 1 < end; ++k) {
+      if (toks[k].kind != TokenKind::kPunct || toks[k].text != "*") continue;
+      const Token& a = toks[k - 1];
+      const Token& b = toks[k + 1];
+      const bool a32 = width_of(a) == IntWidth::k32;
+      const bool b32 = width_of(b) == IntWidth::k32;
+      if ((a32 && b32) || (a32 && is_int_literal(b)) || (is_int_literal(a) && b32)) {
+        out.push_back({"", toks[k].line, "time-unit",
+                       "'" + a.text + " * " + b.text + "' multiplies 32-bit operands "
+                           "before assigning to '" + lhs.text +
+                           "' — the intermediate truncates; cast one operand to "
+                           "int64_t (rate x duration math overflows 32 bits fast)"});
+        break;
+      }
+    }
+  }
+}
+
+// ---- R7: by-reference captures in deferred callbacks (v2) --------------
+
+void rule_callback_capture(const SymbolTable& sym, const std::set<std::string>& sinks,
+                           std::vector<Finding>& out) {
+  for (const LambdaInfo& l : sym.lambdas) {
+    const bool deferred = sinks.contains(l.enclosing_call) ||
+                          sinks.contains(l.enclosing_call_qualifier);
+    if (!deferred) continue;
+    const std::string sink =
+        sinks.contains(l.enclosing_call) ? l.enclosing_call : l.enclosing_call_qualifier;
+    for (const Capture& c : l.captures) {
+      if (!c.by_ref) continue;
+      const std::string what =
+          c.is_default ? std::string("default capture '[&]'")
+                       : "capture '&" + c.name + "'";
+      out.push_back({"", l.line, "callback-capture",
+                     what + " in a lambda passed to '" + sink +
+                         "' — the callback runs deferred, after the enclosing frame "
+                         "is gone; capture by value, capture `this`, or store the "
+                         "state in a member"});
+    }
+  }
+}
+
+// ---- R8: subsystem layering DAG (v2) -----------------------------------
+
+void rule_layering(std::string_view path, const SymbolTable& sym,
+                   const LayerManifest& manifest, std::vector<Finding>& out) {
+  constexpr std::string_view kSrc = "src/";
+  const std::size_t at = path.find(kSrc);
+  if (at == std::string_view::npos) return;
+  std::string_view rest = path.substr(at + kSrc.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return;  // file directly under src/
+  const std::string layer(rest.substr(0, slash));
+
+  const auto self = manifest.deps.find(layer);
+  for (const IncludeEdge& inc : sym.includes) {
+    const std::size_t dep_slash = inc.path.find('/');
+    if (dep_slash == std::string::npos) continue;  // sibling include ("lexer.hpp")
+    const std::string dep = inc.path.substr(0, dep_slash);
+    if (dep == layer || !manifest.deps.contains(dep)) continue;
+    if (self == manifest.deps.end()) {
+      out.push_back({"", inc.line, "layering",
+                     "subsystem '" + layer +
+                         "' is not declared in tools/tsnlint/layers.txt — add a "
+                         "'" + layer + ": ...' line placing it in the DAG"});
+      return;  // one finding per undeclared subsystem is enough
+    }
+    if (!self->second.contains(dep)) {
+      out.push_back({"", inc.line, "layering",
+                     "#include \"" + inc.path + "\": '" + layer + "' -> '" + dep +
+                         "' is not a declared edge in tools/tsnlint/layers.txt — "
+                         "either this include is a layering violation or the "
+                         "manifest needs the edge (it must keep the DAG acyclic)"});
+    }
+  }
+}
+
+// ---- R9: RNG stream discipline (v2) ------------------------------------
+
+/// True when the argument tokens in (open, close) derive the seed through
+/// a named stream.
+[[nodiscard]] bool args_use_stream(const Tokens& toks, std::size_t open, std::size_t close) {
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (toks[k].kind == TokenKind::kIdentifier &&
+        (toks[k].text == "stream_seed" || toks[k].text == "make_stream")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] std::size_t matching_close(const Tokens& toks, std::size_t open,
+                                         std::string_view o, std::string_view c) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == o) ++depth;
+    if (toks[j].text == c && --depth == 0) return j;
+  }
+  return 0;
+}
+
+void rule_rng_discipline(const Tokens& toks, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    // `Rng name(seed_expr)` / `Rng name{seed_expr}` without stream_seed /
+    // make_stream in the argument list. (`Rng rng_;` members seeded from a
+    // constructor init list are out of reach of a token matcher; callers
+    // are expected to pass a stream_seed-derived value — see nic.cpp.)
+    if (is_ident(toks[i], "Rng")) {
+      const Token& name = toks[i + 1];
+      const Token& open = toks[i + 2];
+      if (name.kind != TokenKind::kIdentifier || open.kind != TokenKind::kPunct) continue;
+      const bool paren = open.text == "(";
+      const bool brace = open.text == "{";
+      if (!paren && !brace) continue;
+      const std::size_t close =
+          matching_close(toks, i + 2, paren ? "(" : "{", paren ? ")" : "}");
+      if (close == 0 || close == i + 3) continue;  // unmatched or empty args
+      if (!args_use_stream(toks, i + 2, close)) {
+        out.push_back({"", toks[i].line, "rng-discipline",
+                       "'" + name.text + "' is seeded from a raw expression — derive "
+                           "the seed with stream_seed()/make_stream() from "
+                           "common/rng so streams stay decorrelated across "
+                           "subsystems and repeats"});
+      }
+      continue;
+    }
+    // `x.reseed(raw)` — same requirement when reseeding an existing engine.
+    if (is_ident(toks[i], "reseed") && toks[i + 1].text == "(" && i > 0 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      const std::size_t close = matching_close(toks, i + 1, "(", ")");
+      if (close == 0 || close == i + 2) continue;
+      if (!args_use_stream(toks, i + 1, close)) {
+        out.push_back({"", toks[i].line, "rng-discipline",
+                       "reseed() from a raw expression — derive the seed with "
+                           "stream_seed()/make_stream() from common/rng"});
+      }
+    }
+  }
+}
+
+// ---- R10: allocations in tagged hot paths (v2) -------------------------
+
+void rule_hot_path_alloc(const Tokens& toks, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "new") {
+      const Token* next = tok_at(toks, i + 1);
+      if (next != nullptr && next->text == "(") continue;  // placement new
+      if (i > 0 && (is_ident(toks[i - 1], "operator") || toks[i - 1].text == "." ||
+                    toks[i - 1].text == "->")) {
+        continue;
+      }
+      // `#include <new>` survives in the token stream as `< new >`.
+      if (i > 0 && toks[i - 1].text == "<" && next != nullptr && next->text == ">") {
+        continue;
+      }
+      out.push_back({"", t.line, "hot-path-alloc",
+                     "operator new in a tagged hot path — the event kernel and "
+                     "per-packet datapaths are allocation-free (slot pools, SBO "
+                     "callbacks); preallocate or use the slab"});
+    } else if (t.text == "make_unique" || t.text == "make_shared") {
+      out.push_back({"", t.line, "hot-path-alloc",
+                     "'" + t.text + "' allocates in a tagged hot path — "
+                         "preallocate outside the per-event/per-packet path"});
+    } else if (t.text == "function" && i >= 2 && toks[i - 1].text == "::" &&
+               is_ident(toks[i - 2], "std")) {
+      out.push_back({"", t.line, "hot-path-alloc",
+                     "std::function type-erases with a possible heap allocation; "
+                     "use event::Callback / event::Function (SBO) in hot paths"});
+    }
+  }
+}
+
 // ---- suppressions ------------------------------------------------------
 
 struct Suppression {
   int line = 0;
   std::string rule;
   bool has_reason = false;
+  bool used = false;  // suppressed at least one finding (stale-suppression)
 };
+
+/// A rule id worth checking for staleness: lowercase-kebab shaped, so
+/// documentation placeholders like `<rule>` in comments are ignored.
+[[nodiscard]] bool plausible_rule_id(std::string_view id) {
+  if (id.empty() || id.front() < 'a' || id.front() > 'z') return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
 
 void parse_suppressions(const std::vector<Comment>& comments,
                         std::vector<Suppression>& sup, std::vector<Finding>& out) {
@@ -316,9 +594,129 @@ void parse_suppressions(const std::vector<Comment>& comments,
 
 }  // namespace
 
+const std::vector<RuleMeta>& rule_metadata() {
+  static const std::vector<RuleMeta> meta = {
+      {"wall-clock",
+       "No wall-clock or entropy sources: simulation state derives from "
+       "simulated time and seeded RNGs only"},
+      {"unordered-iteration",
+       "No iteration over std::unordered_map/set where hash order can reach "
+       "results or serialized output"},
+      {"rng", "No std::random_shuffle and no unseeded standard RNG engines"},
+      {"float-compare", "No floating-point ==/!= comparisons"},
+      {"assert-side-effect",
+       "No assert() conditions that mutate state (they vanish under NDEBUG)"},
+      {"time-unit",
+       "No cross-unit arithmetic between unit-suffixed identifiers and no "
+       "32-bit intermediates in rate x duration math"},
+      {"callback-capture",
+       "No by-reference lambda captures handed to deferred-execution sinks "
+       "(Simulator::schedule_*, PeriodicTask, TX callbacks)"},
+      {"layering",
+       "Cross-subsystem #include edges must match the declared DAG in "
+       "tools/tsnlint/layers.txt"},
+      {"rng-discipline",
+       "tsn::Rng must be seeded via stream_seed()/make_stream() named streams, "
+       "never raw seed expressions"},
+      {"hot-path-alloc",
+       "No new/make_unique/make_shared/std::function in the allocation-free "
+       "hot paths (event kernel, NIC/egress datapath)"},
+      {"bad-suppression", "tsnlint:allow directives must carry a reason"},
+      {"stale-suppression",
+       "tsnlint:allow directives must name a known rule and suppress an actual "
+       "finding"},
+  };
+  return meta;
+}
+
 std::vector<std::string> rule_ids() {
-  return {"wall-clock", "unordered-iteration", "rng",
-          "float-compare", "assert-side-effect", "bad-suppression"};
+  std::vector<std::string> ids;
+  ids.reserve(rule_metadata().size());
+  for (const RuleMeta& m : rule_metadata()) ids.push_back(m.id);
+  return ids;
+}
+
+LayerManifest parse_layers(std::string_view text, std::string& error) {
+  LayerManifest manifest;
+  int line_no = 0;
+  std::size_t pos = 0;
+  std::vector<std::pair<std::string, std::string>> edges;  // for diagnostics
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto trim = [](std::string& s) {
+      const std::size_t b = s.find_first_not_of(" \t\r");
+      const std::size_t e = s.find_last_not_of(" \t\r");
+      s = (b == std::string::npos) ? std::string() : s.substr(b, e - b + 1);
+    };
+    trim(line);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = "layers.txt:" + std::to_string(line_no) + ": expected 'layer: dep dep ...'";
+      return {};
+    }
+    std::string layer = line.substr(0, colon);
+    trim(layer);
+    if (layer.empty() || manifest.deps.contains(layer)) {
+      error = "layers.txt:" + std::to_string(line_no) + ": " +
+              (layer.empty() ? "empty layer name" : "duplicate layer '" + layer + "'");
+      return {};
+    }
+    std::set<std::string> deps;
+    std::string rest = line.substr(colon + 1);
+    std::size_t i = 0;
+    while (i < rest.size()) {
+      while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+      std::size_t j = i;
+      while (j < rest.size() && rest[j] != ' ' && rest[j] != '\t') ++j;
+      if (j > i) deps.insert(rest.substr(i, j - i));
+      i = j;
+    }
+    for (const std::string& d : deps) edges.emplace_back(layer, d);
+    manifest.deps.emplace(std::move(layer), std::move(deps));
+    if (pos > text.size()) break;
+  }
+  for (const auto& [layer, dep] : edges) {
+    if (dep == layer) {
+      error = "layers.txt: layer '" + layer + "' depends on itself";
+      return {};
+    }
+    if (!manifest.deps.contains(dep)) {
+      error = "layers.txt: '" + layer + "' depends on undeclared layer '" + dep + "'";
+      return {};
+    }
+  }
+  // The declared graph must be a DAG — that is the whole point.
+  std::map<std::string, int> color;  // 0 unvisited, 1 in-stack, 2 done
+  std::string cycle_at;
+  const auto dfs = [&](const auto& self, const std::string& node) -> bool {
+    color[node] = 1;
+    for (const std::string& dep : manifest.deps.at(node)) {
+      const int c = color[dep];
+      if (c == 1 || (c == 0 && !self(self, dep))) {
+        if (cycle_at.empty()) cycle_at = dep;
+        return false;
+      }
+    }
+    color[node] = 2;
+    return true;
+  };
+  for (const auto& [layer, deps] : manifest.deps) {
+    if (color[layer] == 0 && !dfs(dfs, layer)) {
+      error = "layers.txt: dependency cycle through '" + cycle_at + "'";
+      return {};
+    }
+  }
+  return manifest;
 }
 
 std::vector<Finding> analyze_source(std::string_view path, std::string_view source,
@@ -327,6 +725,11 @@ std::vector<Finding> analyze_source(std::string_view path, std::string_view sour
   const std::string generic_path(path);
   const LexResult lexed = lex(source);
   const Tokens& toks = lexed.tokens;
+  const auto in_scope = [&](const std::vector<std::string>& scope) {
+    return std::any_of(scope.begin(), scope.end(), [&](const std::string& s) {
+      return generic_path.find(s) != std::string::npos;
+    });
+  };
 
   std::vector<Finding> findings;
   rule_wall_clock(toks, findings);
@@ -343,12 +746,34 @@ std::vector<Finding> analyze_source(std::string_view path, std::string_view sour
   }
   rule_float_compare(toks, float_names, findings);
 
-  const bool in_unordered_scope =
-      std::any_of(options.unordered_scope.begin(), options.unordered_scope.end(),
-                  [&](const std::string& s) { return generic_path.find(s) != std::string::npos; });
-  if (in_unordered_scope) {
+  if (in_scope(options.unordered_scope)) {
     collect_unordered_names(toks, unordered_names);
     rule_unordered_iteration(toks, unordered_names, findings);
+  }
+
+  // Pass 1: per-file symbol table; member declarations in the paired
+  // header contribute to the integer-width table.
+  SymbolTable sym = build_symbols(lexed, source);
+  if (!paired_header.empty()) {
+    const LexResult header = lex(paired_header);
+    merge_int_decls(sym, build_symbols(header, paired_header));
+  }
+
+  // Pass 2: symbol-aware rules. time-unit runs everywhere (a unit mixup
+  // is wrong in a test as much as in the library); the rest are scoped.
+  rule_time_unit_mix(toks, findings);
+  rule_time_unit_overflow(toks, sym.ints, findings);
+  if (in_scope(options.capture_scope)) {
+    rule_callback_capture(sym, options.deferred_sinks, findings);
+  }
+  if (in_scope(options.rng_scope) && !in_scope(options.rng_exempt)) {
+    rule_rng_discipline(toks, findings);
+  }
+  if (in_scope(options.hot_path_scope)) {
+    rule_hot_path_alloc(toks, findings);
+  }
+  if (!options.layers.empty() && in_scope(options.layering_scope)) {
+    rule_layering(generic_path, sym, options.layers, findings);
   }
 
   // Suppressions and the file-level allowlist.
@@ -361,11 +786,13 @@ std::vector<Finding> analyze_source(std::string_view path, std::string_view sour
     if (f.rule != "bad-suppression") {
       // A directive covers its own line (trailing comment) and the line
       // below it (standalone comment above the offending statement).
-      const bool suppressed =
-          std::any_of(suppressions.begin(), suppressions.end(), [&](const Suppression& s) {
-            return s.has_reason && (s.line == f.line || s.line + 1 == f.line) &&
-                   s.rule == f.rule;
-          });
+      bool suppressed = false;
+      for (Suppression& s : suppressions) {
+        if (s.has_reason && (s.line == f.line || s.line + 1 == f.line) && s.rule == f.rule) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
       const bool allowlisted =
           std::any_of(options.allow.begin(), options.allow.end(), [&](const AllowEntry& a) {
             return (a.rule == f.rule || a.rule == "*") &&
@@ -375,6 +802,27 @@ std::vector<Finding> analyze_source(std::string_view path, std::string_view sour
     }
     kept.push_back(std::move(f));
   }
+
+  // Stale / mistyped suppressions: a reasoned directive that names an
+  // unknown rule, or a known rule with nothing to suppress on its lines.
+  // Like bad-suppression, these are not themselves suppressible.
+  std::set<std::string> known;
+  for (const RuleMeta& m : rule_metadata()) known.insert(m.id);
+  for (const Suppression& s : suppressions) {
+    if (!s.has_reason || s.used || !plausible_rule_id(s.rule)) continue;
+    if (!known.contains(s.rule)) {
+      kept.push_back({generic_path, s.line, "stale-suppression",
+                      "tsnlint:allow(" + s.rule +
+                          ") references an unknown rule — check --list-rules for "
+                          "valid ids"});
+    } else {
+      kept.push_back({generic_path, s.line, "stale-suppression",
+                      "tsnlint:allow(" + s.rule +
+                          ") suppresses nothing on this or the next line — remove "
+                          "it; suppressions must not outlive the fix"});
+    }
+  }
+
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
   });

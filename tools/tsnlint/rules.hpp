@@ -1,17 +1,15 @@
 // tsnlint rule engine — repo-specific determinism & simulation-safety rules.
 //
-// Rules (ids are what suppressions and --allow refer to):
+// v1 rules (token-pattern, PR 2):
 //   wall-clock          R1: no wall-clock / entropy sources
 //                           (std::chrono::{system,steady,high_resolution}_clock,
 //                           std::random_device, rand()/srand(), time(), clock(),
 //                           gettimeofday, timespec_get) — simulation state must
 //                           derive only from simulated time and seeded RNGs.
 //   unordered-iteration R2: no range-for / begin() iteration over
-//                           std::unordered_map / std::unordered_set in any
-//                           subsystem whose iteration order can reach
-//                           simulation results or serialized output (see
-//                           Options::unordered_scope) — results must be
-//                           emitted in sorted key order.
+//                           std::unordered_map / std::unordered_set anywhere
+//                           under src/ (see Options::unordered_scope) —
+//                           results must be emitted in sorted key order.
 //   rng                 R3: no std::random_shuffle and no default-constructed
 //                           (unseeded) standard RNG engines.
 //   float-compare       R4: no floating-point == / != comparisons.
@@ -19,11 +17,43 @@
 //                           (assignments, ++/--) — it vanishes under NDEBUG.
 //   bad-suppression     a tsnlint:allow directive without a reason string.
 //
+// v2 rules (symbol-aware, two-pass — see symbols.hpp for pass 1):
+//   time-unit           R6: cross-unit arithmetic/assignment between
+//                           unit-suffixed identifiers (`deadline_ns +
+//                           budget_us`) without an explicit conversion, and
+//                           32-bit intermediates in rate x duration math
+//                           assigned to unit-suffixed variables — the class
+//                           behind PR 5's fractional-ns pacing truncation.
+//   callback-capture    R7: by-reference lambda captures (`[&]`, `&x`)
+//                           handed to deferred-execution sinks
+//                           (Simulator::schedule_at/schedule_in,
+//                           PeriodicTask, NIC/egress TX callbacks, gate
+//                           change hooks) — the callback outlives the
+//                           enclosing frame and dangles on stack state.
+//   layering            R8: `#include` edges between src/ subsystems are
+//                           checked against the declared DAG in
+//                           tools/tsnlint/layers.txt; back-edges and
+//                           undeclared subsystems are findings.
+//   rng-discipline      R9: tsn::Rng constructed or reseeded from a raw
+//                           seed expression instead of a named
+//                           stream_seed()/make_stream() stream — raw seeds
+//                           correlate across subsystems and break stream
+//                           independence.
+//   hot-path-alloc      R10: `new` / make_unique / make_shared /
+//                           std::function in the allocation-free hot paths
+//                           (src/event, NIC and egress-scheduler datapath)
+//                           that PR 5 de-allocated.
+//   stale-suppression   a reasoned tsnlint:allow directive that names an
+//                           unknown rule or suppresses nothing on its
+//                           lines — suppressions must not outlive fixes.
+//
 // Suppression: append `// tsnlint:allow(<rule>): <reason>` to the offending
 // line, or place it on its own line directly above. The reason is
 // mandatory; a bare allow() is itself a finding.
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,27 +76,67 @@ struct AllowEntry {
   std::string path_substring;  // matches anywhere in the (generic) file path
 };
 
+/// Declared subsystem dependency DAG (tools/tsnlint/layers.txt): one line
+/// per src/ subsystem, `layer: dep dep ...` (deps may be empty). The
+/// layering rule flags any cross-subsystem include not on a declared edge.
+struct LayerManifest {
+  std::map<std::string, std::set<std::string>> deps;
+
+  [[nodiscard]] bool empty() const { return deps.empty(); }
+};
+
+/// Parses a layers.txt manifest. On malformed lines, references to
+/// undeclared layers, or a dependency cycle, sets `error` and returns an
+/// empty manifest (the layering rule then stays off; the CLI exits 2).
+[[nodiscard]] LayerManifest parse_layers(std::string_view text, std::string& error);
+
 struct Options {
   /// File-level allowlist (from --allow rule:path-substring).
   std::vector<AllowEntry> allow;
-  /// Path substrings where the unordered-iteration rule applies: every
-  /// subsystem whose iteration order can reach simulation results or
-  /// serialized output (dataplane, time sync, workload generation and
-  /// verification included — not just the sim core).
-  std::vector<std::string> unordered_scope = {
-      "src/event/",  "src/netsim/",   "src/analysis/", "src/campaign/",
-      "src/fault/",  "src/sched/",    "src/switch/",   "src/timesync/",
-      "src/traffic/", "src/verify/"};
+  /// Path substrings where the unordered-iteration rule applies. Every
+  /// src/ subsystem is in scope: iteration order anywhere in the library
+  /// can reach simulation results or serialized output.
+  std::vector<std::string> unordered_scope = {"src/"};
+  /// Scope of callback-capture. Library code only: tests legitimately
+  /// capture stack state by reference and drain the simulator in the same
+  /// frame.
+  std::vector<std::string> capture_scope = {"src/"};
+  /// Scope of rng-discipline, minus rng_exempt (common/rng implements the
+  /// streams; tests seed RNGs directly on purpose).
+  std::vector<std::string> rng_scope = {"src/"};
+  std::vector<std::string> rng_exempt = {"src/common/"};
+  /// Allocation-free hot paths for hot-path-alloc: the event kernel plus
+  /// the per-packet NIC and egress-scheduler datapaths.
+  std::vector<std::string> hot_path_scope = {"src/event/", "src/netsim/nic.",
+                                             "src/switch/egress_sched."};
+  /// Scope of the layering rule (cross-subsystem include checking).
+  std::vector<std::string> layering_scope = {"src/"};
+  /// Callees/constructors whose callable argument executes deferred.
+  std::set<std::string> deferred_sinks = {
+      "schedule_at",     "schedule_in",       "PeriodicTask",
+      "set_tx_callback", "set_injection_hook", "set_delivery_hook",
+      "set_on_change"};
+  /// Subsystem DAG; empty disables the layering rule.
+  LayerManifest layers;
 };
 
 /// All rule ids, for --list-rules.
 [[nodiscard]] std::vector<std::string> rule_ids();
 
+struct RuleMeta {
+  std::string id;
+  std::string summary;
+};
+
+/// Id + one-line summary per rule, in stable order (drives --list-rules
+/// and the SARIF rule table).
+[[nodiscard]] const std::vector<RuleMeta>& rule_metadata();
+
 /// Analyzes one source file. `paired_header` is the content of the
 /// same-stem .hpp/.h next to a .cpp (empty when none): member variables
-/// declared there count toward the unordered-container identifier set, so
-/// `for (... : flows_)` in analyzer.cpp is caught even though `flows_` is
-/// declared in analyzer.hpp.
+/// declared there count toward the unordered-container identifier set and
+/// the integer-width table, so `for (... : flows_)` in analyzer.cpp is
+/// caught even though `flows_` is declared in analyzer.hpp.
 [[nodiscard]] std::vector<Finding> analyze_source(std::string_view path,
                                                   std::string_view source,
                                                   std::string_view paired_header,

@@ -1,0 +1,420 @@
+#include "symbols.hpp"
+
+#include <array>
+#include <cstddef>
+#include <unordered_set>
+
+namespace tsnlint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+struct SuffixUnit {
+  std::string_view suffix;
+  Unit unit;
+};
+
+// Longest suffixes first so `_bytes` wins over a hypothetical `_s`.
+constexpr std::array<SuffixUnit, 7> kSuffixes = {{
+    {"_bytes", Unit::kBytes},
+    {"_mbps", Unit::kMbps},
+    {"_bits", Unit::kBits},
+    {"_ns", Unit::kNs},
+    {"_us", Unit::kUs},
+    {"_ms", Unit::kMs},
+    {"_hz", Unit::kHz},
+}};
+
+// Identifier-shaped tokens that may legitimately precede a lambda
+// introducer or a call's opening paren without being a callee/subscript
+// base.
+const std::unordered_set<std::string>& expression_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "return", "co_return", "co_yield", "co_await", "throw", "case",
+      "else",   "do",        "and",      "or",       "not"};
+  return kw;
+}
+
+const std::unordered_set<std::string>& non_callee_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",    "for",       "while",    "switch",   "catch", "return",
+      "co_return", "co_yield", "co_await", "throw", "else",  "do",
+      "and",   "or",        "not",      "sizeof",   "alignof"};
+  return kw;
+}
+
+[[nodiscard]] const Token* tok_at(const Tokens& toks, std::size_t i) {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+// ---- integer declarations ---------------------------------------------
+
+enum class TypeClass { kNot, k32, k64 };
+
+[[nodiscard]] TypeClass classify_int_keyword(const std::string& t) {
+  if (t == "long" || t == "int64_t" || t == "uint64_t" || t == "size_t" ||
+      t == "ptrdiff_t" || t == "uintptr_t" || t == "intptr_t") {
+    return TypeClass::k64;
+  }
+  if (t == "int" || t == "short" || t == "unsigned" || t == "signed" ||
+      t == "int32_t" || t == "uint32_t" || t == "int16_t" || t == "uint16_t" ||
+      t == "int8_t" || t == "uint8_t" || t == "char") {
+    return TypeClass::k32;
+  }
+  return TypeClass::kNot;
+}
+
+void collect_int_decls(const Tokens& toks, std::map<std::string, VarDecl>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    TypeClass cls = classify_int_keyword(toks[i].text);
+    if (cls == TypeClass::kNot) continue;
+    // Consume the whole specifier cluster (`unsigned long long int`,
+    // `const long`): any `long` promotes the declaration to 64-bit.
+    std::size_t j = i + 1;
+    while (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+      const TypeClass more = classify_int_keyword(toks[j].text);
+      if (more == TypeClass::kNot && toks[j].text != "const") break;
+      if (more == TypeClass::k64) cls = TypeClass::k64;
+      ++j;
+    }
+    // Declarator qualifiers between the specifier and the name. A `&` or
+    // `*` declarator makes the width of the *storage* the same, so they
+    // stay eligible.
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                               (toks[j].kind == TokenKind::kIdentifier &&
+                                toks[j].text == "const"))) {
+      ++j;
+    }
+    const Token* name = tok_at(toks, j);
+    const Token* after = tok_at(toks, j + 1);
+    if (name == nullptr || name->kind != TokenKind::kIdentifier || after == nullptr) {
+      i = j;
+      continue;
+    }
+    if (after->text == ";" || after->text == "=" || after->text == "{" ||
+        after->text == "," || after->text == ")") {
+      out[name->text] = {cls == TypeClass::k64 ? IntWidth::k64 : IntWidth::k32,
+                         name->line};
+    }
+    i = j;
+  }
+}
+
+// ---- lambdas and enclosing calls --------------------------------------
+
+struct Frame {
+  char kind = '(';        // '(' or '{'
+  bool barrier = false;   // lambda body: captures below it have their own scope
+  std::string callee;
+  std::string qualifier;
+};
+
+/// For a `(` at token index `open`, identifies the call expression it
+/// belongs to: `sim.schedule_at(` -> {schedule_at, sim};
+/// `PeriodicTask tick(` -> {tick, PeriodicTask};
+/// `make_unique<Foo>(` -> {make_unique, ""}. Empty for grouping parens.
+void call_info_at(const Tokens& toks, std::size_t open, std::string& callee,
+                  std::string& qualifier) {
+  if (open == 0) return;
+  std::size_t j = open - 1;
+  // Walk back over a template argument list: `make_unique<Foo>(`.
+  if (toks[j].text == ">") {
+    int depth = 0;
+    std::size_t steps = 0;
+    while (true) {
+      if (toks[j].text == ">") ++depth;
+      if (toks[j].text == "<") --depth;
+      if (depth == 0 || j == 0 || ++steps > 64) break;
+      --j;
+    }
+    if (depth != 0 || j == 0) return;
+    --j;  // token before '<'
+  }
+  if (toks[j].kind != TokenKind::kIdentifier) return;
+  if (non_callee_keywords().contains(toks[j].text)) return;
+  callee = toks[j].text;
+  if (j == 0) return;
+  const Token& prev = toks[j - 1];
+  if ((prev.text == "." || prev.text == "->" || prev.text == "::") && j >= 2 &&
+      toks[j - 2].kind == TokenKind::kIdentifier) {
+    qualifier = toks[j - 2].text;
+  } else if (prev.kind == TokenKind::kIdentifier &&
+             !expression_keywords().contains(prev.text)) {
+    // Declaration with a constructor call: `PeriodicTask tick(sim, ...)`.
+    qualifier = prev.text;
+  }
+}
+
+[[nodiscard]] bool is_lambda_introducer(const Tokens& toks, std::size_t i) {
+  if (i > 0) {
+    const Token& prev = toks[i - 1];
+    if (prev.text == ")" || prev.text == "]") return false;  // subscript
+    if (prev.kind == TokenKind::kIdentifier &&
+        !expression_keywords().contains(prev.text)) {
+      return false;  // `v[i]` subscript / `int a[4]` array declarator
+    }
+  }
+  const Token* next = tok_at(toks, i + 1);
+  return next != nullptr && next->text != "[";  // `[[attr]]`
+}
+
+/// Parses the capture list tokens between `[` (exclusive) and its matching
+/// `]` (exclusive) into capture entries.
+void parse_captures(const Tokens& toks, std::size_t begin, std::size_t end,
+                    std::vector<Capture>& out) {
+  std::size_t entry = begin;
+  int depth = 0;  // (), {}, [] and <> nesting inside init-capture exprs
+  const auto flush = [&](std::size_t upto) {
+    if (entry >= upto) return;
+    Capture cap;
+    std::size_t k = entry;
+    if (toks[k].text == "&" && k + 1 == upto) {
+      cap.by_ref = cap.is_default = true;
+      out.push_back(cap);
+      return;
+    }
+    if (toks[k].text == "=" && k + 1 == upto) {
+      cap.is_default = true;
+      out.push_back(cap);
+      return;
+    }
+    if (toks[k].text == "*" && k + 1 < upto && toks[k + 1].text == "this") {
+      cap.star_this = true;
+      out.push_back(cap);
+      return;
+    }
+    if (toks[k].text == "this" && k + 1 == upto) {
+      cap.is_this = true;
+      out.push_back(cap);
+      return;
+    }
+    if (toks[k].text == "&") {
+      cap.by_ref = true;
+      ++k;
+    }
+    if (k < upto && toks[k].text == "...") ++k;  // pack capture `...args`
+    if (k >= upto || toks[k].kind != TokenKind::kIdentifier) return;
+    cap.name = toks[k].text;
+    ++k;
+    if (k < upto && toks[k].text == "...") ++k;
+    // Anything after the name makes it an init-capture (`x = expr`,
+    // `x{expr}`, `x(expr)`): the lambda owns a fresh variable and no
+    // outer local is referenced by the capture itself (unless `&x = ...`,
+    // where by_ref already records the aliasing).
+    cap.is_init = k < upto;
+    out.push_back(cap);
+  };
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::string& t = toks[k].text;
+    if (t == "(" || t == "{" || t == "[" || t == "<") ++depth;
+    if (t == ")" || t == "}" || t == "]" || t == ">") --depth;
+    if (t == "," && depth == 0) {
+      flush(k);
+      entry = k + 1;
+    }
+  }
+  flush(end);
+}
+
+void scan_lambdas(const Tokens& toks, SymbolTable& table) {
+  std::vector<Frame> frames;
+  int paren_frames = 0;
+  struct Pending {
+    std::size_t lambda;    // index into table.lambdas
+    int paren_frames;      // depth at the introducer: its body `{` appears here
+  };
+  std::vector<Pending> pending;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kPunct) continue;
+
+    if (t.text == "(") {
+      Frame f;
+      f.kind = '(';
+      call_info_at(toks, i, f.callee, f.qualifier);
+      frames.push_back(std::move(f));
+      ++paren_frames;
+      continue;
+    }
+    if (t.text == ")") {
+      while (!frames.empty()) {
+        const char kind = frames.back().kind;
+        frames.pop_back();
+        if (kind == '(') {
+          --paren_frames;
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.text == "{") {
+      Frame f;
+      f.kind = '{';
+      if (!pending.empty() && pending.back().paren_frames == paren_frames) {
+        f.barrier = true;
+        pending.pop_back();
+      }
+      frames.push_back(std::move(f));
+      continue;
+    }
+    if (t.text == "}") {
+      while (!frames.empty()) {
+        const char kind = frames.back().kind;
+        frames.pop_back();
+        if (kind == '{') break;
+        --paren_frames;  // unbalanced '(' discarded defensively
+      }
+      continue;
+    }
+    if (t.text != "[") continue;
+
+    // `[[attr]]`: skip to the matching `]]`.
+    if (tok_at(toks, i + 1) != nullptr && toks[i + 1].text == "[") {
+      int depth = 0;
+      for (std::size_t j = i; j < toks.size(); ++j) {
+        if (toks[j].text == "[") ++depth;
+        if (toks[j].text == "]" && --depth == 0) {
+          i = j;
+          break;
+        }
+      }
+      continue;
+    }
+    if (!is_lambda_introducer(toks, i)) continue;
+
+    // Find the matching `]`.
+    int depth = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+      if (toks[j].text == "[") ++depth;
+      if (toks[j].text == "]" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == 0) continue;
+    // A real lambda continues with a parameter list, body, or specifier;
+    // `new int[n]` and `int a[4]` do not.
+    const Token* after = tok_at(toks, close + 1);
+    if (after == nullptr ||
+        (after->text != "(" && after->text != "{" && after->text != "->" &&
+         after->text != "mutable" && after->text != "noexcept" &&
+         after->text != "constexpr")) {
+      continue;
+    }
+
+    LambdaInfo info;
+    info.line = t.line;
+    parse_captures(toks, i + 1, close, info.captures);
+    // Innermost enclosing call: nearest named '(' frame, unless a lambda
+    // body intervenes (captures inside a deferred body are scoped to that
+    // body, not to the outer deferring call).
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (it->barrier) break;
+      if (it->kind == '(' && !it->callee.empty()) {
+        info.enclosing_call = it->callee;
+        info.enclosing_call_qualifier = it->qualifier;
+        break;
+      }
+    }
+    table.lambdas.push_back(std::move(info));
+    pending.push_back({table.lambdas.size() - 1, paren_frames});
+    // Continue at i+1: tokens inside the capture list and body are scanned
+    // normally so nested lambdas and calls are seen.
+  }
+}
+
+// ---- includes (from raw source: the lexer strips preprocessor strings) -
+
+void collect_includes(std::string_view src, SymbolTable& table) {
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    std::size_t eol = src.find('\n', pos);
+    if (eol == std::string_view::npos) eol = src.size();
+    std::string_view l = src.substr(pos, eol - pos);
+    const auto skip_ws = [&l] {
+      while (!l.empty() && (l.front() == ' ' || l.front() == '\t')) l.remove_prefix(1);
+    };
+    skip_ws();
+    if (!l.empty() && l.front() == '#') {
+      l.remove_prefix(1);
+      skip_ws();
+      if (l.starts_with("include")) {
+        l.remove_prefix(7);
+        skip_ws();
+        if (!l.empty() && l.front() == '"') {
+          l.remove_prefix(1);
+          const std::size_t q = l.find('"');
+          if (q != std::string_view::npos) {
+            table.includes.push_back({line, std::string(l.substr(0, q))});
+          }
+        }
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+}  // namespace
+
+Unit unit_of_identifier(std::string_view name) {
+  // Trailing-underscore members (`deadline_ns_`) carry the same unit.
+  if (name.size() > 1 && name.back() == '_') name.remove_suffix(1);
+  for (const SuffixUnit& s : kSuffixes) {
+    if (name.size() > s.suffix.size() && name.ends_with(s.suffix)) return s.unit;
+  }
+  return Unit::kNone;
+}
+
+Dimension dimension_of(Unit unit) {
+  switch (unit) {
+    case Unit::kNs:
+    case Unit::kUs:
+    case Unit::kMs:
+      return Dimension::kTime;
+    case Unit::kBits:
+    case Unit::kBytes:
+      return Dimension::kSize;
+    case Unit::kMbps:
+      return Dimension::kRate;
+    case Unit::kHz:
+      return Dimension::kFrequency;
+    case Unit::kNone:
+      break;
+  }
+  return Dimension::kNone;
+}
+
+std::string_view unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kNs: return "ns";
+    case Unit::kUs: return "us";
+    case Unit::kMs: return "ms";
+    case Unit::kBits: return "bits";
+    case Unit::kBytes: return "bytes";
+    case Unit::kMbps: return "mbps";
+    case Unit::kHz: return "hz";
+    case Unit::kNone: break;
+  }
+  return "";
+}
+
+SymbolTable build_symbols(const LexResult& lexed, std::string_view raw_source) {
+  SymbolTable table;
+  collect_int_decls(lexed.tokens, table.ints);
+  scan_lambdas(lexed.tokens, table);
+  collect_includes(raw_source, table);
+  return table;
+}
+
+void merge_int_decls(SymbolTable& table, const SymbolTable& other) {
+  for (const auto& [name, decl] : other.ints) {
+    table.ints.insert({name, decl});
+  }
+}
+
+}  // namespace tsnlint

@@ -1,0 +1,90 @@
+// tsnlint pass 1 — per-file symbol table.
+//
+// Built once per file from the token stream (plus the raw source for
+// preprocessor lines, which the lexer strips), then consumed by every
+// symbol-aware rule in pass 2 (rules.cpp):
+//
+//   * unit-tagged identifiers: any identifier whose suffix names a
+//     physical unit (`_ns/_us/_ms/_bits/_bytes/_mbps/_hz`) carries that
+//     unit wherever it appears — the time-unit rule flags cross-unit
+//     arithmetic without an explicit conversion;
+//   * integer declarations with their width (32 vs 64 bit), so the
+//     time-unit rule can spot 32-bit intermediates in rate x duration
+//     math (the class behind the PR 5 pacing truncation bug);
+//   * lambda expressions with their parsed capture lists and the
+//     innermost enclosing call, so the callback-capture rule can tell a
+//     `[&]` handed to `Simulator::schedule_at` (deferred — dangles on
+//     stack state) from a `[&]` handed to `std::sort` (immediate);
+//   * `#include "..."` edges, checked by the layering rule against the
+//     declared subsystem DAG (tools/tsnlint/layers.txt).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace tsnlint {
+
+enum class Unit { kNone, kNs, kUs, kMs, kBits, kBytes, kMbps, kHz };
+enum class Dimension { kNone, kTime, kSize, kRate, kFrequency };
+
+/// Unit inferred from an identifier suffix (`deadline_ns` -> kNs).
+[[nodiscard]] Unit unit_of_identifier(std::string_view name);
+[[nodiscard]] Dimension dimension_of(Unit unit);
+[[nodiscard]] std::string_view unit_name(Unit unit);
+
+enum class IntWidth { kUnknown, k32, k64 };
+
+struct VarDecl {
+  IntWidth width = IntWidth::kUnknown;
+  int line = 0;
+};
+
+/// One entry of a lambda capture list.
+struct Capture {
+  std::string name;        // empty for defaults and this/*this
+  bool by_ref = false;     // [&] default or &name (incl. `&x = expr`)
+  bool is_default = false; // [&] or [=]
+  bool is_this = false;    // this
+  bool star_this = false;  // *this (by copy)
+  bool is_init = false;    // init-capture `x = expr` / `x{expr}`
+};
+
+struct LambdaInfo {
+  int line = 0;
+  std::vector<Capture> captures;
+  /// Innermost function call whose argument list lexically contains this
+  /// lambda: the callee identifier (`schedule_at` for
+  /// `sim.schedule_at(t, [..]{..})`) plus the identifier preceding it
+  /// (`PeriodicTask` for `PeriodicTask tick(sim, t, p, [..]{..})`, where
+  /// the "callee" position holds the variable name). Empty at statement
+  /// scope.
+  std::string enclosing_call;
+  std::string enclosing_call_qualifier;
+};
+
+struct IncludeEdge {
+  int line = 0;
+  std::string path;  // quoted form only; <system> includes are ignored
+};
+
+struct SymbolTable {
+  /// Integer variable declarations by name (last declaration wins).
+  std::map<std::string, VarDecl> ints;
+  std::vector<LambdaInfo> lambdas;
+  std::vector<IncludeEdge> includes;
+};
+
+/// Pass 1. `raw_source` is the untokenized file content (needed for
+/// `#include` lines, which the lexer strips along with all preprocessor
+/// text inside strings).
+[[nodiscard]] SymbolTable build_symbols(const LexResult& lexed, std::string_view raw_source);
+
+/// Merges integer declarations of `other` (e.g. the paired header) into
+/// `table` without overriding names already declared locally.
+void merge_int_decls(SymbolTable& table, const SymbolTable& other);
+
+}  // namespace tsnlint

@@ -2,11 +2,16 @@
 // `file:line: rule-id: message` diagnostics (exit 1 when any survive).
 //
 //   tsnlint [--root DIR] [--allow RULE:PATH-SUBSTRING]... [--list-rules]
-//           [path...]
+//           [--format text|json|sarif] [--out FILE]
+//           [--layers FILE | --no-layers] [path...]
 //
 // Paths are directories (scanned recursively for .cpp/.cc/.cxx/.hpp/.hh/.h)
 // or single files, relative to --root (default: the current directory).
 // With no paths, scans src tests bench tools examples.
+//
+// The subsystem layering DAG is auto-loaded from
+// <root>/tools/tsnlint/layers.txt when present; --layers overrides the
+// location and --no-layers disables the layering rule.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "report.hpp"
 #include "rules.hpp"
 
 namespace fs = std::filesystem;
@@ -41,7 +47,8 @@ namespace {
 
 int usage(int code) {
   std::cerr << "usage: tsnlint [--root DIR] [--allow RULE:PATH-SUBSTRING]...\n"
-               "               [--list-rules] [path...]\n";
+               "               [--format text|json|sarif] [--out FILE]\n"
+               "               [--layers FILE | --no-layers] [--list-rules] [path...]\n";
   return code;
 }
 
@@ -51,17 +58,46 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   tsnlint::Options options;
   std::vector<std::string> roots;
+  std::string format = "text";
+  std::string out_file;
+  std::string layers_file;
+  bool no_layers = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const std::string& r : tsnlint::rule_ids()) std::cout << r << "\n";
+      for (const tsnlint::RuleMeta& m : tsnlint::rule_metadata()) {
+        std::cout << m.id << "\t" << m.summary << "\n";
+      }
       return 0;
     }
     if (arg == "--help" || arg == "-h") return usage(0);
     if (arg == "--root") {
       if (++i >= argc) return usage(2);
       root = argv[i];
+      continue;
+    }
+    if (arg == "--format") {
+      if (++i >= argc) return usage(2);
+      format = argv[i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "tsnlint: unknown format '" << format << "'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--out") {
+      if (++i >= argc) return usage(2);
+      out_file = argv[i];
+      continue;
+    }
+    if (arg == "--layers") {
+      if (++i >= argc) return usage(2);
+      layers_file = argv[i];
+      continue;
+    }
+    if (arg == "--no-layers") {
+      no_layers = true;
       continue;
     }
     if (arg == "--allow") {
@@ -82,6 +118,26 @@ int main(int argc, char** argv) {
     roots.push_back(arg);
   }
   if (roots.empty()) roots = {"src", "tests", "bench", "tools", "examples"};
+
+  // Subsystem DAG for the layering rule: explicit --layers path, else the
+  // conventional manifest next to the tool's sources.
+  if (!no_layers) {
+    fs::path manifest = layers_file.empty()
+                            ? root / "tools" / "tsnlint" / "layers.txt"
+                            : fs::path(layers_file);
+    std::error_code ec;
+    if (fs::is_regular_file(manifest, ec)) {
+      std::string error;
+      options.layers = tsnlint::parse_layers(read_file(manifest), error);
+      if (!error.empty()) {
+        std::cerr << "tsnlint: " << manifest.string() << ": " << error << "\n";
+        return 2;
+      }
+    } else if (!layers_file.empty()) {
+      std::cerr << "tsnlint: cannot read layers manifest '" << manifest.string() << "'\n";
+      return 2;
+    }
+  }
 
   // Collect files (sorted, so output and scan order are deterministic).
   std::map<std::string, fs::path> files;  // generic relative path -> absolute
@@ -125,7 +181,26 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
 
-  for (const tsnlint::Finding& f : findings) std::cout << f.format() << "\n";
+  std::string rendered;
+  if (format == "json") {
+    rendered = tsnlint::to_json(findings);
+  } else if (format == "sarif") {
+    rendered = tsnlint::to_sarif(findings);
+  } else {
+    std::ostringstream text;
+    for (const tsnlint::Finding& f : findings) text << f.format() << "\n";
+    rendered = text.str();
+  }
+  if (out_file.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_file, std::ios::binary);
+    if (!out) {
+      std::cerr << "tsnlint: cannot write '" << out_file << "'\n";
+      return 2;
+    }
+    out << rendered;
+  }
   std::cerr << "tsnlint: scanned " << files.size() << " files, " << findings.size()
             << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
   return findings.empty() ? 0 : 1;

@@ -26,6 +26,12 @@ int main() {
   cfg.options.resource.classification_table_size = 1024;
   cfg.options.resource.unicast_table_size = 1024;
   cfg.options.resource.meter_table_size = 1024;
+  // The 10 ms TS periods drift across the 65 us slot grid, so a frame can
+  // slip into the adjacent CQF cell: the static backlog bound is 14
+  // frames per queue, beyond the 12-deep paper default.
+  cfg.options.resource.queue_depth = 16;
+  cfg.options.resource.buffers_per_port =
+      cfg.options.resource.queue_depth * cfg.options.resource.queues_per_port;
   cfg.options.seed = 60802;
 
   // Each cell talks to the next (1 -> 2 -> 3 -> 1), 256 TS flows each,
@@ -62,7 +68,7 @@ int main() {
   std::printf("RC : recv=%llu loss=%s avg=%.1fus\n",
               static_cast<unsigned long long>(r.rc.received),
               format_percent(r.rc.loss_rate()).c_str(), r.rc.avg_latency_us());
-  std::printf("net: drops=%llu peak TS queue=%lld/12 sync err=%lldns itp peak=%lld\n\n",
+  std::printf("net: drops=%llu peak TS queue=%lld/16 sync err=%lldns itp peak=%lld\n\n",
               static_cast<unsigned long long>(r.switch_drops),
               static_cast<long long>(r.peak_ts_queue),
               static_cast<long long>(r.max_sync_error.ns()),

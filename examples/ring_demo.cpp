@@ -28,6 +28,12 @@ int main() {
   cfg.options.resource.classification_table_size = 1040;  // 1024 TS + background
   cfg.options.resource.unicast_table_size = 1040;
   cfg.options.resource.meter_table_size = 1040;
+  // The 10 ms TS periods drift across the 65 us slot grid, so a frame can
+  // slip into the adjacent CQF cell: the static backlog bound is 14
+  // frames per queue, beyond the 12-deep paper default.
+  cfg.options.resource.queue_depth = 16;
+  cfg.options.resource.buffers_per_port =
+      cfg.options.resource.queue_depth * cfg.options.resource.queues_per_port;
   cfg.options.runtime.slot_size = 65_us;
   cfg.options.max_drift_ppm = 20.0;
   cfg.options.seed = 2020;
@@ -67,7 +73,7 @@ int main() {
   std::printf("BE : recv=%llu loss=%s avg=%.1fus\n",
               static_cast<unsigned long long>(r.be.received),
               format_percent(r.be.loss_rate()).c_str(), r.be.avg_latency_us());
-  std::printf("\nnetwork: switch drops=%llu, peak TS queue=%lld/12, peak buffers=%lld/96, "
+  std::printf("\nnetwork: switch drops=%llu, peak TS queue=%lld/16, peak buffers=%lld/128, "
               "max sync error=%lldns\n",
               static_cast<unsigned long long>(r.switch_drops),
               static_cast<long long>(r.peak_ts_queue),

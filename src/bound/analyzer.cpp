@@ -1,0 +1,820 @@
+#include "bound/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "bound/curves.hpp"
+#include "common/error.hpp"
+#include "net/ethernet.hpp"
+
+namespace tsn::bound {
+namespace {
+
+/// The two alternating CQF queues (SwitchRuntimeConfig defaults; the
+/// repo's classification targets kTsPriority and Gate Ctrl redirects into
+/// the other member of the pair).
+constexpr std::uint8_t kCqfQueueA = traffic::kTsPriority;
+constexpr std::uint8_t kCqfQueueB = traffic::kTsPriority - 1;
+
+/// Worst preemption blocking: the express frame waits for the current
+/// 64 B fragment to finish plus the 4 B mCRC (802.3br), with the usual
+/// preamble/IFG around the fragment.
+constexpr std::int64_t kPreemptionFragmentBytes = 68;
+
+/// One committed (link, slot) accounting cell of the hyperperiod ring.
+struct Cell {
+  std::int64_t bits = 0;
+  std::int64_t frames = 0;
+};
+
+struct LinkLoad {
+  std::map<std::int64_t, Cell> cells;  // slot index -> cell
+  std::int64_t max_bits = 0;
+  std::int64_t max_frames = 0;
+  /// Worst sum over two adjacent slots — both CQF queues resident.
+  std::int64_t max_pair_frames = 0;
+  std::int64_t max_pair_bits = 0;
+  /// A flow whose period is not a multiple of the slot crosses this
+  /// link: its injection phase sweeps the slot, so an occurrence can be
+  /// binned one cell late and co-reside with the neighbouring cell.
+  bool drifting = false;
+  /// Worst cell exceeds what the wire carries in one slot: the slot
+  /// pipeline breaks down and backlog carries over indefinitely.
+  bool overload = false;
+};
+
+struct TsPath {
+  const traffic::FlowSpec* flow = nullptr;
+  std::vector<topo::Hop> primary;
+  std::vector<topo::Hop> secondary;  // empty unless FRER found one
+};
+
+struct ClassPath {
+  const traffic::FlowSpec* flow = nullptr;
+  std::vector<topo::Hop> hops;
+};
+
+/// Aggregation key of one RC egress queue.
+using RcKey = std::tuple<topo::NodeId, std::uint8_t, topo::LinkId, Priority>;
+
+struct RcQueueState {
+  ArrivalCurve aggregate;           // meter envelopes, raw frame bits
+  std::int64_t reserved_bps = 0;    // raw reservation sum (cbs_bps mirror)
+  double wire_factor = 1.0;         // worst wire-bits / frame-bits ratio
+  /// One (policed bps, frame bits) pair per member flow, so the backlog
+  /// can be converted to frames per flow instead of dividing the
+  /// aggregate by the smallest member (which inflates badly when frame
+  /// sizes are heterogeneous).
+  std::vector<std::pair<double, double>> members;
+  std::optional<Duration> delay;
+  std::optional<double> backlog_bits;
+  std::optional<std::int64_t> backlog_frames;
+};
+
+std::string class_name(net::TrafficClass cls) {
+  switch (cls) {
+    case net::TrafficClass::kTimeSensitive: return "TS";
+    case net::TrafficClass::kRateConstrained: return "RC";
+    case net::TrafficClass::kBestEffort: return "BE";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string us_str(Duration d) {
+  std::ostringstream os;
+  os << static_cast<double>(d.ns()) / 1000.0 << " us";
+  return os.str();
+}
+
+class Analysis {
+ public:
+  explicit Analysis(const BoundInput& in) : in_(in) {}
+
+  BoundReport run() {
+    if (in_.topology == nullptr || in_.slot.ns() <= 0) {
+      const std::string why = in_.topology == nullptr
+                                  ? "no topology to analyze"
+                                  : "non-positive slot size admits no slot pipeline";
+      for (const traffic::FlowSpec& f : in_.flows) add_unbounded(f, why);
+      return finish();
+    }
+    classify_flows();
+    resolve_plan();
+    account_ts_cells();
+    account_blocking();
+    bound_ts_flows();
+    bound_rc_queues();
+    bound_rc_flows();
+    bound_be_flows();
+    collect_queue_bounds();
+    collect_port_bounds();
+    return finish();
+  }
+
+ private:
+  void add_unbounded(const traffic::FlowSpec& f, std::string why) {
+    FlowBound fb;
+    fb.flow = f.id;
+    fb.type = f.type;
+    fb.deadline = f.deadline;
+    fb.bounded = false;
+    fb.note = std::move(why);
+    flow_bounds_[f.id] = std::move(fb);
+  }
+
+  void classify_flows() {
+    const std::size_t nodes = in_.topology->node_count();
+    for (const traffic::FlowSpec& f : in_.flows) {
+      if (f.src_host >= nodes || f.dst_host >= nodes) {
+        add_unbounded(f, "endpoint is not a node of this topology");
+        continue;
+      }
+      auto hops = in_.topology->route(f.src_host, f.dst_host);
+      if (!hops.has_value()) {
+        add_unbounded(f, "no route between the endpoints");
+        continue;
+      }
+      switch (f.type) {
+        case net::TrafficClass::kTimeSensitive: {
+          if (f.period.ns() <= 0) {
+            add_unbounded(f, "TS flow without a period has no arrival curve");
+            continue;
+          }
+          TsPath p;
+          p.flow = &f;
+          p.primary = std::move(*hops);
+          if (in_.frer) {
+            // Mirror provision_frer: only switch-to-switch links must be
+            // disjoint; the host attachment links are unavoidable.
+            std::vector<topo::LinkId> used;
+            for (const topo::Hop& hop : p.primary) {
+              const topo::Link& l = in_.topology->link(hop.link);
+              if (in_.topology->node(l.node_a).kind == topo::NodeKind::kSwitch &&
+                  in_.topology->node(l.node_b).kind == topo::NodeKind::kSwitch) {
+                used.push_back(hop.link);
+              }
+            }
+            if (auto sec = in_.topology->route_avoiding(f.src_host, f.dst_host, used)) {
+              p.secondary = std::move(*sec);
+            }
+          }
+          ts_.push_back(std::move(p));
+          break;
+        }
+        case net::TrafficClass::kRateConstrained:
+          if (f.rate.bps() <= 0) {
+            add_unbounded(f, "RC flow without a reserved rate has no arrival curve");
+            continue;
+          }
+          rc_.push_back(ClassPath{&f, std::move(*hops)});
+          break;
+        case net::TrafficClass::kBestEffort:
+          be_.push_back(ClassPath{&f, std::move(*hops)});
+          break;
+      }
+    }
+  }
+
+  void resolve_plan() {
+    plan_ = in_.plan;
+    if (plan_ == nullptr && !ts_.empty()) {
+      // Same default the scenario runner uses under use_itp.
+      std::vector<traffic::FlowSpec> plannable;
+      plannable.reserve(ts_.size());
+      for (const TsPath& p : ts_) plannable.push_back(*p.flow);
+      try {
+        derived_plan_ = sched::ItpPlanner(*in_.topology, in_.slot).plan(plannable);
+        plan_ = &*derived_plan_;
+      } catch (const Error&) {
+        plan_ = nullptr;
+      }
+    }
+  }
+
+  /// Wire time of `bits` at the device link rate (what every MAC in the
+  /// simulator serializes at).
+  [[nodiscard]] Duration wire_time(std::int64_t bits) const {
+    return in_.link_rate.transmission_time(BitCount(bits));
+  }
+
+  /// Per-(link, slot) committed cells over the hyperperiod ring — the
+  /// planner's accounting, frame-size weighted, with FRER secondary
+  /// members included (they occupy real cells on their member paths).
+  void account_ts_cells() {
+    if (plan_ == nullptr || plan_->slots_per_hyperperiod <= 0) return;
+    const Duration slot = plan_->slot.ns() > 0 ? plan_->slot : in_.slot;
+    const std::int64_t ring = plan_->slots_per_hyperperiod;
+    for (const TsPath& p : ts_) {
+      const auto it = plan_->injection_slot.find(p.flow->id);
+      const std::int64_t inj = it == plan_->injection_slot.end() ? 0 : it->second;
+      const std::int64_t bits = net::wire_bits(p.flow->frame_bytes).bits();
+      const std::int64_t occurrences =
+          std::max<std::int64_t>(1, plan_->hyperperiod / p.flow->period);
+      const bool drifting = slot.ns() > 0 && p.flow->period.ns() % slot.ns() != 0;
+      for (const std::vector<topo::Hop>* hops : {&p.primary, &p.secondary}) {
+        if (hops->empty()) continue;
+        for (std::int64_t k = 0; k < occurrences; ++k) {
+          const std::int64_t inject_ns = k * p.flow->period.ns() + inj * slot.ns();
+          const std::int64_t base_slot = inject_ns / slot.ns();
+          for (std::size_t j = 0; j < hops->size(); ++j) {
+            const std::int64_t s = (base_slot + static_cast<std::int64_t>(j)) % ring;
+            LinkLoad& load = load_[(*hops)[j].link];
+            Cell& cell = load.cells[s];
+            cell.bits += bits;
+            cell.frames += 1;
+            load.drifting |= drifting;
+            ts_tx_[(*hops)[j].link].insert({(*hops)[j].node, (*hops)[j].out_port});
+          }
+        }
+      }
+    }
+    const std::int64_t capacity = in_.link_rate.bits_in(in_.slot).bits();
+    for (auto& [link, load] : load_) {
+      for (const auto& [s, cell] : load.cells) {
+        load.max_bits = std::max(load.max_bits, cell.bits);
+        load.max_frames = std::max(load.max_frames, cell.frames);
+        const auto next = load.cells.find((s + 1) % std::max<std::int64_t>(1, ring));
+        const bool has_next = next != load.cells.end() && next->first != s;
+        const std::int64_t pair = cell.frames + (has_next ? next->second.frames : 0);
+        load.max_pair_frames = std::max(load.max_pair_frames, pair);
+        load.max_pair_bits =
+            std::max(load.max_pair_bits, cell.bits + (has_next ? next->second.bits : 0));
+      }
+      load.overload = load.max_bits > capacity;
+    }
+  }
+
+  /// Worst lower-class wire time per link, and the resulting TS
+  /// slot-boundary blocking under the configured protection.
+  void account_blocking() {
+    for (const std::vector<ClassPath>* cls : {&rc_, &be_}) {
+      for (const ClassPath& p : *cls) {
+        const std::int64_t bits = net::wire_bits(p.flow->frame_bytes).bits();
+        for (const topo::Hop& hop : p.hops) {
+          auto& worst = bg_wire_bits_[hop.link];
+          worst = std::max(worst, bits);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Duration ts_boundary_blocking(topo::LinkId link) const {
+    const auto it = bg_wire_bits_.find(link);
+    if (it == bg_wire_bits_.end()) return Duration::zero();
+    const Duration full = wire_time(it->second);
+    if (in_.guard_band) {
+      // The guard band refuses any start that cannot finish before the
+      // boundary; only a frame longer than the whole slot (which could
+      // then never start at all) still blocks.
+      return full > in_.slot ? full : Duration::zero();
+    }
+    if (in_.preemption) {
+      return wire_time(net::wire_bits(kPreemptionFragmentBytes).bits());
+    }
+    return full;
+  }
+
+  /// Worst wait of a TS frame in its talker's FIFO NIC before its own
+  /// slot transmission can begin: background senders on the same host are
+  /// paced, so at most one frame per co-resident flow is outstanding.
+  [[nodiscard]] Duration nic_blocking(topo::NodeId host) const {
+    std::int64_t bits = 0;
+    for (const std::vector<ClassPath>* cls : {&rc_, &be_}) {
+      for (const ClassPath& p : *cls) {
+        if (p.flow->src_host == host) {
+          bits += net::wire_bits(p.flow->frame_bytes).bits();
+        }
+      }
+    }
+    return wire_time(bits);
+  }
+
+  struct MemberBound {
+    Duration latency{};
+    std::int64_t switch_hops = 0;
+    std::int64_t penalty_slots = 0;
+    std::vector<HopBound> per_hop;
+    bool overloaded = false;
+  };
+
+  [[nodiscard]] MemberBound bound_member(const traffic::FlowSpec& flow,
+                                         const std::vector<topo::Hop>& hops) const {
+    MemberBound mb;
+    if (hops.empty()) return mb;
+    const Duration proc = in_.processing_delay;
+    for (std::size_t j = 0; j < hops.size(); ++j) {
+      const topo::Hop& hop = hops[j];
+      const auto lit = load_.find(hop.link);
+      HopBound hb;
+      hb.node = hop.node;
+      hb.link = hop.link;
+      hb.drain = lit == load_.end() ? Duration::zero() : wire_time(lit->second.max_bits);
+      hb.blocking = j == 0 ? nic_blocking(flow.src_host) : ts_boundary_blocking(hop.link);
+      hb.propagation = in_.topology->link(hop.link).propagation;
+      const Duration lead = j == 0 ? in_.injection_margin : Duration::zero();
+      hb.feasible =
+          lead + hb.blocking + hb.drain + hb.propagation + proc + in_.sync_slack <= in_.slot;
+      if (!hb.feasible && j + 1 < hops.size()) ++mb.penalty_slots;
+      if (lit != load_.end() && lit->second.overload) mb.overloaded = true;
+      if (in_.topology->node(hop.node).kind == topo::NodeKind::kSwitch) ++mb.switch_hops;
+      mb.per_hop.push_back(hb);
+    }
+    // The slot pipeline: an occurrence injected during slot s (margin
+    // after the boundary) is transmitted by the h-th switch during slot
+    // s+h, so delivery is at worst the (s+h) boundary plus the last
+    // link's boundary blocking, cell drain, propagation, pipeline delay
+    // and clock disagreement. Every infeasible hop shifts the pipeline
+    // one further slot.
+    const HopBound& last = mb.per_hop.back();
+    const Duration base = in_.slot * (mb.switch_hops + mb.penalty_slots) - in_.injection_margin;
+    const Duration tail =
+        last.blocking + last.drain + last.propagation + proc + in_.sync_slack;
+    mb.latency = Duration(std::max<std::int64_t>(0, base.ns())) + tail;
+    // A drifting injection phase (period not a multiple of the slot)
+    // sweeps the whole slot over the hyperperiod, so some occurrence
+    // arrives at the first switch just after a cell boundary and is
+    // binned one cell late. Measured from its (late) injection, that
+    // occurrence pays the full pipeline plus everything that delayed its
+    // first-hop arrival: talker FIFO blocking, the worst first cell, the
+    // first link, and the pipeline stage.
+    if (in_.slot.ns() > 0 && flow.period.ns() % in_.slot.ns() != 0) {
+      const HopBound& first = mb.per_hop.front();
+      const Duration late = in_.slot * (mb.switch_hops + mb.penalty_slots) + first.blocking +
+                            first.drain + first.propagation + proc + last.drain +
+                            last.propagation + in_.sync_slack;
+      if (late > mb.latency) mb.latency = late;
+    }
+    return mb;
+  }
+
+  void bound_ts_flows() {
+    for (const TsPath& p : ts_) {
+      if (plan_ == nullptr || plan_->slots_per_hyperperiod <= 0) {
+        add_unbounded(*p.flow, "no injection plan (ITP planning failed)");
+        continue;
+      }
+      FlowBound fb;
+      fb.flow = p.flow->id;
+      fb.type = p.flow->type;
+      fb.deadline = p.flow->deadline;
+      MemberBound primary = bound_member(*p.flow, p.primary);
+      fb.latency = primary.latency;
+      fb.switch_hops = primary.switch_hops;
+      fb.penalty_slots = primary.penalty_slots;
+      fb.per_hop = std::move(primary.per_hop);
+      bool overloaded = primary.overloaded;
+      if (!p.secondary.empty()) {
+        const MemberBound secondary = bound_member(*p.flow, p.secondary);
+        overloaded = overloaded || secondary.overloaded;
+        // FRER delivers on the first surviving member; fault-free both
+        // run, and the *bound* must cover whichever copy the listener
+        // accepts first — which is at worst the better member, but a
+        // recovery window pinned to the primary makes the worse member
+        // the safe answer.
+        if (secondary.latency > fb.latency) {
+          fb.latency = secondary.latency;
+          fb.penalty_slots = secondary.penalty_slots;
+        }
+      }
+      if (overloaded) {
+        fb.bounded = false;
+        fb.note =
+            "a (link, slot) cell on the path commits more wire time than one slot "
+            "carries — the CQF pipeline cannot drain it";
+      } else {
+        fb.bounded = true;
+      }
+      flow_bounds_[p.flow->id] = std::move(fb);
+    }
+  }
+
+  void bound_rc_queues() {
+    // Aggregate the per-switch meter envelopes per egress queue — the
+    // same (node, port, priority) grouping provision() binds CBS for.
+    for (const ClassPath& p : rc_) {
+      const traffic::FlowSpec& f = *p.flow;
+      const double police =
+          static_cast<double>(f.rate.bps()) * (1.0 + in_.cbs_headroom);
+      const double frame_bits = static_cast<double>(f.frame_bytes) * 8.0;
+      const double factor =
+          static_cast<double>(net::wire_bits(f.frame_bytes).bits()) / frame_bits;
+      for (const topo::Hop& hop : p.hops) {
+        if (in_.topology->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+        RcQueueState& q = rc_queues_[{hop.node, hop.out_port, hop.link, f.priority}];
+        q.aggregate += ArrivalCurve{police, 2.0 * frame_bits};
+        q.reserved_bps += f.rate.bps();
+        q.wire_factor = std::max(q.wire_factor, factor);
+        q.members.emplace_back(police, frame_bits);
+      }
+    }
+
+    for (auto& [key, q] : rc_queues_) {
+      const auto& [node, port, link, prio] = key;
+      // Service: the CQF-gated link (TS cells pre-empt the slot), capped
+      // at the bound idle slope, minus higher RC reservations on the same
+      // port; one lower-priority frame of non-preemptive blocking.
+      const auto lit = load_.find(link);
+      const Duration ts_drain =
+          lit == load_.end() ? Duration::zero() : wire_time(lit->second.max_bits);
+      const ServiceCurve gate = gated_service(
+          in_.link_rate, effective_open(in_.slot, ts_drain), in_.slot);
+      double higher_bps = 0.0;
+      for (const auto& [okey, oq] : rc_queues_) {
+        if (std::get<0>(okey) == node && std::get<1>(okey) == port &&
+            std::get<3>(okey) > prio) {
+          higher_bps += idle_slope(oq);
+        }
+      }
+      // Wire overhead scales the gate's capacity down when mapped onto
+      // raw frame bits (the meter's units); the idle slope is already a
+      // raw-rate guarantee.
+      const double rate =
+          std::min(idle_slope(q), (gate.rate_bps - higher_bps) / q.wire_factor);
+      std::int64_t lower_bits = 0;
+      for (const std::vector<ClassPath>* cls : {&rc_, &be_}) {
+        for (const ClassPath& p : *cls) {
+          if (p.flow->type == net::TrafficClass::kRateConstrained &&
+              p.flow->priority >= prio) {
+            continue;
+          }
+          for (const topo::Hop& hop : p.hops) {
+            if (hop.link == link && hop.node == node) {
+              lower_bits = std::max(lower_bits, net::wire_bits(p.flow->frame_bytes).bits());
+            }
+          }
+        }
+      }
+      const ServiceCurve service{
+          rate, gate.latency + wire_time(lower_bits) + in_.processing_delay};
+      q.delay = delay_bound(q.aggregate, service);
+      q.backlog_bits = backlog_bound_bits(q.aggregate, service);
+      if (q.backlog_bits.has_value()) {
+        // Frame-domain backlog: the vertical deviation is reached at the
+        // service latency T, where each member flow holds at most its own
+        // burst (two frames) plus what its policed rate delivered during
+        // T — converted with that flow's own frame size.
+        const double t_sec = static_cast<double>(service.latency.ns()) / 1e9;
+        std::int64_t frames = 0;
+        for (const auto& [bps, frame_bits] : q.members) {
+          frames += 2 + static_cast<std::int64_t>(std::ceil(bps * t_sec / frame_bits));
+        }
+        q.backlog_frames = frames;
+      }
+    }
+  }
+
+  [[nodiscard]] double idle_slope(const RcQueueState& q) const {
+    return std::min(static_cast<double>(in_.link_rate.bps()),
+                    static_cast<double>(q.reserved_bps) * (1.0 + in_.cbs_headroom));
+  }
+
+  void bound_rc_flows() {
+    for (const ClassPath& p : rc_) {
+      const traffic::FlowSpec& f = *p.flow;
+      bool be_shared = false;
+      for (const ClassPath& b : be_) {
+        if (b.flow->src_host == f.src_host) be_shared = true;
+      }
+      if (be_shared) {
+        add_unbounded(f,
+                      "talker NIC is shared with a best-effort flow; the FIFO wait "
+                      "behind Poisson arrivals has no worst case");
+        continue;
+      }
+      FlowBound fb;
+      fb.flow = f.id;
+      fb.type = f.type;
+      fb.deadline = f.deadline;
+      fb.bounded = true;
+      // Source NIC: the paced frame waits behind at worst the host's TS
+      // slot cell plus one outstanding frame per co-resident paced flow.
+      const topo::Hop& first = p.hops.front();
+      const auto lit = load_.find(first.link);
+      std::int64_t nic_bits = lit == load_.end() ? 0 : lit->second.max_bits;
+      for (const ClassPath& o : rc_) {
+        if (o.flow->src_host == f.src_host) {
+          nic_bits += 2 * net::wire_bits(o.flow->frame_bytes).bits();
+        }
+      }
+      Duration total = wire_time(nic_bits) + in_.topology->link(first.link).propagation;
+      for (std::size_t j = 1; j < p.hops.size(); ++j) {
+        const topo::Hop& hop = p.hops[j];
+        ++fb.switch_hops;
+        const auto qit = rc_queues_.find({hop.node, hop.out_port, hop.link, f.priority});
+        if (qit == rc_queues_.end() || !qit->second.delay.has_value()) {
+          fb.bounded = false;
+          fb.note = "CBS service at node " + std::to_string(hop.node) +
+                    " cannot cover the queue's policed aggregate";
+          break;
+        }
+        total += *qit->second.delay + in_.topology->link(hop.link).propagation;
+      }
+      if (fb.bounded) fb.latency = total;
+      flow_bounds_[f.id] = std::move(fb);
+    }
+  }
+
+  void bound_be_flows() {
+    for (const ClassPath& p : be_) {
+      add_unbounded(*p.flow,
+                    "best-effort arrivals are Poisson: no arrival curve, no finite "
+                    "latency bound (backlog is still capped by the queue depth)");
+    }
+  }
+
+  void collect_queue_bounds() {
+    std::map<std::tuple<topo::NodeId, std::uint8_t, std::uint8_t>, QueueBound> queues;
+    // TS: each CQF queue of a transmitting switch port holds at most the
+    // worst committed cell of its egress link.
+    for (const auto& [link, txs] : ts_tx_) {
+      const LinkLoad& load = load_.at(link);
+      for (const auto& [node, port] : txs) {
+        if (in_.topology->node(node).kind != topo::NodeKind::kSwitch) continue;
+        for (const std::uint8_t qid : {kCqfQueueA, kCqfQueueB}) {
+          QueueBound qb;
+          qb.node = node;
+          qb.port = port;
+          qb.queue = qid;
+          qb.cls = net::TrafficClass::kTimeSensitive;
+          qb.bounded = !load.overload;
+          // Drifting flows can slip into the adjacent cell's queue, so
+          // the per-queue bound widens to the worst adjacent-cell pair.
+          qb.frames = load.drifting ? load.max_pair_frames : load.max_frames;
+          qb.bytes = ((load.drifting ? load.max_pair_bits : load.max_bits) + 7) / 8;
+          auto [it, inserted] = queues.emplace(std::make_tuple(node, port, qid), qb);
+          if (!inserted && qb.frames > it->second.frames) it->second = qb;
+        }
+      }
+    }
+    // RC: curve backlog in bytes, per-flow burst accounting in frames.
+    for (const auto& [key, q] : rc_queues_) {
+      const auto& [node, port, link, prio] = key;
+      QueueBound qb;
+      qb.node = node;
+      qb.port = port;
+      qb.queue = prio;
+      qb.cls = net::TrafficClass::kRateConstrained;
+      if (q.backlog_bits.has_value() && q.backlog_frames.has_value()) {
+        qb.frames = *q.backlog_frames;
+        qb.bytes = static_cast<std::int64_t>(std::ceil(*q.backlog_bits / 8.0));
+      } else {
+        qb.bounded = false;
+      }
+      queues.emplace(std::make_tuple(node, port, prio), qb);
+    }
+    // BE: no arrival curve, but tail drop caps the physical queue at its
+    // provisioned depth — which is therefore also its backlog bound.
+    for (const ClassPath& p : be_) {
+      for (const topo::Hop& hop : p.hops) {
+        if (in_.topology->node(hop.node).kind != topo::NodeKind::kSwitch) continue;
+        QueueBound qb;
+        qb.node = hop.node;
+        qb.port = hop.out_port;
+        qb.queue = p.flow->priority;
+        qb.cls = net::TrafficClass::kBestEffort;
+        qb.frames = in_.queue_depth;
+        qb.bytes = in_.queue_depth * in_.buffer_bytes;
+        queues.emplace(std::make_tuple(hop.node, hop.out_port, p.flow->priority), qb);
+      }
+    }
+    report_.queues.reserve(queues.size());
+    for (auto& [key, qb] : queues) report_.queues.push_back(qb);
+  }
+
+  void collect_port_bounds() {
+    // Per (switch, port): the draining CQF queue still holds the tail of
+    // the previous cell while the filling queue accepts the next (worst
+    // adjacent-cell pair), plus every RC/BE queue's own backlog, plus the
+    // frame in transmission.
+    std::map<std::pair<topo::NodeId, std::uint8_t>, PortBound> ports;
+    auto port_of = [&](topo::NodeId node, std::uint8_t port) -> PortBound& {
+      auto [it, inserted] = ports.emplace(std::make_pair(node, port), PortBound{});
+      if (inserted) {
+        it->second.node = node;
+        it->second.port = port;
+        it->second.buffers = 1;  // TX in flight
+      }
+      return it->second;
+    };
+    for (const auto& [link, txs] : ts_tx_) {
+      const LinkLoad& load = load_.at(link);
+      for (const auto& [node, port] : txs) {
+        if (in_.topology->node(node).kind != topo::NodeKind::kSwitch) continue;
+        PortBound& pb = port_of(node, port);
+        pb.buffers += load.max_pair_frames;
+        if (load.overload) pb.bounded = false;
+      }
+    }
+    for (const QueueBound& qb : report_.queues) {
+      if (qb.cls == net::TrafficClass::kTimeSensitive) continue;
+      PortBound& pb = port_of(qb.node, qb.port);
+      if (qb.bounded) {
+        pb.buffers += qb.frames;
+      } else {
+        pb.bounded = false;
+      }
+    }
+    report_.ports.reserve(ports.size());
+    for (auto& [key, pb] : ports) report_.ports.push_back(pb);
+  }
+
+  BoundReport finish() {
+    report_.flows.reserve(flow_bounds_.size());
+    for (auto& [id, fb] : flow_bounds_) report_.flows.push_back(std::move(fb));
+    return std::move(report_);
+  }
+
+  const BoundInput& in_;
+  const sched::ItpPlan* plan_ = nullptr;
+  std::optional<sched::ItpPlan> derived_plan_;
+  std::vector<TsPath> ts_;
+  std::vector<ClassPath> rc_;
+  std::vector<ClassPath> be_;
+  std::map<topo::LinkId, LinkLoad> load_;
+  std::map<topo::LinkId, std::set<std::pair<topo::NodeId, std::uint8_t>>> ts_tx_;
+  std::map<topo::LinkId, std::int64_t> bg_wire_bits_;
+  std::map<RcKey, RcQueueState> rc_queues_;
+  std::map<net::FlowId, FlowBound> flow_bounds_;
+  BoundReport report_;
+};
+
+}  // namespace
+
+Duration BoundReport::max_ts_latency() const {
+  Duration worst{};
+  for (const FlowBound& fb : flows) {
+    if (fb.type == net::TrafficClass::kTimeSensitive && fb.bounded) {
+      worst = std::max(worst, fb.latency);
+    }
+  }
+  return worst;
+}
+
+bool BoundReport::all_ts_bounded() const {
+  for (const FlowBound& fb : flows) {
+    if (fb.type == net::TrafficClass::kTimeSensitive && !fb.bounded) return false;
+  }
+  return true;
+}
+
+std::int64_t BoundReport::max_ts_queue_frames() const {
+  std::int64_t worst = 0;
+  for (const QueueBound& qb : queues) {
+    if (qb.cls == net::TrafficClass::kTimeSensitive && qb.bounded) {
+      worst = std::max(worst, qb.frames);
+    }
+  }
+  return worst;
+}
+
+std::int64_t BoundReport::max_backlog_bytes() const {
+  std::int64_t worst = 0;
+  for (const QueueBound& qb : queues) {
+    if (qb.bounded) worst = std::max(worst, qb.bytes);
+  }
+  return worst;
+}
+
+std::int64_t BoundReport::max_port_buffers() const {
+  std::int64_t worst = 0;
+  for (const PortBound& pb : ports) {
+    if (pb.bounded) worst = std::max(worst, pb.buffers);
+  }
+  return worst;
+}
+
+const FlowBound* BoundReport::find_flow(net::FlowId id) const {
+  for (const FlowBound& fb : flows) {
+    if (fb.flow == id) return &fb;
+  }
+  return nullptr;
+}
+
+std::string BoundReport::render_text(bool per_hop) const {
+  std::ostringstream os;
+  os << "worst-case bounds: " << flows.size() << " flow(s), " << queues.size()
+     << " queue(s), " << ports.size() << " port(s)\n";
+  os << "flows:\n";
+  for (const FlowBound& fb : flows) {
+    os << "  flow[" << fb.flow << "] " << class_name(fb.type);
+    if (fb.bounded) {
+      os << "  latency <= " << us_str(fb.latency);
+      if (fb.type == net::TrafficClass::kTimeSensitive) {
+        os << "  (" << fb.switch_hops << " switch hops";
+        if (fb.penalty_slots > 0) os << ", " << fb.penalty_slots << " penalty slot(s)";
+        os << ")";
+      }
+      if (fb.deadline.ns() > 0) {
+        os << "  deadline " << us_str(fb.deadline)
+           << (fb.latency <= fb.deadline ? " [met]" : " [MISSED]");
+      }
+    } else {
+      os << "  unbounded: " << fb.note;
+    }
+    os << "\n";
+    if (per_hop) {
+      for (const HopBound& hb : fb.per_hop) {
+        os << "    node[" << hb.node << "] link[" << hb.link << "]: blocking "
+           << us_str(hb.blocking) << " + drain " << us_str(hb.drain) << " + prop "
+           << us_str(hb.propagation) << (hb.feasible ? "" : "  [slot infeasible]") << "\n";
+      }
+    }
+  }
+  os << "queues:\n";
+  for (const QueueBound& qb : queues) {
+    os << "  node[" << qb.node << "].port[" << static_cast<int>(qb.port) << "].q"
+       << static_cast<int>(qb.queue) << " " << class_name(qb.cls) << ": ";
+    if (qb.bounded) {
+      os << "<= " << qb.frames << " frame(s) / " << qb.bytes << " B\n";
+    } else {
+      os << "unbounded\n";
+    }
+  }
+  os << "ports:\n";
+  for (const PortBound& pb : ports) {
+    os << "  node[" << pb.node << "].port[" << static_cast<int>(pb.port) << "]: ";
+    if (pb.bounded) {
+      os << "<= " << pb.buffers << " buffer(s)\n";
+    } else {
+      os << "unbounded\n";
+    }
+  }
+  os << "summary: max TS latency " << us_str(max_ts_latency()) << "; max backlog "
+     << max_backlog_bytes() << " B; max port demand " << max_port_buffers()
+     << " buffer(s)\n";
+  return os.str();
+}
+
+std::string BoundReport::to_json(bool per_hop) const {
+  std::ostringstream os;
+  os << "{\"flows\":[";
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowBound& fb = flows[i];
+    if (i > 0) os << ",";
+    os << "{\"flow\":" << fb.flow << ",\"class\":\"" << class_name(fb.type)
+       << "\",\"bounded\":" << (fb.bounded ? "true" : "false")
+       << ",\"latency_ns\":" << fb.latency.ns() << ",\"deadline_ns\":" << fb.deadline.ns()
+       << ",\"switch_hops\":" << fb.switch_hops
+       << ",\"penalty_slots\":" << fb.penalty_slots;
+    if (per_hop) {
+      os << ",\"per_hop\":[";
+      for (std::size_t j = 0; j < fb.per_hop.size(); ++j) {
+        const HopBound& hb = fb.per_hop[j];
+        if (j > 0) os << ",";
+        os << "{\"node\":" << hb.node << ",\"link\":" << hb.link
+           << ",\"blocking_ns\":" << hb.blocking.ns() << ",\"drain_ns\":" << hb.drain.ns()
+           << ",\"propagation_ns\":" << hb.propagation.ns()
+           << ",\"feasible\":" << (hb.feasible ? "true" : "false") << "}";
+      }
+      os << "]";
+    }
+    if (!fb.note.empty()) os << ",\"note\":\"" << json_escape(fb.note) << "\"";
+    os << "}";
+  }
+  os << "],\"queues\":[";
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const QueueBound& qb = queues[i];
+    if (i > 0) os << ",";
+    os << "{\"node\":" << qb.node << ",\"port\":" << static_cast<int>(qb.port)
+       << ",\"queue\":" << static_cast<int>(qb.queue) << ",\"class\":\""
+       << class_name(qb.cls) << "\",\"bounded\":" << (qb.bounded ? "true" : "false")
+       << ",\"frames\":" << qb.frames << ",\"bytes\":" << qb.bytes << "}";
+  }
+  os << "],\"ports\":[";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const PortBound& pb = ports[i];
+    if (i > 0) os << ",";
+    os << "{\"node\":" << pb.node << ",\"port\":" << static_cast<int>(pb.port)
+       << ",\"bounded\":" << (pb.bounded ? "true" : "false")
+       << ",\"buffers\":" << pb.buffers << "}";
+  }
+  os << "],\"summary\":{\"max_ts_latency_ns\":" << max_ts_latency().ns()
+     << ",\"all_ts_bounded\":" << (all_ts_bounded() ? "true" : "false")
+     << ",\"max_ts_queue_frames\":" << max_ts_queue_frames()
+     << ",\"max_backlog_bytes\":" << max_backlog_bytes()
+     << ",\"max_port_buffers\":" << max_port_buffers() << "}}";
+  return os.str();
+}
+
+BoundReport analyze(const BoundInput& input) { return Analysis(input).run(); }
+
+}  // namespace tsn::bound

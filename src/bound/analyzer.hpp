@@ -1,0 +1,159 @@
+// tsn::bound — static worst-case latency and backlog analysis.
+//
+// Where the simulator *measures* a configuration, this analyzer *proves*
+// it: every admitted flow gets an end-to-end worst-case latency bound and
+// every (port, queue) a worst-case backlog bound, derived purely from the
+// flow set, the topology, the injection plan, and the switch
+// configuration — no packet is ever simulated. The model per class:
+//
+//  - TS (CQF / synthesized Qbv): a frame received in slot t departs in
+//    slot t+1, so a flow crossing h switches delivers during slot s+h of
+//    its injection slot s. The bound follows the slot pipeline exactly:
+//    h*slot, minus the injection margin, plus the last hop's boundary
+//    blocking + worst slot drain + propagation + processing + sync slack.
+//    Each hop is checked for slot feasibility (can the worst cell drain
+//    inside one slot, after boundary blocking?); an infeasible hop adds
+//    one penalty slot. Worst per-(link, slot) cells come from the same
+//    hyperperiod ring accounting the ITP planner balances (and FRER
+//    secondary members are included when replication is on).
+//  - RC (CBS): every switch polices the flow to rate*(1+headroom) with a
+//    2-frame burst, so per-queue arrival aggregates are meter envelopes
+//    and hops decouple — no burst propagation between switches. Service
+//    is the CQF-gated link (curves.hpp gated_service) capped at the
+//    bound idle slope, minus higher RC reservations; latency adds one
+//    lower-priority frame of non-preemptive blocking and the pipeline
+//    delay.
+//  - BE: Poisson arrivals admit no arrival curve — latency is reported
+//    unbounded; backlog is still bounded by the provisioned queue depth
+//    (tail drop caps the physical queue).
+//
+// Soundness contract: measured <= bound on every fault-free run, or one
+// of the engine and the simulator has a bug (tests/bound.soundness gates
+// this repo-wide).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "sched/itp.hpp"
+#include "topo/topology.hpp"
+#include "traffic/flow.hpp"
+
+namespace tsn::bound {
+
+/// Everything the analyzer needs, as plain values: the switch-layer
+/// configuration fields are mirrored here so `bound` depends only on
+/// common/net/sched/topo/traffic (verify::bound_input_for adapts).
+struct BoundInput {
+  const topo::Topology* topology = nullptr;
+  std::vector<traffic::FlowSpec> flows;
+
+  // SwitchRuntimeConfig mirror.
+  Duration slot = microseconds(65);
+  DataRate link_rate = DataRate::gigabits_per_sec(1);
+  Duration processing_delay = Duration(680);
+  bool guard_band = true;
+  bool preemption = false;
+
+  // SwitchResourceConfig mirror (the provisioned ceilings bounds are
+  // compared against by the bound.* verify rules).
+  std::int64_t queue_depth = 12;
+  std::int64_t buffers_per_port = 96;
+  std::int64_t buffer_bytes = 2048;
+
+  enum class GateMode : std::uint8_t { kCqf, kQbv };
+  /// Qbv windows synthesized from the same slot grid give the same
+  /// pipeline guarantee (frames may depart *early*, which only tightens
+  /// the real latency below the bound).
+  GateMode gate_mode = GateMode::kCqf;
+
+  /// Injection plan; when null the analyzer derives one with ItpPlanner
+  /// (matching what run_scenario would do under use_itp).
+  const sched::ItpPlan* plan = nullptr;
+  /// Talker placement inside the planned slot (ScenarioConfig mirror).
+  Duration injection_margin = microseconds(2);
+  /// Allowance for residual gPTP offset between neighbouring clocks.
+  Duration sync_slack = microseconds(2);
+  /// CBS policing headroom (NetworkOptions mirror).
+  double cbs_headroom = 0.10;
+  /// Include FRER secondary members in cell accounting and bound each
+  /// TS flow over the worse of its two member paths.
+  bool frer = false;
+};
+
+/// One hop of a TS flow's per-hop breakdown (primary member path).
+struct HopBound {
+  topo::NodeId node = topo::kInvalidNode;  // transmitting node
+  topo::LinkId link = 0;
+  Duration blocking{};     // slot-boundary blocking by lower classes
+  Duration drain{};        // worst committed cell serialization time
+  Duration propagation{};
+  bool feasible = true;    // fits inside one slot (else: +1 penalty slot)
+};
+
+struct FlowBound {
+  net::FlowId flow = 0;
+  net::TrafficClass type = net::TrafficClass::kBestEffort;
+  Duration deadline{};  // 0 = none declared
+  /// False when no finite bound exists; `note` says why.
+  bool bounded = false;
+  Duration latency{};
+  std::int64_t switch_hops = 0;
+  std::int64_t penalty_slots = 0;
+  std::vector<HopBound> per_hop;
+  std::string note;
+};
+
+/// Worst-case backlog of one egress queue.
+struct QueueBound {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint8_t port = 0;
+  std::uint8_t queue = 0;
+  net::TrafficClass cls = net::TrafficClass::kBestEffort;
+  bool bounded = true;  // false: backlog diverges (overload)
+  std::int64_t frames = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Worst-case packet-buffer demand of one egress port (all queues + the
+/// frame in transmission), against SwitchResourceConfig::buffers_per_port.
+struct PortBound {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint8_t port = 0;
+  bool bounded = true;
+  std::int64_t buffers = 0;
+};
+
+struct BoundReport {
+  std::vector<FlowBound> flows;    // ordered by flow id
+  std::vector<QueueBound> queues;  // ordered by (node, port, queue)
+  std::vector<PortBound> ports;    // ordered by (node, port)
+
+  /// Worst bounded TS latency (0 when no TS flow is bounded).
+  [[nodiscard]] Duration max_ts_latency() const;
+  /// True when every TS flow got a finite latency bound.
+  [[nodiscard]] bool all_ts_bounded() const;
+  /// Worst bounded TS-queue occupancy in frames (0 when none).
+  [[nodiscard]] std::int64_t max_ts_queue_frames() const;
+  /// Worst bounded queue backlog in bytes over all classes (0 when none).
+  [[nodiscard]] std::int64_t max_backlog_bytes() const;
+  /// Worst bounded per-port buffer demand (0 when none).
+  [[nodiscard]] std::int64_t max_port_buffers() const;
+
+  [[nodiscard]] const FlowBound* find_flow(net::FlowId id) const;
+
+  [[nodiscard]] std::string render_text(bool per_hop = false) const;
+  [[nodiscard]] std::string to_json(bool per_hop = false) const;
+};
+
+/// Runs the analysis. Never throws on analyzable-but-bad inputs: flows
+/// without routes/plans/curves come back with bounded == false and a
+/// reason, so verify rules can report rather than crash.
+[[nodiscard]] BoundReport analyze(const BoundInput& input);
+
+}  // namespace tsn::bound

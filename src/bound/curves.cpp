@@ -1,0 +1,57 @@
+#include "bound/curves.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsn::bound {
+
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+}  // namespace
+
+std::optional<Duration> delay_bound(const ArrivalCurve& arrival, const ServiceCurve& service) {
+  if (service.rate_bps <= 0.0 || arrival.rate_bps > service.rate_bps) {
+    return std::nullopt;
+  }
+  const double queueing_ns = arrival.burst_bits / service.rate_bps * kNsPerSec;
+  return Duration(service.latency.ns() + static_cast<std::int64_t>(std::ceil(queueing_ns)));
+}
+
+std::optional<double> backlog_bound_bits(const ArrivalCurve& arrival,
+                                         const ServiceCurve& service) {
+  if (service.rate_bps <= 0.0 || arrival.rate_bps > service.rate_bps) {
+    return std::nullopt;
+  }
+  const double latency_sec = static_cast<double>(service.latency.ns()) / kNsPerSec;
+  return std::ceil(arrival.burst_bits + arrival.rate_bps * latency_sec);
+}
+
+ArrivalCurve propagate(const ArrivalCurve& arrival, Duration delay) {
+  ArrivalCurve out = arrival;
+  const double delay_sec = static_cast<double>(std::max<std::int64_t>(0, delay.ns())) / kNsPerSec;
+  out.burst_bits += arrival.rate_bps * delay_sec;
+  return out;
+}
+
+ServiceCurve gated_service(DataRate link, Duration open, Duration cycle) {
+  ServiceCurve out;
+  if (cycle.ns() <= 0 || open.ns() <= 0 || link.bps() <= 0) {
+    return out;  // zero service: nothing ever drains through this gate
+  }
+  if (open >= cycle) {
+    out.rate_bps = static_cast<double>(link.bps());
+    return out;
+  }
+  out.rate_bps = static_cast<double>(link.bps()) * static_cast<double>(open.ns()) /
+                 static_cast<double>(cycle.ns());
+  out.latency = cycle - open;
+  return out;
+}
+
+Duration effective_open(Duration open, Duration guard) {
+  return Duration(std::max<std::int64_t>(0, open.ns() - guard.ns()));
+}
+
+}  // namespace tsn::bound

@@ -1,0 +1,73 @@
+// tsn::bound curve algebra — the (min,+) primitives of the static
+// worst-case analyzer.
+//
+// Arrival curves are leaky buckets alpha(t) = burst + rate * t (what a
+// periodic or policed flow can offer in any window); service curves are
+// rate-latency functions beta(t) = rate * max(0, t - latency) (what a
+// shaped queue is guaranteed in any window). Network calculus gives the
+// two deviations between them: the horizontal deviation is a delay
+// bound, the vertical deviation a backlog bound, and a flow that crossed
+// a server with delay d leaves with its burst inflated by rate * d.
+//
+// All quantities are doubles in bits / bits-per-second / nanoseconds;
+// bounds round UP to whole nanoseconds or bits so conversion never eats
+// the guarantee.
+#pragma once
+
+#include <optional>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace tsn::bound {
+
+/// Leaky-bucket arrival curve: alpha(t) = burst_bits + rate_bps * t.
+struct ArrivalCurve {
+  double rate_bps = 0.0;
+  double burst_bits = 0.0;
+
+  ArrivalCurve& operator+=(const ArrivalCurve& other) {
+    rate_bps += other.rate_bps;
+    burst_bits += other.burst_bits;
+    return *this;
+  }
+  friend ArrivalCurve operator+(ArrivalCurve a, const ArrivalCurve& b) { return a += b; }
+};
+
+/// Rate-latency service curve: beta(t) = rate_bps * max(0, t - latency).
+struct ServiceCurve {
+  double rate_bps = 0.0;
+  Duration latency{};
+};
+
+/// Horizontal deviation — the worst-case delay through a server offering
+/// `service` to arrivals bounded by `arrival`. nullopt when the service
+/// rate does not dominate the arrival rate (the backlog diverges and no
+/// finite bound exists). Rounded up to whole nanoseconds.
+[[nodiscard]] std::optional<Duration> delay_bound(const ArrivalCurve& arrival,
+                                                  const ServiceCurve& service);
+
+/// Vertical deviation — the worst-case backlog (bits, rounded up) held
+/// inside the same server. nullopt when unbounded.
+[[nodiscard]] std::optional<double> backlog_bound_bits(const ArrivalCurve& arrival,
+                                                       const ServiceCurve& service);
+
+/// Output characterization: a flow delayed by at most `delay` leaves with
+/// its burst inflated by rate * delay (deconvolution of the leaky bucket
+/// by the experienced delay).
+[[nodiscard]] ArrivalCurve propagate(const ArrivalCurve& arrival, Duration delay);
+
+/// Service curve of a periodically gated transmission window: the gate is
+/// open for `open` out of every `cycle` at the full `link` rate. The
+/// long-run rate is link * open / cycle and the latency is the longest
+/// closed stretch (cycle - open). Degenerate windows collapse soundly:
+/// open <= 0 yields zero service (every delay bound through it is
+/// unbounded), open >= cycle yields the full link with zero latency.
+[[nodiscard]] ServiceCurve gated_service(DataRate link, Duration open, Duration cycle);
+
+/// Usable transmission window once a length-aware guard band reserves the
+/// tail of the window for in-flight completion: max(0, open - guard).
+/// A guard-band-only window (guard >= open) passes no traffic at all.
+[[nodiscard]] Duration effective_open(Duration open, Duration guard);
+
+}  // namespace tsn::bound

@@ -1,0 +1,44 @@
+#include "bound/soundness.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tsn::bound {
+
+std::vector<std::string> check_soundness(const BoundReport& report,
+                                         const MeasuredObservables& measured) {
+  std::vector<std::string> violations;
+  if (measured.faults_active) return violations;
+
+  if (report.all_ts_bounded() && measured.ts_latency_max_us > 0.0) {
+    const auto measured_ns =
+        static_cast<std::int64_t>(std::ceil(measured.ts_latency_max_us * 1000.0));
+    const std::int64_t bound_ns = report.max_ts_latency().ns();
+    if (measured_ns > bound_ns) {
+      std::ostringstream os;
+      os << "measured TS latency " << measured.ts_latency_max_us
+         << " us exceeds the static bound " << static_cast<double>(bound_ns) / 1000.0
+         << " us";
+      violations.push_back(os.str());
+    }
+  }
+
+  const std::int64_t queue_bound = report.max_ts_queue_frames();
+  if (queue_bound > 0 && measured.peak_ts_queue > queue_bound) {
+    std::ostringstream os;
+    os << "measured peak TS queue " << measured.peak_ts_queue
+       << " frames exceeds the static backlog bound " << queue_bound << " frames";
+    violations.push_back(os.str());
+  }
+
+  const std::int64_t port_bound = report.max_port_buffers();
+  if (port_bound > 0 && measured.peak_buffer_in_use > port_bound) {
+    std::ostringstream os;
+    os << "measured peak buffer occupancy " << measured.peak_buffer_in_use
+       << " exceeds the static per-port demand bound " << port_bound;
+    violations.push_back(os.str());
+  }
+  return violations;
+}
+
+}  // namespace tsn::bound

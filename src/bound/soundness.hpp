@@ -1,0 +1,39 @@
+// Soundness harness: measured <= bound, or somebody has a bug.
+//
+// The analyzer promises worst-case bounds; the simulator produces actual
+// observations. Whenever a fault-free run's measured worst latency or
+// peak occupancy exceeds the corresponding static bound, either the
+// bound engine is optimistic (unsound) or the simulator violates the
+// model it claims to implement — both are defects worth failing a build
+// over. The comparator takes plain scalars so `bound` never grows a
+// netsim dependency; callers lift them out of ScenarioResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bound/analyzer.hpp"
+
+namespace tsn::bound {
+
+struct MeasuredObservables {
+  /// Worst end-to-end TS latency observed (ClassSummary max), in us.
+  double ts_latency_max_us = 0.0;
+  /// Peak TS (CQF) queue occupancy in frames across all switches.
+  std::int64_t peak_ts_queue = 0;
+  /// Peak per-port packet-buffer pool occupancy across all switches.
+  std::int64_t peak_buffer_in_use = 0;
+  /// Bounds assume a fault-free run; with faults active no comparison
+  /// is meaningful and check_soundness returns empty.
+  bool faults_active = false;
+};
+
+/// Compares a run against its static bounds. Returns one human-readable
+/// violation string per broken promise (empty = sound). Latency is only
+/// compared when every TS flow obtained a finite bound; queue and buffer
+/// peaks are compared against the bounded maxima.
+[[nodiscard]] std::vector<std::string> check_soundness(const BoundReport& report,
+                                                       const MeasuredObservables& measured);
+
+}  // namespace tsn::bound

@@ -92,6 +92,8 @@ const std::vector<CounterField>& counter_fields() {
       {"reboot_drops", &RunMetrics::reboot_drops},
       {"gm_handoffs", &RunMetrics::gm_handoffs},
       {"handoff_excursion_ns", &RunMetrics::handoff_excursion_ns},
+      {"bound_latency_ns", &RunMetrics::bound_latency_ns},
+      {"bound_backlog_bytes", &RunMetrics::bound_backlog_bytes},
   };
   return kFields;
 }

@@ -47,6 +47,12 @@ struct RunMetrics {
   std::int64_t reboot_drops = 0;
   std::int64_t gm_handoffs = 0;
   std::int64_t handoff_excursion_ns = 0;
+  // Static worst-case bounds (tsn::bound) for the same point, next to the
+  // measured p99/max: the soundness invariant measured <= bound and the
+  // ROADMAP item 3 schedule-quality margin both read off this pair.
+  // Zero when no TS flow admits a finite bound.
+  std::int64_t bound_latency_ns = 0;
+  std::int64_t bound_backlog_bytes = 0;
 
   // Values.
   double ts_avg_us = 0.0;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "bound/analyzer.hpp"
 #include "builder/switch_builder.hpp"
 #include "common/error.hpp"
 #include "verify/verifier.hpp"
@@ -111,12 +112,21 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
           builder::SwitchBuilder pricer;
           pricer.with_resources(cfg.options.resource);
           const double resource_kb = pricer.report().total().kilobits();
+          // Static worst-case bounds for the same point (before the move
+          // consumes the config): the bound_* columns sit next to the
+          // measured p99/max so soundness is checkable per row.
+          const verify::VerifyInput vin = verify::verify_input_from(cfg);
+          bound::BoundInput bin = verify::bound_input_for(vin);
+          if (vin.plan.has_value()) bin.plan = &*vin.plan;
+          const bound::BoundReport bounds = bound::analyze(bin);
           // tsnlint:allow(wall-clock): reporting-only phase timing
           setup_done = std::chrono::steady_clock::now();
           const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
           // tsnlint:allow(wall-clock): reporting-only phase timing
           sim_done = std::chrono::steady_clock::now();
           record.metrics = metrics_from(result, resource_kb);
+          record.metrics.bound_latency_ns = bounds.max_ts_latency().ns();
+          record.metrics.bound_backlog_bytes = bounds.max_backlog_bytes();
           record.ok = true;
         }
       } catch (const std::exception& e) {

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <utility>
 
+#include "bound/analyzer.hpp"
+#include "bound/soundness.hpp"
 #include "builder/api.hpp"
 #include "builder/config_io.hpp"
 #include "builder/planner.hpp"
@@ -519,6 +522,11 @@ verify::Report verify_ring_demo() {
   input.resource.classification_table_size = 1040;
   input.resource.unicast_table_size = 1040;
   input.resource.meter_table_size = 1040;
+  // Drifting 10 ms periods can slip a frame into the adjacent CQF cell:
+  // the pair backlog bound is 14 frames, beyond the 12-deep default.
+  input.resource.queue_depth = 16;
+  input.resource.buffers_per_port =
+      input.resource.queue_depth * input.resource.queues_per_port;
   input.runtime.slot_size = microseconds(65);
   traffic::TsWorkloadParams params;
   params.flow_count = 1024;
@@ -541,6 +549,11 @@ verify::Report verify_industrial_star() {
   input.resource.classification_table_size = 1024;
   input.resource.unicast_table_size = 1024;
   input.resource.meter_table_size = 1024;
+  // Drifting 10 ms periods can slip a frame into the adjacent CQF cell:
+  // the pair backlog bound is 14 frames, beyond the 12-deep default.
+  input.resource.queue_depth = 16;
+  input.resource.buffers_per_port =
+      input.resource.queue_depth * input.resource.queues_per_port;
   traffic::TsWorkloadParams params;
   params.flow_count = 256;
   for (std::size_t cell = 1; cell <= 3; ++cell) {
@@ -737,6 +750,296 @@ int cmd_verify(const std::vector<std::string>& args, std::string& out) {
   return errors || (strict && warnings) ? 1 : 0;
 }
 
+// --- tsnb bound -----------------------------------------------------
+
+/// One analysis target: a full ScenarioConfig, so --soundness can run the
+/// very same scenario through the simulator and compare measured against
+/// bound. Durations are shortened relative to the example programs — the
+/// static analysis ignores them and the soundness run only needs a few
+/// injection periods per flow.
+struct BoundTarget {
+  std::string name;
+  netsim::ScenarioConfig cfg;
+};
+
+void shorten_for_soundness(netsim::ScenarioConfig& cfg) {
+  cfg.warmup = milliseconds(150);
+  cfg.traffic_duration = milliseconds(25);
+}
+
+/// The example scenarios as runnable configs. These mirror the
+/// verify_* example builders above (same topologies, workloads, and
+/// resource configurations), packaged as ScenarioConfig so one
+/// description serves both the analyzer and the soundness run.
+netsim::ScenarioConfig bound_example_quickstart() {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(3);
+  builder::CustomizationApi api;
+  api.set_switch_tbl(1024, 0)
+      .set_class_tbl(1024)
+      .set_meter_tbl(1024)
+      .set_gate_tbl(2, 8, 1)
+      .set_cbs_tbl(3, 3, 1)
+      .set_queues(12, 8, 1)
+      .set_buffers(96, 1);
+  cfg.options.resource = api.config();
+  cfg.options.runtime.slot_size = microseconds(65);
+  traffic::TsWorkloadParams ts;
+  ts.flow_count = 64;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2], ts);
+  shorten_for_soundness(cfg);
+  return cfg;
+}
+
+netsim::ScenarioConfig bound_example_ring_demo() {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(6);
+  cfg.options.resource = builder::paper_customized(1);
+  cfg.options.resource.classification_table_size = 1040;
+  cfg.options.resource.unicast_table_size = 1040;
+  // Matches examples/ring_demo.cpp: the CQF pair backlog bound is 14
+  // frames, beyond the 12-deep paper default.
+  cfg.options.resource.queue_depth = 16;
+  cfg.options.resource.buffers_per_port =
+      cfg.options.resource.queue_depth * cfg.options.resource.queues_per_port;
+  cfg.options.runtime.slot_size = microseconds(65);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 1024;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3], params);
+  const topo::NodeId bg_host = cfg.built.topology.add_host("tester-bg");
+  cfg.built.topology.connect(cfg.built.switch_nodes[0], bg_host, Duration(50));
+  cfg.flows.push_back(traffic::make_rc_flow(9000, bg_host, cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(200)));
+  cfg.flows.push_back(traffic::make_be_flow(9001, bg_host, cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(200)));
+  shorten_for_soundness(cfg);
+  return cfg;
+}
+
+netsim::ScenarioConfig bound_example_industrial_star() {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_star(3);
+  cfg.options.resource = builder::paper_customized(3);
+  cfg.options.resource.classification_table_size = 1024;
+  cfg.options.resource.unicast_table_size = 1024;
+  cfg.options.resource.meter_table_size = 1024;
+  // Matches examples/industrial_star.cpp: the CQF pair backlog bound is
+  // 14 frames, beyond the 12-deep paper default.
+  cfg.options.resource.queue_depth = 16;
+  cfg.options.resource.buffers_per_port =
+      cfg.options.resource.queue_depth * cfg.options.resource.queues_per_port;
+  cfg.options.runtime.slot_size = microseconds(65);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 256;
+  for (std::size_t cell = 1; cell <= 3; ++cell) {
+    const std::size_t next = cell == 3 ? 1 : cell + 1;
+    params.seed = 100 + cell;
+    params.first_vid = static_cast<VlanId>(cell * 300);
+    auto flows = traffic::make_ts_flows(cfg.built.host_nodes[cell], cfg.built.host_nodes[next],
+                                        params, static_cast<net::FlowId>(cell * 1000));
+    cfg.flows.insert(cfg.flows.end(), flows.begin(), flows.end());
+  }
+  for (std::size_t cell = 2; cell <= 3; ++cell) {
+    cfg.flows.push_back(traffic::make_rc_flow(
+        static_cast<net::FlowId>(9000 + cell), cfg.built.host_nodes[cell],
+        cfg.built.host_nodes[1], DataRate::megabits_per_sec(100), 1024,
+        traffic::kRcPriorityHigh, static_cast<VlanId>(3900 + cell)));
+  }
+  shorten_for_soundness(cfg);
+  return cfg;
+}
+
+netsim::ScenarioConfig bound_example_custom_planner() {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_linear(4);
+  traffic::TsWorkloadParams params;
+  params.flow_count = 600;
+  params.frame_bytes = 128;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[3], params);
+  cfg.flows.push_back(traffic::make_rc_flow(8000, cfg.built.host_nodes[1],
+                                            cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(150), 1024,
+                                            traffic::kRcPriorityHigh, 4001));
+  cfg.flows.push_back(traffic::make_rc_flow(8001, cfg.built.host_nodes[2],
+                                            cfg.built.host_nodes[3],
+                                            DataRate::megabits_per_sec(150), 1024,
+                                            traffic::kRcPriorityMid, 4002));
+  builder::PlannerInput planner_input;
+  planner_input.topology = &cfg.built.topology;
+  planner_input.flows = cfg.flows;
+  planner_input.slot =
+      sched::max_feasible_slot(cfg.built.topology, cfg.flows).value_or(microseconds(65));
+  const builder::PlannerOutput plan = builder::ParameterPlanner::plan(planner_input);
+  cfg.options.resource = plan.config;
+  cfg.options.runtime.slot_size = planner_input.slot;
+  shorten_for_soundness(cfg);
+  return cfg;
+}
+
+netsim::ScenarioConfig bound_example_frer_failover() {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring_bidirectional(6);
+  // The FRER example's sizing (both member paths need table entries).
+  cfg.options.resource.classification_table_size = 300;
+  cfg.options.resource.unicast_table_size = 300;
+  traffic::TsWorkloadParams params;
+  params.flow_count = 128;
+  cfg.flows = traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2], params);
+  cfg.use_frer = true;
+  shorten_for_soundness(cfg);
+  return cfg;
+}
+
+std::vector<BoundTarget> bound_examples_suite() {
+  std::vector<BoundTarget> targets;
+  targets.push_back({"example:quickstart", bound_example_quickstart()});
+  targets.push_back({"example:ring_demo", bound_example_ring_demo()});
+  targets.push_back({"example:industrial_star", bound_example_industrial_star()});
+  targets.push_back({"example:custom_planner", bound_example_custom_planner()});
+  targets.push_back({"example:frer_failover", bound_example_frer_failover()});
+  return targets;
+}
+
+int cmd_bound(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  add_scenario_options(parser);
+  parser.add_option("config", "analyze this saved resource configuration", "");
+  parser.add_option("preset",
+                    "analyze a preset instead of planning: commercial | star | "
+                    "linear | ring | case1 | case2",
+                    "");
+  parser.add_option("suite", "analyze a named set: 'examples' bounds every "
+                    "example scenario", "");
+  parser.add_option("format", "text | json", "text");
+  parser.add_flag("per-hop", "include each TS flow's per-hop breakdown");
+  parser.add_flag("no-itp", "bound the naive period-start injection plan");
+  parser.add_flag("soundness",
+                  "also run each target through the simulator (shortened) and "
+                  "exit 1 when a measured observable exceeds its bound");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb bound [options]\n" + parser.usage();
+    return 2;
+  }
+
+  const std::string format = parser.get("format");
+  usage_require(format == "text" || format == "json",
+                "unknown --format '" + format + "' (text|json)");
+  const bool per_hop = parser.get_bool("per-hop");
+  const bool soundness = parser.get_bool("soundness");
+
+  std::vector<BoundTarget> targets;
+  std::string preset_label = "planned";
+  const std::string suite = parser.get("suite");
+  if (!suite.empty()) {
+    usage_require(suite == "examples", "unknown --suite '" + suite + "' (examples)");
+    targets = bound_examples_suite();
+    preset_label = "examples";
+  } else {
+    ScenarioSpec spec = build_scenario(parser);
+    const std::string config_path = parser.get("config");
+    const std::string preset = parser.get("preset");
+    usage_require(config_path.empty() || preset.empty(),
+                  "--config and --preset are mutually exclusive");
+    netsim::ScenarioConfig cfg;
+    if (!config_path.empty()) {
+      cfg.options.resource = builder::load_config(config_path);
+      preset_label = config_path;
+    } else if (preset == "commercial") {
+      cfg.options.resource = builder::bcm53154_reference();
+    } else if (preset == "star") {
+      cfg.options.resource = builder::paper_customized(3);
+    } else if (preset == "linear") {
+      cfg.options.resource = builder::paper_customized(2);
+    } else if (preset == "ring") {
+      cfg.options.resource = builder::paper_customized(1);
+    } else if (preset == "case1") {
+      cfg.options.resource = builder::table1_case1();
+    } else if (preset == "case2") {
+      cfg.options.resource = builder::table1_case2();
+    } else if (preset.empty()) {
+      cfg.options.resource = plan_for(spec).config;
+    } else {
+      throw UsageError("unknown --preset '" + preset + "'");
+    }
+    if (!preset.empty()) preset_label = preset;
+    cfg.options.runtime.slot_size = spec.slot;
+    cfg.use_itp = !parser.get_bool("no-itp");
+    cfg.built = std::move(spec.built);
+    cfg.flows = std::move(spec.flows);
+    shorten_for_soundness(cfg);
+    targets.push_back({"scenario", std::move(cfg)});
+  }
+
+  const telemetry::RunManifest manifest = telemetry::make_manifest(
+      "bound " + (suite.empty() ? scenario_label(parser) : "suite=" + suite),
+      preset_label, targets.front().cfg.options.seed);
+
+  bool violated = false;
+  std::string json_targets;
+  for (BoundTarget& target : targets) {
+    const verify::VerifyInput vin = verify::verify_input_from(target.cfg);
+    bound::BoundInput bin = verify::bound_input_for(vin);
+    if (vin.plan.has_value()) bin.plan = &*vin.plan;
+    const bound::BoundReport report = bound::analyze(bin);
+
+    std::optional<bound::MeasuredObservables> measured;
+    std::vector<std::string> violations;
+    if (soundness) {
+      const netsim::ScenarioResult result = netsim::run_scenario(std::move(target.cfg));
+      bound::MeasuredObservables m;
+      m.ts_latency_max_us = result.ts.latency_us.max();
+      m.peak_ts_queue = result.peak_ts_queue;
+      m.peak_buffer_in_use = result.peak_buffer_in_use;
+      m.faults_active = result.fault_actions > 0;
+      measured = m;
+      violations = bound::check_soundness(report, m);
+      if (!violations.empty()) violated = true;
+    }
+
+    if (format == "json") {
+      if (!json_targets.empty()) json_targets += ',';
+      json_targets += "{\"name\":\"" + target.name +
+                      "\",\"report\":" + report.to_json(per_hop);
+      if (measured.has_value()) {
+        std::ostringstream os;
+        os << ",\"soundness\":{\"ts_latency_max_us\":" << measured->ts_latency_max_us
+           << ",\"peak_ts_queue\":" << measured->peak_ts_queue
+           << ",\"peak_buffer_in_use\":" << measured->peak_buffer_in_use
+           << ",\"violations\":[";
+        for (std::size_t i = 0; i < violations.size(); ++i) {
+          if (i > 0) os << ',';
+          os << '"' << violations[i] << '"';
+        }
+        os << "]}";
+        json_targets += os.str();
+      }
+      json_targets += '}';
+    } else {
+      if (targets.size() > 1) out += "== " + target.name + " ==\n";
+      out += report.render_text(per_hop);
+      if (measured.has_value()) {
+        std::ostringstream os;
+        os << "soundness: measured TS max " << measured->ts_latency_max_us
+           << " us, peak TS queue " << measured->peak_ts_queue
+           << " frame(s), peak buffers " << measured->peak_buffer_in_use << "\n";
+        out += os.str();
+        if (violations.empty()) {
+          out += "soundness: every measured observable is within its bound\n";
+        } else {
+          for (const std::string& v : violations) out += "VIOLATION: " + v + "\n";
+        }
+      }
+    }
+  }
+
+  if (format == "json") {
+    out += "{\"manifest\":" + manifest.to_json() + ",\"targets\":[" + json_targets + "]}\n";
+  } else {
+    out += "# manifest: " + manifest.to_json() + "\n";
+  }
+  return violated ? 1 : 0;
+}
+
 const char kTopUsage[] =
     "tsnb — TSN-Builder command line\n"
     "\n"
@@ -746,6 +1049,8 @@ const char kTopUsage[] =
     "            (alias: run; --metrics-out/--timeline-out/--trace-out export\n"
     "            the run's observability artifacts)\n"
     "  verify    static configuration & schedule checks, no simulation\n"
+    "  bound     static worst-case latency & backlog bounds (network\n"
+    "            calculus; --soundness cross-checks against a simulation)\n"
     "  report    print a preset's or saved config's Table III-style report\n"
     "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
@@ -792,6 +1097,7 @@ int run_tsnb(const std::vector<std::string>& args_in, std::string& out) {
     if (args[0] == "plan") return cmd_plan(rest, out);
     if (args[0] == "simulate" || args[0] == "run") return cmd_simulate(rest, out);
     if (args[0] == "verify") return cmd_verify(rest, out);
+    if (args[0] == "bound") return cmd_bound(rest, out);
     if (args[0] == "report") return cmd_report(rest, out);
     if (args[0] == "campaign") return cmd_campaign(rest, out);
     if (args[0] == "frer") return cmd_frer(rest, out);

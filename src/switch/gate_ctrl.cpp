@@ -50,8 +50,8 @@ void GateCtrl::start() {
   init(in_walker_, *in_gcl_, in_gates_);
   init(out_walker_, *out_gcl_, out_gates_);
 
-  arm(in_walker_, in_gates_);
-  arm(out_walker_, out_gates_);
+  arm(in_walker_);
+  arm(out_walker_);
   if (on_change_) on_change_();
 }
 
@@ -69,7 +69,7 @@ void GateCtrl::stop() {
   out_gates_ = tables::kAllGatesOpen;
 }
 
-void GateCtrl::arm(Walker& walker, tables::GateBitmap& gates) {
+void GateCtrl::arm(Walker& walker) {
   // Map the synchronized boundary onto true time through the disciplined
   // clock. A servo step can momentarily place the boundary in the past;
   // clamp to "now" so the program never stalls.
@@ -85,7 +85,7 @@ void GateCtrl::arm(Walker& walker, tables::GateBitmap& gates) {
     Walker& w = ingress ? in_walker_ : out_walker_;
     tables::GateBitmap& g = ingress ? in_gates_ : out_gates_;
     apply_next(w, g);
-    arm(w, g);
+    arm(w);
     if (on_change_) on_change_();
   });
 }

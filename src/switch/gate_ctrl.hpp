@@ -68,7 +68,7 @@ class GateCtrl {
     TimePoint next_boundary_synced{};   // synced time the next entry starts
   };
 
-  void arm(Walker& walker, tables::GateBitmap& gates);
+  void arm(Walker& walker);
   void apply_next(Walker& walker, tables::GateBitmap& gates);
 
   event::Simulator& sim_;

@@ -1,0 +1,81 @@
+// bound.* rules — the error-level worst-case checks that replaced the
+// Eq. 1 approximation: run the tsn::bound network-calculus analyzer over
+// the verified scenario and fail flows whose *proved* worst-case latency
+// exceeds their deadline, and configurations whose *proved* worst-case
+// backlog exceeds the provisioned queue depth or per-port buffer pool.
+#include <string>
+
+#include "bound/analyzer.hpp"
+#include "verify/rules_internal.hpp"
+
+namespace tsn::verify::internal {
+namespace {
+
+std::string flow_subject(net::FlowId id) { return "flow[" + std::to_string(id) + "]"; }
+
+std::string us_str(Duration d) { return std::to_string(d.ns() / 1000) + " us"; }
+
+std::string queue_subject(const bound::QueueBound& qb) {
+  return "node[" + std::to_string(qb.node) + "].port[" + std::to_string(qb.port) +
+         "].queue[" + std::to_string(qb.queue) + "]";
+}
+
+}  // namespace
+
+void check_bounds(const VerifyInput& input, const sched::ItpPlan* plan, Report& report) {
+  if (input.topology == nullptr || input.flows.empty()) return;
+  if (input.runtime.slot_size.ns() <= 0) return;  // gcl.zero-interval owns this
+
+  bound::BoundInput bin = bound_input_for(input);
+  bin.plan = plan;
+  const bound::BoundReport bounds = bound::analyze(bin);
+
+  for (const bound::FlowBound& fb : bounds.flows) {
+    if (fb.deadline.ns() <= 0) continue;
+    if (!fb.bounded) {
+      // A deadline without a provable bound is worth knowing about, but
+      // BE flows legitimately have none — don't fail the scenario.
+      report.add("bound.latency-deadline", Severity::kInfo, flow_subject(fb.flow),
+                 "deadline " + us_str(fb.deadline) +
+                     " declared but no finite worst-case latency bound exists: " + fb.note);
+      continue;
+    }
+    if (fb.latency > fb.deadline) {
+      std::string detail = "static worst-case latency " + us_str(fb.latency) + " (" +
+                           std::to_string(fb.switch_hops) + " switch hops";
+      if (fb.penalty_slots > 0) {
+        detail += ", " + std::to_string(fb.penalty_slots) + " penalty slot(s)";
+      }
+      detail += ") exceeds the " + us_str(fb.deadline) + " deadline";
+      report.add("bound.latency-deadline", Severity::kError, flow_subject(fb.flow), detail);
+    }
+  }
+
+  for (const bound::QueueBound& qb : bounds.queues) {
+    if (!qb.bounded) {
+      report.add("bound.backlog-overflow", Severity::kError, queue_subject(qb),
+                 "worst-case backlog diverges: the queue's arrivals exceed its "
+                 "guaranteed service");
+      continue;
+    }
+    if (qb.frames > input.resource.queue_depth) {
+      report.add("bound.backlog-overflow", Severity::kError, queue_subject(qb),
+                 "worst-case backlog of " + std::to_string(qb.frames) +
+                     " frame(s) exceeds the provisioned queue depth of " +
+                     std::to_string(input.resource.queue_depth));
+    }
+  }
+
+  for (const bound::PortBound& pb : bounds.ports) {
+    if (pb.bounded && pb.buffers > input.resource.buffers_per_port) {
+      report.add("bound.backlog-overflow", Severity::kError,
+                 "node[" + std::to_string(pb.node) + "].port[" + std::to_string(pb.port) +
+                     "]",
+                 "worst-case buffer demand of " + std::to_string(pb.buffers) +
+                     " exceeds the provisioned " +
+                     std::to_string(input.resource.buffers_per_port) + " buffers per port");
+    }
+  }
+}
+
+}  // namespace tsn::verify::internal

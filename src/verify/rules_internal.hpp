@@ -18,6 +18,11 @@ void check_topology(const VerifyInput& input, Report& report);
 /// topology/TS flows exist to plan against.
 void check_schedule(const VerifyInput& input, const sched::ItpPlan* plan, Report& report);
 
+/// bound.* — static worst-case latency vs deadlines and worst-case
+/// backlog vs provisioned queues/buffers, from the tsn::bound
+/// network-calculus analyzer. Same `plan` contract as check_schedule.
+void check_bounds(const VerifyInput& input, const sched::ItpPlan* plan, Report& report);
+
 /// resource.* — parameter ranges, per-switch table demand, queue/buffer
 /// provisioning, BRAM budget vs the target device.
 void check_resources(const VerifyInput& input, const sched::ItpPlan* plan, Report& report);

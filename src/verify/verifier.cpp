@@ -41,6 +41,7 @@ Report run(const VerifyInput& input) {
   }
 
   internal::check_schedule(input, plan, report);
+  internal::check_bounds(input, plan, report);
   internal::check_resources(input, plan, report);
   internal::check_templates(input, report);
   internal::check_redundancy(input, report);
@@ -50,6 +51,10 @@ Report run(const VerifyInput& input) {
 }
 
 Report verify_scenario(const netsim::ScenarioConfig& config) {
+  return run(verify_input_from(config));
+}
+
+VerifyInput verify_input_from(const netsim::ScenarioConfig& config) {
   VerifyInput input;
   input.topology = &config.built.topology;
   input.flows = config.flows;
@@ -57,6 +62,8 @@ Report verify_scenario(const netsim::ScenarioConfig& config) {
   input.runtime = config.options.runtime;
   input.enable_gptp = config.options.enable_gptp;
   input.free_run_drift = config.options.free_run_drift;
+  input.injection_margin = config.injection_margin;
+  input.cbs_headroom = config.options.cbs_headroom;
   input.gate_mode = config.gate_mode == netsim::ScenarioConfig::GateMode::kQbv
                         ? VerifyInput::GateMode::kQbv
                         : VerifyInput::GateMode::kCqf;
@@ -85,7 +92,28 @@ Report verify_scenario(const netsim::ScenarioConfig& config) {
       // Unroutable flows are reported by the topology pass.
     }
   }
-  return run(input);
+  return input;
+}
+
+bound::BoundInput bound_input_for(const VerifyInput& input) {
+  bound::BoundInput bin;
+  bin.topology = input.topology;
+  bin.flows = input.flows;
+  bin.slot = input.runtime.slot_size;
+  bin.link_rate = input.runtime.link_rate;
+  bin.processing_delay = input.runtime.processing_delay;
+  bin.guard_band = input.runtime.guard_band;
+  bin.preemption = input.runtime.preemption;
+  bin.queue_depth = input.resource.queue_depth;
+  bin.buffers_per_port = input.resource.buffers_per_port;
+  bin.buffer_bytes = input.resource.buffer_bytes;
+  bin.gate_mode = input.gate_mode == VerifyInput::GateMode::kQbv
+                      ? bound::BoundInput::GateMode::kQbv
+                      : bound::BoundInput::GateMode::kCqf;
+  bin.injection_margin = input.injection_margin;
+  bin.cbs_headroom = input.cbs_headroom;
+  bin.frer = !input.frer_streams.empty();
+  return bin;
 }
 
 Report verify_config(const sw::SwitchResourceConfig& resource,

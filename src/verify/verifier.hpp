@@ -15,10 +15,19 @@
 //                                      (gPTP off + free-running drift)
 //   cqf.slot-capacity        (error)   per-(link, slot) committed wire bytes
 //                                      exceed slot x link rate
-//   cqf.deadline             (error)   (hops+1) x slot > deadline (Eq. 1 bound)
+//   cqf.deadline             (info)    (hops+1) x slot > deadline — the Eq. 1
+//                                      approximation, kept as a cross-check
+//                                      against the tighter bound.* analysis
 //   cqf.period-alignment     (info)    TS period not a slot multiple (covered
 //                                      by the hyperperiod ring, but offsets
 //                                      drift across the slot grid)
+//   bound.latency-deadline   (error)   static worst-case latency bound
+//                                      (tsn::bound network-calculus analyzer)
+//                                      exceeds the flow deadline; info when a
+//                                      deadline flow admits no finite bound
+//   bound.backlog-overflow   (error)   static worst-case backlog exceeds the
+//                                      provisioned queue depth, or per-port
+//                                      buffer demand exceeds buffers_per_port
 //   itp.unknown-flow         (error)   plan references a flow id not in the set
 //   itp.slot-range           (error)   injection slot outside [0, period/slot)
 //   itp.wire-infeasible      (error)   plan's own peak load cannot serialize
@@ -66,6 +75,7 @@
 #include <optional>
 #include <vector>
 
+#include "bound/analyzer.hpp"
 #include "netsim/scenario.hpp"
 #include "resource/bram.hpp"
 #include "sched/itp.hpp"
@@ -91,6 +101,11 @@ struct VerifyInput {
 
   enum class GateMode : std::uint8_t { kCqf, kQbv };
   GateMode gate_mode = GateMode::kCqf;
+
+  /// ScenarioConfig/NetworkOptions mirrors the bound.* rules need: talker
+  /// placement inside the planned slot and the CBS policing headroom.
+  Duration injection_margin = microseconds(2);
+  double cbs_headroom = 0.10;
 
   /// Injection plan to check. When absent and a topology + TS flows are
   /// given, the verifier plans one itself (ItpPlanner) so the schedule
@@ -118,6 +133,18 @@ struct VerifyInput {
 /// Convenience: verifies a fully assembled scenario (what the campaign
 /// fail-fast hook and `tsnb verify` call).
 [[nodiscard]] Report verify_scenario(const netsim::ScenarioConfig& config);
+
+/// The VerifyInput verify_scenario builds, exposed so other consumers of
+/// a scenario (the bound analyzer behind `tsnb bound` and the campaign's
+/// bound_* columns) see exactly the verified configuration. The returned
+/// input points into `config`; keep the scenario alive while using it.
+[[nodiscard]] VerifyInput verify_input_from(const netsim::ScenarioConfig& config);
+
+/// Adapts a VerifyInput for the network-calculus analyzer (the same
+/// translation the bound.* rules use). `plan` is NOT populated — pass the
+/// effective plan separately (BoundInput::plan) or let analyze() derive
+/// one. Pointers reference `input`; keep it alive.
+[[nodiscard]] bound::BoundInput bound_input_for(const VerifyInput& input);
 
 /// Config-only verification: resource + template rules, no workload.
 [[nodiscard]] Report verify_config(const sw::SwitchResourceConfig& resource,

@@ -1,0 +1,211 @@
+// Tests for tsn::bound — the curve algebra's degenerate-window and
+// rounding behaviour, the analyzer's aligned-vs-drifting pipeline
+// bounds, and byte-pinned golden bounds for the campaign presets (any
+// model change that moves a bound must re-justify the new number here).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bound/analyzer.hpp"
+#include "bound/curves.hpp"
+#include "campaign/scenario_space.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+#include "verify/verifier.hpp"
+
+namespace tsn::bound {
+namespace {
+
+// ---------------------------------------------------------- curve algebra
+
+TEST(BoundCurveTest, ZeroLengthGateIntervalYieldsZeroService) {
+  // A zero-length GCL interval guarantees nothing: the service curve is
+  // identically zero and every bound through it diverges.
+  const ServiceCurve s = gated_service(DataRate::gigabits_per_sec(1), Duration(0),
+                                       microseconds(65));
+  EXPECT_EQ(s.rate_bps, 0.0);
+  const ArrivalCurve a{1e6, 672.0};
+  EXPECT_FALSE(delay_bound(a, s).has_value());
+  EXPECT_FALSE(backlog_bound_bits(a, s).has_value());
+}
+
+TEST(BoundCurveTest, GuardBandOnlyWindowPassesNothing) {
+  // A guard band covering the whole open window leaves no usable
+  // transmission time; a partial one leaves exactly the difference.
+  EXPECT_EQ(effective_open(microseconds(2), microseconds(2)), Duration(0));
+  EXPECT_EQ(effective_open(microseconds(2), microseconds(3)), Duration(0));
+  EXPECT_EQ(effective_open(microseconds(5), microseconds(2)), microseconds(3));
+  const ServiceCurve s =
+      gated_service(DataRate::gigabits_per_sec(1),
+                    effective_open(microseconds(2), microseconds(2)), microseconds(65));
+  EXPECT_FALSE(delay_bound(ArrivalCurve{0.0, 1.0}, s).has_value());
+}
+
+TEST(BoundCurveTest, OpenCoveringWholeCycleIsTheFullLink) {
+  for (const std::int64_t open_us : {65, 80}) {
+    const ServiceCurve s = gated_service(DataRate::gigabits_per_sec(1),
+                                         microseconds(open_us), microseconds(65));
+    EXPECT_EQ(s.rate_bps, 1e9);
+    EXPECT_EQ(s.latency, Duration(0));
+  }
+}
+
+TEST(BoundCurveTest, BurstLargerThanOneWindowOfServiceStaysBounded) {
+  // One 10 us window at 1 Gb/s drains 10000 bits; a 30000-bit burst needs
+  // three windows, which the long-run rate-latency form absorbs into the
+  // horizontal deviation: 90 us closed stretch + 30000 bits / 100 Mb/s.
+  const ServiceCurve s = gated_service(DataRate::gigabits_per_sec(1), microseconds(10),
+                                       microseconds(100));
+  EXPECT_EQ(s.rate_bps, 1e8);
+  EXPECT_EQ(s.latency, microseconds(90));
+  const ArrivalCurve a{1e6, 30000.0};
+  ASSERT_TRUE(delay_bound(a, s).has_value());
+  EXPECT_EQ(delay_bound(a, s)->ns(), 390000);
+  ASSERT_TRUE(backlog_bound_bits(a, s).has_value());
+  EXPECT_EQ(*backlog_bound_bits(a, s), 30090.0);
+}
+
+TEST(BoundCurveTest, ArrivalRateAboveServiceRateIsUnbounded) {
+  const ServiceCurve s{1e8, microseconds(5)};
+  const ArrivalCurve a{2e8, 672.0};
+  EXPECT_FALSE(delay_bound(a, s).has_value());
+  EXPECT_FALSE(backlog_bound_bits(a, s).has_value());
+}
+
+TEST(BoundCurveTest, BoundsRoundUpTowardTheGuarantee) {
+  // 1 bit at 3 b/s is 333333333.3 ns of queueing: rounding down would
+  // shave a third of a nanosecond off the guarantee.
+  const ServiceCurve s{3.0, Duration(0)};
+  ASSERT_TRUE(delay_bound(ArrivalCurve{0.0, 1.0}, s).has_value());
+  EXPECT_EQ(delay_bound(ArrivalCurve{0.0, 1.0}, s)->ns(), 333333334);
+}
+
+TEST(BoundCurveTest, PropagateInflatesBurstByRateTimesDelay) {
+  const ArrivalCurve a{1e9, 100.0};
+  EXPECT_EQ(propagate(a, Duration(1000)).burst_bits, 1100.0);
+  EXPECT_EQ(propagate(a, Duration(1000)).rate_bps, 1e9);
+  // A negative delay never deflates the burst.
+  EXPECT_EQ(propagate(a, Duration(-50)).burst_bits, 100.0);
+}
+
+TEST(BoundCurveTest, MultiHopHeterogeneousShapersCompose) {
+  // Hop 1 is a CQF-style gated window (half of every 65 us cycle), hop 2
+  // a CBS-style rate-latency server. Composition is delay + propagate +
+  // delay, each exact to the nanosecond.
+  const ServiceCurve gate = gated_service(DataRate::gigabits_per_sec(1),
+                                          Duration(32500), microseconds(65));
+  EXPECT_EQ(gate.rate_bps, 5e8);
+  EXPECT_EQ(gate.latency, Duration(32500));
+  const ArrivalCurve fresh{1e7, 8352.0};
+  ASSERT_TRUE(delay_bound(fresh, gate).has_value());
+  const Duration d1 = *delay_bound(fresh, gate);
+  EXPECT_EQ(d1.ns(), 49204);  // 32500 + ceil(8352 / 5e8 s)
+
+  const ArrivalCurve shaped = propagate(fresh, d1);
+  EXPECT_DOUBLE_EQ(shaped.burst_bits, 8352.0 + 1e7 * 49204e-9);
+  const ServiceCurve cbs{2e8, microseconds(5)};
+  ASSERT_TRUE(delay_bound(shaped, cbs).has_value());
+  const Duration d2 = *delay_bound(shaped, cbs);
+  EXPECT_EQ(d2.ns(), 49221);  // 5000 + ceil(8844.04 / 2e8 s)
+  EXPECT_EQ((d1 + d2).ns(), 98425);
+}
+
+// ------------------------------------------------------------- analyzer
+
+/// Eight TS flows across make_linear(3), period selectable so the same
+/// workload exercises the aligned (period % slot == 0) and drifting
+/// pipeline formulas.
+BoundReport linear_report(Duration period) {
+  static topo::BuiltTopology built = topo::make_linear(3);
+  traffic::TsWorkloadParams p;
+  p.flow_count = 8;
+  p.frame_bytes = 64;
+  p.period = period;
+  verify::VerifyInput input;
+  input.flows =
+      traffic::make_ts_flows(built.host_nodes.front(), built.host_nodes.back(), p, 1);
+  input.topology = &built.topology;
+  return analyze(verify::bound_input_for(input));
+}
+
+TEST(BoundAnalyzerTest, AlignedPipelineBoundIsExact) {
+  // 6.5 ms is 100 slots exactly: injections stay phase-locked, so the
+  // bound is the plain h-slot pipeline.
+  const BoundReport rep = linear_report(microseconds(6500));
+  EXPECT_TRUE(rep.all_ts_bounded());
+  EXPECT_EQ(rep.max_ts_latency().ns(), 196402);
+  EXPECT_EQ(rep.max_ts_queue_frames(), 1);
+  EXPECT_EQ(rep.max_backlog_bytes(), 84);
+  EXPECT_EQ(rep.max_port_buffers(), 3);
+}
+
+TEST(BoundAnalyzerTest, DriftingPeriodWidensLatencyAndQueuePair) {
+  // 10 ms mod 65 us != 0: the injection phase sweeps the slot, so some
+  // occurrence slips into the adjacent cell. The latency bound grows to
+  // the late-arrival form and the per-queue backlog widens to the worst
+  // adjacent-cell pair (both CQF queues co-resident).
+  const BoundReport rep = linear_report(milliseconds(10));
+  EXPECT_TRUE(rep.all_ts_bounded());
+  EXPECT_EQ(rep.max_ts_latency().ns(), 199124);
+  EXPECT_EQ(rep.max_ts_queue_frames(), 2);
+  EXPECT_EQ(rep.max_backlog_bytes(), 168);
+  EXPECT_GT(rep.max_ts_latency(), linear_report(microseconds(6500)).max_ts_latency());
+}
+
+// ------------------------------------------------------- preset goldens
+
+BoundReport preset_report(std::vector<std::pair<std::string, std::string>> params) {
+  campaign::RunPoint point;
+  point.params = std::move(params);
+  const netsim::ScenarioConfig cfg = campaign::scenario_for_point(point, 1);
+  const verify::VerifyInput vin = verify::verify_input_from(cfg);
+  BoundInput bin = verify::bound_input_for(vin);
+  if (vin.plan.has_value()) bin.plan = &*vin.plan;
+  return analyze(bin);
+}
+
+struct PresetGolden {
+  const char* name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::int64_t latency_ns;
+  std::int64_t queue_frames;
+  std::int64_t backlog_bytes;
+  std::int64_t port_buffers;
+};
+
+TEST(BoundGoldenTest, PresetBoundsArePinned) {
+  // Every row pins the analyzer's exact output on one campaign preset;
+  // a diff here is a model change and must be re-derived, not accepted.
+  const std::vector<PresetGolden> goldens = {
+      {"commercial", {{"config", "commercial"}, {"flows", "512"}}, 138156, 8, 672, 9},
+      {"case1", {{"config", "case1"}, {"frame", "256"}}, 141612, 4, 1104, 5},
+      {"case2", {{"config", "case2"}, {"frame", "1024"}, {"rc-mbps", "100"}},
+       166188, 4, 4176, 8},
+      {"star", {{"topology", "star"}, {"switches", "3"}, {"hops", "3"}}, 135468, 4, 336, 5},
+      {"ring",
+       {{"topology", "ring"}, {"switches", "6"}, {"hops", "5"}, {"be-mbps", "100"}},
+       330468, 4, 8192, 9},
+  };
+  for (const PresetGolden& g : goldens) {
+    const BoundReport rep = preset_report(g.params);
+    EXPECT_TRUE(rep.all_ts_bounded()) << g.name;
+    EXPECT_EQ(rep.max_ts_latency().ns(), g.latency_ns) << g.name;
+    EXPECT_EQ(rep.max_ts_queue_frames(), g.queue_frames) << g.name;
+    EXPECT_EQ(rep.max_backlog_bytes(), g.backlog_bytes) << g.name;
+    EXPECT_EQ(rep.max_port_buffers(), g.port_buffers) << g.name;
+  }
+}
+
+TEST(BoundReportTest, RendersTextAndJson) {
+  const BoundReport rep = linear_report(microseconds(6500));
+  const std::string text = rep.render_text(true);
+  EXPECT_NE(text.find("196.402"), std::string::npos);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"flows\":["), std::string::npos);
+  EXPECT_NE(json.find("196402"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsn::bound

@@ -36,7 +36,8 @@ TEST(FaultPlanTest, LowersFlapIntoAlternatingPairs) {
   const auto schedule = fault::expand(plan, built.topology, 7);
   ASSERT_EQ(schedule.size(), 6u);
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const Duration expected = 10_ms + Duration((2_ms + 3_ms).ns() * (i / 2)) +
+    const Duration expected = 10_ms +
+                              Duration((2_ms + 3_ms).ns() * static_cast<std::int64_t>(i / 2)) +
                               ((i % 2 == 1) ? 2_ms : Duration::zero());
     EXPECT_EQ(schedule[i].at, expected) << "action " << i;
     EXPECT_EQ(schedule[i].kind, i % 2 == 0 ? fault::ActionKind::kLinkDown

@@ -7,11 +7,17 @@
 //   * ITP keeps the peak queue occupancy within the provisioned depth.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
+#include "bound/analyzer.hpp"
+#include "bound/soundness.hpp"
 #include "builder/presets.hpp"
 #include "netsim/scenario.hpp"
 #include "sched/cqf_analysis.hpp"
 #include "topo/builders.hpp"
 #include "traffic/workload.hpp"
+#include "verify/verifier.hpp"
 
 namespace tsn {
 namespace {
@@ -43,10 +49,30 @@ ScenarioConfig ring_scenario(std::size_t ring_size, std::size_t dst_host,
   return cfg;
 }
 
+/// Runs the scenario and additionally asserts the soundness contract:
+/// every observable the run produced stays within its static bound from
+/// tsn::bound (the bound input is lifted before the config is consumed).
+ScenarioResult run_sound(ScenarioConfig cfg) {
+  const verify::VerifyInput vin = verify::verify_input_from(cfg);
+  bound::BoundInput bin = verify::bound_input_for(vin);
+  if (vin.plan.has_value()) bin.plan = &*vin.plan;
+  const bound::BoundReport report = bound::analyze(bin);
+  ScenarioResult r = netsim::run_scenario(std::move(cfg));
+  bound::MeasuredObservables measured;
+  measured.ts_latency_max_us = r.ts.latency_us.max();
+  measured.peak_ts_queue = r.peak_ts_queue;
+  measured.peak_buffer_in_use = r.peak_buffer_in_use;
+  measured.faults_active = r.fault_actions > 0;
+  for (const std::string& violation : bound::check_soundness(report, measured)) {
+    ADD_FAILURE() << violation;
+  }
+  return r;
+}
+
 TEST(IntegrationTest, CqfBoundsHoldOnRing) {
   for (const std::size_t hops : {2u, 4u}) {
     ScenarioConfig cfg = ring_scenario(6, hops - 1, 64);
-    const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+    const ScenarioResult r = run_sound(std::move(cfg));
     ASSERT_GT(r.ts.received, 500u);
     EXPECT_EQ(r.ts.lost(), 0u);
     const auto bounds = sched::cqf_bounds(static_cast<std::int64_t>(hops), 65_us);
@@ -59,7 +85,7 @@ TEST(IntegrationTest, CqfBoundsHoldOnRing) {
 TEST(IntegrationTest, ZeroLossAndDeadlinesAcrossPacketSizes) {
   for (const std::int64_t frame : {64LL, 512LL, 1500LL}) {
     ScenarioConfig cfg = ring_scenario(6, 2, 64, frame);
-    const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+    const ScenarioResult r = run_sound(std::move(cfg));
     EXPECT_EQ(r.ts.lost(), 0u) << frame << " B frames";
     EXPECT_EQ(r.ts.deadline_misses, 0u) << frame << " B frames";
     EXPECT_EQ(r.switch_drops, 0u) << frame << " B frames";
@@ -83,7 +109,7 @@ TEST(IntegrationTest, BackgroundTrafficDoesNotDisturbTs) {
   loaded.flows.push_back(traffic::make_be_flow(9001, bg_host,
                                                loaded.built.host_nodes[2],
                                                DataRate::megabits_per_sec(200)));
-  const ScenarioResult bg = netsim::run_scenario(std::move(loaded));
+  const ScenarioResult bg = run_sound(std::move(loaded));
 
   EXPECT_EQ(bg.ts.lost(), 0u);
   EXPECT_GT(bg.rc.received, 0u);
@@ -114,7 +140,7 @@ TEST(IntegrationTest, CustomizedMatchesCommercialQos) {
 
 TEST(IntegrationTest, ItpKeepsQueuesWithinProvisionedDepth) {
   ScenarioConfig cfg = ring_scenario(6, 3, 512);
-  const ScenarioResult r = netsim::run_scenario(std::move(cfg));
+  const ScenarioResult r = run_sound(std::move(cfg));
   EXPECT_EQ(r.ts.lost(), 0u);
   EXPECT_LE(r.peak_ts_queue, 12);                      // provisioned depth
   EXPECT_GE(r.plan.max_queue_load, r.peak_ts_queue - 2);  // prediction quality

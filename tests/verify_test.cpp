@@ -181,11 +181,23 @@ TEST_F(VerifyRuleTest, ScheduledFlowsOnFreeRunningClocksAreUnsynced) {
 
 // --- CQF schedule rules
 TEST_F(VerifyRuleTest, DeadlineBelowEquationOneBoundIsAnError) {
-  // Eq. 1: worst case (hops + 1) x slot; 3 switches x 65 us = 260 us.
+  // Eq. 1 says worst case (hops + 1) x slot = 4 x 65 us = 260 us, but the
+  // exact pipeline bound for this aligned workload is ~196 us: a 200 us
+  // deadline trips only the Eq. 1 *approximation*, which since the
+  // bound.* rules landed is advice, not an error.
   for (traffic::FlowSpec& f : input_.flows) f.deadline = microseconds(200);
-  const Report report = run(input_);
-  EXPECT_TRUE(report.has_rule("cqf.deadline"));
-  EXPECT_TRUE(report.has_errors());
+  const Report approx = run(input_);
+  EXPECT_TRUE(approx.has_rule("cqf.deadline"));
+  EXPECT_FALSE(approx.has_errors());
+  EXPECT_TRUE(approx.clean());  // info only
+
+  // A deadline below the exact bound is a real violation: the tighter
+  // bound.latency-deadline rule errors (and Eq. 1 still advises).
+  for (traffic::FlowSpec& f : input_.flows) f.deadline = microseconds(100);
+  const Report exact = run(input_);
+  EXPECT_TRUE(exact.has_rule("bound.latency-deadline"));
+  EXPECT_TRUE(exact.has_rule("cqf.deadline"));
+  EXPECT_TRUE(exact.has_errors());
 
   for (traffic::FlowSpec& f : input_.flows) f.deadline = microseconds(300);
   EXPECT_TRUE(run(input_).empty());

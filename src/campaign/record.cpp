@@ -94,6 +94,7 @@ const std::vector<CounterField>& counter_fields() {
       {"handoff_excursion_ns", &RunMetrics::handoff_excursion_ns},
       {"bound_latency_ns", &RunMetrics::bound_latency_ns},
       {"bound_backlog_bytes", &RunMetrics::bound_backlog_bytes},
+      {"worst_frame_latency_ns", &RunMetrics::worst_frame_latency_ns},
   };
   return kFields;
 }
@@ -147,6 +148,9 @@ RunMetrics metrics_from(const netsim::ScenarioResult& result, double resource_kb
   m.be_loss_pct = result.be.loss_rate() * 100.0;
   m.recovery_ms = result.worst_recovery.ms();
   m.resource_kb = resource_kb;
+  m.worst_frame_latency_ns = result.worst_frame_latency_ns;
+  m.worst_frame_hop = result.worst_frame_hop;
+  m.worst_frame_json = result.worst_frame_json;
   return m;
 }
 
@@ -172,6 +176,11 @@ std::string to_jsonl(const RunRecord& record, bool include_timing) {
   for (const ValueField& f : value_fields()) {
     out += ",\"" + std::string(f.name) + "\":" + fmt_number(record.metrics.*f.member);
   }
+  out += ",\"worst_frame_hop\":\"" + json_escape(record.metrics.worst_frame_hop) + "\"";
+  // frame_json output is embedded verbatim (it is already a JSON object);
+  // null when the run carried no worst-frame capture.
+  out += ",\"worst_frame\":";
+  out += record.metrics.worst_frame_json.empty() ? "null" : record.metrics.worst_frame_json;
   if (include_timing) {
     out += ",\"wall_ms\":" + fmt_number(record.wall_ms);
     out += ",\"wall_setup_ms\":" + fmt_number(record.wall_setup_ms);
@@ -188,7 +197,7 @@ std::string csv_header(const std::vector<Axis>& axes) {
   out += ",ok,error,verify_failed";
   for (const CounterField& f : counter_fields()) out += "," + std::string(f.name);
   for (const ValueField& f : value_fields()) out += "," + std::string(f.name);
-  return out + ",wall_ms,wall_setup_ms,wall_sim_ms,wall_analyze_ms,worker";
+  return out + ",worst_frame_hop,wall_ms,wall_setup_ms,wall_sim_ms,wall_analyze_ms,worker";
 }
 
 std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
@@ -208,6 +217,7 @@ std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes) {
   for (const ValueField& f : value_fields()) {
     out += "," + fmt_number(record.metrics.*f.member);
   }
+  out += "," + csv_quote(record.metrics.worst_frame_hop);
   out += "," + fmt_number(record.wall_ms) + "," + fmt_number(record.wall_setup_ms) +
          "," + fmt_number(record.wall_sim_ms) + "," + fmt_number(record.wall_analyze_ms);
   return out + "," + std::to_string(record.worker);

@@ -53,6 +53,9 @@ struct RunMetrics {
   // Zero when no TS flow admits a finite bound.
   std::int64_t bound_latency_ns = 0;
   std::int64_t bound_backlog_bytes = 0;
+  // Flight plane (tsn::flight): latency of the worst retained frame.
+  // Zero unless the campaign ran with worst-frame capture enabled.
+  std::int64_t worst_frame_latency_ns = 0;
 
   // Values.
   double ts_avg_us = 0.0;
@@ -68,6 +71,13 @@ struct RunMetrics {
   /// faults.
   double recovery_ms = 0.0;
   double resource_kb = 0.0;
+
+  // Flight plane, non-tabular: the hop where the worst frame spent the
+  // most time, and its full explain JSON (frame_json). Serialized
+  // manually — the hop as a CSV/JSONL string column, the JSON object
+  // embedded raw in JSONL only. Empty unless worst-frame capture ran.
+  std::string worst_frame_hop;
+  std::string worst_frame_json;
 };
 
 /// Field tables driving every serializer (JSONL, CSV, aggregates), so
@@ -120,13 +130,13 @@ struct RunRecord {
 /// One JSON object, no trailing newline:
 /// {"type":"run","point":0,"repeat":1,"seed":...,"params":{...},
 ///  "ok":true,"error":"","verify_failed":false,<counters>,<values>,
-///  "wall_ms":...}.
+///  "worst_frame_hop":"...","worst_frame":{...}|null,"wall_ms":...}.
 /// `include_timing == false` omits wall_ms (byte-stable form).
 [[nodiscard]] std::string to_jsonl(const RunRecord& record, bool include_timing = true);
 
 /// CSV header for a campaign over `axes`:
 /// point,repeat,seed,<axis...>,ok,error,verify_failed,<counters...>,
-/// <values...>,wall_ms
+/// <values...>,worst_frame_hop,wall_ms (worst_frame_json is JSONL-only)
 [[nodiscard]] std::string csv_header(const std::vector<Axis>& axes);
 [[nodiscard]] std::string to_csv(const RunRecord& record, const std::vector<Axis>& axes);
 

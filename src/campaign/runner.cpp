@@ -10,6 +10,7 @@
 #include "bound/analyzer.hpp"
 #include "builder/switch_builder.hpp"
 #include "common/error.hpp"
+#include "flight/recorder.hpp"
 #include "verify/verifier.hpp"
 
 namespace tsn::campaign {
@@ -119,6 +120,12 @@ std::vector<RunRecord> CampaignRunner::run(const ScenarioFactory& factory,
           bound::BoundInput bin = verify::bound_input_for(vin);
           if (vin.plan.has_value()) bin.plan = &*vin.plan;
           const bound::BoundReport bounds = bound::analyze(bin);
+          // Per-run flight recorder (worker-local, so runs stay
+          // share-nothing); the scenario fills result.worst_frame_*.
+          flight::FlightRecorder flight_recorder;
+          if (options_.capture_worst_frame) {
+            cfg.observe.flight = &flight_recorder;
+          }
           // tsnlint:allow(wall-clock): reporting-only phase timing
           setup_done = std::chrono::steady_clock::now();
           const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));

@@ -34,6 +34,11 @@ struct CampaignOptions {
   /// simulating it; points with error-severity diagnostics are recorded
   /// as verify_failed rows without burning simulation time.
   bool verify = true;
+  /// Attach a per-run flight recorder (tsn::flight) and export the
+  /// worst-latency frame of each run as worst_frame_latency_ns /
+  /// worst_frame_hop / worst_frame_json. Off by default: the recorder is
+  /// hot-path-cheap but not free, and campaigns are throughput-bound.
+  bool capture_worst_frame = false;
 };
 
 class CampaignRunner {

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -200,6 +203,37 @@ void write_text_file(const std::string& path, const std::string& content) {
   std::fclose(file);
 }
 
+/// {workload name -> events_per_sec} from a tsnb.bench/1 artifact.
+/// Hand-rolled like the writer: each workload object leads with
+/// "name":"..." and carries one "events_per_sec": field after it.
+std::map<std::string, double> baseline_rates(const std::string& json) {
+  std::map<std::string, double> rates;
+  const std::string name_key = "\"name\":\"";
+  const std::string rate_key = "\"events_per_sec\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(name_key, pos)) != std::string::npos) {
+    pos += name_key.size();
+    const std::size_t name_end = json.find('"', pos);
+    if (name_end == std::string::npos) break;
+    const std::string name = json.substr(pos, name_end - pos);
+    const std::size_t rate_pos = json.find(rate_key, name_end);
+    if (rate_pos == std::string::npos) break;
+    rates[name] = std::strtod(json.c_str() + rate_pos + rate_key.size(), nullptr);
+    pos = name_end;
+  }
+  return rates;
+}
+
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open baseline '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::map<std::string, double> rates = baseline_rates(buffer.str());
+  require(!rates.empty(), "baseline '" + path + "' has no workload results");
+  return rates;
+}
+
 }  // namespace
 
 int cmd_bench(const std::vector<std::string>& args, std::string& out) {
@@ -208,6 +242,11 @@ int cmd_bench(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("reps", "timed repetitions per workload (best-of wins)", "3");
   parser.add_option("seed", "workload seed", "42");
   parser.add_flag("quick", "smaller workloads for CI smoke runs");
+  parser.add_option("against",
+                    "baseline BENCH json; fail (exit 1) if any shared workload's "
+                    "events/sec regresses past --tolerance", "");
+  parser.add_option("tolerance", "allowed events/sec regression vs --against, percent",
+                    "5");
   if (!parser.parse(args)) {
     out = parser.error() + "\n\nusage: tsnb bench [options]\n" + parser.usage();
     return 2;
@@ -217,6 +256,13 @@ int cmd_bench(const std::vector<std::string>& args, std::string& out) {
   const int reps = static_cast<int>(*reps_opt);
   const auto seed = static_cast<std::uint64_t>(parser.get_int("seed").value_or(42));
   const bool quick = parser.get_bool("quick");
+  const auto tolerance = parser.get_double("tolerance");
+  usage_require(tolerance.has_value() && *tolerance >= 0.0, "invalid --tolerance");
+  // Load the baseline before spending any bench time: a bad path should
+  // fail immediately, not after minutes of timed repetitions.
+  const std::string against_path = parser.get("against");
+  std::map<std::string, double> baseline;
+  if (!against_path.empty()) baseline = load_baseline(against_path);
 
   const std::int64_t batch = quick ? 131'072 : 1'048'576;
   const std::int64_t hops = quick ? 100'000 : 1'000'000;
@@ -263,6 +309,37 @@ int cmd_bench(const std::vector<std::string>& args, std::string& out) {
     out += "  (" + r.detail + ")\n";
   }
   out += "results written to " + path + "\n";
+
+  if (!baseline.empty()) {
+    // The regression gate: each workload present in both runs must keep
+    // events/sec within --tolerance of the baseline. Workloads only in
+    // one artifact are ignored (quick vs full runs share the names, so
+    // in practice everything is compared).
+    std::string regressions;
+    out += "against " + against_path + " (tolerance " +
+           format_double(*tolerance, 1) + "%):\n";
+    for (const WorkloadResult& r : results) {
+      const auto it = baseline.find(r.name);
+      if (it == baseline.end()) continue;
+      const double measured = r.events_per_sec();
+      const double delta_pct =
+          it->second > 0.0 ? (measured / it->second - 1.0) * 100.0 : 0.0;
+      const bool regressed = measured < it->second * (1.0 - *tolerance / 100.0);
+      out += "  " + r.name + ": " + (delta_pct >= 0.0 ? "+" : "") +
+             format_double(delta_pct, 1) + "% (" +
+             format_double(measured / 1e6, 2) + " vs " +
+             format_double(it->second / 1e6, 2) + " M events/s)" +
+             (regressed ? "  REGRESSED" : "") + "\n";
+      if (regressed) {
+        if (!regressions.empty()) regressions += ", ";
+        regressions += r.name + " " + format_double(-delta_pct, 1) + "%";
+      }
+    }
+    if (!regressions.empty()) {
+      throw Error("bench regression vs '" + against_path + "': " + regressions);
+    }
+    out += "no regression beyond tolerance\n";
+  }
   return 0;
 }
 

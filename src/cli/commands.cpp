@@ -22,6 +22,8 @@
 #include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "fault/profiles.hpp"
+#include "flight/explain.hpp"
+#include "flight/recorder.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
 #include "netsim/trace.hpp"
@@ -68,11 +70,13 @@ struct ScenarioSpec {
   bool aggregated = false;
 };
 
-void add_scenario_options(ArgParser& parser) {
+/// `frame_key` renames the frame-size option for subcommands where
+/// "--frame" means something else (explain's occurrence filter).
+void add_scenario_options(ArgParser& parser, const char* frame_key = "frame") {
   parser.add_option("topology", "ring | linear | star", "ring");
   parser.add_option("switches", "switch count (ring/linear) or star leaves", "6");
   parser.add_option("flows", "number of periodic TS flows", "1024");
-  parser.add_option("frame", "TS frame size in bytes", "64");
+  parser.add_option(frame_key, "TS frame size in bytes", "64");
   parser.add_option("period-ms", "TS flow period in milliseconds", "10");
   parser.add_option("slot-us", "CQF slot size in microseconds", "65");
   parser.add_option("hops", "switches each TS flow traverses", "4");
@@ -80,7 +84,7 @@ void add_scenario_options(ArgParser& parser) {
   parser.add_flag("aggregate", "collapse same-path flows onto one table entry");
 }
 
-ScenarioSpec build_scenario(const ArgParser& parser) {
+ScenarioSpec build_scenario(const ArgParser& parser, const char* frame_key = "frame") {
   ScenarioSpec spec;
   const std::string topology = parser.get("topology");
   const auto switches = parser.get_int("switches");
@@ -96,7 +100,7 @@ ScenarioSpec build_scenario(const ArgParser& parser) {
   }
 
   const auto flows = parser.get_int("flows");
-  const auto frame = parser.get_int("frame");
+  const auto frame = parser.get_int(frame_key);
   const auto period = parser.get_int("period-ms");
   const auto slot_us = parser.get_double("slot-us");
   const auto hops = parser.get_int("hops");
@@ -188,7 +192,7 @@ int cmd_simulate(const std::vector<std::string>& args, std::string& out) {
   parser.add_option("trace-out",
                     "write the link-level packet trace here (.json = JSON, "
                     "else CSV)", "");
-  parser.add_option("trace-limit", "packet-trace ring capacity", "4096");
+  parser.add_option("trace-limit", "packet-trace ring capacity (0 = unlimited)", "4096");
   if (!parser.parse(args)) {
     out = parser.error() + "\n\nusage: tsnb simulate [options]\n" + parser.usage();
     return 2;
@@ -225,8 +229,10 @@ int cmd_simulate(const std::vector<std::string>& args, std::string& out) {
   if (!timeline_path.empty()) cfg.observe.timeline = &timeline;
   if (!trace_path.empty()) {
     const auto trace_limit = parser.get_int("trace-limit");
-    usage_require(trace_limit.has_value() && *trace_limit >= 1, "invalid --trace-limit");
-    trace = std::make_unique<netsim::TraceRecorder>(static_cast<std::size_t>(*trace_limit));
+    usage_require(trace_limit.has_value() && *trace_limit >= 0, "invalid --trace-limit");
+    trace = std::make_unique<netsim::TraceRecorder>(
+        *trace_limit == 0 ? netsim::TraceRecorder::kUnlimited
+                          : static_cast<std::size_t>(*trace_limit));
     cfg.observe.trace = trace.get();
   }
   const telemetry::RunManifest manifest = telemetry::make_manifest(
@@ -396,6 +402,9 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
                     "else Prometheus text exposition)", "");
   parser.add_flag("quiet", "suppress per-run progress lines");
   parser.add_flag("no-verify", "skip the static verification fail-fast gate");
+  parser.add_flag("worst-frame",
+                  "record each run's worst-latency frame (tsn::flight): "
+                  "worst_frame_latency_ns/_hop columns plus per-row explain JSON");
   if (!parser.parse(args)) {
     out = parser.error() + "\n\nusage: tsnb campaign [options]\n" + parser.usage();
     return 2;
@@ -441,6 +450,7 @@ int cmd_campaign(const std::vector<std::string>& args, std::string& out) {
   options.repeats = static_cast<std::size_t>(*repeats);
   options.base_seed = static_cast<std::uint64_t>(*seed);
   options.verify = !parser.get_bool("no-verify");
+  options.capture_worst_frame = parser.get_bool("worst-frame");
 
   campaign::CampaignRunner runner(std::move(matrix), options);
   const bool quiet = parser.get_bool("quiet");
@@ -1040,6 +1050,134 @@ int cmd_bound(const std::vector<std::string>& args, std::string& out) {
   return violated ? 1 : 0;
 }
 
+// --- tsnb explain ---------------------------------------------------
+
+int cmd_explain(const std::vector<std::string>& args, std::string& out) {
+  ArgParser parser;
+  // "--frame" filters by sequence number here; the scenario's frame size
+  // moves to "--frame-bytes".
+  add_scenario_options(parser, "frame-bytes");
+  parser.add_option("duration-ms", "traffic duration in milliseconds", "25");
+  parser.add_option("seed", "simulation seed", "7");
+  parser.add_option("config", "use this saved resource configuration instead of planning",
+                    "");
+  parser.add_option("suite", "explain a named set: 'examples' runs and explains "
+                    "every example scenario", "");
+  parser.add_option("faults",
+                    "fault profile injected during the run: none | link-down | "
+                    "link-flap | reboot | gm-loss | corrupt | random", "none");
+  parser.add_option("flow", "restrict to this flow id", "");
+  parser.add_option("frame", "restrict to this sequence number (requires --flow)", "");
+  parser.add_option("worst-k", "delivered occurrences retained per flow", "4");
+  parser.add_option("limit", "frames rendered per target (0 = all retained)", "16");
+  parser.add_option("format", "text | json", "text");
+  parser.add_option("out", "write the report to this file as well", "");
+  parser.add_flag("drops", "only dropped or deadline-missed frames");
+  if (!parser.parse(args)) {
+    out = parser.error() + "\n\nusage: tsnb explain [options]\n" + parser.usage();
+    return 2;
+  }
+
+  const std::string format = parser.get("format");
+  usage_require(format == "text" || format == "json",
+                "unknown --format '" + format + "' (text|json)");
+  flight::ExplainFilter filter;
+  const std::string flow_arg = parser.get("flow");
+  if (!flow_arg.empty()) {
+    const auto flow = parser.get_int("flow");
+    usage_require(flow.has_value() && *flow >= 0, "invalid --flow");
+    filter.flow = static_cast<net::FlowId>(*flow);
+  }
+  const std::string frame_arg = parser.get("frame");
+  if (!frame_arg.empty()) {
+    usage_require(filter.flow.has_value(), "--frame requires --flow");
+    const auto frame = parser.get_int("frame");
+    usage_require(frame.has_value() && *frame >= 0, "invalid --frame");
+    filter.sequence = static_cast<std::uint64_t>(*frame);
+  }
+  filter.drops_only = parser.get_bool("drops");
+  const auto limit = parser.get_int("limit");
+  usage_require(limit.has_value() && *limit >= 0, "invalid --limit");
+  filter.limit = static_cast<std::size_t>(*limit);
+  const auto worst_k = parser.get_int("worst-k");
+  usage_require(worst_k.has_value() && *worst_k >= 1, "invalid --worst-k");
+
+  const std::string fault_profile = parser.get("faults");
+  usage_require(fault_profile == "none" || fault::is_profile(fault_profile),
+                "unknown --faults profile '" + fault_profile + "'");
+
+  std::vector<BoundTarget> targets;
+  const std::string suite = parser.get("suite");
+  if (!suite.empty()) {
+    usage_require(suite == "examples", "unknown --suite '" + suite + "' (examples)");
+    targets = bound_examples_suite();
+  } else {
+    ScenarioSpec spec = build_scenario(parser, "frame-bytes");
+    netsim::ScenarioConfig cfg;
+    const std::string config_path = parser.get("config");
+    if (config_path.empty()) {
+      cfg.options.resource = plan_for(spec).config;
+    } else {
+      cfg.options.resource = builder::load_config(config_path);
+    }
+    cfg.options.runtime.slot_size = spec.slot;
+    cfg.options.seed = static_cast<std::uint64_t>(parser.get_int("seed").value_or(7));
+    cfg.built = std::move(spec.built);
+    cfg.flows = std::move(spec.flows);
+    cfg.warmup = milliseconds(200);
+    cfg.traffic_duration = milliseconds(parser.get_int("duration-ms").value_or(25));
+    targets.push_back({"scenario", std::move(cfg)});
+  }
+  if (fault_profile != "none") {
+    for (BoundTarget& target : targets) {
+      target.cfg.faults = fault::profile_plan(fault_profile, target.cfg.built.topology,
+                                              target.cfg.traffic_duration);
+    }
+  }
+
+  std::string report_out;
+  std::string json_targets;
+  for (BoundTarget& target : targets) {
+    // The static bound is the budget column of the waterfall; compute it
+    // from the same config the simulation consumes.
+    const verify::VerifyInput vin = verify::verify_input_from(target.cfg);
+    bound::BoundInput bin = verify::bound_input_for(vin);
+    if (vin.plan.has_value()) bin.plan = &*vin.plan;
+    const bound::BoundReport bounds = bound::analyze(bin);
+
+    flight::FlightRecorder::Options rec_options;
+    rec_options.worst_k = static_cast<std::size_t>(*worst_k);
+    flight::FlightRecorder recorder(rec_options);
+    target.cfg.observe.flight = &recorder;
+    // run_scenario consumes the config; keep what the renderer needs.
+    const topo::Topology topology = target.cfg.built.topology;
+    const Duration slot = target.cfg.options.runtime.slot_size;
+    const netsim::ScenarioResult result = netsim::run_scenario(std::move(target.cfg));
+    const flight::FlightReport report = recorder.report(result.sim_end);
+
+    flight::ExplainContext ctx;
+    ctx.topology = &topology;
+    ctx.bounds = &bounds;
+    ctx.slot = slot;
+    if (format == "json") {
+      if (!json_targets.empty()) json_targets += ',';
+      json_targets += "{\"name\":\"" + target.name +
+                      "\",\"explain\":" + flight::render_json(report, ctx, filter) + "}";
+    } else {
+      if (targets.size() > 1) report_out += "== " + target.name + " ==\n";
+      report_out += flight::render_text(report, ctx, filter);
+    }
+  }
+  if (format == "json") {
+    report_out = "{\"targets\":[" + json_targets + "]}\n";
+  }
+
+  out += report_out;
+  const std::string out_path = parser.get("out");
+  if (!out_path.empty()) write_text_file(out_path, report_out);
+  return 0;
+}
+
 const char kTopUsage[] =
     "tsnb — TSN-Builder command line\n"
     "\n"
@@ -1051,6 +1189,9 @@ const char kTopUsage[] =
     "  verify    static configuration & schedule checks, no simulation\n"
     "  bound     static worst-case latency & backlog bounds (network\n"
     "            calculus; --soundness cross-checks against a simulation)\n"
+    "  explain   per-frame forensics: run with the flight recorder attached\n"
+    "            and print each retained frame's causal waterfall (per-hop\n"
+    "            spent vs bound budget, drop causes, fault annotations)\n"
     "  report    print a preset's or saved config's Table III-style report\n"
     "  campaign  run a scenario matrix in parallel, exporting JSONL/CSV rows\n"
     "  frer      802.1CB replication + mid-run link-cut failover demo\n"
@@ -1098,6 +1239,7 @@ int run_tsnb(const std::vector<std::string>& args_in, std::string& out) {
     if (args[0] == "simulate" || args[0] == "run") return cmd_simulate(rest, out);
     if (args[0] == "verify") return cmd_verify(rest, out);
     if (args[0] == "bound") return cmd_bound(rest, out);
+    if (args[0] == "explain") return cmd_explain(rest, out);
     if (args[0] == "report") return cmd_report(rest, out);
     if (args[0] == "campaign") return cmd_campaign(rest, out);
     if (args[0] == "frer") return cmd_frer(rest, out);

@@ -1,0 +1,366 @@
+#include "flight/explain.hpp"
+
+#include <cstdio>
+
+namespace tsn::flight {
+namespace {
+
+/// Microseconds with fixed 3-decimal precision — deterministic and
+/// exact (1 ns = 0.001 us).
+std::string fmt_us(Duration d) {
+  char buf[48];
+  const std::int64_t ns = d.ns();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  std::snprintf(buf, sizeof(buf), "%s%lld.%03lldus", ns < 0 ? "-" : "",
+                static_cast<long long>(abs_ns / 1000),
+                static_cast<long long>(abs_ns % 1000));
+  return buf;
+}
+
+std::string fmt_us(TimePoint t) { return fmt_us(t - TimePoint(0)); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* class_name(net::TrafficClass cls) {
+  switch (cls) {
+    case net::TrafficClass::kTimeSensitive: return "TS";
+    case net::TrafficClass::kRateConstrained: return "RC";
+    case net::TrafficClass::kBestEffort: return "BE";
+  }
+  return "?";
+}
+
+std::string node_name(const ExplainContext& ctx, topo::NodeId node) {
+  if (ctx.topology != nullptr && node < ctx.topology->node_count()) {
+    return ctx.topology->node(node).name;
+  }
+  return "node" + std::to_string(node);
+}
+
+std::string gates_hex(std::uint8_t gates) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02x", gates);
+  return buf;
+}
+
+/// Human detail for the non-terminal spans of one visit.
+std::string visit_detail(const FrameRecord& rec, const HopVisit& visit) {
+  std::string out;
+  const auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += "; ";
+    out += piece;
+  };
+  for (std::size_t i = visit.first_span; i < visit.first_span + visit.span_count; ++i) {
+    const Span& span = rec.spans[i];
+    switch (span.kind) {
+      case SpanKind::kQueueWait: {
+        std::string piece = "gate-wait " + fmt_us(span.end - span.start);
+        if (span.queued_behind >= 0) {
+          piece += " behind " + std::to_string(span.queued_behind) + " queued frame(s)";
+        }
+        piece += " (q" + std::to_string(span.queue) + ", gates " + gates_hex(span.gates) + ")";
+        append(piece);
+        break;
+      }
+      case SpanKind::kSerialize:
+        append("serialize " + fmt_us(span.end - span.start));
+        break;
+      case SpanKind::kPropagate:
+        append("propagation " + fmt_us(span.end - span.start));
+        break;
+      case SpanKind::kInjection:
+      case SpanKind::kHopIngress:
+      case SpanKind::kDeliver:
+      case SpanKind::kFrerEliminate:
+      case SpanKind::kDrop:
+      case SpanKind::kCount:
+        break;  // rendered elsewhere (or implicit)
+    }
+  }
+  return out;
+}
+
+void append_frame_text(std::string& out, const FrameRecord& rec,
+                       const ExplainContext& ctx,
+                       const std::vector<Annotation>& annotations) {
+  out += "frame flow=" + std::to_string(rec.key.flow) +
+         " seq=" + std::to_string(rec.key.sequence) +
+         " vid=" + std::to_string(rec.key.vid) + " class=" + class_name(rec.traffic_class) +
+         " cause=" + to_string(rec.cause);
+  if (rec.deadline_missed()) out += " [DEADLINE MISS]";
+  out += "\n";
+  out += "  injected " + fmt_us(rec.injected_at) + "  ended " + fmt_us(rec.ended_at) +
+         "  latency " + fmt_us(rec.latency());
+  if (rec.deadline.ns() > 0) out += "  deadline " + fmt_us(rec.deadline);
+  out += "\n";
+
+  const bound::FlowBound* fb =
+      ctx.bounds != nullptr ? ctx.bounds->find_flow(rec.key.flow) : nullptr;
+  if (fb != nullptr && fb->bounded) {
+    out += "  e2e bound " + fmt_us(fb->latency) + " (" +
+           std::to_string(fb->switch_hops) + " switch hop(s)";
+    if (fb->penalty_slots > 0) {
+      out += ", " + std::to_string(fb->penalty_slots) + " penalty slot(s)";
+    }
+    out += ")\n";
+  }
+
+  for (const HopVisit& visit : hop_visits(rec, ctx)) {
+    out += "  hop " + node_name(ctx, visit.node) + ": ";
+    if (visit.budget.has_value()) out += "bound " + fmt_us(*visit.budget) + ", ";
+    out += "spent " + fmt_us(visit.spent);
+    if (visit.budget.has_value() && visit.spent > *visit.budget) out += " OVER";
+    const std::string detail = visit_detail(rec, visit);
+    if (!detail.empty()) out += " — " + detail;
+    out += "\n";
+  }
+
+  // Terminal line.
+  if (!rec.spans.empty()) {
+    const Span& last = rec.spans.back();
+    switch (last.kind) {
+      case SpanKind::kDeliver:
+        out += "  delivered at " + node_name(ctx, last.node) + " " + fmt_us(last.end) +
+               "\n";
+        break;
+      case SpanKind::kFrerEliminate:
+        out += "  duplicate eliminated at " + node_name(ctx, last.node) + " " +
+               fmt_us(last.end) + "\n";
+        break;
+      case SpanKind::kDrop:
+        out += "  DROPPED at " + node_name(ctx, last.node) + " " + fmt_us(last.end) +
+               " cause=" + to_string(last.cause) + "\n";
+        break;
+      default:
+        out += "  still in flight at " + fmt_us(rec.ended_at) + "\n";
+        break;
+    }
+  }
+
+  // Fault actions inside this frame's lifetime.
+  for (const Annotation& note : annotations) {
+    if (note.at < rec.injected_at || note.at > rec.ended_at) continue;
+    out += "  ! " + fmt_us(note.at) + " " + note.text + "\n";
+  }
+}
+
+void append_frame_json(std::string& out, const FrameRecord& rec,
+                       const ExplainContext& ctx,
+                       const std::vector<Annotation>* annotations) {
+  out += "{\"flow\":" + std::to_string(rec.key.flow);
+  out += ",\"sequence\":" + std::to_string(rec.key.sequence);
+  out += ",\"vid\":" + std::to_string(rec.key.vid);
+  out += std::string(",\"class\":\"") + class_name(rec.traffic_class) + "\"";
+  out += std::string(",\"cause\":\"") + to_string(rec.cause) + "\"";
+  out += std::string(",\"dropped\":") + (is_drop(rec.cause) ? "true" : "false");
+  out += std::string(",\"deadline_missed\":") + (rec.deadline_missed() ? "true" : "false");
+  out += ",\"injected_ns\":" + std::to_string(rec.injected_at.ns());
+  out += ",\"ended_ns\":" + std::to_string(rec.ended_at.ns());
+  out += ",\"latency_ns\":" + std::to_string(rec.latency().ns());
+  out += ",\"deadline_ns\":" + std::to_string(rec.deadline.ns());
+  const bound::FlowBound* fb =
+      ctx.bounds != nullptr ? ctx.bounds->find_flow(rec.key.flow) : nullptr;
+  if (fb != nullptr && fb->bounded) {
+    out += ",\"e2e_bound_ns\":" + std::to_string(fb->latency.ns());
+  }
+  out += ",\"hops\":[";
+  bool first_hop = true;
+  for (const HopVisit& visit : hop_visits(rec, ctx)) {
+    if (!first_hop) out += ",";
+    first_hop = false;
+    out += "{\"node\":\"" + json_escape(node_name(ctx, visit.node)) + "\"";
+    out += ",\"node_id\":" + std::to_string(visit.node);
+    out += ",\"arrived_ns\":" + std::to_string(visit.arrived.ns());
+    out += ",\"spent_ns\":" + std::to_string(visit.spent.ns());
+    if (visit.budget.has_value()) {
+      out += ",\"bound_ns\":" + std::to_string(visit.budget->ns());
+    }
+    out += ",\"spans\":[";
+    for (std::size_t i = visit.first_span; i < visit.first_span + visit.span_count;
+         ++i) {
+      const Span& span = rec.spans[i];
+      if (i != visit.first_span) out += ",";
+      out += std::string("{\"kind\":\"") + to_string(span.kind) + "\"";
+      out += ",\"start_ns\":" + std::to_string(span.start.ns());
+      out += ",\"end_ns\":" + std::to_string(span.end.ns());
+      if (span.kind == SpanKind::kQueueWait) {
+        out += ",\"port\":" + std::to_string(span.port);
+        out += ",\"queue\":" + std::to_string(span.queue);
+        out += ",\"gates\":" + std::to_string(span.gates);
+        out += ",\"queued_behind\":" + std::to_string(span.queued_behind);
+      }
+      if (span.cause != Cause::kInFlight) {
+        out += std::string(",\"cause\":\"") + to_string(span.cause) + "\"";
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  if (annotations != nullptr) {
+    out += ",\"annotations\":[";
+    bool first_note = true;
+    for (const Annotation& note : *annotations) {
+      if (note.at < rec.injected_at || note.at > rec.ended_at) continue;
+      if (!first_note) out += ",";
+      first_note = false;
+      out += "{\"at_ns\":" + std::to_string(note.at.ns()) + ",\"text\":\"" +
+             json_escape(note.text) + "\"}";
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+std::string totals_json(const FlightTotals& t) {
+  std::string out = "{";
+  out += "\"injected\":" + std::to_string(t.injected);
+  out += ",\"delivered\":" + std::to_string(t.delivered);
+  out += ",\"delivered_late\":" + std::to_string(t.delivered_late);
+  out += ",\"dropped\":" + std::to_string(t.dropped);
+  out += ",\"frer_eliminated\":" + std::to_string(t.frer_eliminated);
+  out += ",\"in_flight\":" + std::to_string(t.in_flight);
+  out += ",\"evicted_healthy\":" + std::to_string(t.evicted_healthy);
+  out += ",\"evicted_critical\":" + std::to_string(t.evicted_critical);
+  return out + "}";
+}
+
+}  // namespace
+
+std::vector<HopVisit> hop_visits(const FrameRecord& rec, const ExplainContext& ctx) {
+  std::vector<HopVisit> visits;
+  for (std::size_t i = 0; i < rec.spans.size(); ++i) {
+    const Span& span = rec.spans[i];
+    if (!visits.empty() && visits.back().node == span.node) {
+      ++visits.back().span_count;
+      continue;
+    }
+    HopVisit visit;
+    visit.node = span.node;
+    visit.arrived = span.start;
+    visit.first_span = i;
+    visit.span_count = 1;
+    visits.push_back(visit);
+  }
+  // Spent = arrival-to-arrival (the transmitting node pays its link's
+  // propagation); the last visit runs until the terminal event.
+  for (std::size_t v = 0; v < visits.size(); ++v) {
+    const TimePoint until =
+        v + 1 < visits.size() ? visits[v + 1].arrived : rec.ended_at;
+    visits[v].spent = until - visits[v].arrived;
+  }
+
+  // Per-hop budget from the bound decomposition: each switch hop is
+  // entitled to its pipeline slot (doubled when the bound marked the hop
+  // infeasible) plus that hop's boundary blocking, worst cell drain, and
+  // propagation; the talker hop gets its blocking + drain + propagation.
+  const bound::FlowBound* fb =
+      ctx.bounds != nullptr ? ctx.bounds->find_flow(rec.key.flow) : nullptr;
+  if (fb != nullptr && fb->bounded && ctx.topology != nullptr) {
+    for (HopVisit& visit : visits) {
+      for (const bound::HopBound& hb : fb->per_hop) {
+        if (hb.node != visit.node) continue;
+        Duration budget = hb.blocking + hb.drain + hb.propagation;
+        if (visit.node < ctx.topology->node_count() &&
+            ctx.topology->node(visit.node).kind == topo::NodeKind::kSwitch) {
+          budget = budget + ctx.slot * (hb.feasible ? 1 : 2);
+        }
+        visit.budget = budget;
+        break;
+      }
+    }
+  }
+  return visits;
+}
+
+std::vector<const FrameRecord*> select_frames(const FlightReport& report,
+                                              const ExplainFilter& filter) {
+  std::vector<const FrameRecord*> out;
+  for (const FrameRecord& rec : report.frames) {
+    if (filter.flow.has_value() && rec.key.flow != *filter.flow) continue;
+    if (filter.sequence.has_value() && rec.key.sequence != *filter.sequence) continue;
+    if (filter.drops_only && !is_drop(rec.cause) && !rec.deadline_missed()) continue;
+    out.push_back(&rec);
+    if (filter.limit > 0 && out.size() >= filter.limit) break;
+  }
+  return out;
+}
+
+std::string render_text(const FlightReport& report, const ExplainContext& ctx,
+                        const ExplainFilter& filter) {
+  const std::vector<const FrameRecord*> selected = select_frames(report, filter);
+  const FlightTotals& t = report.totals;
+  std::string out = "flight: injected=" + std::to_string(t.injected) +
+                    " delivered=" + std::to_string(t.delivered) +
+                    " late=" + std::to_string(t.delivered_late) +
+                    " dropped=" + std::to_string(t.dropped) +
+                    " frer_eliminated=" + std::to_string(t.frer_eliminated) +
+                    " in_flight=" + std::to_string(t.in_flight) + "\n";
+  out += "retained " + std::to_string(report.frames.size()) + " frame(s), showing " +
+         std::to_string(selected.size()) + " (evicted: " +
+         std::to_string(t.evicted_healthy) + " healthy, " +
+         std::to_string(t.evicted_critical) + " critical)\n";
+  for (const FrameRecord* rec : selected) {
+    out += "\n";
+    append_frame_text(out, *rec, ctx, report.annotations);
+  }
+  return out;
+}
+
+std::string render_json(const FlightReport& report, const ExplainContext& ctx,
+                        const ExplainFilter& filter) {
+  const std::vector<const FrameRecord*> selected = select_frames(report, filter);
+  std::string out = "{\"totals\":" + totals_json(report.totals);
+  out += ",\"retained\":" + std::to_string(report.frames.size());
+  out += ",\"frames\":[";
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (i > 0) out += ",";
+    append_frame_json(out, *selected[i], ctx, &report.annotations);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string frame_json(const FrameRecord& rec, const topo::Topology& topology) {
+  ExplainContext ctx;
+  ctx.topology = &topology;
+  std::string out;
+  append_frame_json(out, rec, ctx, nullptr);
+  return out;
+}
+
+topo::NodeId dominant_hop(const FrameRecord& rec) {
+  ExplainContext ctx;  // no topology/bounds needed for visit grouping
+  topo::NodeId node = topo::kInvalidNode;
+  Duration longest = Duration(-1);
+  for (const HopVisit& visit : hop_visits(rec, ctx)) {
+    if (node == topo::kInvalidNode || visit.spent > longest) {
+      node = visit.node;
+      longest = visit.spent;
+    }
+  }
+  return node;
+}
+
+}  // namespace tsn::flight

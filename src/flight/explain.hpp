@@ -1,0 +1,79 @@
+// Forensic renderers over a FlightReport: the per-hop waterfall behind
+// `tsnb explain`. The text form prints budget-vs-spent per hop against
+// the tsn::bound per-hop decomposition ("hop sw2: bound 41us, spent
+// 55us — gate-wait 38us behind 3 queued frames"); the JSON form carries
+// the same structure machine-readably. Output is deterministic: frames
+// render in key order, numbers format identically for identical values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bound/analyzer.hpp"
+#include "common/time.hpp"
+#include "flight/recorder.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::flight {
+
+struct ExplainFilter {
+  /// Restrict to one flow's retained occurrences.
+  std::optional<net::FlowId> flow;
+  /// Restrict to one occurrence (requires `flow`); matches every FRER
+  /// member copy of that sequence number.
+  std::optional<std::uint64_t> sequence;
+  /// Only dropped or deadline-missed frames.
+  bool drops_only = false;
+  /// Maximum frames rendered (0 = all retained).
+  std::size_t limit = 16;
+};
+
+struct ExplainContext {
+  const topo::Topology* topology = nullptr;
+  /// Optional: enables the per-hop budget column and the e2e bound line.
+  const bound::BoundReport* bounds = nullptr;
+  /// CQF slot — the pipeline budget each switch hop is entitled to
+  /// (doubled for hops the bound marked infeasible).
+  Duration slot{};
+};
+
+/// One node visit of a frame's journey, derived from its spans: `spent`
+/// runs from first arrival at the node to first arrival at the next (the
+/// transmitting node pays its link's propagation).
+struct HopVisit {
+  topo::NodeId node = topo::kInvalidNode;
+  TimePoint arrived{};
+  Duration spent{};
+  /// Per-hop budget from the bound decomposition; empty when the bound
+  /// report has no matching hop.
+  std::optional<Duration> budget;
+  std::size_t first_span = 0;  // index range into FrameRecord::spans
+  std::size_t span_count = 0;
+};
+
+/// Groups a frame's spans into node visits and attaches hop budgets.
+[[nodiscard]] std::vector<HopVisit> hop_visits(const FrameRecord& rec,
+                                               const ExplainContext& ctx);
+
+/// Retained frames passing `filter`, in key order, truncated to limit.
+[[nodiscard]] std::vector<const FrameRecord*> select_frames(const FlightReport& report,
+                                                            const ExplainFilter& filter);
+
+[[nodiscard]] std::string render_text(const FlightReport& report,
+                                      const ExplainContext& ctx,
+                                      const ExplainFilter& filter);
+[[nodiscard]] std::string render_json(const FlightReport& report,
+                                      const ExplainContext& ctx,
+                                      const ExplainFilter& filter);
+
+/// Compact JSON of a single frame (campaign per-row worst-frame capture).
+[[nodiscard]] std::string frame_json(const FrameRecord& rec,
+                                     const topo::Topology& topology);
+
+/// The node the frame spent the longest at (kInvalidNode when the record
+/// has no spans).
+[[nodiscard]] topo::NodeId dominant_hop(const FrameRecord& rec);
+
+}  // namespace tsn::flight

@@ -1,0 +1,276 @@
+#include "flight/recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tsn::flight {
+
+const char* to_string(Cause cause) {
+  switch (cause) {
+    case Cause::kInFlight: return "in_flight";
+    case Cause::kDelivered: return "delivered";
+    case Cause::kDeliveredLate: return "delivered_late";
+    case Cause::kFrerEliminated: return "frer_eliminated";
+    case Cause::kClassificationMiss: return "classification_miss";
+    case Cause::kMeterViolation: return "meter_violation";
+    case Cause::kMaxSduExceeded: return "max_sdu_exceeded";
+    case Cause::kLookupMiss: return "lookup_miss";
+    case Cause::kIngressGateClosed: return "ingress_gate_closed";
+    case Cause::kQueueFull: return "queue_full";
+    case Cause::kBufferExhausted: return "buffer_exhausted";
+    case Cause::kLinkDown: return "link_down";
+    case Cause::kSwitchRebooting: return "switch_rebooting";
+    case Cause::kCorrupted: return "corrupted";
+    case Cause::kCount: break;
+  }
+  return "?";
+}
+
+bool is_drop(Cause cause) {
+  switch (cause) {
+    case Cause::kInFlight:
+    case Cause::kDelivered:
+    case Cause::kDeliveredLate:
+    case Cause::kFrerEliminated:
+      return false;
+    case Cause::kClassificationMiss:
+    case Cause::kMeterViolation:
+    case Cause::kMaxSduExceeded:
+    case Cause::kLookupMiss:
+    case Cause::kIngressGateClosed:
+    case Cause::kQueueFull:
+    case Cause::kBufferExhausted:
+    case Cause::kLinkDown:
+    case Cause::kSwitchRebooting:
+    case Cause::kCorrupted:
+      return true;
+    case Cause::kCount:
+      break;
+  }
+  return false;
+}
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInjection: return "injection";
+    case SpanKind::kSerialize: return "serialize";
+    case SpanKind::kPropagate: return "propagate";
+    case SpanKind::kHopIngress: return "hop_ingress";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kFrerEliminate: return "frer_eliminate";
+    case SpanKind::kDrop: return "drop";
+    case SpanKind::kCount: break;
+  }
+  return "?";
+}
+
+const FrameRecord* FlightReport::find(const FrameKey& key) const {
+  for (const FrameRecord& rec : frames) {
+    if (rec.key == key) return &rec;
+  }
+  return nullptr;
+}
+
+const FrameRecord* FlightReport::worst_latency_frame() const {
+  const FrameRecord* worst = nullptr;
+  for (const FrameRecord& rec : frames) {
+    if (rec.cause != Cause::kDelivered && rec.cause != Cause::kDeliveredLate) continue;
+    if (worst == nullptr || rec.latency() > worst->latency()) worst = &rec;
+  }
+  return worst;
+}
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  require(options_.worst_k >= 1, "FlightRecorder: worst_k must be >= 1");
+}
+
+FrameRecord& FlightRecorder::live(const net::Packet& packet, TimePoint now) {
+  const FrameKey key = key_of(packet);
+  const auto it = live_.find(key);
+  if (it != live_.end()) return it->second;
+  FrameRecord rec;
+  rec.key = key;
+  rec.traffic_class = packet.meta.traffic_class;
+  rec.deadline = packet.meta.deadline;
+  rec.injected_at = packet.meta.injected_at.ns() > 0 ? packet.meta.injected_at : now;
+  return live_.emplace(key, std::move(rec)).first->second;
+}
+
+void FlightRecorder::on_injection(const net::Packet& packet, topo::NodeId node,
+                                  TimePoint now) {
+  ++totals_.injected;
+  FrameRecord& rec = live(packet, now);
+  rec.injected_at = now;
+  rec.spans.push_back(Span{SpanKind::kInjection, node, now, now, 0, 0, 0, -1,
+                           Cause::kInFlight});
+}
+
+void FlightRecorder::on_serialize(const net::Packet& packet, topo::NodeId node,
+                                  std::uint8_t port, std::uint8_t queue,
+                                  TimePoint started, TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  rec.spans.push_back(Span{SpanKind::kSerialize, node, started, now, port, queue, 0, -1,
+                           Cause::kInFlight});
+}
+
+void FlightRecorder::on_wire(const net::Packet& packet, topo::NodeId from,
+                             TimePoint start, Duration propagation) {
+  FrameRecord& rec = live(packet, start);
+  rec.spans.push_back(Span{SpanKind::kPropagate, from, start, start + propagation, 0, 0,
+                           0, -1, Cause::kInFlight});
+}
+
+void FlightRecorder::on_wire_drop(const net::Packet& packet, topo::NodeId from,
+                                  Cause cause, TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  rec.spans.push_back(Span{SpanKind::kDrop, from, now, now, 0, 0, 0, -1, cause});
+  complete(packet, cause, now);
+}
+
+void FlightRecorder::on_switch_ingress(const net::Packet& packet, topo::NodeId node,
+                                       TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  rec.spans.push_back(Span{SpanKind::kHopIngress, node, now, now, 0, 0, 0, -1,
+                           Cause::kInFlight});
+}
+
+void FlightRecorder::on_switch_drop(const net::Packet& packet, topo::NodeId node,
+                                    Cause cause, TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  rec.spans.push_back(Span{SpanKind::kDrop, node, now, now, 0, 0, 0, -1, cause});
+  complete(packet, cause, now);
+}
+
+void FlightRecorder::on_enqueue(const net::Packet& packet, topo::NodeId node,
+                                std::uint8_t port, std::uint8_t queue,
+                                std::int64_t queued_ahead, TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  // Open-ended until the matching dequeue; end/gates patched there.
+  rec.spans.push_back(Span{SpanKind::kQueueWait, node, now, now, port, queue, 0,
+                           static_cast<std::int32_t>(queued_ahead), Cause::kInFlight});
+}
+
+void FlightRecorder::on_dequeue(const net::Packet& packet, topo::NodeId node,
+                                std::uint8_t port, std::uint8_t queue,
+                                TimePoint enqueued_at, TimePoint now,
+                                std::uint8_t gates) {
+  FrameRecord& rec = live(packet, now);
+  // Close the matching open queue-wait span (the last one at this node
+  // and queue — a frame waits in at most one queue at a time).
+  for (auto it = rec.spans.rbegin(); it != rec.spans.rend(); ++it) {
+    if (it->kind == SpanKind::kQueueWait && it->node == node && it->port == port &&
+        it->queue == queue) {
+      it->end = now;
+      it->gates = gates;
+      return;
+    }
+  }
+  // No admission was recorded (recorder attached mid-run): synthesize
+  // the whole span from the queue metadata's admission stamp.
+  rec.spans.push_back(Span{SpanKind::kQueueWait, node, enqueued_at, now, port, queue,
+                           gates, -1, Cause::kInFlight});
+}
+
+void FlightRecorder::on_delivered(const net::Packet& packet, topo::NodeId node,
+                                  TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  const bool late =
+      rec.deadline.ns() > 0 && (now - rec.injected_at) > rec.deadline;
+  const Cause cause = late ? Cause::kDeliveredLate : Cause::kDelivered;
+  rec.spans.push_back(Span{SpanKind::kDeliver, node, now, now, 0, 0, 0, -1, cause});
+  complete(packet, cause, now);
+}
+
+void FlightRecorder::on_frer_eliminated(const net::Packet& packet, topo::NodeId node,
+                                        TimePoint now) {
+  FrameRecord& rec = live(packet, now);
+  rec.spans.push_back(Span{SpanKind::kFrerEliminate, node, now, now, 0, 0, 0, -1,
+                           Cause::kFrerEliminated});
+  complete(packet, Cause::kFrerEliminated, now);
+}
+
+void FlightRecorder::annotate(TimePoint at, std::string text) {
+  annotations_.push_back(Annotation{at, std::move(text)});
+}
+
+void FlightRecorder::complete(const net::Packet& packet, Cause cause, TimePoint now) {
+  const FrameKey key = key_of(packet);
+  const auto it = live_.find(key);
+  if (it == live_.end()) return;
+  FrameRecord rec = std::move(it->second);
+  live_.erase(it);
+  rec.cause = cause;
+  rec.ended_at = now;
+
+  switch (cause) {
+    case Cause::kDelivered: ++totals_.delivered; break;
+    case Cause::kDeliveredLate: ++totals_.delivered_late; break;
+    case Cause::kFrerEliminated: ++totals_.frer_eliminated; break;
+    default:
+      if (is_drop(cause)) ++totals_.dropped;
+      break;
+  }
+
+  // Retention. Critical records (drops, deadline misses) are always
+  // kept, first max_critical in completion order — deterministic because
+  // the simulation's event order is.
+  if (is_drop(cause) || cause == Cause::kDeliveredLate) {
+    if (critical_kept_ < options_.max_critical) {
+      ++critical_kept_;
+      critical_.emplace(rec.key, std::move(rec));
+    } else {
+      ++totals_.evicted_critical;
+    }
+    return;
+  }
+
+  // Healthy completions compete for the per-flow worst-K slots: worst
+  // latency first; ties break toward the smaller key so the winner set
+  // never depends on completion interleaving.
+  std::vector<FrameRecord>& kept = worst_[rec.key.flow];
+  const auto worse = [](const FrameRecord& a, const FrameRecord& b) {
+    if (a.latency() != b.latency()) return a.latency() > b.latency();
+    return a.key < b.key;
+  };
+  const auto pos = std::lower_bound(
+      kept.begin(), kept.end(), rec,
+      [&worse](const FrameRecord& a, const FrameRecord& b) { return worse(a, b); });
+  kept.insert(pos, std::move(rec));
+  if (kept.size() > options_.worst_k) {
+    kept.pop_back();
+    ++totals_.evicted_healthy;
+  }
+}
+
+FlightReport FlightRecorder::report(TimePoint end) const {
+  FlightReport out;
+  out.annotations = annotations_;
+  out.totals = totals_;
+  out.totals.in_flight = live_.size();
+
+  std::map<FrameKey, FrameRecord> merged = critical_;
+  for (const auto& [flow, kept] : worst_) {
+    for (const FrameRecord& rec : kept) merged.emplace(rec.key, rec);
+  }
+  std::uint64_t in_flight_kept = 0;
+  for (const auto& [key, rec] : live_) {
+    if (critical_kept_ + in_flight_kept >= options_.max_critical) {
+      ++out.totals.evicted_critical;
+      continue;
+    }
+    ++in_flight_kept;
+    FrameRecord open = rec;
+    open.cause = Cause::kInFlight;
+    open.ended_at = end;
+    merged.emplace(key, std::move(open));
+  }
+
+  out.frames.reserve(merged.size());
+  for (auto& [key, rec] : merged) out.frames.push_back(std::move(rec));
+  return out;
+}
+
+}  // namespace tsn::flight

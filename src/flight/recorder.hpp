@@ -1,0 +1,226 @@
+// tsn::flight — a deterministic, bounded-memory causal flight recorder.
+//
+// Every frame occurrence (one FRER member copy = one occurrence) gets a
+// span lineage: talker injection, serialization, wire propagation,
+// per-hop switch ingress, queue admission, gate-wait (with the egress
+// gate state and the number of frames queued ahead), and the terminal
+// event — listener delivery, duplicate elimination, or a drop with its
+// cause. Fault actions are stitched in as timestamped annotations.
+//
+// Memory stays bounded by a worst-K retention policy: every dropped
+// frame, every deadline miss, and every still-in-flight leftover is kept
+// (up to a hard cap), plus the K worst-latency delivered occurrences per
+// flow; the boring middle is evicted deterministically at completion
+// time. Because eviction depends only on simulated time and frame keys,
+// reports are byte-identical across campaign worker counts and across
+// flow-registration order.
+//
+// The recorder is a pure observer: every dataplane hook is guarded by a
+// null check at the call site, so a disabled recorder costs one pointer
+// compare and allocates nothing on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "topo/topology.hpp"
+
+namespace tsn::flight {
+
+/// Why a frame's lineage ended (or has not ended yet). The switch-drop
+/// causes mirror sw::DropReason one-for-one (switch/flight_map.hpp holds
+/// the compile-time-checked mapping); the wire causes mirror the
+/// netsim::Network drop counters (netsim/flight_wire.hpp).
+enum class Cause : std::uint8_t {
+  kInFlight = 0,    // no terminal event by the end of the run
+  kDelivered,       // reached the listener within its deadline
+  kDeliveredLate,   // reached the listener after its deadline
+  kFrerEliminated,  // duplicate removed by 802.1CB sequence recovery
+  // sw::DropReason mirrors.
+  kClassificationMiss,
+  kMeterViolation,
+  kMaxSduExceeded,
+  kLookupMiss,
+  kIngressGateClosed,
+  kQueueFull,
+  kBufferExhausted,
+  // netsim::Network wire-drop counters.
+  kLinkDown,         // transmitted onto an administratively-down link
+  kSwitchRebooting,  // endpoint switch was mid-reboot
+  kCorrupted,        // bit-error corruption, dropped on FCS
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Cause cause);
+/// True for every cause that means the frame was lost (not delivered,
+/// not a deliberate FRER elimination, not still in flight).
+[[nodiscard]] bool is_drop(Cause cause);
+
+enum class SpanKind : std::uint8_t {
+  kInjection,      // talker stamped the frame (instant)
+  kSerialize,      // frame on the wire at a NIC or switch egress port
+  kPropagate,      // link propagation toward the peer
+  kHopIngress,     // switch ingress pipeline accepted the frame (instant)
+  kQueueWait,      // admission to dequeue inside one egress queue
+  kDeliver,        // listener delivery (instant, terminal)
+  kFrerEliminate,  // duplicate elimination at the listener (terminal)
+  kDrop,           // terminal drop; `cause` says why
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(SpanKind kind);
+
+/// One frame occurrence. FRER member copies share (flow, sequence) and
+/// differ in the VID their member path is provisioned under.
+struct FrameKey {
+  net::FlowId flow = 0;
+  std::uint64_t sequence = 0;
+  VlanId vid = 0;
+
+  [[nodiscard]] friend bool operator<(const FrameKey& a, const FrameKey& b) {
+    if (a.flow != b.flow) return a.flow < b.flow;
+    if (a.sequence != b.sequence) return a.sequence < b.sequence;
+    return a.vid < b.vid;
+  }
+  [[nodiscard]] friend bool operator==(const FrameKey& a, const FrameKey& b) {
+    return a.flow == b.flow && a.sequence == b.sequence && a.vid == b.vid;
+  }
+};
+
+struct Span {
+  SpanKind kind = SpanKind::kCount;
+  /// The node the event happened at (kPropagate: the transmitting node).
+  topo::NodeId node = topo::kInvalidNode;
+  TimePoint start{};
+  TimePoint end{};
+  std::uint8_t port = 0;   // kSerialize / kQueueWait
+  std::uint8_t queue = 0;  // kSerialize / kQueueWait
+  /// kQueueWait: egress gate bitmap observed when the frame finally
+  /// dequeued — which gates were open when it got its turn.
+  std::uint8_t gates = 0;
+  /// kQueueWait: frames already queued ahead at admission (-1 elsewhere).
+  std::int32_t queued_behind = -1;
+  /// Terminal spans (kDeliver / kFrerEliminate / kDrop): the cause.
+  Cause cause = Cause::kInFlight;
+};
+
+struct FrameRecord {
+  FrameKey key;
+  net::TrafficClass traffic_class = net::TrafficClass::kBestEffort;
+  Duration deadline{};  // 0 = none declared
+  TimePoint injected_at{};
+  TimePoint ended_at{};
+  Cause cause = Cause::kInFlight;
+  std::vector<Span> spans;  // chronological
+
+  [[nodiscard]] Duration latency() const { return ended_at - injected_at; }
+  [[nodiscard]] bool deadline_missed() const { return cause == Cause::kDeliveredLate; }
+};
+
+/// A fault action (or any other run event) stitched into the record; the
+/// renderers attach annotations falling inside a frame's lifetime to its
+/// waterfall.
+struct Annotation {
+  TimePoint at{};
+  std::string text;
+};
+
+struct FlightTotals {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_late = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t frer_eliminated = 0;
+  std::uint64_t in_flight = 0;
+  /// Completed-and-healthy occurrences evicted by the per-flow worst-K
+  /// policy (the deterministic "boring middle").
+  std::uint64_t evicted_healthy = 0;
+  /// Critical records (drops / misses / in-flight) beyond the hard cap;
+  /// their causes still count in the totals above.
+  std::uint64_t evicted_critical = 0;
+};
+
+struct FlightReport {
+  std::vector<FrameRecord> frames;  // sorted by FrameKey
+  std::vector<Annotation> annotations;
+  FlightTotals totals;
+
+  [[nodiscard]] const FrameRecord* find(const FrameKey& key) const;
+  /// Worst end-to-end latency among delivered (on-time or late)
+  /// occurrences; the worst-K policy guarantees it is retained.
+  [[nodiscard]] const FrameRecord* worst_latency_frame() const;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Delivered/eliminated occurrences retained per flow (the worst by
+    /// latency; ties break toward the smaller key).
+    std::size_t worst_k = 4;
+    /// Hard cap on retained critical records (drops, deadline misses,
+    /// in-flight leftovers) — first `max_critical` in completion order.
+    std::size_t max_critical = 512;
+  };
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(Options options);
+
+  // --- dataplane hooks -------------------------------------------------
+  // Call sites guard on a null recorder pointer; a hook for an unknown
+  // frame creates its record lazily (robustness, not an expected path).
+  void on_injection(const net::Packet& packet, topo::NodeId node, TimePoint now);
+  /// End of a frame's serialization at `node` (NIC or switch egress).
+  void on_serialize(const net::Packet& packet, topo::NodeId node, std::uint8_t port,
+                    std::uint8_t queue, TimePoint started, TimePoint now);
+  void on_wire(const net::Packet& packet, topo::NodeId from, TimePoint start,
+               Duration propagation);
+  void on_wire_drop(const net::Packet& packet, topo::NodeId from, Cause cause,
+                    TimePoint now);
+  void on_switch_ingress(const net::Packet& packet, topo::NodeId node, TimePoint now);
+  void on_switch_drop(const net::Packet& packet, topo::NodeId node, Cause cause,
+                      TimePoint now);
+  void on_enqueue(const net::Packet& packet, topo::NodeId node, std::uint8_t port,
+                  std::uint8_t queue, std::int64_t queued_ahead, TimePoint now);
+  void on_dequeue(const net::Packet& packet, topo::NodeId node, std::uint8_t port,
+                  std::uint8_t queue, TimePoint enqueued_at, TimePoint now,
+                  std::uint8_t gates);
+  void on_delivered(const net::Packet& packet, topo::NodeId node, TimePoint now);
+  void on_frer_eliminated(const net::Packet& packet, topo::NodeId node, TimePoint now);
+
+  /// Stitches a timestamped note (fault action, operator event) into the
+  /// record. Not a hot-path call.
+  void annotate(TimePoint at, std::string text);
+
+  /// Snapshot of everything retained so far. Frames still in flight
+  /// appear with cause kInFlight and ended_at = `end`; the recorder is
+  /// not consumed (report() can be called again later).
+  [[nodiscard]] FlightReport report(TimePoint end) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  [[nodiscard]] static FrameKey key_of(const net::Packet& packet) {
+    return FrameKey{packet.meta.flow_id, packet.meta.sequence, packet.vlan.vid};
+  }
+  FrameRecord& live(const net::Packet& packet, TimePoint now);
+  /// Moves a completed record into the retention sets.
+  void complete(const net::Packet& packet, Cause cause, TimePoint now);
+
+  Options options_;
+  std::map<FrameKey, FrameRecord> live_;
+  /// Drops, deadline misses (completion order == deterministic event
+  /// order; capped at max_critical).
+  std::map<FrameKey, FrameRecord> critical_;
+  std::uint64_t critical_kept_ = 0;
+  /// Per-flow worst-K delivered/eliminated occurrences, worst first.
+  std::map<net::FlowId, std::vector<FrameRecord>> worst_;
+  std::vector<Annotation> annotations_;
+  FlightTotals totals_;
+};
+
+}  // namespace tsn::flight

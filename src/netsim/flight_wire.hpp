@@ -1,0 +1,31 @@
+// Mapping from the network wire-drop counters (Network::link_drops /
+// reboot_drops / corruption_drops) to flight-recorder causes. The switch
+// statement is exhaustive under -Werror=switch, mirroring
+// switch/flight_map.hpp for the MIB drop reasons.
+#pragma once
+
+#include <cstdint>
+
+#include "flight/recorder.hpp"
+
+namespace tsn::netsim {
+
+/// One enumerator per Network wire-drop counter.
+enum class WireDrop : std::uint8_t {
+  kLinkDown,    // Network::link_drops
+  kSwitchDown,  // Network::reboot_drops
+  kCorrupted,   // Network::corruption_drops
+  kCount,
+};
+
+[[nodiscard]] constexpr flight::Cause flight_cause(WireDrop drop) {
+  switch (drop) {
+    case WireDrop::kLinkDown: return flight::Cause::kLinkDown;
+    case WireDrop::kSwitchDown: return flight::Cause::kSwitchRebooting;
+    case WireDrop::kCorrupted: return flight::Cause::kCorrupted;
+    case WireDrop::kCount: break;
+  }
+  return flight::Cause::kInFlight;  // unreachable for valid drops
+}
+
+}  // namespace tsn::netsim

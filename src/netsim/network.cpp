@@ -10,6 +10,8 @@
 #include "common/log.hpp"
 #include "common/math_util.hpp"
 #include "fault/recovery.hpp"
+#include "flight/recorder.hpp"
+#include "netsim/flight_wire.hpp"
 
 namespace tsn::netsim {
 
@@ -86,10 +88,14 @@ void Network::deliver(topo::NodeId from, std::uint8_t port, const net::Packet& p
                               static_cast<std::int32_t>(packet.frame_bytes()), !up});
   }
   if (!up) {
-    if (link_up_[ep.link]) {
+    const WireDrop wire_drop = link_up_[ep.link] ? WireDrop::kSwitchDown : WireDrop::kLinkDown;
+    if (wire_drop == WireDrop::kSwitchDown) {
       ++reboot_drops_;  // failure injection: endpoint switch is down
     } else {
       ++link_drops_;  // failure injection: transmission onto a dead link
+    }
+    if (flight_ != nullptr) {
+      flight_->on_wire_drop(packet, from, flight_cause(wire_drop), sim_.now());
     }
     return;
   }
@@ -100,9 +106,13 @@ void Network::deliver(topo::NodeId from, std::uint8_t port, const net::Packet& p
                                   static_cast<double>(packet.wire_bits().bits()));
     if (corrupt_rng_.bernoulli(1.0 - clean)) {
       ++corruption_drops_;
+      if (flight_ != nullptr) {
+        flight_->on_wire_drop(packet, from, flight_cause(WireDrop::kCorrupted), sim_.now());
+      }
       return;
     }
   }
+  if (flight_ != nullptr) flight_->on_wire(packet, from, sim_.now(), ep.propagation);
   sim_.schedule_in(ep.propagation, [this, ep, packet] {
     if (const auto sw_it = switches_.find(ep.peer); sw_it != switches_.end()) {
       sw_it->second->receive(ep.peer_port, packet);
@@ -342,6 +352,15 @@ void Network::attach_recovery_tracker(fault::RecoveryTracker& tracker) {
         [t = &tracker](net::FlowId flow, std::uint64_t sequence, TimePoint at) {
           t->on_delivery(flow, sequence, at);
         });
+  }
+}
+
+void Network::set_flight(flight::FlightRecorder* recorder) {
+  flight_ = recorder;
+  for (auto& [node, sw_ptr] : switches_) sw_ptr->set_flight(recorder, node);
+  for (auto& [node, nic_ptr] : nics_) {
+    (void)node;
+    nic_ptr->set_flight(recorder);
   }
 }
 

@@ -23,6 +23,10 @@ namespace tsn::fault {
 class RecoveryTracker;
 }  // namespace tsn::fault
 
+namespace tsn::flight {
+class FlightRecorder;
+}  // namespace tsn::flight
+
 namespace tsn::netsim {
 
 struct NetworkOptions {
@@ -103,6 +107,13 @@ class Network : public fault::FaultSurface {
   /// Attaches a link trace (the simulator's port mirror). `trace` must
   /// outlive the network; pass nullptr to detach.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Attaches the per-frame flight recorder to every device (switches,
+  /// NICs) and the wire. `recorder` must outlive the network; nullptr
+  /// detaches. Pure observer: attaching it must not change simulation
+  /// behavior, and with it detached the dataplane pays one pointer
+  /// compare per hook site.
+  void set_flight(flight::FlightRecorder* recorder);
 
   /// Arms gate engines (CQF program, cycle base = synchronized time 0) and
   /// the gPTP machinery. Call once, then run the simulator for a warm-up
@@ -190,6 +201,7 @@ class Network : public fault::FaultSurface {
   std::uint64_t corruption_drops_ = 0;
   std::uint64_t reboot_drops_ = 0;
   TraceRecorder* trace_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
 
   std::unique_ptr<timesync::GptpDomain> gptp_;
   std::map<topo::NodeId, std::size_t> gptp_index_;

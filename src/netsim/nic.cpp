@@ -1,6 +1,7 @@
 #include "netsim/nic.hpp"
 
 #include "common/error.hpp"
+#include "flight/recorder.hpp"
 
 namespace tsn::netsim {
 
@@ -115,6 +116,7 @@ void TsnNic::inject(std::size_t flow_index) {
   analyzer_->record_injection(f.id, f.type);
   ++injected_;
   if (injection_hook_) injection_hook_(f.id, p.meta.sequence, sim_.now());
+  if (flight_ != nullptr) flight_->on_injection(p, node_, sim_.now());
   if (secondary_vid_[flow_index]) {
     // FRER replication: the member copy differs only in its VID (the
     // stream identification the disjoint route is provisioned under).
@@ -123,6 +125,9 @@ void TsnNic::inject(std::size_t flow_index) {
     // attribute first arrivals to it under healthy conditions.
     net::Packet copy = p;
     copy.vlan.vid = *secondary_vid_[flow_index];
+    // The FRER member copy is its own frame occurrence (same flow/seq,
+    // different VID), so it gets its own injection span.
+    if (flight_ != nullptr) flight_->on_injection(copy, node_, sim_.now());
     enqueue_tx(std::move(p));
     enqueue_tx(std::move(copy));
     return;
@@ -138,11 +143,15 @@ void TsnNic::enqueue_tx(net::Packet packet) {
 void TsnNic::kick_tx() {
   if (tx_busy_ || tx_fifo_.empty()) return;
   tx_busy_ = true;
+  tx_started_ = sim_.now();
   const net::Packet packet = tx_fifo_.front();
   tx_fifo_.pop_front();
   const Duration wire = link_rate_.transmission_time(packet.wire_bits());
   sim_.schedule_in(wire, [this, packet] {
+    // Read before kick_tx() re-arms the next frame's start.
+    const TimePoint started = tx_started_;
     tx_busy_ = false;
+    if (flight_ != nullptr) flight_->on_serialize(packet, node_, 0, 0, started, sim_.now());
     if (tx_cb_) tx_cb_(packet);
     kick_tx();
   });
@@ -152,9 +161,13 @@ void TsnNic::receive(const net::Packet& packet) {
   // FRER sequence recovery: only the first copy of a sequence number
   // passes to the analyzer.
   if (const auto it = recovery_.find(packet.meta.flow_id); it != recovery_.end()) {
-    if (!it->second.accept(packet.meta.sequence)) return;
+    if (!it->second.accept(packet.meta.sequence)) {
+      if (flight_ != nullptr) flight_->on_frer_eliminated(packet, node_, sim_.now());
+      return;
+    }
   }
   ++received_;
+  if (flight_ != nullptr) flight_->on_delivered(packet, node_, sim_.now());
   analyzer_->record_delivery(packet, sim_.now());
   if (delivery_hook_) delivery_hook_(packet.meta.flow_id, packet.meta.sequence, sim_.now());
 }

@@ -28,6 +28,10 @@
 #include "topo/topology.hpp"
 #include "traffic/flow.hpp"
 
+namespace tsn::flight {
+class FlightRecorder;
+}  // namespace tsn::flight
+
 namespace tsn::netsim {
 
 class TsnNic {
@@ -56,6 +60,9 @@ class TsnNic {
   /// Uses a gPTP-disciplined clock for injection timing (must outlive the
   /// NIC). Without one, injections run on true simulation time.
   void use_clock(const timesync::LocalClock& clock) { clock_ = &clock; }
+
+  /// Attaches the flight recorder (pure observer; nullptr detaches).
+  void set_flight(flight::FlightRecorder* recorder) { flight_ = recorder; }
 
   /// Registers a flow sourced at this host. Call before start_traffic.
   void add_flow(const traffic::FlowSpec& flow);
@@ -129,6 +136,10 @@ class TsnNic {
 
   std::deque<net::Packet> tx_fifo_;
   bool tx_busy_ = false;
+  flight::FlightRecorder* flight_ = nullptr;
+  /// Serialization start of the frame currently on the wire (tx_busy_):
+  /// read by the completion lambda before kick_tx() re-arms it.
+  TimePoint tx_started_{};
 
   std::uint64_t injected_ = 0;
   std::uint64_t received_ = 0;

@@ -8,6 +8,8 @@
 #include "event/simulator.hpp"
 #include "fault/injector.hpp"
 #include "fault/recovery.hpp"
+#include "flight/explain.hpp"
+#include "flight/recorder.hpp"
 #include "netsim/timeline_export.hpp"
 
 namespace tsn::netsim {
@@ -81,6 +83,8 @@ ScenarioResult run_scenario(ScenarioConfig config) {
     trace = own_trace.get();
   }
   if (trace != nullptr) network.set_trace(trace);
+  flight::FlightRecorder* flight = config.observe.flight;
+  if (flight != nullptr) network.set_flight(flight);
 
   std::unique_ptr<event::PeriodicTask> queue_sampler;
   if (config.observe.timeline != nullptr) {
@@ -126,6 +130,29 @@ ScenarioResult run_scenario(ScenarioConfig config) {
   // network time; the margin keeps injections inside their planned slot.
   const TimePoint traffic_start = TimePoint(0) + config.warmup + milliseconds(1);
   network.start_traffic(traffic_start, config.injection_margin, grid);
+  if (flight != nullptr) {
+    // Stitch the fault actions into the flight record as annotations, so
+    // `tsnb explain` shows "link[2] down" next to the frames it killed.
+    for (const fault::FaultAction& action : fault_schedule) {
+      std::string text = fault::action_kind_name(action.kind);
+      switch (action.kind) {
+        case fault::ActionKind::kLinkDown:
+        case fault::ActionKind::kLinkUp:
+        case fault::ActionKind::kCorruptStart:
+        case fault::ActionKind::kCorruptStop:
+          text += " link[" + std::to_string(action.link) + "]";
+          break;
+        case fault::ActionKind::kSwitchDown:
+        case fault::ActionKind::kSwitchUp:
+          text += " switch[" + std::to_string(action.node) + "]";
+          break;
+        case fault::ActionKind::kGmLoss:
+        case fault::ActionKind::kGmRebuild:
+          break;
+      }
+      flight->annotate(traffic_start + action.at, text);
+    }
+  }
   if (!fault_schedule.empty()) injector.arm(std::move(fault_schedule), traffic_start);
 
   sim.run_until(traffic_start + milliseconds(1) + config.traffic_duration);
@@ -150,6 +177,20 @@ ScenarioResult run_scenario(ScenarioConfig config) {
                      *config.observe.timeline);
     export_gate_grid(config.options.runtime, TimePoint(0), sim.now(),
                      *config.observe.timeline);
+  }
+  if (flight != nullptr) {
+    const flight::FlightReport report = flight->report(sim.now());
+    if (const flight::FrameRecord* worst = report.worst_latency_frame()) {
+      result.worst_frame_latency_ns = worst->latency().ns();
+      const topo::NodeId hop_node = flight::dominant_hop(*worst);
+      if (hop_node != topo::kInvalidNode) {
+        result.worst_frame_hop = config.built.topology.node(hop_node).name;
+      }
+      result.worst_frame_json = flight::frame_json(*worst, config.built.topology);
+    }
+    if (config.observe.timeline != nullptr) {
+      export_flight_spans(report, config.built.topology, *config.observe.timeline);
+    }
   }
 
   result.ts = network.analyzer().summary(net::TrafficClass::kTimeSensitive);

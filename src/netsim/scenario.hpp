@@ -32,6 +32,13 @@ struct ScenarioObserve {
   /// Attached as the network's port mirror for the whole run. When only
   /// `timeline` is set, the runner uses an internal recorder instead.
   TraceRecorder* trace = nullptr;
+  /// Per-frame causal flight recorder, attached to every device and the
+  /// wire for the whole run. Fault actions are stitched in as
+  /// annotations; the runner fills ScenarioResult::worst_frame_* from
+  /// its report and (with `timeline` also set) exports flight spans as
+  /// async timeline lanes. Pure observer — attaching it never changes
+  /// simulation behavior.
+  flight::FlightRecorder* flight = nullptr;
   /// TS queue-depth sampling period for the timeline's counter lane.
   Duration queue_sample_interval = milliseconds(1);
 };
@@ -126,6 +133,14 @@ struct ScenarioResult {
   Duration worst_recovery{};
   /// Byte-stable text form of the expanded fault schedule.
   std::string fault_schedule;
+
+  // --- flight plane (empty without ScenarioObserve::flight) ------------
+  /// Latency of the worst retained frame occurrence (0 = none retained).
+  std::int64_t worst_frame_latency_ns = 0;
+  /// Name of the hop where that frame spent the most time.
+  std::string worst_frame_hop;
+  /// Full span lineage of that frame as a JSON object.
+  std::string worst_frame_json;
 
   /// ASCII histogram of per-packet TS latency (20 bins over the observed
   /// range), for quick distribution inspection in bench/example output.

@@ -63,4 +63,50 @@ void export_gate_grid(const sw::SwitchRuntimeConfig& rt, TimePoint from, TimePoi
   }
 }
 
+void export_flight_spans(const flight::FlightReport& report,
+                         const topo::Topology& topology,
+                         telemetry::TimelineBuilder& timeline) {
+  if (report.frames.empty()) return;
+  timeline.set_process_name(kTimelineFlightPid, "flight");
+  net::FlowId named = 0;
+  bool any_named = false;
+  std::uint64_t id = 0;
+  for (const flight::FrameRecord& rec : report.frames) {
+    if (!any_named || rec.key.flow != named) {
+      timeline.set_thread_name(kTimelineFlightPid, rec.key.flow,
+                               "flow " + std::to_string(rec.key.flow));
+      named = rec.key.flow;
+      any_named = true;
+    }
+    ++id;  // one correlation id per retained frame occurrence
+    const std::string frame_name = "frame " + std::to_string(rec.key.flow) + "/" +
+                                   std::to_string(rec.key.sequence) + "/" +
+                                   std::to_string(rec.key.vid);
+    const telemetry::TimelineBuilder::Args frame_args = {
+        {"cause", flight::to_string(rec.cause)},
+        {"latency_ns", std::to_string(rec.latency().ns())}};
+    timeline.add_async_begin(frame_name, "flight", kTimelineFlightPid, rec.key.flow,
+                             id, rec.injected_at, frame_args);
+    for (const flight::Span& span : rec.spans) {
+      std::string name = flight::to_string(span.kind);
+      if (span.node != topo::kInvalidNode && span.node < topology.node_count()) {
+        name += " @" + topology.node(span.node).name;
+      }
+      telemetry::TimelineBuilder::Args args;
+      if (span.kind == flight::SpanKind::kQueueWait) {
+        args.push_back({"queued_behind", std::to_string(span.queued_behind)});
+      }
+      if (span.kind == flight::SpanKind::kDrop) {
+        args.push_back({"cause", flight::to_string(span.cause)});
+      }
+      timeline.add_async_begin(name, "flight", kTimelineFlightPid, rec.key.flow, id,
+                               span.start, args);
+      timeline.add_async_end(name, "flight", kTimelineFlightPid, rec.key.flow, id,
+                             span.end);
+    }
+    timeline.add_async_end(frame_name, "flight", kTimelineFlightPid, rec.key.flow,
+                           id, rec.ended_at);
+  }
+}
+
 }  // namespace tsn::netsim

@@ -8,12 +8,16 @@
 //                    of the ping-pong queue pair (capped, see below).
 //   pid 3 "queues" — TS queue-depth counter samples, one series per
 //                    switch (added live by the scenario runner).
+//   pid 4 "flight" — per-frame causal spans from the flight recorder,
+//                    one lane per flow; each retained frame renders as
+//                    one nestable async span per lineage segment.
 #pragma once
 
 #include <cstddef>
 
 #include "common/time.hpp"
 #include "common/units.hpp"
+#include "flight/recorder.hpp"
 #include "netsim/trace.hpp"
 #include "switch/config.hpp"
 #include "telemetry/timeline.hpp"
@@ -24,6 +28,7 @@ namespace tsn::netsim {
 inline constexpr std::uint32_t kTimelineFlowsPid = 1;
 inline constexpr std::uint32_t kTimelineGatesPid = 2;
 inline constexpr std::uint32_t kTimelineQueuesPid = 3;
+inline constexpr std::uint32_t kTimelineFlightPid = 4;
 
 /// Emits one "X" event per trace entry: the bar covers the frame's wire
 /// time ending at the recorded hand-off instant. Blackholed frames
@@ -38,5 +43,14 @@ void export_flow_hops(const TraceRecorder& trace, const topo::Topology& topology
 void export_gate_grid(const sw::SwitchRuntimeConfig& rt, TimePoint from, TimePoint to,
                       telemetry::TimelineBuilder& timeline,
                       std::size_t max_events = 4096);
+
+/// Emits every retained flight-recorder frame as async ("b"/"e") spans:
+/// one lane per flow (tid = flow id), one frame-level envelope span per
+/// retained occurrence plus a child span per lineage segment, correlated
+/// by a per-frame id. Frames render in report (key) order, so the output
+/// is byte-identical across campaign worker counts.
+void export_flight_spans(const flight::FlightReport& report,
+                         const topo::Topology& topology,
+                         telemetry::TimelineBuilder& timeline);
 
 }  // namespace tsn::netsim

@@ -7,7 +7,9 @@ namespace tsn::netsim {
 
 TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
   require(capacity > 0, "TraceRecorder: capacity must be positive");
-  entries_.reserve(capacity);
+  // An effectively-unbounded recorder (kUnlimited) still reserves only a
+  // sane prefix; the vector grows on demand past it.
+  entries_.reserve(capacity < 65536 ? capacity : 65536);
 }
 
 void TraceRecorder::record(TraceEntry entry) {

@@ -30,6 +30,10 @@ struct TraceEntry {
 
 class TraceRecorder {
  public:
+  /// Capacity for an effectively-unbounded recorder (`--trace-limit 0`
+  /// on the CLI): the ring never wraps, every entry is kept.
+  static constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
   /// Keeps the most recent `capacity` entries.
   explicit TraceRecorder(std::size_t capacity = 4096);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "flight/recorder.hpp"
+#include "switch/flight_map.hpp"
 
 namespace tsn::sw {
 
@@ -68,13 +70,25 @@ void EgressScheduler::ingress_enqueue(const net::Packet& packet, tables::QueueId
   const BufferHandle handle = pool_.store(packet);
   if (handle == kInvalidBuffer) {
     counters_.drop(DropReason::kBufferExhausted);
+    if (flight_ != nullptr) {
+      flight_->on_switch_drop(packet, flight_node_,
+                              flight_cause(DropReason::kBufferExhausted), sim_.now());
+    }
     return;
   }
   const QueueMetadata md{handle, static_cast<std::int32_t>(packet.frame_bytes()), sim_.now()};
   if (!queues_[q].enqueue(md)) {
     pool_.release(handle);
     counters_.drop(DropReason::kQueueFull);
+    if (flight_ != nullptr) {
+      flight_->on_switch_drop(packet, flight_node_,
+                              flight_cause(DropReason::kQueueFull), sim_.now());
+    }
     return;
+  }
+  if (flight_ != nullptr) {
+    flight_->on_enqueue(packet, flight_node_, flight_port_, q,
+                        static_cast<std::int64_t>(queues_[q].size()) - 1, sim_.now());
   }
   sync_shaper_mode(q, sim_.now());
   try_transmit();
@@ -259,6 +273,12 @@ void EgressScheduler::try_transmit() {
 
 void EgressScheduler::start_frame(tables::QueueId q) {
   QueueMetadata md = queues_[q].dequeue();
+  if (flight_ != nullptr) {
+    // Gate-wait span: admission to this dequeue, with the egress gate
+    // state that finally let the frame through.
+    flight_->on_dequeue(pool_.packet(md.buffer), flight_node_, flight_port_, q,
+                        md.enqueued_at, sim_.now(), gates_.out_gates());
+  }
   const std::int64_t wire_bytes = frame_wire_bytes(md.frame_bytes);
   start_segment(q, md, wire_bytes, /*final_segment=*/true);
 }
@@ -286,6 +306,12 @@ void EgressScheduler::finish_segment() {
   if (done.final_segment) {
     ++tx_frames_per_queue_[done.queue];
     tx_bytes_per_queue_[done.queue] += static_cast<std::uint64_t>(done.md.frame_bytes);
+    if (flight_ != nullptr) {
+      // For a preempted frame `done.started` is the last fragment's start;
+      // the gate-wait span already covers everything before it.
+      flight_->on_serialize(packet, flight_node_, flight_port_, done.queue,
+                            done.started, sim_.now());
+    }
   }
   sync_shaper_mode(done.queue, sim_.now());
   if (tx_cb_) tx_cb_(packet);

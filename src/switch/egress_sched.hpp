@@ -30,6 +30,10 @@
 #include "switch/queue.hpp"
 #include "tables/cbs_table.hpp"
 
+namespace tsn::flight {
+class FlightRecorder;
+}  // namespace tsn::flight
+
 namespace tsn::sw {
 
 /// Non-final and final fragments must carry at least 64 B of frame data
@@ -55,6 +59,17 @@ class EgressScheduler {
   [[nodiscard]] bool bind_shaper(tables::QueueId queue, tables::CbsConfig config);
 
   void set_tx_callback(TxCallback cb) { tx_cb_ = std::move(cb); }
+
+  /// Attaches the flight recorder (pure observer; nullptr detaches).
+  /// `node` is the owning switch's topology node id, `port` this
+  /// scheduler's port index. With no recorder attached the dataplane
+  /// pays one pointer compare per hook site and allocates nothing.
+  void set_flight(flight::FlightRecorder* recorder, std::uint32_t node,
+                  std::uint8_t port) {
+    flight_ = recorder;
+    flight_node_ = node;
+    flight_port_ = port;
+  }
 
   // --- dataplane ------------------------------------------------------
   /// Admits a packet into `queue`: allocates a buffer, pushes metadata,
@@ -158,6 +173,10 @@ class EgressScheduler {
   tables::CbsTable cbs_table_;
   std::vector<std::optional<std::size_t>> shaper_of_queue_;
   std::vector<ShaperRuntime> shapers_;
+
+  flight::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_node_ = 0;
+  std::uint8_t flight_port_ = 0;
 
   TxCallback tx_cb_;
   std::optional<ActiveTx> tx_;

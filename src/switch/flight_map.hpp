@@ -1,0 +1,27 @@
+// Mapping from the switch MIB drop taxonomy to flight-recorder causes.
+//
+// The switch is exhaustive by construction: -Werror=switch turns a new
+// DropReason without a mapping into a compile error, and the flight
+// tests additionally walk every enumerator at runtime.
+#pragma once
+
+#include "flight/recorder.hpp"
+#include "switch/counters.hpp"
+
+namespace tsn::sw {
+
+[[nodiscard]] constexpr flight::Cause flight_cause(DropReason reason) {
+  switch (reason) {
+    case DropReason::kClassificationMiss: return flight::Cause::kClassificationMiss;
+    case DropReason::kMeterViolation: return flight::Cause::kMeterViolation;
+    case DropReason::kMaxSduExceeded: return flight::Cause::kMaxSduExceeded;
+    case DropReason::kLookupMiss: return flight::Cause::kLookupMiss;
+    case DropReason::kIngressGateClosed: return flight::Cause::kIngressGateClosed;
+    case DropReason::kQueueFull: return flight::Cause::kQueueFull;
+    case DropReason::kBufferExhausted: return flight::Cause::kBufferExhausted;
+    case DropReason::kCount: break;
+  }
+  return flight::Cause::kInFlight;  // unreachable for valid reasons
+}
+
+}  // namespace tsn::sw

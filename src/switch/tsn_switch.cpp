@@ -1,6 +1,8 @@
 #include "switch/tsn_switch.hpp"
 
 #include "common/error.hpp"
+#include "flight/recorder.hpp"
+#include "switch/flight_map.hpp"
 #include "tables/gcl.hpp"
 
 namespace tsn::sw {
@@ -100,21 +102,37 @@ void TsnSwitch::start() {
   for (Port& port : ports_) port.gate_ctrl->start();
 }
 
+void TsnSwitch::set_flight(flight::FlightRecorder* recorder, std::uint32_t node) {
+  flight_ = recorder;
+  flight_node_ = node;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    ports_[p].scheduler->set_flight(recorder, node, static_cast<std::uint8_t>(p));
+  }
+}
+
+void TsnSwitch::drop_with_flight(const net::Packet& packet, DropReason reason) {
+  counters_.drop(reason);
+  if (flight_ != nullptr) {
+    flight_->on_switch_drop(packet, flight_node_, flight_cause(reason), sim_.now());
+  }
+}
+
 void TsnSwitch::receive(tables::PortIndex in_port, const net::Packet& packet) {
   require(in_port < ports_.size(), "receive: port beyond wired ports");
   ++counters_.rx_packets;
   counters_.rx_bytes += static_cast<std::uint64_t>(packet.frame_bytes());
+  if (flight_ != nullptr) flight_->on_switch_ingress(packet, flight_node_, sim_.now());
 
   const IngressFilter::Verdict verdict = filter_.process(packet, sim_.now());
   switch (verdict.action) {
     case IngressFilter::Verdict::Action::kClassificationMiss:
-      counters_.drop(DropReason::kClassificationMiss);
+      drop_with_flight(packet, DropReason::kClassificationMiss);
       return;
     case IngressFilter::Verdict::Action::kMaxSduDrop:
-      counters_.drop(DropReason::kMaxSduExceeded);
+      drop_with_flight(packet, DropReason::kMaxSduExceeded);
       return;
     case IngressFilter::Verdict::Action::kMeterDrop:
-      counters_.drop(DropReason::kMeterViolation);
+      drop_with_flight(packet, DropReason::kMeterViolation);
       return;
     case IngressFilter::Verdict::Action::kAccept:
       break;
@@ -122,7 +140,7 @@ void TsnSwitch::receive(tables::PortIndex in_port, const net::Packet& packet) {
 
   const std::vector<tables::PortIndex> out_ports = switch_.lookup(packet);
   if (out_ports.empty()) {
-    counters_.drop(DropReason::kLookupMiss);
+    drop_with_flight(packet, DropReason::kLookupMiss);
     return;
   }
 
@@ -150,11 +168,11 @@ void TsnSwitch::deliver_to_port(tables::PortIndex port, const net::Packet& packe
     } else if (pt.gate_ctrl->in_open(b)) {
       target = b;
     } else {
-      counters_.drop(DropReason::kIngressGateClosed);
+      drop_with_flight(packet, DropReason::kIngressGateClosed);
       return;
     }
   } else if (!pt.gate_ctrl->in_open(target)) {
-    counters_.drop(DropReason::kIngressGateClosed);
+    drop_with_flight(packet, DropReason::kIngressGateClosed);
     return;
   }
   pt.scheduler->ingress_enqueue(packet, target);

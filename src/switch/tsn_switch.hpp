@@ -77,6 +77,11 @@ class TsnSwitch {
   // --- dataplane -------------------------------------------------------
   void set_tx_callback(TxCallback cb) { tx_cb_ = std::move(cb); }
 
+  /// Attaches the flight recorder (pure observer; nullptr detaches).
+  /// `node` is this switch's topology node id; the hook is forwarded to
+  /// every per-port egress scheduler.
+  void set_flight(flight::FlightRecorder* recorder, std::uint32_t node);
+
   /// A frame has been fully received on `in_port` at the current instant.
   void receive(tables::PortIndex in_port, const net::Packet& packet);
 
@@ -105,6 +110,8 @@ class TsnSwitch {
 
   void deliver_to_port(tables::PortIndex port, const net::Packet& packet,
                        tables::QueueId queue);
+  /// Counts the drop and, when a recorder is attached, records its cause.
+  void drop_with_flight(const net::Packet& packet, DropReason reason);
 
   event::Simulator& sim_;
   std::string name_;
@@ -120,6 +127,8 @@ class TsnSwitch {
   std::vector<Port> ports_;
   SwitchCounters counters_;
   TxCallback tx_cb_;
+  flight::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_node_ = 0;
   bool started_ = false;
 };
 

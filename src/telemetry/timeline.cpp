@@ -100,6 +100,24 @@ void TimelineBuilder::add_counter(const std::string& name, std::uint32_t pid, Ti
                     "\":" + fmt_number(value) + "}}");
 }
 
+void TimelineBuilder::add_async_begin(const std::string& name, const std::string& category,
+                                      std::uint32_t pid, std::uint32_t tid,
+                                      std::uint64_t id, TimePoint at, const Args& args) {
+  events_.push_back("{\"ph\":\"b\",\"name\":\"" + json_escape(name) + "\",\"cat\":\"" +
+                    json_escape(category) + "\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"id\":\"" + std::to_string(id) +
+                    "\",\"ts\":" + ts_us(at.ns()) + ",\"args\":" + args_json(args) + "}");
+}
+
+void TimelineBuilder::add_async_end(const std::string& name, const std::string& category,
+                                    std::uint32_t pid, std::uint32_t tid,
+                                    std::uint64_t id, TimePoint at, const Args& args) {
+  events_.push_back("{\"ph\":\"e\",\"name\":\"" + json_escape(name) + "\",\"cat\":\"" +
+                    json_escape(category) + "\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"id\":\"" + std::to_string(id) +
+                    "\",\"ts\":" + ts_us(at.ns()) + ",\"args\":" + args_json(args) + "}");
+}
+
 std::string TimelineBuilder::to_json(const RunManifest* manifest) const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;

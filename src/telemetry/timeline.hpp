@@ -48,6 +48,16 @@ class TimelineBuilder {
   void add_counter(const std::string& name, std::uint32_t pid, TimePoint at,
                    const std::string& series, double value);
 
+  /// Async span begin/end ("b"/"e"): nestable spans correlated by `id`
+  /// within (category, pid) — Perfetto stacks concurrent spans of one
+  /// lane. Begin and end must use matching name/category/pid/tid/id.
+  void add_async_begin(const std::string& name, const std::string& category,
+                       std::uint32_t pid, std::uint32_t tid, std::uint64_t id,
+                       TimePoint at, const Args& args = {});
+  void add_async_end(const std::string& name, const std::string& category,
+                     std::uint32_t pid, std::uint32_t tid, std::uint64_t id,
+                     TimePoint at, const Args& args = {});
+
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
 
   /// {"traceEvents":[...],"displayTimeUnit":"ns","metadata":{...}}.

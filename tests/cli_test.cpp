@@ -184,6 +184,109 @@ TEST(TsnbTest, BenchRejectsBadReps) {
   EXPECT_EQ(run_tsnb({"bench", "--reps", "0"}, out), 2);
 }
 
+/// The recorder-off overhead gate: --against compares events/sec per
+/// workload against a committed baseline and fails past --tolerance.
+TEST(TsnbTest, BenchAgainstGatesOnRegression) {
+  const std::string dir = ::testing::TempDir();
+  const auto write = [](const std::string& path, const std::string& content) {
+    std::ofstream file(path);
+    ASSERT_TRUE(file.good()) << path;
+    file << content;
+  };
+  // An unreachable baseline trips the gate (runtime failure, exit 1).
+  const std::string impossible = dir + "tsnb_bench_impossible.json";
+  write(impossible, "{\"workloads\":[{\"name\":\"netsim.ring_e2e\","
+                    "\"events_per_sec\":999999999999.000}]}");
+  std::string out;
+  EXPECT_EQ(run_tsnb({"bench", "--quick", "--reps", "1", "--out",
+                      dir + "tsnb_bench_gate.json", "--against", impossible},
+                     out),
+            1);
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.find("error: bench regression"), std::string::npos);
+
+  // A trivially slow baseline passes; workloads absent from it are
+  // ignored rather than treated as regressions.
+  const std::string slow = dir + "tsnb_bench_slow.json";
+  write(slow, "{\"workloads\":[{\"name\":\"netsim.ring_e2e\","
+              "\"events_per_sec\":1.000}]}");
+  out.clear();
+  EXPECT_EQ(run_tsnb({"bench", "--quick", "--reps", "1", "--out",
+                      dir + "tsnb_bench_gate.json", "--against", slow},
+                     out),
+            0);
+  EXPECT_NE(out.find("no regression beyond tolerance"), std::string::npos);
+
+  // Bad baseline path is a runtime error; bad tolerance a usage error.
+  EXPECT_EQ(run_tsnb({"bench", "--against", dir + "no_such_baseline.json"}, out), 1);
+  EXPECT_EQ(run_tsnb({"bench", "--against", slow, "--tolerance", "-3"}, out), 2);
+}
+
+TEST(TsnbTest, SimulateTraceLimitZeroMeansUnlimited) {
+  const std::string path = ::testing::TempDir() + "tsnb_trace_unlimited.csv";
+  std::string out;
+  ASSERT_EQ(run_tsnb({"simulate", "--topology", "linear", "--switches", "3", "--flows",
+                      "16", "--hops", "3", "--duration-ms", "20", "--trace-limit", "0",
+                      "--trace-out", path},
+                     out),
+            0);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  // Nothing was overwritten: the unlimited ring never wraps.
+  EXPECT_EQ(content.rfind("# dropped_entries=0", 0), 0u);
+}
+
+// ------------------------------------------------------------ tsnb explain
+TEST(TsnbExplainTest, RingWaterfallShowsBudgetVsSpent) {
+  std::string out;
+  ASSERT_EQ(run_tsnb({"explain", "--topology", "ring", "--switches", "3", "--hops", "3",
+                      "--flows", "8", "--duration-ms", "10", "--limit", "2"},
+                     out),
+            0);
+  EXPECT_NE(out.find("flight: injected="), std::string::npos);
+  EXPECT_NE(out.find("e2e bound "), std::string::npos);
+  EXPECT_NE(out.find("hop s0: bound "), std::string::npos);
+  EXPECT_NE(out.find("gate-wait "), std::string::npos);
+  EXPECT_NE(out.find("delivered at "), std::string::npos);
+}
+
+TEST(TsnbExplainTest, DropsFilterWithFaultsAttributesTheCause) {
+  std::string out;
+  ASSERT_EQ(run_tsnb({"explain", "--topology", "ring", "--switches", "3", "--hops", "3",
+                      "--flows", "8", "--period-ms", "2", "--duration-ms", "25",
+                      "--faults", "link-down", "--drops", "--format", "json"},
+                     out),
+            0);
+  EXPECT_EQ(out.rfind("{\"targets\":[{\"name\":\"scenario\"", 0), 0u);
+  EXPECT_NE(out.find("\"cause\":\"link_down\""), std::string::npos);
+  EXPECT_NE(out.find("\"dropped\":true"), std::string::npos);
+  EXPECT_NE(out.find("\"hops\":["), std::string::npos);
+}
+
+TEST(TsnbExplainTest, FlowAndFrameFiltersSelectOneOccurrence) {
+  std::string out;
+  ASSERT_EQ(run_tsnb({"explain", "--topology", "ring", "--switches", "3", "--hops", "3",
+                      "--flows", "8", "--period-ms", "2", "--duration-ms", "10",
+                      "--worst-k", "8", "--flow", "0", "--frame", "1", "--format",
+                      "json"},
+                     out),
+            0);
+  EXPECT_NE(out.find("\"flow\":0,\"sequence\":1"), std::string::npos);
+}
+
+TEST(TsnbExplainTest, ExitCodesFollowTheConvention) {
+  // 2 = command-line mistakes, 1 = runtime failures, 0 = success.
+  std::string out;
+  EXPECT_EQ(run_tsnb({"explain", "--format", "yaml"}, out), 2);
+  EXPECT_EQ(run_tsnb({"explain", "--frame", "3"}, out), 2);  // needs --flow
+  EXPECT_EQ(run_tsnb({"explain", "--faults", "asteroid"}, out), 2);
+  EXPECT_EQ(run_tsnb({"explain", "--suite", "nightly"}, out), 2);
+  EXPECT_EQ(run_tsnb({"explain", "--worst-k", "0"}, out), 2);
+  EXPECT_EQ(run_tsnb({"explain", "--config", "/nonexistent/x.cfg"}, out), 1);
+}
+
 TEST(TsnbTest, GlobalLogLevelFlag) {
   Logger& logger = Logger::instance();
   const LogLevel saved = logger.level();

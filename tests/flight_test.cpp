@@ -1,0 +1,438 @@
+// Tests for tsn::flight: the exhaustive drop-cause mappings (every
+// sw::DropReason and every netsim wire-drop counter must map to a drop
+// cause — adding an enumerator without a mapping fails here at compile
+// time via -Werror=switch and at runtime via these loops), the recorder's
+// span lineage and worst-K retention, the explain waterfalls for a
+// deadline-missing and a dropped frame on the ring example, and the
+// retention-determinism contract (byte-identical reports across repeat
+// runs, hook interleavings, flow-registration order, and campaign worker
+// counts — faults included).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "campaign/record.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario_space.hpp"
+#include "fault/plan.hpp"
+#include "fault/profiles.hpp"
+#include "flight/explain.hpp"
+#include "flight/recorder.hpp"
+#include "netsim/flight_wire.hpp"
+#include "netsim/scenario.hpp"
+#include "switch/flight_map.hpp"
+#include "topo/builders.hpp"
+#include "traffic/workload.hpp"
+#include "verify/verifier.hpp"
+
+namespace tsn {
+namespace {
+
+using namespace tsn::literals;
+
+// ------------------------------------------------------ cause mappings
+
+TEST(FlightCauseMapTest, EverySwitchDropReasonMapsToADistinctDropCause) {
+  std::set<flight::Cause> seen;
+  for (int r = 0; r < static_cast<int>(sw::DropReason::kCount); ++r) {
+    const auto reason = static_cast<sw::DropReason>(r);
+    const flight::Cause cause = sw::flight_cause(reason);
+    EXPECT_TRUE(flight::is_drop(cause)) << to_string(reason);
+    EXPECT_STRNE(flight::to_string(cause), "?") << to_string(reason);
+    EXPECT_TRUE(seen.insert(cause).second)
+        << to_string(reason) << " shares a cause with another reason";
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sw::DropReason::kCount));
+}
+
+TEST(FlightCauseMapTest, EveryWireDropCounterMapsToADistinctDropCause) {
+  std::set<flight::Cause> seen;
+  for (int d = 0; d < static_cast<int>(netsim::WireDrop::kCount); ++d) {
+    const auto drop = static_cast<netsim::WireDrop>(d);
+    const flight::Cause cause = netsim::flight_cause(drop);
+    EXPECT_TRUE(flight::is_drop(cause)) << d;
+    EXPECT_STRNE(flight::to_string(cause), "?") << d;
+    EXPECT_TRUE(seen.insert(cause).second) << d;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(netsim::WireDrop::kCount));
+}
+
+TEST(FlightCauseMapTest, CauseTaxonomyIsTotal) {
+  // Every cause names itself, names are unique, and exactly the four
+  // non-loss outcomes (in-flight, on-time, late, FRER-eliminated) are
+  // not drops. A new Cause enumerator that misses to_string()/is_drop()
+  // already fails to compile (-Werror=switch); this pins the counts so a
+  // mapping added to the wrong bucket fails too.
+  std::set<std::string> names;
+  std::size_t drops = 0;
+  for (int c = 0; c < static_cast<int>(flight::Cause::kCount); ++c) {
+    const auto cause = static_cast<flight::Cause>(c);
+    const std::string name = flight::to_string(cause);
+    EXPECT_NE(name, "?") << c;
+    EXPECT_TRUE(names.insert(name).second) << name;
+    if (flight::is_drop(cause)) ++drops;
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(flight::Cause::kCount));
+  EXPECT_EQ(drops, static_cast<std::size_t>(flight::Cause::kCount) - 4);
+  // Both mapping domains land inside the drop subset.
+  EXPECT_EQ(drops, static_cast<std::size_t>(sw::DropReason::kCount) +
+                       static_cast<std::size_t>(netsim::WireDrop::kCount));
+}
+
+// ------------------------------------------------- recorder unit tests
+
+net::Packet test_packet(net::FlowId flow, std::uint64_t seq, VlanId vid,
+                        Duration deadline = Duration::zero()) {
+  net::Packet p;
+  p.meta.flow_id = flow;
+  p.meta.sequence = seq;
+  p.vlan.vid = vid;
+  p.meta.traffic_class = net::TrafficClass::kTimeSensitive;
+  p.meta.deadline = deadline;
+  return p;
+}
+
+TEST(FlightRecorderTest, WorstKRetainsTheWorstAndCountsEvictions) {
+  flight::FlightRecorder::Options options;
+  options.worst_k = 2;
+  flight::FlightRecorder rec(options);
+  // Five deliveries of flow 1 with latencies 10, 50, 20, 40, 30 us.
+  const std::int64_t latencies_us[] = {10, 50, 20, 40, 30};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const net::Packet p = test_packet(1, i, 10);
+    const TimePoint injected(static_cast<std::int64_t>(i) * 1'000'000);
+    rec.on_injection(p, 0, injected);
+    rec.on_delivered(p, 2, injected + microseconds(latencies_us[i]));
+  }
+  const flight::FlightReport report = rec.report(TimePoint(10'000'000));
+  EXPECT_EQ(report.totals.injected, 5u);
+  EXPECT_EQ(report.totals.delivered, 5u);
+  EXPECT_EQ(report.totals.evicted_healthy, 3u);
+  EXPECT_EQ(report.totals.in_flight, 0u);
+  ASSERT_EQ(report.frames.size(), 2u);
+  // The two worst latencies (50us = seq 1, 40us = seq 3) survive.
+  EXPECT_NE(report.find(flight::FrameKey{1, 1, 10}), nullptr);
+  EXPECT_NE(report.find(flight::FrameKey{1, 3, 10}), nullptr);
+  const flight::FrameRecord* worst = report.worst_latency_frame();
+  ASSERT_NE(worst, nullptr);
+  EXPECT_EQ(worst->key.sequence, 1u);
+  EXPECT_EQ(worst->latency(), microseconds(50));
+}
+
+TEST(FlightRecorderTest, DropsAndDeadlineMissesAreAlwaysRetained) {
+  flight::FlightRecorder::Options options;
+  options.worst_k = 1;
+  flight::FlightRecorder rec(options);
+  // A healthy delivery, a late one (1us deadline, 5us latency), and a
+  // queue-full drop — worst_k=1 must not evict the critical records.
+  const net::Packet ok = test_packet(1, 0, 10);
+  rec.on_injection(ok, 0, TimePoint(0));
+  rec.on_delivered(ok, 2, TimePoint(2'000));
+
+  const net::Packet late = test_packet(1, 1, 10, microseconds(1));
+  rec.on_injection(late, 0, TimePoint(10'000));
+  rec.on_delivered(late, 2, TimePoint(15'000));
+
+  const net::Packet lost = test_packet(1, 2, 10);
+  rec.on_injection(lost, 0, TimePoint(20'000));
+  rec.on_switch_drop(lost, 1, sw::flight_cause(sw::DropReason::kQueueFull),
+                     TimePoint(21'000));
+
+  const flight::FlightReport report = rec.report(TimePoint(30'000));
+  EXPECT_EQ(report.totals.delivered, 1u);
+  EXPECT_EQ(report.totals.delivered_late, 1u);
+  EXPECT_EQ(report.totals.dropped, 1u);
+  ASSERT_EQ(report.frames.size(), 3u);
+  const flight::FrameRecord* miss = report.find(flight::FrameKey{1, 1, 10});
+  ASSERT_NE(miss, nullptr);
+  EXPECT_TRUE(miss->deadline_missed());
+  EXPECT_EQ(miss->cause, flight::Cause::kDeliveredLate);
+  const flight::FrameRecord* drop = report.find(flight::FrameKey{1, 2, 10});
+  ASSERT_NE(drop, nullptr);
+  EXPECT_EQ(drop->cause, flight::Cause::kQueueFull);
+  ASSERT_FALSE(drop->spans.empty());
+  EXPECT_EQ(drop->spans.back().kind, flight::SpanKind::kDrop);
+  EXPECT_EQ(drop->spans.back().cause, flight::Cause::kQueueFull);
+}
+
+TEST(FlightRecorderTest, ReportIsIndependentOfHookInterleaving) {
+  // Two flows' frames completing in opposite orders must produce
+  // byte-identical reports: retention depends only on sim time and keys.
+  const auto run = [](bool flow2_first) {
+    flight::FlightRecorder rec;
+    const net::Packet a = test_packet(1, 0, 10);
+    const net::Packet b = test_packet(2, 0, 20);
+    rec.on_injection(a, 0, TimePoint(1'000));
+    rec.on_injection(b, 1, TimePoint(2'000));
+    if (flow2_first) {
+      rec.on_delivered(b, 3, TimePoint(30'000));
+      rec.on_delivered(a, 2, TimePoint(40'000));
+    } else {
+      rec.on_delivered(a, 2, TimePoint(40'000));
+      rec.on_delivered(b, 3, TimePoint(30'000));
+    }
+    const flight::ExplainContext ctx;
+    return flight::render_json(rec.report(TimePoint(50'000)), ctx,
+                               flight::ExplainFilter{});
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// --------------------------------------------- ring scenario waterfalls
+
+netsim::ScenarioConfig ring_config(std::size_t flow_count = 16) {
+  netsim::ScenarioConfig cfg;
+  cfg.built = topo::make_ring(3);
+  cfg.options.seed = 7;
+  const std::int64_t tables = 2 * static_cast<std::int64_t>(flow_count) + 16;
+  cfg.options.resource.classification_table_size = tables;
+  cfg.options.resource.unicast_table_size = tables;
+  traffic::TsWorkloadParams params;
+  params.flow_count = flow_count;
+  params.period = 2_ms;
+  cfg.flows =
+      traffic::make_ts_flows(cfg.built.host_nodes[0], cfg.built.host_nodes[2], params);
+  cfg.warmup = 100_ms;
+  cfg.traffic_duration = 25_ms;
+  return cfg;
+}
+
+/// The bound report + explain context for `cfg` (mirrors cmd_explain).
+bound::BoundReport bounds_for(const netsim::ScenarioConfig& cfg) {
+  const verify::VerifyInput vin = verify::verify_input_from(cfg);
+  bound::BoundInput bin = verify::bound_input_for(vin);
+  if (vin.plan.has_value()) bin.plan = &*vin.plan;
+  return bound::analyze(bin);
+}
+
+TEST(FlightScenarioTest, RingLineageIsCompleteAndAccounted) {
+  netsim::ScenarioConfig cfg = ring_config();
+  flight::FlightRecorder recorder;
+  cfg.observe.flight = &recorder;
+  const topo::Topology topology = cfg.built.topology;
+  const topo::NodeId talker = cfg.built.host_nodes[0];
+  const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+  const flight::FlightReport report = recorder.report(result.sim_end);
+
+  // Every injected occurrence is accounted for by exactly one outcome.
+  EXPECT_EQ(report.totals.injected, result.ts.injected);
+  EXPECT_EQ(report.totals.injected,
+            report.totals.delivered + report.totals.delivered_late +
+                report.totals.dropped + report.totals.frer_eliminated +
+                report.totals.in_flight);
+
+  const flight::FrameRecord* worst = report.worst_latency_frame();
+  ASSERT_NE(worst, nullptr);
+  ASSERT_FALSE(worst->spans.empty());
+  EXPECT_EQ(worst->spans.front().kind, flight::SpanKind::kInjection);
+  EXPECT_EQ(worst->spans.front().node, talker);
+  EXPECT_EQ(worst->spans.back().kind, flight::SpanKind::kDeliver);
+  // The h0 -> h2 path crosses two switches: expect a gate-wait with the
+  // dequeue-time gate state and admission depth on the lineage.
+  bool saw_queue_wait = false;
+  for (const flight::Span& span : worst->spans) {
+    if (span.kind != flight::SpanKind::kQueueWait) continue;
+    saw_queue_wait = true;
+    EXPECT_GE(span.queued_behind, 0);
+    EXPECT_NE(span.gates, 0);
+    EXPECT_GE(span.end, span.start);
+  }
+  EXPECT_TRUE(saw_queue_wait);
+
+  flight::ExplainContext ctx;
+  ctx.topology = &topology;
+  // talker host, two switches, listener host.
+  EXPECT_GE(flight::hop_visits(*worst, ctx).size(), 4u);
+}
+
+TEST(FlightScenarioTest, DeadlineMissGetsACompleteWaterfall) {
+  netsim::ScenarioConfig cfg = ring_config();
+  // A 20us end-to-end deadline is unmeetable across two ring hops with a
+  // 65us CQF slot: every delivery is a deadline miss.
+  for (auto& flow : cfg.flows) flow.deadline = microseconds(20);
+  const bound::BoundReport bounds = bounds_for(cfg);
+  flight::FlightRecorder recorder;
+  cfg.observe.flight = &recorder;
+  const topo::Topology topology = cfg.built.topology;
+  const Duration slot = cfg.options.runtime.slot_size;
+  const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+  const flight::FlightReport report = recorder.report(result.sim_end);
+  EXPECT_GT(report.totals.delivered_late, 0u);
+
+  flight::ExplainContext ctx;
+  ctx.topology = &topology;
+  ctx.bounds = &bounds;
+  ctx.slot = slot;
+  flight::ExplainFilter filter;
+  filter.drops_only = true;  // deadline misses count as forensic targets
+  const std::string text = flight::render_text(report, ctx, filter);
+  // The pinned waterfall: miss marker, per-hop budget-vs-spent lines for
+  // both switches, the gate-wait decomposition, and the delivery line.
+  EXPECT_NE(text.find("[DEADLINE MISS]"), std::string::npos) << text;
+  EXPECT_NE(text.find("cause=delivered_late"), std::string::npos) << text;
+  EXPECT_NE(text.find("e2e bound "), std::string::npos) << text;
+  EXPECT_NE(text.find("hop s0:"), std::string::npos) << text;
+  EXPECT_NE(text.find("hop s1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("bound "), std::string::npos) << text;
+  EXPECT_NE(text.find("spent "), std::string::npos) << text;
+  EXPECT_NE(text.find("gate-wait "), std::string::npos) << text;
+  EXPECT_NE(text.find("serialize "), std::string::npos) << text;
+  EXPECT_NE(text.find("delivered at "), std::string::npos) << text;
+  const std::string json = flight::render_json(report, ctx, filter);
+  EXPECT_NE(json.find("\"deadline_missed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"bound_ns\":"), std::string::npos);
+}
+
+TEST(FlightScenarioTest, DroppedFrameGetsACompleteWaterfallWithCause) {
+  netsim::ScenarioConfig cfg = ring_config();
+  // Permanent failure of backbone link 0 (s0-s1) without FRER: primary-
+  // path frames die on the wire with cause link_down.
+  fault::FaultEvent down;
+  down.kind = fault::FaultKind::kLinkDown;
+  down.link = fault::backbone_links(cfg.built.topology).front();
+  down.at = 10_ms;
+  down.down_for = Duration::zero();
+  cfg.faults.scheduled.push_back(down);
+
+  flight::FlightRecorder recorder;
+  cfg.observe.flight = &recorder;
+  const topo::Topology topology = cfg.built.topology;
+  const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+  const flight::FlightReport report = recorder.report(result.sim_end);
+  EXPECT_GT(report.totals.dropped, 0u);
+
+  const flight::FrameRecord* dropped = nullptr;
+  for (const flight::FrameRecord& rec : report.frames) {
+    if (rec.cause == flight::Cause::kLinkDown) {
+      dropped = &rec;
+      break;
+    }
+  }
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_FALSE(dropped->spans.empty());
+  EXPECT_EQ(dropped->spans.front().kind, flight::SpanKind::kInjection);
+  EXPECT_EQ(dropped->spans.back().kind, flight::SpanKind::kDrop);
+  EXPECT_EQ(dropped->spans.back().cause, flight::Cause::kLinkDown);
+
+  flight::ExplainContext ctx;
+  ctx.topology = &topology;
+  flight::ExplainFilter filter;
+  filter.drops_only = true;
+  const std::string text = flight::render_text(report, ctx, filter);
+  EXPECT_NE(text.find("DROPPED at "), std::string::npos) << text;
+  EXPECT_NE(text.find("cause=link_down"), std::string::npos) << text;
+  // The fault action is stitched into the record as an annotation.
+  ASSERT_FALSE(report.annotations.empty());
+  EXPECT_NE(report.annotations.front().text.find("link-down"), std::string::npos)
+      << report.annotations.front().text;
+}
+
+// -------------------------------------------- retention determinism
+
+TEST(FlightDeterminismTest, ScenarioReportIsByteIdenticalAcrossRuns) {
+  const auto run = [] {
+    netsim::ScenarioConfig cfg = ring_config();
+    cfg.faults = fault::profile_plan("link-flap", cfg.built.topology,
+                                     cfg.traffic_duration);
+    flight::FlightRecorder recorder;
+    cfg.observe.flight = &recorder;
+    const topo::Topology topology = cfg.built.topology;
+    const netsim::ScenarioResult result = netsim::run_scenario(std::move(cfg));
+    flight::ExplainContext ctx;
+    ctx.topology = &topology;
+    return flight::render_json(recorder.report(result.sim_end), ctx,
+                               flight::ExplainFilter{});
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FlightDeterminismTest, ReportIsIndependentOfFlowRegistrationOrder) {
+  // The same frame lineages, presented flow-by-flow in opposite
+  // registration orders, must serialize byte-identically — retention and
+  // report ordering key on (flow, sequence, vid), never on arrival
+  // order. worst_k=1 keeps the eviction path under test in both orders.
+  const auto replay = [](const std::vector<net::FlowId>& order) {
+    flight::FlightRecorder::Options options;
+    options.worst_k = 1;
+    flight::FlightRecorder rec(options);
+    for (const net::FlowId flow : order) {
+      for (std::uint64_t seq = 0; seq < 3; ++seq) {
+        const net::Packet p = test_packet(flow, seq, static_cast<VlanId>(flow));
+        const TimePoint injected(static_cast<std::int64_t>(flow) * 10'000'000 +
+                                 static_cast<std::int64_t>(seq) * 1'000'000);
+        rec.on_injection(p, 0, injected);
+        // Latencies vary by sequence so worst-K has real work to do; the
+        // last occurrence of flow 3 is dropped instead.
+        if (flow == 3 && seq == 2) {
+          rec.on_switch_drop(p, 1, flight::Cause::kQueueFull,
+                             injected + microseconds(5));
+        } else {
+          rec.on_delivered(
+              p, 2,
+              injected + microseconds(10 + 7 * static_cast<std::int64_t>(seq)));
+        }
+      }
+    }
+    const flight::ExplainContext ctx;
+    return flight::render_json(rec.report(TimePoint(100'000'000)), ctx,
+                               flight::ExplainFilter{});
+  };
+  EXPECT_EQ(replay({1, 2, 3}), replay({3, 2, 1}));
+}
+
+TEST(FlightDeterminismTest, CampaignWorstFrameRowsAreByteIdenticalAcrossJobs) {
+  const auto run = [](std::size_t jobs) {
+    campaign::ScenarioMatrix matrix;
+    for (campaign::Axis& axis : campaign::parse_axes("faults=none,link-flap")) {
+      matrix.add_axis(std::move(axis));
+    }
+    campaign::CampaignOptions options;
+    options.jobs = jobs;
+    options.capture_worst_frame = true;
+    campaign::CampaignRunner runner(std::move(matrix), options);
+    const std::vector<campaign::RunRecord> records =
+        runner.run([](const campaign::RunPoint& point, std::uint64_t seed) {
+          return campaign::scenario_for_point(point, seed);
+        });
+    std::vector<std::string> rows;
+    rows.reserve(records.size());
+    for (const campaign::RunRecord& record : records) {
+      rows.push_back(campaign::to_jsonl(record, /*include_timing=*/false));
+    }
+    return rows;
+  };
+  const std::vector<std::string> serial = run(1);
+  ASSERT_EQ(serial.size(), 2u);
+  for (const std::string& row : serial) {
+    // Capture actually ran: the worst frame is present with hop + JSON.
+    EXPECT_NE(row.find("\"worst_frame_hop\":\"s"), std::string::npos) << row;
+    EXPECT_NE(row.find("\"worst_frame\":{"), std::string::npos) << row;
+    EXPECT_EQ(row.find("\"worst_frame\":null"), std::string::npos) << row;
+  }
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(FlightDeterminismTest, CampaignWithoutCaptureLeavesWorstFrameNull) {
+  campaign::ScenarioMatrix matrix;
+  for (campaign::Axis& axis : campaign::parse_axes("flows=8")) {
+    matrix.add_axis(std::move(axis));
+  }
+  campaign::CampaignRunner runner(std::move(matrix), campaign::CampaignOptions{});
+  const std::vector<campaign::RunRecord> records =
+      runner.run([](const campaign::RunPoint& point, std::uint64_t seed) {
+        return campaign::scenario_for_point(point, seed);
+      });
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ok) << records[0].error;
+  EXPECT_EQ(records[0].metrics.worst_frame_latency_ns, 0);
+  const std::string row = campaign::to_jsonl(records[0], false);
+  EXPECT_NE(row.find("\"worst_frame_latency_ns\":0"), std::string::npos) << row;
+  EXPECT_NE(row.find("\"worst_frame\":null"), std::string::npos) << row;
+}
+
+}  // namespace
+}  // namespace tsn

@@ -289,6 +289,19 @@ TEST(TraceRecorderTest, RingBufferSemantics) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST(TraceRecorderTest, UnlimitedCapacityNeverWraps) {
+  TraceRecorder trace(TraceRecorder::kUnlimited);
+  // Well past the reservation prefix: the ring must grow, not overwrite.
+  for (std::uint64_t i = 0; i < 70'000; ++i) {
+    trace.record(TraceEntry{TimePoint(static_cast<std::int64_t>(i)), 0, 0, 1, 7, i, 64,
+                            false});
+  }
+  EXPECT_EQ(trace.size(), 70'000u);
+  EXPECT_EQ(trace.dropped_entries(), 0u);
+  EXPECT_EQ(trace.entries().front().sequence, 0u);
+  EXPECT_EQ(trace.entries().back().sequence, 69'999u);
+}
+
 TEST(TraceRecorderTest, DroppedEntriesAccountingAcrossWrapsAndClear) {
   TraceRecorder trace(4);
   // Below capacity: nothing dropped yet.

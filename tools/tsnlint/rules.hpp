@@ -105,10 +105,12 @@ struct Options {
   /// streams; tests seed RNGs directly on purpose).
   std::vector<std::string> rng_scope = {"src/"};
   std::vector<std::string> rng_exempt = {"src/common/"};
-  /// Allocation-free hot paths for hot-path-alloc: the event kernel plus
-  /// the per-packet NIC and egress-scheduler datapaths.
+  /// Allocation-free hot paths for hot-path-alloc: the event kernel, the
+  /// per-packet NIC and egress-scheduler datapaths, and the flight
+  /// recorder (whose hooks sit on all of them).
   std::vector<std::string> hot_path_scope = {"src/event/", "src/netsim/nic.",
-                                             "src/switch/egress_sched."};
+                                             "src/switch/egress_sched.",
+                                             "src/flight/"};
   /// Scope of the layering rule (cross-subsystem include checking).
   std::vector<std::string> layering_scope = {"src/"};
   /// Callees/constructors whose callable argument executes deferred.
